@@ -1,0 +1,31 @@
+//! Criterion micro-benchmarks of the pre-processing pipeline.
+//!
+//! Times the full builder (RCM + coarsening + pack extraction + within-pack
+//! DAR reordering + permutation) for each method. The paper amortises this
+//! cost over many right-hand sides; these numbers document what is being
+//! amortised.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sts_core::Method;
+use sts_graph::{rcm, Graph};
+use sts_matrix::suite::{self, SuiteId};
+use sts_matrix::SuiteScale;
+
+fn construction_benchmarks(c: &mut Criterion) {
+    let m = suite::generate(SuiteId::D3, SuiteScale::Tiny).expect("suite entry generates");
+    let l = m.lower().expect("lower operand");
+    let mut group = c.benchmark_group("construction");
+    for method in Method::all() {
+        group.bench_with_input(BenchmarkId::new("build", method.label()), &l, |bench, l| {
+            bench.iter(|| method.build(l, 80).unwrap())
+        });
+    }
+    group.bench_function("rcm_only", |bench| {
+        let g = Graph::from_lower_triangular(&l);
+        bench.iter(|| rcm::reverse_cuthill_mckee(&g))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, construction_benchmarks);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion micro-benchmarks of the In-Pack schedulers and the simulator.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sts_core::{Method, SimulatedExecutor};
+use sts_matrix::suite::{self, SuiteId};
+use sts_matrix::SuiteScale;
+use sts_numa::{NumaTopology, Schedule};
+use sts_sched::cost::InPackCostModel;
+use sts_sched::dar::DarGraph;
+use sts_sched::heuristic::{affinity_list_schedule, block_schedule};
+
+fn scheduling_benchmarks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("in_pack_scheduling");
+    let model = InPackCostModel::standard();
+    let dar = DarGraph::line(4096);
+    group.bench_function("block_schedule_line_4096", |bench| {
+        bench.iter(|| {
+            let a = block_schedule(dar.num_tasks(), 16);
+            model.makespan(&dar, &a, 16)
+        })
+    });
+    group.bench_function("affinity_list_schedule_line_512", |bench| {
+        let small = DarGraph::line(512);
+        bench.iter(|| affinity_list_schedule(&small, 16, &model))
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("simulator");
+    let m = suite::generate(SuiteId::D3, SuiteScale::Tiny).expect("suite entry generates");
+    let l = m.lower().expect("lower operand");
+    let s = Method::Sts3.build(&l, 80).expect("builder succeeds");
+    let exec = SimulatedExecutor::new(NumaTopology::intel_westmere_ex_32());
+    group.bench_function("simulate_sts3_16_cores", |bench| {
+        bench.iter(|| exec.simulate(&s, 16, Schedule::Guided { min_chunk: 1 }))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, scheduling_benchmarks);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion micro-benchmarks of the triangular solve kernels.
+//!
+//! Wall-clock timings of the sequential and threaded solvers for each of the
+//! four methods on a representative matrix (D2, the planar-triangulation
+//! class). On a single-core CI host these numbers mostly reflect the kernel's
+//! per-nonzero cost; the figure harnesses (simulated machines) are the
+//! artefacts that reproduce the paper's multi-core results.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sts_core::{Method, ParallelSolver};
+use sts_matrix::suite::{self, SuiteId};
+use sts_matrix::SuiteScale;
+use sts_numa::Schedule;
+
+fn solver_benchmarks(c: &mut Criterion) {
+    let m = suite::generate(SuiteId::D2, SuiteScale::Tiny).expect("suite entry generates");
+    let l = m.lower().expect("lower operand");
+    let mut group = c.benchmark_group("triangular_solve");
+    for method in Method::all() {
+        let s = method.build(&l, 80).expect("builder succeeds");
+        let b = vec![1.0; s.n()];
+        group.bench_with_input(
+            BenchmarkId::new("sequential", method.label()),
+            &s,
+            |bench, s| bench.iter(|| s.solve_sequential(&b).unwrap()),
+        );
+        let threads = std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1);
+        let solver = ParallelSolver::new(threads, Schedule::Guided { min_chunk: 1 });
+        group.bench_with_input(
+            BenchmarkId::new(format!("threads_{threads}"), method.label()),
+            &s,
+            |bench, s| bench.iter(|| solver.solve(s, &b).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, solver_benchmarks);
+criterion_main!(benches);

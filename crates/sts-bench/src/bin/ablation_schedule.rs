@@ -1,0 +1,60 @@
+//! Ablation: intra-pack loop schedule.
+//!
+//! The paper tunes `schedule(dynamic, 32)` for the flat methods and
+//! `schedule(guided, 1)` for the 3-level methods. This ablation runs STS-3
+//! under static, dynamic (chunk 1 and 32) and guided schedules on both machine
+//! models and reports the simulated solve time of the whole suite.
+
+use serde::Serialize;
+use sts_bench::harness::{self, parse_args, Machine};
+use sts_core::{Method, SimulatedExecutor};
+use sts_numa::Schedule;
+
+#[derive(Serialize)]
+struct Row {
+    machine: String,
+    schedule: String,
+    total_cycles: f64,
+}
+
+fn main() {
+    let config = parse_args();
+    let suite = harness::generate_suite(&config);
+    let schedules: [(&str, Schedule); 4] = [
+        ("static", Schedule::Static),
+        ("dynamic,1", Schedule::Dynamic { chunk: 1 }),
+        ("dynamic,32", Schedule::Dynamic { chunk: 32 }),
+        ("guided,1", Schedule::Guided { min_chunk: 1 }),
+    ];
+    let mut rows = Vec::new();
+    for machine in Machine::both() {
+        let cores = machine.figure_cores();
+        let exec = SimulatedExecutor::new(machine.topology());
+        println!(
+            "\nAblation: STS-3 intra-pack schedule — {} model, {} cores, whole suite",
+            machine.name(),
+            cores
+        );
+        let structures: Vec<_> = suite
+            .matrices
+            .iter()
+            .map(|m| {
+                Method::Sts3
+                    .build(&m.lower().unwrap(), machine.rows_per_super_row_scaled(config.scale))
+                    .unwrap()
+            })
+            .collect();
+        println!("{:<12} {:>18}", "schedule", "total cycles");
+        for (name, schedule) in schedules {
+            let total: f64 =
+                structures.iter().map(|s| exec.simulate(s, cores, schedule).total_cycles).sum();
+            println!("{name:<12} {total:>18.0}");
+            rows.push(Row {
+                machine: machine.name().to_string(),
+                schedule: name.to_string(),
+                total_cycles: total,
+            });
+        }
+    }
+    harness::write_json(&config.out_dir, "ablation_schedule", &rows);
+}

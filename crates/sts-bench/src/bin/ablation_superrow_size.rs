@@ -1,0 +1,65 @@
+//! Ablation: sensitivity of STS-3 to the super-row size.
+//!
+//! The paper fixes 80 rows per super-row on the Intel node and 320 on the AMD
+//! node ("to correspond to bigger L2 cache on AMD") and suggests testing ±1
+//! neighbouring values of k in practice. This ablation sweeps the super-row
+//! size and reports the simulated solve time of STS-3 on both machine models
+//! for a representative subset of the suite.
+
+use serde::Serialize;
+use sts_bench::harness::{self, parse_args, Machine};
+use sts_core::{Method, SimulatedExecutor};
+use sts_matrix::suite::SuiteId;
+use sts_matrix::TestSuite;
+
+#[derive(Serialize)]
+struct Row {
+    machine: String,
+    matrix: String,
+    rows_per_super_row: usize,
+    total_cycles: f64,
+    num_packs: usize,
+}
+
+fn main() {
+    let config = parse_args();
+    let suite = TestSuite::generate_subset(
+        config.scale,
+        &[SuiteId::G1, SuiteId::D2, SuiteId::D3, SuiteId::S1],
+    )
+    .expect("subset generation succeeds");
+    let sizes = [10usize, 20, 40, 80, 160, 320, 640];
+    let mut rows = Vec::new();
+    for machine in Machine::both() {
+        let cores = machine.figure_cores();
+        let exec = SimulatedExecutor::new(machine.topology());
+        println!(
+            "\nAblation: STS-3 super-row size sweep — {} model, {} cores",
+            machine.name(),
+            cores
+        );
+        println!("{:<5} {:>8} {:>14} {:>10}", "mat", "rows/SR", "cycles", "packs");
+        for m in &suite.matrices {
+            let l = m.lower().unwrap();
+            for &size in &sizes {
+                let s = Method::Sts3.build(&l, size).unwrap();
+                let rep = exec.simulate(&s, cores, harness::paper_schedule(Method::Sts3));
+                println!(
+                    "{:<5} {:>8} {:>14.0} {:>10}",
+                    m.id.label(),
+                    size,
+                    rep.total_cycles,
+                    s.num_packs()
+                );
+                rows.push(Row {
+                    machine: machine.name().to_string(),
+                    matrix: m.id.label().to_string(),
+                    rows_per_super_row: size,
+                    total_cycles: rep.total_cycles,
+                    num_packs: s.num_packs(),
+                });
+            }
+        }
+    }
+    harness::write_json(&config.out_dir, "ablation_superrow_size", &rows);
+}

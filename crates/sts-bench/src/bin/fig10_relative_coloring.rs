@@ -1,0 +1,56 @@
+//! Figure 10: relative speedup of STS-3 over CSR-COL per matrix, i.e. the
+//! incremental benefit of the k-level sub-structuring for coloring orderings,
+//! at 16 cores (Intel model) and 12 cores (AMD model).
+
+use serde::Serialize;
+use sts_bench::harness::{self, parse_args, Machine};
+use sts_core::Method;
+
+#[derive(Serialize)]
+struct Row {
+    machine: String,
+    matrix: String,
+    cores: usize,
+    relative_speedup: f64,
+}
+
+fn main() {
+    let config = parse_args();
+    let suite = harness::generate_suite(&config);
+    let mut rows = Vec::new();
+    for machine in Machine::both() {
+        let cores = machine.figure_cores();
+        println!(
+            "\nFigure 10: relative speedup STS-3 vs CSR-COL — {} model, {} cores",
+            machine.name(),
+            cores
+        );
+        println!("{:<5} {:>20}", "mat", "T(CSR-COL)/T(STS-3)");
+        let mut vals = Vec::new();
+        for m in &suite.matrices {
+            let run = harness::build_methods(m, machine.rows_per_super_row_scaled(config.scale));
+            let col = run.methods.iter().find(|r| r.method == Method::CsrCol).unwrap();
+            let sts = run.methods.iter().find(|r| r.method == Method::Sts3).unwrap();
+            let (t_col, t_sts) = if config.wallclock {
+                let threads = cores.min(sts_numa::affinity::available_cores());
+                (harness::wallclock_seconds(col, threads, 3), harness::wallclock_seconds(sts, threads, 3))
+            } else {
+                (
+                    harness::simulate(machine, col, cores).total_cycles,
+                    harness::simulate(machine, sts, cores).total_cycles,
+                )
+            };
+            let rel = t_col / t_sts;
+            println!("{:<5} {:>20.2}", run.matrix_label, rel);
+            vals.push(rel);
+            rows.push(Row {
+                machine: machine.name().to_string(),
+                matrix: run.matrix_label.clone(),
+                cores,
+                relative_speedup: rel,
+            });
+        }
+        println!("mean relative speedup: {:.2}", harness::geometric_mean(&vals));
+    }
+    harness::write_json(&config.out_dir, "fig10_relative_coloring", &rows);
+}

@@ -1,0 +1,56 @@
+//! Figure 11: relative speedup of CSR-3-LS over CSR-LS per matrix, i.e. the
+//! incremental benefit of the k-level sub-structuring for level-set orderings,
+//! at 16 cores (Intel model) and 12 cores (AMD model).
+
+use serde::Serialize;
+use sts_bench::harness::{self, parse_args, Machine};
+use sts_core::Method;
+
+#[derive(Serialize)]
+struct Row {
+    machine: String,
+    matrix: String,
+    cores: usize,
+    relative_speedup: f64,
+}
+
+fn main() {
+    let config = parse_args();
+    let suite = harness::generate_suite(&config);
+    let mut rows = Vec::new();
+    for machine in Machine::both() {
+        let cores = machine.figure_cores();
+        println!(
+            "\nFigure 11: relative speedup CSR-3-LS vs CSR-LS — {} model, {} cores",
+            machine.name(),
+            cores
+        );
+        println!("{:<5} {:>22}", "mat", "T(CSR-LS)/T(CSR-3-LS)");
+        let mut vals = Vec::new();
+        for m in &suite.matrices {
+            let run = harness::build_methods(m, machine.rows_per_super_row_scaled(config.scale));
+            let ls = run.methods.iter().find(|r| r.method == Method::CsrLs).unwrap();
+            let ls3 = run.methods.iter().find(|r| r.method == Method::Csr3Ls).unwrap();
+            let (t_ls, t_ls3) = if config.wallclock {
+                let threads = cores.min(sts_numa::affinity::available_cores());
+                (harness::wallclock_seconds(ls, threads, 3), harness::wallclock_seconds(ls3, threads, 3))
+            } else {
+                (
+                    harness::simulate(machine, ls, cores).total_cycles,
+                    harness::simulate(machine, ls3, cores).total_cycles,
+                )
+            };
+            let rel = t_ls / t_ls3;
+            println!("{:<5} {:>22.2}", run.matrix_label, rel);
+            vals.push(rel);
+            rows.push(Row {
+                machine: machine.name().to_string(),
+                matrix: run.matrix_label.clone(),
+                cores,
+                relative_speedup: rel,
+            });
+        }
+        println!("mean relative speedup: {:.2}", harness::geometric_mean(&vals));
+    }
+    harness::write_json(&config.out_dir, "fig11_relative_levelset", &rows);
+}

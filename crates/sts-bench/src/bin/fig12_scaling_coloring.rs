@@ -1,0 +1,58 @@
+//! Figure 12: relative speedup of STS-3 over CSR-COL using the total execution
+//! time over the whole suite, as the core count scales from 1 to 32 (Intel
+//! model) and 1 to 24 (AMD model). The mean is taken over 8–32 / 6–24 cores
+//! as in the paper.
+
+use serde::Serialize;
+use sts_bench::harness::{self, parse_args, Machine};
+use sts_core::Method;
+
+#[derive(Serialize)]
+struct Row {
+    machine: String,
+    cores: usize,
+    relative_speedup: f64,
+}
+
+fn main() {
+    let config = parse_args();
+    let suite = harness::generate_suite(&config);
+    let mut rows = Vec::new();
+    for machine in Machine::both() {
+        println!(
+            "\nFigure 12: T(*,CSR-COL,q) / T(*,STS-3,q) — {} model (scale {:?})",
+            machine.name(),
+            config.scale
+        );
+        // Build once per machine, reuse across core counts.
+        let runs: Vec<_> = suite
+            .matrices
+            .iter()
+            .map(|m| harness::build_methods(m, machine.rows_per_super_row_scaled(config.scale)))
+            .collect();
+        println!("{:>6} {:>22}", "cores", "relative speedup");
+        let mut mean_vals = Vec::new();
+        for &q in machine.scaling_cores() {
+            let mut total_col = 0.0;
+            let mut total_sts = 0.0;
+            for run in &runs {
+                let col = run.methods.iter().find(|r| r.method == Method::CsrCol).unwrap();
+                let sts = run.methods.iter().find(|r| r.method == Method::Sts3).unwrap();
+                total_col += harness::simulate(machine, col, q).total_cycles;
+                total_sts += harness::simulate(machine, sts, q).total_cycles;
+            }
+            let rel = total_col / total_sts;
+            println!("{q:>6} {rel:>22.2}");
+            if machine.scaling_mean_cores().contains(&q) {
+                mean_vals.push(rel);
+            }
+            rows.push(Row { machine: machine.name().to_string(), cores: q, relative_speedup: rel });
+        }
+        println!(
+            "mean over {:?} cores: {:.2}",
+            machine.scaling_mean_cores(),
+            mean_vals.iter().sum::<f64>() / mean_vals.len().max(1) as f64
+        );
+    }
+    harness::write_json(&config.out_dir, "fig12_scaling_coloring", &rows);
+}

@@ -1,0 +1,56 @@
+//! Figure 13: relative speedup of CSR-3-LS over CSR-LS using the total
+//! execution time over the whole suite, as the core count scales from 1 to 32
+//! (Intel model) and 1 to 24 (AMD model).
+
+use serde::Serialize;
+use sts_bench::harness::{self, parse_args, Machine};
+use sts_core::Method;
+
+#[derive(Serialize)]
+struct Row {
+    machine: String,
+    cores: usize,
+    relative_speedup: f64,
+}
+
+fn main() {
+    let config = parse_args();
+    let suite = harness::generate_suite(&config);
+    let mut rows = Vec::new();
+    for machine in Machine::both() {
+        println!(
+            "\nFigure 13: T(*,CSR-LS,q) / T(*,CSR-3-LS,q) — {} model (scale {:?})",
+            machine.name(),
+            config.scale
+        );
+        let runs: Vec<_> = suite
+            .matrices
+            .iter()
+            .map(|m| harness::build_methods(m, machine.rows_per_super_row_scaled(config.scale)))
+            .collect();
+        println!("{:>6} {:>22}", "cores", "relative speedup");
+        let mut mean_vals = Vec::new();
+        for &q in machine.scaling_cores() {
+            let mut total_ls = 0.0;
+            let mut total_ls3 = 0.0;
+            for run in &runs {
+                let ls = run.methods.iter().find(|r| r.method == Method::CsrLs).unwrap();
+                let ls3 = run.methods.iter().find(|r| r.method == Method::Csr3Ls).unwrap();
+                total_ls += harness::simulate(machine, ls, q).total_cycles;
+                total_ls3 += harness::simulate(machine, ls3, q).total_cycles;
+            }
+            let rel = total_ls / total_ls3;
+            println!("{q:>6} {rel:>22.2}");
+            if machine.scaling_mean_cores().contains(&q) {
+                mean_vals.push(rel);
+            }
+            rows.push(Row { machine: machine.name().to_string(), cores: q, relative_speedup: rel });
+        }
+        println!(
+            "mean over {:?} cores: {:.2}",
+            machine.scaling_mean_cores(),
+            mean_vals.iter().sum::<f64>() / mean_vals.len().max(1) as f64
+        );
+    }
+    harness::write_json(&config.out_dir, "fig13_scaling_levelset", &rows);
+}

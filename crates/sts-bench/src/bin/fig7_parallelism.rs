@@ -1,0 +1,73 @@
+//! Figure 7: degree of parallelism — number of packs versus average number of
+//! solution components per pack, for the four methods across the suite.
+//!
+//! The paper plots this as a log–log scatter; this harness prints the raw
+//! coordinates per (matrix, method) and the per-method centroids, which is
+//! enough to verify the clustering: coloring methods sit at few packs / many
+//! components per pack, level-set methods at many packs / few components.
+
+use serde::Serialize;
+use sts_bench::harness::{self, parse_args, Machine};
+use sts_core::analysis;
+
+#[derive(Serialize)]
+struct Point {
+    matrix: String,
+    method: String,
+    num_packs: usize,
+    mean_components_per_pack: f64,
+}
+
+fn main() {
+    let config = parse_args();
+    let suite = harness::generate_suite(&config);
+    // Structural figures use the paper's own super-row size (80 rows).
+    let rows_per_super_row = Machine::Intel.rows_per_super_row();
+    println!("Figure 7: degree of parallelism (scale {:?})", config.scale);
+    println!(
+        "{:<5} {:<10} {:>12} {:>24}",
+        "mat", "method", "packs", "components per pack"
+    );
+    let mut points = Vec::new();
+    for m in &suite.matrices {
+        let run = harness::build_methods(m, rows_per_super_row);
+        for mr in &run.methods {
+            let stats = analysis::parallelism_stats(&mr.structure);
+            println!(
+                "{:<5} {:<10} {:>12} {:>24.1}",
+                run.matrix_label,
+                mr.method.label(),
+                stats.num_packs,
+                stats.mean_components_per_pack
+            );
+            points.push(Point {
+                matrix: run.matrix_label.clone(),
+                method: mr.method.label().to_string(),
+                num_packs: stats.num_packs,
+                mean_components_per_pack: stats.mean_components_per_pack,
+            });
+        }
+    }
+    // Per-method centroids (geometric means, matching the log-log plot).
+    println!("\ncentroids (geometric means):");
+    for method in sts_core::Method::all() {
+        let label = method.label();
+        let packs: Vec<f64> = points
+            .iter()
+            .filter(|p| p.method == label)
+            .map(|p| p.num_packs as f64)
+            .collect();
+        let comps: Vec<f64> = points
+            .iter()
+            .filter(|p| p.method == label)
+            .map(|p| p.mean_components_per_pack)
+            .collect();
+        println!(
+            "{:<10} packs = {:>10.1}   components/pack = {:>12.1}",
+            label,
+            harness::geometric_mean(&packs),
+            harness::geometric_mean(&comps)
+        );
+    }
+    harness::write_json(&config.out_dir, "fig7_parallelism", &points);
+}

@@ -1,0 +1,59 @@
+//! Figure 8: percentage of the total work contained in the 5 largest packs,
+//! per matrix and method.
+//!
+//! The paper observes that CSR-COL and STS-3 concentrate over 90% of the work
+//! in their 5 largest packs while CSR-LS and CSR-3-LS hold under 5% there.
+
+use serde::Serialize;
+use sts_bench::harness::{self, parse_args, Machine};
+use sts_core::analysis;
+
+#[derive(Serialize)]
+struct Row {
+    matrix: String,
+    method: String,
+    percent_in_top5: f64,
+}
+
+fn main() {
+    let config = parse_args();
+    let suite = harness::generate_suite(&config);
+    // Structural figures use the paper's own super-row size (80 rows).
+    let rows_per_super_row = Machine::Intel.rows_per_super_row();
+    println!("Figure 8: % of total work in the 5 largest packs (scale {:?})", config.scale);
+    println!("{:<5} {:>10} {:>10} {:>10} {:>10}", "mat", "CSR-LS", "CSR-3-LS", "CSR-COL", "STS-3");
+    let mut rows = Vec::new();
+    for m in &suite.matrices {
+        let run = harness::build_methods(m, rows_per_super_row);
+        let mut percents = Vec::new();
+        for mr in &run.methods {
+            let pct = 100.0 * analysis::work_fraction_in_top_packs(&mr.structure, 5);
+            rows.push(Row {
+                matrix: run.matrix_label.clone(),
+                method: mr.method.label().to_string(),
+                percent_in_top5: pct,
+            });
+            percents.push((mr.method.label(), pct));
+        }
+        let get = |label: &str| {
+            percents.iter().find(|(l, _)| *l == label).map(|(_, p)| *p).unwrap_or(f64::NAN)
+        };
+        println!(
+            "{:<5} {:>10.1} {:>10.1} {:>10.1} {:>10.1}",
+            run.matrix_label,
+            get("CSR-LS"),
+            get("CSR-3-LS"),
+            get("CSR-COL"),
+            get("STS-3")
+        );
+    }
+    println!("\nmeans:");
+    for method in sts_core::Method::all() {
+        let label = method.label();
+        let vals: Vec<f64> =
+            rows.iter().filter(|r| r.method == label).map(|r| r.percent_in_top5).collect();
+        let mean = vals.iter().sum::<f64>() / vals.len().max(1) as f64;
+        println!("{label:<10} {mean:>6.1}%");
+    }
+    harness::write_json(&config.out_dir, "fig8_work_distribution", &rows);
+}

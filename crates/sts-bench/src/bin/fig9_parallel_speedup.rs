@@ -1,0 +1,73 @@
+//! Figure 9: parallel speedup of the four methods relative to CSR-LS on one
+//! core, at 16 cores (Intel model) and 12 cores (AMD model).
+//!
+//! `speedup(method) = T(mat, CSR-LS, 1) / T(mat, method, q)`, reported per
+//! matrix with the geometric mean over the suite (the horizontal lines of the
+//! paper's figure). `--wallclock` switches from the simulated machines to
+//! threaded execution on the host.
+
+use serde::Serialize;
+use sts_bench::harness::{self, parse_args, Machine};
+
+#[derive(Serialize)]
+struct Row {
+    machine: String,
+    matrix: String,
+    method: String,
+    cores: usize,
+    speedup: f64,
+}
+
+fn main() {
+    let config = parse_args();
+    let suite = harness::generate_suite(&config);
+    let mut rows: Vec<Row> = Vec::new();
+    for machine in Machine::both() {
+        let cores = machine.figure_cores();
+        println!(
+            "\nFigure 9: parallel speedup vs CSR-LS(1 core) — {} model, {} cores (scale {:?})",
+            machine.name(),
+            cores,
+            config.scale
+        );
+        println!("{:<5} {:>10} {:>10} {:>10} {:>10}", "mat", "CSR-LS", "CSR-3-LS", "CSR-COL", "STS-3");
+        for m in &suite.matrices {
+            let run = harness::build_methods(m, machine.rows_per_super_row_scaled(config.scale));
+            let reference = &run.methods[0]; // CSR-LS
+            let t_ref_1core = if config.wallclock {
+                harness::wallclock_seconds(reference, 1, 3)
+            } else {
+                harness::simulate(machine, reference, 1).total_cycles
+            };
+            let mut line = format!("{:<5}", run.matrix_label);
+            for mr in &run.methods {
+                let t = if config.wallclock {
+                    harness::wallclock_seconds(mr, cores.min(sts_numa::affinity::available_cores()), 3)
+                } else {
+                    harness::simulate(machine, mr, cores).total_cycles
+                };
+                let speedup = t_ref_1core / t;
+                line.push_str(&format!(" {speedup:>10.2}"));
+                rows.push(Row {
+                    machine: machine.name().to_string(),
+                    matrix: run.matrix_label.clone(),
+                    method: mr.method.label().to_string(),
+                    cores,
+                    speedup,
+                });
+            }
+            println!("{line}");
+        }
+        println!("geometric means:");
+        for method in sts_core::Method::all() {
+            let label = method.label();
+            let vals: Vec<f64> = rows
+                .iter()
+                .filter(|r| r.machine == machine.name() && r.method == label)
+                .map(|r| r.speedup)
+                .collect();
+            println!("  {:<10} {:>8.2}", label, harness::geometric_mean(&vals));
+        }
+    }
+    harness::write_json(&config.out_dir, "fig9_parallel_speedup", &rows);
+}

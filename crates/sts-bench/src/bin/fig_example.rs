@@ -1,0 +1,81 @@
+//! Figures 1–3: the worked 9x9 example of the paper.
+//!
+//! Prints the graph `G1` of `A = L + Lᵀ`, the coarsened graph `G2` obtained by
+//! collapsing connected pairs (Figure 1), the packs obtained by coloring `G1`
+//! versus `G2` (Figure 2 — 3 colors versus 2), and the DAR graph of the second
+//! pack (Figure 3).
+
+use sts_bench::harness::parse_args;
+use sts_core::pack::Packs;
+use sts_core::reorder;
+use sts_graph::{Coarsening, CoarseningStrategy, ColoringOrder, Graph};
+use sts_matrix::generators;
+
+fn main() {
+    let _config = parse_args();
+    let l = generators::paper_figure1_l();
+    let g1 = Graph::from_lower_triangular(&l);
+
+    println!("Figure 1: G1 = G(A), A = L + L'  (vertices are 1-based as in the paper)");
+    for v in 0..g1.n() {
+        let nbrs: Vec<String> = g1.neighbors(v).iter().map(|&u| (u + 1).to_string()).collect();
+        println!("  vertex {:>2}: neighbours {{{}}}", v + 1, nbrs.join(", "));
+    }
+
+    let coarsening = Coarsening::coarsen(&g1, CoarseningStrategy::HeavyEdgeMatching);
+    let g2 = coarsening.coarse_graph(&g1);
+    println!("\nFigure 1 (right): G2 after collapsing connected pairs into super-rows");
+    for s in 0..coarsening.num_groups() {
+        let members: Vec<String> =
+            coarsening.group(s).iter().map(|&v| (v + 1).to_string()).collect();
+        let nbrs: Vec<String> = g2.neighbors(s).iter().map(|&t| format!("S{t}")).collect();
+        println!("  super-row S{s} = {{{}}}, adjacent to {{{}}}", members.join(","), nbrs.join(", "));
+    }
+
+    let packs_g1 = Packs::by_coloring(&g1, ColoringOrder::LargestDegreeFirst);
+    let packs_g2 = Packs::by_coloring(&g2, ColoringOrder::LargestDegreeFirst);
+    println!(
+        "\nFigure 2: coloring G1 gives {} packs, coloring G2 gives {} packs",
+        packs_g1.num_packs(),
+        packs_g2.num_packs()
+    );
+    for (p, pack) in packs_g2.all().iter().enumerate() {
+        let members: Vec<String> = pack
+            .iter()
+            .map(|&s| {
+                let rows: Vec<String> =
+                    coarsening.group(s).iter().map(|&v| (v + 1).to_string()).collect();
+                format!("{{{}}}", rows.join(","))
+            })
+            .collect();
+        println!("  pack {p}: super-rows {}", members.join(" "));
+    }
+
+    // Figure 3: DAR of the last pack (tasks connected when they reuse x from a
+    // previous pack).
+    let groups = coarsening.groups().to_vec();
+    let inputs = reorder::super_row_inputs(&l, &groups);
+    let last = packs_g2.num_packs() - 1;
+    let dar = reorder::pack_dar(packs_g2.pack(last), &inputs);
+    println!("\nFigure 3: DAR graph of pack {last}");
+    for (t, &s) in packs_g2.pack(last).iter().enumerate() {
+        let rows: Vec<String> = coarsening.group(s).iter().map(|&v| (v + 1).to_string()).collect();
+        let nbrs: Vec<String> = dar
+            .neighbors(t)
+            .iter()
+            .map(|&u| {
+                let rows: Vec<String> = coarsening
+                    .group(packs_g2.pack(last)[u])
+                    .iter()
+                    .map(|&v| (v + 1).to_string())
+                    .collect();
+                format!("{{{}}}", rows.join(","))
+            })
+            .collect();
+        println!(
+            "  task {{{}}}: shares previous-pack components with {}",
+            rows.join(","),
+            if nbrs.is_empty() { "nothing".to_string() } else { nbrs.join(", ") }
+        );
+    }
+}

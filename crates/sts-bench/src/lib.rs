@@ -1,0 +1,25 @@
+//! Benchmark harness reproducing every table and figure of the STS-k paper.
+//!
+//! Each binary in `src/bin/` regenerates one artifact of the evaluation
+//! section (Table 1, Figures 6–14) plus the ablations listed in `DESIGN.md`.
+//! They share the machinery in [`harness`]: suite generation, method
+//! construction, simulated execution on the modelled Intel/AMD nodes, and
+//! JSON/row output.
+//!
+//! Conventions:
+//!
+//! * every binary accepts `--scale tiny|small|medium` (default `small`) and
+//!   `--out <dir>` (default `results/`);
+//! * every binary prints a human-readable table to stdout *and* writes a JSON
+//!   file with the raw numbers, which `EXPERIMENTS.md` references;
+//! * simulated timings use the machine presets
+//!   [`sts_numa::NumaTopology::intel_westmere_ex_32`] and
+//!   [`sts_numa::NumaTopology::amd_magny_cours_24`]; pass `--wallclock` to use
+//!   the threaded solver on the host instead (meaningful only on a multicore
+//!   host).
+
+pub mod harness;
+
+pub use harness::{
+    geometric_mean, parse_args, BenchConfig, Machine, MethodRun, SuiteRun,
+};

@@ -1,0 +1,136 @@
+//! Parallelism and work-distribution statistics.
+//!
+//! These are the quantities plotted in Figures 7 and 8 of the paper: how many
+//! packs a method needs, how many solution components each pack computes on
+//! average, and which fraction of the total work (nonzeros) is concentrated in
+//! the few largest packs — the measure that predicts both latency masking and
+//! synchronisation overhead.
+
+use serde::Serialize;
+
+use crate::csrk::StsStructure;
+
+/// Parallelism statistics of one built structure.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ParallelismStats {
+    /// Number of packs (parallel steps).
+    pub num_packs: usize,
+    /// Mean number of solution components per pack.
+    pub mean_components_per_pack: f64,
+    /// Number of parallel tasks (super-rows) over all packs.
+    pub num_tasks: usize,
+    /// Total work (stored nonzeros).
+    pub total_work: usize,
+    /// Fraction of the total work contained in the 5 largest packs (0..=1).
+    pub work_fraction_top5: f64,
+}
+
+/// Computes the Figure-7/Figure-8 statistics of a structure.
+pub fn parallelism_stats(s: &StsStructure) -> ParallelismStats {
+    let num_packs = s.num_packs();
+    let components = s.components_per_pack();
+    let work = s.work_per_pack();
+    let total_work: usize = work.iter().sum();
+    ParallelismStats {
+        num_packs,
+        mean_components_per_pack: if num_packs == 0 {
+            0.0
+        } else {
+            components.iter().sum::<usize>() as f64 / num_packs as f64
+        },
+        num_tasks: s.num_super_rows(),
+        total_work,
+        work_fraction_top5: work_fraction_in_top_packs(s, 5),
+    }
+}
+
+/// Fraction of the total work (stored nonzeros) contained in the `top` largest
+/// packs, the quantity of Figure 8.
+pub fn work_fraction_in_top_packs(s: &StsStructure, top: usize) -> f64 {
+    let mut work = s.work_per_pack();
+    let total: usize = work.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    work.sort_unstable_by(|a, b| b.cmp(a));
+    let top_sum: usize = work.iter().take(top).sum();
+    top_sum as f64 / total as f64
+}
+
+/// Index of the pack computing the most solution components (ties broken by
+/// the earliest pack); `None` for an empty structure.
+pub fn largest_pack(s: &StsStructure) -> Option<usize> {
+    (0..s.num_packs()).max_by_key(|&p| (s.pack_rows(p).len(), usize::MAX - p))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::Method;
+    use sts_matrix::generators;
+
+    fn structures() -> (StsStructure, StsStructure) {
+        let a = generators::triangulated_grid(20, 20, 11).unwrap();
+        let l = generators::lower_operand(&a).unwrap();
+        (Method::CsrLs.build(&l, 8).unwrap(), Method::Sts3.build(&l, 8).unwrap())
+    }
+
+    #[test]
+    fn stats_are_internally_consistent() {
+        let (ls, sts) = structures();
+        for s in [&ls, &sts] {
+            let st = parallelism_stats(s);
+            assert_eq!(st.num_packs, s.num_packs());
+            assert_eq!(st.total_work, s.nnz());
+            assert!((st.mean_components_per_pack * st.num_packs as f64 - s.n() as f64).abs() < 1e-9);
+            assert!(st.work_fraction_top5 > 0.0 && st.work_fraction_top5 <= 1.0);
+        }
+    }
+
+    #[test]
+    fn coloring_concentrates_work_in_few_packs() {
+        // Figure 8: the 5 largest coloring packs hold the vast majority of the
+        // work; level-set packs hold a small fraction.
+        let (ls, sts) = structures();
+        let f_ls = work_fraction_in_top_packs(&ls, 5);
+        let f_sts = work_fraction_in_top_packs(&sts, 5);
+        assert!(f_sts > 0.9, "STS-3 top-5 packs should hold >90% of work, got {f_sts}");
+        assert!(f_sts > f_ls, "coloring should concentrate more work than level sets");
+    }
+
+    #[test]
+    fn coloring_has_fewer_packs_with_more_components_each() {
+        // Figure 7: the coloring cluster sits at few packs / many components,
+        // the level-set cluster at many packs / few components.
+        let (ls, sts) = structures();
+        let st_ls = parallelism_stats(&ls);
+        let st_sts = parallelism_stats(&sts);
+        assert!(st_sts.num_packs < st_ls.num_packs);
+        assert!(st_sts.mean_components_per_pack > st_ls.mean_components_per_pack);
+    }
+
+    #[test]
+    fn largest_pack_is_the_biggest_by_components() {
+        let (_, sts) = structures();
+        let p = largest_pack(&sts).unwrap();
+        let sizes = sts.components_per_pack();
+        assert_eq!(sizes[p], *sizes.iter().max().unwrap());
+    }
+
+    #[test]
+    fn top_fraction_with_more_packs_than_exist_is_one() {
+        let (_, sts) = structures();
+        assert!((work_fraction_in_top_packs(&sts, 10_000) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_structure_stats() {
+        let coo = sts_matrix::CooMatrix::new(0, 0);
+        let l = sts_matrix::LowerTriangularCsr::from_csr(&coo.to_csr()).unwrap();
+        let s = Method::Sts3.build(&l, 8).unwrap();
+        let st = parallelism_stats(&s);
+        assert_eq!(st.num_packs, 0);
+        assert_eq!(st.total_work, 0);
+        assert_eq!(largest_pack(&s), None);
+    }
+}

@@ -1,0 +1,387 @@
+//! The CSR-k structure: the reordered triangular operand plus its pack /
+//! super-row hierarchy.
+//!
+//! The storage follows Algorithm 1 of the paper. On top of the traditional
+//! CSR arrays of the operand (`index1`, `subscript1`, `valueL`, held in an
+//! [`LowerTriangularCsr`]), two extra index arrays describe the hierarchy:
+//!
+//! * `index3[p] .. index3[p+1]` — the super-rows of pack `p`;
+//! * `index2[s] .. index2[s+1]` — the rows of super-row `s`.
+//!
+//! Packs are executed one after another (with a barrier in between); the
+//! super-rows of a pack are independent tasks; the rows of a super-row are
+//! solved sequentially by whichever core owns the task.
+
+use sts_graph::Permutation;
+use sts_matrix::{LowerTriangularCsr, MatrixError};
+
+use crate::builder::Ordering;
+
+/// Result alias for the core crate.
+pub type Result<T> = std::result::Result<T, MatrixError>;
+
+/// The k-level reordered triangular system produced by
+/// [`StsBuilder`](crate::builder::StsBuilder).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StsStructure {
+    k: usize,
+    ordering: Ordering,
+    index3: Vec<usize>,
+    index2: Vec<usize>,
+    l: LowerTriangularCsr,
+    perm: Permutation,
+}
+
+impl StsStructure {
+    /// Assembles a structure from its parts, validating every invariant (see
+    /// [`StsStructure::validate`]).
+    pub fn new(
+        k: usize,
+        ordering: Ordering,
+        index3: Vec<usize>,
+        index2: Vec<usize>,
+        l: LowerTriangularCsr,
+        perm: Permutation,
+    ) -> Result<Self> {
+        let s = StsStructure { k, ordering, index3, index2, l, perm };
+        s.validate()?;
+        Ok(s)
+    }
+
+    /// The number of levels of sub-structuring (1 for the flat reference
+    /// methods, 3 for STS-3).
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The ordering (coloring or level-set) that produced the packs.
+    pub fn ordering(&self) -> Ordering {
+        self.ordering
+    }
+
+    /// Dimension of the system.
+    pub fn n(&self) -> usize {
+        self.l.n()
+    }
+
+    /// Stored nonzeros of the reordered operand.
+    pub fn nnz(&self) -> usize {
+        self.l.nnz()
+    }
+
+    /// The reordered triangular operand `L' = lower(P A Pᵀ)`.
+    pub fn lower(&self) -> &LowerTriangularCsr {
+        &self.l
+    }
+
+    /// The permutation `P` (new index → original index).
+    pub fn permutation(&self) -> &Permutation {
+        &self.perm
+    }
+
+    /// Number of packs (parallel steps separated by barriers).
+    pub fn num_packs(&self) -> usize {
+        self.index3.len() - 1
+    }
+
+    /// Number of super-rows (parallel tasks) over all packs.
+    pub fn num_super_rows(&self) -> usize {
+        self.index2.len() - 1
+    }
+
+    /// The `index3` array (pack → first super-row).
+    pub fn index3(&self) -> &[usize] {
+        &self.index3
+    }
+
+    /// The `index2` array (super-row → first row).
+    pub fn index2(&self) -> &[usize] {
+        &self.index2
+    }
+
+    /// The super-rows of pack `p`.
+    pub fn pack_super_rows(&self, p: usize) -> std::ops::Range<usize> {
+        self.index3[p]..self.index3[p + 1]
+    }
+
+    /// The rows of super-row `s`.
+    pub fn super_row_rows(&self, s: usize) -> std::ops::Range<usize> {
+        self.index2[s]..self.index2[s + 1]
+    }
+
+    /// The rows covered by pack `p`.
+    pub fn pack_rows(&self, p: usize) -> std::ops::Range<usize> {
+        self.index2[self.index3[p]]..self.index2[self.index3[p + 1]]
+    }
+
+    /// Number of solution components (rows) computed by each pack.
+    pub fn components_per_pack(&self) -> Vec<usize> {
+        (0..self.num_packs()).map(|p| self.pack_rows(p).len()).collect()
+    }
+
+    /// Work (stored nonzeros, i.e. fused multiply-adds) performed by each pack.
+    pub fn work_per_pack(&self) -> Vec<usize> {
+        (0..self.num_packs())
+            .map(|p| {
+                let rows = self.pack_rows(p);
+                self.l.row_ptr()[rows.end] - self.l.row_ptr()[rows.start]
+            })
+            .collect()
+    }
+
+    /// Solves the reordered system `L' x' = b'` sequentially, iterating packs,
+    /// super-rows and rows exactly as Algorithm 1 does with one thread.
+    pub fn solve_sequential(&self, b: &[f64]) -> Result<Vec<f64>> {
+        if b.len() != self.n() {
+            return Err(MatrixError::DimensionMismatch(format!(
+                "b has length {}, expected {}",
+                b.len(),
+                self.n()
+            )));
+        }
+        let mut x = vec![0.0; self.n()];
+        let row_ptr = self.l.row_ptr();
+        let col_idx = self.l.col_idx();
+        let values = self.l.values();
+        for p in 0..self.num_packs() {
+            for s in self.pack_super_rows(p) {
+                for i1 in self.super_row_rows(s) {
+                    let start = row_ptr[i1];
+                    let end = row_ptr[i1 + 1];
+                    let mut acc = 0.0;
+                    for k in start..end - 1 {
+                        acc += values[k] * x[col_idx[k]];
+                    }
+                    x[i1] = (b[i1] - acc) / values[end - 1];
+                }
+            }
+        }
+        Ok(x)
+    }
+
+    /// Solves the transposed (upper-triangular) system `L'ᵀ x' = b'`
+    /// sequentially.
+    ///
+    /// Together with [`StsStructure::solve_sequential`] this provides the
+    /// forward/backward sweep pair that symmetric Gauss–Seidel and incomplete
+    /// Cholesky preconditioners perform per iteration. The backward sweep is
+    /// mathematically equivalent to processing the packs in reverse order.
+    pub fn solve_transpose_sequential(&self, b: &[f64]) -> Result<Vec<f64>> {
+        self.l.solve_transpose_seq(b)
+    }
+
+    /// Maps a solution vector of the reordered system back to the original
+    /// row numbering (`result[original] = x_new[new]`).
+    pub fn scatter_to_original(&self, x_new: &[f64]) -> Vec<f64> {
+        self.perm.scatter_to_original(x_new)
+    }
+
+    /// Gathers a vector given in original numbering into the reordered
+    /// numbering (`result[new] = v[original]`).
+    pub fn gather_from_original(&self, v: &[f64]) -> Vec<f64> {
+        self.perm.apply_to_slice(v)
+    }
+
+    /// Validates every structural invariant:
+    ///
+    /// 1. `index3`/`index2` are monotone, start at 0 and end at the number of
+    ///    super-rows / rows respectively;
+    /// 2. the permutation has the right size;
+    /// 3. **pack independence** — no row depends (through a strictly-lower
+    ///    nonzero of `L'`) on a row of a *different* super-row of the same
+    ///    pack; dependencies must come from earlier packs or from earlier rows
+    ///    of the same super-row.
+    pub fn validate(&self) -> Result<()> {
+        let n = self.l.n();
+        if self.perm.len() != n {
+            return Err(MatrixError::InvalidStructure(format!(
+                "permutation length {} does not match n = {n}",
+                self.perm.len()
+            )));
+        }
+        check_monotone_cover(&self.index2, n, "index2")?;
+        check_monotone_cover(&self.index3, self.index2.len() - 1, "index3")?;
+        // Row → super-row and super-row → pack lookup tables.
+        let mut super_row_of = vec![0usize; n];
+        for s in 0..self.num_super_rows() {
+            for r in self.super_row_rows(s) {
+                super_row_of[r] = s;
+            }
+        }
+        let mut pack_of = vec![0usize; self.num_super_rows()];
+        for p in 0..self.num_packs() {
+            for s in self.pack_super_rows(p) {
+                pack_of[s] = p;
+            }
+        }
+        for i in 0..n {
+            let si = super_row_of[i];
+            for &j in self.l.row_off_diag_cols(i) {
+                let sj = super_row_of[j];
+                if sj == si {
+                    continue; // internal to the task: solved sequentially
+                }
+                if pack_of[sj] >= pack_of[si] {
+                    return Err(MatrixError::InvalidStructure(format!(
+                        "row {i} (pack {}) depends on row {j} (pack {}) which is not in an \
+                         earlier pack",
+                        pack_of[si], pack_of[sj]
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+fn check_monotone_cover(index: &[usize], total: usize, name: &str) -> Result<()> {
+    if index.is_empty() || index[0] != 0 {
+        return Err(MatrixError::InvalidStructure(format!("{name} must start at 0")));
+    }
+    if *index.last().unwrap() != total {
+        return Err(MatrixError::InvalidStructure(format!(
+            "{name} must end at {total}, got {}",
+            index.last().unwrap()
+        )));
+    }
+    if index.windows(2).any(|w| w[0] > w[1]) {
+        return Err(MatrixError::InvalidStructure(format!("{name} must be non-decreasing")));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sts_matrix::generators;
+
+    /// A hand-built flat structure over the Figure-1 example: each row is its
+    /// own super-row, packs = dependency levels.
+    fn figure1_flat_structure() -> StsStructure {
+        let l = generators::paper_figure1_l();
+        // Dependency levels of the example: {0,1,4}, {2,3}, {5}, {6}, {7}, {8}.
+        // Reorder rows level by level.
+        let order = vec![0usize, 1, 4, 2, 3, 5, 6, 7, 8];
+        let perm = Permutation::from_new_to_old(order).unwrap();
+        // Value-preserving symmetric permutation of the operand.
+        let lp = l.permute_symmetric(perm.new_to_old()).unwrap();
+        let index2: Vec<usize> = (0..=9).collect();
+        let index3 = vec![0, 3, 5, 6, 7, 8, 9];
+        StsStructure::new(1, Ordering::LevelSet, index3, index2, lp, perm).unwrap()
+    }
+
+    #[test]
+    fn flat_structure_reports_counts() {
+        let s = figure1_flat_structure();
+        assert_eq!(s.n(), 9);
+        assert_eq!(s.num_packs(), 6);
+        assert_eq!(s.num_super_rows(), 9);
+        assert_eq!(s.components_per_pack(), vec![3, 2, 1, 1, 1, 1]);
+        assert_eq!(s.work_per_pack().iter().sum::<usize>(), s.nnz());
+        assert_eq!(s.k(), 1);
+        assert_eq!(s.ordering(), Ordering::LevelSet);
+    }
+
+    #[test]
+    fn sequential_solve_matches_plain_forward_substitution() {
+        let s = figure1_flat_structure();
+        let x_true: Vec<f64> = (0..9).map(|i| 1.0 + i as f64 * 0.25).collect();
+        let b = s.lower().multiply(&x_true).unwrap();
+        let x = s.solve_sequential(&b).unwrap();
+        let x_ref = s.lower().solve_seq(&b).unwrap();
+        for ((a, b), c) in x.iter().zip(&x_ref).zip(&x_true) {
+            assert!((a - b).abs() < 1e-12);
+            assert!((a - c).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn solve_rejects_wrong_rhs_length() {
+        let s = figure1_flat_structure();
+        assert!(s.solve_sequential(&[1.0; 3]).is_err());
+        assert!(s.solve_transpose_sequential(&[1.0; 3]).is_err());
+    }
+
+    #[test]
+    fn forward_then_backward_sweep_inverts_the_normal_operator() {
+        // (L' L'ᵀ) x = b solved by a forward then a backward sweep.
+        let s = figure1_flat_structure();
+        let x_true: Vec<f64> = (0..9).map(|i| 0.5 + i as f64 * 0.1).collect();
+        let lt_x = s.lower().multiply_transpose(&x_true).unwrap();
+        let b = s.lower().multiply(&lt_x).unwrap();
+        let y = s.solve_sequential(&b).unwrap();
+        let x = s.solve_transpose_sequential(&y).unwrap();
+        for (a, b) in x.iter().zip(&x_true) {
+            assert!((a - b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn gather_and_scatter_roundtrip() {
+        let s = figure1_flat_structure();
+        let original: Vec<f64> = (0..9).map(|i| i as f64).collect();
+        let gathered = s.gather_from_original(&original);
+        let back = s.scatter_to_original(&gathered);
+        assert_eq!(back, original);
+        // The gathered vector is a genuine permutation of the original.
+        let mut sorted = gathered.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(sorted, original);
+    }
+
+    #[test]
+    fn validation_rejects_bad_index_arrays() {
+        let s = figure1_flat_structure();
+        let l = s.lower().clone();
+        let perm = s.permutation().clone();
+        // index2 not covering all rows
+        let bad = StsStructure::new(
+            1,
+            Ordering::LevelSet,
+            vec![0, 8],
+            (0..=8).collect(),
+            l.clone(),
+            perm.clone(),
+        );
+        assert!(bad.is_err());
+        // index3 not starting at zero
+        let bad = StsStructure::new(
+            1,
+            Ordering::LevelSet,
+            vec![1, 9],
+            (0..=9).collect(),
+            l,
+            perm,
+        );
+        assert!(bad.is_err());
+    }
+
+    #[test]
+    fn validation_rejects_intra_pack_dependencies() {
+        // Put every row of the Figure-1 example into one single pack with one
+        // row per super-row: rows 2..8 depend on earlier rows in the same
+        // pack, which must be rejected.
+        let l = generators::paper_figure1_l();
+        let perm = Permutation::identity(9);
+        let index2: Vec<usize> = (0..=9).collect();
+        let index3 = vec![0, 9];
+        let err = StsStructure::new(1, Ordering::Coloring, index3, index2, l, perm);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn single_pack_is_valid_when_rows_share_one_super_row() {
+        // The same rows are fine if they form ONE super-row (sequential task).
+        let l = generators::paper_figure1_l();
+        let perm = Permutation::identity(9);
+        let index2 = vec![0, 9];
+        let index3 = vec![0, 1];
+        let s = StsStructure::new(3, Ordering::Coloring, index3, index2, l, perm).unwrap();
+        assert_eq!(s.num_packs(), 1);
+        assert_eq!(s.num_super_rows(), 1);
+        let b = vec![1.0; 9];
+        let x = s.solve_sequential(&b).unwrap();
+        let x_ref = s.lower().solve_seq(&b).unwrap();
+        assert_eq!(x, x_ref);
+    }
+}

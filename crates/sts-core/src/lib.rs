@@ -1,0 +1,47 @@
+//! STS-k: a multilevel sparse triangular solution scheme for NUMA multicores.
+//!
+//! This crate implements the paper's contribution on top of the substrate
+//! crates (`sts-matrix`, `sts-graph`, `sts-numa`, `sts-sched`):
+//!
+//! * [`csrk`] — the k-level CSR-k structure (`index3`/`index2`/`index1`) that
+//!   stores the reordered triangular operand together with its pack /
+//!   super-row hierarchy, plus the sequential reference solve (Algorithm 1);
+//! * [`pack`] — pack construction on the (coarse) graph by greedy coloring or
+//!   dependency level sets, ordered by increasing size;
+//! * [`reorder`] — the within-pack DAR reordering (RCM on the data-affinity
+//!   graph) that exposes line-graph structure for cache reuse;
+//! * [`builder`] — the [`StsBuilder`] pipeline and the four named methods of
+//!   the evaluation (`CSR-LS`, `CSR-COL`, `CSR-3-LS`, `STS-3`);
+//! * [`solver`] — the threaded pack-parallel solver (worker pool + barriers)
+//!   and a schedule-only level-scheduled solver for callers who cannot
+//!   reorder their system;
+//! * [`exec`] — the simulated NUMA executor that prices a solve on a modelled
+//!   machine (the paper's 32-core Intel and 24-core AMD nodes), used by the
+//!   figure harnesses;
+//! * [`analysis`] — the parallelism and work-distribution statistics behind
+//!   Figures 7 and 8.
+//!
+//! # Semantics of the reordering
+//!
+//! Like the paper (and like coloring-based triangular solves in general), the
+//! builder *reorders the system symmetrically*: from the input operand `L` it
+//! forms `A = L + Lᵀ` (keeping `L`'s diagonal), applies the computed
+//! permutation `P`, and the structure solves the reordered system
+//! `lower(P A Pᵀ) · x' = b'`. This matches the intended use in iterative
+//! solvers, where the application permutes its matrix once and then performs
+//! many triangular solves in the new ordering. Callers who must solve a fixed
+//! `L x = b` without reordering can use
+//! [`solver::LevelScheduledSolver`], which schedules the original system.
+
+pub mod analysis;
+pub mod builder;
+pub mod csrk;
+pub mod exec;
+pub mod pack;
+pub mod reorder;
+pub mod solver;
+
+pub use builder::{Method, Ordering, StsBuilder, SuperRowSizing};
+pub use csrk::StsStructure;
+pub use exec::simulated::{SimReport, SimSchedule, SimulatedExecutor, SimulationParams};
+pub use solver::parallel::ParallelSolver;

@@ -1,0 +1,190 @@
+//! Pack construction: partitioning (super-)rows into independent sets.
+//!
+//! A *pack* is a set of super-rows that can be processed concurrently once all
+//! earlier packs are done (Section 3.2). Packs are obtained either by greedy
+//! coloring of the (coarse) undirected graph — no two adjacent super-rows
+//! share a color, hence no dependencies inside a pack — or by dependency
+//! level sets of the super-row DAG. Packs are then ordered by increasing size
+//! (number of unknowns) as the paper proposes, which places the small,
+//! latency-bound packs first and lets the large packs reuse the most recently
+//! produced components.
+
+use sts_graph::{Coloring, ColoringOrder, Graph, LevelSets};
+
+/// An ordered partition of entities (rows or super-rows) into packs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Packs {
+    packs: Vec<Vec<usize>>,
+}
+
+impl Packs {
+    /// Builds packs as the color classes of a greedy coloring of `graph`.
+    pub fn by_coloring(graph: &Graph, order: ColoringOrder) -> Packs {
+        let coloring = Coloring::greedy(graph, order);
+        Packs { packs: coloring.classes() }
+    }
+
+    /// Builds packs as the dependency levels of a DAG given by per-entity
+    /// predecessor lists (every predecessor index must be smaller than its
+    /// entity, see [`LevelSets::from_predecessors`]).
+    pub fn by_level_set(preds: &[Vec<usize>]) -> Packs {
+        let levels = LevelSets::from_predecessors(preds);
+        Packs { packs: levels.levels().to_vec() }
+    }
+
+    /// Builds packs directly from an explicit partition (used by tests).
+    pub fn from_partition(packs: Vec<Vec<usize>>) -> Packs {
+        Packs { packs }
+    }
+
+    /// Number of packs.
+    pub fn num_packs(&self) -> usize {
+        self.packs.len()
+    }
+
+    /// The entities of pack `p`.
+    pub fn pack(&self, p: usize) -> &[usize] {
+        &self.packs[p]
+    }
+
+    /// All packs in execution order.
+    pub fn all(&self) -> &[Vec<usize>] {
+        &self.packs
+    }
+
+    /// Total number of entities across packs.
+    pub fn num_entities(&self) -> usize {
+        self.packs.iter().map(|p| p.len()).sum()
+    }
+
+    /// Sorts the packs by increasing size, where the size of a pack is the sum
+    /// of `entity_size` over its members (the number of unknowns it computes).
+    /// Ties are broken by the original pack index so the ordering is stable.
+    pub fn order_by_increasing_size(&mut self, entity_size: &[usize]) {
+        let mut keyed: Vec<(usize, usize, Vec<usize>)> = self
+            .packs
+            .drain(..)
+            .enumerate()
+            .map(|(idx, pack)| {
+                let size: usize = pack.iter().map(|&e| entity_size[e]).sum();
+                (size, idx, pack)
+            })
+            .collect();
+        keyed.sort_by_key(|&(size, idx, _)| (size, idx));
+        self.packs = keyed.into_iter().map(|(_, _, pack)| pack).collect();
+    }
+
+    /// Verifies that no two entities in the same pack are adjacent in `graph`
+    /// (the coloring invariant).
+    pub fn is_independent(&self, graph: &Graph) -> bool {
+        self.packs.iter().all(|pack| {
+            pack.iter().all(|&a| {
+                graph.neighbors(a).iter().all(|&b| !pack.contains(&b))
+            })
+        })
+    }
+
+    /// Verifies that every predecessor of every entity lies in a strictly
+    /// earlier pack (the schedulability invariant for level sets *and* for
+    /// coloring after the symmetric reordering).
+    pub fn respects_dependencies(&self, preds: &[Vec<usize>]) -> bool {
+        let mut pack_of = vec![usize::MAX; preds.len()];
+        for (p, pack) in self.packs.iter().enumerate() {
+            for &e in pack {
+                pack_of[e] = p;
+            }
+        }
+        if pack_of.iter().any(|&p| p == usize::MAX) {
+            return false;
+        }
+        preds
+            .iter()
+            .enumerate()
+            .all(|(e, pe)| pe.iter().all(|&d| pack_of[d] < pack_of[e]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sts_matrix::generators;
+
+    fn figure1_graph() -> Graph {
+        Graph::from_lower_triangular(&generators::paper_figure1_l())
+    }
+
+    #[test]
+    fn coloring_packs_are_independent_sets() {
+        let g = figure1_graph();
+        let packs = Packs::by_coloring(&g, ColoringOrder::LargestDegreeFirst);
+        assert!(packs.is_independent(&g));
+        assert_eq!(packs.num_entities(), 9);
+        assert!((2..=4).contains(&packs.num_packs()));
+    }
+
+    #[test]
+    fn level_set_packs_respect_dependencies() {
+        let l = generators::paper_figure1_l();
+        let preds: Vec<Vec<usize>> =
+            (0..l.n()).map(|i| l.row_off_diag_cols(i).to_vec()).collect();
+        let packs = Packs::by_level_set(&preds);
+        assert_eq!(packs.num_packs(), 6);
+        assert!(packs.respects_dependencies(&preds));
+        assert_eq!(packs.num_entities(), 9);
+    }
+
+    #[test]
+    fn ordering_by_size_is_monotone_and_stable() {
+        let mut packs = Packs::from_partition(vec![vec![0, 1, 2], vec![3], vec![4, 5], vec![6]]);
+        let sizes = vec![1usize; 7];
+        packs.order_by_increasing_size(&sizes);
+        let sizes_after: Vec<usize> = packs.all().iter().map(|p| p.len()).collect();
+        assert_eq!(sizes_after, vec![1, 1, 2, 3]);
+        // Stability: the singleton pack {3} (original index 1) precedes {6}.
+        assert_eq!(packs.pack(0), &[3]);
+        assert_eq!(packs.pack(1), &[6]);
+    }
+
+    #[test]
+    fn ordering_uses_entity_sizes_not_counts() {
+        let mut packs = Packs::from_partition(vec![vec![0], vec![1, 2]]);
+        // Entity 0 is huge, entities 1 and 2 are tiny.
+        packs.order_by_increasing_size(&[100, 1, 1]);
+        assert_eq!(packs.pack(0), &[1, 2]);
+        assert_eq!(packs.pack(1), &[0]);
+    }
+
+    #[test]
+    fn independence_check_detects_adjacent_pairs() {
+        let g = figure1_graph();
+        // Rows 0 and 2 are adjacent in the Figure-1 graph.
+        let packs = Packs::from_partition(vec![vec![0, 2], (1..9).filter(|&v| v != 2).collect()]);
+        assert!(!packs.is_independent(&g));
+    }
+
+    #[test]
+    fn respects_dependencies_detects_missing_entities() {
+        let preds = vec![vec![], vec![0]];
+        let packs = Packs::from_partition(vec![vec![0]]);
+        assert!(!packs.respects_dependencies(&preds));
+    }
+
+    #[test]
+    fn coloring_on_coarse_graph_gives_fewer_packs_than_levels_on_rows() {
+        // The headline observation of Figure 7 at miniature scale: coloring
+        // produces far fewer packs than level sets.
+        let a = generators::triangulated_grid(16, 16, 5).unwrap();
+        let l = generators::lower_operand(&a).unwrap();
+        let g = Graph::from_lower_triangular(&l);
+        let color_packs = Packs::by_coloring(&g, ColoringOrder::LargestDegreeFirst);
+        let preds: Vec<Vec<usize>> =
+            (0..l.n()).map(|i| l.row_off_diag_cols(i).to_vec()).collect();
+        let ls_packs = Packs::by_level_set(&preds);
+        assert!(
+            color_packs.num_packs() * 3 < ls_packs.num_packs(),
+            "coloring ({}) should need far fewer packs than level sets ({})",
+            color_packs.num_packs(),
+            ls_packs.num_packs()
+        );
+    }
+}

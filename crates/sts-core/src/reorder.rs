@@ -1,0 +1,189 @@
+//! Within-pack reordering through the Data Affinity and Reuse graph.
+//!
+//! Section 3.4: for a pack `P_k`, the DAR graph connects two super-rows when
+//! they consume the same solution component from an earlier pack. Reordering
+//! the super-rows of the pack with RCM on that graph (equivalently, on the
+//! implicit matrix `Âk`) makes the DAR approach a line graph, so that
+//! consecutive tasks — which the block/guided schedule places on the same
+//! core — share their inputs through that core's cache.
+
+use sts_graph::{rcm, Graph};
+use sts_matrix::LowerTriangularCsr;
+use sts_sched::DarGraph;
+
+/// Computes, for every super-row (given as its list of row indices in the
+/// current numbering), the set of *external* inputs: strictly-lower columns
+/// referenced by its rows that belong to a different super-row. These are the
+/// `DX` sets of the paper, restricted to components produced outside the task.
+pub fn super_row_inputs(l: &LowerTriangularCsr, groups: &[Vec<usize>]) -> Vec<Vec<usize>> {
+    let mut group_of = vec![usize::MAX; l.n()];
+    for (s, g) in groups.iter().enumerate() {
+        for &r in g {
+            group_of[r] = s;
+        }
+    }
+    groups
+        .iter()
+        .enumerate()
+        .map(|(s, g)| {
+            let mut inputs: Vec<usize> = g
+                .iter()
+                .flat_map(|&r| l.row_off_diag_cols(r).iter().copied())
+                .filter(|&c| group_of[c] != s)
+                .collect();
+            inputs.sort_unstable();
+            inputs.dedup();
+            inputs
+        })
+        .collect()
+}
+
+/// Builds the DAR graph of one pack. `pack` lists the super-rows of the pack;
+/// `inputs[s]` is the external input set of super-row `s` (over all
+/// super-rows, as returned by [`super_row_inputs`]). Task `t` of the result
+/// corresponds to `pack[t]`.
+pub fn pack_dar(pack: &[usize], inputs: &[Vec<usize>]) -> DarGraph {
+    DarGraph::from_inputs(pack.iter().map(|&s| inputs[s].clone()).collect())
+}
+
+/// Reorders the super-rows of a pack by RCM on its DAR graph and returns the
+/// pack's super-rows in the new order. Packs whose DAR has no edges keep
+/// their original order.
+pub fn reorder_pack_by_dar(pack: &[usize], inputs: &[Vec<usize>]) -> Vec<usize> {
+    if pack.len() <= 2 {
+        return pack.to_vec();
+    }
+    let dar = pack_dar(pack, inputs);
+    if dar.num_edges() == 0 {
+        return pack.to_vec();
+    }
+    let graph = dar_to_graph(&dar);
+    let perm = rcm::reverse_cuthill_mckee(&graph);
+    perm.new_to_old().iter().map(|&t| pack[t]).collect()
+}
+
+/// Converts a DAR graph into an `sts-graph` adjacency graph (unit weights) so
+/// the generic RCM implementation can be reused.
+pub fn dar_to_graph(dar: &DarGraph) -> Graph {
+    let n = dar.num_tasks();
+    let mut adj_ptr = Vec::with_capacity(n + 1);
+    let mut adj = Vec::new();
+    adj_ptr.push(0);
+    for t in 0..n {
+        adj.extend_from_slice(dar.neighbors(t));
+        adj_ptr.push(adj.len());
+    }
+    Graph::from_raw(adj_ptr, adj, vec![1; n])
+}
+
+/// A measure of how "line-like" an ordered pack is: the fraction of
+/// consecutive task pairs that share at least one input. The paper's
+/// restructuring aims to drive this toward 1.
+pub fn consecutive_sharing_fraction(ordered_pack: &[usize], inputs: &[Vec<usize>]) -> f64 {
+    if ordered_pack.len() < 2 {
+        return 1.0;
+    }
+    let shares = ordered_pack
+        .windows(2)
+        .filter(|w| {
+            let a = &inputs[w[0]];
+            let b = &inputs[w[1]];
+            // both sorted: linear intersection test
+            let (mut i, mut j) = (0, 0);
+            while i < a.len() && j < b.len() {
+                match a[i].cmp(&b[j]) {
+                    std::cmp::Ordering::Equal => return true,
+                    std::cmp::Ordering::Less => i += 1,
+                    std::cmp::Ordering::Greater => j += 1,
+                }
+            }
+            false
+        })
+        .count();
+    shares as f64 / (ordered_pack.len() - 1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sts_matrix::generators;
+
+    #[test]
+    fn super_row_inputs_exclude_internal_columns() {
+        let l = generators::paper_figure1_l();
+        // Two super-rows: {0..4} and {5..8}.
+        let groups = vec![(0..5).collect::<Vec<_>>(), (5..9).collect::<Vec<_>>()];
+        let inputs = super_row_inputs(&l, &groups);
+        // Super-row 0 contains rows 0..4 whose dependencies (0,1) are internal.
+        assert!(inputs[0].is_empty());
+        // Super-row 1 rows: 5 deps {2,3}, 6 deps {3,4,5}, 7 deps {4,6}, 8 deps
+        // {0,1,7}; external = {0,1,2,3,4}.
+        assert_eq!(inputs[1], vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn pack_dar_links_tasks_sharing_inputs() {
+        let inputs = vec![vec![10, 11], vec![11, 12], vec![20]];
+        let dar = pack_dar(&[0, 1, 2], &inputs);
+        assert_eq!(dar.num_edges(), 1);
+        assert!(dar.neighbors(0).contains(&1));
+        assert!(dar.neighbors(2).is_empty());
+    }
+
+    #[test]
+    fn reorder_recovers_a_line_from_a_shuffled_chain() {
+        // Tasks form a chain 0-1-2-3-4 via shared inputs, but the pack lists
+        // them shuffled. RCM on the DAR must put chain neighbours next to each
+        // other, maximising consecutive sharing.
+        let inputs = vec![
+            vec![0, 1], // task 0
+            vec![1, 2], // task 1
+            vec![2, 3], // task 2
+            vec![3, 4], // task 3
+            vec![4, 5], // task 4
+        ];
+        let pack = vec![2usize, 0, 4, 1, 3];
+        let before = consecutive_sharing_fraction(&pack, &inputs);
+        let reordered = reorder_pack_by_dar(&pack, &inputs);
+        let after = consecutive_sharing_fraction(&reordered, &inputs);
+        assert!(after > before, "sharing fraction should improve: {before} -> {after}");
+        assert!((after - 1.0).abs() < 1e-12, "a chain must become a perfect line, got {after}");
+        // Same multiset of tasks.
+        let mut sorted = reordered.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn packs_without_sharing_keep_their_order() {
+        let inputs = vec![vec![0], vec![1], vec![2], vec![3]];
+        let pack = vec![3usize, 1, 0, 2];
+        assert_eq!(reorder_pack_by_dar(&pack, &inputs), pack);
+    }
+
+    #[test]
+    fn tiny_packs_are_returned_unchanged() {
+        let inputs = vec![vec![0], vec![0]];
+        assert_eq!(reorder_pack_by_dar(&[1, 0], &inputs), vec![1, 0]);
+        assert_eq!(reorder_pack_by_dar(&[], &inputs), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn sharing_fraction_edge_cases() {
+        let inputs = vec![vec![1], vec![1]];
+        assert_eq!(consecutive_sharing_fraction(&[0], &inputs), 1.0);
+        assert_eq!(consecutive_sharing_fraction(&[0, 1], &inputs), 1.0);
+        let disjoint = vec![vec![1], vec![2]];
+        assert_eq!(consecutive_sharing_fraction(&[0, 1], &disjoint), 0.0);
+    }
+
+    #[test]
+    fn dar_to_graph_preserves_degrees() {
+        let dar = DarGraph::line(6);
+        let g = dar_to_graph(&dar);
+        assert_eq!(g.n(), 6);
+        assert_eq!(g.num_edges(), 5);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(3), 2);
+    }
+}

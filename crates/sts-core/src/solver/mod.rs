@@ -1,0 +1,15 @@
+//! Triangular solvers on top of the STS-k structure.
+//!
+//! * [`parallel`] — the pack-parallel solver: one `parallel_for` over the
+//!   super-rows of each pack on a persistent (optionally pinned) worker pool,
+//!   a barrier between packs; this is Algorithm 1 executed with threads.
+//! * [`scheduled`] — a schedule-only level-scheduled solver for callers who
+//!   must solve their original `L x = b` without any reordering (classical
+//!   Saltz level scheduling); it shares no storage transformation with STS-k
+//!   and serves as an additional baseline.
+
+pub mod parallel;
+pub mod scheduled;
+
+pub use parallel::ParallelSolver;
+pub use scheduled::LevelScheduledSolver;

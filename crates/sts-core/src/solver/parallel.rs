@@ -1,0 +1,234 @@
+//! The pack-parallel triangular solver.
+//!
+//! For each pack, the super-rows are distributed over the worker pool with the
+//! configured OpenMP-style schedule (the paper uses `dynamic,32` for the flat
+//! methods and `guided,1` for the 3-level methods); the pool's completion
+//! acts as the inter-pack barrier. Rows inside a super-row are solved
+//! sequentially by the owning worker.
+//!
+//! # Data-race freedom
+//!
+//! The solution vector is shared mutably across workers through a small
+//! `UnsafeCell` wrapper. This is sound because:
+//!
+//! * every row index is written by exactly one super-row, and every super-row
+//!   is executed by exactly one worker within its pack;
+//! * a row only *reads* components written either by earlier rows of the same
+//!   super-row (same worker, program order) or by rows of earlier packs
+//!   (separated by the pool's completion barrier, which synchronises memory);
+//! * [`StsStructure::validate`] enforces exactly this dependency discipline at
+//!   construction time.
+
+use sts_matrix::MatrixError;
+use sts_numa::{Schedule, WorkerPool};
+
+use crate::csrk::{Result, StsStructure};
+
+/// Shared mutable solution vector; see the module documentation for the
+/// aliasing discipline that makes this sound.
+pub(crate) struct SharedVec {
+    ptr: *mut f64,
+    len: usize,
+}
+
+unsafe impl Sync for SharedVec {}
+
+impl SharedVec {
+    /// Wraps a vector for shared mutable access; the vector must outlive every
+    /// use of the wrapper.
+    pub(crate) fn new(v: &mut [f64]) -> Self {
+        SharedVec { ptr: v.as_mut_ptr(), len: v.len() }
+    }
+
+    /// # Safety
+    /// Caller must guarantee the index is in bounds and not concurrently
+    /// accessed by another thread.
+    pub(crate) unsafe fn write(&self, idx: usize, value: f64) {
+        debug_assert!(idx < self.len);
+        *self.ptr.add(idx) = value;
+    }
+
+    /// # Safety
+    /// Caller must guarantee the index is in bounds and not concurrently
+    /// written by another thread.
+    pub(crate) unsafe fn read(&self, idx: usize) -> f64 {
+        debug_assert!(idx < self.len);
+        *self.ptr.add(idx)
+    }
+}
+
+/// A reusable parallel solver bound to a worker pool.
+pub struct ParallelSolver {
+    pool: WorkerPool,
+    schedule: Schedule,
+}
+
+impl ParallelSolver {
+    /// Creates a solver that runs on `threads` unpinned workers with the given
+    /// intra-pack schedule.
+    pub fn new(threads: usize, schedule: Schedule) -> Self {
+        ParallelSolver { pool: WorkerPool::new(threads), schedule }
+    }
+
+    /// Creates a solver whose workers are pinned to the given core order
+    /// (typically [`NumaTopology::compact_core_order`]).
+    ///
+    /// [`NumaTopology::compact_core_order`]:
+    ///     sts_numa::NumaTopology::compact_core_order
+    pub fn with_pinning(threads: usize, schedule: Schedule, core_order: &[usize]) -> Self {
+        ParallelSolver { pool: WorkerPool::with_pinning(threads, core_order), schedule }
+    }
+
+    /// Number of worker threads.
+    pub fn num_threads(&self) -> usize {
+        self.pool.num_threads()
+    }
+
+    /// The intra-pack schedule in use.
+    pub fn schedule(&self) -> Schedule {
+        self.schedule
+    }
+
+    /// Solves the reordered system `L' x' = b'` in parallel and returns `x'`.
+    pub fn solve(&self, s: &StsStructure, b: &[f64]) -> Result<Vec<f64>> {
+        if b.len() != s.n() {
+            return Err(MatrixError::DimensionMismatch(format!(
+                "b has length {}, expected {}",
+                b.len(),
+                s.n()
+            )));
+        }
+        let mut x = vec![0.0f64; s.n()];
+        {
+            let shared = SharedVec::new(&mut x);
+            let l = s.lower();
+            let row_ptr = l.row_ptr();
+            let col_idx = l.col_idx();
+            let values = l.values();
+            for p in 0..s.num_packs() {
+                let pack = s.pack_super_rows(p);
+                let first_super_row = pack.start;
+                let pack_len = pack.len();
+                self.pool.parallel_for(pack_len, self.schedule, &|t| {
+                    let sr = first_super_row + t;
+                    for i1 in s.super_row_rows(sr) {
+                        let start = row_ptr[i1];
+                        let end = row_ptr[i1 + 1];
+                        let mut acc = 0.0;
+                        for k in start..end - 1 {
+                            // SAFETY: column k refers either to an earlier pack
+                            // (completed before this pack started) or to an
+                            // earlier row of this same super-row (written by
+                            // this worker earlier in this closure).
+                            acc += values[k] * unsafe { shared.read(col_idx[k]) };
+                        }
+                        // SAFETY: row i1 belongs to exactly one super-row,
+                        // executed by exactly one worker.
+                        unsafe { shared.write(i1, (b[i1] - acc) / values[end - 1]) };
+                    }
+                });
+            }
+        }
+        Ok(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::Method;
+    use sts_matrix::{generators, ops};
+
+    fn check_parallel_matches_sequential(
+        a: &sts_matrix::CsrMatrix,
+        method: Method,
+        threads: usize,
+        schedule: Schedule,
+    ) {
+        let l = generators::lower_operand(a).unwrap();
+        let s = method.build(&l, 8).unwrap();
+        let x_true: Vec<f64> = (0..s.n()).map(|i| 1.0 + (i % 5) as f64 * 0.3).collect();
+        let b = s.lower().multiply(&x_true).unwrap();
+        let seq = s.solve_sequential(&b).unwrap();
+        let solver = ParallelSolver::new(threads, schedule);
+        let par = solver.solve(&s, &b).unwrap();
+        assert!(ops::relative_error_inf(&par, &seq) < 1e-12, "parallel must match sequential");
+        assert!(ops::relative_error_inf(&par, &x_true) < 1e-10);
+    }
+
+    #[test]
+    fn parallel_matches_sequential_for_all_methods() {
+        let a = generators::triangulated_grid(14, 14, 2).unwrap();
+        for method in Method::all() {
+            check_parallel_matches_sequential(&a, method, 4, Schedule::Dynamic { chunk: 4 });
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential_across_schedules() {
+        let a = generators::grid2d_9point(13, 13).unwrap();
+        for schedule in [
+            Schedule::Static,
+            Schedule::Dynamic { chunk: 1 },
+            Schedule::Dynamic { chunk: 32 },
+            Schedule::Guided { min_chunk: 1 },
+        ] {
+            check_parallel_matches_sequential(&a, Method::Sts3, 4, schedule);
+        }
+    }
+
+    #[test]
+    fn single_threaded_solver_works() {
+        let a = generators::road_network(12, 12, 0.6, 4).unwrap();
+        check_parallel_matches_sequential(&a, Method::CsrCol, 1, Schedule::Static);
+    }
+
+    #[test]
+    fn more_threads_than_tasks_is_fine() {
+        let l = generators::paper_figure1_l();
+        let s = Method::Sts3.build(&l, 2).unwrap();
+        let b = vec![1.0; 9];
+        let solver = ParallelSolver::new(8, Schedule::Guided { min_chunk: 1 });
+        let x = solver.solve(&s, &b).unwrap();
+        let x_ref = s.solve_sequential(&b).unwrap();
+        assert!(ops::relative_error_inf(&x, &x_ref) < 1e-14);
+    }
+
+    #[test]
+    fn wrong_rhs_length_is_rejected() {
+        let l = generators::paper_figure1_l();
+        let s = Method::CsrLs.build(&l, 2).unwrap();
+        let solver = ParallelSolver::new(2, Schedule::Static);
+        assert!(solver.solve(&s, &[1.0; 4]).is_err());
+    }
+
+    #[test]
+    fn solver_is_reusable_across_structures_and_right_hand_sides() {
+        let solver = ParallelSolver::new(3, Schedule::Dynamic { chunk: 2 });
+        for seed in 0..3 {
+            let a = generators::triangulated_grid(9, 9, seed).unwrap();
+            let l = generators::lower_operand(&a).unwrap();
+            let s = Method::Sts3.build(&l, 4).unwrap();
+            for shift in 0..3 {
+                let x_true: Vec<f64> = (0..s.n()).map(|i| (i + shift) as f64 * 0.1 + 1.0).collect();
+                let b = s.lower().multiply(&x_true).unwrap();
+                let x = solver.solve(&s, &b).unwrap();
+                assert!(ops::relative_error_inf(&x, &x_true) < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn pinned_solver_solves_correctly() {
+        let topo = sts_numa::NumaTopology::detect_host();
+        let order = topo.compact_core_order(2);
+        let a = generators::grid2d_laplacian(10, 10).unwrap();
+        let l = generators::lower_operand(&a).unwrap();
+        let s = Method::Sts3.build(&l, 4).unwrap();
+        let solver = ParallelSolver::with_pinning(2, Schedule::Guided { min_chunk: 1 }, &order);
+        let x_true = vec![2.0; s.n()];
+        let b = s.lower().multiply(&x_true).unwrap();
+        let x = solver.solve(&s, &b).unwrap();
+        assert!(ops::relative_error_inf(&x, &x_true) < 1e-10);
+    }
+}

@@ -1,0 +1,250 @@
+//! Undirected adjacency graphs in CSR form.
+//!
+//! A [`Graph`] is the structure-only view of a symmetric sparse matrix: the
+//! vertex set is the row set, and an edge `{u, v}` exists when `A[u][v] != 0`
+//! for `u != v` (the diagonal never contributes an edge). This is the graph
+//! `G1` of the paper when built from `A = L + Lᵀ`, and the graph `G2` when
+//! built by [`coarsening`](crate::coarsen) `G1`.
+
+use sts_matrix::{CsrMatrix, LowerTriangularCsr};
+
+/// An undirected graph stored as CSR adjacency lists with per-vertex weights.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Graph {
+    adj_ptr: Vec<usize>,
+    adj: Vec<usize>,
+    /// Per-vertex weight; for `G1` this is the number of nonzeros of the row
+    /// of `L`, for coarse graphs it is the sum over the constituent rows.
+    weights: Vec<usize>,
+}
+
+impl Graph {
+    /// Builds a graph from raw CSR adjacency arrays.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if the arrays are inconsistent; callers inside
+    /// this crate construct them correctly by design.
+    pub fn from_raw(adj_ptr: Vec<usize>, adj: Vec<usize>, weights: Vec<usize>) -> Self {
+        debug_assert_eq!(adj_ptr.len(), weights.len() + 1);
+        debug_assert_eq!(*adj_ptr.last().unwrap_or(&0), adj.len());
+        Graph { adj_ptr, adj, weights }
+    }
+
+    /// Builds the graph of a symmetric matrix (edges = off-diagonal entries).
+    /// Vertex weights are the row nonzero counts of the matrix.
+    pub fn from_symmetric_csr(a: &CsrMatrix) -> Self {
+        assert_eq!(a.nrows(), a.ncols(), "graph requires a square matrix");
+        let n = a.nrows();
+        let mut adj_ptr = Vec::with_capacity(n + 1);
+        let mut adj = Vec::with_capacity(a.nnz());
+        let mut weights = Vec::with_capacity(n);
+        adj_ptr.push(0);
+        for r in 0..n {
+            for &c in a.row_cols(r) {
+                if c != r {
+                    adj.push(c);
+                }
+            }
+            weights.push(a.row_nnz(r));
+            adj_ptr.push(adj.len());
+        }
+        Graph { adj_ptr, adj, weights }
+    }
+
+    /// Builds `G1 = G(L + Lᵀ)` directly from a lower-triangular operand
+    /// without materialising the symmetric matrix values.
+    pub fn from_lower_triangular(l: &LowerTriangularCsr) -> Self {
+        let n = l.n();
+        // Count the degree of each vertex: each strictly-lower entry (i, j)
+        // contributes an edge {i, j}.
+        let mut degree = vec![0usize; n];
+        for i in 0..n {
+            for &j in l.row_off_diag_cols(i) {
+                degree[i] += 1;
+                degree[j] += 1;
+            }
+        }
+        let mut adj_ptr = vec![0usize; n + 1];
+        for i in 0..n {
+            adj_ptr[i + 1] = adj_ptr[i] + degree[i];
+        }
+        let mut adj = vec![0usize; adj_ptr[n]];
+        let mut next = adj_ptr.clone();
+        for i in 0..n {
+            for &j in l.row_off_diag_cols(i) {
+                adj[next[i]] = j;
+                next[i] += 1;
+                adj[next[j]] = i;
+                next[j] += 1;
+            }
+        }
+        // Sort each adjacency list so neighbour iteration is deterministic.
+        for i in 0..n {
+            adj[adj_ptr[i]..adj_ptr[i + 1]].sort_unstable();
+        }
+        let weights = (0..n).map(|i| l.row_nnz(i)).collect();
+        Graph { adj_ptr, adj, weights }
+    }
+
+    /// Number of vertices.
+    pub fn n(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Number of undirected edges.
+    pub fn num_edges(&self) -> usize {
+        self.adj.len() / 2
+    }
+
+    /// Neighbours of vertex `v` (sorted, without `v` itself).
+    pub fn neighbors(&self, v: usize) -> &[usize] {
+        &self.adj[self.adj_ptr[v]..self.adj_ptr[v + 1]]
+    }
+
+    /// Degree of vertex `v`.
+    pub fn degree(&self, v: usize) -> usize {
+        self.adj_ptr[v + 1] - self.adj_ptr[v]
+    }
+
+    /// Weight of vertex `v`.
+    pub fn weight(&self, v: usize) -> usize {
+        self.weights[v]
+    }
+
+    /// All vertex weights.
+    pub fn weights(&self) -> &[usize] {
+        &self.weights
+    }
+
+    /// The vertex of maximum degree (ties broken by lowest index); `None` for
+    /// an empty graph.
+    pub fn max_degree_vertex(&self) -> Option<usize> {
+        (0..self.n()).max_by_key(|&v| (self.degree(v), usize::MAX - v))
+    }
+
+    /// Maximum degree over all vertices (0 for the empty graph).
+    pub fn max_degree(&self) -> usize {
+        (0..self.n()).map(|v| self.degree(v)).max().unwrap_or(0)
+    }
+
+    /// True when `{u, v}` is an edge.
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        self.neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// Applies a symmetric relabelling: vertex `new` of the result corresponds
+    /// to vertex `perm[new]` of `self` (`perm` maps new → old).
+    pub fn permute(&self, perm: &[usize]) -> Graph {
+        assert_eq!(perm.len(), self.n());
+        let n = self.n();
+        let mut inv = vec![0usize; n];
+        for (new, &old) in perm.iter().enumerate() {
+            inv[old] = new;
+        }
+        let mut adj_ptr = Vec::with_capacity(n + 1);
+        let mut adj = Vec::with_capacity(self.adj.len());
+        let mut weights = Vec::with_capacity(n);
+        adj_ptr.push(0);
+        for new in 0..n {
+            let old = perm[new];
+            let mut nb: Vec<usize> = self.neighbors(old).iter().map(|&o| inv[o]).collect();
+            nb.sort_unstable();
+            adj.extend_from_slice(&nb);
+            weights.push(self.weights[old]);
+            adj_ptr.push(adj.len());
+        }
+        Graph { adj_ptr, adj, weights }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sts_matrix::generators;
+
+    fn figure1_graph() -> Graph {
+        Graph::from_lower_triangular(&generators::paper_figure1_l())
+    }
+
+    #[test]
+    fn figure1_graph_has_expected_edges() {
+        let g = figure1_graph();
+        assert_eq!(g.n(), 9);
+        // 12 strictly-lower entries = 12 undirected edges.
+        assert_eq!(g.num_edges(), 12);
+        // Vertex 9 (index 8) is adjacent to 1, 2, 8 (indices 0, 1, 7).
+        assert_eq!(g.neighbors(8), &[0, 1, 7]);
+        // Vertex 7 (index 6) is adjacent to 4, 5, 6, 8 (indices 3, 4, 5, 7).
+        assert_eq!(g.neighbors(6), &[3, 4, 5, 7]);
+    }
+
+    #[test]
+    fn from_symmetric_matches_from_lower_triangular() {
+        let l = generators::paper_figure1_l();
+        let ga = Graph::from_symmetric_csr(&l.symmetrized());
+        let gb = Graph::from_lower_triangular(&l);
+        assert_eq!(ga.n(), gb.n());
+        for v in 0..ga.n() {
+            assert_eq!(ga.neighbors(v), gb.neighbors(v));
+        }
+    }
+
+    #[test]
+    fn degrees_and_max_degree_vertex() {
+        let g = figure1_graph();
+        assert_eq!(g.degree(6), 4);
+        assert_eq!(g.max_degree(), 4);
+        assert_eq!(g.max_degree_vertex(), Some(6));
+    }
+
+    #[test]
+    fn has_edge_is_symmetric() {
+        let g = figure1_graph();
+        for u in 0..g.n() {
+            for v in 0..g.n() {
+                assert_eq!(g.has_edge(u, v), g.has_edge(v, u));
+            }
+        }
+        assert!(g.has_edge(8, 0));
+        assert!(!g.has_edge(0, 1));
+    }
+
+    #[test]
+    fn weights_are_row_nnz() {
+        let l = generators::paper_figure1_l();
+        let g = Graph::from_lower_triangular(&l);
+        for v in 0..g.n() {
+            assert_eq!(g.weight(v), l.row_nnz(v));
+        }
+    }
+
+    #[test]
+    fn permute_preserves_edge_structure() {
+        let g = figure1_graph();
+        let perm: Vec<usize> = (0..g.n()).rev().collect();
+        let p = g.permute(&perm);
+        assert_eq!(p.num_edges(), g.num_edges());
+        // Edge {8, 0} becomes {0, 8} after reversal.
+        assert!(p.has_edge(0, 8));
+        // Weights travel with their vertices.
+        assert_eq!(p.weight(0), g.weight(8));
+    }
+
+    #[test]
+    fn empty_graph_edge_cases() {
+        let g = Graph::from_raw(vec![0], vec![], vec![]);
+        assert_eq!(g.n(), 0);
+        assert_eq!(g.max_degree(), 0);
+        assert_eq!(g.max_degree_vertex(), None);
+    }
+
+    #[test]
+    fn grid_graph_has_grid_degrees() {
+        let a = generators::grid2d_laplacian(4, 4).unwrap();
+        let g = Graph::from_symmetric_csr(&a);
+        assert_eq!(g.n(), 16);
+        // corner vertices have degree 2, interior 4
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.degree(5), 4);
+    }
+}

@@ -1,0 +1,176 @@
+//! Breadth-first search utilities: traversal levels, connected components and
+//! pseudo-peripheral vertices (the starting points used by RCM and by the
+//! level-set construction "starting with a vertex of largest degree").
+
+use crate::adjacency::Graph;
+
+/// The result of a BFS from a single root: for every reached vertex its BFS
+/// distance, plus the vertices grouped level by level.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BfsLevels {
+    /// `distance[v]` is the BFS level of `v`, or `usize::MAX` when `v` is not
+    /// reachable from the root.
+    pub distance: Vec<usize>,
+    /// `levels[d]` lists the vertices at distance `d`, in visitation order.
+    pub levels: Vec<Vec<usize>>,
+}
+
+/// Runs BFS from `root` and returns per-vertex distances and per-level vertex
+/// lists.
+pub fn bfs_levels(graph: &Graph, root: usize) -> BfsLevels {
+    let n = graph.n();
+    let mut distance = vec![usize::MAX; n];
+    let mut levels: Vec<Vec<usize>> = Vec::new();
+    if n == 0 {
+        return BfsLevels { distance, levels };
+    }
+    distance[root] = 0;
+    let mut frontier = vec![root];
+    while !frontier.is_empty() {
+        levels.push(frontier.clone());
+        let mut next = Vec::new();
+        for &v in &frontier {
+            for &u in graph.neighbors(v) {
+                if distance[u] == usize::MAX {
+                    distance[u] = distance[v] + 1;
+                    next.push(u);
+                }
+            }
+        }
+        frontier = next;
+    }
+    BfsLevels { distance, levels }
+}
+
+/// Returns the connected components of the graph, each as a list of vertices,
+/// ordered by their smallest vertex.
+pub fn connected_components(graph: &Graph) -> Vec<Vec<usize>> {
+    let n = graph.n();
+    let mut component = vec![usize::MAX; n];
+    let mut components = Vec::new();
+    for start in 0..n {
+        if component[start] != usize::MAX {
+            continue;
+        }
+        let id = components.len();
+        let mut members = vec![start];
+        component[start] = id;
+        let mut queue = std::collections::VecDeque::from([start]);
+        while let Some(v) = queue.pop_front() {
+            for &u in graph.neighbors(v) {
+                if component[u] == usize::MAX {
+                    component[u] = id;
+                    members.push(u);
+                    queue.push_back(u);
+                }
+            }
+        }
+        components.push(members);
+    }
+    components
+}
+
+/// Finds a pseudo-peripheral vertex of the component containing `start` using
+/// the classic George–Liu iteration: repeatedly BFS and move to a
+/// minimum-degree vertex of the last level until the eccentricity stops
+/// growing. Such vertices are good RCM starting points because they maximise
+/// the number of BFS levels (and therefore minimise level width).
+pub fn pseudo_peripheral_vertex(graph: &Graph, start: usize) -> usize {
+    let mut current = start;
+    let mut best_ecc = 0usize;
+    loop {
+        let bfs = bfs_levels(graph, current);
+        let ecc = bfs.levels.len().saturating_sub(1);
+        if ecc <= best_ecc && best_ecc > 0 {
+            return current;
+        }
+        best_ecc = ecc;
+        let last = match bfs.levels.last() {
+            Some(l) if !l.is_empty() => l,
+            _ => return current,
+        };
+        let next = *last
+            .iter()
+            .min_by_key(|&&v| graph.degree(v))
+            .expect("last BFS level is non-empty");
+        if next == current {
+            return current;
+        }
+        current = next;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sts_matrix::generators;
+
+    fn path_graph(n: usize) -> Graph {
+        let edges: Vec<(usize, usize)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+        Graph::from_symmetric_csr(&generators::symmetric_from_edges(n, &edges).unwrap())
+    }
+
+    #[test]
+    fn bfs_levels_on_a_path() {
+        let g = path_graph(5);
+        let bfs = bfs_levels(&g, 0);
+        assert_eq!(bfs.levels.len(), 5);
+        assert_eq!(bfs.distance, vec![0, 1, 2, 3, 4]);
+        let bfs_mid = bfs_levels(&g, 2);
+        assert_eq!(bfs_mid.levels.len(), 3);
+        assert_eq!(bfs_mid.distance[0], 2);
+        assert_eq!(bfs_mid.distance[4], 2);
+    }
+
+    #[test]
+    fn bfs_marks_unreachable_vertices() {
+        // Two disconnected edges: {0,1} and {2,3}.
+        let a = generators::symmetric_from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        let g = Graph::from_symmetric_csr(&a);
+        let bfs = bfs_levels(&g, 0);
+        assert_eq!(bfs.distance[1], 1);
+        assert_eq!(bfs.distance[2], usize::MAX);
+        assert_eq!(bfs.distance[3], usize::MAX);
+    }
+
+    #[test]
+    fn connected_components_finds_all_parts() {
+        let a = generators::symmetric_from_edges(6, &[(0, 1), (2, 3), (3, 4)]).unwrap();
+        let g = Graph::from_symmetric_csr(&a);
+        let comps = connected_components(&g);
+        assert_eq!(comps.len(), 3);
+        let sizes: Vec<usize> = comps.iter().map(|c| c.len()).collect();
+        assert_eq!(sizes, vec![2, 3, 1]);
+        // Every vertex appears exactly once.
+        let mut all: Vec<usize> = comps.concat();
+        all.sort_unstable();
+        assert_eq!(all, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn pseudo_peripheral_vertex_on_path_is_an_endpoint() {
+        let g = path_graph(9);
+        let v = pseudo_peripheral_vertex(&g, 4);
+        assert!(v == 0 || v == 8, "expected an endpoint, got {v}");
+    }
+
+    #[test]
+    fn pseudo_peripheral_vertex_on_grid_increases_level_count() {
+        let a = generators::grid2d_laplacian(8, 8).unwrap();
+        let g = Graph::from_symmetric_csr(&a);
+        let center = 8 * 4 + 4;
+        let from_center = bfs_levels(&g, center).levels.len();
+        let pp = pseudo_peripheral_vertex(&g, center);
+        let from_pp = bfs_levels(&g, pp).levels.len();
+        assert!(from_pp >= from_center);
+    }
+
+    #[test]
+    fn singleton_graph_bfs() {
+        let a = generators::symmetric_from_edges(1, &[]).unwrap();
+        let g = Graph::from_symmetric_csr(&a);
+        let bfs = bfs_levels(&g, 0);
+        assert_eq!(bfs.levels, vec![vec![0]]);
+        assert_eq!(pseudo_peripheral_vertex(&g, 0), 0);
+    }
+}

@@ -1,0 +1,261 @@
+//! Level-set (level-scheduling) construction.
+//!
+//! The Saltz aggregation scheme assigns every unknown the earliest parallel
+//! step at which it can be computed: `level(i) = 1 + max level(j)` over the
+//! dependencies `j` of `i` (the strictly-lower nonzeros of row `i`). All
+//! unknowns of the same level are independent by construction and form one
+//! pack; packs must be processed level by level.
+//!
+//! Two constructions are provided:
+//!
+//! * [`LevelSets::from_lower_triangular`] — dependency levels of the rows of
+//!   `L` (the classic level scheduling used by the `CSR-LS` reference solver);
+//! * [`LevelSets::from_predecessors`] — dependency levels of an arbitrary DAG
+//!   given by per-node predecessor lists, used for the coarsened super-row
+//!   graph in `CSR-3-LS`.
+//!
+//! The paper additionally describes a BFS flavour of level sets started from a
+//! vertex of largest degree; [`bfs_level_sets`] exposes that construction for
+//! analysis, but the solvers use dependency levels because BFS levels of an
+//! undirected graph are not guaranteed to be independent sets.
+
+use crate::adjacency::Graph;
+use crate::bfs;
+use sts_matrix::LowerTriangularCsr;
+
+/// A partition of `0..n` into dependency levels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LevelSets {
+    level_of: Vec<usize>,
+    levels: Vec<Vec<usize>>,
+}
+
+impl LevelSets {
+    /// Level scheduling of the rows of a lower-triangular matrix.
+    pub fn from_lower_triangular(l: &LowerTriangularCsr) -> LevelSets {
+        let n = l.n();
+        let mut level_of = vec![0usize; n];
+        let mut num_levels = 0usize;
+        for i in 0..n {
+            let mut lvl = 0usize;
+            for &j in l.row_off_diag_cols(i) {
+                lvl = lvl.max(level_of[j] + 1);
+            }
+            level_of[i] = lvl;
+            num_levels = num_levels.max(lvl + 1);
+        }
+        Self::from_level_assignment(level_of, num_levels)
+    }
+
+    /// Level scheduling of an arbitrary DAG. `preds[i]` lists the nodes that
+    /// must complete before node `i`; every predecessor index must be smaller
+    /// than `i` (the DAG is given in a topological order), which holds for all
+    /// callers in this workspace because dependencies of a row (or super-row)
+    /// always have smaller indices in a lower-triangular system.
+    ///
+    /// # Panics
+    /// Panics if a predecessor index is not smaller than its node.
+    pub fn from_predecessors(preds: &[Vec<usize>]) -> LevelSets {
+        let n = preds.len();
+        let mut level_of = vec![0usize; n];
+        let mut num_levels = 0usize;
+        for i in 0..n {
+            let mut lvl = 0usize;
+            for &j in &preds[i] {
+                assert!(j < i, "predecessor {j} of node {i} is not topologically earlier");
+                lvl = lvl.max(level_of[j] + 1);
+            }
+            level_of[i] = lvl;
+            num_levels = num_levels.max(lvl + 1);
+        }
+        Self::from_level_assignment(level_of, num_levels)
+    }
+
+    fn from_level_assignment(level_of: Vec<usize>, num_levels: usize) -> LevelSets {
+        let mut levels = vec![Vec::new(); num_levels];
+        for (i, &lvl) in level_of.iter().enumerate() {
+            levels[lvl].push(i);
+        }
+        LevelSets { level_of, levels }
+    }
+
+    /// Number of levels (parallel steps).
+    pub fn num_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// The level of node `i`.
+    pub fn level_of(&self, i: usize) -> usize {
+        self.level_of[i]
+    }
+
+    /// The per-node level assignment.
+    pub fn assignment(&self) -> &[usize] {
+        &self.level_of
+    }
+
+    /// The nodes of level `lvl`, in increasing index order.
+    pub fn level(&self, lvl: usize) -> &[usize] {
+        &self.levels[lvl]
+    }
+
+    /// All levels.
+    pub fn levels(&self) -> &[Vec<usize>] {
+        &self.levels
+    }
+
+    /// Average number of nodes per level.
+    pub fn mean_level_size(&self) -> f64 {
+        if self.levels.is_empty() {
+            0.0
+        } else {
+            self.level_of.len() as f64 / self.levels.len() as f64
+        }
+    }
+
+    /// Verifies that the level assignment respects the dependencies `preds`:
+    /// every predecessor lies in a strictly earlier level.
+    pub fn respects_dependencies(&self, preds: &[Vec<usize>]) -> bool {
+        preds.iter().enumerate().all(|(i, pi)| {
+            pi.iter().all(|&j| self.level_of[j] < self.level_of[i])
+        })
+    }
+}
+
+/// BFS level sets of an undirected graph, started (as the paper recommends)
+/// from a vertex of largest degree when `start` is `None`.
+///
+/// These levels are a parallelism *analysis* tool: unlike dependency levels
+/// they may contain edges inside a level, so the solvers never use them
+/// directly as packs.
+pub fn bfs_level_sets(graph: &Graph, start: Option<usize>) -> Vec<Vec<usize>> {
+    if graph.n() == 0 {
+        return Vec::new();
+    }
+    let mut levels: Vec<Vec<usize>> = Vec::new();
+    let mut visited = vec![false; graph.n()];
+    let first = start.unwrap_or_else(|| graph.max_degree_vertex().expect("non-empty graph"));
+    // Cover every connected component, continuing from the next unvisited
+    // max-degree vertex.
+    let mut roots = vec![first];
+    loop {
+        let root = match roots.pop() {
+            Some(r) => r,
+            None => match (0..graph.n())
+                .filter(|&v| !visited[v])
+                .max_by_key(|&v| graph.degree(v))
+            {
+                Some(v) => v,
+                None => break,
+            },
+        };
+        if visited[root] {
+            continue;
+        }
+        let b = bfs::bfs_levels(graph, root);
+        for (d, lvl) in b.levels.iter().enumerate() {
+            let fresh: Vec<usize> = lvl.iter().copied().filter(|&v| !visited[v]).collect();
+            for &v in &fresh {
+                visited[v] = true;
+            }
+            if levels.len() <= d {
+                levels.push(Vec::new());
+            }
+            levels[d].extend(fresh);
+        }
+    }
+    levels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sts_matrix::generators;
+
+    #[test]
+    fn figure1_example_levels() {
+        let l = generators::paper_figure1_l();
+        let ls = LevelSets::from_lower_triangular(&l);
+        // Rows 1, 2, 5 (indices 0, 1, 4) have no strictly-lower entries.
+        assert_eq!(ls.level_of(0), 0);
+        assert_eq!(ls.level_of(1), 0);
+        assert_eq!(ls.level_of(4), 0);
+        // Row 3 depends on row 1; row 4 on row 2.
+        assert_eq!(ls.level_of(2), 1);
+        assert_eq!(ls.level_of(3), 1);
+        // Row 6 depends on rows 3 and 4 → level 2.
+        assert_eq!(ls.level_of(5), 2);
+        // Row 7 depends on 4, 5, 6 → level 3; row 8 on 5, 7 → level 4;
+        // row 9 on 1, 2, 8 → level 5.
+        assert_eq!(ls.level_of(6), 3);
+        assert_eq!(ls.level_of(7), 4);
+        assert_eq!(ls.level_of(8), 5);
+        assert_eq!(ls.num_levels(), 6);
+    }
+
+    #[test]
+    fn levels_partition_all_rows() {
+        let a = generators::triangulated_grid(10, 10, 3).unwrap();
+        let l = generators::lower_operand(&a).unwrap();
+        let ls = LevelSets::from_lower_triangular(&l);
+        let mut all: Vec<usize> = ls.levels().concat();
+        all.sort_unstable();
+        assert_eq!(all, (0..l.n()).collect::<Vec<_>>());
+        assert!((ls.mean_level_size() - l.n() as f64 / ls.num_levels() as f64).abs() < 1e-12);
+    }
+
+    #[test]
+    fn levels_respect_dependencies() {
+        let a = generators::grid2d_9point(9, 9).unwrap();
+        let l = generators::lower_operand(&a).unwrap();
+        let ls = LevelSets::from_lower_triangular(&l);
+        let preds: Vec<Vec<usize>> =
+            (0..l.n()).map(|i| l.row_off_diag_cols(i).to_vec()).collect();
+        assert!(ls.respects_dependencies(&preds));
+    }
+
+    #[test]
+    fn from_predecessors_matches_manual_dag() {
+        // 0 and 1 are sources; 2 depends on 0; 3 depends on 1 and 2.
+        let preds = vec![vec![], vec![], vec![0], vec![1, 2]];
+        let ls = LevelSets::from_predecessors(&preds);
+        assert_eq!(ls.assignment(), &[0, 0, 1, 2]);
+        assert_eq!(ls.level(0), &[0, 1]);
+        assert!(ls.respects_dependencies(&preds));
+    }
+
+    #[test]
+    #[should_panic(expected = "topologically earlier")]
+    fn from_predecessors_rejects_forward_edges() {
+        let preds = vec![vec![1], vec![]];
+        let _ = LevelSets::from_predecessors(&preds);
+    }
+
+    #[test]
+    fn diagonal_matrix_has_one_level() {
+        let l = generators::random_lower_triangular(20, 0.0, 1).unwrap();
+        let ls = LevelSets::from_lower_triangular(&l);
+        assert_eq!(ls.num_levels(), 1);
+        assert_eq!(ls.level(0).len(), 20);
+    }
+
+    #[test]
+    fn bfs_level_sets_cover_all_vertices_even_when_disconnected() {
+        let a = generators::symmetric_from_edges(7, &[(0, 1), (1, 2), (4, 5)]).unwrap();
+        let g = Graph::from_symmetric_csr(&a);
+        let levels = bfs_level_sets(&g, None);
+        let mut all: Vec<usize> = levels.concat();
+        all.sort_unstable();
+        assert_eq!(all, (0..7).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn bfs_level_sets_start_at_requested_vertex() {
+        let edges: Vec<(usize, usize)> = (0..9).map(|i| (i, i + 1)).collect();
+        let a = generators::symmetric_from_edges(10, &edges).unwrap();
+        let g = Graph::from_symmetric_csr(&a);
+        let levels = bfs_level_sets(&g, Some(0));
+        assert_eq!(levels.len(), 10);
+        assert_eq!(levels[0], vec![0]);
+    }
+}

@@ -1,0 +1,30 @@
+//! Graph substrate for the STS-k reproduction.
+//!
+//! Everything STS-k does to a sparse triangular system is driven by graphs:
+//!
+//! * the undirected graph `G1` of the symmetric matrix `A = L + Lᵀ`
+//!   ([`adjacency::Graph`]);
+//! * band-reducing reorderings of `G1` (reverse Cuthill–McKee, [`rcm`]);
+//! * independent-set extraction by greedy [`coloring`] or by dependency
+//!   [`levelset`]s;
+//! * coarsening of `G1` into the super-row graph `G2` ([`coarsen`]), the
+//!   "CSR-2" level of the paper's hierarchy;
+//! * permutation bookkeeping ([`permutation`]) and structural
+//!   [`metrics`] (bandwidth, profile, degree statistics).
+//!
+//! The crate depends only on `sts-matrix` and has no threading concerns.
+
+pub mod adjacency;
+pub mod bfs;
+pub mod coarsen;
+pub mod coloring;
+pub mod levelset;
+pub mod metrics;
+pub mod permutation;
+pub mod rcm;
+
+pub use adjacency::Graph;
+pub use coarsen::{Coarsening, CoarseningStrategy};
+pub use coloring::{Coloring, ColoringOrder};
+pub use levelset::LevelSets;
+pub use permutation::Permutation;

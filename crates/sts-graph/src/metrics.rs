@@ -1,0 +1,121 @@
+//! Structural metrics: bandwidth, profile and degree statistics under a given
+//! ordering. Used to validate RCM and to report ordering quality in the
+//! benchmark harnesses.
+
+use crate::adjacency::Graph;
+use crate::permutation::Permutation;
+
+/// Matrix bandwidth of the graph under `perm`: the maximum of
+/// `|new(u) - new(v)|` over all edges `{u, v}`.
+pub fn bandwidth(graph: &Graph, perm: &Permutation) -> usize {
+    let old_to_new = perm.old_to_new();
+    let mut bw = 0usize;
+    for u in 0..graph.n() {
+        for &v in graph.neighbors(u) {
+            let a = old_to_new[u];
+            let b = old_to_new[v];
+            bw = bw.max(a.abs_diff(b));
+        }
+    }
+    bw
+}
+
+/// Matrix profile (envelope size) of the graph under `perm`: for every vertex,
+/// the distance from its new index to its left-most neighbour, summed.
+pub fn profile(graph: &Graph, perm: &Permutation) -> usize {
+    let old_to_new = perm.old_to_new();
+    let mut total = 0usize;
+    for u in 0..graph.n() {
+        let nu = old_to_new[u];
+        let leftmost = graph
+            .neighbors(u)
+            .iter()
+            .map(|&v| old_to_new[v])
+            .filter(|&nv| nv < nu)
+            .min();
+        if let Some(lm) = leftmost {
+            total += nu - lm;
+        }
+    }
+    total
+}
+
+/// Degree statistics of a graph.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DegreeStats {
+    /// Smallest vertex degree.
+    pub min: usize,
+    /// Largest vertex degree.
+    pub max: usize,
+    /// Mean vertex degree.
+    pub mean: f64,
+}
+
+/// Computes min/max/mean degree (all zero for an empty graph).
+pub fn degree_stats(graph: &Graph) -> DegreeStats {
+    let n = graph.n();
+    if n == 0 {
+        return DegreeStats { min: 0, max: 0, mean: 0.0 };
+    }
+    let mut min = usize::MAX;
+    let mut max = 0usize;
+    let mut sum = 0usize;
+    for v in 0..n {
+        let d = graph.degree(v);
+        min = min.min(d);
+        max = max.max(d);
+        sum += d;
+    }
+    DegreeStats { min, max, mean: sum as f64 / n as f64 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sts_matrix::generators;
+
+    fn path(n: usize) -> Graph {
+        let edges: Vec<(usize, usize)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+        Graph::from_symmetric_csr(&generators::symmetric_from_edges(n, &edges).unwrap())
+    }
+
+    #[test]
+    fn bandwidth_of_natural_path_is_one() {
+        let g = path(10);
+        assert_eq!(bandwidth(&g, &Permutation::identity(10)), 1);
+    }
+
+    #[test]
+    fn bandwidth_grows_when_endpoints_are_swapped() {
+        let g = path(10);
+        // Move vertex 9 next to vertex 0 in the ordering.
+        let perm = Permutation::from_new_to_old(vec![0, 9, 1, 2, 3, 4, 5, 6, 7, 8]).unwrap();
+        assert!(bandwidth(&g, &perm) > 1);
+    }
+
+    #[test]
+    fn profile_of_natural_path() {
+        let g = path(5);
+        // Every vertex after the first has its left neighbour at distance 1.
+        assert_eq!(profile(&g, &Permutation::identity(5)), 4);
+    }
+
+    #[test]
+    fn degree_stats_on_grid() {
+        let a = generators::grid2d_laplacian(4, 4).unwrap();
+        let g = Graph::from_symmetric_csr(&a);
+        let s = degree_stats(&g);
+        assert_eq!(s.min, 2);
+        assert_eq!(s.max, 4);
+        assert!(s.mean > 2.0 && s.mean < 4.0);
+    }
+
+    #[test]
+    fn empty_graph_stats_are_zero() {
+        let g = Graph::from_raw(vec![0], vec![], vec![]);
+        let s = degree_stats(&g);
+        assert_eq!((s.min, s.max), (0, 0));
+        assert_eq!(bandwidth(&g, &Permutation::identity(0)), 0);
+        assert_eq!(profile(&g, &Permutation::identity(0)), 0);
+    }
+}

@@ -1,0 +1,177 @@
+//! Permutation bookkeeping.
+//!
+//! Every ordering produced in this workspace (RCM, pack ordering, within-pack
+//! DAR reordering) is represented as a [`Permutation`] mapping *new* indices
+//! to *old* indices, the convention used by
+//! [`CsrMatrix::permute_symmetric`](sts_matrix::CsrMatrix::permute_symmetric).
+
+/// A bijection on `0..n` stored as a new-index → old-index table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Permutation {
+    new_to_old: Vec<usize>,
+}
+
+impl Permutation {
+    /// The identity permutation on `0..n`.
+    pub fn identity(n: usize) -> Self {
+        Permutation { new_to_old: (0..n).collect() }
+    }
+
+    /// Builds a permutation from a new → old table, validating bijectivity.
+    pub fn from_new_to_old(new_to_old: Vec<usize>) -> Option<Self> {
+        let n = new_to_old.len();
+        let mut seen = vec![false; n];
+        for &old in &new_to_old {
+            if old >= n || seen[old] {
+                return None;
+            }
+            seen[old] = true;
+        }
+        Some(Permutation { new_to_old })
+    }
+
+    /// Builds a permutation from an old → new table, validating bijectivity.
+    pub fn from_old_to_new(old_to_new: &[usize]) -> Option<Self> {
+        let n = old_to_new.len();
+        let mut new_to_old = vec![usize::MAX; n];
+        for (old, &new) in old_to_new.iter().enumerate() {
+            if new >= n || new_to_old[new] != usize::MAX {
+                return None;
+            }
+            new_to_old[new] = old;
+        }
+        Some(Permutation { new_to_old })
+    }
+
+    /// Size of the permuted index set.
+    pub fn len(&self) -> usize {
+        self.new_to_old.len()
+    }
+
+    /// True when the permutation acts on an empty index set.
+    pub fn is_empty(&self) -> bool {
+        self.new_to_old.is_empty()
+    }
+
+    /// The old index that lands at position `new`.
+    pub fn old_of(&self, new: usize) -> usize {
+        self.new_to_old[new]
+    }
+
+    /// The new → old table.
+    pub fn new_to_old(&self) -> &[usize] {
+        &self.new_to_old
+    }
+
+    /// The old → new table.
+    pub fn old_to_new(&self) -> Vec<usize> {
+        let mut inv = vec![0usize; self.new_to_old.len()];
+        for (new, &old) in self.new_to_old.iter().enumerate() {
+            inv[old] = new;
+        }
+        inv
+    }
+
+    /// The inverse permutation.
+    pub fn inverse(&self) -> Permutation {
+        Permutation { new_to_old: self.old_to_new() }
+    }
+
+    /// Composition `self ∘ other`: applying the result is the same as first
+    /// applying `other`, then `self`. In new→old tables this is
+    /// `result[new] = other.old_of(self.old_of(new))`.
+    pub fn compose(&self, other: &Permutation) -> Permutation {
+        assert_eq!(self.len(), other.len(), "permutation sizes must match");
+        let new_to_old =
+            (0..self.len()).map(|new| other.old_of(self.old_of(new))).collect();
+        Permutation { new_to_old }
+    }
+
+    /// Reorders a slice: `result[new] = values[old_of(new)]`.
+    pub fn apply_to_slice<T: Clone>(&self, values: &[T]) -> Vec<T> {
+        assert_eq!(values.len(), self.len());
+        self.new_to_old.iter().map(|&old| values[old].clone()).collect()
+    }
+
+    /// Scatters a slice back to the original ordering:
+    /// `result[old_of(new)] = values[new]`. This is the inverse of
+    /// [`Permutation::apply_to_slice`].
+    pub fn scatter_to_original<T: Clone + Default>(&self, values: &[T]) -> Vec<T> {
+        assert_eq!(values.len(), self.len());
+        let mut out = vec![T::default(); self.len()];
+        for (new, &old) in self.new_to_old.iter().enumerate() {
+            out[old] = values[new].clone();
+        }
+        out
+    }
+
+    /// True when this is the identity permutation.
+    pub fn is_identity(&self) -> bool {
+        self.new_to_old.iter().enumerate().all(|(i, &o)| i == o)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_roundtrips() {
+        let p = Permutation::identity(5);
+        assert!(p.is_identity());
+        assert_eq!(p.inverse(), p);
+        assert_eq!(p.apply_to_slice(&[1, 2, 3, 4, 5]), vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn from_new_to_old_rejects_non_bijections() {
+        assert!(Permutation::from_new_to_old(vec![0, 0, 1]).is_none());
+        assert!(Permutation::from_new_to_old(vec![0, 5, 1]).is_none());
+        assert!(Permutation::from_new_to_old(vec![2, 0, 1]).is_some());
+    }
+
+    #[test]
+    fn from_old_to_new_matches_inverse() {
+        let p = Permutation::from_new_to_old(vec![2, 0, 1]).unwrap();
+        let q = Permutation::from_old_to_new(&p.old_to_new()).unwrap();
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn inverse_composes_to_identity() {
+        let p = Permutation::from_new_to_old(vec![3, 1, 0, 2]).unwrap();
+        assert!(p.compose(&p.inverse()).is_identity());
+        assert!(p.inverse().compose(&p).is_identity());
+    }
+
+    #[test]
+    fn apply_then_scatter_roundtrips() {
+        let p = Permutation::from_new_to_old(vec![3, 1, 0, 2]).unwrap();
+        let values = vec![10, 20, 30, 40];
+        let applied = p.apply_to_slice(&values);
+        assert_eq!(applied, vec![40, 20, 10, 30]);
+        assert_eq!(p.scatter_to_original(&applied), values);
+    }
+
+    #[test]
+    fn compose_order_matters() {
+        // p reverses, q rotates.
+        let p = Permutation::from_new_to_old(vec![2, 1, 0]).unwrap();
+        let q = Permutation::from_new_to_old(vec![1, 2, 0]).unwrap();
+        let pq = p.compose(&q);
+        let qp = q.compose(&p);
+        assert_ne!(pq, qp);
+        // Applying pq to values equals applying q first, then p.
+        let vals = vec![100, 200, 300];
+        let via_compose = pq.apply_to_slice(&vals);
+        let via_steps = p.apply_to_slice(&q.apply_to_slice(&vals));
+        assert_eq!(via_compose, via_steps);
+    }
+
+    #[test]
+    fn empty_permutation_is_identity() {
+        let p = Permutation::identity(0);
+        assert!(p.is_empty());
+        assert!(p.is_identity());
+    }
+}

@@ -1,0 +1,228 @@
+//! Coordinate (triplet) matrix builder.
+//!
+//! A [`CooMatrix`] accumulates `(row, col, value)` triplets in arbitrary order
+//! and converts them to [`CsrMatrix`](crate::CsrMatrix) form, summing
+//! duplicates. All matrix generators and the Matrix Market reader build
+//! through this type.
+
+use crate::csr::CsrMatrix;
+use crate::error::MatrixError;
+use crate::Result;
+
+/// A sparse matrix in coordinate (triplet) form, used as a builder.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CooMatrix {
+    nrows: usize,
+    ncols: usize,
+    rows: Vec<usize>,
+    cols: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl CooMatrix {
+    /// Creates an empty `nrows x ncols` triplet matrix.
+    pub fn new(nrows: usize, ncols: usize) -> Self {
+        CooMatrix { nrows, ncols, rows: Vec::new(), cols: Vec::new(), values: Vec::new() }
+    }
+
+    /// Creates an empty triplet matrix with room for `cap` entries.
+    pub fn with_capacity(nrows: usize, ncols: usize, cap: usize) -> Self {
+        CooMatrix {
+            nrows,
+            ncols,
+            rows: Vec::with_capacity(cap),
+            cols: Vec::with_capacity(cap),
+            values: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored triplets (duplicates counted separately).
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Appends a triplet. Entries out of bounds are rejected.
+    pub fn push(&mut self, row: usize, col: usize, value: f64) -> Result<()> {
+        if row >= self.nrows || col >= self.ncols {
+            return Err(MatrixError::IndexOutOfBounds {
+                row,
+                col,
+                nrows: self.nrows,
+                ncols: self.ncols,
+            });
+        }
+        self.rows.push(row);
+        self.cols.push(col);
+        self.values.push(value);
+        Ok(())
+    }
+
+    /// Appends a triplet and, if off-diagonal, its transpose — convenient for
+    /// assembling symmetric matrices from their lower half.
+    pub fn push_symmetric(&mut self, row: usize, col: usize, value: f64) -> Result<()> {
+        self.push(row, col, value)?;
+        if row != col {
+            self.push(col, row, value)?;
+        }
+        Ok(())
+    }
+
+    /// Iterates over the stored triplets in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        self.rows
+            .iter()
+            .zip(self.cols.iter())
+            .zip(self.values.iter())
+            .map(|((&r, &c), &v)| (r, c, v))
+    }
+
+    /// Converts to CSR, summing duplicate entries and dropping entries that
+    /// become exactly zero after summation only if `drop_zeros` is requested
+    /// via [`CooMatrix::to_csr_drop_zeros`]. This method keeps explicit zeros.
+    pub fn to_csr(&self) -> CsrMatrix {
+        self.to_csr_impl(false)
+    }
+
+    /// Converts to CSR, summing duplicates and dropping entries whose summed
+    /// value is exactly `0.0`.
+    pub fn to_csr_drop_zeros(&self) -> CsrMatrix {
+        self.to_csr_impl(true)
+    }
+
+    fn to_csr_impl(&self, drop_zeros: bool) -> CsrMatrix {
+        // Counting sort by row, then sort each row segment by column and merge
+        // duplicates. This is O(nnz log rowlen) and allocation-lean.
+        let nnz = self.values.len();
+        let mut row_counts = vec![0usize; self.nrows + 1];
+        for &r in &self.rows {
+            row_counts[r + 1] += 1;
+        }
+        for i in 0..self.nrows {
+            row_counts[i + 1] += row_counts[i];
+        }
+        let mut order: Vec<usize> = vec![0; nnz];
+        {
+            let mut next = row_counts.clone();
+            for idx in 0..nnz {
+                let r = self.rows[idx];
+                order[next[r]] = idx;
+                next[r] += 1;
+            }
+        }
+        let mut row_ptr = Vec::with_capacity(self.nrows + 1);
+        let mut col_idx: Vec<usize> = Vec::with_capacity(nnz);
+        let mut values: Vec<f64> = Vec::with_capacity(nnz);
+        row_ptr.push(0);
+        let mut scratch: Vec<(usize, f64)> = Vec::new();
+        for r in 0..self.nrows {
+            scratch.clear();
+            for &idx in &order[row_counts[r]..row_counts[r + 1]] {
+                scratch.push((self.cols[idx], self.values[idx]));
+            }
+            scratch.sort_unstable_by_key(|&(c, _)| c);
+            let mut i = 0;
+            while i < scratch.len() {
+                let c = scratch[i].0;
+                let mut v = scratch[i].1;
+                let mut j = i + 1;
+                while j < scratch.len() && scratch[j].0 == c {
+                    v += scratch[j].1;
+                    j += 1;
+                }
+                if !(drop_zeros && v == 0.0) {
+                    col_idx.push(c);
+                    values.push(v);
+                }
+                i = j;
+            }
+            row_ptr.push(col_idx.len());
+        }
+        CsrMatrix::from_raw_unchecked(self.nrows, self.ncols, row_ptr, col_idx, values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_matrix_converts() {
+        let coo = CooMatrix::new(3, 3);
+        let csr = coo.to_csr();
+        assert_eq!(csr.nrows(), 3);
+        assert_eq!(csr.nnz(), 0);
+        assert_eq!(csr.row_ptr(), &[0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn push_out_of_bounds_is_rejected() {
+        let mut coo = CooMatrix::new(2, 2);
+        assert!(coo.push(2, 0, 1.0).is_err());
+        assert!(coo.push(0, 2, 1.0).is_err());
+        assert!(coo.push(1, 1, 1.0).is_ok());
+    }
+
+    #[test]
+    fn duplicates_are_summed() {
+        let mut coo = CooMatrix::new(2, 2);
+        coo.push(0, 0, 1.0).unwrap();
+        coo.push(0, 0, 2.5).unwrap();
+        coo.push(1, 0, -1.0).unwrap();
+        let csr = coo.to_csr();
+        assert_eq!(csr.nnz(), 2);
+        assert_eq!(csr.get(0, 0), 3.5);
+        assert_eq!(csr.get(1, 0), -1.0);
+    }
+
+    #[test]
+    fn drop_zeros_removes_cancelled_entries() {
+        let mut coo = CooMatrix::new(2, 2);
+        coo.push(0, 1, 1.0).unwrap();
+        coo.push(0, 1, -1.0).unwrap();
+        coo.push(1, 1, 4.0).unwrap();
+        assert_eq!(coo.to_csr().nnz(), 2);
+        assert_eq!(coo.to_csr_drop_zeros().nnz(), 1);
+    }
+
+    #[test]
+    fn columns_are_sorted_after_conversion() {
+        let mut coo = CooMatrix::new(1, 5);
+        for c in [4, 1, 3, 0, 2] {
+            coo.push(0, c, c as f64).unwrap();
+        }
+        let csr = coo.to_csr();
+        assert_eq!(csr.col_idx(), &[0, 1, 2, 3, 4]);
+        assert_eq!(csr.values(), &[0.0, 1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn push_symmetric_mirrors_off_diagonals() {
+        let mut coo = CooMatrix::new(3, 3);
+        coo.push_symmetric(2, 0, 5.0).unwrap();
+        coo.push_symmetric(1, 1, 3.0).unwrap();
+        let csr = coo.to_csr();
+        assert_eq!(csr.get(2, 0), 5.0);
+        assert_eq!(csr.get(0, 2), 5.0);
+        assert_eq!(csr.get(1, 1), 3.0);
+        assert_eq!(csr.nnz(), 3);
+    }
+
+    #[test]
+    fn iter_returns_insertion_order() {
+        let mut coo = CooMatrix::new(2, 2);
+        coo.push(1, 1, 2.0).unwrap();
+        coo.push(0, 0, 1.0).unwrap();
+        let triplets: Vec<_> = coo.iter().collect();
+        assert_eq!(triplets, vec![(1, 1, 2.0), (0, 0, 1.0)]);
+    }
+}

@@ -1,0 +1,152 @@
+//! Small dense matrices used as ground-truth oracles in tests and examples.
+//!
+//! The dense type is intentionally minimal: it exists so that the sparse
+//! triangular solvers can be checked against an implementation whose
+//! correctness is obvious, not to be fast.
+
+use crate::csr::CsrMatrix;
+use crate::error::MatrixError;
+use crate::Result;
+
+/// A row-major dense matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseMatrix {
+    nrows: usize,
+    ncols: usize,
+    data: Vec<f64>,
+}
+
+impl DenseMatrix {
+    /// Creates a zero-filled `nrows x ncols` matrix.
+    pub fn zeros(nrows: usize, ncols: usize) -> Self {
+        DenseMatrix { nrows, ncols, data: vec![0.0; nrows * ncols] }
+    }
+
+    /// Creates a dense matrix from a sparse one.
+    pub fn from_csr(csr: &CsrMatrix) -> Self {
+        let mut d = DenseMatrix::zeros(csr.nrows(), csr.ncols());
+        for (r, c, v) in csr.iter() {
+            d[(r, c)] += v;
+        }
+        d
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Matrix–vector product `y = A x`.
+    pub fn multiply(&self, x: &[f64]) -> Result<Vec<f64>> {
+        if x.len() != self.ncols {
+            return Err(MatrixError::DimensionMismatch(format!(
+                "x has length {}, expected {}",
+                x.len(),
+                self.ncols
+            )));
+        }
+        let mut y = vec![0.0; self.nrows];
+        for r in 0..self.nrows {
+            let row = &self.data[r * self.ncols..(r + 1) * self.ncols];
+            y[r] = row.iter().zip(x).map(|(a, b)| a * b).sum();
+        }
+        Ok(y)
+    }
+
+    /// Forward substitution treating the matrix as lower triangular
+    /// (entries above the diagonal are ignored).
+    pub fn solve_lower_triangular(&self, b: &[f64]) -> Result<Vec<f64>> {
+        if self.nrows != self.ncols {
+            return Err(MatrixError::DimensionMismatch("matrix must be square".into()));
+        }
+        if b.len() != self.nrows {
+            return Err(MatrixError::DimensionMismatch("b has the wrong length".into()));
+        }
+        let n = self.nrows;
+        let mut x = vec![0.0; n];
+        for i in 0..n {
+            let mut acc = 0.0;
+            for j in 0..i {
+                acc += self[(i, j)] * x[j];
+            }
+            let d = self[(i, i)];
+            if d == 0.0 {
+                return Err(MatrixError::SingularDiagonal { row: i });
+            }
+            x[i] = (b[i] - acc) / d;
+        }
+        Ok(x)
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for DenseMatrix {
+    type Output = f64;
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        &self.data[r * self.ncols + c]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for DenseMatrix {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        &mut self.data[r * self.ncols + c]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::CooMatrix;
+
+    #[test]
+    fn from_csr_places_entries() {
+        let mut coo = CooMatrix::new(2, 3);
+        coo.push(0, 2, 5.0).unwrap();
+        coo.push(1, 0, -2.0).unwrap();
+        let d = DenseMatrix::from_csr(&coo.to_csr());
+        assert_eq!(d[(0, 2)], 5.0);
+        assert_eq!(d[(1, 0)], -2.0);
+        assert_eq!(d[(0, 0)], 0.0);
+    }
+
+    #[test]
+    fn multiply_matches_manual_computation() {
+        let mut d = DenseMatrix::zeros(2, 2);
+        d[(0, 0)] = 1.0;
+        d[(0, 1)] = 2.0;
+        d[(1, 0)] = 3.0;
+        d[(1, 1)] = 4.0;
+        let y = d.multiply(&[1.0, 1.0]).unwrap();
+        assert_eq!(y, vec![3.0, 7.0]);
+    }
+
+    #[test]
+    fn lower_solve_matches_hand_computation() {
+        let mut d = DenseMatrix::zeros(2, 2);
+        d[(0, 0)] = 2.0;
+        d[(1, 0)] = 1.0;
+        d[(1, 1)] = 4.0;
+        let x = d.solve_lower_triangular(&[2.0, 9.0]).unwrap();
+        assert_eq!(x, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn lower_solve_rejects_zero_diagonal() {
+        let d = DenseMatrix::zeros(2, 2);
+        assert!(matches!(
+            d.solve_lower_triangular(&[1.0, 1.0]),
+            Err(MatrixError::SingularDiagonal { row: 0 })
+        ));
+    }
+
+    #[test]
+    fn dimension_mismatches_are_rejected() {
+        let d = DenseMatrix::zeros(2, 2);
+        assert!(d.multiply(&[1.0]).is_err());
+        assert!(d.solve_lower_triangular(&[1.0]).is_err());
+    }
+}

@@ -1,0 +1,291 @@
+//! Matrix Market (`.mtx`) reading and writing.
+//!
+//! The paper's test suite comes from the University of Florida Sparse Matrix
+//! Collection, which is distributed in Matrix Market format. This module lets
+//! users of the library run STS-k on the genuine matrices when they have them
+//! on disk, while the [`generators`](crate::generators) module provides
+//! synthetic stand-ins when they do not.
+//!
+//! Supported: `matrix coordinate real/integer/pattern general/symmetric`.
+//! Pattern files get unit values. Symmetric files are expanded to full
+//! storage on read.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+use crate::coo::CooMatrix;
+use crate::csr::CsrMatrix;
+use crate::error::MatrixError;
+use crate::Result;
+
+/// Symmetry declared in the Matrix Market header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MmSymmetry {
+    /// All entries stored explicitly.
+    General,
+    /// Only the lower triangle stored; the upper triangle is implied.
+    Symmetric,
+}
+
+/// Value field declared in the Matrix Market header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MmField {
+    /// Real floating-point values.
+    Real,
+    /// Integer values (read as f64).
+    Integer,
+    /// Pattern only; values default to 1.0.
+    Pattern,
+}
+
+/// Parses a Matrix Market stream into a [`CsrMatrix`].
+///
+/// Symmetric inputs are expanded so that the returned matrix stores both
+/// halves explicitly (the diagonal once).
+pub fn read_matrix_market<R: Read>(reader: R) -> Result<CsrMatrix> {
+    let mut lines = BufReader::new(reader).lines();
+    let mut lineno = 0usize;
+
+    // Header line.
+    let header = loop {
+        match lines.next() {
+            Some(Ok(l)) => {
+                lineno += 1;
+                if !l.trim().is_empty() {
+                    break l;
+                }
+            }
+            Some(Err(e)) => return Err(MatrixError::Io(e.to_string())),
+            None => {
+                return Err(MatrixError::ParseError {
+                    line: lineno,
+                    message: "empty Matrix Market stream".into(),
+                })
+            }
+        }
+    };
+    let header_lc = header.to_ascii_lowercase();
+    let tokens: Vec<&str> = header_lc.split_whitespace().collect();
+    if tokens.len() < 5 || tokens[0] != "%%matrixmarket" || tokens[1] != "matrix" {
+        return Err(MatrixError::ParseError {
+            line: lineno,
+            message: format!("invalid header: {header}"),
+        });
+    }
+    if tokens[2] != "coordinate" {
+        return Err(MatrixError::ParseError {
+            line: lineno,
+            message: format!("only coordinate format is supported, got {}", tokens[2]),
+        });
+    }
+    let field = match tokens[3] {
+        "real" => MmField::Real,
+        "integer" => MmField::Integer,
+        "pattern" => MmField::Pattern,
+        other => {
+            return Err(MatrixError::ParseError {
+                line: lineno,
+                message: format!("unsupported field type {other}"),
+            })
+        }
+    };
+    let symmetry = match tokens[4] {
+        "general" => MmSymmetry::General,
+        "symmetric" => MmSymmetry::Symmetric,
+        other => {
+            return Err(MatrixError::ParseError {
+                line: lineno,
+                message: format!("unsupported symmetry {other}"),
+            })
+        }
+    };
+
+    // Size line (skipping comments).
+    let size_line = loop {
+        match lines.next() {
+            Some(Ok(l)) => {
+                lineno += 1;
+                let t = l.trim();
+                if t.is_empty() || t.starts_with('%') {
+                    continue;
+                }
+                break l;
+            }
+            Some(Err(e)) => return Err(MatrixError::Io(e.to_string())),
+            None => {
+                return Err(MatrixError::ParseError {
+                    line: lineno,
+                    message: "missing size line".into(),
+                })
+            }
+        }
+    };
+    let dims: Vec<usize> = size_line
+        .split_whitespace()
+        .map(|t| {
+            t.parse::<usize>().map_err(|_| MatrixError::ParseError {
+                line: lineno,
+                message: format!("invalid size token {t}"),
+            })
+        })
+        .collect::<Result<Vec<_>>>()?;
+    if dims.len() != 3 {
+        return Err(MatrixError::ParseError {
+            line: lineno,
+            message: "size line must contain rows cols nnz".into(),
+        });
+    }
+    let (nrows, ncols, nnz) = (dims[0], dims[1], dims[2]);
+    let mut coo = CooMatrix::with_capacity(nrows, ncols, nnz * 2);
+
+    let mut read_entries = 0usize;
+    for l in lines {
+        let l = l.map_err(|e| MatrixError::Io(e.to_string()))?;
+        lineno += 1;
+        let t = l.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        let toks: Vec<&str> = t.split_whitespace().collect();
+        let expected = if field == MmField::Pattern { 2 } else { 3 };
+        if toks.len() < expected {
+            return Err(MatrixError::ParseError {
+                line: lineno,
+                message: format!("expected {expected} tokens, got {}", toks.len()),
+            });
+        }
+        let r: usize = toks[0].parse().map_err(|_| MatrixError::ParseError {
+            line: lineno,
+            message: format!("invalid row index {}", toks[0]),
+        })?;
+        let c: usize = toks[1].parse().map_err(|_| MatrixError::ParseError {
+            line: lineno,
+            message: format!("invalid column index {}", toks[1]),
+        })?;
+        if r == 0 || c == 0 {
+            return Err(MatrixError::ParseError {
+                line: lineno,
+                message: "Matrix Market indices are 1-based; found 0".into(),
+            });
+        }
+        let v: f64 = if field == MmField::Pattern {
+            1.0
+        } else {
+            toks[2].parse().map_err(|_| MatrixError::ParseError {
+                line: lineno,
+                message: format!("invalid value {}", toks[2]),
+            })?
+        };
+        let (r0, c0) = (r - 1, c - 1);
+        match symmetry {
+            MmSymmetry::General => coo.push(r0, c0, v)?,
+            MmSymmetry::Symmetric => coo.push_symmetric(r0, c0, v)?,
+        }
+        read_entries += 1;
+    }
+    if read_entries != nnz {
+        return Err(MatrixError::ParseError {
+            line: lineno,
+            message: format!("header declared {nnz} entries but {read_entries} were read"),
+        });
+    }
+    Ok(coo.to_csr())
+}
+
+/// Reads a Matrix Market file from disk.
+pub fn read_matrix_market_file<P: AsRef<Path>>(path: P) -> Result<CsrMatrix> {
+    let f = std::fs::File::open(path)?;
+    read_matrix_market(f)
+}
+
+/// Writes a matrix in `coordinate real general` Matrix Market format.
+pub fn write_matrix_market<W: Write>(matrix: &CsrMatrix, mut writer: W) -> Result<()> {
+    writeln!(writer, "%%MatrixMarket matrix coordinate real general")?;
+    writeln!(writer, "% written by the STS-k reproduction library")?;
+    writeln!(writer, "{} {} {}", matrix.nrows(), matrix.ncols(), matrix.nnz())?;
+    for (r, c, v) in matrix.iter() {
+        writeln!(writer, "{} {} {:.17e}", r + 1, c + 1, v)?;
+    }
+    Ok(())
+}
+
+/// Writes a matrix to a Matrix Market file on disk.
+pub fn write_matrix_market_file<P: AsRef<Path>>(matrix: &CsrMatrix, path: P) -> Result<()> {
+    let f = std::fs::File::create(path)?;
+    write_matrix_market(matrix, std::io::BufWriter::new(f))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_general_real() {
+        let text = "%%MatrixMarket matrix coordinate real general\n% comment\n3 3 3\n1 1 2.0\n2 1 -1.0\n3 3 4.0\n";
+        let m = read_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!(m.nrows(), 3);
+        assert_eq!(m.nnz(), 3);
+        assert_eq!(m.get(1, 0), -1.0);
+    }
+
+    #[test]
+    fn reads_symmetric_and_expands() {
+        let text = "%%MatrixMarket matrix coordinate real symmetric\n2 2 2\n1 1 2.0\n2 1 5.0\n";
+        let m = read_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!(m.nnz(), 3);
+        assert_eq!(m.get(0, 1), 5.0);
+        assert_eq!(m.get(1, 0), 5.0);
+        assert!(m.is_symmetric(0.0));
+    }
+
+    #[test]
+    fn reads_pattern_with_unit_values() {
+        let text = "%%MatrixMarket matrix coordinate pattern general\n2 2 2\n1 1\n2 2\n";
+        let m = read_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!(m.get(0, 0), 1.0);
+        assert_eq!(m.get(1, 1), 1.0);
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        let text = "%%NotMatrixMarket nonsense\n1 1 0\n";
+        assert!(read_matrix_market(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_unsupported_format() {
+        let text = "%%MatrixMarket matrix array real general\n2 2\n1.0\n2.0\n3.0\n4.0\n";
+        assert!(read_matrix_market(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_zero_based_indices() {
+        let text = "%%MatrixMarket matrix coordinate real general\n2 2 1\n0 1 3.0\n";
+        assert!(read_matrix_market(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_entry_count_mismatch() {
+        let text = "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 3.0\n";
+        assert!(read_matrix_market(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let mut coo = CooMatrix::new(3, 3);
+        coo.push(0, 0, 1.5).unwrap();
+        coo.push(2, 1, -2.25).unwrap();
+        let m = coo.to_csr();
+        let mut buf = Vec::new();
+        write_matrix_market(&m, &mut buf).unwrap();
+        let m2 = read_matrix_market(buf.as_slice()).unwrap();
+        assert_eq!(m, m2);
+    }
+
+    #[test]
+    fn empty_stream_is_an_error() {
+        assert!(read_matrix_market("".as_bytes()).is_err());
+    }
+
+    use crate::coo::CooMatrix;
+}

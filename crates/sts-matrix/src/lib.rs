@@ -1,0 +1,39 @@
+//! Sparse matrix substrate for the STS-k reproduction.
+//!
+//! This crate provides everything the higher-level STS-k crates need to talk
+//! about sparse matrices:
+//!
+//! * [`CooMatrix`] — a triplet (coordinate) builder used to assemble matrices
+//!   incrementally;
+//! * [`CsrMatrix`] — compressed sparse row storage with sorted, deduplicated
+//!   column indices, the "CSR-1" level of the paper's CSR-k hierarchy;
+//! * [`LowerTriangularCsr`] — the lower-triangular operand `L` of the sparse
+//!   triangular system `L x = b`, stored row-wise with the diagonal entry held
+//!   last in every row exactly as Algorithm 1 of the paper expects;
+//! * [`DenseMatrix`] — a small dense helper used as the ground-truth oracle in
+//!   tests;
+//! * Matrix Market I/O ([`io`]);
+//! * synthetic matrix [`generators`] and the Table-1 analogue [`suite`].
+//!
+//! The crate is deliberately free of any threading or NUMA concerns; those
+//! live in `sts-numa` and `sts-core`.
+
+pub mod coo;
+pub mod csr;
+pub mod dense;
+pub mod error;
+pub mod generators;
+pub mod io;
+pub mod ops;
+pub mod suite;
+pub mod triangular;
+
+pub use coo::CooMatrix;
+pub use csr::CsrMatrix;
+pub use dense::DenseMatrix;
+pub use error::MatrixError;
+pub use suite::{SuiteMatrix, SuiteScale, TestSuite};
+pub use triangular::LowerTriangularCsr;
+
+/// Result alias used throughout the matrix substrate.
+pub type Result<T> = std::result::Result<T, MatrixError>;

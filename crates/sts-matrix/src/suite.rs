@@ -1,0 +1,341 @@
+//! The Table-1 analogue test suite.
+//!
+//! The paper's evaluation (Table 1) uses twelve symmetric matrices from the
+//! University of Florida collection. This module reproduces that suite with
+//! synthetic matrices of the same structural class (see
+//! [`generators`](crate::generators)) at a configurable [`SuiteScale`], so the
+//! whole evaluation pipeline runs on a laptop and in CI while preserving the
+//! row-density classes that drive the paper's results.
+
+use serde::Serialize;
+
+use crate::csr::CsrMatrix;
+use crate::generators;
+use crate::triangular::LowerTriangularCsr;
+use crate::Result;
+
+/// Identifier of a suite entry, mirroring the labels of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum SuiteId {
+    /// `ldoor` analogue (very dense rows, ~45 nnz/row).
+    G1,
+    /// `rgg_n_2_21_s0` analogue (random geometric graph, ~15 nnz/row).
+    D1,
+    /// `nlpkkt160` analogue (3-D 27-point stencil, ~27 nnz/row).
+    S1,
+    /// `delaunay_n23` analogue (planar triangulation, ~7 nnz/row).
+    D2,
+    /// `road_central` analogue (~3.4 nnz/row).
+    D3,
+    /// `hugetrace-00020` analogue (~4 nnz/row).
+    D4,
+    /// `delaunay_n24` analogue (~7 nnz/row).
+    D5,
+    /// `hugebubbles-00000` analogue (~4 nnz/row).
+    D6,
+    /// `hugebubbles-00010` analogue (~4 nnz/row).
+    D7,
+    /// `hugebubbles-00020` analogue (~4 nnz/row).
+    D8,
+    /// `road_usa` analogue (~3.4 nnz/row).
+    D9,
+    /// `europe_osm` analogue (~3.1 nnz/row).
+    D10,
+}
+
+impl SuiteId {
+    /// All twelve identifiers in Table-1 order.
+    pub fn all() -> [SuiteId; 12] {
+        use SuiteId::*;
+        [G1, D1, S1, D2, D3, D4, D5, D6, D7, D8, D9, D10]
+    }
+
+    /// The short label used in the paper's figures (G1, D1, S1, D2, …).
+    pub fn label(&self) -> &'static str {
+        match self {
+            SuiteId::G1 => "G1",
+            SuiteId::D1 => "D1",
+            SuiteId::S1 => "S1",
+            SuiteId::D2 => "D2",
+            SuiteId::D3 => "D3",
+            SuiteId::D4 => "D4",
+            SuiteId::D5 => "D5",
+            SuiteId::D6 => "D6",
+            SuiteId::D7 => "D7",
+            SuiteId::D8 => "D8",
+            SuiteId::D9 => "D9",
+            SuiteId::D10 => "D10",
+        }
+    }
+
+    /// The name of the UF-collection matrix this entry stands in for.
+    pub fn paper_name(&self) -> &'static str {
+        match self {
+            SuiteId::G1 => "ldoor",
+            SuiteId::D1 => "rgg_n_2_21_s0",
+            SuiteId::S1 => "nlpkkt160",
+            SuiteId::D2 => "delaunay_n23",
+            SuiteId::D3 => "road_central",
+            SuiteId::D4 => "hugetrace-00020",
+            SuiteId::D5 => "delaunay_n24",
+            SuiteId::D6 => "hugebubbles-00000",
+            SuiteId::D7 => "hugebubbles-00010",
+            SuiteId::D8 => "hugebubbles-00020",
+            SuiteId::D9 => "road_usa",
+            SuiteId::D10 => "europe_osm",
+        }
+    }
+
+    /// The row density (nnz/n) reported for the original matrix in Table 1.
+    pub fn paper_row_density(&self) -> f64 {
+        match self {
+            SuiteId::G1 => 44.63,
+            SuiteId::D1 => 14.82,
+            SuiteId::S1 => 27.01,
+            SuiteId::D2 => 7.00,
+            SuiteId::D3 => 3.41,
+            SuiteId::D4 => 4.00,
+            SuiteId::D5 => 7.00,
+            SuiteId::D6 => 4.00,
+            SuiteId::D7 => 4.00,
+            SuiteId::D8 => 4.00,
+            SuiteId::D9 => 3.41,
+            SuiteId::D10 => 3.12,
+        }
+    }
+
+    /// The dimension reported for the original matrix in Table 1.
+    pub fn paper_n(&self) -> usize {
+        match self {
+            SuiteId::G1 => 952_203,
+            SuiteId::D1 => 2_097_152,
+            SuiteId::S1 => 8_345_600,
+            SuiteId::D2 => 8_388_608,
+            SuiteId::D3 => 14_081_816,
+            SuiteId::D4 => 16_002_413,
+            SuiteId::D5 => 16_777_216,
+            SuiteId::D6 => 18_318_143,
+            SuiteId::D7 => 19_458_087,
+            SuiteId::D8 => 21_198_119,
+            SuiteId::D9 => 23_947_347,
+            SuiteId::D10 => 50_912_018,
+        }
+    }
+}
+
+/// Size of the generated suite. The structural classes are identical across
+/// scales; only the matrix dimensions change.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum SuiteScale {
+    /// A few thousand rows per matrix — unit/integration tests.
+    Tiny,
+    /// Tens of thousands of rows — the default for the figure harnesses.
+    Small,
+    /// Low hundreds of thousands of rows — closer to the paper, slower.
+    Medium,
+}
+
+impl SuiteScale {
+    /// Linear multiplier applied to each generator's base grid dimensions.
+    pub fn factor(&self) -> usize {
+        match self {
+            SuiteScale::Tiny => 1,
+            SuiteScale::Small => 3,
+            SuiteScale::Medium => 8,
+        }
+    }
+}
+
+/// One generated matrix of the suite together with its Table-1 metadata.
+#[derive(Debug, Clone)]
+pub struct SuiteMatrix {
+    /// Which Table-1 entry this matrix stands in for.
+    pub id: SuiteId,
+    /// The symmetric matrix `A` whose graph is `G1` (lower triangle = `L`).
+    pub symmetric: CsrMatrix,
+}
+
+impl SuiteMatrix {
+    /// The lower-triangular operand `L` for the solvers.
+    pub fn lower(&self) -> Result<LowerTriangularCsr> {
+        LowerTriangularCsr::from_lower_triangle_of(&self.symmetric)
+    }
+
+    /// Dimension of the generated matrix.
+    pub fn n(&self) -> usize {
+        self.symmetric.nrows()
+    }
+
+    /// Stored nonzeros of the generated symmetric matrix.
+    pub fn nnz(&self) -> usize {
+        self.symmetric.nnz()
+    }
+
+    /// Row density of the generated matrix, comparable against
+    /// [`SuiteId::paper_row_density`].
+    pub fn row_density(&self) -> f64 {
+        self.symmetric.row_density()
+    }
+}
+
+/// The full twelve-matrix suite.
+#[derive(Debug, Clone)]
+pub struct TestSuite {
+    /// Scale the suite was generated at.
+    pub scale: SuiteScale,
+    /// The matrices, in Table-1 order.
+    pub matrices: Vec<SuiteMatrix>,
+}
+
+/// Generates a single suite entry at the requested scale.
+pub fn generate(id: SuiteId, scale: SuiteScale) -> Result<SuiteMatrix> {
+    let f = scale.factor();
+    let symmetric = match id {
+        // ldoor: ~45 nnz/row. 9-point 2-D stencil block-expanded by 5:
+        // 8 neighbours * 5 + 4 intra-block + 1 diagonal = 45.
+        SuiteId::G1 => {
+            let base = generators::grid2d_9point(14 * f, 14 * f)?;
+            generators::block_expand(&base, 5)?
+        }
+        // random geometric graph, target ~14 neighbours.
+        SuiteId::D1 => generators::random_geometric(4_000 * f * f, 14.0, 21)?,
+        // 3-D 27-point stencil.
+        SuiteId::S1 => generators::grid3d_27point(10 * f, 10 * f, 10 * f)?,
+        // planar triangulations.
+        SuiteId::D2 => generators::triangulated_grid(64 * f, 64 * f, 23)?,
+        SuiteId::D5 => generators::triangulated_grid(72 * f, 72 * f, 24)?,
+        // road networks (sparser).
+        SuiteId::D3 => generators::road_network(72 * f, 72 * f, 0.60, 3)?,
+        SuiteId::D9 => generators::road_network(76 * f, 76 * f, 0.60, 9)?,
+        SuiteId::D10 => generators::road_network(96 * f, 96 * f, 0.50, 10)?,
+        // trace / bubble meshes (~4 nnz/row): grid with mild thinning.
+        SuiteId::D4 => generators::road_network(70 * f, 70 * f, 0.78, 4)?,
+        SuiteId::D6 => generators::road_network(74 * f, 74 * f, 0.78, 6)?,
+        SuiteId::D7 => generators::road_network(75 * f, 75 * f, 0.78, 7)?,
+        SuiteId::D8 => generators::road_network(78 * f, 78 * f, 0.78, 8)?,
+    };
+    Ok(SuiteMatrix { id, symmetric })
+}
+
+impl TestSuite {
+    /// Generates the full twelve-matrix suite at the requested scale.
+    pub fn generate(scale: SuiteScale) -> Result<TestSuite> {
+        let mut matrices = Vec::with_capacity(12);
+        for id in SuiteId::all() {
+            matrices.push(generate(id, scale)?);
+        }
+        Ok(TestSuite { scale, matrices })
+    }
+
+    /// Generates a subset of the suite (used by fast-running tests).
+    pub fn generate_subset(scale: SuiteScale, ids: &[SuiteId]) -> Result<TestSuite> {
+        let mut matrices = Vec::with_capacity(ids.len());
+        for &id in ids {
+            matrices.push(generate(id, scale)?);
+        }
+        Ok(TestSuite { scale, matrices })
+    }
+
+    /// Looks a matrix up by its Table-1 label.
+    pub fn by_label(&self, label: &str) -> Option<&SuiteMatrix> {
+        self.matrices.iter().find(|m| m.id.label() == label)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_twelve_ids_are_distinct() {
+        let ids = SuiteId::all();
+        for (i, a) in ids.iter().enumerate() {
+            for b in ids.iter().skip(i + 1) {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_suite_generates_all_matrices() {
+        let suite = TestSuite::generate(SuiteScale::Tiny).unwrap();
+        assert_eq!(suite.matrices.len(), 12);
+        for m in &suite.matrices {
+            assert!(m.n() > 100, "{} too small: {}", m.id.label(), m.n());
+            assert!(m.symmetric.is_symmetric(1e-12), "{} not symmetric", m.id.label());
+            let l = m.lower().unwrap();
+            assert_eq!(l.n(), m.n());
+        }
+    }
+
+    #[test]
+    fn row_density_tracks_paper_class() {
+        let suite = TestSuite::generate(SuiteScale::Tiny).unwrap();
+        for m in &suite.matrices {
+            let got = m.row_density();
+            let want = m.id.paper_row_density();
+            // Within a factor of ~1.7 of the paper's density: the *class*
+            // (sparse path-like vs. planar vs. dense FEM) is what matters.
+            assert!(
+                got > want / 1.7 && got < want * 1.7,
+                "{}: generated density {got:.2} vs paper {want:.2}",
+                m.id.label()
+            );
+        }
+    }
+
+    #[test]
+    fn density_ordering_matches_table1() {
+        // G1 (ldoor class) must be the densest, road/osm matrices the sparsest.
+        let suite = TestSuite::generate(SuiteScale::Tiny).unwrap();
+        let density =
+            |label: &str| suite.by_label(label).map(|m| m.row_density()).unwrap_or(f64::NAN);
+        assert!(density("G1") > density("S1"));
+        assert!(density("S1") > density("D1"));
+        assert!(density("D1") > density("D2"));
+        assert!(density("D2") > density("D10"));
+    }
+
+    #[test]
+    fn subset_generation_respects_order() {
+        let suite =
+            TestSuite::generate_subset(SuiteScale::Tiny, &[SuiteId::D3, SuiteId::G1]).unwrap();
+        assert_eq!(suite.matrices.len(), 2);
+        assert_eq!(suite.matrices[0].id, SuiteId::D3);
+        assert_eq!(suite.matrices[1].id, SuiteId::G1);
+    }
+
+    #[test]
+    fn by_label_finds_entries() {
+        let suite = TestSuite::generate_subset(SuiteScale::Tiny, &[SuiteId::S1]).unwrap();
+        assert!(suite.by_label("S1").is_some());
+        assert!(suite.by_label("G1").is_none());
+    }
+
+    #[test]
+    fn paper_metadata_is_consistent() {
+        for id in SuiteId::all() {
+            assert!(id.paper_n() > 900_000);
+            assert!(id.paper_row_density() >= 3.0);
+            assert!(!id.paper_name().is_empty());
+        }
+    }
+
+    #[test]
+    fn suite_lower_operands_are_solvable() {
+        let suite = TestSuite::generate_subset(
+            SuiteScale::Tiny,
+            &[SuiteId::G1, SuiteId::D3, SuiteId::S1],
+        )
+        .unwrap();
+        for m in &suite.matrices {
+            let l = m.lower().unwrap();
+            let x_true = vec![2.0; l.n()];
+            let b = l.multiply(&x_true).unwrap();
+            let x = l.solve_seq(&b).unwrap();
+            for (a, b) in x.iter().zip(&x_true) {
+                assert!((a - b).abs() < 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,463 @@
+//! Lower-triangular matrix storage and the sequential reference solve.
+//!
+//! [`LowerTriangularCsr`] stores the operand `L` of `L x = b` the way the
+//! paper's Algorithm 1 consumes it: row-wise, with the strictly-lower entries
+//! of each row first (columns sorted increasingly) and the diagonal entry
+//! stored *last* in the row, so the inner kernel is
+//!
+//! ```text
+//! temp = Σ_{j in row i, j < i} L[i,j] * x[j]
+//! x[i] = (b[i] - temp) / L[i,i]
+//! ```
+//!
+//! All higher-level solvers in `sts-core` permute and regroup this structure
+//! but keep the per-row layout identical, so the innermost loop is shared.
+
+use crate::csr::CsrMatrix;
+use crate::error::MatrixError;
+use crate::Result;
+
+/// A sparse lower-triangular matrix with a guaranteed nonzero diagonal.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LowerTriangularCsr {
+    n: usize,
+    /// Row pointers into `col_idx`/`values` (`index1` in the paper).
+    row_ptr: Vec<usize>,
+    /// Column indices; within a row the strictly-lower columns come first in
+    /// increasing order, followed by the diagonal column (== row index).
+    col_idx: Vec<usize>,
+    /// Values, laid out parallel to `col_idx`.
+    values: Vec<f64>,
+}
+
+impl LowerTriangularCsr {
+    /// Builds a lower-triangular matrix from a general CSR matrix.
+    ///
+    /// Every entry must satisfy `col <= row`; rows missing a diagonal entry
+    /// (or carrying a zero diagonal) are rejected because the triangular
+    /// solve would divide by zero.
+    pub fn from_csr(csr: &CsrMatrix) -> Result<Self> {
+        if csr.nrows() != csr.ncols() {
+            return Err(MatrixError::DimensionMismatch(format!(
+                "lower-triangular matrix must be square, got {}x{}",
+                csr.nrows(),
+                csr.ncols()
+            )));
+        }
+        let n = csr.nrows();
+        let mut row_ptr = Vec::with_capacity(n + 1);
+        let mut col_idx = Vec::with_capacity(csr.nnz());
+        let mut values = Vec::with_capacity(csr.nnz());
+        row_ptr.push(0);
+        for r in 0..n {
+            let mut diag: Option<f64> = None;
+            for (&c, &v) in csr.row_cols(r).iter().zip(csr.row_values(r)) {
+                if c > r {
+                    return Err(MatrixError::NotLowerTriangular { row: r, col: c });
+                }
+                if c == r {
+                    diag = Some(v);
+                } else {
+                    col_idx.push(c);
+                    values.push(v);
+                }
+            }
+            match diag {
+                Some(d) if d != 0.0 => {
+                    col_idx.push(r);
+                    values.push(d);
+                }
+                _ => return Err(MatrixError::SingularDiagonal { row: r }),
+            }
+            row_ptr.push(col_idx.len());
+        }
+        Ok(LowerTriangularCsr { n, row_ptr, col_idx, values })
+    }
+
+    /// Extracts the lower triangle of a general (e.g. symmetric) matrix and
+    /// builds the triangular operand from it.
+    pub fn from_lower_triangle_of(csr: &CsrMatrix) -> Result<Self> {
+        Self::from_csr(&csr.lower_triangle())
+    }
+
+    /// Dimension `n` of the square matrix.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of stored entries (strictly-lower + diagonal).
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Average row density `nnz / n`.
+    pub fn row_density(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.nnz() as f64 / self.n as f64
+        }
+    }
+
+    /// Row pointer array (`index1`).
+    pub fn row_ptr(&self) -> &[usize] {
+        &self.row_ptr
+    }
+
+    /// Column index array (`subscript1`).
+    pub fn col_idx(&self) -> &[usize] {
+        &self.col_idx
+    }
+
+    /// Value array (`valueL`).
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// The strictly-lower column indices of row `r` (excludes the diagonal).
+    pub fn row_off_diag_cols(&self, r: usize) -> &[usize] {
+        &self.col_idx[self.row_ptr[r]..self.row_ptr[r + 1] - 1]
+    }
+
+    /// The strictly-lower values of row `r` (excludes the diagonal).
+    pub fn row_off_diag_values(&self, r: usize) -> &[f64] {
+        &self.values[self.row_ptr[r]..self.row_ptr[r + 1] - 1]
+    }
+
+    /// The diagonal value of row `r`.
+    pub fn diag(&self, r: usize) -> f64 {
+        self.values[self.row_ptr[r + 1] - 1]
+    }
+
+    /// Number of stored entries in row `r` including the diagonal.
+    pub fn row_nnz(&self, r: usize) -> usize {
+        self.row_ptr[r + 1] - self.row_ptr[r]
+    }
+
+    /// Solves `L x = b` sequentially (forward substitution) and returns `x`.
+    pub fn solve_seq(&self, b: &[f64]) -> Result<Vec<f64>> {
+        if b.len() != self.n {
+            return Err(MatrixError::DimensionMismatch(format!(
+                "b has length {} but L is {}x{}",
+                b.len(),
+                self.n,
+                self.n
+            )));
+        }
+        let mut x = vec![0.0; self.n];
+        self.solve_seq_into(b, &mut x)?;
+        Ok(x)
+    }
+
+    /// Solves `L x = b` sequentially into a caller-provided buffer.
+    pub fn solve_seq_into(&self, b: &[f64], x: &mut [f64]) -> Result<()> {
+        if b.len() != self.n || x.len() != self.n {
+            return Err(MatrixError::DimensionMismatch(
+                "b and x must both have length n".into(),
+            ));
+        }
+        for i in 0..self.n {
+            let start = self.row_ptr[i];
+            let end = self.row_ptr[i + 1];
+            let mut acc = 0.0;
+            for k in start..end - 1 {
+                acc += self.values[k] * x[self.col_idx[k]];
+            }
+            x[i] = (b[i] - acc) / self.values[end - 1];
+        }
+        Ok(())
+    }
+
+    /// Solves the transposed system `Lᵀ x = b` (an upper-triangular solve)
+    /// sequentially and returns `x`.
+    ///
+    /// `L` is stored by rows, which is column-major storage for `Lᵀ`, so the
+    /// solve uses the classic column sweep: once `x[i]` is known, its
+    /// contribution is scattered into the remaining right-hand side entries.
+    /// Together with [`LowerTriangularCsr::solve_seq`] this provides the
+    /// forward/backward pair needed by symmetric Gauss–Seidel and incomplete
+    /// Cholesky preconditioners.
+    pub fn solve_transpose_seq(&self, b: &[f64]) -> Result<Vec<f64>> {
+        if b.len() != self.n {
+            return Err(MatrixError::DimensionMismatch(format!(
+                "b has length {} but L is {}x{}",
+                b.len(),
+                self.n,
+                self.n
+            )));
+        }
+        let mut rhs = b.to_vec();
+        let mut x = vec![0.0; self.n];
+        for i in (0..self.n).rev() {
+            let start = self.row_ptr[i];
+            let end = self.row_ptr[i + 1];
+            let xi = rhs[i] / self.values[end - 1];
+            x[i] = xi;
+            for k in start..end - 1 {
+                rhs[self.col_idx[k]] -= self.values[k] * xi;
+            }
+        }
+        Ok(x)
+    }
+
+    /// Computes `y = Lᵀ x` (used to manufacture right-hand sides for the
+    /// transposed solve).
+    pub fn multiply_transpose(&self, x: &[f64]) -> Result<Vec<f64>> {
+        if x.len() != self.n {
+            return Err(MatrixError::DimensionMismatch(format!(
+                "x has length {} but L is {}x{}",
+                x.len(),
+                self.n,
+                self.n
+            )));
+        }
+        let mut y = vec![0.0; self.n];
+        for i in 0..self.n {
+            for k in self.row_ptr[i]..self.row_ptr[i + 1] {
+                y[self.col_idx[k]] += self.values[k] * x[i];
+            }
+        }
+        Ok(y)
+    }
+
+    /// Computes `y = L x` (used to manufacture right-hand sides and to verify
+    /// solutions via the residual).
+    pub fn multiply(&self, x: &[f64]) -> Result<Vec<f64>> {
+        if x.len() != self.n {
+            return Err(MatrixError::DimensionMismatch(format!(
+                "x has length {} but L is {}x{}",
+                x.len(),
+                self.n,
+                self.n
+            )));
+        }
+        let mut y = vec![0.0; self.n];
+        for i in 0..self.n {
+            let mut acc = 0.0;
+            for k in self.row_ptr[i]..self.row_ptr[i + 1] {
+                acc += self.values[k] * x[self.col_idx[k]];
+            }
+            y[i] = acc;
+        }
+        Ok(y)
+    }
+
+    /// Converts back to a general [`CsrMatrix`] with columns fully sorted
+    /// (diagonal in its natural position).
+    pub fn to_csr(&self) -> CsrMatrix {
+        let mut row_ptr = Vec::with_capacity(self.n + 1);
+        let mut col_idx = Vec::with_capacity(self.nnz());
+        let mut values = Vec::with_capacity(self.nnz());
+        row_ptr.push(0);
+        for r in 0..self.n {
+            for (&c, &v) in self.row_off_diag_cols(r).iter().zip(self.row_off_diag_values(r)) {
+                col_idx.push(c);
+                values.push(v);
+            }
+            col_idx.push(r);
+            values.push(self.diag(r));
+            row_ptr.push(col_idx.len());
+        }
+        CsrMatrix::from_raw_unchecked(self.n, self.n, row_ptr, col_idx, values)
+    }
+
+    /// Returns the symmetric pattern matrix `A = L + Lᵀ` whose graph `G1`
+    /// drives the reorderings of the paper.
+    pub fn symmetrized(&self) -> CsrMatrix {
+        self.to_csr().plus_transpose()
+    }
+
+    /// Applies a symmetric permutation to `L`: rows and columns are relabelled
+    /// by `perm` (new index → old index) and the result is re-extracted as a
+    /// lower-triangular matrix of the permuted symmetric pattern.
+    ///
+    /// This matches the paper's use of reorderings: permuting `A = L + Lᵀ`
+    /// symmetrically and taking the lower triangle of the result preserves
+    /// the solvability of the system while changing the dependency structure.
+    pub fn permute_symmetric(&self, perm: &[usize]) -> Result<LowerTriangularCsr> {
+        let sym = self.symmetrized().permute_symmetric(perm)?;
+        LowerTriangularCsr::from_lower_triangle_of(&sym)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::CooMatrix;
+
+    /// The 9x9 example from Figure 1 of the paper (pattern only; values are
+    /// chosen to make L diagonally dominant).
+    pub(crate) fn paper_example() -> LowerTriangularCsr {
+        // Lower-triangular pattern of Figure 1 (1-based in the paper):
+        // row: columns (strictly lower) — diag always present
+        // 1: -       2: -      3: 1      4: 2     5: -
+        // 6: 3,4     7: 4,5,6  8: 5,7    9: 1,2,8
+        let pattern: &[(usize, &[usize])] = &[
+            (0, &[]),
+            (1, &[]),
+            (2, &[0]),
+            (3, &[1]),
+            (4, &[]),
+            (5, &[2, 3]),
+            (6, &[3, 4, 5]),
+            (7, &[4, 6]),
+            (8, &[0, 1, 7]),
+        ];
+        let mut coo = CooMatrix::new(9, 9);
+        for &(r, cols) in pattern {
+            for &c in cols {
+                coo.push(r, c, -1.0).unwrap();
+            }
+            coo.push(r, r, 4.0).unwrap();
+        }
+        LowerTriangularCsr::from_csr(&coo.to_csr()).unwrap()
+    }
+
+    #[test]
+    fn rejects_upper_triangular_entries() {
+        let mut coo = CooMatrix::new(2, 2);
+        coo.push(0, 0, 1.0).unwrap();
+        coo.push(0, 1, 1.0).unwrap();
+        coo.push(1, 1, 1.0).unwrap();
+        let e = LowerTriangularCsr::from_csr(&coo.to_csr());
+        assert!(matches!(e, Err(MatrixError::NotLowerTriangular { row: 0, col: 1 })));
+    }
+
+    #[test]
+    fn rejects_missing_diagonal() {
+        let mut coo = CooMatrix::new(2, 2);
+        coo.push(0, 0, 1.0).unwrap();
+        coo.push(1, 0, 1.0).unwrap();
+        let e = LowerTriangularCsr::from_csr(&coo.to_csr());
+        assert!(matches!(e, Err(MatrixError::SingularDiagonal { row: 1 })));
+    }
+
+    #[test]
+    fn rejects_zero_diagonal() {
+        let mut coo = CooMatrix::new(1, 1);
+        coo.push(0, 0, 0.0).unwrap();
+        let e = LowerTriangularCsr::from_csr(&coo.to_csr());
+        assert!(matches!(e, Err(MatrixError::SingularDiagonal { row: 0 })));
+    }
+
+    #[test]
+    fn rejects_rectangular_matrices() {
+        let coo = CooMatrix::new(2, 3);
+        let e = LowerTriangularCsr::from_csr(&coo.to_csr());
+        assert!(matches!(e, Err(MatrixError::DimensionMismatch(_))));
+    }
+
+    #[test]
+    fn diagonal_is_stored_last_per_row() {
+        let l = paper_example();
+        for r in 0..l.n() {
+            let end = l.row_ptr()[r + 1];
+            assert_eq!(l.col_idx()[end - 1], r, "row {r} must end with its diagonal");
+            // off-diagonal columns strictly increasing and < r
+            let off = l.row_off_diag_cols(r);
+            for w in off.windows(2) {
+                assert!(w[0] < w[1]);
+            }
+            assert!(off.iter().all(|&c| c < r));
+        }
+    }
+
+    #[test]
+    fn solve_seq_identity() {
+        let l = LowerTriangularCsr::from_csr(&CsrMatrix::identity(5)).unwrap();
+        let b = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(l.solve_seq(&b).unwrap(), b);
+    }
+
+    #[test]
+    fn solve_seq_matches_multiply_roundtrip() {
+        let l = paper_example();
+        let x_true: Vec<f64> = (0..l.n()).map(|i| (i as f64 + 1.0) * 0.5).collect();
+        let b = l.multiply(&x_true).unwrap();
+        let x = l.solve_seq(&b).unwrap();
+        for (a, b) in x.iter().zip(&x_true) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn solve_rejects_wrong_length_rhs() {
+        let l = paper_example();
+        assert!(l.solve_seq(&[1.0; 3]).is_err());
+        assert!(l.multiply(&[1.0; 3]).is_err());
+        assert!(l.solve_transpose_seq(&[1.0; 3]).is_err());
+        assert!(l.multiply_transpose(&[1.0; 3]).is_err());
+    }
+
+    #[test]
+    fn transpose_solve_inverts_transpose_multiply() {
+        let l = paper_example();
+        let x_true: Vec<f64> = (0..l.n()).map(|i| 1.0 - 0.1 * i as f64).collect();
+        let b = l.multiply_transpose(&x_true).unwrap();
+        let x = l.solve_transpose_seq(&b).unwrap();
+        for (a, b) in x.iter().zip(&x_true) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn transpose_solve_matches_dense_upper_solve() {
+        // Forward then backward solve applied to L Lᵀ x = b reproduces x.
+        let l = paper_example();
+        let x_true = vec![2.0; l.n()];
+        let b = l.multiply(&l.multiply_transpose(&x_true).unwrap()).unwrap();
+        let y = l.solve_seq(&b).unwrap();
+        let x = l.solve_transpose_seq(&y).unwrap();
+        for (a, b) in x.iter().zip(&x_true) {
+            assert!((a - b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn transpose_solve_on_identity_is_a_noop() {
+        let l = LowerTriangularCsr::from_csr(&CsrMatrix::identity(4)).unwrap();
+        let b = vec![1.0, 2.0, 3.0, 4.0];
+        assert_eq!(l.solve_transpose_seq(&b).unwrap(), b);
+    }
+
+    #[test]
+    fn to_csr_roundtrip_preserves_entries() {
+        let l = paper_example();
+        let csr = l.to_csr();
+        let l2 = LowerTriangularCsr::from_csr(&csr).unwrap();
+        assert_eq!(l, l2);
+    }
+
+    #[test]
+    fn symmetrized_matches_figure_one() {
+        let l = paper_example();
+        let a = l.symmetrized();
+        assert!(a.is_symmetric(1e-12));
+        // Figure 1: vertex 9 (index 8) is adjacent to 1, 2 and 8 (indices 0, 1, 7).
+        let neighbors: Vec<usize> = a
+            .row_cols(8)
+            .iter()
+            .copied()
+            .filter(|&c| c != 8)
+            .collect();
+        assert_eq!(neighbors, vec![0, 1, 7]);
+    }
+
+    #[test]
+    fn permute_symmetric_preserves_solution_up_to_relabelling() {
+        let l = paper_example();
+        let n = l.n();
+        // reverse permutation
+        let perm: Vec<usize> = (0..n).rev().collect();
+        let lp = l.permute_symmetric(&perm).unwrap();
+        assert_eq!(lp.n(), n);
+        assert_eq!(lp.nnz(), l.nnz());
+        // The permuted matrix must still be solvable and well formed.
+        let ones = vec![1.0; n];
+        let b = lp.multiply(&ones).unwrap();
+        let x = lp.solve_seq(&b).unwrap();
+        for v in x {
+            assert!((v - 1.0).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! Thread-to-core pinning.
+//!
+//! The paper pins OpenMP threads with `KMP_AFFINITY=compact`. The worker pool
+//! in [`pool`](crate::pool) pins each worker to a core id taken from
+//! [`NumaTopology::compact_core_order`](crate::topology::NumaTopology::compact_core_order)
+//! using `sched_setaffinity` on Linux. On other platforms (or when the host
+//! has fewer cores than requested) pinning silently degrades to a no-op so the
+//! library stays portable.
+
+/// Outcome of a pinning attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PinResult {
+    /// The calling thread is now pinned to the requested core.
+    Pinned,
+    /// Pinning is unsupported on this platform or the core does not exist;
+    /// the thread keeps its default affinity.
+    Unsupported,
+}
+
+/// Number of logical cores available to this process.
+pub fn available_cores() -> usize {
+    std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1)
+}
+
+/// Pins the calling thread to `core`. Returns [`PinResult::Unsupported`]
+/// rather than failing when the platform cannot pin or the core id is out of
+/// range, because a reproduction run on a laptop should still work unpinned.
+pub fn pin_current_thread(core: usize) -> PinResult {
+    if core >= available_cores() {
+        return PinResult::Unsupported;
+    }
+    pin_impl(core)
+}
+
+#[cfg(target_os = "linux")]
+fn pin_impl(core: usize) -> PinResult {
+    // SAFETY: cpu_set_t is a plain bitmask struct; zeroing it is its documented
+    // empty state, CPU_SET only touches the mask, and sched_setaffinity reads
+    // `size_of::<cpu_set_t>()` bytes we own on the stack.
+    unsafe {
+        let mut set: libc::cpu_set_t = std::mem::zeroed();
+        libc::CPU_SET(core, &mut set);
+        let rc = libc::sched_setaffinity(0, std::mem::size_of::<libc::cpu_set_t>(), &set);
+        if rc == 0 {
+            PinResult::Pinned
+        } else {
+            PinResult::Unsupported
+        }
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+fn pin_impl(_core: usize) -> PinResult {
+    PinResult::Unsupported
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn available_cores_is_positive() {
+        assert!(available_cores() >= 1);
+    }
+
+    #[test]
+    fn pinning_to_core_zero_does_not_panic() {
+        // Either outcome is acceptable; the call must simply not fail.
+        let r = pin_current_thread(0);
+        assert!(matches!(r, PinResult::Pinned | PinResult::Unsupported));
+    }
+
+    #[test]
+    fn pinning_out_of_range_reports_unsupported() {
+        assert_eq!(pin_current_thread(usize::MAX), PinResult::Unsupported);
+    }
+
+    #[test]
+    fn pinned_thread_still_computes() {
+        let handle = std::thread::spawn(|| {
+            let _ = pin_current_thread(0);
+            (0..1000u64).sum::<u64>()
+        });
+        assert_eq!(handle.join().unwrap(), 499_500);
+    }
+}

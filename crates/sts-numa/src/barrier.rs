@@ -1,0 +1,134 @@
+//! A centralized sense-reversing spin barrier.
+//!
+//! Sparse triangular solution synchronises after every pack (or level); for
+//! level-set orderings that can be thousands of barriers per solve, so the
+//! barrier must be cheap. This is the classic two-phase sense-reversing
+//! design: each arriving thread decrements a counter; the last one flips the
+//! global sense and resets the counter; everybody else spins (with a bounded
+//! number of `spin_loop` hints before yielding) on the sense flip.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// A reusable spin barrier for a fixed set of participants.
+#[derive(Debug)]
+pub struct SpinBarrier {
+    participants: usize,
+    remaining: AtomicUsize,
+    sense: AtomicBool,
+}
+
+impl SpinBarrier {
+    /// Creates a barrier for `participants` threads (at least 1).
+    pub fn new(participants: usize) -> Self {
+        assert!(participants >= 1, "a barrier needs at least one participant");
+        SpinBarrier {
+            participants,
+            remaining: AtomicUsize::new(participants),
+            sense: AtomicBool::new(false),
+        }
+    }
+
+    /// Number of participating threads.
+    pub fn participants(&self) -> usize {
+        self.participants
+    }
+
+    /// Blocks until all participants have called `wait`. Returns `true` on the
+    /// thread that arrived last (the "serial" thread), mirroring
+    /// `std::sync::Barrier`.
+    pub fn wait(&self) -> bool {
+        let my_sense = !self.sense.load(Ordering::Relaxed);
+        // AcqRel: the decrement publishes this thread's writes to the thread
+        // that releases the barrier, and the release below publishes them all.
+        if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            self.remaining.store(self.participants, Ordering::Relaxed);
+            self.sense.store(my_sense, Ordering::Release);
+            true
+        } else {
+            let mut spins = 0u32;
+            while self.sense.load(Ordering::Acquire) != my_sense {
+                spins += 1;
+                if spins < 64 {
+                    std::hint::spin_loop();
+                } else {
+                    // Oversubscribed or long waits: yield so other workers can
+                    // make progress (essential on the single-core CI host).
+                    std::thread::yield_now();
+                }
+            }
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
+
+    #[test]
+    fn single_participant_never_blocks() {
+        let b = SpinBarrier::new(1);
+        for _ in 0..10 {
+            assert!(b.wait());
+        }
+    }
+
+    #[test]
+    fn all_threads_reach_each_phase_before_any_proceeds() {
+        let threads = 4;
+        let barrier = Arc::new(SpinBarrier::new(threads));
+        let counter = Arc::new(AtomicUsize::new(0));
+        let phases = 50;
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let barrier = Arc::clone(&barrier);
+                let counter = Arc::clone(&counter);
+                std::thread::spawn(move || {
+                    for phase in 0..phases {
+                        counter.fetch_add(1, Ordering::SeqCst);
+                        barrier.wait();
+                        // After the barrier every thread must observe that all
+                        // increments of this phase happened.
+                        assert_eq!(counter.load(Ordering::SeqCst), (phase + 1) * threads);
+                        barrier.wait();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn exactly_one_thread_is_serial_per_phase() {
+        let threads = 3;
+        let barrier = Arc::new(SpinBarrier::new(threads));
+        let serial_count = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let barrier = Arc::clone(&barrier);
+                let serial_count = Arc::clone(&serial_count);
+                std::thread::spawn(move || {
+                    for _ in 0..20 {
+                        if barrier.wait() {
+                            serial_count.fetch_add(1, Ordering::SeqCst);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(serial_count.load(Ordering::SeqCst), 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one participant")]
+    fn zero_participants_is_rejected() {
+        let _ = SpinBarrier::new(0);
+    }
+}

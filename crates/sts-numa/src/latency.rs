@@ -1,0 +1,211 @@
+//! Data-access latency model.
+//!
+//! The simulated executor charges each solver the latency of the memory level
+//! a datum is served from. The default cycle counts are the ones the paper
+//! quotes for its Intel Westmere-EX node (L1 4 cycles, L2 10 cycles, shared
+//! L3 with NUMA-dependent 38–170 cycles, DRAM 175–290 cycles) and a
+//! comparable set for the AMD MagnyCours node. Absolute numbers matter less
+//! than their ordering and ratios: the figures of the paper are relative
+//! speedups, which the model preserves.
+
+use serde::Serialize;
+
+use crate::topology::NumaDistance;
+
+/// Where a datum is served from, as seen by the reading core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum AccessKind {
+    /// Private L1 hit.
+    L1,
+    /// Private L2 hit.
+    L2,
+    /// Hit in the local L3 slice (same sharing group).
+    L3Local,
+    /// Hit in a remote L3 slice (other group / other socket).
+    L3Remote,
+    /// Local-socket DRAM.
+    DramLocal,
+    /// Remote-socket DRAM.
+    DramRemote,
+}
+
+/// Cycle costs for the memory hierarchy plus arithmetic and synchronisation.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct LatencyModel {
+    /// Private L1 hit latency (cycles).
+    pub l1_cycles: f64,
+    /// Private L2 hit latency (cycles).
+    pub l2_cycles: f64,
+    /// Shared L3 hit, local slice (cycles).
+    pub l3_local_cycles: f64,
+    /// Shared L3 hit, remote slice / socket (cycles).
+    pub l3_remote_cycles: f64,
+    /// Local DRAM access (cycles).
+    pub dram_local_cycles: f64,
+    /// Remote DRAM access (cycles).
+    pub dram_remote_cycles: f64,
+    /// Cost of one fused multiply-add of the solve kernel (cycles).
+    pub flop_cycles: f64,
+    /// Cost per core of one inter-pack barrier (cycles).
+    pub barrier_cycles_per_core: f64,
+    /// Clock frequency used to convert cycles to seconds.
+    pub clock_ghz: f64,
+}
+
+impl LatencyModel {
+    /// Latencies the paper cites for the Intel Westmere-EX node.
+    pub fn intel_westmere_ex() -> Self {
+        LatencyModel {
+            l1_cycles: 4.0,
+            l2_cycles: 10.0,
+            l3_local_cycles: 38.0,
+            l3_remote_cycles: 170.0,
+            dram_local_cycles: 175.0,
+            dram_remote_cycles: 290.0,
+            flop_cycles: 1.0,
+            barrier_cycles_per_core: 600.0,
+            clock_ghz: 2.66,
+        }
+    }
+
+    /// Latencies for the AMD MagnyCours node (L3 per 6-core die; HyperTransport
+    /// hops make remote accesses relatively more expensive than on the Intel
+    /// node, which is why the paper's AMD gains from locality are larger).
+    pub fn amd_magny_cours() -> Self {
+        LatencyModel {
+            l1_cycles: 3.0,
+            l2_cycles: 12.0,
+            l3_local_cycles: 45.0,
+            l3_remote_cycles: 190.0,
+            dram_local_cycles: 190.0,
+            dram_remote_cycles: 320.0,
+            flop_cycles: 1.0,
+            barrier_cycles_per_core: 700.0,
+            clock_ghz: 2.1,
+        }
+    }
+
+    /// The flat model of Definition 1: every cache access costs the same `r`
+    /// and every memory-to-cache copy the same `w`.
+    pub fn uma() -> Self {
+        LatencyModel {
+            l1_cycles: 4.0,
+            l2_cycles: 10.0,
+            l3_local_cycles: 40.0,
+            l3_remote_cycles: 40.0,
+            dram_local_cycles: 200.0,
+            dram_remote_cycles: 200.0,
+            flop_cycles: 1.0,
+            barrier_cycles_per_core: 500.0,
+            clock_ghz: 2.5,
+        }
+    }
+
+    /// Cycle cost of one access of the given kind.
+    pub fn access_cycles(&self, kind: AccessKind) -> f64 {
+        match kind {
+            AccessKind::L1 => self.l1_cycles,
+            AccessKind::L2 => self.l2_cycles,
+            AccessKind::L3Local => self.l3_local_cycles,
+            AccessKind::L3Remote => self.l3_remote_cycles,
+            AccessKind::DramLocal => self.dram_local_cycles,
+            AccessKind::DramRemote => self.dram_remote_cycles,
+        }
+    }
+
+    /// Cycle cost of reading a solution component that was produced by a core
+    /// at the given NUMA distance and is still resident in that core's caches
+    /// (the "reuse from a proximal cache" path of Section 3.3).
+    pub fn reuse_cycles(&self, distance: NumaDistance) -> f64 {
+        match distance {
+            NumaDistance::SameCore => self.l1_cycles,
+            NumaDistance::SameL3 => self.l3_local_cycles,
+            NumaDistance::SameSocket => self.l3_remote_cycles,
+            NumaDistance::RemoteSocket => self.l3_remote_cycles.max(self.dram_local_cycles),
+        }
+    }
+
+    /// Cycle cost of reading a solution component that is *not* cache
+    /// resident and must come from memory at the given NUMA distance.
+    pub fn memory_cycles(&self, distance: NumaDistance) -> f64 {
+        match distance {
+            NumaDistance::SameCore | NumaDistance::SameL3 | NumaDistance::SameSocket => {
+                self.dram_local_cycles
+            }
+            NumaDistance::RemoteSocket => self.dram_remote_cycles,
+        }
+    }
+
+    /// Converts a cycle count to seconds using the model's clock.
+    pub fn cycles_to_seconds(&self, cycles: f64) -> f64 {
+        cycles / (self.clock_ghz * 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intel_model_matches_cited_latencies() {
+        let m = LatencyModel::intel_westmere_ex();
+        assert_eq!(m.l1_cycles, 4.0);
+        assert_eq!(m.l2_cycles, 10.0);
+        assert_eq!(m.l3_local_cycles, 38.0);
+        assert_eq!(m.l3_remote_cycles, 170.0);
+        assert_eq!(m.dram_local_cycles, 175.0);
+        assert_eq!(m.dram_remote_cycles, 290.0);
+    }
+
+    #[test]
+    fn hierarchy_is_monotone_for_all_presets() {
+        for m in [
+            LatencyModel::intel_westmere_ex(),
+            LatencyModel::amd_magny_cours(),
+            LatencyModel::uma(),
+        ] {
+            assert!(m.l1_cycles <= m.l2_cycles);
+            assert!(m.l2_cycles <= m.l3_local_cycles);
+            assert!(m.l3_local_cycles <= m.l3_remote_cycles);
+            assert!(m.l3_remote_cycles <= m.dram_remote_cycles);
+            assert!(m.dram_local_cycles <= m.dram_remote_cycles);
+        }
+    }
+
+    #[test]
+    fn reuse_is_cheaper_than_memory_at_every_distance() {
+        let m = LatencyModel::intel_westmere_ex();
+        for d in [
+            NumaDistance::SameCore,
+            NumaDistance::SameL3,
+            NumaDistance::SameSocket,
+            NumaDistance::RemoteSocket,
+        ] {
+            assert!(m.reuse_cycles(d) <= m.memory_cycles(d));
+        }
+    }
+
+    #[test]
+    fn reuse_cost_grows_with_distance() {
+        let m = LatencyModel::amd_magny_cours();
+        assert!(m.reuse_cycles(NumaDistance::SameCore) < m.reuse_cycles(NumaDistance::SameL3));
+        assert!(m.reuse_cycles(NumaDistance::SameL3) <= m.reuse_cycles(NumaDistance::SameSocket));
+        assert!(
+            m.reuse_cycles(NumaDistance::SameSocket) <= m.reuse_cycles(NumaDistance::RemoteSocket)
+        );
+    }
+
+    #[test]
+    fn access_cycles_covers_all_kinds() {
+        let m = LatencyModel::uma();
+        assert_eq!(m.access_cycles(AccessKind::L1), m.l1_cycles);
+        assert_eq!(m.access_cycles(AccessKind::DramRemote), m.dram_remote_cycles);
+    }
+
+    #[test]
+    fn cycles_to_seconds_uses_clock() {
+        let m = LatencyModel::uma();
+        let s = m.cycles_to_seconds(2.5e9);
+        assert!((s - 1.0).abs() < 1e-12);
+    }
+}

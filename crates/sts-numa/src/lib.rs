@@ -1,0 +1,29 @@
+//! NUMA substrate for the STS-k reproduction.
+//!
+//! The paper's performance argument is about *where data lives* relative to
+//! the core that needs it: private L1/L2, the shared (and NUMA-affected) L3,
+//! local DRAM or a remote socket's DRAM. This crate provides:
+//!
+//! * [`topology`] — a machine model (sockets, cores, L3 sharing groups) with
+//!   presets for the paper's two evaluation platforms, the 32-core Intel
+//!   Westmere-EX node and the 24-core AMD MagnyCours node, plus best-effort
+//!   detection of the host machine;
+//! * [`latency`] — a cycle-cost model of data accesses at each NUMA distance,
+//!   seeded with the latencies the paper cites (L1 4 cycles, L2 10 cycles,
+//!   L3 38–170 cycles, DRAM 175–290 cycles);
+//! * [`affinity`] — thread pinning (`sched_setaffinity` on Linux, no-op
+//!   elsewhere), the equivalent of the paper's `KMP_AFFINITY=compact`;
+//! * [`barrier`] — a sense-reversing spin barrier used between packs;
+//! * [`pool`] — a persistent, optionally pinned worker pool with the static /
+//!   dynamic / guided loop schedules the paper tunes per solver.
+
+pub mod affinity;
+pub mod barrier;
+pub mod latency;
+pub mod pool;
+pub mod topology;
+
+pub use barrier::SpinBarrier;
+pub use latency::{AccessKind, LatencyModel};
+pub use pool::{Schedule, WorkerPool};
+pub use topology::{NumaDistance, NumaTopology};

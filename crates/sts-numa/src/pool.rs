@@ -1,0 +1,341 @@
+//! A persistent, optionally core-pinned worker pool.
+//!
+//! The paper's solvers are OpenMP `parallel for` loops over the super-rows of
+//! a pack, run with `schedule(dynamic, 32)` for the flat reference solvers and
+//! `schedule(guided, 1)` for the STS-k variants, with threads pinned
+//! compactly. [`WorkerPool`] reproduces that execution model:
+//!
+//! * a fixed set of worker threads is spawned once and reused for every pack,
+//!   so the per-pack cost is a wake-up plus a completion barrier rather than a
+//!   thread spawn;
+//! * each worker can be pinned to a core chosen from the machine topology's
+//!   compact order;
+//! * [`WorkerPool::parallel_for`] supports [`Schedule::Static`] blocks,
+//!   [`Schedule::Dynamic`] chunk self-scheduling and [`Schedule::Guided`]
+//!   decreasing chunks, matching the OpenMP schedules the paper tunes.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::affinity;
+
+/// Loop schedule for [`WorkerPool::parallel_for`], mirroring OpenMP.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Schedule {
+    /// Each worker takes one contiguous block of `len / threads` iterations.
+    Static,
+    /// Workers repeatedly claim `chunk` iterations from a shared counter
+    /// (OpenMP `schedule(dynamic, chunk)`).
+    Dynamic {
+        /// Iterations claimed per request (≥ 1).
+        chunk: usize,
+    },
+    /// Workers claim exponentially decreasing chunks, never smaller than
+    /// `min_chunk` (OpenMP `schedule(guided, min_chunk)`).
+    Guided {
+        /// Smallest chunk a worker may claim (≥ 1).
+        min_chunk: usize,
+    },
+}
+
+/// A type-erased borrow of the loop body, valid only while its generation is
+/// in flight. `parallel_for` blocks until every worker has finished, which is
+/// what makes storing the raw pointer sound.
+struct Job {
+    func: *const (dyn Fn(usize) + Sync),
+    len: usize,
+    schedule: Schedule,
+}
+
+// SAFETY: the pointer is only dereferenced by workers between picking up a
+// generation and decrementing `active`, and `parallel_for` keeps the referent
+// alive (and does not return) until `active` reaches zero.
+unsafe impl Send for Job {}
+
+struct State {
+    job: Option<Job>,
+    generation: u64,
+    active: usize,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    work_cv: Condvar,
+    done_cv: Condvar,
+    next: AtomicUsize,
+}
+
+/// A persistent pool of worker threads executing parallel loops.
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    threads: usize,
+}
+
+impl WorkerPool {
+    /// Creates a pool with `threads` unpinned workers.
+    pub fn new(threads: usize) -> Self {
+        Self::with_pinning(threads, &[])
+    }
+
+    /// Creates a pool with `threads` workers; worker `i` is pinned to
+    /// `core_order[i]` when that entry exists (see
+    /// [`NumaTopology::compact_core_order`](crate::topology::NumaTopology::compact_core_order)).
+    pub fn with_pinning(threads: usize, core_order: &[usize]) -> Self {
+        let threads = threads.max(1);
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State { job: None, generation: 0, active: 0, shutdown: false }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+            next: AtomicUsize::new(0),
+        });
+        let mut handles = Vec::with_capacity(threads);
+        for worker_id in 0..threads {
+            let shared = Arc::clone(&shared);
+            let pin_core = core_order.get(worker_id).copied();
+            let handle = std::thread::Builder::new()
+                .name(format!("sts-worker-{worker_id}"))
+                .spawn(move || {
+                    if let Some(core) = pin_core {
+                        let _ = affinity::pin_current_thread(core);
+                    }
+                    worker_loop(&shared, worker_id, threads);
+                })
+                .expect("failed to spawn worker thread");
+            handles.push(handle);
+        }
+        WorkerPool { shared, handles, threads }
+    }
+
+    /// Number of worker threads.
+    pub fn num_threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `f(i)` for every `i in 0..len` across the workers using the given
+    /// schedule, returning once every iteration has completed.
+    ///
+    /// With a single worker (or `len == 0`) the loop runs inline on the caller
+    /// to avoid synchronisation overhead.
+    pub fn parallel_for(&self, len: usize, schedule: Schedule, f: &(dyn Fn(usize) + Sync)) {
+        if len == 0 {
+            return;
+        }
+        if self.threads == 1 {
+            for i in 0..len {
+                f(i);
+            }
+            return;
+        }
+        self.shared.next.store(0, Ordering::Relaxed);
+        {
+            let mut st = self.shared.state.lock();
+            debug_assert!(st.job.is_none(), "parallel_for is not reentrant");
+            // SAFETY: this only erases the lifetime of `f`; the pointer is
+            // dereferenced exclusively while this call keeps `f` alive (we do
+            // not return until every worker has finished the generation).
+            let func: *const (dyn Fn(usize) + Sync) = unsafe {
+                std::mem::transmute::<&(dyn Fn(usize) + Sync), *const (dyn Fn(usize) + Sync)>(f)
+            };
+            st.job = Some(Job { func, len, schedule });
+            st.generation = st.generation.wrapping_add(1);
+            st.active = self.threads;
+            self.shared.work_cv.notify_all();
+        }
+        let mut st = self.shared.state.lock();
+        while st.active > 0 {
+            self.shared.done_cv.wait(&mut st);
+        }
+        st.job = None;
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock();
+            st.shutdown = true;
+            self.shared.work_cv.notify_all();
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, worker_id: usize, threads: usize) {
+    let mut last_generation = 0u64;
+    loop {
+        let (func, len, schedule) = {
+            let mut st = shared.state.lock();
+            while !st.shutdown && (st.job.is_none() || st.generation == last_generation) {
+                shared.work_cv.wait(&mut st);
+            }
+            if st.shutdown {
+                return;
+            }
+            last_generation = st.generation;
+            let job = st.job.as_ref().expect("job present while generation is newer");
+            (job.func, job.len, job.schedule)
+        };
+        // SAFETY: see the `Job` safety comment — the referent outlives this
+        // use because `parallel_for` waits for `active == 0`.
+        let f = unsafe { &*func };
+        run_chunks(f, len, schedule, worker_id, threads, &shared.next);
+        let mut st = shared.state.lock();
+        st.active -= 1;
+        if st.active == 0 {
+            shared.done_cv.notify_all();
+        }
+    }
+}
+
+fn run_chunks(
+    f: &(dyn Fn(usize) + Sync),
+    len: usize,
+    schedule: Schedule,
+    worker_id: usize,
+    threads: usize,
+    next: &AtomicUsize,
+) {
+    match schedule {
+        Schedule::Static => {
+            let start = worker_id * len / threads;
+            let end = (worker_id + 1) * len / threads;
+            for i in start..end {
+                f(i);
+            }
+        }
+        Schedule::Dynamic { chunk } => {
+            let chunk = chunk.max(1);
+            loop {
+                let start = next.fetch_add(chunk, Ordering::Relaxed);
+                if start >= len {
+                    break;
+                }
+                for i in start..(start + chunk).min(len) {
+                    f(i);
+                }
+            }
+        }
+        Schedule::Guided { min_chunk } => {
+            let min_chunk = min_chunk.max(1);
+            loop {
+                let observed = next.load(Ordering::Relaxed);
+                if observed >= len {
+                    break;
+                }
+                let remaining = len - observed;
+                let chunk = (remaining / (2 * threads)).max(min_chunk);
+                let start = next.fetch_add(chunk, Ordering::Relaxed);
+                if start >= len {
+                    break;
+                }
+                for i in start..(start + chunk).min(len) {
+                    f(i);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+    fn check_every_index_once(threads: usize, len: usize, schedule: Schedule) {
+        let pool = WorkerPool::new(threads);
+        let visited: Vec<AtomicUsize> = (0..len).map(|_| AtomicUsize::new(0)).collect();
+        pool.parallel_for(len, schedule, &|i| {
+            visited[i].fetch_add(1, Ordering::SeqCst);
+        });
+        for (i, v) in visited.iter().enumerate() {
+            assert_eq!(v.load(Ordering::SeqCst), 1, "index {i} visited wrong number of times");
+        }
+    }
+
+    #[test]
+    fn static_schedule_visits_every_index_exactly_once() {
+        check_every_index_once(4, 1003, Schedule::Static);
+    }
+
+    #[test]
+    fn dynamic_schedule_visits_every_index_exactly_once() {
+        check_every_index_once(4, 997, Schedule::Dynamic { chunk: 32 });
+        check_every_index_once(3, 10, Schedule::Dynamic { chunk: 1 });
+    }
+
+    #[test]
+    fn guided_schedule_visits_every_index_exactly_once() {
+        check_every_index_once(4, 1024, Schedule::Guided { min_chunk: 1 });
+        check_every_index_once(2, 5, Schedule::Guided { min_chunk: 4 });
+    }
+
+    #[test]
+    fn single_thread_pool_runs_inline() {
+        check_every_index_once(1, 100, Schedule::Dynamic { chunk: 8 });
+    }
+
+    #[test]
+    fn empty_range_is_a_noop() {
+        let pool = WorkerPool::new(3);
+        let called = AtomicBool::new(false);
+        pool.parallel_for(0, Schedule::Static, &|_| {
+            called.store(true, Ordering::SeqCst);
+        });
+        assert!(!called.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn pool_is_reusable_across_many_loops() {
+        let pool = WorkerPool::new(4);
+        let total = AtomicUsize::new(0);
+        for round in 0..50 {
+            pool.parallel_for(round + 1, Schedule::Guided { min_chunk: 1 }, &|i| {
+                total.fetch_add(i + 1, Ordering::SeqCst);
+            });
+        }
+        // Sum over rounds of (1 + 2 + ... + (round+1)).
+        let expected: usize = (1..=50).map(|r| r * (r + 1) / 2).sum();
+        assert_eq!(total.load(Ordering::SeqCst), expected);
+    }
+
+    #[test]
+    fn results_are_deterministic_for_commutative_reductions() {
+        let pool = WorkerPool::new(4);
+        let sum = AtomicUsize::new(0);
+        pool.parallel_for(10_000, Schedule::Dynamic { chunk: 64 }, &|i| {
+            sum.fetch_add(i, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::SeqCst), 10_000 * 9_999 / 2);
+    }
+
+    #[test]
+    fn loop_body_can_borrow_caller_data_mutably_through_cells() {
+        // The common solver pattern: each index writes a distinct slot of a
+        // shared output vector.
+        let pool = WorkerPool::new(4);
+        let n = 512;
+        let out: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        pool.parallel_for(n, Schedule::Static, &|i| {
+            out[i].store(i * i, Ordering::Relaxed);
+        });
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(v.load(Ordering::Relaxed), i * i);
+        }
+    }
+
+    #[test]
+    fn with_pinning_accepts_core_lists_longer_than_host() {
+        let pool = WorkerPool::with_pinning(2, &[0, 4096]);
+        let count = AtomicUsize::new(0);
+        pool.parallel_for(10, Schedule::Static, &|_| {
+            count.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(count.load(Ordering::SeqCst), 10);
+    }
+}

@@ -1,0 +1,191 @@
+//! Exhaustive optimal In-Pack scheduling for small instances.
+//!
+//! The In-Pack problem is NP-complete (Theorem 1), so an exact solver can only
+//! be used on small packs; its role here is to validate the heuristics of
+//! [`heuristic`](crate::heuristic) and to demonstrate on the 3-Partition
+//! instances of [`partition`](crate::partition) that the reduction behaves as
+//! the proof says. The search enumerates assignments with two prunings:
+//! processor labels are interchangeable (the first task always goes to
+//! processor 0, and a task may open at most one new processor), and branches
+//! whose partial makespan already exceeds the incumbent are cut.
+
+use crate::cost::InPackCostModel;
+use crate::dar::DarGraph;
+
+/// The result of an exact search: the optimal makespan and one assignment
+/// achieving it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OptimalSchedule {
+    /// Minimum achievable makespan under the cost model.
+    pub makespan: f64,
+    /// A task → processor assignment achieving it.
+    pub assignment: Vec<usize>,
+}
+
+/// Computes an optimal schedule of the DAR tasks onto `q` processors by
+/// exhaustive search with symmetry and bound pruning.
+///
+/// Practical up to roughly 14 tasks; larger instances should use the
+/// heuristics.
+pub fn optimal_schedule(dar: &DarGraph, q: usize, model: &InPackCostModel) -> OptimalSchedule {
+    let n = dar.num_tasks();
+    assert!(q >= 1, "need at least one processor");
+    if n == 0 {
+        return OptimalSchedule { makespan: 0.0, assignment: Vec::new() };
+    }
+    let mut best_assignment: Vec<usize> = (0..n).map(|_| 0).collect();
+    let mut best = model.makespan(dar, &best_assignment, q);
+    let mut current = vec![0usize; n];
+    search(dar, q, model, 0, 0, &mut current, &mut best, &mut best_assignment);
+    OptimalSchedule { makespan: best, assignment: best_assignment }
+}
+
+fn search(
+    dar: &DarGraph,
+    q: usize,
+    model: &InPackCostModel,
+    task: usize,
+    used_procs: usize,
+    current: &mut Vec<usize>,
+    best: &mut f64,
+    best_assignment: &mut Vec<usize>,
+) {
+    let n = dar.num_tasks();
+    if task == n {
+        let cost = model.makespan(dar, current, q);
+        if cost < *best {
+            *best = cost;
+            best_assignment.copy_from_slice(current);
+        }
+        return;
+    }
+    // A task may go to any already-used processor, or open exactly the next
+    // unused one (processor labels are symmetric).
+    let limit = (used_procs + 1).min(q);
+    for p in 0..limit {
+        current[task] = p;
+        // Bound: the cost of processor p with the tasks assigned so far can
+        // only grow, so prune if it already exceeds the incumbent.
+        let partial = partial_processor_cost(dar, current, task + 1, p, model);
+        if partial < *best {
+            search(
+                dar,
+                q,
+                model,
+                task + 1,
+                used_procs.max(p + 1),
+                current,
+                best,
+                best_assignment,
+            );
+        }
+    }
+    current[task] = 0;
+}
+
+fn partial_processor_cost(
+    dar: &DarGraph,
+    assignment: &[usize],
+    assigned_prefix: usize,
+    proc: usize,
+    model: &InPackCostModel,
+) -> f64 {
+    let mut distinct: Vec<usize> = Vec::new();
+    let mut tasks = 0usize;
+    let mut reads = 0usize;
+    for t in 0..assigned_prefix {
+        if assignment[t] != proc {
+            continue;
+        }
+        tasks += 1;
+        reads += dar.inputs(t).len();
+        distinct.extend_from_slice(dar.inputs(t));
+    }
+    distinct.sort_unstable();
+    distinct.dedup();
+    model.w * distinct.len() as f64 + model.e * tasks as f64 + model.r * reads as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::heuristic::{block_schedule, round_robin_schedule};
+
+    #[test]
+    fn empty_instance_has_zero_makespan() {
+        let dar = DarGraph::from_inputs(vec![]);
+        let opt = optimal_schedule(&dar, 3, &InPackCostModel::standard());
+        assert_eq!(opt.makespan, 0.0);
+        assert!(opt.assignment.is_empty());
+    }
+
+    #[test]
+    fn single_processor_cost_is_total_cost() {
+        let dar = DarGraph::line(5);
+        let model = InPackCostModel { w: 10.0, e: 1.0, r: 1.0 };
+        let opt = optimal_schedule(&dar, 1, &model);
+        assert_eq!(opt.makespan, model.makespan(&dar, &vec![0; 5], 1));
+    }
+
+    #[test]
+    fn optimal_never_exceeds_any_heuristic() {
+        let model = InPackCostModel { w: 50.0, e: 3.0, r: 2.0 };
+        for (inputs, q) in [
+            (vec![vec![0, 1], vec![1, 2], vec![2, 3], vec![3, 4], vec![0, 4], vec![5]], 2usize),
+            (vec![vec![0], vec![0], vec![1], vec![1], vec![2], vec![2]], 3),
+            (vec![vec![0, 1, 2], vec![2, 3], vec![4], vec![4, 5], vec![5, 0]], 2),
+        ] {
+            let dar = DarGraph::from_inputs(inputs);
+            let opt = optimal_schedule(&dar, q, &model);
+            for heuristic_assignment in [
+                block_schedule(dar.num_tasks(), q),
+                round_robin_schedule(dar.num_tasks(), q),
+            ] {
+                let h = model.makespan(&dar, &heuristic_assignment, q);
+                assert!(
+                    opt.makespan <= h + 1e-9,
+                    "exact {} should not exceed heuristic {}",
+                    opt.makespan,
+                    h
+                );
+            }
+            // And the reported assignment must actually achieve the optimum.
+            assert!((model.makespan(&dar, &opt.assignment, q) - opt.makespan).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn block_schedule_is_optimal_on_line_dars() {
+        // Section 3.3: for a line DAR with n = m*q, the block schedule is
+        // optimal. The exact solver must agree.
+        let model = InPackCostModel { w: 20.0, e: 1.0, r: 2.0 };
+        let (m, q) = (3usize, 2usize);
+        let dar = DarGraph::line(m * q);
+        let opt = optimal_schedule(&dar, q, &model);
+        let block = block_schedule(m * q, q);
+        assert!((model.makespan(&dar, &block, q) - opt.makespan).abs() < 1e-9);
+    }
+
+    #[test]
+    fn grouping_shared_inputs_beats_splitting_them() {
+        // Two clusters of tasks, each cluster sharing a private input set.
+        // The optimum puts each cluster on its own processor.
+        let dar = DarGraph::from_inputs(vec![
+            vec![0, 1],
+            vec![0, 1],
+            vec![0, 1],
+            vec![2, 3],
+            vec![2, 3],
+            vec![2, 3],
+        ]);
+        let model = InPackCostModel::copy_only(1.0);
+        let opt = optimal_schedule(&dar, 2, &model);
+        assert_eq!(opt.makespan, 2.0);
+        // The optimal assignment separates the clusters.
+        let cluster_a: Vec<usize> = (0..3).map(|t| opt.assignment[t]).collect();
+        let cluster_b: Vec<usize> = (3..6).map(|t| opt.assignment[t]).collect();
+        assert!(cluster_a.iter().all(|&p| p == cluster_a[0]));
+        assert!(cluster_b.iter().all(|&p| p == cluster_b[0]));
+        assert_ne!(cluster_a[0], cluster_b[0]);
+    }
+}

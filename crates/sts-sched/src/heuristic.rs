@@ -1,0 +1,203 @@
+//! Scheduling heuristics for the In-Pack problem.
+//!
+//! * [`block_schedule`] — the paper's static schedule for line DARs: assign
+//!   blocks of `m = n/q` consecutive tasks to each processor. For a line DAR
+//!   it achieves the per-processor cost `w(m+1) + e·m + r·2m`, each term of
+//!   which is individually optimal (Section 3.3).
+//! * [`dynamic_greedy_schedule`] — the paper's dynamic variant: processors
+//!   grab the next task in order as they become free, so consecutive tasks
+//!   tend to land on the same core and share their input through its cache.
+//! * [`affinity_list_schedule`] — a general list scheduler for arbitrary DARs
+//!   that assigns each task to the processor where it increases the Equation-1
+//!   makespan the least (ties broken toward processors already holding a
+//!   DAR neighbour).
+//! * [`round_robin_schedule`] — the locality-oblivious baseline.
+
+use crate::cost::InPackCostModel;
+use crate::dar::DarGraph;
+
+/// Static block schedule: task `i` goes to processor `i * q / n` so that each
+/// processor receives one contiguous block of tasks.
+pub fn block_schedule(n: usize, q: usize) -> Vec<usize> {
+    assert!(q >= 1);
+    (0..n).map(|i| (i * q / n.max(1)).min(q - 1)).collect()
+}
+
+/// Round-robin (cyclic) schedule: task `i` goes to processor `i mod q`.
+/// Deliberately locality-hostile; used as the baseline in tests and the
+/// In-Pack model harness.
+pub fn round_robin_schedule(n: usize, q: usize) -> Vec<usize> {
+    assert!(q >= 1);
+    (0..n).map(|i| i % q).collect()
+}
+
+/// The dynamic heuristic of Section 3.3: processors `c1..cq` start on tasks
+/// `t1..tq`; whenever a processor finishes it takes the next unassigned task.
+/// With per-task durations supplied by `task_time`, this simulates the
+/// variability across processor speeds the paper mentions. Consecutive tasks
+/// frequently stay on one processor, preserving the cache reuse of the block
+/// schedule while tolerating speed variation.
+pub fn dynamic_greedy_schedule(
+    n: usize,
+    q: usize,
+    mut task_time: impl FnMut(usize) -> f64,
+) -> Vec<usize> {
+    assert!(q >= 1);
+    let mut assignment = vec![0usize; n];
+    // (next free time, processor id); a simple linear scan keeps this
+    // dependency-free (q is a core count, small).
+    let mut free_at = vec![0.0f64; q];
+    for t in 0..n {
+        let p = (0..q)
+            .min_by(|&a, &b| free_at[a].partial_cmp(&free_at[b]).expect("finite times"))
+            .expect("q >= 1");
+        assignment[t] = p;
+        free_at[p] += task_time(t).max(0.0);
+    }
+    assignment
+}
+
+/// Affinity-aware list scheduling for arbitrary DAR graphs: tasks are placed
+/// in index order on the processor that minimises the resulting partial
+/// makespan under `model`; ties go to a processor already holding a DAR
+/// neighbour of the task (so shared inputs end up co-located).
+pub fn affinity_list_schedule(dar: &DarGraph, q: usize, model: &InPackCostModel) -> Vec<usize> {
+    assert!(q >= 1);
+    let n = dar.num_tasks();
+    let mut assignment = vec![usize::MAX; n];
+    // Incremental per-processor state.
+    let mut proc_inputs: Vec<Vec<usize>> = vec![Vec::new(); q];
+    let mut proc_tasks = vec![0usize; q];
+    let mut proc_reads = vec![0usize; q];
+    let proc_cost = |inputs: &Vec<usize>, tasks: usize, reads: usize| {
+        model.w * inputs.len() as f64 + model.e * tasks as f64 + model.r * reads as f64
+    };
+    for t in 0..n {
+        let mut best_p = 0usize;
+        let mut best_cost = f64::INFINITY;
+        let mut best_affinity = false;
+        for p in 0..q {
+            // Cost of processor p if it also takes task t.
+            let mut merged = proc_inputs[p].clone();
+            merged.extend_from_slice(dar.inputs(t));
+            merged.sort_unstable();
+            merged.dedup();
+            let cost = proc_cost(&merged, proc_tasks[p] + 1, proc_reads[p] + dar.inputs(t).len());
+            let affinity = dar
+                .neighbors(t)
+                .iter()
+                .any(|&nb| assignment[nb] == p);
+            let better = cost < best_cost - 1e-12
+                || ((cost - best_cost).abs() <= 1e-12 && affinity && !best_affinity);
+            if better {
+                best_cost = cost;
+                best_p = p;
+                best_affinity = affinity;
+            }
+        }
+        assignment[t] = best_p;
+        let inputs_t = dar.inputs(t);
+        proc_inputs[best_p].extend_from_slice(inputs_t);
+        proc_inputs[best_p].sort_unstable();
+        proc_inputs[best_p].dedup();
+        proc_tasks[best_p] += 1;
+        proc_reads[best_p] += inputs_t.len();
+    }
+    assignment
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_schedule_is_contiguous_and_balanced() {
+        let a = block_schedule(12, 4);
+        assert_eq!(a, vec![0, 0, 0, 1, 1, 1, 2, 2, 2, 3, 3, 3]);
+        // Non-divisible case still covers all processors and is monotone.
+        let b = block_schedule(10, 4);
+        assert!(b.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(*b.last().unwrap(), 3);
+    }
+
+    #[test]
+    fn block_schedule_achieves_paper_cost_on_line_dar() {
+        let (m, q) = (5usize, 4usize);
+        let dar = DarGraph::line(m * q);
+        let model = InPackCostModel { w: 7.0, e: 2.0, r: 1.0 };
+        let cost = model.makespan(&dar, &block_schedule(m * q, q), q);
+        let expected = model.w * (m as f64 + 1.0) + model.e * m as f64 + model.r * (2 * m) as f64;
+        assert!((cost - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn round_robin_duplicates_shared_inputs_on_line_dar() {
+        let (m, q) = (4usize, 4usize);
+        let dar = DarGraph::line(m * q);
+        let model = InPackCostModel::copy_only(1.0);
+        let block = model.makespan(&dar, &block_schedule(m * q, q), q);
+        let rr = model.makespan(&dar, &round_robin_schedule(m * q, q), q);
+        // Round robin gives every task's two inputs to a different processor:
+        // 2m copies per processor versus m+1 for the block schedule.
+        assert!(rr > block, "round-robin ({rr}) should copy more than block ({block})");
+    }
+
+    #[test]
+    fn dynamic_greedy_with_equal_times_matches_round_robin_start() {
+        let a = dynamic_greedy_schedule(8, 4, |_| 1.0);
+        // With equal task times the first q tasks go to distinct processors.
+        let firsts: std::collections::HashSet<usize> = a[..4].iter().copied().collect();
+        assert_eq!(firsts.len(), 4);
+        assert_eq!(a.len(), 8);
+    }
+
+    #[test]
+    fn dynamic_greedy_shifts_work_away_from_slow_processors() {
+        // Task 0 is enormous; the processor that takes it should receive no
+        // further tasks.
+        let a = dynamic_greedy_schedule(10, 2, |t| if t == 0 { 1000.0 } else { 1.0 });
+        let slow_proc = a[0];
+        let count_slow = a.iter().filter(|&&p| p == slow_proc).count();
+        assert_eq!(count_slow, 1);
+    }
+
+    #[test]
+    fn affinity_list_schedule_colocates_shared_inputs() {
+        // Two clusters sharing private inputs; with copy-only costs the
+        // scheduler must keep each cluster together.
+        let dar = DarGraph::from_inputs(vec![
+            vec![0, 1],
+            vec![0, 1],
+            vec![2, 3],
+            vec![2, 3],
+        ]);
+        let model = InPackCostModel::copy_only(1.0);
+        let a = affinity_list_schedule(&dar, 2, &model);
+        assert_eq!(a[0], a[1]);
+        assert_eq!(a[2], a[3]);
+        assert_ne!(a[0], a[2]);
+    }
+
+    #[test]
+    fn affinity_list_schedule_handles_more_processors_than_tasks() {
+        let dar = DarGraph::line(2);
+        let a = affinity_list_schedule(&dar, 8, &InPackCostModel::standard());
+        assert_eq!(a.len(), 2);
+        assert!(a.iter().all(|&p| p < 8));
+    }
+
+    #[test]
+    fn all_heuristics_produce_valid_assignments() {
+        let dar = DarGraph::from_inputs(vec![vec![1], vec![1, 2], vec![3], vec![2, 3], vec![4]]);
+        let q = 3;
+        for a in [
+            block_schedule(dar.num_tasks(), q),
+            round_robin_schedule(dar.num_tasks(), q),
+            dynamic_greedy_schedule(dar.num_tasks(), q, |_| 1.0),
+            affinity_list_schedule(&dar, q, &InPackCostModel::standard()),
+        ] {
+            assert_eq!(a.len(), dar.num_tasks());
+            assert!(a.iter().all(|&p| p < q));
+        }
+    }
+}

@@ -1,0 +1,208 @@
+//! 3-Partition instances and the NP-completeness reduction of Theorem 1.
+//!
+//! The proof of Theorem 1 maps a 3-Partition instance (integers `a_1..a_3n`
+//! with `B/4 < a_i < B/2` summing to `nB`) to an In-Pack instance with `q = n`
+//! processors and, for every `a_i`, a connected component of `a_i` tasks
+//! arranged in a ring: task `j` of component `i` reads inputs
+//! `{x_{A_i+j}, x_{A_i+(j mod a_i)+1}}` (Figure 4). A schedule of makespan
+//! `w·B` exists iff the integers can be partitioned into `n` triplets of sum
+//! `B`.
+//!
+//! This module builds those instances so tests (and the `fig_inpack_model`
+//! harness) can exercise the reduction end to end: solvable instances admit a
+//! schedule with makespan exactly `w·B`, and splitting a component across
+//! processors provably costs extra copies.
+
+use crate::dar::DarGraph;
+
+/// A 3-Partition instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ThreePartitionInstance {
+    /// Target triplet sum `B`.
+    pub b: usize,
+    /// The `3n` integers, each in `(B/4, B/2)`.
+    pub items: Vec<usize>,
+}
+
+impl ThreePartitionInstance {
+    /// Builds a *solvable* instance with `n` triplets: each triplet is chosen
+    /// as `(B/4 + d, B/4 + e, B/2 - d - e)` style splits around `B = 4k` so
+    /// that the strict bounds hold, then all items are interleaved.
+    ///
+    /// `spread` perturbs the items (0 gives three equal-ish items per
+    /// triplet); it must keep every item strictly between `B/4` and `B/2`.
+    pub fn solvable(n: usize, base: usize, spread: usize) -> ThreePartitionInstance {
+        assert!(n >= 1);
+        // Choose B = 3*base with items base-spread, base, base+spread.
+        let b = 3 * base;
+        assert!(
+            base > spread && 4 * (base - spread) > b && 2 * (base + spread) < b,
+            "spread {spread} too large for base {base}: items must lie in (B/4, B/2)"
+        );
+        let mut items = Vec::with_capacity(3 * n);
+        for i in 0..n {
+            // Rotate which slot carries the +/- so the instance is not sorted.
+            let delta = spread;
+            match i % 3 {
+                0 => items.extend_from_slice(&[base - delta, base, base + delta]),
+                1 => items.extend_from_slice(&[base, base + delta, base - delta]),
+                _ => items.extend_from_slice(&[base + delta, base - delta, base]),
+            }
+        }
+        ThreePartitionInstance { b, items }
+    }
+
+    /// Number of triplets `n` (= number of processors in the reduction).
+    pub fn num_triplets(&self) -> usize {
+        self.items.len() / 3
+    }
+
+    /// Checks the 3-Partition preconditions: item count is `3n`, every item is
+    /// strictly between `B/4` and `B/2`, and the items sum to `nB`.
+    pub fn is_well_formed(&self) -> bool {
+        let n = self.num_triplets();
+        self.items.len() == 3 * n
+            && self.items.iter().all(|&a| 4 * a > self.b && 2 * a < self.b)
+            && self.items.iter().sum::<usize>() == n * self.b
+    }
+
+    /// Checks that `triplets` (a partition of item indices into groups of 3)
+    /// is a valid 3-Partition solution.
+    pub fn verify_solution(&self, triplets: &[[usize; 3]]) -> bool {
+        if triplets.len() != self.num_triplets() {
+            return false;
+        }
+        let mut used = vec![false; self.items.len()];
+        for t in triplets {
+            let mut sum = 0usize;
+            for &idx in t {
+                if idx >= self.items.len() || used[idx] {
+                    return false;
+                }
+                used[idx] = true;
+                sum += self.items[idx];
+            }
+            if sum != self.b {
+                return false;
+            }
+        }
+        used.iter().all(|&u| u)
+    }
+
+    /// Builds the In-Pack instance of the reduction (Figure 4): one ring
+    /// component of `a_i` tasks per item, task `j` of component `i` reading
+    /// `{A_i + j, A_i + (j mod a_i) + 1}` (0-based here). Also returns, for
+    /// each task, the index of the item (component) it belongs to.
+    pub fn to_inpack_instance(&self) -> (DarGraph, Vec<usize>) {
+        let mut inputs = Vec::new();
+        let mut component_of = Vec::new();
+        let mut offset = 0usize;
+        for (idx, &a) in self.items.iter().enumerate() {
+            for j in 0..a {
+                // Inputs are the j-th and (j+1 mod a)-th data items of this
+                // component; a singleton component would self-share, which the
+                // strict bound B/4 < a_i rules out for any B >= 4.
+                inputs.push(vec![offset + j, offset + ((j + 1) % a)]);
+                component_of.push(idx);
+            }
+            offset += a;
+        }
+        (DarGraph::from_inputs(inputs), component_of)
+    }
+
+    /// The canonical yes-certificate assignment for a [`solvable`] instance:
+    /// the three components of triplet `k` (items `3k`, `3k+1`, `3k+2`) all go
+    /// to processor `k`.
+    pub fn canonical_assignment(&self, component_of: &[usize]) -> Vec<usize> {
+        component_of.iter().map(|&c| c / 3).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::InPackCostModel;
+
+    #[test]
+    fn solvable_instances_are_well_formed() {
+        for (n, base, spread) in [(2, 10, 2), (3, 13, 3), (5, 100, 20)] {
+            let inst = ThreePartitionInstance::solvable(n, base, spread);
+            assert!(inst.is_well_formed(), "instance n={n} base={base} spread={spread}");
+            assert_eq!(inst.num_triplets(), n);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "spread")]
+    fn oversized_spread_is_rejected() {
+        let _ = ThreePartitionInstance::solvable(2, 10, 6);
+    }
+
+    #[test]
+    fn verify_solution_accepts_the_construction() {
+        let inst = ThreePartitionInstance::solvable(3, 10, 2);
+        let triplets: Vec<[usize; 3]> =
+            (0..3).map(|k| [3 * k, 3 * k + 1, 3 * k + 2]).collect();
+        assert!(inst.verify_solution(&triplets));
+    }
+
+    #[test]
+    fn verify_solution_rejects_bad_partitions() {
+        let inst = ThreePartitionInstance::solvable(2, 10, 2);
+        // Wrong sums: swap one element between triplets.
+        assert!(!inst.verify_solution(&[[0, 1, 3], [2, 4, 5]]));
+        // Reused index.
+        assert!(!inst.verify_solution(&[[0, 1, 2], [2, 4, 5]]));
+        // Wrong triplet count.
+        assert!(!inst.verify_solution(&[[0, 1, 2]]));
+    }
+
+    #[test]
+    fn reduction_builds_ring_components_of_size_a_i() {
+        let inst = ThreePartitionInstance::solvable(2, 10, 2);
+        let (dar, component_of) = inst.to_inpack_instance();
+        let total_tasks: usize = inst.items.iter().sum();
+        assert_eq!(dar.num_tasks(), total_tasks);
+        assert_eq!(component_of.len(), total_tasks);
+        // Each task reads exactly two inputs; each component is a ring, so
+        // within a component every task has exactly two DAR neighbours.
+        for t in 0..dar.num_tasks() {
+            assert_eq!(dar.inputs(t).len(), 2);
+            assert_eq!(dar.neighbors(t).len(), 2);
+        }
+        // Distinct inputs = nB (one per task).
+        assert_eq!(dar.num_distinct_inputs(), total_tasks);
+    }
+
+    #[test]
+    fn canonical_assignment_achieves_makespan_w_times_b() {
+        // The forward direction of Theorem 1: a solvable instance admits a
+        // schedule of makespan exactly w*B with r = e = 0.
+        let inst = ThreePartitionInstance::solvable(3, 8, 1);
+        let (dar, component_of) = inst.to_inpack_instance();
+        let model = InPackCostModel::copy_only(1.0);
+        let assignment = inst.canonical_assignment(&component_of);
+        let makespan = model.makespan(&dar, &assignment, inst.num_triplets());
+        assert_eq!(makespan, inst.b as f64);
+    }
+
+    #[test]
+    fn splitting_a_component_costs_extra_copies() {
+        // The backward direction's key lemma: cutting a ring across two
+        // processors forces at least one input to be copied twice, so the
+        // total number of copies exceeds nB.
+        let inst = ThreePartitionInstance::solvable(2, 8, 1);
+        let (dar, component_of) = inst.to_inpack_instance();
+        let model = InPackCostModel::copy_only(1.0);
+        let q = inst.num_triplets();
+        let good = inst.canonical_assignment(&component_of);
+        let total = |a: &[usize]| -> f64 {
+            (0..q).map(|j| model.processor_cost(&dar, a, j)).sum()
+        };
+        let mut bad = good.clone();
+        // Move a single task of component 0 to the other processor.
+        let victim = component_of.iter().position(|&c| c == 0).unwrap();
+        bad[victim] = (good[victim] + 1) % q;
+        assert!(total(&bad) > total(&good));
+    }
+}

@@ -1,0 +1,74 @@
+//! NUMA-aware scheduling demo: the In-Pack model, the DAR graph of a real
+//! pack, and the effect of schedule and machine topology on the modelled
+//! solve time.
+//!
+//! Run with `cargo run --release --example numa_scheduling`.
+
+use sts_k::core::{Method, SimulatedExecutor};
+use sts_k::matrix::generators;
+use sts_k::numa::{NumaTopology, Schedule};
+use sts_k::sched::cost::InPackCostModel;
+use sts_k::sched::dar::DarGraph;
+use sts_k::sched::exact::optimal_schedule;
+use sts_k::sched::heuristic::{affinity_list_schedule, block_schedule, round_robin_schedule};
+
+fn main() {
+    // Part 1: the In-Pack assignment problem on a line DAR (Figure 5).
+    let model = InPackCostModel { w: 200.0, e: 1.0, r: 4.0 };
+    let (m, q) = (6usize, 2usize);
+    let dar = DarGraph::line(m * q);
+    println!("In-Pack problem: {} tasks on a line DAR, {} processors", m * q, q);
+    let block = block_schedule(m * q, q);
+    let rr = round_robin_schedule(m * q, q);
+    let aff = affinity_list_schedule(&dar, q, &model);
+    let opt = optimal_schedule(&dar, q, &model);
+    println!("  block schedule cost:        {:>8.0}", model.makespan(&dar, &block, q));
+    println!("  round-robin schedule cost:  {:>8.0}", model.makespan(&dar, &rr, q));
+    println!("  affinity list schedule:     {:>8.0}", model.makespan(&dar, &aff, q));
+    println!("  optimal (exhaustive):       {:>8.0}", opt.makespan);
+
+    // Part 2: build STS-3 on a mesh matrix and price the solve on the two
+    // machine models of the paper, plus a flat UMA machine for contrast.
+    let a = generators::triangulated_grid(48, 48, 7).expect("grid dimensions are valid");
+    let l = generators::lower_operand(&a).expect("solvable operand");
+    let sts = Method::Sts3.build(&l, 80).expect("builder succeeds");
+    let csr_ls = Method::CsrLs.build(&l, 80).expect("builder succeeds");
+    println!(
+        "\nmatrix: n = {}, nnz = {}; STS-3 packs = {}, CSR-LS packs = {}",
+        l.n(),
+        l.nnz(),
+        sts.num_packs(),
+        csr_ls.num_packs()
+    );
+
+    for topology in [
+        NumaTopology::intel_westmere_ex_32(),
+        NumaTopology::amd_magny_cours_24(),
+        NumaTopology::uma(16),
+    ] {
+        let cores = topology.total_cores().min(16);
+        let exec = SimulatedExecutor::new(topology.clone());
+        let t_sts = exec.simulate(&sts, cores, Schedule::Guided { min_chunk: 1 });
+        let t_ls = exec.simulate(&csr_ls, cores, Schedule::Dynamic { chunk: 32 });
+        println!(
+            "  {:<26} {cores:>2} cores: STS-3 {:>12.0} cycles, CSR-LS {:>12.0} cycles ({:.1}x)",
+            topology.name,
+            t_sts.total_cycles,
+            t_ls.total_cycles,
+            t_ls.total_cycles / t_sts.total_cycles
+        );
+    }
+
+    // Part 3: how much of the STS-3 advantage comes from the schedule?
+    let exec = SimulatedExecutor::new(NumaTopology::intel_westmere_ex_32());
+    println!("\nSTS-3 on the Intel model, 16 cores, different intra-pack schedules:");
+    for (name, schedule) in [
+        ("static", Schedule::Static),
+        ("dynamic,1", Schedule::Dynamic { chunk: 1 }),
+        ("dynamic,32", Schedule::Dynamic { chunk: 32 }),
+        ("guided,1", Schedule::Guided { min_chunk: 1 }),
+    ] {
+        let rep = exec.simulate(&sts, 16, schedule);
+        println!("  {:<12} {:>12.0} cycles", name, rep.total_cycles);
+    }
+}

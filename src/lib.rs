@@ -1,0 +1,36 @@
+//! STS-k — a multilevel sparse triangular solution scheme for NUMA multicores.
+//!
+//! This is the facade crate of the workspace: it re-exports the substrate
+//! crates and the core STS-k library so that examples, integration tests and
+//! downstream users can depend on a single crate.
+//!
+//! * [`matrix`] — sparse matrix storage, Matrix Market I/O, synthetic suite;
+//! * [`graph`] — adjacency graphs, RCM, level sets, coloring, coarsening;
+//! * [`numa`] — machine topology and latency models, pinned thread pool;
+//! * [`sched`] — DAR task graphs, the In-Pack cost model and schedulers;
+//! * [`core`] — the CSR-k structure, pack construction and the four solvers.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use sts_k::matrix::generators;
+//! use sts_k::core::{StsBuilder, Ordering};
+//!
+//! // A small 2-D Laplacian; its lower triangle is the operand L.
+//! let a = generators::grid2d_laplacian(20, 20).unwrap();
+//! let l = generators::lower_operand(&a).unwrap();
+//!
+//! // Build STS-3 (coloring ordering). The builder reorders the system
+//! // symmetrically; the structure solves the reordered operand.
+//! let sts = StsBuilder::new(3).ordering(Ordering::Coloring).build(&l).unwrap();
+//! let x_true = vec![1.0; l.n()];
+//! let b = sts.lower().multiply(&x_true).unwrap();
+//! let x = sts.solve_sequential(&b).unwrap();
+//! assert!(x.iter().zip(&x_true).all(|(a, b)| (a - b).abs() < 1e-10));
+//! ```
+
+pub use sts_core as core;
+pub use sts_graph as graph;
+pub use sts_matrix as matrix;
+pub use sts_numa as numa;
+pub use sts_sched as sched;

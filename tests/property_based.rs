@@ -1,0 +1,149 @@
+//! Property-based tests on the core invariants of the workspace, using
+//! randomly generated sparse triangular systems and graphs.
+
+use proptest::prelude::*;
+use sts_k::core::{Method, Ordering, ParallelSolver, StsBuilder, SuperRowSizing};
+use sts_k::graph::{rcm, Coloring, ColoringOrder, Graph, LevelSets, Permutation};
+use sts_k::matrix::{generators, ops, CooMatrix, LowerTriangularCsr};
+use sts_k::numa::Schedule;
+use sts_k::sched::cost::InPackCostModel;
+use sts_k::sched::dar::DarGraph;
+use sts_k::sched::exact::optimal_schedule;
+use sts_k::sched::heuristic::{affinity_list_schedule, block_schedule, round_robin_schedule};
+
+/// Strategy: a random lower-triangular operand with n in [1, 60] and an
+/// average of up to 4 strictly-lower entries per row.
+fn lower_triangular_strategy() -> impl Strategy<Value = LowerTriangularCsr> {
+    (1usize..60, 0u8..=4, 0u64..1000).prop_map(|(n, density, seed)| {
+        generators::random_lower_triangular(n, density as f64, seed)
+            .expect("random operand is always constructible")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn sequential_solve_inverts_multiply(l in lower_triangular_strategy()) {
+        let x_true: Vec<f64> = (0..l.n()).map(|i| 1.0 + (i % 5) as f64 * 0.25).collect();
+        let b = l.multiply(&x_true).unwrap();
+        let x = l.solve_seq(&b).unwrap();
+        prop_assert!(ops::relative_error_inf(&x, &x_true) < 1e-8);
+    }
+
+    #[test]
+    fn every_method_reproduces_the_sequential_solution(l in lower_triangular_strategy()) {
+        for method in Method::all() {
+            let s = method.build(&l, 8).unwrap();
+            prop_assert!(s.validate().is_ok());
+            let x_true: Vec<f64> = (0..s.n()).map(|i| 0.5 + (i % 3) as f64).collect();
+            let b = s.lower().multiply(&x_true).unwrap();
+            let x = s.solve_sequential(&b).unwrap();
+            prop_assert!(ops::relative_error_inf(&x, &x_true) < 1e-8,
+                "{} failed on an n={} instance", method.label(), l.n());
+        }
+    }
+
+    #[test]
+    fn parallel_solve_matches_sequential(l in lower_triangular_strategy()) {
+        let s = Method::Sts3.build(&l, 8).unwrap();
+        let x_true: Vec<f64> = (0..s.n()).map(|i| (i % 4) as f64 - 1.5).collect();
+        let b = s.lower().multiply(&x_true).unwrap();
+        let seq = s.solve_sequential(&b).unwrap();
+        let solver = ParallelSolver::new(3, Schedule::Dynamic { chunk: 2 });
+        let par = solver.solve(&s, &b).unwrap();
+        prop_assert!(ops::relative_error_inf(&par, &seq) < 1e-12);
+    }
+
+    #[test]
+    fn builder_permutation_is_a_bijection(l in lower_triangular_strategy()) {
+        let s = StsBuilder::new(3)
+            .ordering(Ordering::Coloring)
+            .super_row_sizing(SuperRowSizing::Nnz(16))
+            .build(&l)
+            .unwrap();
+        let perm = s.permutation();
+        prop_assert_eq!(perm.len(), l.n());
+        prop_assert!(perm.compose(&perm.inverse()).is_identity());
+        // index arrays cover every row exactly once
+        let covered: usize = (0..s.num_super_rows()).map(|sr| s.super_row_rows(sr).len()).sum();
+        prop_assert_eq!(covered, l.n());
+    }
+
+    #[test]
+    fn level_sets_respect_dependencies_on_random_operands(l in lower_triangular_strategy()) {
+        let ls = LevelSets::from_lower_triangular(&l);
+        let preds: Vec<Vec<usize>> = (0..l.n()).map(|i| l.row_off_diag_cols(i).to_vec()).collect();
+        prop_assert!(ls.respects_dependencies(&preds));
+        // Level count is at most n and at least 1.
+        prop_assert!(ls.num_levels() >= 1 && ls.num_levels() <= l.n());
+    }
+
+    #[test]
+    fn greedy_coloring_is_proper_on_random_graphs(l in lower_triangular_strategy()) {
+        let g = Graph::from_lower_triangular(&l);
+        for order in [ColoringOrder::Natural, ColoringOrder::LargestDegreeFirst, ColoringOrder::SmallestLast] {
+            let c = Coloring::greedy(&g, order);
+            prop_assert!(c.is_proper(&g));
+            prop_assert!(c.num_colors() <= g.max_degree() + 1);
+        }
+    }
+
+    #[test]
+    fn rcm_is_a_bijection_and_never_worsens_a_path_bandwidth(l in lower_triangular_strategy()) {
+        let g = Graph::from_lower_triangular(&l);
+        let p = rcm::reverse_cuthill_mckee(&g);
+        prop_assert_eq!(p.len(), g.n());
+        prop_assert!(Permutation::from_new_to_old(p.new_to_old().to_vec()).is_some());
+    }
+
+    #[test]
+    fn permutation_apply_scatter_roundtrip(order in proptest::collection::vec(0usize..1000, 1..50)) {
+        // Build a permutation from an arbitrary vector by sorting its indices.
+        let n = order.len();
+        let mut idx: Vec<usize> = (0..n).collect();
+        idx.sort_by_key(|&i| (order[i], i));
+        let p = Permutation::from_new_to_old(idx).unwrap();
+        let values: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let roundtrip = p.scatter_to_original(&p.apply_to_slice(&values));
+        prop_assert_eq!(roundtrip, values);
+    }
+
+    #[test]
+    fn exact_in_pack_schedule_never_loses_to_heuristics(
+        sets in proptest::collection::vec(proptest::collection::vec(0usize..6, 1..3), 1..7),
+        q in 1usize..4,
+    ) {
+        let dar = DarGraph::from_inputs(sets);
+        let model = InPackCostModel { w: 10.0, e: 1.0, r: 0.5 };
+        let opt = optimal_schedule(&dar, q, &model);
+        for assignment in [
+            block_schedule(dar.num_tasks(), q),
+            round_robin_schedule(dar.num_tasks(), q),
+            affinity_list_schedule(&dar, q, &model),
+        ] {
+            let h = model.makespan(&dar, &assignment, q);
+            prop_assert!(opt.makespan <= h + 1e-9,
+                "optimal {} exceeded heuristic {}", opt.makespan, h);
+        }
+    }
+
+    #[test]
+    fn coo_to_csr_sums_duplicates_like_a_dense_accumulator(
+        entries in proptest::collection::vec((0usize..8, 0usize..8, -5.0f64..5.0), 0..60)
+    ) {
+        let mut coo = CooMatrix::new(8, 8);
+        let mut dense = vec![vec![0.0f64; 8]; 8];
+        for &(r, c, v) in &entries {
+            coo.push(r, c, v).unwrap();
+            dense[r][c] += v;
+        }
+        let csr = coo.to_csr();
+        for r in 0..8 {
+            for c in 0..8 {
+                let got = csr.get(r, c);
+                prop_assert!((got - dense[r][c]).abs() < 1e-12);
+            }
+        }
+    }
+}

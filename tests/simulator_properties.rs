@@ -1,0 +1,104 @@
+//! Integration tests of the simulated NUMA executor: determinism, monotone
+//! behaviour in core count and topology, and the decomposition of the cost
+//! into compute and synchronisation.
+
+use sts_k::core::{Method, SimulatedExecutor, SimulationParams};
+use sts_k::matrix::suite::{SuiteId, SuiteScale, TestSuite};
+use sts_k::numa::{NumaTopology, Schedule};
+
+fn build(method: Method, id: SuiteId, rows: usize) -> sts_k::core::StsStructure {
+    let suite = TestSuite::generate_subset(SuiteScale::Tiny, &[id]).unwrap();
+    let l = suite.matrices[0].lower().unwrap();
+    method.build(&l, rows).unwrap()
+}
+
+#[test]
+fn sync_cost_scales_with_the_number_of_packs() {
+    let s_ls = build(Method::CsrLs, SuiteId::D2, 16);
+    let s_col = build(Method::CsrCol, SuiteId::D2, 16);
+    let exec = SimulatedExecutor::new(NumaTopology::intel_westmere_ex_32());
+    let r_ls = exec.simulate(&s_ls, 16, Schedule::Dynamic { chunk: 32 });
+    let r_col = exec.simulate(&s_col, 16, Schedule::Dynamic { chunk: 32 });
+    // Sync cost is barrier * packs, so the ratio of sync costs equals the
+    // ratio of pack counts.
+    let expected = s_ls.num_packs() as f64 / s_col.num_packs() as f64;
+    let measured = r_ls.sync_cycles / r_col.sync_cycles;
+    assert!((expected - measured).abs() / expected < 1e-9);
+}
+
+#[test]
+fn per_unknown_cost_on_one_core_is_of_the_same_order_across_methods() {
+    // On a single core there is no remote traffic; the per-nonzero cost still
+    // differs between methods because the recency rule charges memory latency
+    // for components produced more than one pack ago (which penalises the
+    // few-large-packs coloring orderings relative to level sets). The costs
+    // must nevertheless stay within a small constant factor and within the
+    // physically sensible band [stream+flop, stream+flop+dram].
+    let exec = SimulatedExecutor::new(NumaTopology::uma(16));
+    let params = exec.params().clone();
+    let lat = exec.topology().latency.clone();
+    let mut per_nnz: Vec<f64> = Vec::new();
+    for method in Method::all() {
+        let s = build(method, SuiteId::D2, 16);
+        let r = exec.simulate(&s, 1, Schedule::Static);
+        per_nnz.push(r.compute_cycles / s.nnz() as f64);
+    }
+    let max = per_nnz.iter().cloned().fold(f64::MIN, f64::max);
+    let min = per_nnz.iter().cloned().fold(f64::MAX, f64::min);
+    assert!(
+        max / min < 4.0,
+        "single-core per-nonzero costs should be of the same order across methods: {per_nnz:?}"
+    );
+    let floor = params.stream_cycles_per_nnz + params.flop_cycles;
+    let ceiling = floor + lat.dram_remote_cycles;
+    assert!(min >= floor, "per-nnz cost {min} below the streaming floor {floor}");
+    assert!(max <= ceiling, "per-nnz cost {max} above the physical ceiling {ceiling}");
+}
+
+#[test]
+fn custom_parameters_change_the_cost_model_proportionally() {
+    let s = build(Method::Sts3, SuiteId::D3, 16);
+    let topo = NumaTopology::intel_westmere_ex_32();
+    let cheap = SimulatedExecutor::with_params(
+        topo.clone(),
+        SimulationParams { barrier_base_cycles: 0.0, ..SimulationParams::default() },
+    );
+    let expensive = SimulatedExecutor::with_params(
+        topo,
+        SimulationParams { barrier_base_cycles: 10_000.0, ..SimulationParams::default() },
+    );
+    let r_cheap = cheap.simulate(&s, 16, Schedule::Guided { min_chunk: 1 });
+    let r_exp = expensive.simulate(&s, 16, Schedule::Guided { min_chunk: 1 });
+    assert_eq!(r_cheap.sync_cycles, 0.0);
+    assert!(r_exp.sync_cycles > 0.0);
+    // Compute cycles are unaffected by the barrier parameter.
+    assert!((r_cheap.compute_cycles - r_exp.compute_cycles).abs() < 1e-6);
+}
+
+#[test]
+fn numa_topology_matters_more_when_sockets_are_crossed() {
+    // The same structure priced on a single-socket UMA machine with 16 cores
+    // must not be slower than on the 4-socket Intel model with 16 cores:
+    // crossing sockets can only add latency.
+    let s = build(Method::Sts3, SuiteId::D2, 16);
+    let uma = SimulatedExecutor::new(NumaTopology::uma(16));
+    let numa = SimulatedExecutor::new(NumaTopology::intel_westmere_ex_32());
+    let t_uma = uma.simulate(&s, 16, Schedule::Guided { min_chunk: 1 }).compute_cycles;
+    let t_numa = numa.simulate(&s, 16, Schedule::Guided { min_chunk: 1 }).compute_cycles;
+    assert!(
+        t_uma <= t_numa * 1.05,
+        "UMA ({t_uma}) should not be slower than the NUMA model ({t_numa})"
+    );
+}
+
+#[test]
+fn simulation_is_independent_of_host_hardware() {
+    // The simulator must give identical results regardless of the machine the
+    // test runs on: repeated runs and fresh executors agree exactly.
+    let s = build(Method::Csr3Ls, SuiteId::D6, 32);
+    let a = SimulatedExecutor::new(NumaTopology::amd_magny_cours_24())
+        .simulate(&s, 12, Schedule::Guided { min_chunk: 1 });
+    let b = SimulatedExecutor::new(NumaTopology::amd_magny_cours_24())
+        .simulate(&s, 12, Schedule::Guided { min_chunk: 1 });
+    assert_eq!(a, b);
+}

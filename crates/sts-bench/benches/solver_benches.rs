@@ -24,12 +24,31 @@ fn solver_benchmarks(c: &mut Criterion) {
             &s,
             |bench, s| bench.iter(|| s.solve_sequential(&b).unwrap()),
         );
-        let threads = std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1);
+        group.bench_with_input(
+            BenchmarkId::new("sequential_split", method.label()),
+            &s,
+            |bench, s| bench.iter(|| s.solve_sequential_split(&b).unwrap()),
+        );
+        let threads = std::thread::available_parallelism()
+            .map(|c| c.get())
+            .unwrap_or(1);
         let solver = ParallelSolver::new(threads, Schedule::Guided { min_chunk: 1 });
         group.bench_with_input(
             BenchmarkId::new(format!("threads_{threads}"), method.label()),
             &s,
             |bench, s| bench.iter(|| solver.solve(s, &b).unwrap()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new(format!("split_threads_{threads}"), method.label()),
+            &s,
+            |bench, s| bench.iter(|| solver.solve_split(s, &b).unwrap()),
+        );
+        let nrhs = 4;
+        let b4 = vec![1.0; s.n() * nrhs];
+        group.bench_with_input(
+            BenchmarkId::new(format!("batch{nrhs}_threads_{threads}"), method.label()),
+            &s,
+            |bench, s| bench.iter(|| solver.solve_batch(s, &b4, nrhs).unwrap()),
         );
     }
     group.finish();

@@ -32,13 +32,18 @@ fn main() {
             machine.name(),
             cores
         );
-        println!("{:<5} {:>16} {:>16} {:>10}", "mat", "with (cycles)", "without", "gain");
+        println!(
+            "{:<5} {:>16} {:>16} {:>10}",
+            "mat", "with (cycles)", "without", "gain"
+        );
         for m in &suite.matrices {
             let l = m.lower().unwrap();
             let build = |dar_rcm: bool| {
                 StsBuilder::new(3)
                     .ordering(Ordering::Coloring)
-                    .super_row_sizing(SuperRowSizing::Rows(machine.rows_per_super_row_scaled(config.scale)))
+                    .super_row_sizing(SuperRowSizing::Rows(
+                        machine.rows_per_super_row_scaled(config.scale),
+                    ))
                     .within_pack_rcm(dar_rcm)
                     .build(&l)
                     .unwrap()

@@ -30,13 +30,18 @@ fn main() {
             machine.name(),
             cores
         );
-        println!("{:<5} {:>16} {:>16} {:>10}", "mat", "ordered", "natural", "gain");
+        println!(
+            "{:<5} {:>16} {:>16} {:>10}",
+            "mat", "ordered", "natural", "gain"
+        );
         for m in &suite.matrices {
             let l = m.lower().unwrap();
             let build = |ordered: bool| {
                 StsBuilder::new(3)
                     .ordering(Ordering::Coloring)
-                    .super_row_sizing(SuperRowSizing::Rows(machine.rows_per_super_row_scaled(config.scale)))
+                    .super_row_sizing(SuperRowSizing::Rows(
+                        machine.rows_per_super_row_scaled(config.scale),
+                    ))
                     .order_packs_by_size(ordered)
                     .build(&l)
                     .unwrap()

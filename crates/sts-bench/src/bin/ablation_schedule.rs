@@ -40,14 +40,19 @@ fn main() {
             .iter()
             .map(|m| {
                 Method::Sts3
-                    .build(&m.lower().unwrap(), machine.rows_per_super_row_scaled(config.scale))
+                    .build(
+                        &m.lower().unwrap(),
+                        machine.rows_per_super_row_scaled(config.scale),
+                    )
                     .unwrap()
             })
             .collect();
         println!("{:<12} {:>18}", "schedule", "total cycles");
         for (name, schedule) in schedules {
-            let total: f64 =
-                structures.iter().map(|s| exec.simulate(s, cores, schedule).total_cycles).sum();
+            let total: f64 = structures
+                .iter()
+                .map(|s| exec.simulate(s, cores, schedule).total_cycles)
+                .sum();
             println!("{name:<12} {total:>18.0}");
             rows.push(Row {
                 machine: machine.name().to_string(),

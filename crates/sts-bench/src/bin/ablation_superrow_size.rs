@@ -38,7 +38,10 @@ fn main() {
             machine.name(),
             cores
         );
-        println!("{:<5} {:>8} {:>14} {:>10}", "mat", "rows/SR", "cycles", "packs");
+        println!(
+            "{:<5} {:>8} {:>14} {:>10}",
+            "mat", "rows/SR", "cycles", "packs"
+        );
         for m in &suite.matrices {
             let l = m.lower().unwrap();
             for &size in &sizes {

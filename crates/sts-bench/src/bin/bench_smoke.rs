@@ -1,0 +1,100 @@
+//! Bench smoke: one JSON line tracking the solve-kernel trajectory per PR.
+//!
+//! Builds STS-3 on the 200×200 grid Laplacian and reports, as a single JSON
+//! object on stdout:
+//!
+//! * simulated cycles on the modelled 16-core Intel node for the sequential
+//!   reference (1 core), the pack-parallel kernel and the two-phase split
+//!   kernel;
+//! * measured wall-clock seconds on the host for the sequential, parallel,
+//!   split and batched (4 RHS, per-system) kernels.
+//!
+//! Run with `cargo run --release -p sts-bench --bin bench_smoke`. The output
+//! is one line so CI logs diff cleanly across PRs.
+
+use std::time::Instant;
+
+use serde::Serialize;
+use sts_bench::harness::{self, Machine};
+use sts_core::{Method, ParallelSolver};
+use sts_matrix::generators;
+
+#[derive(Serialize)]
+struct Smoke {
+    matrix: String,
+    n: usize,
+    nnz: usize,
+    method: String,
+    threads: usize,
+    sim_cores: usize,
+    sim_sequential_cycles: f64,
+    sim_parallel_cycles: f64,
+    sim_split_cycles: f64,
+    sim_split_compute_speedup: f64,
+    wall_sequential_s: f64,
+    wall_sequential_split_s: f64,
+    wall_parallel_s: f64,
+    wall_parallel_split_s: f64,
+    wall_batch4_per_rhs_s: f64,
+}
+
+fn main() {
+    let a = generators::grid2d_laplacian(200, 200).expect("grid dimensions are valid");
+    let l = generators::lower_operand(&a).expect("laplacian has a solvable lower operand");
+    let threads = std::thread::available_parallelism()
+        .map(|c| c.get())
+        .unwrap_or(1);
+    let repeats = 30;
+
+    let run = harness::build_methods_single(&l, Method::Sts3, 80);
+    let s = &run.structure;
+
+    // Simulated machine: the paper's 16-core Intel figure configuration.
+    let machine = Machine::Intel;
+    let sim_cores = machine.figure_cores();
+    let sim_seq = harness::simulate(machine, &run, 1);
+    let sim_par = harness::simulate(machine, &run, sim_cores);
+    let sim_split = harness::simulate_split(machine, &run, sim_cores);
+
+    // Host wall-clock.
+    let b = vec![1.0; s.n()];
+    let wall_sequential_s = time_per_solve(repeats, || s.solve_sequential(&b).unwrap());
+    let wall_sequential_split_s = time_per_solve(repeats, || s.solve_sequential_split(&b).unwrap());
+    let wall_parallel_s = harness::wallclock_seconds(&run, threads, repeats);
+    let wall_parallel_split_s = harness::wallclock_seconds_split(&run, threads, repeats);
+    let nrhs = 4;
+    let b4 = vec![1.0; s.n() * nrhs];
+    let solver = ParallelSolver::new(threads, harness::paper_schedule(run.method));
+    let wall_batch4_s = time_per_solve(repeats, || solver.solve_batch(s, &b4, nrhs).unwrap());
+
+    let smoke = Smoke {
+        matrix: "grid2d_laplacian_200x200".to_string(),
+        n: s.n(),
+        nnz: s.nnz(),
+        method: run.method.label().to_string(),
+        threads,
+        sim_cores,
+        sim_sequential_cycles: sim_seq.total_cycles,
+        sim_parallel_cycles: sim_par.total_cycles,
+        sim_split_cycles: sim_split.total_cycles,
+        sim_split_compute_speedup: sim_par.compute_cycles / sim_split.compute_cycles,
+        wall_sequential_s,
+        wall_sequential_split_s,
+        wall_parallel_s,
+        wall_parallel_split_s,
+        wall_batch4_per_rhs_s: wall_batch4_s / nrhs as f64,
+    };
+    println!(
+        "{}",
+        serde_json::to_string(&smoke).expect("smoke record serialises")
+    );
+}
+
+fn time_per_solve<O>(repeats: usize, mut solve: impl FnMut() -> O) -> f64 {
+    let _ = solve(); // warm-up
+    let start = Instant::now();
+    for _ in 0..repeats {
+        let _ = solve();
+    }
+    start.elapsed().as_secs_f64() / repeats as f64
+}

@@ -29,11 +29,22 @@ fn main() {
         let mut vals = Vec::new();
         for m in &suite.matrices {
             let run = harness::build_methods(m, machine.rows_per_super_row_scaled(config.scale));
-            let col = run.methods.iter().find(|r| r.method == Method::CsrCol).unwrap();
-            let sts = run.methods.iter().find(|r| r.method == Method::Sts3).unwrap();
+            let col = run
+                .methods
+                .iter()
+                .find(|r| r.method == Method::CsrCol)
+                .unwrap();
+            let sts = run
+                .methods
+                .iter()
+                .find(|r| r.method == Method::Sts3)
+                .unwrap();
             let (t_col, t_sts) = if config.wallclock {
                 let threads = cores.min(sts_numa::affinity::available_cores());
-                (harness::wallclock_seconds(col, threads, 3), harness::wallclock_seconds(sts, threads, 3))
+                (
+                    harness::wallclock_seconds(col, threads, 3),
+                    harness::wallclock_seconds(sts, threads, 3),
+                )
             } else {
                 (
                     harness::simulate(machine, col, cores).total_cycles,
@@ -50,7 +61,10 @@ fn main() {
                 relative_speedup: rel,
             });
         }
-        println!("mean relative speedup: {:.2}", harness::geometric_mean(&vals));
+        println!(
+            "mean relative speedup: {:.2}",
+            harness::geometric_mean(&vals)
+        );
     }
     harness::write_json(&config.out_dir, "fig10_relative_coloring", &rows);
 }

@@ -29,11 +29,22 @@ fn main() {
         let mut vals = Vec::new();
         for m in &suite.matrices {
             let run = harness::build_methods(m, machine.rows_per_super_row_scaled(config.scale));
-            let ls = run.methods.iter().find(|r| r.method == Method::CsrLs).unwrap();
-            let ls3 = run.methods.iter().find(|r| r.method == Method::Csr3Ls).unwrap();
+            let ls = run
+                .methods
+                .iter()
+                .find(|r| r.method == Method::CsrLs)
+                .unwrap();
+            let ls3 = run
+                .methods
+                .iter()
+                .find(|r| r.method == Method::Csr3Ls)
+                .unwrap();
             let (t_ls, t_ls3) = if config.wallclock {
                 let threads = cores.min(sts_numa::affinity::available_cores());
-                (harness::wallclock_seconds(ls, threads, 3), harness::wallclock_seconds(ls3, threads, 3))
+                (
+                    harness::wallclock_seconds(ls, threads, 3),
+                    harness::wallclock_seconds(ls3, threads, 3),
+                )
             } else {
                 (
                     harness::simulate(machine, ls, cores).total_cycles,
@@ -50,7 +61,10 @@ fn main() {
                 relative_speedup: rel,
             });
         }
-        println!("mean relative speedup: {:.2}", harness::geometric_mean(&vals));
+        println!(
+            "mean relative speedup: {:.2}",
+            harness::geometric_mean(&vals)
+        );
     }
     harness::write_json(&config.out_dir, "fig11_relative_levelset", &rows);
 }

@@ -36,8 +36,16 @@ fn main() {
             let mut total_col = 0.0;
             let mut total_sts = 0.0;
             for run in &runs {
-                let col = run.methods.iter().find(|r| r.method == Method::CsrCol).unwrap();
-                let sts = run.methods.iter().find(|r| r.method == Method::Sts3).unwrap();
+                let col = run
+                    .methods
+                    .iter()
+                    .find(|r| r.method == Method::CsrCol)
+                    .unwrap();
+                let sts = run
+                    .methods
+                    .iter()
+                    .find(|r| r.method == Method::Sts3)
+                    .unwrap();
                 total_col += harness::simulate(machine, col, q).total_cycles;
                 total_sts += harness::simulate(machine, sts, q).total_cycles;
             }
@@ -46,7 +54,11 @@ fn main() {
             if machine.scaling_mean_cores().contains(&q) {
                 mean_vals.push(rel);
             }
-            rows.push(Row { machine: machine.name().to_string(), cores: q, relative_speedup: rel });
+            rows.push(Row {
+                machine: machine.name().to_string(),
+                cores: q,
+                relative_speedup: rel,
+            });
         }
         println!(
             "mean over {:?} cores: {:.2}",

@@ -34,8 +34,16 @@ fn main() {
             let mut total_ls = 0.0;
             let mut total_ls3 = 0.0;
             for run in &runs {
-                let ls = run.methods.iter().find(|r| r.method == Method::CsrLs).unwrap();
-                let ls3 = run.methods.iter().find(|r| r.method == Method::Csr3Ls).unwrap();
+                let ls = run
+                    .methods
+                    .iter()
+                    .find(|r| r.method == Method::CsrLs)
+                    .unwrap();
+                let ls3 = run
+                    .methods
+                    .iter()
+                    .find(|r| r.method == Method::Csr3Ls)
+                    .unwrap();
                 total_ls += harness::simulate(machine, ls, q).total_cycles;
                 total_ls3 += harness::simulate(machine, ls3, q).total_cycles;
             }
@@ -44,7 +52,11 @@ fn main() {
             if machine.scaling_mean_cores().contains(&q) {
                 mean_vals.push(rel);
             }
-            rows.push(Row { machine: machine.name().to_string(), cores: q, relative_speedup: rel });
+            rows.push(Row {
+                machine: machine.name().to_string(),
+                cores: q,
+                relative_speedup: rel,
+            });
         }
         println!(
             "mean over {:?} cores: {:.2}",

@@ -40,11 +40,20 @@ fn main() {
                 let s = &mr.structure;
                 let p = analysis::largest_pack(s).expect("non-empty structure");
                 let unknowns = s.pack_rows(p).len().max(1) as f64;
-                let rep = exec.simulate_single_pack(s, p, cores, harness::paper_schedule(mr.method));
+                let rep =
+                    exec.simulate_single_pack(s, p, cores, harness::paper_schedule(mr.method));
                 rep.total_cycles / unknowns
             };
-            let col = run.methods.iter().find(|r| r.method == Method::CsrCol).unwrap();
-            let sts = run.methods.iter().find(|r| r.method == Method::Sts3).unwrap();
+            let col = run
+                .methods
+                .iter()
+                .find(|r| r.method == Method::CsrCol)
+                .unwrap();
+            let sts = run
+                .methods
+                .iter()
+                .find(|r| r.method == Method::Sts3)
+                .unwrap();
             let (c_col, c_sts) = (per_unknown(col), per_unknown(sts));
             let rel = c_col / c_sts;
             println!("{:<5} {:>26.2}", run.matrix_label, rel);

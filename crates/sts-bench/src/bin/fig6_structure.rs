@@ -25,6 +25,8 @@ fn spy(s: &StsStructure) -> String {
     let n = s.n();
     let l = s.lower();
     let mut grid = vec![vec!['.'; n]; n];
+    // Indexed loop: each row mutates both grid[i][j] and its mirror grid[j][i].
+    #[allow(clippy::needless_range_loop)]
     for i in 0..n {
         for &j in l.row_off_diag_cols(i) {
             grid[i][j] = 'x';
@@ -74,7 +76,10 @@ fn main() {
     let a = generators::grid2d_9point(5, 5).unwrap();
     let l = generators::lower_operand(&a).unwrap();
     let mut summaries = Vec::new();
-    for (method, label) in [(Method::CsrCol, "coloring (CSR-COL)"), (Method::Sts3, "STS-3")] {
+    for (method, label) in [
+        (Method::CsrCol, "coloring (CSR-COL)"),
+        (Method::Sts3, "STS-3"),
+    ] {
         let s = method.build(&l, 4).unwrap();
         println!("\n=== L reordered by {label}: {} packs ===", s.num_packs());
         println!("{}", spy(&s));

@@ -20,8 +20,14 @@ fn main() {
     let suite = harness::generate_suite(&config);
     // Structural figures use the paper's own super-row size (80 rows).
     let rows_per_super_row = Machine::Intel.rows_per_super_row();
-    println!("Figure 8: % of total work in the 5 largest packs (scale {:?})", config.scale);
-    println!("{:<5} {:>10} {:>10} {:>10} {:>10}", "mat", "CSR-LS", "CSR-3-LS", "CSR-COL", "STS-3");
+    println!(
+        "Figure 8: % of total work in the 5 largest packs (scale {:?})",
+        config.scale
+    );
+    println!(
+        "{:<5} {:>10} {:>10} {:>10} {:>10}",
+        "mat", "CSR-LS", "CSR-3-LS", "CSR-COL", "STS-3"
+    );
     let mut rows = Vec::new();
     for m in &suite.matrices {
         let run = harness::build_methods(m, rows_per_super_row);
@@ -36,7 +42,11 @@ fn main() {
             percents.push((mr.method.label(), pct));
         }
         let get = |label: &str| {
-            percents.iter().find(|(l, _)| *l == label).map(|(_, p)| *p).unwrap_or(f64::NAN)
+            percents
+                .iter()
+                .find(|(l, _)| *l == label)
+                .map(|(_, p)| *p)
+                .unwrap_or(f64::NAN)
         };
         println!(
             "{:<5} {:>10.1} {:>10.1} {:>10.1} {:>10.1}",
@@ -50,8 +60,11 @@ fn main() {
     println!("\nmeans:");
     for method in sts_core::Method::all() {
         let label = method.label();
-        let vals: Vec<f64> =
-            rows.iter().filter(|r| r.method == label).map(|r| r.percent_in_top5).collect();
+        let vals: Vec<f64> = rows
+            .iter()
+            .filter(|r| r.method == label)
+            .map(|r| r.percent_in_top5)
+            .collect();
         let mean = vals.iter().sum::<f64>() / vals.len().max(1) as f64;
         println!("{label:<10} {mean:>6.1}%");
     }

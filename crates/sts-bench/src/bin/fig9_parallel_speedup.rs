@@ -30,7 +30,10 @@ fn main() {
             cores,
             config.scale
         );
-        println!("{:<5} {:>10} {:>10} {:>10} {:>10}", "mat", "CSR-LS", "CSR-3-LS", "CSR-COL", "STS-3");
+        println!(
+            "{:<5} {:>10} {:>10} {:>10} {:>10}",
+            "mat", "CSR-LS", "CSR-3-LS", "CSR-COL", "STS-3"
+        );
         for m in &suite.matrices {
             let run = harness::build_methods(m, machine.rows_per_super_row_scaled(config.scale));
             let reference = &run.methods[0]; // CSR-LS
@@ -42,7 +45,11 @@ fn main() {
             let mut line = format!("{:<5}", run.matrix_label);
             for mr in &run.methods {
                 let t = if config.wallclock {
-                    harness::wallclock_seconds(mr, cores.min(sts_numa::affinity::available_cores()), 3)
+                    harness::wallclock_seconds(
+                        mr,
+                        cores.min(sts_numa::affinity::available_cores()),
+                        3,
+                    )
                 } else {
                     harness::simulate(machine, mr, cores).total_cycles
                 };

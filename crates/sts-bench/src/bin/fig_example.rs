@@ -18,7 +18,11 @@ fn main() {
 
     println!("Figure 1: G1 = G(A), A = L + L'  (vertices are 1-based as in the paper)");
     for v in 0..g1.n() {
-        let nbrs: Vec<String> = g1.neighbors(v).iter().map(|&u| (u + 1).to_string()).collect();
+        let nbrs: Vec<String> = g1
+            .neighbors(v)
+            .iter()
+            .map(|&u| (u + 1).to_string())
+            .collect();
         println!("  vertex {:>2}: neighbours {{{}}}", v + 1, nbrs.join(", "));
     }
 
@@ -26,10 +30,17 @@ fn main() {
     let g2 = coarsening.coarse_graph(&g1);
     println!("\nFigure 1 (right): G2 after collapsing connected pairs into super-rows");
     for s in 0..coarsening.num_groups() {
-        let members: Vec<String> =
-            coarsening.group(s).iter().map(|&v| (v + 1).to_string()).collect();
+        let members: Vec<String> = coarsening
+            .group(s)
+            .iter()
+            .map(|&v| (v + 1).to_string())
+            .collect();
         let nbrs: Vec<String> = g2.neighbors(s).iter().map(|&t| format!("S{t}")).collect();
-        println!("  super-row S{s} = {{{}}}, adjacent to {{{}}}", members.join(","), nbrs.join(", "));
+        println!(
+            "  super-row S{s} = {{{}}}, adjacent to {{{}}}",
+            members.join(","),
+            nbrs.join(", ")
+        );
     }
 
     let packs_g1 = Packs::by_coloring(&g1, ColoringOrder::LargestDegreeFirst);
@@ -43,8 +54,11 @@ fn main() {
         let members: Vec<String> = pack
             .iter()
             .map(|&s| {
-                let rows: Vec<String> =
-                    coarsening.group(s).iter().map(|&v| (v + 1).to_string()).collect();
+                let rows: Vec<String> = coarsening
+                    .group(s)
+                    .iter()
+                    .map(|&v| (v + 1).to_string())
+                    .collect();
                 format!("{{{}}}", rows.join(","))
             })
             .collect();
@@ -59,7 +73,11 @@ fn main() {
     let dar = reorder::pack_dar(packs_g2.pack(last), &inputs);
     println!("\nFigure 3: DAR graph of pack {last}");
     for (t, &s) in packs_g2.pack(last).iter().enumerate() {
-        let rows: Vec<String> = coarsening.group(s).iter().map(|&v| (v + 1).to_string()).collect();
+        let rows: Vec<String> = coarsening
+            .group(s)
+            .iter()
+            .map(|&v| (v + 1).to_string())
+            .collect();
         let nbrs: Vec<String> = dar
             .neighbors(t)
             .iter()
@@ -75,7 +93,11 @@ fn main() {
         println!(
             "  task {{{}}}: shares previous-pack components with {}",
             rows.join(","),
-            if nbrs.is_empty() { "nothing".to_string() } else { nbrs.join(", ") }
+            if nbrs.is_empty() {
+                "nothing".to_string()
+            } else {
+                nbrs.join(", ")
+            }
         );
     }
 }

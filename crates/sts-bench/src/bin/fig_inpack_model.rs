@@ -34,7 +34,11 @@ struct ReductionRow {
 
 fn main() {
     let config = parse_args();
-    let model = InPackCostModel { w: 200.0, e: 1.0, r: 4.0 };
+    let model = InPackCostModel {
+        w: 200.0,
+        e: 1.0,
+        r: 4.0,
+    };
 
     println!("Figure 5: line-DAR packs — block schedule vs locality-oblivious schedules");
     println!(
@@ -61,7 +65,10 @@ fn main() {
     }
 
     println!("\nFigure 4 / Theorem 1: the 3-Partition reduction");
-    println!("{:>9} {:>6} {:>20} {:>18}", "triplets", "B", "canonical makespan", "optimal makespan");
+    println!(
+        "{:>9} {:>6} {:>20} {:>18}",
+        "triplets", "B", "canonical makespan", "optimal makespan"
+    );
     let copy_only = InPackCostModel::copy_only(1.0);
     let mut reduction_rows = Vec::new();
     for n in [2usize, 3] {
@@ -89,5 +96,9 @@ fn main() {
     println!(" solvable instance achieves it, and no schedule can do better.)");
 
     harness::write_json(&config.out_dir, "fig_inpack_model_line", &line_rows);
-    harness::write_json(&config.out_dir, "fig_inpack_model_reduction", &reduction_rows);
+    harness::write_json(
+        &config.out_dir,
+        "fig_inpack_model_reduction",
+        &reduction_rows,
+    );
 }

@@ -180,7 +180,9 @@ pub fn generate_suite(config: &BenchConfig) -> TestSuite {
 /// Builds all four methods on one matrix using `rows_per_super_row` for the
 /// 3-level variants.
 pub fn build_methods(m: &SuiteMatrix, rows_per_super_row: usize) -> SuiteRun {
-    let l = m.lower().expect("suite matrices have solvable lower operands");
+    let l = m
+        .lower()
+        .expect("suite matrices have solvable lower operands");
     let methods = Method::all()
         .into_iter()
         .map(|method| {
@@ -188,10 +190,37 @@ pub fn build_methods(m: &SuiteMatrix, rows_per_super_row: usize) -> SuiteRun {
             let structure = method
                 .build(&l, rows_per_super_row)
                 .expect("builder succeeds on suite matrices");
-            MethodRun { method, structure, build_seconds: start.elapsed().as_secs_f64() }
+            MethodRun {
+                method,
+                structure,
+                build_seconds: start.elapsed().as_secs_f64(),
+            }
         })
         .collect();
-    SuiteRun { matrix_label: m.id.label().to_string(), n: l.n(), nnz: l.nnz(), methods }
+    SuiteRun {
+        matrix_label: m.id.label().to_string(),
+        n: l.n(),
+        nnz: l.nnz(),
+        methods,
+    }
+}
+
+/// Builds a single method on an explicit operand (used by the smoke bench,
+/// which targets one matrix/method pair rather than the suite).
+pub fn build_methods_single(
+    l: &sts_matrix::LowerTriangularCsr,
+    method: Method,
+    rows_per_super_row: usize,
+) -> MethodRun {
+    let start = Instant::now();
+    let structure = method
+        .build(l, rows_per_super_row)
+        .expect("builder succeeds on the smoke matrix");
+    MethodRun {
+        method,
+        structure,
+        build_seconds: start.elapsed().as_secs_f64(),
+    }
 }
 
 /// The OpenMP schedule the paper uses for each method (`dynamic,32` for the
@@ -209,6 +238,13 @@ pub fn simulate(machine: Machine, run: &MethodRun, cores: usize) -> SimReport {
     exec.simulate(&run.structure, cores, paper_schedule(run.method))
 }
 
+/// Simulates one built method with the two-phase split kernel on `cores`
+/// cores of the given machine.
+pub fn simulate_split(machine: Machine, run: &MethodRun, cores: usize) -> SimReport {
+    let exec = SimulatedExecutor::new(machine.topology());
+    exec.simulate_split(&run.structure, cores, paper_schedule(run.method))
+}
+
 /// Measures the wall-clock solve time of one built method on the host with
 /// `threads` workers (averaged over `repeats` solves, as the paper averages
 /// over 10 repeats).
@@ -221,6 +257,25 @@ pub fn wallclock_seconds(run: &MethodRun, threads: usize, repeats: usize) -> f64
     let start = Instant::now();
     for _ in 0..repeats {
         let _ = solver.solve(&run.structure, &b).expect("solve succeeds");
+    }
+    start.elapsed().as_secs_f64() / repeats as f64
+}
+
+/// Measures the wall-clock solve time of the two-phase split kernel on the
+/// host with `threads` workers (averaged over `repeats` solves).
+pub fn wallclock_seconds_split(run: &MethodRun, threads: usize, repeats: usize) -> f64 {
+    use sts_core::ParallelSolver;
+    let solver = ParallelSolver::new(threads, paper_schedule(run.method));
+    let b = vec![1.0; run.structure.n()];
+    // warm-up
+    let _ = solver
+        .solve_split(&run.structure, &b)
+        .expect("solve succeeds");
+    let start = Instant::now();
+    for _ in 0..repeats {
+        let _ = solver
+            .solve_split(&run.structure, &b)
+            .expect("solve succeeds");
     }
     start.elapsed().as_secs_f64() / repeats as f64
 }
@@ -289,7 +344,10 @@ mod tests {
         let t_ref = simulate(Machine::Intel, &run.methods[0], 16).total_cycles;
         let t_sts = simulate(Machine::Intel, &run.methods[3], 16).total_cycles;
         assert!(t_ref > 0.0 && t_sts > 0.0);
-        assert!(t_sts < t_ref, "STS-3 should beat CSR-LS: {t_sts} vs {t_ref}");
+        assert!(
+            t_sts < t_ref,
+            "STS-3 should beat CSR-LS: {t_sts} vs {t_ref}"
+        );
     }
 
     #[test]
@@ -301,8 +359,14 @@ mod tests {
 
     #[test]
     fn paper_schedules_match_section_4_1() {
-        assert_eq!(paper_schedule(Method::CsrLs), Schedule::Dynamic { chunk: 32 });
-        assert_eq!(paper_schedule(Method::Sts3), Schedule::Guided { min_chunk: 1 });
+        assert_eq!(
+            paper_schedule(Method::CsrLs),
+            Schedule::Dynamic { chunk: 32 }
+        );
+        assert_eq!(
+            paper_schedule(Method::Sts3),
+            Schedule::Guided { min_chunk: 1 }
+        );
     }
 
     #[test]

@@ -20,6 +20,4 @@
 
 pub mod harness;
 
-pub use harness::{
-    geometric_mean, parse_args, BenchConfig, Machine, MethodRun, SuiteRun,
-};
+pub use harness::{geometric_mean, parse_args, BenchConfig, Machine, MethodRun, SuiteRun};

@@ -72,7 +72,10 @@ mod tests {
     fn structures() -> (StsStructure, StsStructure) {
         let a = generators::triangulated_grid(20, 20, 11).unwrap();
         let l = generators::lower_operand(&a).unwrap();
-        (Method::CsrLs.build(&l, 8).unwrap(), Method::Sts3.build(&l, 8).unwrap())
+        (
+            Method::CsrLs.build(&l, 8).unwrap(),
+            Method::Sts3.build(&l, 8).unwrap(),
+        )
     }
 
     #[test]
@@ -82,7 +85,9 @@ mod tests {
             let st = parallelism_stats(s);
             assert_eq!(st.num_packs, s.num_packs());
             assert_eq!(st.total_work, s.nnz());
-            assert!((st.mean_components_per_pack * st.num_packs as f64 - s.n() as f64).abs() < 1e-9);
+            assert!(
+                (st.mean_components_per_pack * st.num_packs as f64 - s.n() as f64).abs() < 1e-9
+            );
             assert!(st.work_fraction_top5 > 0.0 && st.work_fraction_top5 <= 1.0);
         }
     }
@@ -94,8 +99,14 @@ mod tests {
         let (ls, sts) = structures();
         let f_ls = work_fraction_in_top_packs(&ls, 5);
         let f_sts = work_fraction_in_top_packs(&sts, 5);
-        assert!(f_sts > 0.9, "STS-3 top-5 packs should hold >90% of work, got {f_sts}");
-        assert!(f_sts > f_ls, "coloring should concentrate more work than level sets");
+        assert!(
+            f_sts > 0.9,
+            "STS-3 top-5 packs should hold >90% of work, got {f_sts}"
+        );
+        assert!(
+            f_sts > f_ls,
+            "coloring should concentrate more work than level sets"
+        );
     }
 
     #[test]

@@ -20,9 +20,7 @@
 //! `CSR-LS`, `CSR-COL`, `CSR-3-LS` and `STS-3` (a.k.a. `CSR-3-COL`).
 
 use serde::Serialize;
-use sts_graph::{
-    rcm, Coarsening, CoarseningStrategy, ColoringOrder, Graph, Permutation,
-};
+use sts_graph::{rcm, Coarsening, CoarseningStrategy, ColoringOrder, Graph, Permutation};
 use sts_matrix::{CooMatrix, CsrMatrix, LowerTriangularCsr, MatrixError};
 
 use crate::csrk::{Result, StsStructure};
@@ -267,8 +265,7 @@ impl StsBuilder {
             }
             index3.push(index2.len() - 1);
         }
-        let final_new_to_old: Vec<usize> =
-            order1.iter().map(|&r1| perm0.old_of(r1)).collect();
+        let final_new_to_old: Vec<usize> = order1.iter().map(|&r1| perm0.old_of(r1)).collect();
         let perm = Permutation::from_new_to_old(final_new_to_old).ok_or_else(|| {
             MatrixError::InvalidStructure("assembled ordering is not a permutation".into())
         })?;
@@ -364,7 +361,11 @@ mod tests {
             for method in Method::all() {
                 let s = method.build(&l, 8).unwrap();
                 assert_eq!(s.n(), l.n());
-                assert_eq!(s.nnz(), l.nnz(), "reordering must preserve the nonzero count");
+                assert_eq!(
+                    s.nnz(),
+                    l.nnz(),
+                    "reordering must preserve the nonzero count"
+                );
                 s.validate().unwrap();
                 check_solves_correctly(&s);
             }
@@ -406,7 +407,10 @@ mod tests {
         let l = generators::lower_operand(&a).unwrap();
         let s = Method::Sts3.build(&l, 8).unwrap();
         let sizes = s.components_per_pack();
-        assert!(sizes.windows(2).all(|w| w[0] <= w[1]), "pack sizes must be non-decreasing");
+        assert!(
+            sizes.windows(2).all(|w| w[0] <= w[1]),
+            "pack sizes must be non-decreasing"
+        );
     }
 
     #[test]

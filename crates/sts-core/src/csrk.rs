@@ -16,6 +16,7 @@ use sts_graph::Permutation;
 use sts_matrix::{LowerTriangularCsr, MatrixError};
 
 use crate::builder::Ordering;
+use crate::split::SplitLayout;
 
 /// Result alias for the core crate.
 pub type Result<T> = std::result::Result<T, MatrixError>;
@@ -30,11 +31,13 @@ pub struct StsStructure {
     index2: Vec<usize>,
     l: LowerTriangularCsr,
     perm: Permutation,
+    split: SplitLayout,
 }
 
 impl StsStructure {
     /// Assembles a structure from its parts, validating every invariant (see
-    /// [`StsStructure::validate`]).
+    /// [`StsStructure::validate`]) and precomputing the dependency-split
+    /// layout the two-phase kernels run on.
     pub fn new(
         k: usize,
         ordering: Ordering,
@@ -43,9 +46,37 @@ impl StsStructure {
         l: LowerTriangularCsr,
         perm: Permutation,
     ) -> Result<Self> {
-        let s = StsStructure { k, ordering, index3, index2, l, perm };
+        let mut s = StsStructure {
+            k,
+            ordering,
+            index3,
+            index2,
+            l,
+            perm,
+            split: SplitLayout::empty(),
+        };
         s.validate()?;
+        if s.n() > 0 && s.n() - 1 > u32::MAX as usize {
+            return Err(MatrixError::InvalidStructure(format!(
+                "split layout stores columns as u32; n = {} exceeds the 2^32 row limit",
+                s.n()
+            )));
+        }
+        s.split = SplitLayout::build(&s.l, &s.pack_start_rows(), &s.index3, &s.index2);
         Ok(s)
+    }
+
+    /// For every row, the first row of its pack (the boundary the split
+    /// layout classifies columns against).
+    fn pack_start_rows(&self) -> Vec<usize> {
+        let mut start = vec![0usize; self.n()];
+        for p in 0..self.num_packs() {
+            let rows = self.pack_rows(p);
+            for r in rows.clone() {
+                start[r] = rows.start;
+            }
+        }
+        start
     }
 
     /// The number of levels of sub-structuring (1 for the flat reference
@@ -116,7 +147,9 @@ impl StsStructure {
 
     /// Number of solution components (rows) computed by each pack.
     pub fn components_per_pack(&self) -> Vec<usize> {
-        (0..self.num_packs()).map(|p| self.pack_rows(p).len()).collect()
+        (0..self.num_packs())
+            .map(|p| self.pack_rows(p).len())
+            .collect()
     }
 
     /// Work (stored nonzeros, i.e. fused multiply-adds) performed by each pack.
@@ -153,6 +186,126 @@ impl StsStructure {
                         acc += values[k] * x[col_idx[k]];
                     }
                     x[i1] = (b[i1] - acc) / values[end - 1];
+                }
+            }
+        }
+        Ok(x)
+    }
+
+    /// The precomputed dependency-split layout (external/internal slabs).
+    pub fn split(&self) -> &SplitLayout {
+        &self.split
+    }
+
+    /// Solves `L' x' = b'` sequentially on the dependency-split layout.
+    ///
+    /// Produces the same iteration order as [`StsStructure::solve_sequential`]
+    /// pack by pack, but walks each pack in two phases: first the external
+    /// gather `x[i] = b[i] − Σ L_ext·x` over all rows of the pack (inputs are
+    /// final, any order works), then the internal substitution over the
+    /// super-rows. Floating-point sums are reassociated relative to the
+    /// unsplit kernel, so results agree to rounding (≤ 1e-12 relative), not
+    /// bitwise.
+    pub fn solve_sequential_split(&self, b: &[f64]) -> Result<Vec<f64>> {
+        if b.len() != self.n() {
+            return Err(MatrixError::DimensionMismatch(format!(
+                "b has length {}, expected {}",
+                b.len(),
+                self.n()
+            )));
+        }
+        let mut x = vec![0.0; self.n()];
+        let split = &self.split;
+        let erp = split.ext_row_ptr();
+        let ecols = split.ext_cols();
+        let evals = split.ext_vals();
+        let irp = split.int_row_ptr();
+        let icols = split.int_cols();
+        let ivals = split.int_vals();
+        let inv_diag = split.inv_diags();
+        for p in 0..self.num_packs() {
+            let rows = self.pack_rows(p);
+            // Phase 1: external gather with the diagonal scale folded in,
+            // `y[i] = (b[i] − Σ L_ext·x) / L[i][i]`. Rows without internal
+            // entries are already final after this sweep.
+            for i1 in rows.clone() {
+                let mut acc = 0.0;
+                for k in erp[i1]..erp[i1 + 1] {
+                    acc += evals[k] * x[ecols[k] as usize];
+                }
+                x[i1] = (b[i1] - acc) * inv_diag[i1];
+            }
+            // Phase 2: internal substitution, visiting only the chain rows
+            // (`x[i] −= d_i · Σ L_int·x`) of the chain tasks; everything
+            // else was final after phase 1.
+            for t in 0..split.chain_super_rows(p).len() {
+                for &i1 in split.chain_rows_of(p, t) {
+                    let i1 = i1 as usize;
+                    let mut acc = 0.0;
+                    for k in irp[i1]..irp[i1 + 1] {
+                        acc += ivals[k] * x[icols[k] as usize];
+                    }
+                    x[i1] -= acc * inv_diag[i1];
+                }
+            }
+        }
+        Ok(x)
+    }
+
+    /// Solves `L' X' = B'` for `nrhs` right-hand sides at once on the split
+    /// layout, amortising the index traffic of every row over the batch.
+    ///
+    /// `b` holds the right-hand sides row-major (`b[i * nrhs + r]` is
+    /// component `i` of system `r`) and the solution uses the same layout.
+    pub fn solve_batch(&self, b: &[f64], nrhs: usize) -> Result<Vec<f64>> {
+        if nrhs == 0 {
+            return Err(MatrixError::DimensionMismatch(
+                "solve_batch needs at least one right-hand side".into(),
+            ));
+        }
+        if b.len() != self.n() * nrhs {
+            return Err(MatrixError::DimensionMismatch(format!(
+                "B has length {}, expected n * nrhs = {}",
+                b.len(),
+                self.n() * nrhs
+            )));
+        }
+        let mut x = vec![0.0; self.n() * nrhs];
+        let split = &self.split;
+        for p in 0..self.num_packs() {
+            let rows = self.pack_rows(p);
+            for i1 in rows.clone() {
+                let (cols, vals) = split.ext_row(i1);
+                let d = split.inv_diag(i1);
+                // Every referenced column is < i1, so splitting at the row
+                // boundary separates the reads from the written row.
+                let (done, cur) = x.split_at_mut(i1 * nrhs);
+                let row = &mut cur[..nrhs];
+                row.copy_from_slice(&b[i1 * nrhs..(i1 + 1) * nrhs]);
+                for (&j, &v) in cols.iter().zip(vals) {
+                    // One (col, val) load serves all nrhs systems.
+                    let xj = &done[j as usize * nrhs..(j as usize + 1) * nrhs];
+                    for r in 0..nrhs {
+                        row[r] -= v * xj[r];
+                    }
+                }
+                for value in row.iter_mut() {
+                    *value *= d;
+                }
+            }
+            for t in 0..split.chain_super_rows(p).len() {
+                for &i1 in split.chain_rows_of(p, t) {
+                    let i1 = i1 as usize;
+                    let (cols, vals) = split.int_row(i1);
+                    let d = split.inv_diag(i1);
+                    let (done, cur) = x.split_at_mut(i1 * nrhs);
+                    let row = &mut cur[..nrhs];
+                    for (&j, &v) in cols.iter().zip(vals) {
+                        let xj = &done[j as usize * nrhs..(j as usize + 1) * nrhs];
+                        for r in 0..nrhs {
+                            row[r] -= v * d * xj[r];
+                        }
+                    }
                 }
             }
         }
@@ -236,7 +389,9 @@ impl StsStructure {
 
 fn check_monotone_cover(index: &[usize], total: usize, name: &str) -> Result<()> {
     if index.is_empty() || index[0] != 0 {
-        return Err(MatrixError::InvalidStructure(format!("{name} must start at 0")));
+        return Err(MatrixError::InvalidStructure(format!(
+            "{name} must start at 0"
+        )));
     }
     if *index.last().unwrap() != total {
         return Err(MatrixError::InvalidStructure(format!(
@@ -245,7 +400,9 @@ fn check_monotone_cover(index: &[usize], total: usize, name: &str) -> Result<()>
         )));
     }
     if index.windows(2).any(|w| w[0] > w[1]) {
-        return Err(MatrixError::InvalidStructure(format!("{name} must be non-decreasing")));
+        return Err(MatrixError::InvalidStructure(format!(
+            "{name} must be non-decreasing"
+        )));
     }
     Ok(())
 }
@@ -300,6 +457,32 @@ mod tests {
         let s = figure1_flat_structure();
         assert!(s.solve_sequential(&[1.0; 3]).is_err());
         assert!(s.solve_transpose_sequential(&[1.0; 3]).is_err());
+        assert!(s.solve_sequential_split(&[1.0; 3]).is_err());
+        assert!(s.solve_batch(&[1.0; 3], 1).is_err());
+        assert!(s.solve_batch(&[1.0; 9], 0).is_err());
+    }
+
+    #[test]
+    fn split_sequential_solve_matches_the_unsplit_kernel() {
+        let s = figure1_flat_structure();
+        let x_true: Vec<f64> = (0..9).map(|i| 1.0 + i as f64 * 0.25).collect();
+        let b = s.lower().multiply(&x_true).unwrap();
+        let x = s.solve_sequential(&b).unwrap();
+        let x_split = s.solve_sequential_split(&b).unwrap();
+        for (a, b) in x_split.iter().zip(&x) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn batch_solve_with_one_rhs_matches_the_single_solve() {
+        let s = figure1_flat_structure();
+        let b: Vec<f64> = (0..9).map(|i| 1.0 - i as f64 * 0.5).collect();
+        let x = s.solve_sequential(&b).unwrap();
+        let xb = s.solve_batch(&b, 1).unwrap();
+        for (a, b) in xb.iter().zip(&x) {
+            assert!((a - b).abs() < 1e-12);
+        }
     }
 
     #[test]

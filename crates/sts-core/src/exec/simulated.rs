@@ -48,6 +48,14 @@ pub struct SimulationParams {
     /// rest of `j`'s line for free, which is how the super-row/RCM spatial
     /// locality shows up in the model.
     pub cache_line_doubles: usize,
+    /// Memory-level parallelism of the *unordered* external gather phase of
+    /// the split kernel: how many outstanding misses the hardware overlaps
+    /// when no dependence chain serialises the reads. Inside the scheduled
+    /// substitution phase each read feeds the chain and pays full latency;
+    /// the gather's reads are independent and their latencies divide by this
+    /// factor. Out-of-order cores of the evaluation era sustain ~4–8
+    /// outstanding L1 misses (line-fill buffers).
+    pub gather_mlp: f64,
 }
 
 impl Default for SimulationParams {
@@ -61,6 +69,7 @@ impl Default for SimulationParams {
             barrier_base_cycles: 300.0,
             dispatch_cycles: 60.0,
             cache_line_doubles: 8,
+            gather_mlp: 4.0,
         }
     }
 }
@@ -93,7 +102,10 @@ pub struct SimulatedExecutor {
 impl SimulatedExecutor {
     /// Creates a simulator for the given machine with default parameters.
     pub fn new(topology: NumaTopology) -> Self {
-        SimulatedExecutor { topology, params: SimulationParams::default() }
+        SimulatedExecutor {
+            topology,
+            params: SimulationParams::default(),
+        }
     }
 
     /// Creates a simulator with explicit cost parameters.
@@ -138,6 +150,203 @@ impl SimulatedExecutor {
             seconds: self.topology.latency.cycles_to_seconds(compute),
             cores: upto.cores,
             num_packs: 1,
+        }
+    }
+
+    /// Simulates a full solve of `s` with the two-phase split kernel
+    /// ([`ParallelSolver::solve_split`]): per pack, a statically chunked
+    /// external gather, a phase barrier, then the internal substitution under
+    /// `schedule`, and the pack barrier.
+    ///
+    /// The external gather streams each pack's contiguous slab, so its cost
+    /// is charged at streaming rates — with fetch latencies divided by
+    /// [`SimulationParams::gather_mlp`], because nothing serialises the
+    /// gather's reads — plus the diagonal scale; the scheduled phase only
+    /// pays for the chain rows of the internal slab. Packs with internal
+    /// entries pay **two** barriers instead of one — the split must save
+    /// more critical-path work than the extra barrier costs to win, which is
+    /// exactly the trade-off the bench harnesses measure.
+    ///
+    /// [`ParallelSolver::solve_split`]:
+    ///     crate::solver::parallel::ParallelSolver::solve_split
+    pub fn simulate_split(
+        &self,
+        s: &StsStructure,
+        cores: usize,
+        schedule: SimSchedule,
+    ) -> SimReport {
+        let cores = cores.clamp(1, self.topology.total_cores());
+        let core_ids = self.topology.compact_core_order(cores);
+        let lat = &self.topology.latency;
+        let split = s.split();
+        let n = s.n();
+
+        let mut producer_core = vec![usize::MAX; n];
+        let mut producer_pack = vec![usize::MAX; n];
+        let line = self.params.cache_line_doubles.max(1);
+        let num_lines = n / line + 1;
+        let mut fetched = vec![vec![0u32; num_lines]; cores];
+        // Which core slot ran row i's phase-1 gather during the current pack.
+        let mut phase1_slot = vec![usize::MAX; n];
+
+        let mut compute_cycles = 0.0f64;
+        let mut sync_cycles = 0.0f64;
+        let barrier = self.params.barrier_base_cycles * (1.0 + (cores as f64).log2());
+        let num_packs = s.num_packs();
+
+        for p in 0..num_packs {
+            let rows = s.pack_rows(p);
+            if rows.is_empty() {
+                continue;
+            }
+            let stamp = p as u32 + 1;
+            let m = rows.len();
+            let mlp = self.params.gather_mlp.max(1.0);
+
+            // Phase 1: the external gather with the diagonal scale folded
+            // in, rows statically chunked over the cores. Every row is
+            // produced here; chain rows are then corrected by phase 2.
+            let mut core_time = vec![0.0f64; cores];
+            for (slot, time) in core_time.iter_mut().enumerate() {
+                let chunk = (slot * m / cores)..((slot + 1) * m / cores);
+                let core = core_ids[slot];
+                let mut cycles = 0.0;
+                for r in chunk {
+                    let i1 = rows.start + r;
+                    phase1_slot[i1] = slot;
+                    producer_core[i1] = core;
+                    producer_pack[i1] = p;
+                    // The gathered value is written to x[i1]: write-allocate
+                    // leaves its line in this core's cache.
+                    fetched[slot][i1 / line] = stamp;
+                    let (cols, _) = split.ext_row(i1);
+                    // external entries + the diagonal scale
+                    cycles += (cols.len() + 1) as f64
+                        * (self.params.stream_cycles_per_nnz + self.params.flop_cycles);
+                    for &j in cols {
+                        let j = j as usize;
+                        let line_of_j = j / line;
+                        if fetched[slot][line_of_j] == stamp {
+                            cycles += lat.l1_cycles;
+                            continue;
+                        }
+                        fetched[slot][line_of_j] = stamp;
+                        let pc = producer_core[j];
+                        // No dependence chain serialises the gather, so
+                        // fetch latencies overlap up to the hardware's miss
+                        // parallelism.
+                        let fetch = if pc == usize::MAX {
+                            lat.dram_local_cycles
+                        } else if producer_pack[j] + 1 == p {
+                            lat.reuse_cycles(self.topology.distance(core, pc))
+                        } else {
+                            lat.memory_cycles(self.topology.distance(core, pc))
+                        };
+                        cycles += fetch / mlp;
+                    }
+                }
+                *time += cycles;
+            }
+            compute_cycles += core_time.iter().copied().fold(0.0, f64::max);
+            sync_cycles += barrier; // phase (or pack, if phase 2 is empty) barrier
+
+            // Phase 2: only the chain tasks, under the requested schedule.
+            // Packs without internal entries skip the phase and its barrier.
+            let tasks: Vec<usize> = split.chain_super_rows(p).to_vec();
+            if tasks.is_empty() {
+                continue;
+            }
+            let mut core_time = vec![0.0f64; cores];
+            let mut assignment = vec![0usize; tasks.len()];
+            {
+                let fetched = &mut fetched;
+                let mut task_cost = |sr: usize, slot: usize| -> f64 {
+                    let core = core_ids[slot];
+                    let mut cycles = 0.0;
+                    for i1 in s.super_row_rows(sr) {
+                        let (cols, _) = split.int_row(i1);
+                        if cols.is_empty() {
+                            continue;
+                        }
+                        // internal entries + the correction flop
+                        cycles += cols.len() as f64
+                            * (self.params.stream_cycles_per_nnz + self.params.flop_cycles)
+                            + self.params.flop_cycles;
+                        // The phase-1 value of row i1: line-granular reuse
+                        // from the core that gathered it (L1 if this core
+                        // already holds the line). The addresses are known
+                        // before the chain starts, so fetches overlap.
+                        let line_of_i = i1 / line;
+                        let p1 = phase1_slot[i1];
+                        if fetched[slot][line_of_i] == stamp || p1 == usize::MAX {
+                            cycles += lat.l1_cycles;
+                        } else {
+                            cycles +=
+                                lat.reuse_cycles(self.topology.distance(core, core_ids[p1])) / mlp;
+                        }
+                        fetched[slot][line_of_i] = stamp;
+                        // Chain reads stay inside the super-row: produced by
+                        // this worker (chain rows) or already fetched lines.
+                        cycles += cols.len() as f64 * lat.l1_cycles;
+                    }
+                    cycles
+                };
+                match schedule {
+                    Schedule::Static => {
+                        let m2 = tasks.len();
+                        for (t, a) in assignment.iter_mut().enumerate() {
+                            *a = t * cores / m2.max(1);
+                        }
+                        for (t, &slot) in assignment.iter().enumerate() {
+                            core_time[slot] += task_cost(tasks[t], slot);
+                        }
+                    }
+                    Schedule::Dynamic { chunk } | Schedule::Guided { min_chunk: chunk } => {
+                        let guided = matches!(schedule, Schedule::Guided { .. });
+                        let min_chunk = chunk.max(1);
+                        let m2 = tasks.len();
+                        let mut next = 0usize;
+                        while next < m2 {
+                            let size = if guided {
+                                ((m2 - next) / (2 * cores)).max(min_chunk)
+                            } else {
+                                min_chunk
+                            };
+                            let slot = (0..cores)
+                                .min_by(|&a, &b| core_time[a].partial_cmp(&core_time[b]).unwrap())
+                                .unwrap();
+                            core_time[slot] += self.params.dispatch_cycles;
+                            for t in next..(next + size).min(m2) {
+                                assignment[t] = slot;
+                                core_time[slot] += task_cost(tasks[t], slot);
+                            }
+                            next += size;
+                        }
+                    }
+                }
+            }
+            // Chain rows were corrected by their phase-2 core; that core is
+            // their producer for subsequent packs.
+            for (t, &slot) in assignment.iter().enumerate() {
+                let core = core_ids[slot];
+                for r in s.super_row_rows(tasks[t]) {
+                    if !split.int_row(r).0.is_empty() {
+                        producer_core[r] = core;
+                    }
+                }
+            }
+            compute_cycles += core_time.iter().copied().fold(0.0, f64::max);
+            sync_cycles += barrier; // pack barrier
+        }
+
+        let total = compute_cycles + sync_cycles;
+        SimReport {
+            total_cycles: total,
+            compute_cycles,
+            sync_cycles,
+            seconds: lat.cycles_to_seconds(total),
+            cores,
+            num_packs,
         }
     }
 
@@ -204,9 +413,9 @@ impl SimulatedExecutor {
                     let start = row_ptr[i1];
                     let end = row_ptr[i1 + 1];
                     let nnz_row = (end - start) as f64;
-                    cycles += nnz_row * (self.params.stream_cycles_per_nnz + self.params.flop_cycles);
-                    for k in start..end - 1 {
-                        let j = col_idx[k];
+                    cycles +=
+                        nnz_row * (self.params.stream_cycles_per_nnz + self.params.flop_cycles);
+                    for &j in &col_idx[start..end - 1] {
                         let line_of_j = j / line;
                         if super_row_of[j] == sr || fetched[slot][line_of_j] == stamp {
                             cycles += lat.l1_cycles;
@@ -360,8 +569,12 @@ mod tests {
         let sim = SimulatedExecutor::new(NumaTopology::intel_westmere_ex_32());
         let ls = build(Method::CsrLs);
         let sts = build(Method::Sts3);
-        let t_ls = sim.simulate(&ls, 16, Schedule::Dynamic { chunk: 32 }).total_cycles;
-        let t_sts = sim.simulate(&sts, 16, Schedule::Guided { min_chunk: 1 }).total_cycles;
+        let t_ls = sim
+            .simulate(&ls, 16, Schedule::Dynamic { chunk: 32 })
+            .total_cycles;
+        let t_sts = sim
+            .simulate(&sts, 16, Schedule::Guided { min_chunk: 1 })
+            .total_cycles;
         assert!(
             t_sts < t_ls,
             "STS-3 ({t_sts}) should beat CSR-LS ({t_ls}) on the modelled machine"
@@ -380,6 +593,53 @@ mod tests {
         assert!(r.total_cycles > 0.0);
         assert!(r.total_cycles < full.compute_cycles);
         assert_eq!(r.sync_cycles, 0.0);
+    }
+
+    #[test]
+    fn split_simulation_reports_consistent_components() {
+        let s = build(Method::Sts3);
+        let sim = SimulatedExecutor::new(NumaTopology::intel_westmere_ex_32());
+        let r = sim.simulate_split(&s, 16, Schedule::Guided { min_chunk: 1 });
+        assert!(r.total_cycles > 0.0);
+        assert!((r.total_cycles - (r.compute_cycles + r.sync_cycles)).abs() < 1e-6);
+        assert_eq!(r.num_packs, s.num_packs());
+        // Packs with external entries pay a phase barrier on top of the pack
+        // barrier; ext-free packs (at least the first) skip it.
+        let unsplit = sim.simulate(&s, 16, Schedule::Guided { min_chunk: 1 });
+        assert!(r.sync_cycles > unsplit.sync_cycles);
+        assert!(r.sync_cycles < 2.0 * unsplit.sync_cycles + 1e-6);
+    }
+
+    #[test]
+    fn split_kernel_shortens_the_modelled_critical_path() {
+        // The tentpole claim the model can check directly: taking the
+        // external gather out of the ordered phase shortens the per-pack
+        // critical paths (compute cycles). Whether *total* time wins depends
+        // on the extra phase barrier amortising against the pack's external
+        // volume — on the miniature test matrices the barrier often does not
+        // amortise, which is why the bench harness reports both numbers.
+        let sim = SimulatedExecutor::new(NumaTopology::intel_westmere_ex_32());
+        for method in [Method::Csr3Ls, Method::Sts3] {
+            let s = build(method);
+            let unsplit = sim.simulate(&s, 16, Schedule::Guided { min_chunk: 1 });
+            let split = sim.simulate_split(&s, 16, Schedule::Guided { min_chunk: 1 });
+            assert!(
+                split.compute_cycles < unsplit.compute_cycles,
+                "split critical path ({}) should be shorter than unsplit ({}) for {:?}",
+                split.compute_cycles,
+                unsplit.compute_cycles,
+                method
+            );
+        }
+    }
+
+    #[test]
+    fn split_simulation_is_deterministic() {
+        let s = build(Method::Csr3Ls);
+        let sim = SimulatedExecutor::new(NumaTopology::amd_magny_cours_24());
+        let a = sim.simulate_split(&s, 12, Schedule::Guided { min_chunk: 1 });
+        let b = sim.simulate_split(&s, 12, Schedule::Guided { min_chunk: 1 });
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -12,9 +12,14 @@
 //!   graph) that exposes line-graph structure for cache reuse;
 //! * [`builder`] — the [`StsBuilder`] pipeline and the four named methods of
 //!   the evaluation (`CSR-LS`, `CSR-COL`, `CSR-3-LS`, `STS-3`);
-//! * [`solver`] — the threaded pack-parallel solver (worker pool + barriers)
-//!   and a schedule-only level-scheduled solver for callers who cannot
-//!   reorder their system;
+//! * [`split`] — the dependency-split CSR layout: per pack, an *external*
+//!   slab of entries referencing earlier packs (streamed by the
+//!   embarrassingly-parallel gather phase) and an *internal* slab holding the
+//!   true in-pack dependence chains;
+//! * [`solver`] — the threaded pack-parallel solver (worker pool + barriers),
+//!   its two-phase split variants (`solve_split`, `solve_batch`), and a
+//!   schedule-only level-scheduled solver for callers who cannot reorder
+//!   their system;
 //! * [`exec`] — the simulated NUMA executor that prices a solve on a modelled
 //!   machine (the paper's 32-core Intel and 24-core AMD nodes), used by the
 //!   figure harnesses;
@@ -40,8 +45,10 @@ pub mod exec;
 pub mod pack;
 pub mod reorder;
 pub mod solver;
+pub mod split;
 
 pub use builder::{Method, Ordering, StsBuilder, SuperRowSizing};
 pub use csrk::StsStructure;
 pub use exec::simulated::{SimReport, SimSchedule, SimulatedExecutor, SimulationParams};
 pub use solver::parallel::ParallelSolver;
+pub use split::SplitLayout;

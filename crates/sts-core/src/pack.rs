@@ -21,7 +21,9 @@ impl Packs {
     /// Builds packs as the color classes of a greedy coloring of `graph`.
     pub fn by_coloring(graph: &Graph, order: ColoringOrder) -> Packs {
         let coloring = Coloring::greedy(graph, order);
-        Packs { packs: coloring.classes() }
+        Packs {
+            packs: coloring.classes(),
+        }
     }
 
     /// Builds packs as the dependency levels of a DAG given by per-entity
@@ -29,7 +31,9 @@ impl Packs {
     /// entity, see [`LevelSets::from_predecessors`]).
     pub fn by_level_set(preds: &[Vec<usize>]) -> Packs {
         let levels = LevelSets::from_predecessors(preds);
-        Packs { packs: levels.levels().to_vec() }
+        Packs {
+            packs: levels.levels().to_vec(),
+        }
     }
 
     /// Builds packs directly from an explicit partition (used by tests).
@@ -78,9 +82,8 @@ impl Packs {
     /// (the coloring invariant).
     pub fn is_independent(&self, graph: &Graph) -> bool {
         self.packs.iter().all(|pack| {
-            pack.iter().all(|&a| {
-                graph.neighbors(a).iter().all(|&b| !pack.contains(&b))
-            })
+            pack.iter()
+                .all(|&a| graph.neighbors(a).iter().all(|&b| !pack.contains(&b)))
         })
     }
 
@@ -94,7 +97,7 @@ impl Packs {
                 pack_of[e] = p;
             }
         }
-        if pack_of.iter().any(|&p| p == usize::MAX) {
+        if pack_of.contains(&usize::MAX) {
             return false;
         }
         preds
@@ -125,8 +128,9 @@ mod tests {
     #[test]
     fn level_set_packs_respect_dependencies() {
         let l = generators::paper_figure1_l();
-        let preds: Vec<Vec<usize>> =
-            (0..l.n()).map(|i| l.row_off_diag_cols(i).to_vec()).collect();
+        let preds: Vec<Vec<usize>> = (0..l.n())
+            .map(|i| l.row_off_diag_cols(i).to_vec())
+            .collect();
         let packs = Packs::by_level_set(&preds);
         assert_eq!(packs.num_packs(), 6);
         assert!(packs.respects_dependencies(&preds));
@@ -177,8 +181,9 @@ mod tests {
         let l = generators::lower_operand(&a).unwrap();
         let g = Graph::from_lower_triangular(&l);
         let color_packs = Packs::by_coloring(&g, ColoringOrder::LargestDegreeFirst);
-        let preds: Vec<Vec<usize>> =
-            (0..l.n()).map(|i| l.row_off_diag_cols(i).to_vec()).collect();
+        let preds: Vec<Vec<usize>> = (0..l.n())
+            .map(|i| l.row_off_diag_cols(i).to_vec())
+            .collect();
         let ls_packs = Packs::by_level_set(&preds);
         assert!(
             color_packs.num_packs() * 3 < ls_packs.num_packs(),

@@ -146,8 +146,14 @@ mod tests {
         let before = consecutive_sharing_fraction(&pack, &inputs);
         let reordered = reorder_pack_by_dar(&pack, &inputs);
         let after = consecutive_sharing_fraction(&reordered, &inputs);
-        assert!(after > before, "sharing fraction should improve: {before} -> {after}");
-        assert!((after - 1.0).abs() < 1e-12, "a chain must become a perfect line, got {after}");
+        assert!(
+            after > before,
+            "sharing fraction should improve: {before} -> {after}"
+        );
+        assert!(
+            (after - 1.0).abs() < 1e-12,
+            "a chain must become a perfect line, got {after}"
+        );
         // Same multiset of tasks.
         let mut sorted = reordered.clone();
         sorted.sort_unstable();

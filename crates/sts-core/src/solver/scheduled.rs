@@ -104,7 +104,9 @@ mod tests {
         let b = l.multiply(&x_true).unwrap();
         let solver = LevelScheduledSolver::new(l);
         let pool = WorkerPool::new(4);
-        let x = solver.solve_parallel(&pool, Schedule::Dynamic { chunk: 8 }, &b).unwrap();
+        let x = solver
+            .solve_parallel(&pool, Schedule::Dynamic { chunk: 8 }, &b)
+            .unwrap();
         // The result is the original system's solution — no permutation.
         assert!(ops::relative_error_inf(&x, &x_true) < 1e-10);
         let seq = solver.solve_sequential(&b).unwrap();
@@ -115,7 +117,9 @@ mod tests {
     fn wrong_rhs_length_is_rejected() {
         let solver = LevelScheduledSolver::new(generators::paper_figure1_l());
         let pool = WorkerPool::new(2);
-        assert!(solver.solve_parallel(&pool, Schedule::Static, &[0.0; 2]).is_err());
+        assert!(solver
+            .solve_parallel(&pool, Schedule::Static, &[0.0; 2])
+            .is_err());
     }
 
     #[test]
@@ -125,7 +129,9 @@ mod tests {
         assert_eq!(solver.num_levels(), 1);
         let b = vec![3.0; 50];
         let pool = WorkerPool::new(3);
-        let x = solver.solve_parallel(&pool, Schedule::Guided { min_chunk: 1 }, &b).unwrap();
+        let x = solver
+            .solve_parallel(&pool, Schedule::Guided { min_chunk: 1 }, &b)
+            .unwrap();
         let seq = l.solve_seq(&b).unwrap();
         assert!(ops::relative_error_inf(&x, &seq) < 1e-14);
     }

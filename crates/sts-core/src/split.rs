@@ -1,0 +1,371 @@
+//! The dependency-split CSR layout behind the two-phase solve engine.
+//!
+//! The pack-parallel solver's critical path walks every row's full nonzero
+//! list between two barriers. But most of those nonzeros reference rows of
+//! *earlier* packs — components that are already final when the pack starts.
+//! Only the few entries that reference the row's own super-row form a true
+//! dependence chain. [`SplitLayout`] materialises that distinction at build
+//! time by splitting every row's off-diagonal entries into two slabs:
+//!
+//! * the **external** slab holds the `(col, val)` pairs whose column belongs
+//!   to an earlier pack. Gathering them is a pure sparse-matrix-vector
+//!   product against finalized data — embarrassingly parallel, no ordering
+//!   constraint, bandwidth-bound streaming;
+//! * the **internal** slab holds the entries whose column belongs to the same
+//!   pack (and therefore, by [`StsStructure::validate`]'s pack-independence
+//!   invariant, to the same super-row). This is the short true dependence
+//!   chain that must run under the pack schedule.
+//!
+//! Both slabs are stored contiguously in pack-major, row-major order — the
+//! rows of a pack are contiguous in the reordered numbering, so a pack's
+//! external slab is one dense streamable range. The reciprocal of each
+//! diagonal is precomputed so the substitution multiplies instead of divides.
+//!
+//! The layout duplicates the operand's off-diagonal storage (ext + int slabs
+//! hold every strictly-lower entry exactly once, next to the original CSR
+//! arrays) and is built eagerly by every
+//! [`StsStructure::new`](crate::csrk::StsStructure::new), so the space and
+//! build-time cost is paid even by callers who only use the unsplit
+//! kernels. That is the standard space/time trade of split-format
+//! triangular solvers; a lazy or builder-gated construction for
+//! memory-constrained callers is a ROADMAP follow-up.
+//!
+//! [`StsStructure::validate`]: crate::csrk::StsStructure::validate
+
+use sts_matrix::LowerTriangularCsr;
+
+/// Per-row split of the reordered operand into external (off-pack) and
+/// internal (in-pack) slabs. Built once by
+/// [`StsStructure::new`](crate::csrk::StsStructure::new); immutable
+/// afterwards.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SplitLayout {
+    /// CSR row pointer over the external slab (`n + 1` entries).
+    ext_row_ptr: Vec<usize>,
+    /// Columns of the external slab, referencing rows of earlier packs
+    /// only. Stored as `u32` to halve the slab's index traffic
+    /// ([`StsStructure::new`](crate::csrk::StsStructure::new) rejects
+    /// systems with more than 2^32 rows).
+    ext_cols: Vec<u32>,
+    /// Values of the external slab.
+    ext_vals: Vec<f64>,
+    /// CSR row pointer over the internal slab (`n + 1` entries).
+    int_row_ptr: Vec<usize>,
+    /// Columns of the internal slab, referencing rows of the same
+    /// super-row, as `u32` like `ext_cols`.
+    int_cols: Vec<u32>,
+    /// Values of the internal slab.
+    int_vals: Vec<f64>,
+    /// Reciprocal diagonal, `1.0 / L'[i][i]`.
+    inv_diag: Vec<f64>,
+    /// Super-rows owning at least one internal entry ("chain tasks"),
+    /// grouped by pack: the chain tasks of pack `p` are
+    /// `chain_srs[chain_sr_ptr[p]..chain_sr_ptr[p + 1]]`. Phase 2 dispatches
+    /// only these; all other super-rows are final after phase 1.
+    chain_srs: Vec<usize>,
+    /// Pack pointer into `chain_srs` (`num_packs + 1` entries).
+    chain_sr_ptr: Vec<usize>,
+    /// The chain *rows* (rows with internal entries) of each chain task, in
+    /// row order: task `t` of `chain_srs` owns
+    /// `chain_rows[chain_row_ptr[t]..chain_row_ptr[t + 1]]`. Phase 2 visits
+    /// exactly these rows and no others.
+    chain_rows: Vec<u32>,
+    /// Task pointer into `chain_rows` (`chain_srs.len() + 1` entries).
+    chain_row_ptr: Vec<usize>,
+}
+
+impl SplitLayout {
+    /// A zero-row placeholder used while a structure is still being
+    /// validated.
+    pub(crate) fn empty() -> SplitLayout {
+        SplitLayout {
+            ext_row_ptr: vec![0],
+            ext_cols: Vec::new(),
+            ext_vals: Vec::new(),
+            int_row_ptr: vec![0],
+            int_cols: Vec::new(),
+            int_vals: Vec::new(),
+            inv_diag: Vec::new(),
+            chain_srs: Vec::new(),
+            chain_sr_ptr: vec![0],
+            chain_rows: Vec::new(),
+            chain_row_ptr: vec![0],
+        }
+    }
+
+    /// Splits the reordered operand's rows at each row's pack boundary.
+    ///
+    /// `pack_start_row[i]` must be the first row of the pack containing row
+    /// `i`: because packs execute in row order, a column is external exactly
+    /// when it is smaller than its row's pack start. `index3`/`index2` are
+    /// the validated hierarchy arrays, used to group the chain tasks by
+    /// pack.
+    pub(crate) fn build(
+        l: &LowerTriangularCsr,
+        pack_start_row: &[usize],
+        index3: &[usize],
+        index2: &[usize],
+    ) -> SplitLayout {
+        let n = l.n();
+        // Enforced with a proper error by StsStructure::new before this runs.
+        debug_assert!(
+            n == 0 || n - 1 <= u32::MAX as usize,
+            "columns are stored as u32"
+        );
+        let row_ptr = l.row_ptr();
+        let col_idx = l.col_idx();
+        let values = l.values();
+        let off_diag = l.nnz() - n;
+        let mut ext_row_ptr = Vec::with_capacity(n + 1);
+        let mut int_row_ptr = Vec::with_capacity(n + 1);
+        let mut ext_cols = Vec::with_capacity(off_diag);
+        let mut ext_vals = Vec::with_capacity(off_diag);
+        let mut int_cols = Vec::new();
+        let mut int_vals = Vec::new();
+        let mut inv_diag = Vec::with_capacity(n);
+        ext_row_ptr.push(0);
+        int_row_ptr.push(0);
+        for i in 0..n {
+            let start = row_ptr[i];
+            let end = row_ptr[i + 1];
+            let pack_start = pack_start_row[i];
+            for k in start..end - 1 {
+                if col_idx[k] < pack_start {
+                    ext_cols.push(col_idx[k] as u32);
+                    ext_vals.push(values[k]);
+                } else {
+                    int_cols.push(col_idx[k] as u32);
+                    int_vals.push(values[k]);
+                }
+            }
+            ext_row_ptr.push(ext_cols.len());
+            int_row_ptr.push(int_cols.len());
+            inv_diag.push(1.0 / values[end - 1]);
+        }
+        // Group the super-rows that own internal entries ("chain tasks") by
+        // pack, and record each task's chain rows so phase 2 visits nothing
+        // else.
+        let num_packs = index3.len() - 1;
+        let mut chain_srs = Vec::new();
+        let mut chain_sr_ptr = Vec::with_capacity(num_packs + 1);
+        let mut chain_rows = Vec::new();
+        let mut chain_row_ptr = vec![0usize];
+        chain_sr_ptr.push(0);
+        for p in 0..num_packs {
+            for sr in index3[p]..index3[p + 1] {
+                if int_row_ptr[index2[sr]] == int_row_ptr[index2[sr + 1]] {
+                    continue;
+                }
+                chain_srs.push(sr);
+                for r in index2[sr]..index2[sr + 1] {
+                    if int_row_ptr[r] != int_row_ptr[r + 1] {
+                        chain_rows.push(r as u32);
+                    }
+                }
+                chain_row_ptr.push(chain_rows.len());
+            }
+            chain_sr_ptr.push(chain_srs.len());
+        }
+        SplitLayout {
+            ext_row_ptr,
+            ext_cols,
+            ext_vals,
+            int_row_ptr,
+            int_cols,
+            int_vals,
+            inv_diag,
+            chain_srs,
+            chain_sr_ptr,
+            chain_rows,
+            chain_row_ptr,
+        }
+    }
+
+    /// Number of rows.
+    pub fn n(&self) -> usize {
+        self.inv_diag.len()
+    }
+
+    /// Total entries in the external (off-pack) slab.
+    pub fn ext_nnz(&self) -> usize {
+        self.ext_cols.len()
+    }
+
+    /// Total entries in the internal (in-pack) slab.
+    pub fn int_nnz(&self) -> usize {
+        self.int_cols.len()
+    }
+
+    /// The external slab's CSR row pointer (`n + 1` entries).
+    #[inline]
+    pub fn ext_row_ptr(&self) -> &[usize] {
+        &self.ext_row_ptr
+    }
+
+    /// The external slab's column array.
+    #[inline]
+    pub fn ext_cols(&self) -> &[u32] {
+        &self.ext_cols
+    }
+
+    /// The external slab's value array.
+    #[inline]
+    pub fn ext_vals(&self) -> &[f64] {
+        &self.ext_vals
+    }
+
+    /// The internal slab's CSR row pointer (`n + 1` entries).
+    #[inline]
+    pub fn int_row_ptr(&self) -> &[usize] {
+        &self.int_row_ptr
+    }
+
+    /// The internal slab's column array.
+    #[inline]
+    pub fn int_cols(&self) -> &[u32] {
+        &self.int_cols
+    }
+
+    /// The internal slab's value array.
+    #[inline]
+    pub fn int_vals(&self) -> &[f64] {
+        &self.int_vals
+    }
+
+    /// The reciprocal diagonal array.
+    #[inline]
+    pub fn inv_diags(&self) -> &[f64] {
+        &self.inv_diag
+    }
+
+    /// External entries of row `i` as parallel `(cols, vals)` slices.
+    #[inline]
+    pub fn ext_row(&self, i: usize) -> (&[u32], &[f64]) {
+        let r = self.ext_row_ptr[i]..self.ext_row_ptr[i + 1];
+        (&self.ext_cols[r.clone()], &self.ext_vals[r])
+    }
+
+    /// Internal entries of row `i` as parallel `(cols, vals)` slices.
+    #[inline]
+    pub fn int_row(&self, i: usize) -> (&[u32], &[f64]) {
+        let r = self.int_row_ptr[i]..self.int_row_ptr[i + 1];
+        (&self.int_cols[r.clone()], &self.int_vals[r])
+    }
+
+    /// Reciprocal diagonal of row `i`.
+    #[inline]
+    pub fn inv_diag(&self, i: usize) -> f64 {
+        self.inv_diag[i]
+    }
+
+    /// The chain tasks of pack `p`: the super-rows with at least one
+    /// internal entry, i.e. the only tasks phase 2 must dispatch.
+    #[inline]
+    pub fn chain_super_rows(&self, p: usize) -> &[usize] {
+        &self.chain_srs[self.chain_sr_ptr[p]..self.chain_sr_ptr[p + 1]]
+    }
+
+    /// The chain rows of the `t`-th chain task of pack `p`, in row order —
+    /// exactly the rows phase 2 must correct for that task.
+    #[inline]
+    pub fn chain_rows_of(&self, p: usize, t: usize) -> &[u32] {
+        let task = self.chain_sr_ptr[p] + t;
+        &self.chain_rows[self.chain_row_ptr[task]..self.chain_row_ptr[task + 1]]
+    }
+
+    /// External entries of a contiguous row range, as one streamable slab
+    /// (used by benches to verify the layout is contiguous per pack).
+    pub fn ext_range_nnz(&self, rows: std::ops::Range<usize>) -> usize {
+        self.ext_row_ptr[rows.end] - self.ext_row_ptr[rows.start]
+    }
+
+    /// Internal entries of a contiguous row range.
+    pub fn int_range_nnz(&self, rows: std::ops::Range<usize>) -> usize {
+        self.int_row_ptr[rows.end] - self.int_row_ptr[rows.start]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::Method;
+    use sts_matrix::generators;
+
+    #[test]
+    fn slabs_partition_the_off_diagonal_entries() {
+        let a = generators::triangulated_grid(12, 12, 1).unwrap();
+        let l = generators::lower_operand(&a).unwrap();
+        for method in Method::all() {
+            let s = method.build(&l, 8).unwrap();
+            let split = s.split();
+            assert_eq!(split.n(), s.n());
+            assert_eq!(
+                split.ext_nnz() + split.int_nnz(),
+                s.nnz() - s.n(),
+                "{}: ext + int must cover every strictly-lower entry",
+                method.label()
+            );
+        }
+    }
+
+    #[test]
+    fn external_entries_reference_earlier_packs_only() {
+        let a = generators::grid2d_9point(14, 14).unwrap();
+        let l = generators::lower_operand(&a).unwrap();
+        let s = Method::Sts3.build(&l, 8).unwrap();
+        let split = s.split();
+        for p in 0..s.num_packs() {
+            let rows = s.pack_rows(p);
+            for i in rows.clone() {
+                let (ext_cols, _) = split.ext_row(i);
+                assert!(ext_cols.iter().all(|&j| (j as usize) < rows.start));
+                let (int_cols, _) = split.int_row(i);
+                assert!(int_cols
+                    .iter()
+                    .all(|&j| rows.contains(&(j as usize)) && (j as usize) < i));
+            }
+        }
+    }
+
+    #[test]
+    fn internal_entries_stay_inside_the_super_row() {
+        let a = generators::triangulated_grid(10, 10, 4).unwrap();
+        let l = generators::lower_operand(&a).unwrap();
+        let s = Method::Sts3.build(&l, 4).unwrap();
+        let split = s.split();
+        for sr in 0..s.num_super_rows() {
+            let rows = s.super_row_rows(sr);
+            for i in rows.clone() {
+                let (int_cols, _) = split.int_row(i);
+                assert!(
+                    int_cols.iter().all(|&j| rows.contains(&(j as usize))),
+                    "internal entry of row {i} escapes super-row {sr}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn range_nnz_matches_per_row_sums() {
+        let a = generators::grid2d_laplacian(9, 9).unwrap();
+        let l = generators::lower_operand(&a).unwrap();
+        let s = Method::Csr3Ls.build(&l, 6).unwrap();
+        let split = s.split();
+        for p in 0..s.num_packs() {
+            let rows = s.pack_rows(p);
+            let ext_sum: usize = rows.clone().map(|i| split.ext_row(i).0.len()).sum();
+            let int_sum: usize = rows.clone().map(|i| split.int_row(i).0.len()).sum();
+            assert_eq!(split.ext_range_nnz(rows.clone()), ext_sum);
+            assert_eq!(split.int_range_nnz(rows), int_sum);
+        }
+    }
+
+    #[test]
+    fn inv_diag_is_the_reciprocal_of_the_stored_diagonal() {
+        let l = generators::paper_figure1_l();
+        let s = Method::CsrCol.build(&l, 2).unwrap();
+        let split = s.split();
+        for i in 0..s.n() {
+            assert!((split.inv_diag(i) * s.lower().diag(i) - 1.0).abs() < 1e-15);
+        }
+    }
+}

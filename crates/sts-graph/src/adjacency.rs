@@ -27,7 +27,11 @@ impl Graph {
     pub fn from_raw(adj_ptr: Vec<usize>, adj: Vec<usize>, weights: Vec<usize>) -> Self {
         debug_assert_eq!(adj_ptr.len(), weights.len() + 1);
         debug_assert_eq!(*adj_ptr.last().unwrap_or(&0), adj.len());
-        Graph { adj_ptr, adj, weights }
+        Graph {
+            adj_ptr,
+            adj,
+            weights,
+        }
     }
 
     /// Builds the graph of a symmetric matrix (edges = off-diagonal entries).
@@ -48,7 +52,11 @@ impl Graph {
             weights.push(a.row_nnz(r));
             adj_ptr.push(adj.len());
         }
-        Graph { adj_ptr, adj, weights }
+        Graph {
+            adj_ptr,
+            adj,
+            weights,
+        }
     }
 
     /// Builds `G1 = G(L + Lᵀ)` directly from a lower-triangular operand
@@ -83,7 +91,11 @@ impl Graph {
             adj[adj_ptr[i]..adj_ptr[i + 1]].sort_unstable();
         }
         let weights = (0..n).map(|i| l.row_nnz(i)).collect();
-        Graph { adj_ptr, adj, weights }
+        Graph {
+            adj_ptr,
+            adj,
+            weights,
+        }
     }
 
     /// Number of vertices.
@@ -145,15 +157,18 @@ impl Graph {
         let mut adj = Vec::with_capacity(self.adj.len());
         let mut weights = Vec::with_capacity(n);
         adj_ptr.push(0);
-        for new in 0..n {
-            let old = perm[new];
+        for &old in perm.iter().take(n) {
             let mut nb: Vec<usize> = self.neighbors(old).iter().map(|&o| inv[o]).collect();
             nb.sort_unstable();
             adj.extend_from_slice(&nb);
             weights.push(self.weights[old]);
             adj_ptr.push(adj.len());
         }
-        Graph { adj_ptr, adj, weights }
+        Graph {
+            adj_ptr,
+            adj,
+            weights,
+        }
     }
 }
 

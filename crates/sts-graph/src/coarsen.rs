@@ -81,8 +81,8 @@ impl Coarsening {
         while start < n {
             let end = next_end(start).max(start + 1).min(n);
             let s = groups.len();
-            for v in start..end {
-                membership[v] = s;
+            for m in &mut membership[start..end] {
+                *m = s;
             }
             groups.push((start..end).collect());
             start = end;
@@ -166,9 +166,9 @@ impl Coarsening {
     /// True when every group is a contiguous index range (required by the
     /// CSR-k `index2` representation).
     pub fn is_contiguous(&self) -> bool {
-        self.groups.iter().all(|g| {
-            g.windows(2).all(|w| w[1] == w[0] + 1)
-        })
+        self.groups
+            .iter()
+            .all(|g| g.windows(2).all(|w| w[1] == w[0] + 1))
     }
 
     /// Builds the coarse graph `G2`: super-vertices are the groups, an edge
@@ -336,8 +336,12 @@ mod tests {
     #[test]
     fn single_group_when_budget_exceeds_total() {
         let g = grid_graph(3, 3);
-        let c =
-            Coarsening::coarsen(&g, CoarseningStrategy::ContiguousNnz { nnz_per_group: 10_000 });
+        let c = Coarsening::coarsen(
+            &g,
+            CoarseningStrategy::ContiguousNnz {
+                nnz_per_group: 10_000,
+            },
+        );
         assert_eq!(c.num_groups(), 1);
         assert_eq!(c.group(0).len(), 9);
     }

@@ -92,7 +92,12 @@ impl Coloring {
 
     /// Checks that no edge connects two vertices of the same color.
     pub fn is_proper(&self, graph: &Graph) -> bool {
-        (0..graph.n()).all(|v| graph.neighbors(v).iter().all(|&u| self.colors[u] != self.colors[v]))
+        (0..graph.n()).all(|v| {
+            graph
+                .neighbors(v)
+                .iter()
+                .all(|&u| self.colors[u] != self.colors[v])
+        })
     }
 }
 
@@ -163,12 +168,17 @@ mod tests {
             generators::random_geometric(300, 8.0, 4).unwrap(),
         ] {
             let g = graph_of(&a);
-            for order in
-                [ColoringOrder::Natural, ColoringOrder::LargestDegreeFirst, ColoringOrder::SmallestLast]
-            {
+            for order in [
+                ColoringOrder::Natural,
+                ColoringOrder::LargestDegreeFirst,
+                ColoringOrder::SmallestLast,
+            ] {
                 let c = Coloring::greedy(&g, order);
                 assert!(c.is_proper(&g), "{order:?} produced an improper coloring");
-                assert!(c.num_colors() <= g.max_degree() + 1, "greedy bound violated");
+                assert!(
+                    c.num_colors() <= g.max_degree() + 1,
+                    "greedy bound violated"
+                );
             }
         }
     }

@@ -62,7 +62,10 @@ impl LevelSets {
         for i in 0..n {
             let mut lvl = 0usize;
             for &j in &preds[i] {
-                assert!(j < i, "predecessor {j} of node {i} is not topologically earlier");
+                assert!(
+                    j < i,
+                    "predecessor {j} of node {i} is not topologically earlier"
+                );
                 lvl = lvl.max(level_of[j] + 1);
             }
             level_of[i] = lvl;
@@ -116,9 +119,10 @@ impl LevelSets {
     /// Verifies that the level assignment respects the dependencies `preds`:
     /// every predecessor lies in a strictly earlier level.
     pub fn respects_dependencies(&self, preds: &[Vec<usize>]) -> bool {
-        preds.iter().enumerate().all(|(i, pi)| {
-            pi.iter().all(|&j| self.level_of[j] < self.level_of[i])
-        })
+        preds
+            .iter()
+            .enumerate()
+            .all(|(i, pi)| pi.iter().all(|&j| self.level_of[j] < self.level_of[i]))
     }
 }
 
@@ -209,8 +213,9 @@ mod tests {
         let a = generators::grid2d_9point(9, 9).unwrap();
         let l = generators::lower_operand(&a).unwrap();
         let ls = LevelSets::from_lower_triangular(&l);
-        let preds: Vec<Vec<usize>> =
-            (0..l.n()).map(|i| l.row_off_diag_cols(i).to_vec()).collect();
+        let preds: Vec<Vec<usize>> = (0..l.n())
+            .map(|i| l.row_off_diag_cols(i).to_vec())
+            .collect();
         assert!(ls.respects_dependencies(&preds));
     }
 

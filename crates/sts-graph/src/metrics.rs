@@ -55,7 +55,11 @@ pub struct DegreeStats {
 pub fn degree_stats(graph: &Graph) -> DegreeStats {
     let n = graph.n();
     if n == 0 {
-        return DegreeStats { min: 0, max: 0, mean: 0.0 };
+        return DegreeStats {
+            min: 0,
+            max: 0,
+            mean: 0.0,
+        };
     }
     let mut min = usize::MAX;
     let mut max = 0usize;
@@ -66,7 +70,11 @@ pub fn degree_stats(graph: &Graph) -> DegreeStats {
         max = max.max(d);
         sum += d;
     }
-    DegreeStats { min, max, mean: sum as f64 / n as f64 }
+    DegreeStats {
+        min,
+        max,
+        mean: sum as f64 / n as f64,
+    }
 }
 
 #[cfg(test)]

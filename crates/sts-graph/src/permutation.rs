@@ -14,7 +14,9 @@ pub struct Permutation {
 impl Permutation {
     /// The identity permutation on `0..n`.
     pub fn identity(n: usize) -> Self {
-        Permutation { new_to_old: (0..n).collect() }
+        Permutation {
+            new_to_old: (0..n).collect(),
+        }
     }
 
     /// Builds a permutation from a new → old table, validating bijectivity.
@@ -74,7 +76,9 @@ impl Permutation {
 
     /// The inverse permutation.
     pub fn inverse(&self) -> Permutation {
-        Permutation { new_to_old: self.old_to_new() }
+        Permutation {
+            new_to_old: self.old_to_new(),
+        }
     }
 
     /// Composition `self ∘ other`: applying the result is the same as first
@@ -82,15 +86,19 @@ impl Permutation {
     /// `result[new] = other.old_of(self.old_of(new))`.
     pub fn compose(&self, other: &Permutation) -> Permutation {
         assert_eq!(self.len(), other.len(), "permutation sizes must match");
-        let new_to_old =
-            (0..self.len()).map(|new| other.old_of(self.old_of(new))).collect();
+        let new_to_old = (0..self.len())
+            .map(|new| other.old_of(self.old_of(new)))
+            .collect();
         Permutation { new_to_old }
     }
 
     /// Reorders a slice: `result[new] = values[old_of(new)]`.
     pub fn apply_to_slice<T: Clone>(&self, values: &[T]) -> Vec<T> {
         assert_eq!(values.len(), self.len());
-        self.new_to_old.iter().map(|&old| values[old].clone()).collect()
+        self.new_to_old
+            .iter()
+            .map(|&old| values[old].clone())
+            .collect()
     }
 
     /// Scatters a slice back to the original ordering:

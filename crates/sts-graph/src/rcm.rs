@@ -35,8 +35,12 @@ pub fn cuthill_mckee(graph: &Graph) -> Permutation {
         let mut queue = std::collections::VecDeque::from([start]);
         order.push(start);
         while let Some(v) = queue.pop_front() {
-            let mut nb: Vec<usize> =
-                graph.neighbors(v).iter().copied().filter(|&u| !visited[u]).collect();
+            let mut nb: Vec<usize> = graph
+                .neighbors(v)
+                .iter()
+                .copied()
+                .filter(|&u| !visited[u])
+                .collect();
             nb.sort_unstable_by_key(|&u| (graph.degree(u), u));
             for u in nb {
                 visited[u] = true;

@@ -22,7 +22,13 @@ pub struct CooMatrix {
 impl CooMatrix {
     /// Creates an empty `nrows x ncols` triplet matrix.
     pub fn new(nrows: usize, ncols: usize) -> Self {
-        CooMatrix { nrows, ncols, rows: Vec::new(), cols: Vec::new(), values: Vec::new() }
+        CooMatrix {
+            nrows,
+            ncols,
+            rows: Vec::new(),
+            cols: Vec::new(),
+            values: Vec::new(),
+        }
     }
 
     /// Creates an empty triplet matrix with room for `cap` entries.

@@ -63,7 +63,12 @@ impl CsrMatrix {
             let mut prev: Option<usize> = None;
             for &c in &col_idx[row_ptr[r]..row_ptr[r + 1]] {
                 if c >= ncols {
-                    return Err(MatrixError::IndexOutOfBounds { row: r, col: c, nrows, ncols });
+                    return Err(MatrixError::IndexOutOfBounds {
+                        row: r,
+                        col: c,
+                        nrows,
+                        ncols,
+                    });
                 }
                 if let Some(p) = prev {
                     if c <= p {
@@ -75,7 +80,13 @@ impl CsrMatrix {
                 prev = Some(c);
             }
         }
-        Ok(CsrMatrix { nrows, ncols, row_ptr, col_idx, values })
+        Ok(CsrMatrix {
+            nrows,
+            ncols,
+            row_ptr,
+            col_idx,
+            values,
+        })
     }
 
     /// Builds a CSR matrix without validation. Intended for internal callers
@@ -90,7 +101,13 @@ impl CsrMatrix {
     ) -> Self {
         debug_assert_eq!(row_ptr.len(), nrows + 1);
         debug_assert_eq!(col_idx.len(), values.len());
-        CsrMatrix { nrows, ncols, row_ptr, col_idx, values }
+        CsrMatrix {
+            nrows,
+            ncols,
+            row_ptr,
+            col_idx,
+            values,
+        }
     }
 
     /// An `n x n` identity matrix.
@@ -288,8 +305,7 @@ impl CsrMatrix {
         let mut values = Vec::with_capacity(self.nnz());
         row_ptr.push(0);
         let mut scratch: Vec<(usize, f64)> = Vec::new();
-        for new_r in 0..self.nrows {
-            let old_r = perm[new_r];
+        for &old_r in perm.iter().take(self.nrows) {
             scratch.clear();
             for (&c, &v) in self.row_cols(old_r).iter().zip(self.row_values(old_r)) {
                 scratch.push((inv[c], v));
@@ -301,7 +317,9 @@ impl CsrMatrix {
             }
             row_ptr.push(col_idx.len());
         }
-        Ok(CsrMatrix::from_raw_unchecked(self.nrows, self.ncols, row_ptr, col_idx, values))
+        Ok(CsrMatrix::from_raw_unchecked(
+            self.nrows, self.ncols, row_ptr, col_idx, values,
+        ))
     }
 
     /// True if the matrix is structurally and numerically symmetric to within
@@ -331,7 +349,13 @@ mod tests {
         // [ 0 3 0 ]
         // [ 4 0 5 ]
         let mut coo = CooMatrix::new(3, 3);
-        for (r, c, v) in [(0, 0, 2.0), (0, 2, 1.0), (1, 1, 3.0), (2, 0, 4.0), (2, 2, 5.0)] {
+        for (r, c, v) in [
+            (0, 0, 2.0),
+            (0, 2, 1.0),
+            (1, 1, 3.0),
+            (2, 0, 4.0),
+            (2, 2, 5.0),
+        ] {
             coo.push(r, c, v).unwrap();
         }
         coo.to_csr()
@@ -442,7 +466,13 @@ mod tests {
         let entries: Vec<_> = m.iter().collect();
         assert_eq!(
             entries,
-            vec![(0, 0, 2.0), (0, 2, 1.0), (1, 1, 3.0), (2, 0, 4.0), (2, 2, 5.0)]
+            vec![
+                (0, 0, 2.0),
+                (0, 2, 1.0),
+                (1, 1, 3.0),
+                (2, 0, 4.0),
+                (2, 2, 5.0)
+            ]
         );
     }
 

@@ -19,7 +19,11 @@ pub struct DenseMatrix {
 impl DenseMatrix {
     /// Creates a zero-filled `nrows x ncols` matrix.
     pub fn zeros(nrows: usize, ncols: usize) -> Self {
-        DenseMatrix { nrows, ncols, data: vec![0.0; nrows * ncols] }
+        DenseMatrix {
+            nrows,
+            ncols,
+            data: vec![0.0; nrows * ncols],
+        }
     }
 
     /// Creates a dense matrix from a sparse one.
@@ -51,9 +55,9 @@ impl DenseMatrix {
             )));
         }
         let mut y = vec![0.0; self.nrows];
-        for r in 0..self.nrows {
+        for (r, yr) in y.iter_mut().enumerate() {
             let row = &self.data[r * self.ncols..(r + 1) * self.ncols];
-            y[r] = row.iter().zip(x).map(|(a, b)| a * b).sum();
+            *yr = row.iter().zip(x).map(|(a, b)| a * b).sum();
         }
         Ok(y)
     }
@@ -62,10 +66,14 @@ impl DenseMatrix {
     /// (entries above the diagonal are ignored).
     pub fn solve_lower_triangular(&self, b: &[f64]) -> Result<Vec<f64>> {
         if self.nrows != self.ncols {
-            return Err(MatrixError::DimensionMismatch("matrix must be square".into()));
+            return Err(MatrixError::DimensionMismatch(
+                "matrix must be square".into(),
+            ));
         }
         if b.len() != self.nrows {
-            return Err(MatrixError::DimensionMismatch("b has the wrong length".into()));
+            return Err(MatrixError::DimensionMismatch(
+                "b has the wrong length".into(),
+            ));
         }
         let n = self.nrows;
         let mut x = vec![0.0; n];

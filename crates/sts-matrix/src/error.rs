@@ -52,7 +52,12 @@ pub enum MatrixError {
 impl fmt::Display for MatrixError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            MatrixError::IndexOutOfBounds { row, col, nrows, ncols } => write!(
+            MatrixError::IndexOutOfBounds {
+                row,
+                col,
+                nrows,
+                ncols,
+            } => write!(
                 f,
                 "entry ({row}, {col}) is outside the {nrows}x{ncols} matrix"
             ),
@@ -88,7 +93,12 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = MatrixError::IndexOutOfBounds { row: 5, col: 7, nrows: 3, ncols: 3 };
+        let e = MatrixError::IndexOutOfBounds {
+            row: 5,
+            col: 7,
+            nrows: 3,
+            ncols: 3,
+        };
         let s = e.to_string();
         assert!(s.contains("(5, 7)"));
         assert!(s.contains("3x3"));

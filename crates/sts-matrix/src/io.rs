@@ -202,7 +202,13 @@ pub fn read_matrix_market_file<P: AsRef<Path>>(path: P) -> Result<CsrMatrix> {
 pub fn write_matrix_market<W: Write>(matrix: &CsrMatrix, mut writer: W) -> Result<()> {
     writeln!(writer, "%%MatrixMarket matrix coordinate real general")?;
     writeln!(writer, "% written by the STS-k reproduction library")?;
-    writeln!(writer, "{} {} {}", matrix.nrows(), matrix.ncols(), matrix.nnz())?;
+    writeln!(
+        writer,
+        "{} {} {}",
+        matrix.nrows(),
+        matrix.ncols(),
+        matrix.nnz()
+    )?;
     for (r, c, v) in matrix.iter() {
         writeln!(writer, "{} {} {:.17e}", r + 1, c + 1, v)?;
     }

@@ -27,12 +27,12 @@ pub fn spmv_into(a: &CsrMatrix, x: &[f64], y: &mut [f64]) -> Result<()> {
             "x/y lengths must match the matrix dimensions".into(),
         ));
     }
-    for r in 0..a.nrows() {
+    for (r, yr) in y.iter_mut().enumerate() {
         let mut acc = 0.0;
         for (&c, &v) in a.row_cols(r).iter().zip(a.row_values(r)) {
             acc += v * x[c];
         }
-        y[r] = acc;
+        *yr = acc;
     }
     Ok(())
 }
@@ -63,9 +63,13 @@ pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
 pub fn triangular_residual(l: &LowerTriangularCsr, x: &[f64], b: &[f64]) -> Result<f64> {
     let lx = l.multiply(x)?;
     if b.len() != lx.len() {
-        return Err(MatrixError::DimensionMismatch("b has the wrong length".into()));
+        return Err(MatrixError::DimensionMismatch(
+            "b has the wrong length".into(),
+        ));
     }
-    Ok(norm2(&lx.iter().zip(b).map(|(a, b)| a - b).collect::<Vec<_>>()))
+    Ok(norm2(
+        &lx.iter().zip(b).map(|(a, b)| a - b).collect::<Vec<_>>(),
+    ))
 }
 
 /// Relative infinity-norm error between two vectors, `||a-b||∞ / max(1, ||b||∞)`.

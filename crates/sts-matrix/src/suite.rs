@@ -262,7 +262,11 @@ mod tests {
         assert_eq!(suite.matrices.len(), 12);
         for m in &suite.matrices {
             assert!(m.n() > 100, "{} too small: {}", m.id.label(), m.n());
-            assert!(m.symmetric.is_symmetric(1e-12), "{} not symmetric", m.id.label());
+            assert!(
+                m.symmetric.is_symmetric(1e-12),
+                "{} not symmetric",
+                m.id.label()
+            );
             let l = m.lower().unwrap();
             assert_eq!(l.n(), m.n());
         }
@@ -288,8 +292,12 @@ mod tests {
     fn density_ordering_matches_table1() {
         // G1 (ldoor class) must be the densest, road/osm matrices the sparsest.
         let suite = TestSuite::generate(SuiteScale::Tiny).unwrap();
-        let density =
-            |label: &str| suite.by_label(label).map(|m| m.row_density()).unwrap_or(f64::NAN);
+        let density = |label: &str| {
+            suite
+                .by_label(label)
+                .map(|m| m.row_density())
+                .unwrap_or(f64::NAN)
+        };
         assert!(density("G1") > density("S1"));
         assert!(density("S1") > density("D1"));
         assert!(density("D1") > density("D2"));
@@ -323,11 +331,9 @@ mod tests {
 
     #[test]
     fn suite_lower_operands_are_solvable() {
-        let suite = TestSuite::generate_subset(
-            SuiteScale::Tiny,
-            &[SuiteId::G1, SuiteId::D3, SuiteId::S1],
-        )
-        .unwrap();
+        let suite =
+            TestSuite::generate_subset(SuiteScale::Tiny, &[SuiteId::G1, SuiteId::D3, SuiteId::S1])
+                .unwrap();
         for m in &suite.matrices {
             let l = m.lower().unwrap();
             let x_true = vec![2.0; l.n()];

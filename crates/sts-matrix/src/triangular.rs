@@ -71,7 +71,12 @@ impl LowerTriangularCsr {
             }
             row_ptr.push(col_idx.len());
         }
-        Ok(LowerTriangularCsr { n, row_ptr, col_idx, values })
+        Ok(LowerTriangularCsr {
+            n,
+            row_ptr,
+            col_idx,
+            values,
+        })
     }
 
     /// Extracts the lower triangle of a general (e.g. symmetric) matrix and
@@ -212,9 +217,9 @@ impl LowerTriangularCsr {
             )));
         }
         let mut y = vec![0.0; self.n];
-        for i in 0..self.n {
+        for (i, &xi) in x.iter().enumerate() {
             for k in self.row_ptr[i]..self.row_ptr[i + 1] {
-                y[self.col_idx[k]] += self.values[k] * x[i];
+                y[self.col_idx[k]] += self.values[k] * xi;
             }
         }
         Ok(y)
@@ -232,12 +237,12 @@ impl LowerTriangularCsr {
             )));
         }
         let mut y = vec![0.0; self.n];
-        for i in 0..self.n {
+        for (i, yi) in y.iter_mut().enumerate() {
             let mut acc = 0.0;
             for k in self.row_ptr[i]..self.row_ptr[i + 1] {
                 acc += self.values[k] * x[self.col_idx[k]];
             }
-            y[i] = acc;
+            *yi = acc;
         }
         Ok(y)
     }
@@ -250,7 +255,11 @@ impl LowerTriangularCsr {
         let mut values = Vec::with_capacity(self.nnz());
         row_ptr.push(0);
         for r in 0..self.n {
-            for (&c, &v) in self.row_off_diag_cols(r).iter().zip(self.row_off_diag_values(r)) {
+            for (&c, &v) in self
+                .row_off_diag_cols(r)
+                .iter()
+                .zip(self.row_off_diag_values(r))
+            {
                 col_idx.push(c);
                 values.push(v);
             }
@@ -320,7 +329,10 @@ mod tests {
         coo.push(0, 1, 1.0).unwrap();
         coo.push(1, 1, 1.0).unwrap();
         let e = LowerTriangularCsr::from_csr(&coo.to_csr());
-        assert!(matches!(e, Err(MatrixError::NotLowerTriangular { row: 0, col: 1 })));
+        assert!(matches!(
+            e,
+            Err(MatrixError::NotLowerTriangular { row: 0, col: 1 })
+        ));
     }
 
     #[test]
@@ -352,7 +364,11 @@ mod tests {
         let l = paper_example();
         for r in 0..l.n() {
             let end = l.row_ptr()[r + 1];
-            assert_eq!(l.col_idx()[end - 1], r, "row {r} must end with its diagonal");
+            assert_eq!(
+                l.col_idx()[end - 1],
+                r,
+                "row {r} must end with its diagonal"
+            );
             // off-diagonal columns strictly increasing and < r
             let off = l.row_off_diag_cols(r);
             for w in off.windows(2) {
@@ -434,12 +450,7 @@ mod tests {
         let a = l.symmetrized();
         assert!(a.is_symmetric(1e-12));
         // Figure 1: vertex 9 (index 8) is adjacent to 1, 2 and 8 (indices 0, 1, 7).
-        let neighbors: Vec<usize> = a
-            .row_cols(8)
-            .iter()
-            .copied()
-            .filter(|&c| c != 8)
-            .collect();
+        let neighbors: Vec<usize> = a.row_cols(8).iter().copied().filter(|&c| c != 8).collect();
         assert_eq!(neighbors, vec![0, 1, 7]);
     }
 

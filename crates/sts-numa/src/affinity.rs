@@ -19,7 +19,9 @@ pub enum PinResult {
 
 /// Number of logical cores available to this process.
 pub fn available_cores() -> usize {
-    std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1)
+    std::thread::available_parallelism()
+        .map(|c| c.get())
+        .unwrap_or(1)
 }
 
 /// Pins the calling thread to `core`. Returns [`PinResult::Unsupported`]
@@ -34,18 +36,30 @@ pub fn pin_current_thread(core: usize) -> PinResult {
 
 #[cfg(target_os = "linux")]
 fn pin_impl(core: usize) -> PinResult {
-    // SAFETY: cpu_set_t is a plain bitmask struct; zeroing it is its documented
-    // empty state, CPU_SET only touches the mask, and sched_setaffinity reads
-    // `size_of::<cpu_set_t>()` bytes we own on the stack.
-    unsafe {
-        let mut set: libc::cpu_set_t = std::mem::zeroed();
-        libc::CPU_SET(core, &mut set);
-        let rc = libc::sched_setaffinity(0, std::mem::size_of::<libc::cpu_set_t>(), &set);
-        if rc == 0 {
-            PinResult::Pinned
-        } else {
-            PinResult::Unsupported
-        }
+    // Declared directly instead of through the libc crate (unavailable in the
+    // offline build environment). `cpu_set_t` is glibc's 1024-bit CPU mask.
+    #[repr(C)]
+    struct CpuSet {
+        bits: [u64; 16],
+    }
+
+    extern "C" {
+        fn sched_setaffinity(pid: i32, cpusetsize: usize, mask: *const CpuSet) -> i32;
+    }
+
+    if core >= 16 * 64 {
+        return PinResult::Unsupported;
+    }
+    let mut set = CpuSet { bits: [0; 16] };
+    set.bits[core / 64] |= 1u64 << (core % 64);
+    // SAFETY: the mask is a plain bitmask we own on the stack and the kernel
+    // reads exactly `size_of::<CpuSet>()` bytes from it; pid 0 targets the
+    // calling thread.
+    let rc = unsafe { sched_setaffinity(0, std::mem::size_of::<CpuSet>(), &set) };
+    if rc == 0 {
+        PinResult::Pinned
+    } else {
+        PinResult::Unsupported
     }
 }
 

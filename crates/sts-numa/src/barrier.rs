@@ -20,7 +20,10 @@ pub struct SpinBarrier {
 impl SpinBarrier {
     /// Creates a barrier for `participants` threads (at least 1).
     pub fn new(participants: usize) -> Self {
-        assert!(participants >= 1, "a barrier needs at least one participant");
+        assert!(
+            participants >= 1,
+            "a barrier needs at least one participant"
+        );
         SpinBarrier {
             participants,
             remaining: AtomicUsize::new(participants),

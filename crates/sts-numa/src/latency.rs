@@ -199,7 +199,10 @@ mod tests {
     fn access_cycles_covers_all_kinds() {
         let m = LatencyModel::uma();
         assert_eq!(m.access_cycles(AccessKind::L1), m.l1_cycles);
-        assert_eq!(m.access_cycles(AccessKind::DramRemote), m.dram_remote_cycles);
+        assert_eq!(
+            m.access_cycles(AccessKind::DramRemote),
+            m.dram_remote_cycles
+        );
     }
 
     #[test]

@@ -87,7 +87,12 @@ impl WorkerPool {
     pub fn with_pinning(threads: usize, core_order: &[usize]) -> Self {
         let threads = threads.max(1);
         let shared = Arc::new(Shared {
-            state: Mutex::new(State { job: None, generation: 0, active: 0, shutdown: false }),
+            state: Mutex::new(State {
+                job: None,
+                generation: 0,
+                active: 0,
+                shutdown: false,
+            }),
             work_cv: Condvar::new(),
             done_cv: Condvar::new(),
             next: AtomicUsize::new(0),
@@ -107,7 +112,11 @@ impl WorkerPool {
                 .expect("failed to spawn worker thread");
             handles.push(handle);
         }
-        WorkerPool { shared, handles, threads }
+        WorkerPool {
+            shared,
+            handles,
+            threads,
+        }
     }
 
     /// Number of worker threads.
@@ -140,7 +149,11 @@ impl WorkerPool {
             let func: *const (dyn Fn(usize) + Sync) = unsafe {
                 std::mem::transmute::<&(dyn Fn(usize) + Sync), *const (dyn Fn(usize) + Sync)>(f)
             };
-            st.job = Some(Job { func, len, schedule });
+            st.job = Some(Job {
+                func,
+                len,
+                schedule,
+            });
             st.generation = st.generation.wrapping_add(1);
             st.active = self.threads;
             self.shared.work_cv.notify_all();
@@ -178,7 +191,10 @@ fn worker_loop(shared: &Shared, worker_id: usize, threads: usize) {
                 return;
             }
             last_generation = st.generation;
-            let job = st.job.as_ref().expect("job present while generation is newer");
+            let job = st
+                .job
+                .as_ref()
+                .expect("job present while generation is newer");
             (job.func, job.len, job.schedule)
         };
         // SAFETY: see the `Job` safety comment — the referent outlives this
@@ -254,7 +270,11 @@ mod tests {
             visited[i].fetch_add(1, Ordering::SeqCst);
         });
         for (i, v) in visited.iter().enumerate() {
-            assert_eq!(v.load(Ordering::SeqCst), 1, "index {i} visited wrong number of times");
+            assert_eq!(
+                v.load(Ordering::SeqCst),
+                1,
+                "index {i} visited wrong number of times"
+            );
         }
     }
 

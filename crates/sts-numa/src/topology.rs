@@ -61,27 +61,53 @@ impl NumaTopology {
     /// The paper's Intel evaluation node: 4 × Xeon E7-8837 (Westmere-EX),
     /// 8 cores per socket, one 24 MB L3 shared by all 8 cores of a socket.
     pub fn intel_westmere_ex_32() -> Self {
-        NumaTopology::new("Intel Westmere-EX 4x8", 4, 1, 8, LatencyModel::intel_westmere_ex())
+        NumaTopology::new(
+            "Intel Westmere-EX 4x8",
+            4,
+            1,
+            8,
+            LatencyModel::intel_westmere_ex(),
+        )
     }
 
     /// The paper's AMD evaluation node: 2 × twelve-core MagnyCours. Each
     /// package carries two six-core dies, each die with its own 6 MB L3.
     pub fn amd_magny_cours_24() -> Self {
-        NumaTopology::new("AMD MagnyCours 2x12", 2, 2, 6, LatencyModel::amd_magny_cours())
+        NumaTopology::new(
+            "AMD MagnyCours 2x12",
+            2,
+            2,
+            6,
+            LatencyModel::amd_magny_cours(),
+        )
     }
 
     /// A flat UMA machine with `cores` cores sharing one L3 — the platform of
     /// Definition 1 (used by the In-Pack complexity results and their tests).
     pub fn uma(cores: usize) -> Self {
-        NumaTopology::new(format!("UMA {cores}-core"), 1, 1, cores.max(1), LatencyModel::uma())
+        NumaTopology::new(
+            format!("UMA {cores}-core"),
+            1,
+            1,
+            cores.max(1),
+            LatencyModel::uma(),
+        )
     }
 
     /// Best-effort description of the host: `available_parallelism` cores on a
     /// single socket sharing one L3. Good enough for wall-clock runs; the
     /// simulated executor should use the presets instead.
     pub fn detect_host() -> Self {
-        let cores = std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1);
-        NumaTopology::new(format!("host ({cores} cores)"), 1, 1, cores, LatencyModel::uma())
+        let cores = std::thread::available_parallelism()
+            .map(|c| c.get())
+            .unwrap_or(1);
+        NumaTopology::new(
+            format!("host ({cores} cores)"),
+            1,
+            1,
+            cores,
+            LatencyModel::uma(),
+        )
     }
 
     /// Total number of cores.

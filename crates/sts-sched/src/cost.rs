@@ -39,7 +39,11 @@ impl InPackCostModel {
     /// A model with all three components, in the spirit of the paper's
     /// examples (`w` ≫ `r` > `e`).
     pub fn standard() -> Self {
-        InPackCostModel { w: 200.0, e: 1.0, r: 4.0 }
+        InPackCostModel {
+            w: 200.0,
+            e: 1.0,
+            r: 4.0,
+        }
     }
 
     /// Cost of processor `j` under assignment `assignment` (task → processor).
@@ -63,8 +67,13 @@ impl InPackCostModel {
     /// Equation 1: the makespan of an assignment onto `q` processors.
     pub fn makespan(&self, dar: &DarGraph, assignment: &[usize], q: usize) -> f64 {
         assert_eq!(assignment.len(), dar.num_tasks());
-        assert!(assignment.iter().all(|&p| p < q), "assignment references processor >= q");
-        (0..q).map(|j| self.processor_cost(dar, assignment, j)).fold(0.0, f64::max)
+        assert!(
+            assignment.iter().all(|&p| p < q),
+            "assignment references processor >= q"
+        );
+        (0..q)
+            .map(|j| self.processor_cost(dar, assignment, j))
+            .fold(0.0, f64::max)
     }
 }
 
@@ -85,7 +94,11 @@ impl NumaCostModel {
     /// Builds a NUMA cost model from a topology (its latency table is reused).
     pub fn new(topology: NumaTopology, task_cycles: f64) -> Self {
         let latency = topology.latency.clone();
-        NumaCostModel { topology, latency, task_cycles }
+        NumaCostModel {
+            topology,
+            latency,
+            task_cycles,
+        }
     }
 
     /// Cost of core `core` executing the tasks assigned to it when input `x`
@@ -127,7 +140,9 @@ impl NumaCostModel {
     pub fn makespan(&self, dar: &DarGraph, assignment: &[usize], producer: &[usize]) -> f64 {
         let q = self.topology.total_cores();
         assert!(assignment.iter().all(|&c| c < q));
-        (0..q).map(|c| self.core_cost(dar, assignment, producer, c)).fold(0.0, f64::max)
+        (0..q)
+            .map(|c| self.core_cost(dar, assignment, producer, c))
+            .fold(0.0, f64::max)
     }
 }
 
@@ -138,7 +153,11 @@ mod tests {
     #[test]
     fn single_processor_cost_matches_formula() {
         let dar = DarGraph::from_inputs(vec![vec![0, 1], vec![1, 2], vec![3]]);
-        let m = InPackCostModel { w: 10.0, e: 1.0, r: 0.5 };
+        let m = InPackCostModel {
+            w: 10.0,
+            e: 1.0,
+            r: 0.5,
+        };
         let assignment = vec![0, 0, 0];
         // distinct inputs {0,1,2,3} = 4, tasks = 3, reads = 5
         let expected = 10.0 * 4.0 + 1.0 * 3.0 + 0.5 * 5.0;
@@ -154,9 +173,8 @@ mod tests {
         let m = InPackCostModel::copy_only(1.0);
         assert_eq!(m.makespan(&dar, &[0, 0], 2), 1.0);
         assert_eq!(m.makespan(&dar, &[0, 1], 2), 1.0); // per-proc max is still 1
-        // but the *total* copies differ; check via summed processor costs
-        let total_together: f64 =
-            (0..2).map(|j| m.processor_cost(&dar, &[0, 0], j)).sum();
+                                                       // but the *total* copies differ; check via summed processor costs
+        let total_together: f64 = (0..2).map(|j| m.processor_cost(&dar, &[0, 0], j)).sum();
         let total_apart: f64 = (0..2).map(|j| m.processor_cost(&dar, &[0, 1], j)).sum();
         assert_eq!(total_together, 1.0);
         assert_eq!(total_apart, 2.0);
@@ -169,7 +187,11 @@ mod tests {
         let (m_tasks, q) = (4usize, 3usize);
         let n = m_tasks * q;
         let dar = DarGraph::line(n);
-        let model = InPackCostModel { w: 100.0, e: 2.0, r: 5.0 };
+        let model = InPackCostModel {
+            w: 100.0,
+            e: 2.0,
+            r: 5.0,
+        };
         let assignment: Vec<usize> = (0..n).map(|i| i / m_tasks).collect();
         let expected = model.w * (m_tasks as f64 + 1.0)
             + model.e * m_tasks as f64
@@ -194,7 +216,10 @@ mod tests {
         let dar = DarGraph::from_inputs(vec![vec![0]]);
         let near = model.core_cost(&dar, &[0], &[1], 0);
         let far = model.core_cost(&dar, &[0], &[23], 0);
-        assert!(near < far, "same-L3 producer must be cheaper ({near} vs {far})");
+        assert!(
+            near < far,
+            "same-L3 producer must be cheaper ({near} vs {far})"
+        );
     }
 
     #[test]

@@ -155,9 +155,9 @@ mod tests {
         // paper the DAR of pack 2 connects (1,3)-(2,4) and (2,4)-(5,8).
         // Reproduce the same shape with explicit input sets.
         let dar = DarGraph::from_inputs(vec![
-            vec![8],      // super-row {1,3} reads x9? (shared with {2,4})
-            vec![8, 6],   // super-row {2,4}
-            vec![6],      // super-row {5,8}
+            vec![8],    // super-row {1,3} reads x9? (shared with {2,4})
+            vec![8, 6], // super-row {2,4}
+            vec![6],    // super-row {5,8}
         ]);
         assert_eq!(dar.num_edges(), 2);
         assert_eq!(dar.neighbors(1), &[0, 2]);

@@ -31,15 +31,31 @@ pub fn optimal_schedule(dar: &DarGraph, q: usize, model: &InPackCostModel) -> Op
     let n = dar.num_tasks();
     assert!(q >= 1, "need at least one processor");
     if n == 0 {
-        return OptimalSchedule { makespan: 0.0, assignment: Vec::new() };
+        return OptimalSchedule {
+            makespan: 0.0,
+            assignment: Vec::new(),
+        };
     }
     let mut best_assignment: Vec<usize> = (0..n).map(|_| 0).collect();
     let mut best = model.makespan(dar, &best_assignment, q);
     let mut current = vec![0usize; n];
-    search(dar, q, model, 0, 0, &mut current, &mut best, &mut best_assignment);
-    OptimalSchedule { makespan: best, assignment: best_assignment }
+    search(
+        dar,
+        q,
+        model,
+        0,
+        0,
+        &mut current,
+        &mut best,
+        &mut best_assignment,
+    );
+    OptimalSchedule {
+        makespan: best,
+        assignment: best_assignment,
+    }
 }
 
+#[allow(clippy::too_many_arguments)] // recursive branch-and-bound state
 fn search(
     dar: &DarGraph,
     q: usize,
@@ -93,8 +109,8 @@ fn partial_processor_cost(
     let mut distinct: Vec<usize> = Vec::new();
     let mut tasks = 0usize;
     let mut reads = 0usize;
-    for t in 0..assigned_prefix {
-        if assignment[t] != proc {
+    for (t, &a) in assignment.iter().enumerate().take(assigned_prefix) {
+        if a != proc {
             continue;
         }
         tasks += 1;
@@ -122,18 +138,42 @@ mod tests {
     #[test]
     fn single_processor_cost_is_total_cost() {
         let dar = DarGraph::line(5);
-        let model = InPackCostModel { w: 10.0, e: 1.0, r: 1.0 };
+        let model = InPackCostModel {
+            w: 10.0,
+            e: 1.0,
+            r: 1.0,
+        };
         let opt = optimal_schedule(&dar, 1, &model);
-        assert_eq!(opt.makespan, model.makespan(&dar, &vec![0; 5], 1));
+        assert_eq!(opt.makespan, model.makespan(&dar, &[0; 5], 1));
     }
 
     #[test]
     fn optimal_never_exceeds_any_heuristic() {
-        let model = InPackCostModel { w: 50.0, e: 3.0, r: 2.0 };
+        let model = InPackCostModel {
+            w: 50.0,
+            e: 3.0,
+            r: 2.0,
+        };
         for (inputs, q) in [
-            (vec![vec![0, 1], vec![1, 2], vec![2, 3], vec![3, 4], vec![0, 4], vec![5]], 2usize),
-            (vec![vec![0], vec![0], vec![1], vec![1], vec![2], vec![2]], 3),
-            (vec![vec![0, 1, 2], vec![2, 3], vec![4], vec![4, 5], vec![5, 0]], 2),
+            (
+                vec![
+                    vec![0, 1],
+                    vec![1, 2],
+                    vec![2, 3],
+                    vec![3, 4],
+                    vec![0, 4],
+                    vec![5],
+                ],
+                2usize,
+            ),
+            (
+                vec![vec![0], vec![0], vec![1], vec![1], vec![2], vec![2]],
+                3,
+            ),
+            (
+                vec![vec![0, 1, 2], vec![2, 3], vec![4], vec![4, 5], vec![5, 0]],
+                2,
+            ),
         ] {
             let dar = DarGraph::from_inputs(inputs);
             let opt = optimal_schedule(&dar, q, &model);
@@ -158,7 +198,11 @@ mod tests {
     fn block_schedule_is_optimal_on_line_dars() {
         // Section 3.3: for a line DAR with n = m*q, the block schedule is
         // optimal. The exact solver must agree.
-        let model = InPackCostModel { w: 20.0, e: 1.0, r: 2.0 };
+        let model = InPackCostModel {
+            w: 20.0,
+            e: 1.0,
+            r: 2.0,
+        };
         let (m, q) = (3usize, 2usize);
         let dar = DarGraph::line(m * q);
         let opt = optimal_schedule(&dar, q, &model);

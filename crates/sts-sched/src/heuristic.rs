@@ -47,11 +47,11 @@ pub fn dynamic_greedy_schedule(
     // (next free time, processor id); a simple linear scan keeps this
     // dependency-free (q is a core count, small).
     let mut free_at = vec![0.0f64; q];
-    for t in 0..n {
+    for (t, slot) in assignment.iter_mut().enumerate() {
         let p = (0..q)
             .min_by(|&a, &b| free_at[a].partial_cmp(&free_at[b]).expect("finite times"))
             .expect("q >= 1");
-        assignment[t] = p;
+        *slot = p;
         free_at[p] += task_time(t).max(0.0);
     }
     assignment
@@ -82,11 +82,12 @@ pub fn affinity_list_schedule(dar: &DarGraph, q: usize, model: &InPackCostModel)
             merged.extend_from_slice(dar.inputs(t));
             merged.sort_unstable();
             merged.dedup();
-            let cost = proc_cost(&merged, proc_tasks[p] + 1, proc_reads[p] + dar.inputs(t).len());
-            let affinity = dar
-                .neighbors(t)
-                .iter()
-                .any(|&nb| assignment[nb] == p);
+            let cost = proc_cost(
+                &merged,
+                proc_tasks[p] + 1,
+                proc_reads[p] + dar.inputs(t).len(),
+            );
+            let affinity = dar.neighbors(t).iter().any(|&nb| assignment[nb] == p);
             let better = cost < best_cost - 1e-12
                 || ((cost - best_cost).abs() <= 1e-12 && affinity && !best_affinity);
             if better {
@@ -124,7 +125,11 @@ mod tests {
     fn block_schedule_achieves_paper_cost_on_line_dar() {
         let (m, q) = (5usize, 4usize);
         let dar = DarGraph::line(m * q);
-        let model = InPackCostModel { w: 7.0, e: 2.0, r: 1.0 };
+        let model = InPackCostModel {
+            w: 7.0,
+            e: 2.0,
+            r: 1.0,
+        };
         let cost = model.makespan(&dar, &block_schedule(m * q, q), q);
         let expected = model.w * (m as f64 + 1.0) + model.e * m as f64 + model.r * (2 * m) as f64;
         assert!((cost - expected).abs() < 1e-9);
@@ -139,7 +144,10 @@ mod tests {
         let rr = model.makespan(&dar, &round_robin_schedule(m * q, q), q);
         // Round robin gives every task's two inputs to a different processor:
         // 2m copies per processor versus m+1 for the block schedule.
-        assert!(rr > block, "round-robin ({rr}) should copy more than block ({block})");
+        assert!(
+            rr > block,
+            "round-robin ({rr}) should copy more than block ({block})"
+        );
     }
 
     #[test]
@@ -165,12 +173,7 @@ mod tests {
     fn affinity_list_schedule_colocates_shared_inputs() {
         // Two clusters sharing private inputs; with copy-only costs the
         // scheduler must keep each cluster together.
-        let dar = DarGraph::from_inputs(vec![
-            vec![0, 1],
-            vec![0, 1],
-            vec![2, 3],
-            vec![2, 3],
-        ]);
+        let dar = DarGraph::from_inputs(vec![vec![0, 1], vec![0, 1], vec![2, 3], vec![2, 3]]);
         let model = InPackCostModel::copy_only(1.0);
         let a = affinity_list_schedule(&dar, 2, &model);
         assert_eq!(a[0], a[1]);

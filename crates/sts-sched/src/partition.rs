@@ -127,7 +127,10 @@ mod tests {
     fn solvable_instances_are_well_formed() {
         for (n, base, spread) in [(2, 10, 2), (3, 13, 3), (5, 100, 20)] {
             let inst = ThreePartitionInstance::solvable(n, base, spread);
-            assert!(inst.is_well_formed(), "instance n={n} base={base} spread={spread}");
+            assert!(
+                inst.is_well_formed(),
+                "instance n={n} base={base} spread={spread}"
+            );
             assert_eq!(inst.num_triplets(), n);
         }
     }
@@ -141,8 +144,7 @@ mod tests {
     #[test]
     fn verify_solution_accepts_the_construction() {
         let inst = ThreePartitionInstance::solvable(3, 10, 2);
-        let triplets: Vec<[usize; 3]> =
-            (0..3).map(|k| [3 * k, 3 * k + 1, 3 * k + 2]).collect();
+        let triplets: Vec<[usize; 3]> = (0..3).map(|k| [3 * k, 3 * k + 1, 3 * k + 2]).collect();
         assert!(inst.verify_solution(&triplets));
     }
 
@@ -196,9 +198,7 @@ mod tests {
         let model = InPackCostModel::copy_only(1.0);
         let q = inst.num_triplets();
         let good = inst.canonical_assignment(&component_of);
-        let total = |a: &[usize]| -> f64 {
-            (0..q).map(|j| model.processor_cost(&dar, a, j)).sum()
-        };
+        let total = |a: &[usize]| -> f64 { (0..q).map(|j| model.processor_cost(&dar, a, j)).sum() };
         let mut bad = good.clone();
         // Move a single task of component 0 to the other processor.
         let victim = component_of.iter().position(|&c| c == 0).unwrap();

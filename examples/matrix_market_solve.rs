@@ -31,7 +31,13 @@ fn main() {
             std::process::exit(1);
         }
     };
-    println!("read {}: {} x {}, {} stored entries", path.display(), a.nrows(), a.ncols(), a.nnz());
+    println!(
+        "read {}: {} x {}, {} stored entries",
+        path.display(),
+        a.nrows(),
+        a.ncols(),
+        a.nnz()
+    );
 
     let l = match LowerTriangularCsr::from_lower_triangle_of(&a) {
         Ok(l) => l,
@@ -49,8 +55,13 @@ fn main() {
     );
 
     let x_true = vec![1.0; structure.n()];
-    let b = structure.lower().multiply(&x_true).expect("dimensions match");
-    let threads = std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1);
+    let b = structure
+        .lower()
+        .multiply(&x_true)
+        .expect("dimensions match");
+    let threads = std::thread::available_parallelism()
+        .map(|c| c.get())
+        .unwrap_or(1);
     let solver = ParallelSolver::new(threads, Schedule::Guided { min_chunk: 1 });
     let x = solver.solve(&structure, &b).expect("solve succeeds");
     println!(

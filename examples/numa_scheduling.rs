@@ -14,17 +14,34 @@ use sts_k::sched::heuristic::{affinity_list_schedule, block_schedule, round_robi
 
 fn main() {
     // Part 1: the In-Pack assignment problem on a line DAR (Figure 5).
-    let model = InPackCostModel { w: 200.0, e: 1.0, r: 4.0 };
+    let model = InPackCostModel {
+        w: 200.0,
+        e: 1.0,
+        r: 4.0,
+    };
     let (m, q) = (6usize, 2usize);
     let dar = DarGraph::line(m * q);
-    println!("In-Pack problem: {} tasks on a line DAR, {} processors", m * q, q);
+    println!(
+        "In-Pack problem: {} tasks on a line DAR, {} processors",
+        m * q,
+        q
+    );
     let block = block_schedule(m * q, q);
     let rr = round_robin_schedule(m * q, q);
     let aff = affinity_list_schedule(&dar, q, &model);
     let opt = optimal_schedule(&dar, q, &model);
-    println!("  block schedule cost:        {:>8.0}", model.makespan(&dar, &block, q));
-    println!("  round-robin schedule cost:  {:>8.0}", model.makespan(&dar, &rr, q));
-    println!("  affinity list schedule:     {:>8.0}", model.makespan(&dar, &aff, q));
+    println!(
+        "  block schedule cost:        {:>8.0}",
+        model.makespan(&dar, &block, q)
+    );
+    println!(
+        "  round-robin schedule cost:  {:>8.0}",
+        model.makespan(&dar, &rr, q)
+    );
+    println!(
+        "  affinity list schedule:     {:>8.0}",
+        model.makespan(&dar, &aff, q)
+    );
     println!("  optimal (exhaustive):       {:>8.0}", opt.makespan);
 
     // Part 2: build STS-3 on a mesh matrix and price the solve on the two

@@ -9,7 +9,9 @@ use sts_k::core::{analysis, Method};
 use sts_k::matrix::generators;
 
 fn main() {
-    let class = std::env::args().nth(1).unwrap_or_else(|| "mesh".to_string());
+    let class = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "mesh".to_string());
     let a = match class.as_str() {
         "grid" => generators::grid2d_laplacian(90, 90).expect("valid dimensions"),
         "mesh" => generators::triangulated_grid(70, 70, 3).expect("valid dimensions"),

@@ -51,7 +51,9 @@ struct SsorPreconditioner {
 impl SsorPreconditioner {
     fn new(l_plus_d: &LowerTriangularCsr) -> Self {
         let structure = Method::Sts3.build(l_plus_d, 80).expect("builder succeeds");
-        let diag = (0..structure.n()).map(|i| structure.lower().diag(i)).collect();
+        let diag = (0..structure.n())
+            .map(|i| structure.lower().diag(i))
+            .collect();
         SsorPreconditioner { structure, diag }
     }
 
@@ -60,11 +62,17 @@ impl SsorPreconditioner {
     fn apply(&self, r: &[f64]) -> Vec<f64> {
         let r_new = self.structure.gather_from_original(r);
         // Forward sweep: (D + L) y = r.
-        let y = self.structure.solve_sequential(&r_new).expect("solve succeeds");
+        let y = self
+            .structure
+            .solve_sequential(&r_new)
+            .expect("solve succeeds");
         // Scale by D.
         let dy: Vec<f64> = y.iter().zip(&self.diag).map(|(v, d)| v * d).collect();
         // Backward sweep: (D + L)ᵀ z = D y.
-        let z = self.structure.solve_transpose_sequential(&dy).expect("solve succeeds");
+        let z = self
+            .structure
+            .solve_transpose_sequential(&dy)
+            .expect("solve succeeds");
         self.structure.scatter_to_original(&z)
     }
 }

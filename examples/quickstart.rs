@@ -13,12 +13,19 @@ fn main() {
     //    Its lower triangle is the triangular operand L.
     let a = generators::grid2d_9point(60, 60).expect("grid dimensions are valid");
     let l = generators::lower_operand(&a).expect("stencil matrices have nonzero diagonals");
-    println!("L: n = {}, nnz = {}, nnz/n = {:.2}", l.n(), l.nnz(), l.row_density());
+    println!(
+        "L: n = {}, nnz = {}, nnz/n = {:.2}",
+        l.n(),
+        l.nnz(),
+        l.row_density()
+    );
 
     // 2. Build STS-3 (coloring ordering, 3-level sub-structuring). The builder
     //    symmetrically reorders the system; `structure.lower()` is the
     //    reordered operand the solves run on.
-    let structure = Method::Sts3.build(&l, 80).expect("builder succeeds on this matrix");
+    let structure = Method::Sts3
+        .build(&l, 80)
+        .expect("builder succeeds on this matrix");
     println!(
         "STS-3: {} packs, {} super-rows, k = {}",
         structure.num_packs(),
@@ -28,9 +35,14 @@ fn main() {
 
     // 3. Manufacture a right-hand side from a known solution and solve.
     let x_true: Vec<f64> = (0..structure.n()).map(|i| 1.0 + (i % 10) as f64).collect();
-    let b = structure.lower().multiply(&x_true).expect("dimensions match");
+    let b = structure
+        .lower()
+        .multiply(&x_true)
+        .expect("dimensions match");
 
-    let x_seq = structure.solve_sequential(&b).expect("sequential solve succeeds");
+    let x_seq = structure
+        .solve_sequential(&b)
+        .expect("sequential solve succeeds");
     println!(
         "sequential solve: max relative error = {:.2e}",
         ops::relative_error_inf(&x_seq, &x_true)
@@ -38,9 +50,13 @@ fn main() {
 
     // 4. The same solve on a pool of worker threads (guided schedule, as the
     //    paper uses for the 3-level methods).
-    let threads = std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1);
+    let threads = std::thread::available_parallelism()
+        .map(|c| c.get())
+        .unwrap_or(1);
     let solver = ParallelSolver::new(threads, Schedule::Guided { min_chunk: 1 });
-    let x_par = solver.solve(&structure, &b).expect("parallel solve succeeds");
+    let x_par = solver
+        .solve(&structure, &b)
+        .expect("parallel solve succeeds");
     println!(
         "parallel solve on {threads} threads: max relative error = {:.2e}",
         ops::relative_error_inf(&x_par, &x_true)
@@ -48,5 +64,8 @@ fn main() {
 
     // 5. Map the solution back to the original row numbering if needed.
     let x_original = structure.scatter_to_original(&x_par);
-    println!("solution mapped back to original numbering: {} entries", x_original.len());
+    println!(
+        "solution mapped back to original numbering: {} entries",
+        x_original.len()
+    );
 }

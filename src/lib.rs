@@ -28,6 +28,37 @@
 //! let x = sts.solve_sequential(&b).unwrap();
 //! assert!(x.iter().zip(&x_true).all(|(a, b)| (a - b).abs() < 1e-10));
 //! ```
+//!
+//! # The two-phase split kernels
+//!
+//! Every structure also carries a dependency-split layout
+//! ([`core::SplitLayout`]): per pack, the nonzeros referencing *earlier*
+//! packs (a pure, embarrassingly-parallel gather) are separated from the
+//! short in-pack dependence chains. The split kernels stream the former and
+//! schedule only the latter, and the multi-RHS batch kernel amortises index
+//! traffic across right-hand sides:
+//!
+//! ```
+//! use sts_k::core::{Ordering, ParallelSolver, StsBuilder};
+//! use sts_k::matrix::generators;
+//! use sts_k::numa::Schedule;
+//!
+//! let a = generators::grid2d_laplacian(20, 20).unwrap();
+//! let l = generators::lower_operand(&a).unwrap();
+//! let sts = StsBuilder::new(3).ordering(Ordering::Coloring).build(&l).unwrap();
+//! let b = vec![1.0; sts.n()];
+//!
+//! // Two-phase solve: external gather, phase barrier, in-pack chains.
+//! let solver = ParallelSolver::new(4, Schedule::Guided { min_chunk: 1 });
+//! let x = solver.solve_split(&sts, &b).unwrap();
+//! assert!((x[0] - sts.solve_sequential(&b).unwrap()[0]).abs() < 1e-12);
+//!
+//! // Four right-hand sides at once, row-major (`B[i * nrhs + r]`).
+//! let nrhs = 4;
+//! let bb: Vec<f64> = (0..sts.n() * nrhs).map(|k| 1.0 + (k % nrhs) as f64).collect();
+//! let xb = solver.solve_batch(&sts, &bb, nrhs).unwrap();
+//! assert_eq!(xb.len(), sts.n() * nrhs);
+//! ```
 
 pub use sts_core as core;
 pub use sts_graph as graph;

@@ -10,7 +10,13 @@ use sts_k::numa::{NumaTopology, Schedule};
 fn representative_suite() -> TestSuite {
     TestSuite::generate_subset(
         SuiteScale::Tiny,
-        &[SuiteId::G1, SuiteId::D1, SuiteId::S1, SuiteId::D2, SuiteId::D3],
+        &[
+            SuiteId::G1,
+            SuiteId::D1,
+            SuiteId::S1,
+            SuiteId::D2,
+            SuiteId::D3,
+        ],
     )
     .expect("suite generation succeeds")
 }
@@ -104,8 +110,14 @@ fn simulated_machines_reproduce_the_headline_ordering() {
         let t_ls = time(Method::CsrLs);
         let t_col = time(Method::CsrCol);
         let t_sts = time(Method::Sts3);
-        assert!(t_sts < t_col, "STS-3 ({t_sts}) should beat CSR-COL ({t_col})");
-        assert!(t_col < t_ls, "CSR-COL ({t_col}) should beat CSR-LS ({t_ls})");
+        assert!(
+            t_sts < t_col,
+            "STS-3 ({t_sts}) should beat CSR-COL ({t_col})"
+        );
+        assert!(
+            t_col < t_ls,
+            "CSR-COL ({t_col}) should beat CSR-LS ({t_ls})"
+        );
     }
 }
 
@@ -117,11 +129,21 @@ fn parallel_speedup_of_sts3_exceeds_one_on_the_modelled_machine() {
     // pack to occupy 16 modelled cores.
     let s = Method::Sts3.build(&l, 16).unwrap();
     let exec = SimulatedExecutor::new(NumaTopology::intel_westmere_ex_32());
-    let t1 = exec.simulate(&s, 1, Schedule::Guided { min_chunk: 1 }).total_cycles;
-    let t16 = exec.simulate(&s, 16, Schedule::Guided { min_chunk: 1 }).total_cycles;
+    let t1 = exec
+        .simulate(&s, 1, Schedule::Guided { min_chunk: 1 })
+        .total_cycles;
+    let t16 = exec
+        .simulate(&s, 16, Schedule::Guided { min_chunk: 1 })
+        .total_cycles;
     let speedup = t1 / t16;
-    assert!(speedup > 2.0, "expected a clear parallel speedup, got {speedup:.2}");
-    assert!(speedup <= 16.0, "speedup cannot exceed the core count, got {speedup:.2}");
+    assert!(
+        speedup > 2.0,
+        "expected a clear parallel speedup, got {speedup:.2}"
+    );
+    assert!(
+        speedup <= 16.0,
+        "speedup cannot exceed the core count, got {speedup:.2}"
+    );
 }
 
 #[test]

@@ -52,7 +52,10 @@ fn facade_exposes_every_substrate() {
 
     // core: builder with explicit options + simulated executor
     let l = generators::lower_operand(&a).unwrap();
-    let s = StsBuilder::new(3).ordering(Ordering::LevelSet).build(&l).unwrap();
+    let s = StsBuilder::new(3)
+        .ordering(Ordering::LevelSet)
+        .build(&l)
+        .unwrap();
     let exec = SimulatedExecutor::new(topo);
     let rep = exec.simulate(&s, 12, Schedule::Guided { min_chunk: 1 });
     assert!(rep.total_cycles > 0.0);
@@ -67,6 +70,8 @@ fn level_scheduled_solver_is_reachable_through_the_facade() {
     let b = l.multiply(&x_true).unwrap();
     let solver = LevelScheduledSolver::new(l);
     let pool = WorkerPool::new(2);
-    let x = solver.solve_parallel(&pool, Schedule::Dynamic { chunk: 4 }, &b).unwrap();
+    let x = solver
+        .solve_parallel(&pool, Schedule::Dynamic { chunk: 4 }, &b)
+        .unwrap();
     assert!(ops::relative_error_inf(&x, &x_true) < 1e-10);
 }

@@ -41,11 +41,11 @@ fn mismatched_rhs_lengths_error_at_every_entry_point() {
 #[test]
 fn malformed_matrix_market_inputs_error_cleanly() {
     let cases = [
-        "",                                                        // empty
-        "%%MatrixMarket matrix coordinate real general\n",         // missing size
-        "%%MatrixMarket matrix coordinate real general\n2 2\n",    // short size line
-        "%%MatrixMarket matrix coordinate real general\n2 2 1\nx y z\n", // junk entry
-        "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n", // out of bounds
+        "",                                                                       // empty
+        "%%MatrixMarket matrix coordinate real general\n",                        // missing size
+        "%%MatrixMarket matrix coordinate real general\n2 2\n",                   // short size line
+        "%%MatrixMarket matrix coordinate real general\n2 2 1\nx y z\n",          // junk entry
+        "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n",        // out of bounds
         "%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 1.0 2.0\n", // unsupported field
         "%%MatrixMarket matrix coordinate real skew-symmetric\n1 1 1\n1 1 1.0\n", // unsupported symmetry
     ];
@@ -92,7 +92,7 @@ fn generator_parameter_validation() {
 fn permute_symmetric_rejects_malformed_permutations() {
     let a = generators::grid2d_laplacian(3, 3).unwrap();
     assert!(a.permute_symmetric(&[0, 1]).is_err()); // wrong length
-    assert!(a.permute_symmetric(&vec![0; 9]).is_err()); // not a bijection
+    assert!(a.permute_symmetric(&[0; 9]).is_err()); // not a bijection
 }
 
 #[test]

@@ -76,7 +76,9 @@ fn within_pack_dar_reordering_improves_consecutive_sharing() {
     // super-row pairs of the largest pack that reuse at least one
     // previous-pack column.
     let sharing = |s: &sts_k::core::StsStructure| -> f64 {
-        let p = (0..s.num_packs()).max_by_key(|&p| s.pack_rows(p).len()).unwrap();
+        let p = (0..s.num_packs())
+            .max_by_key(|&p| s.pack_rows(p).len())
+            .unwrap();
         let groups: Vec<Vec<usize>> = (0..s.num_super_rows())
             .map(|sr| s.super_row_rows(sr).collect())
             .collect();

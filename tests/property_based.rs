@@ -4,6 +4,7 @@
 use proptest::prelude::*;
 use sts_k::core::{Method, Ordering, ParallelSolver, StsBuilder, SuperRowSizing};
 use sts_k::graph::{rcm, Coloring, ColoringOrder, Graph, LevelSets, Permutation};
+use sts_k::matrix::suite::{SuiteScale, TestSuite};
 use sts_k::matrix::{generators, ops, CooMatrix, LowerTriangularCsr};
 use sts_k::numa::Schedule;
 use sts_k::sched::cost::InPackCostModel;
@@ -53,6 +54,59 @@ proptest! {
         let solver = ParallelSolver::new(3, Schedule::Dynamic { chunk: 2 });
         let par = solver.solve(&s, &b).unwrap();
         prop_assert!(ops::relative_error_inf(&par, &seq) < 1e-12);
+    }
+
+    #[test]
+    fn split_and_batch_kernels_match_sequential(l in lower_triangular_strategy()) {
+        // The tentpole invariant: the two-phase split kernels and the
+        // multi-RHS batch kernel agree with the reference sequential solve to
+        // 1e-12, across both orderings, both multi-level depths and several
+        // worker counts.
+        let nrhs = 3;
+        for ordering in [Ordering::LevelSet, Ordering::Coloring] {
+            for k in [2usize, 3] {
+                let s = StsBuilder::new(k)
+                    .ordering(ordering)
+                    .super_row_sizing(SuperRowSizing::Rows(8))
+                    .build(&l)
+                    .unwrap();
+                let n = s.n();
+                let x_true: Vec<f64> = (0..n).map(|i| 0.5 + (i % 6) as f64 * 0.4).collect();
+                let b = s.lower().multiply(&x_true).unwrap();
+                let seq = s.solve_sequential(&b).unwrap();
+                let seq_split = s.solve_sequential_split(&b).unwrap();
+                prop_assert!(ops::relative_error_inf(&seq_split, &seq) < 1e-12);
+                // Batched right-hand sides: shifted copies of b, expected
+                // solutions from the reference kernel per system.
+                let mut bb = vec![0.0; n * nrhs];
+                let mut expected = vec![0.0; n * nrhs];
+                for r in 0..nrhs {
+                    let br: Vec<f64> = b.iter().map(|&v| v + r as f64).collect();
+                    let xr = s.solve_sequential(&br).unwrap();
+                    for i in 0..n {
+                        bb[i * nrhs + r] = br[i];
+                        expected[i * nrhs + r] = xr[i];
+                    }
+                }
+                let xb = s.solve_batch(&bb, nrhs).unwrap();
+                prop_assert!(ops::relative_error_inf(&xb, &expected) < 1e-12);
+                for threads in [1usize, 2, 4] {
+                    let solver = ParallelSolver::new(threads, Schedule::Guided { min_chunk: 1 });
+                    let par_split = solver.solve_split(&s, &b).unwrap();
+                    prop_assert!(
+                        ops::relative_error_inf(&par_split, &seq) < 1e-12,
+                        "solve_split diverged ({:?}, k={k}, {threads} threads, n={n})",
+                        ordering
+                    );
+                    let par_batch = solver.solve_batch(&s, &bb, nrhs).unwrap();
+                    prop_assert!(
+                        ops::relative_error_inf(&par_batch, &expected) < 1e-12,
+                        "solve_batch diverged ({:?}, k={k}, {threads} threads, n={n})",
+                        ordering
+                    );
+                }
+            }
+        }
     }
 
     #[test]
@@ -139,10 +193,70 @@ proptest! {
             dense[r][c] += v;
         }
         let csr = coo.to_csr();
-        for r in 0..8 {
-            for c in 0..8 {
+        for (r, dense_row) in dense.iter().enumerate() {
+            for (c, &expected) in dense_row.iter().enumerate() {
                 let got = csr.get(r, c);
-                prop_assert!((got - dense[r][c]).abs() < 1e-12);
+                prop_assert!((got - expected).abs() < 1e-12);
+            }
+        }
+    }
+}
+
+/// The split/batch agreement invariant on every matrix of the synthetic
+/// suite (deterministic, so suite regressions are reported by name).
+#[test]
+fn split_kernels_match_sequential_on_the_synthetic_suite() {
+    let suite = TestSuite::generate(SuiteScale::Tiny).unwrap();
+    let nrhs = 2;
+    for m in &suite.matrices {
+        let l = m.lower().unwrap();
+        for ordering in [Ordering::LevelSet, Ordering::Coloring] {
+            for k in [2usize, 3] {
+                let s = StsBuilder::new(k)
+                    .ordering(ordering)
+                    .super_row_sizing(SuperRowSizing::Rows(16))
+                    .build(&l)
+                    .unwrap();
+                let n = s.n();
+                let x_true: Vec<f64> = (0..n).map(|i| 1.0 + (i % 9) as f64 * 0.25).collect();
+                let b = s.lower().multiply(&x_true).unwrap();
+                let seq = s.solve_sequential(&b).unwrap();
+                assert!(
+                    ops::relative_error_inf(&s.solve_sequential_split(&b).unwrap(), &seq) < 1e-12,
+                    "sequential split diverged on {} ({ordering:?}, k={k})",
+                    m.id.label()
+                );
+                let mut bb = vec![0.0; n * nrhs];
+                let mut expected = vec![0.0; n * nrhs];
+                for r in 0..nrhs {
+                    let br: Vec<f64> = b.iter().map(|&v| v - r as f64 * 0.5).collect();
+                    let xr = s.solve_sequential(&br).unwrap();
+                    for i in 0..n {
+                        bb[i * nrhs + r] = br[i];
+                        expected[i * nrhs + r] = xr[i];
+                    }
+                }
+                assert!(
+                    ops::relative_error_inf(&s.solve_batch(&bb, nrhs).unwrap(), &expected) < 1e-12,
+                    "sequential batch diverged on {} ({ordering:?}, k={k})",
+                    m.id.label()
+                );
+                for threads in [1usize, 2, 4] {
+                    let solver = ParallelSolver::new(threads, Schedule::Guided { min_chunk: 1 });
+                    assert!(
+                        ops::relative_error_inf(&solver.solve_split(&s, &b).unwrap(), &seq) < 1e-12,
+                        "solve_split diverged on {} ({ordering:?}, k={k}, {threads} threads)",
+                        m.id.label()
+                    );
+                    assert!(
+                        ops::relative_error_inf(
+                            &solver.solve_batch(&s, &bb, nrhs).unwrap(),
+                            &expected
+                        ) < 1e-12,
+                        "solve_batch diverged on {} ({ordering:?}, k={k}, {threads} threads)",
+                        m.id.label()
+                    );
+                }
             }
         }
     }

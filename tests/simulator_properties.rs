@@ -51,8 +51,14 @@ fn per_unknown_cost_on_one_core_is_of_the_same_order_across_methods() {
     );
     let floor = params.stream_cycles_per_nnz + params.flop_cycles;
     let ceiling = floor + lat.dram_remote_cycles;
-    assert!(min >= floor, "per-nnz cost {min} below the streaming floor {floor}");
-    assert!(max <= ceiling, "per-nnz cost {max} above the physical ceiling {ceiling}");
+    assert!(
+        min >= floor,
+        "per-nnz cost {min} below the streaming floor {floor}"
+    );
+    assert!(
+        max <= ceiling,
+        "per-nnz cost {max} above the physical ceiling {ceiling}"
+    );
 }
 
 #[test]
@@ -61,11 +67,17 @@ fn custom_parameters_change_the_cost_model_proportionally() {
     let topo = NumaTopology::intel_westmere_ex_32();
     let cheap = SimulatedExecutor::with_params(
         topo.clone(),
-        SimulationParams { barrier_base_cycles: 0.0, ..SimulationParams::default() },
+        SimulationParams {
+            barrier_base_cycles: 0.0,
+            ..SimulationParams::default()
+        },
     );
     let expensive = SimulatedExecutor::with_params(
         topo,
-        SimulationParams { barrier_base_cycles: 10_000.0, ..SimulationParams::default() },
+        SimulationParams {
+            barrier_base_cycles: 10_000.0,
+            ..SimulationParams::default()
+        },
     );
     let r_cheap = cheap.simulate(&s, 16, Schedule::Guided { min_chunk: 1 });
     let r_exp = expensive.simulate(&s, 16, Schedule::Guided { min_chunk: 1 });
@@ -83,8 +95,12 @@ fn numa_topology_matters_more_when_sockets_are_crossed() {
     let s = build(Method::Sts3, SuiteId::D2, 16);
     let uma = SimulatedExecutor::new(NumaTopology::uma(16));
     let numa = SimulatedExecutor::new(NumaTopology::intel_westmere_ex_32());
-    let t_uma = uma.simulate(&s, 16, Schedule::Guided { min_chunk: 1 }).compute_cycles;
-    let t_numa = numa.simulate(&s, 16, Schedule::Guided { min_chunk: 1 }).compute_cycles;
+    let t_uma = uma
+        .simulate(&s, 16, Schedule::Guided { min_chunk: 1 })
+        .compute_cycles;
+    let t_numa = numa
+        .simulate(&s, 16, Schedule::Guided { min_chunk: 1 })
+        .compute_cycles;
     assert!(
         t_uma <= t_numa * 1.05,
         "UMA ({t_uma}) should not be slower than the NUMA model ({t_numa})"
@@ -96,9 +112,15 @@ fn simulation_is_independent_of_host_hardware() {
     // The simulator must give identical results regardless of the machine the
     // test runs on: repeated runs and fresh executors agree exactly.
     let s = build(Method::Csr3Ls, SuiteId::D6, 32);
-    let a = SimulatedExecutor::new(NumaTopology::amd_magny_cours_24())
-        .simulate(&s, 12, Schedule::Guided { min_chunk: 1 });
-    let b = SimulatedExecutor::new(NumaTopology::amd_magny_cours_24())
-        .simulate(&s, 12, Schedule::Guided { min_chunk: 1 });
+    let a = SimulatedExecutor::new(NumaTopology::amd_magny_cours_24()).simulate(
+        &s,
+        12,
+        Schedule::Guided { min_chunk: 1 },
+    );
+    let b = SimulatedExecutor::new(NumaTopology::amd_magny_cours_24()).simulate(
+        &s,
+        12,
+        Schedule::Guided { min_chunk: 1 },
+    );
     assert_eq!(a, b);
 }

@@ -1,0 +1,166 @@
+//! Offline stand-in for [criterion](https://docs.rs/criterion).
+//!
+//! Provides the API subset the workspace's benches use (`criterion_group!`,
+//! `criterion_main!`, `Criterion::benchmark_group`, `bench_function`,
+//! `bench_with_input`, `Bencher::iter`, `BenchmarkId`) with a simple
+//! measurement loop: warm up briefly, then run the closure under a fixed time
+//! budget and report the mean iteration time. No statistics, plots or
+//! baseline comparisons — the numbers are for quick trend checks, the real
+//! measurement artefacts of this repository are the figure harnesses.
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Benchmark identifier: `function_name/parameter`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter value.
+    pub fn new<F: Display, P: Display>(function_name: F, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Creates an id from a parameter value alone.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.id)
+    }
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] runs the measurement.
+pub struct Bencher {
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Measures `routine` repeatedly within the configured time budget.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: a handful of runs so lazy initialisation is off the clock.
+        for _ in 0..3 {
+            std_black_box(routine());
+        }
+        let budget = Duration::from_millis(200);
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while start.elapsed() < budget && iters < 100_000 {
+            std_black_box(routine());
+            iters += 1;
+        }
+        self.total = start.elapsed();
+        self.iters = iters.max(1);
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    fn run(&mut self, id: String, f: impl FnOnce(&mut Bencher)) {
+        let mut bencher = Bencher {
+            total: Duration::ZERO,
+            iters: 1,
+        };
+        f(&mut bencher);
+        let mean = bencher.total.as_secs_f64() / bencher.iters as f64;
+        println!(
+            "{}/{}: {:>12.3} µs/iter ({} iterations)",
+            self.name,
+            id,
+            mean * 1e6,
+            bencher.iters
+        );
+    }
+
+    /// Benchmarks a closure under `id`.
+    pub fn bench_function<S: Display>(&mut self, id: S, f: impl FnOnce(&mut Bencher)) -> &mut Self {
+        self.run(id.to_string(), f);
+        self
+    }
+
+    /// Benchmarks a closure that receives a borrowed input.
+    pub fn bench_with_input<I: ?Sized, S: Display>(
+        &mut self,
+        id: S,
+        input: &I,
+        f: impl FnOnce(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.run(id.to_string(), |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (formatting no-op, kept for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group<S: Display>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        let name = name.to_string();
+        println!("-- group {name}");
+        BenchmarkGroup {
+            name,
+            _criterion: self,
+        }
+    }
+
+    /// Benchmarks a closure outside any group.
+    pub fn bench_function<S: Display>(&mut self, id: S, f: impl FnOnce(&mut Bencher)) -> &mut Self {
+        let id = id.to_string();
+        let mut group = BenchmarkGroup {
+            name: "bench".to_string(),
+            _criterion: self,
+        };
+        group.run(id, f);
+        self
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench `main` that runs each group, ignoring harness CLI
+/// arguments (`--bench`, filters) the way cargo invokes bench binaries.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // cargo passes flags such as `--bench`; this stand-in has no
+            // filtering, so arguments are accepted and ignored.
+            let _ = std::env::args();
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,229 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` for the shapes this workspace actually
+//! uses — non-generic structs with named fields, and enums whose variants are
+//! unit, tuple or struct-like — by hand-parsing the item's token stream
+//! (crates.io, and therefore `syn`/`quote`, is unavailable in this build
+//! environment). The generated impl lowers the value into `serde::Value`
+//! using serde's externally-tagged enum representation, matching what real
+//! serde + serde_json would emit for these types.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (the vendored trait) for a struct or enum.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    match generate(&tokens) {
+        Ok(code) => code.parse().expect("generated impl parses"),
+        Err(msg) => format!("compile_error!({msg:?});")
+            .parse()
+            .expect("error parses"),
+    }
+}
+
+fn generate(tokens: &[TokenTree]) -> Result<String, String> {
+    let mut i = 0;
+    skip_attributes(tokens, &mut i);
+    skip_visibility(tokens, &mut i);
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) if id.to_string() == "struct" => "struct",
+        Some(TokenTree::Ident(id)) if id.to_string() == "enum" => "enum",
+        other => return Err(format!("expected struct or enum, found {other:?}")),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+    i += 1;
+    // Find the body brace group; anything between the name and the body
+    // (generics, where clauses) is unsupported by this stand-in.
+    let body = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g,
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                return Err(format!(
+                    "#[derive(Serialize)] stand-in does not support generics on {name}"
+                ))
+            }
+            Some(_) => i += 1,
+            None => return Err(format!("missing body for {name}")),
+        }
+    };
+    let inner: Vec<TokenTree> = body.stream().into_iter().collect();
+    let body_code = if kind == "struct" {
+        let fields = parse_named_fields(&inner)?;
+        if fields.is_empty() {
+            "serde::Value::Object(Vec::new())".to_string()
+        } else {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| format!("({f:?}.to_string(), serde::Serialize::to_value(&self.{f}))"))
+                .collect();
+            format!("serde::Value::Object(vec![{}])", entries.join(", "))
+        }
+    } else {
+        let variants = parse_variants(&inner)?;
+        if variants.is_empty() {
+            return Err(format!("cannot serialize empty enum {name}"));
+        }
+        let arms: Vec<String> = variants
+            .iter()
+            .map(|v| match v {
+                Variant::Unit(vn) => {
+                    format!("{name}::{vn} => serde::Value::Str({vn:?}.to_string()),")
+                }
+                Variant::Tuple(vn, arity) => {
+                    let binds: Vec<String> = (0..*arity).map(|k| format!("f{k}")).collect();
+                    let payload = if *arity == 1 {
+                        "serde::Serialize::to_value(f0)".to_string()
+                    } else {
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("serde::Serialize::to_value({b})"))
+                            .collect();
+                        format!("serde::Value::Array(vec![{}])", items.join(", "))
+                    };
+                    format!(
+                        "{name}::{vn}({}) => serde::Value::Object(vec![({vn:?}.to_string(), {payload})]),",
+                        binds.join(", ")
+                    )
+                }
+                Variant::Struct(vn, fields) => {
+                    let entries: Vec<String> = fields
+                        .iter()
+                        .map(|f| format!("({f:?}.to_string(), serde::Serialize::to_value({f}))"))
+                        .collect();
+                    format!(
+                        "{name}::{vn} {{ {} }} => serde::Value::Object(vec![({vn:?}.to_string(), \
+                         serde::Value::Object(vec![{}]))]),",
+                        fields.join(", "),
+                        entries.join(", ")
+                    )
+                }
+            })
+            .collect();
+        format!("match self {{ {} }}", arms.join(" "))
+    };
+    Ok(format!(
+        "impl serde::Serialize for {name} {{ fn to_value(&self) -> serde::Value {{ {body_code} }} }}"
+    ))
+}
+
+enum Variant {
+    Unit(String),
+    Tuple(String, usize),
+    Struct(String, Vec<String>),
+}
+
+fn skip_attributes(tokens: &[TokenTree], i: &mut usize) {
+    while let (Some(TokenTree::Punct(p)), Some(TokenTree::Group(g))) =
+        (tokens.get(*i), tokens.get(*i + 1))
+    {
+        if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket {
+            *i += 2;
+        } else {
+            break;
+        }
+    }
+}
+
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = tokens.get(*i) {
+        if id.to_string() == "pub" {
+            *i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *i += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Advances past the current item (a field type or a discriminant) up to and
+/// including the next comma that is not nested inside angle brackets.
+fn skip_to_comma(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0usize;
+    while let Some(t) = tokens.get(*i) {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth = angle_depth.saturating_sub(1),
+                ',' if angle_depth == 0 => {
+                    *i += 1;
+                    return;
+                }
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+/// Parses `name: Type, ...` sequences (struct bodies and struct variants).
+fn parse_named_fields(tokens: &[TokenTree]) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attributes(tokens, &mut i);
+        skip_visibility(tokens, &mut i);
+        match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => {
+                fields.push(id.to_string());
+                i += 1;
+                skip_to_comma(tokens, &mut i);
+            }
+            None => break,
+            other => return Err(format!("expected field name, found {other:?}")),
+        }
+    }
+    Ok(fields)
+}
+
+/// Counts the fields of a tuple variant: top-level commas + 1.
+fn tuple_arity(group: &proc_macro::Group) -> usize {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut arity = 1;
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_to_comma(&tokens, &mut i);
+        if i < tokens.len() {
+            arity += 1;
+        }
+    }
+    arity
+}
+
+fn parse_variants(tokens: &[TokenTree]) -> Result<Vec<Variant>, String> {
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attributes(tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => return Err(format!("expected variant name, found {other:?}")),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                variants.push(Variant::Tuple(name, tuple_arity(g)));
+                i += 1;
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                variants.push(Variant::Struct(name, parse_named_fields(&inner)?));
+                i += 1;
+            }
+            _ => variants.push(Variant::Unit(name)),
+        }
+        // Skip an optional discriminant and the trailing comma.
+        skip_to_comma(tokens, &mut i);
+    }
+    Ok(variants)
+}

@@ -1,0 +1,189 @@
+//! Offline stand-in for [serde_json](https://docs.rs/serde_json): renders the
+//! vendored [`serde::Value`] tree as JSON text. Only the encoding surface the
+//! workspace uses is provided (`to_string`, `to_string_pretty`).
+
+use std::fmt;
+
+use serde::{Serialize, Value};
+
+/// Serialization error. The vendored data model is infallible to encode, so
+/// this type is never constructed; it exists for signature compatibility.
+#[derive(Debug)]
+pub struct Error(());
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON serialization error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Result alias matching `serde_json::Result`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serializes a value as compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&value.to_value(), None, 0, &mut out);
+    Ok(out)
+}
+
+/// Serializes a value as pretty-printed JSON (two-space indentation).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&value.to_value(), Some(2), 0, &mut out);
+    Ok(out)
+}
+
+fn write_value(v: &Value, indent: Option<usize>, depth: usize, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::UInt(u) => out.push_str(&u.to_string()),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::Float(x) => {
+            if x.is_finite() {
+                // Match serde_json: integral floats keep a ".0" suffix.
+                if x.fract() == 0.0 && x.abs() < 1e15 {
+                    out.push_str(&format!("{x:.1}"));
+                } else {
+                    out.push_str(&format!("{x}"));
+                }
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::Str(s) => write_string(s, out),
+        Value::Array(items) => write_seq(
+            items.iter(),
+            |item, d, o| write_value(item, indent, d, o),
+            '[',
+            ']',
+            indent,
+            depth,
+            out,
+        ),
+        Value::Object(entries) => write_seq(
+            entries.iter(),
+            |(k, val), d, o| {
+                write_string(k, o);
+                o.push(':');
+                if indent.is_some() {
+                    o.push(' ');
+                }
+                write_value(val, indent, d, o);
+            },
+            '{',
+            '}',
+            indent,
+            depth,
+            out,
+        ),
+    }
+}
+
+fn write_seq<I, T, F>(
+    items: I,
+    mut write_item: F,
+    open: char,
+    close: char,
+    indent: Option<usize>,
+    depth: usize,
+    out: &mut String,
+) where
+    I: ExactSizeIterator<Item = T>,
+    F: FnMut(T, usize, &mut String),
+{
+    out.push(open);
+    let len = items.len();
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for (i, item) in items.enumerate() {
+        if let Some(width) = indent {
+            out.push('\n');
+            out.extend(std::iter::repeat_n(' ', width * (depth + 1)));
+        }
+        write_item(item, depth + 1, out);
+        if i + 1 < len {
+            out.push(',');
+        }
+    }
+    if let Some(width) = indent {
+        out.push('\n');
+        out.extend(std::iter::repeat_n(' ', width * depth));
+    }
+    out.push(close);
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Point {
+        x: f64,
+        n: usize,
+        label: String,
+    }
+
+    impl Serialize for Point {
+        fn to_value(&self) -> Value {
+            Value::Object(vec![
+                ("x".to_string(), self.x.to_value()),
+                ("n".to_string(), self.n.to_value()),
+                ("label".to_string(), self.label.to_value()),
+            ])
+        }
+    }
+
+    #[test]
+    fn compact_encoding_matches_expected_json() {
+        let p = Point {
+            x: 1.5,
+            n: 3,
+            label: "a\"b".into(),
+        };
+        assert_eq!(to_string(&p).unwrap(), r#"{"x":1.5,"n":3,"label":"a\"b"}"#);
+    }
+
+    #[test]
+    fn pretty_encoding_indents_nested_structures() {
+        let v = Value::Object(vec![("xs".to_string(), vec![1usize, 2].to_value())]);
+        let s = {
+            let mut out = String::new();
+            write_value(&v, Some(2), 0, &mut out);
+            out
+        };
+        assert_eq!(s, "{\n  \"xs\": [\n    1,\n    2\n  ]\n}");
+    }
+
+    #[test]
+    fn integral_floats_keep_a_decimal_point() {
+        assert_eq!(to_string(&2.0f64).unwrap(), "2.0");
+        assert_eq!(to_string(&2.5f64).unwrap(), "2.5");
+        assert_eq!(to_string(&f64::NAN).unwrap(), "null");
+    }
+
+    #[test]
+    fn empty_containers_render_compactly() {
+        assert_eq!(to_string_pretty(&Vec::<usize>::new()).unwrap(), "[]");
+    }
+}

@@ -43,12 +43,25 @@ fn solver_benchmarks(c: &mut Criterion) {
             &s,
             |bench, s| bench.iter(|| solver.solve_split(s, &b).unwrap()),
         );
+        group.bench_with_input(
+            BenchmarkId::new(format!("pipelined_threads_{threads}"), method.label()),
+            &s,
+            |bench, s| bench.iter(|| solver.solve_pipelined(s, &b).unwrap()),
+        );
         let nrhs = 4;
         let b4 = vec![1.0; s.n() * nrhs];
         group.bench_with_input(
             BenchmarkId::new(format!("batch{nrhs}_threads_{threads}"), method.label()),
             &s,
             |bench, s| bench.iter(|| solver.solve_batch(s, &b4, nrhs).unwrap()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new(
+                format!("batch{nrhs}_pipelined_threads_{threads}"),
+                method.label(),
+            ),
+            &s,
+            |bench, s| bench.iter(|| solver.solve_batch_pipelined(s, &b4, nrhs).unwrap()),
         );
     }
     group.finish();

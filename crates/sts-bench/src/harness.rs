@@ -245,39 +245,55 @@ pub fn simulate_split(machine: Machine, run: &MethodRun, cores: usize) -> SimRep
     exec.simulate_split(&run.structure, cores, paper_schedule(run.method))
 }
 
-/// Measures the wall-clock solve time of one built method on the host with
-/// `threads` workers (averaged over `repeats` solves, as the paper averages
-/// over 10 repeats).
-pub fn wallclock_seconds(run: &MethodRun, threads: usize, repeats: usize) -> f64 {
-    use sts_core::ParallelSolver;
-    let solver = ParallelSolver::new(threads, paper_schedule(run.method));
+/// Simulates one built method with the pack-pipelined (barrier-fused) kernel
+/// on `cores` cores of the given machine.
+pub fn simulate_pipelined(machine: Machine, run: &MethodRun, cores: usize) -> SimReport {
+    let exec = SimulatedExecutor::new(machine.topology());
+    exec.simulate_pipelined(&run.structure, cores, paper_schedule(run.method))
+}
+
+/// The shared measurement protocol of the `wallclock_seconds*` helpers: one
+/// untimed warm-up solve (which also forces the lazy split layout out of the
+/// timed region), then the mean over `repeats` solves, as the paper averages
+/// over 10 repeats.
+fn wallclock_with(
+    run: &MethodRun,
+    threads: usize,
+    repeats: usize,
+    solve: impl Fn(&sts_core::ParallelSolver, &StsStructure, &[f64]),
+) -> f64 {
+    let solver = sts_core::ParallelSolver::new(threads, paper_schedule(run.method));
     let b = vec![1.0; run.structure.n()];
-    // warm-up
-    let _ = solver.solve(&run.structure, &b).expect("solve succeeds");
+    solve(&solver, &run.structure, &b); // warm-up
     let start = Instant::now();
     for _ in 0..repeats {
-        let _ = solver.solve(&run.structure, &b).expect("solve succeeds");
+        solve(&solver, &run.structure, &b);
     }
     start.elapsed().as_secs_f64() / repeats as f64
+}
+
+/// Measures the wall-clock solve time of one built method on the host with
+/// `threads` workers (averaged over `repeats` solves).
+pub fn wallclock_seconds(run: &MethodRun, threads: usize, repeats: usize) -> f64 {
+    wallclock_with(run, threads, repeats, |solver, s, b| {
+        solver.solve(s, b).expect("solve succeeds");
+    })
 }
 
 /// Measures the wall-clock solve time of the two-phase split kernel on the
 /// host with `threads` workers (averaged over `repeats` solves).
 pub fn wallclock_seconds_split(run: &MethodRun, threads: usize, repeats: usize) -> f64 {
-    use sts_core::ParallelSolver;
-    let solver = ParallelSolver::new(threads, paper_schedule(run.method));
-    let b = vec![1.0; run.structure.n()];
-    // warm-up
-    let _ = solver
-        .solve_split(&run.structure, &b)
-        .expect("solve succeeds");
-    let start = Instant::now();
-    for _ in 0..repeats {
-        let _ = solver
-            .solve_split(&run.structure, &b)
-            .expect("solve succeeds");
-    }
-    start.elapsed().as_secs_f64() / repeats as f64
+    wallclock_with(run, threads, repeats, |solver, s, b| {
+        solver.solve_split(s, b).expect("solve succeeds");
+    })
+}
+
+/// Measures the wall-clock solve time of the pack-pipelined kernel on the
+/// host with `threads` workers (averaged over `repeats` solves).
+pub fn wallclock_seconds_pipelined(run: &MethodRun, threads: usize, repeats: usize) -> f64 {
+    wallclock_with(run, threads, repeats, |solver, s, b| {
+        solver.solve_pipelined(s, b).expect("solve succeeds");
+    })
 }
 
 /// Geometric mean of a slice of positive values (0 when empty).

@@ -12,6 +12,8 @@
 //! super-rows of a pack are independent tasks; the rows of a super-row are
 //! solved sequentially by whichever core owns the task.
 
+use std::sync::OnceLock;
+
 use sts_graph::Permutation;
 use sts_matrix::{LowerTriangularCsr, MatrixError};
 
@@ -23,7 +25,7 @@ pub type Result<T> = std::result::Result<T, MatrixError>;
 
 /// The k-level reordered triangular system produced by
 /// [`StsBuilder`](crate::builder::StsBuilder).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct StsStructure {
     k: usize,
     ordering: Ordering,
@@ -31,13 +33,33 @@ pub struct StsStructure {
     index2: Vec<usize>,
     l: LowerTriangularCsr,
     perm: Permutation,
-    split: SplitLayout,
+    /// The dependency-split layout, built on first use ([`StsStructure::split`]):
+    /// it roughly doubles the off-diagonal storage, so unsplit-only callers
+    /// should not pay for it.
+    split: OnceLock<SplitLayout>,
+}
+
+/// Equality ignores the lazy split cache: the layout is a pure function of
+/// the other fields, so two structures that differ only in whether
+/// [`StsStructure::split`] has been called yet are still equal.
+impl PartialEq for StsStructure {
+    fn eq(&self, other: &Self) -> bool {
+        self.k == other.k
+            && self.ordering == other.ordering
+            && self.index3 == other.index3
+            && self.index2 == other.index2
+            && self.l == other.l
+            && self.perm == other.perm
+    }
 }
 
 impl StsStructure {
     /// Assembles a structure from its parts, validating every invariant (see
-    /// [`StsStructure::validate`]) and precomputing the dependency-split
-    /// layout the two-phase kernels run on.
+    /// [`StsStructure::validate`]). The dependency-split layout the two-phase
+    /// and pipelined kernels run on is *not* built here; it is constructed
+    /// lazily by the first [`StsStructure::split`] call (the `u32` column
+    /// limit it relies on is still checked eagerly, so the lazy build cannot
+    /// fail).
     pub fn new(
         k: usize,
         ordering: Ordering,
@@ -46,14 +68,14 @@ impl StsStructure {
         l: LowerTriangularCsr,
         perm: Permutation,
     ) -> Result<Self> {
-        let mut s = StsStructure {
+        let s = StsStructure {
             k,
             ordering,
             index3,
             index2,
             l,
             perm,
-            split: SplitLayout::empty(),
+            split: OnceLock::new(),
         };
         s.validate()?;
         if s.n() > 0 && s.n() - 1 > u32::MAX as usize {
@@ -62,7 +84,6 @@ impl StsStructure {
                 s.n()
             )));
         }
-        s.split = SplitLayout::build(&s.l, &s.pack_start_rows(), &s.index3, &s.index2);
         Ok(s)
     }
 
@@ -192,9 +213,22 @@ impl StsStructure {
         Ok(x)
     }
 
-    /// The precomputed dependency-split layout (external/internal slabs).
+    /// The dependency-split layout (external/internal slabs plus readiness
+    /// metadata), built on first use. Thread-safe: concurrent first calls
+    /// race benignly inside the `OnceLock`; every caller sees the same built
+    /// layout. Callers who want the build cost out of their timed region can
+    /// force it up front with this same method.
     pub fn split(&self) -> &SplitLayout {
-        &self.split
+        self.split.get_or_init(|| {
+            SplitLayout::build(&self.l, &self.pack_start_rows(), &self.index3, &self.index2)
+        })
+    }
+
+    /// Whether the dependency-split layout has been built yet (diagnostic;
+    /// unsplit-only callers should keep this `false` and skip the ≈2×
+    /// off-diagonal storage cost).
+    pub fn split_built(&self) -> bool {
+        self.split.get().is_some()
     }
 
     /// Solves `L' x' = b'` sequentially on the dependency-split layout.
@@ -215,7 +249,7 @@ impl StsStructure {
             )));
         }
         let mut x = vec![0.0; self.n()];
-        let split = &self.split;
+        let split = self.split();
         let erp = split.ext_row_ptr();
         let ecols = split.ext_cols();
         let evals = split.ext_vals();
@@ -271,7 +305,7 @@ impl StsStructure {
             )));
         }
         let mut x = vec![0.0; self.n() * nrhs];
-        let split = &self.split;
+        let split = self.split();
         for p in 0..self.num_packs() {
             let rows = self.pack_rows(p);
             for i1 in rows.clone() {
@@ -497,6 +531,33 @@ mod tests {
         for (a, b) in x.iter().zip(&x_true) {
             assert!((a - b).abs() < 1e-10);
         }
+    }
+
+    #[test]
+    fn equality_ignores_the_lazy_split_cache() {
+        let a = figure1_flat_structure();
+        let b = a.clone();
+        let _ = a.split(); // populate a's cache only
+        assert!(a.split_built() && !b.split_built());
+        assert_eq!(a, b, "the split cache is derived state, not identity");
+    }
+
+    #[test]
+    fn split_layout_is_built_lazily_and_only_once() {
+        let s = figure1_flat_structure();
+        assert!(
+            !s.split_built(),
+            "construction must not pay the split storage cost"
+        );
+        // Unsplit kernels never force it.
+        let b = vec![1.0; 9];
+        let _ = s.solve_sequential(&b).unwrap();
+        assert!(!s.split_built());
+        // The first split use builds it; later calls reuse the same layout.
+        let first = s.split() as *const _;
+        assert!(s.split_built());
+        let _ = s.solve_sequential_split(&b).unwrap();
+        assert_eq!(first, s.split() as *const _);
     }
 
     #[test]

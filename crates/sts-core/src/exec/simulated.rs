@@ -350,6 +350,169 @@ impl SimulatedExecutor {
         }
     }
 
+    /// Simulates a full solve of `s` with the pack-pipelined kernel
+    /// ([`ParallelSolver::solve_pipelined`]): the same per-row costs as
+    /// [`SimulatedExecutor::simulate_split`], but the two per-pack barriers
+    /// are fused into per-pack completion flags, so the model tracks a clock
+    /// per core slot and lets a slot start the phase-1 gather of pack `p`
+    /// as soon as the packs its chunk actually reads
+    /// ([`SplitLayout::range_ext_dep`](crate::split::SplitLayout::range_ext_dep))
+    /// are done — overlapping it with other slots' phase 2 of earlier packs.
+    ///
+    /// The report separates the **critical path** (`compute_cycles`, the
+    /// makespan of the overlapped schedule, including any readiness stalls
+    /// and the per-claim dispatch charge, which lands on the claiming slot's
+    /// clock exactly as `simulate_split` charges dispatch to core time) from
+    /// the **barrier-bound** cycles (`sync_cycles`): the pipelined kernel
+    /// pays one pool-completion barrier per solve instead of two full
+    /// barriers per chained pack — comparing `sync_cycles` against
+    /// `simulate_split`'s quantifies exactly the synchronisation the fusion
+    /// removed.
+    ///
+    /// [`ParallelSolver::solve_pipelined`]:
+    ///     crate::solver::parallel::ParallelSolver::solve_pipelined
+    pub fn simulate_pipelined(
+        &self,
+        s: &StsStructure,
+        cores: usize,
+        schedule: SimSchedule,
+    ) -> SimReport {
+        // The kernel claims phase-2 tasks one ticket at a time whatever the
+        // configured schedule; `schedule` only matters through the cost
+        // model's dispatch charge, which the ticket counter pays per task.
+        let _ = schedule;
+        let cores = cores.clamp(1, self.topology.total_cores());
+        let core_ids = self.topology.compact_core_order(cores);
+        let lat = &self.topology.latency;
+        let split = s.split();
+        let n = s.n();
+
+        let mut producer_core = vec![usize::MAX; n];
+        let mut producer_pack = vec![usize::MAX; n];
+        let line = self.params.cache_line_doubles.max(1);
+        let num_lines = n / line + 1;
+        let mut fetched = vec![vec![0u32; num_lines]; cores];
+        let mut phase1_slot = vec![usize::MAX; n];
+
+        // Per-slot clocks and per-pack completion times of the overlapped
+        // schedule. `done_time[p]` mirrors the gate's epoch: it is monotone
+        // over packs (a gate opens only once every leading pack is done).
+        let mut slot_time = vec![0.0f64; cores];
+        let mut done_time = vec![0.0f64; s.num_packs()];
+        let mut sync_cycles = 0.0f64;
+        let barrier = self.params.barrier_base_cycles * (1.0 + (cores as f64).log2());
+        let num_packs = s.num_packs();
+        let mlp = self.params.gather_mlp.max(1.0);
+
+        for p in 0..num_packs {
+            let rows = s.pack_rows(p);
+            let prev_done = if p == 0 { 0.0 } else { done_time[p - 1] };
+            if rows.is_empty() {
+                done_time[p] = prev_done;
+                continue;
+            }
+            let stamp = p as u32 + 1;
+            let m = rows.len();
+            let nchunks = cores.min(m);
+
+            // Phase 1: chunk c is owned by slot c (as in the kernel); it may
+            // start once the packs its external reads target are done.
+            let mut phase1_done = 0.0f64;
+            for slot in 0..nchunks {
+                let chunk =
+                    (rows.start + slot * m / nchunks)..(rows.start + (slot + 1) * m / nchunks);
+                let dep = split.range_ext_dep(chunk.clone()) as usize;
+                let ready = if dep == 0 { 0.0 } else { done_time[dep - 1] };
+                let core = core_ids[slot];
+                let mut cycles = 0.0;
+                for i1 in chunk {
+                    phase1_slot[i1] = slot;
+                    producer_core[i1] = core;
+                    producer_pack[i1] = p;
+                    fetched[slot][i1 / line] = stamp;
+                    let (cols, _) = split.ext_row(i1);
+                    cycles += (cols.len() + 1) as f64
+                        * (self.params.stream_cycles_per_nnz + self.params.flop_cycles);
+                    for &j in cols {
+                        let j = j as usize;
+                        let line_of_j = j / line;
+                        if fetched[slot][line_of_j] == stamp {
+                            cycles += lat.l1_cycles;
+                            continue;
+                        }
+                        fetched[slot][line_of_j] = stamp;
+                        let pc = producer_core[j];
+                        let fetch = if pc == usize::MAX {
+                            lat.dram_local_cycles
+                        } else if producer_pack[j] + 1 == p {
+                            lat.reuse_cycles(self.topology.distance(core, pc))
+                        } else {
+                            lat.memory_cycles(self.topology.distance(core, pc))
+                        };
+                        cycles += fetch / mlp;
+                    }
+                }
+                let start = slot_time[slot].max(ready);
+                slot_time[slot] = start + cycles;
+                phase1_done = phase1_done.max(slot_time[slot]);
+            }
+
+            // Phase 2: chain tasks claimed one ticket at a time by the
+            // earliest-available slot, each gated on phase 1 being drained.
+            let tasks: Vec<usize> = split.chain_super_rows(p).to_vec();
+            if tasks.is_empty() {
+                done_time[p] = prev_done.max(phase1_done);
+                continue;
+            }
+            let mut pack_done = phase1_done;
+            for &sr in &tasks {
+                let slot = (0..cores)
+                    .min_by(|&a, &b| slot_time[a].partial_cmp(&slot_time[b]).unwrap())
+                    .unwrap();
+                let core = core_ids[slot];
+                let mut cycles = self.params.dispatch_cycles; // the ticket claim
+                for i1 in s.super_row_rows(sr) {
+                    let (cols, _) = split.int_row(i1);
+                    if cols.is_empty() {
+                        continue;
+                    }
+                    cycles += cols.len() as f64
+                        * (self.params.stream_cycles_per_nnz + self.params.flop_cycles)
+                        + self.params.flop_cycles;
+                    let line_of_i = i1 / line;
+                    let p1 = phase1_slot[i1];
+                    if fetched[slot][line_of_i] == stamp || p1 == usize::MAX {
+                        cycles += lat.l1_cycles;
+                    } else {
+                        cycles +=
+                            lat.reuse_cycles(self.topology.distance(core, core_ids[p1])) / mlp;
+                    }
+                    fetched[slot][line_of_i] = stamp;
+                    cycles += cols.len() as f64 * lat.l1_cycles;
+                    producer_core[i1] = core;
+                }
+                let start = slot_time[slot].max(phase1_done);
+                slot_time[slot] = start + cycles;
+                pack_done = pack_done.max(slot_time[slot]);
+            }
+            done_time[p] = prev_done.max(pack_done);
+        }
+
+        // One pool-completion barrier for the whole solve replaces the two
+        // per-pack barriers of the split kernel.
+        sync_cycles += barrier;
+        let makespan = slot_time.iter().copied().fold(0.0, f64::max);
+        let total = makespan + sync_cycles;
+        SimReport {
+            total_cycles: total,
+            compute_cycles: makespan,
+            sync_cycles,
+            seconds: lat.cycles_to_seconds(total),
+            cores,
+            num_packs,
+        }
+    }
+
     fn simulate_packs(
         &self,
         s: &StsStructure,
@@ -631,6 +794,74 @@ mod tests {
                 method
             );
         }
+    }
+
+    #[test]
+    fn pipelined_simulation_reports_consistent_components() {
+        let s = build(Method::Sts3);
+        let sim = SimulatedExecutor::new(NumaTopology::intel_westmere_ex_32());
+        let r = sim.simulate_pipelined(&s, 16, Schedule::Guided { min_chunk: 1 });
+        assert!(r.total_cycles > 0.0);
+        assert!((r.total_cycles - (r.compute_cycles + r.sync_cycles)).abs() < 1e-6);
+        assert_eq!(r.num_packs, s.num_packs());
+        assert_eq!(r.cores, 16);
+    }
+
+    #[test]
+    fn pipelining_removes_barrier_bound_cycles() {
+        // The tentpole claim: fusing the per-pack barriers into completion
+        // flags strips almost all barrier-bound cycles (one pool-completion
+        // barrier per solve remains) and the overlapped schedule's critical
+        // path never exceeds the barrier-synchronised one.
+        let sim = SimulatedExecutor::new(NumaTopology::intel_westmere_ex_32());
+        for method in [Method::CsrLs, Method::Csr3Ls, Method::Sts3] {
+            let s = build(method);
+            let split = sim.simulate_split(&s, 16, Schedule::Guided { min_chunk: 1 });
+            let piped = sim.simulate_pipelined(&s, 16, Schedule::Guided { min_chunk: 1 });
+            assert!(
+                piped.sync_cycles < split.sync_cycles / 2.0,
+                "{:?}: pipelined sync {} should be far below split sync {}",
+                method,
+                piped.sync_cycles,
+                split.sync_cycles
+            );
+            assert!(
+                piped.total_cycles < split.total_cycles,
+                "{:?}: pipelined total {} should beat split total {}",
+                method,
+                piped.total_cycles,
+                split.total_cycles
+            );
+        }
+    }
+
+    #[test]
+    fn pipelined_overlap_grows_with_pack_count() {
+        // Level-set orderings chain hundreds of packs; that is where barrier
+        // fusion pays the most, so the ratio split/pipelined must be larger
+        // for CSR-LS than for the coloring ordering with its few packs.
+        let sim = SimulatedExecutor::new(NumaTopology::intel_westmere_ex_32());
+        let ls = build(Method::CsrLs);
+        let col = build(Method::CsrCol);
+        let gain = |s: &StsStructure| {
+            let split = sim.simulate_split(s, 16, Schedule::Dynamic { chunk: 32 });
+            let piped = sim.simulate_pipelined(s, 16, Schedule::Dynamic { chunk: 32 });
+            split.total_cycles / piped.total_cycles
+        };
+        assert!(ls.num_packs() > col.num_packs());
+        assert!(
+            gain(&ls) > gain(&col),
+            "barrier fusion should pay more on chained level sets"
+        );
+    }
+
+    #[test]
+    fn pipelined_simulation_is_deterministic() {
+        let s = build(Method::Csr3Ls);
+        let sim = SimulatedExecutor::new(NumaTopology::amd_magny_cours_24());
+        let a = sim.simulate_pipelined(&s, 12, Schedule::Guided { min_chunk: 1 });
+        let b = sim.simulate_pipelined(&s, 12, Schedule::Guided { min_chunk: 1 });
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -12,14 +12,16 @@
 //!   graph) that exposes line-graph structure for cache reuse;
 //! * [`builder`] — the [`StsBuilder`] pipeline and the four named methods of
 //!   the evaluation (`CSR-LS`, `CSR-COL`, `CSR-3-LS`, `STS-3`);
-//! * [`split`] — the dependency-split CSR layout: per pack, an *external*
-//!   slab of entries referencing earlier packs (streamed by the
-//!   embarrassingly-parallel gather phase) and an *internal* slab holding the
-//!   true in-pack dependence chains;
+//! * [`split`] — the dependency-split CSR layout (built lazily on first
+//!   use): per pack, an *external* slab of entries referencing earlier packs
+//!   (streamed by the embarrassingly-parallel gather phase) and an
+//!   *internal* slab holding the true in-pack dependence chains, plus
+//!   per-row readiness metadata for pack pipelining;
 //! * [`solver`] — the threaded pack-parallel solver (worker pool + barriers),
-//!   its two-phase split variants (`solve_split`, `solve_batch`), and a
-//!   schedule-only level-scheduled solver for callers who cannot reorder
-//!   their system;
+//!   its two-phase split variants (`solve_split`, `solve_batch`), the
+//!   pack-pipelined barrier-fused variants (`solve_pipelined`,
+//!   `solve_batch_pipelined`), and a schedule-only level-scheduled solver
+//!   for callers who cannot reorder their system;
 //! * [`exec`] — the simulated NUMA executor that prices a solve on a modelled
 //!   machine (the paper's 32-core Intel and 24-core AMD nodes), used by the
 //!   figure harnesses;

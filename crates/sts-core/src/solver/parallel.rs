@@ -54,11 +54,64 @@
 //!   current pack (published by the phase barrier) through the internal
 //!   slab, whose columns stay inside the writer's own super-row (same
 //!   worker, program order).
+//!
+//! # The pack-pipelined kernels (barrier fusion)
+//!
+//! [`ParallelSolver::solve_pipelined`] and
+//! [`ParallelSolver::solve_batch_pipelined`] run the *same* per-row
+//! arithmetic as the split kernels but fuse the two full-pool barriers per
+//! pack into an [`EpochGate`](sts_numa::EpochGate): one pool dispatch covers
+//! the whole solve, and workers coordinate through per-pack completion
+//! counters instead of barriers. The schedule per worker `w`:
+//!
+//! * **phase 1** of pack `p` is statically chunked exactly as in
+//!   `solve_split`, and chunk `c` is *owned* by worker `c` — ownership is a
+//!   compile-time-static function of `(p, w)`, so no two workers ever write
+//!   the same row;
+//! * a chunk does not wait for pack `p − 1`; it waits only until the gate's
+//!   epoch covers the chunk's precomputed readiness
+//!   ([`SplitLayout::range_ext_dep`](crate::split::SplitLayout::range_ext_dep)
+//!   — the latest pack its external slab range actually reads). Phase 1 of
+//!   pack `p + 1` therefore overlaps phase 2 of pack `p` whenever the
+//!   dependency structure allows;
+//! * **phase 2** chain tasks of pack `p` are claimed one at a time from a
+//!   shared ticket counter once the gate reports pack `p`'s phase 1 drained;
+//!   a worker that finds no ticket left moves straight on to its phase-1
+//!   chunk of pack `p + 1`. While phase 1 of pack `p` is still draining, a
+//!   parked worker *looks ahead*: it runs its chunks of packs `p + 1` and
+//!   `p + 2` (readiness permitting) instead of spinning.
+//!
+//! ## Memory-ordering argument (which flag publishes which `x` entries)
+//!
+//! Data-race freedom needs every read of `x[j]` to happen-after the write it
+//! observes. The gate provides exactly two publication edges:
+//!
+//! * **`is_open(d)` / `wait_open(d)`** (epoch ≥ `d`) happens-after *every*
+//!   arrival of packs `0..d` — both phases — via the release sequences on the
+//!   gate's per-pack counters and the release CAS chain on the epoch. A
+//!   phase-1 chunk with readiness `d` reads `x[j]` only for external columns
+//!   `j` in packs `< d`, each finalized (phase-1 write, plus phase-2
+//!   correction for chain rows) before its pack's last arrival. The chunk
+//!   runs behind `wait_open(d)`, so all those entries are published to it.
+//! * **`phase1_drained(p)`** happens-after every phase-1 arrival of pack `p`.
+//!   A phase-2 task reads `x[j]` only for internal columns `j` of its own
+//!   super-row (phase-1 values published by the drained flag, or its own
+//!   earlier chain-row corrections in program order) and corrects rows owned
+//!   by no other task. Its writes are in turn published to later packs by
+//!   its `arrive_phase2` and the epoch edge above.
+//!
+//! Lookahead never weakens this: a worker running a chunk of pack `p + 2`
+//! early still passed that chunk's own readiness check, and writes only rows
+//! of pack `p + 2`, which no other worker touches until the epoch covers
+//! `p + 2` — which cannot happen before the chunk's own arrival.
+
+use std::sync::atomic::{AtomicUsize, Ordering as AtomicOrdering};
 
 use sts_matrix::MatrixError;
-use sts_numa::{Schedule, WorkerPool};
+use sts_numa::{EpochGate, Schedule, WorkerPool};
 
 use crate::csrk::{Result, StsStructure};
+use crate::split::SplitLayout;
 
 /// Shared mutable solution vector; see the module documentation for the
 /// aliasing discipline that makes this sound.
@@ -363,7 +416,280 @@ impl ParallelSolver {
         }
         Ok(x)
     }
+
+    /// Solves `L' x' = b'` with the pack-pipelined kernel: same arithmetic as
+    /// [`ParallelSolver::solve_split`], but the per-pack phase barriers are
+    /// fused into an [`EpochGate`] so phase 1 of later packs overlaps phase 2
+    /// of earlier ones (see the module documentation). One pool dispatch
+    /// covers the whole solve.
+    pub fn solve_pipelined(&self, s: &StsStructure, b: &[f64]) -> Result<Vec<f64>> {
+        if b.len() != s.n() {
+            return Err(MatrixError::DimensionMismatch(format!(
+                "b has length {}, expected {}",
+                b.len(),
+                s.n()
+            )));
+        }
+        let mut x = vec![0.0f64; s.n()];
+        {
+            let shared = SharedVec::new(&mut x);
+            let split = s.split();
+            let erp = split.ext_row_ptr();
+            let ecols = split.ext_cols();
+            let evals = split.ext_vals();
+            let irp = split.int_row_ptr();
+            let icols = split.int_cols();
+            let ivals = split.int_vals();
+            let inv_diag = split.inv_diags();
+            let gather = |rows: std::ops::Range<usize>| {
+                for i1 in rows {
+                    let mut acc = 0.0;
+                    for k in erp[i1]..erp[i1 + 1] {
+                        // SAFETY: external columns lie in packs the chunk's
+                        // readiness wait covered; the epoch edge published
+                        // their final values (module docs).
+                        acc += evals[k] * unsafe { shared.read(ecols[k] as usize) };
+                    }
+                    // SAFETY: row i1 is written by exactly one statically
+                    // owned chunk.
+                    unsafe { shared.write(i1, (b[i1] - acc) * inv_diag[i1]) };
+                }
+            };
+            let chain = |p: usize, t: usize| {
+                for &i1 in split.chain_rows_of(p, t) {
+                    let i1 = i1 as usize;
+                    let mut acc = 0.0;
+                    for k in irp[i1]..irp[i1 + 1] {
+                        // SAFETY: internal columns stay inside this
+                        // super-row — written earlier by this task if they
+                        // are chain rows, published by the drained flag
+                        // otherwise.
+                        acc += ivals[k] * unsafe { shared.read(icols[k] as usize) };
+                    }
+                    // SAFETY: row i1 belongs to exactly one chain task; its
+                    // phase-1 value was published by the drained flag.
+                    let partial = unsafe { shared.read(i1) };
+                    unsafe { shared.write(i1, partial - acc * inv_diag[i1]) };
+                }
+            };
+            self.run_pipelined(s, split, &gather, &chain);
+        }
+        Ok(x)
+    }
+
+    /// Solves `L' X' = B'` for `nrhs` right-hand sides with the
+    /// pack-pipelined kernel (the multi-RHS analogue of
+    /// [`ParallelSolver::solve_pipelined`]; layout matches
+    /// [`StsStructure::solve_batch`]: `b[i * nrhs + r]`).
+    pub fn solve_batch_pipelined(
+        &self,
+        s: &StsStructure,
+        b: &[f64],
+        nrhs: usize,
+    ) -> Result<Vec<f64>> {
+        if nrhs == 0 {
+            return Err(MatrixError::DimensionMismatch(
+                "solve_batch_pipelined needs at least one right-hand side".into(),
+            ));
+        }
+        if b.len() != s.n() * nrhs {
+            return Err(MatrixError::DimensionMismatch(format!(
+                "B has length {}, expected n * nrhs = {}",
+                b.len(),
+                s.n() * nrhs
+            )));
+        }
+        let mut x = vec![0.0f64; s.n() * nrhs];
+        {
+            let shared = SharedVec::new(&mut x);
+            let split = s.split();
+            let erp = split.ext_row_ptr();
+            let ecols = split.ext_cols();
+            let evals = split.ext_vals();
+            let irp = split.int_row_ptr();
+            let icols = split.int_cols();
+            let ivals = split.int_vals();
+            let inv_diag = split.inv_diags();
+            // The aliasing argument is solve_pipelined's, with "row i1"
+            // standing for the nrhs consecutive slots of row i1; the
+            // register-tile accumulation mirrors solve_batch.
+            const TILE: usize = 8;
+            let gather = |rows: std::ops::Range<usize>| {
+                for i1 in rows {
+                    let base = i1 * nrhs;
+                    let d = inv_diag[i1];
+                    for r0 in (0..nrhs).step_by(TILE) {
+                        let w = TILE.min(nrhs - r0);
+                        let mut acc = [0.0f64; TILE];
+                        acc[..w].copy_from_slice(&b[base + r0..base + r0 + w]);
+                        for k in erp[i1]..erp[i1 + 1] {
+                            let (j, v) = (ecols[k] as usize, evals[k]);
+                            for (r, a) in acc[..w].iter_mut().enumerate() {
+                                // SAFETY: external reads target packs the
+                                // readiness wait covered (epoch edge).
+                                *a -= v * unsafe { shared.read(j * nrhs + r0 + r) };
+                            }
+                        }
+                        for (r, a) in acc[..w].iter().enumerate() {
+                            // SAFETY: the nrhs slots of row i1 have exactly
+                            // one phase-1 writer (this chunk).
+                            unsafe { shared.write(base + r0 + r, a * d) };
+                        }
+                    }
+                }
+            };
+            let chain = |p: usize, t: usize| {
+                for &i1 in split.chain_rows_of(p, t) {
+                    let i1 = i1 as usize;
+                    let base = i1 * nrhs;
+                    let d = inv_diag[i1];
+                    for r0 in (0..nrhs).step_by(TILE) {
+                        let w = TILE.min(nrhs - r0);
+                        let mut acc = [0.0f64; TILE];
+                        for (r, a) in acc[..w].iter_mut().enumerate() {
+                            // SAFETY: row i1 belongs to exactly one chain
+                            // task; its phase-1 values were published by the
+                            // drained flag.
+                            *a = unsafe { shared.read(base + r0 + r) };
+                        }
+                        for k in irp[i1]..irp[i1 + 1] {
+                            let (j, v) = (icols[k] as usize, ivals[k]);
+                            let vd = v * d;
+                            for (r, a) in acc[..w].iter_mut().enumerate() {
+                                // SAFETY: same-super-row reads — this task's
+                                // earlier writes, or phase-1 results behind
+                                // the drained flag.
+                                *a -= vd * unsafe { shared.read(j * nrhs + r0 + r) };
+                            }
+                        }
+                        for (r, a) in acc[..w].iter().enumerate() {
+                            // SAFETY: row i1 is owned by this chain task.
+                            unsafe { shared.write(base + r0 + r, *a) };
+                        }
+                    }
+                }
+            };
+            self.run_pipelined(s, split, &gather, &chain);
+        }
+        Ok(x)
+    }
+
+    /// The pipelined orchestrator shared by the single- and multi-RHS
+    /// kernels: one pool dispatch, per-pack completion counters instead of
+    /// barriers, statically owned phase-1 chunks with readiness waits,
+    /// ticket-claimed phase-2 chain tasks, and bounded gather lookahead for
+    /// parked workers. `gather` runs one contiguous phase-1 row range;
+    /// `chain(p, t)` runs chain task `t` of pack `p`.
+    fn run_pipelined(
+        &self,
+        s: &StsStructure,
+        split: &SplitLayout,
+        gather: &(dyn Fn(std::ops::Range<usize>) + Sync),
+        chain: &(dyn Fn(usize, usize) + Sync),
+    ) {
+        let workers = self.pool.num_threads();
+        let num_packs = s.num_packs();
+        if workers == 1 {
+            // A single worker's program order is exactly the two-phase sweep;
+            // skip the gate and ticket atomics entirely.
+            for p in 0..num_packs {
+                let rows = s.pack_rows(p);
+                if !rows.is_empty() {
+                    gather(rows);
+                }
+                for t in 0..split.chain_super_rows(p).len() {
+                    chain(p, t);
+                }
+            }
+            return;
+        }
+        // Gate arrival counts and per-chunk readiness, precomputed by the
+        // calling thread (one O(n) sweep over the readiness metadata).
+        let mut counts = Vec::with_capacity(num_packs);
+        let mut chunk_ptr = Vec::with_capacity(num_packs + 1);
+        let mut chunk_dep: Vec<u32> = Vec::new();
+        chunk_ptr.push(0usize);
+        for p in 0..num_packs {
+            let rows = s.pack_rows(p);
+            let m = rows.len();
+            let nchunks = workers.min(m);
+            for c in 0..nchunks {
+                let chunk = rows.start + c * m / nchunks..rows.start + (c + 1) * m / nchunks;
+                chunk_dep.push(split.range_ext_dep(chunk));
+            }
+            chunk_ptr.push(chunk_dep.len());
+            counts.push((nchunks, split.chain_super_rows(p).len()));
+        }
+        let gate = EpochGate::new(&counts);
+        let tickets: Vec<AtomicUsize> = (0..num_packs).map(|_| AtomicUsize::new(0)).collect();
+        // Runs worker `w`'s phase-1 chunk of pack `p` (a no-op returning
+        // `true` when the worker owns none). Non-blocking mode refuses —
+        // returning `false` — instead of waiting for the chunk's readiness.
+        let run_chunk = |w: usize, p: usize, blocking: bool| -> bool {
+            let nchunks = chunk_ptr[p + 1] - chunk_ptr[p];
+            if w < nchunks {
+                let dep = chunk_dep[chunk_ptr[p] + w] as usize;
+                if blocking {
+                    gate.wait_open(dep);
+                } else if !gate.is_open(dep) {
+                    return false;
+                }
+                let rows = s.pack_rows(p);
+                let m = rows.len();
+                gather(rows.start + w * m / nchunks..rows.start + (w + 1) * m / nchunks);
+                gate.arrive_phase1(p);
+            }
+            true
+        };
+        self.pool.parallel_for(workers, Schedule::Static, &|w| {
+            // The next pack whose phase-1 chunk this worker still owes;
+            // lookahead advances it past the pack being processed.
+            let mut next_p1 = 0usize;
+            for p in 0..num_packs {
+                if next_p1 == p {
+                    run_chunk(w, p, true);
+                    next_p1 = p + 1;
+                }
+                let ntasks = counts[p].1;
+                if ntasks == 0 {
+                    continue;
+                }
+                let mut spins = 0u32;
+                loop {
+                    if !gate.phase1_drained(p) {
+                        // Parked: gather ahead into the next packs instead of
+                        // spinning (readiness permitting).
+                        if next_p1 < num_packs
+                            && next_p1 - p <= PIPELINE_LOOKAHEAD
+                            && run_chunk(w, next_p1, false)
+                        {
+                            next_p1 += 1;
+                            spins = 0;
+                        } else if spins < 64 {
+                            spins += 1;
+                            std::hint::spin_loop();
+                        } else {
+                            // Possibly oversubscribed: let the stragglers run.
+                            std::thread::yield_now();
+                        }
+                        continue;
+                    }
+                    let t = tickets[p].fetch_add(1, AtomicOrdering::Relaxed);
+                    if t >= ntasks {
+                        break;
+                    }
+                    chain(p, t);
+                    gate.arrive_phase2(p);
+                }
+            }
+        });
+    }
 }
+
+/// How many packs past the one a worker is parked on it may gather ahead
+/// into (packs `p + 1` and `p + 2`): enough to hide short chains without
+/// letting fast workers run arbitrarily far from the cache-resident frontier.
+const PIPELINE_LOOKAHEAD: usize = 2;
 
 #[cfg(test)]
 mod tests {
@@ -514,6 +840,79 @@ mod tests {
         assert!(solver.solve_split(&s, &[1.0; 4]).is_err());
         assert!(solver.solve_batch(&s, &[1.0; 9], 0).is_err());
         assert!(solver.solve_batch(&s, &[1.0; 10], 2).is_err());
+        assert!(solver.solve_pipelined(&s, &[1.0; 4]).is_err());
+        assert!(solver.solve_batch_pipelined(&s, &[1.0; 9], 0).is_err());
+        assert!(solver.solve_batch_pipelined(&s, &[1.0; 10], 2).is_err());
+    }
+
+    #[test]
+    fn pipelined_solver_matches_sequential_for_all_methods_and_threads() {
+        let a = generators::triangulated_grid(14, 14, 2).unwrap();
+        let l = generators::lower_operand(&a).unwrap();
+        for method in Method::all() {
+            let s = method.build(&l, 8).unwrap();
+            let x_true: Vec<f64> = (0..s.n()).map(|i| 1.0 + (i % 5) as f64 * 0.3).collect();
+            let b = s.lower().multiply(&x_true).unwrap();
+            let seq = s.solve_sequential(&b).unwrap();
+            for threads in [1, 2, 4, 8] {
+                let solver = ParallelSolver::new(threads, Schedule::Guided { min_chunk: 1 });
+                let par = solver.solve_pipelined(&s, &b).unwrap();
+                assert!(
+                    ops::relative_error_inf(&par, &seq) < 1e-12,
+                    "{} pipelined with {threads} threads diverged from sequential",
+                    method.label()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pipelined_solver_is_stable_under_repeated_contention() {
+        // The chain-heaviest ordering (level sets) re-solved many times on an
+        // oversubscribed pool: races between lookahead gathers and chain
+        // corrections would show up as sporadic divergence.
+        let a = generators::grid2d_laplacian(24, 24).unwrap();
+        let l = generators::lower_operand(&a).unwrap();
+        let s = Method::Csr3Ls.build(&l, 6).unwrap();
+        let x_true: Vec<f64> = (0..s.n()).map(|i| 1.0 + (i % 7) as f64 * 0.2).collect();
+        let b = s.lower().multiply(&x_true).unwrap();
+        let seq = s.solve_sequential(&b).unwrap();
+        let solver = ParallelSolver::new(8, Schedule::Guided { min_chunk: 1 });
+        for round in 0..50 {
+            let par = solver.solve_pipelined(&s, &b).unwrap();
+            assert!(
+                ops::relative_error_inf(&par, &seq) < 1e-12,
+                "pipelined diverged on round {round}"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_pipelined_matches_single_rhs_solves() {
+        let a = generators::grid2d_9point(12, 12).unwrap();
+        let l = generators::lower_operand(&a).unwrap();
+        let s = Method::Sts3.build(&l, 6).unwrap();
+        let n = s.n();
+        let nrhs = 3;
+        let mut b = vec![0.0; n * nrhs];
+        let mut expected = vec![0.0; n * nrhs];
+        for r in 0..nrhs {
+            let x_true: Vec<f64> = (0..n).map(|i| (i + r) as f64 * 0.1 + 1.0).collect();
+            let br = s.lower().multiply(&x_true).unwrap();
+            let xr = s.solve_sequential(&br).unwrap();
+            for i in 0..n {
+                b[i * nrhs + r] = br[i];
+                expected[i * nrhs + r] = xr[i];
+            }
+        }
+        for threads in [1, 3, 8] {
+            let solver = ParallelSolver::new(threads, Schedule::Guided { min_chunk: 1 });
+            let x = solver.solve_batch_pipelined(&s, &b, nrhs).unwrap();
+            assert!(
+                ops::relative_error_inf(&x, &expected) < 1e-12,
+                "batch pipelined diverged with {threads} threads"
+            );
+        }
     }
 
     #[test]

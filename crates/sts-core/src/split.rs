@@ -21,22 +21,29 @@
 //! external slab is one dense streamable range. The reciprocal of each
 //! diagonal is precomputed so the substitution multiplies instead of divides.
 //!
+//! For the pack-pipelined kernel the layout additionally records **readiness
+//! metadata**: for every row, the latest earlier pack its external entries
+//! read ([`SplitLayout::ext_dep`], encoded as `pack + 1`, `0` for none). A
+//! phase-1 gather chunk is ready as soon as the packs `0..max(ext_dep)` of
+//! its rows are *done* — typically much earlier than "the previous pack is
+//! done", which is the slack barrier fusion converts into overlap.
+//!
 //! The layout duplicates the operand's off-diagonal storage (ext + int slabs
 //! hold every strictly-lower entry exactly once, next to the original CSR
-//! arrays) and is built eagerly by every
-//! [`StsStructure::new`](crate::csrk::StsStructure::new), so the space and
-//! build-time cost is paid even by callers who only use the unsplit
-//! kernels. That is the standard space/time trade of split-format
-//! triangular solvers; a lazy or builder-gated construction for
-//! memory-constrained callers is a ROADMAP follow-up.
+//! arrays). It is therefore built **lazily**: [`StsStructure::split`] builds
+//! it on first use (and the split kernels force it), so unsplit-only callers
+//! skip the ≈2× off-diagonal storage and the build sweep entirely.
+//!
+//! [`StsStructure::split`]: crate::csrk::StsStructure::split
 //!
 //! [`StsStructure::validate`]: crate::csrk::StsStructure::validate
 
 use sts_matrix::LowerTriangularCsr;
 
 /// Per-row split of the reordered operand into external (off-pack) and
-/// internal (in-pack) slabs. Built once by
-/// [`StsStructure::new`](crate::csrk::StsStructure::new); immutable
+/// internal (in-pack) slabs, plus the readiness metadata the pipelined
+/// kernel schedules against. Built lazily by the first
+/// [`StsStructure::split`](crate::csrk::StsStructure::split) call; immutable
 /// afterwards.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SplitLayout {
@@ -72,27 +79,13 @@ pub struct SplitLayout {
     chain_rows: Vec<u32>,
     /// Task pointer into `chain_rows` (`chain_srs.len() + 1` entries).
     chain_row_ptr: Vec<usize>,
+    /// Per-row readiness: `1 + (latest pack referenced by the row's external
+    /// entries)`, `0` when the row has none. The row's phase-1 gather may run
+    /// as soon as packs `0..ext_dep[i]` are done.
+    ext_dep: Vec<u32>,
 }
 
 impl SplitLayout {
-    /// A zero-row placeholder used while a structure is still being
-    /// validated.
-    pub(crate) fn empty() -> SplitLayout {
-        SplitLayout {
-            ext_row_ptr: vec![0],
-            ext_cols: Vec::new(),
-            ext_vals: Vec::new(),
-            int_row_ptr: vec![0],
-            int_cols: Vec::new(),
-            int_vals: Vec::new(),
-            inv_diag: Vec::new(),
-            chain_srs: Vec::new(),
-            chain_sr_ptr: vec![0],
-            chain_rows: Vec::new(),
-            chain_row_ptr: vec![0],
-        }
-    }
-
     /// Splits the reordered operand's rows at each row's pack boundary.
     ///
     /// `pack_start_row[i]` must be the first row of the pack containing row
@@ -116,6 +109,13 @@ impl SplitLayout {
         let col_idx = l.col_idx();
         let values = l.values();
         let off_diag = l.nnz() - n;
+        let num_packs = index3.len() - 1;
+        // Row → pack lookup, for the readiness metadata below.
+        let mut pack_of_row = vec![0u32; n];
+        for p in 0..num_packs {
+            let rows = index2[index3[p]]..index2[index3[p + 1]];
+            pack_of_row[rows].fill(p as u32);
+        }
         let mut ext_row_ptr = Vec::with_capacity(n + 1);
         let mut int_row_ptr = Vec::with_capacity(n + 1);
         let mut ext_cols = Vec::with_capacity(off_diag);
@@ -123,16 +123,19 @@ impl SplitLayout {
         let mut int_cols = Vec::new();
         let mut int_vals = Vec::new();
         let mut inv_diag = Vec::with_capacity(n);
+        let mut ext_dep = Vec::with_capacity(n);
         ext_row_ptr.push(0);
         int_row_ptr.push(0);
         for i in 0..n {
             let start = row_ptr[i];
             let end = row_ptr[i + 1];
             let pack_start = pack_start_row[i];
+            let mut dep = 0u32;
             for k in start..end - 1 {
                 if col_idx[k] < pack_start {
                     ext_cols.push(col_idx[k] as u32);
                     ext_vals.push(values[k]);
+                    dep = dep.max(pack_of_row[col_idx[k]] + 1);
                 } else {
                     int_cols.push(col_idx[k] as u32);
                     int_vals.push(values[k]);
@@ -141,11 +144,15 @@ impl SplitLayout {
             ext_row_ptr.push(ext_cols.len());
             int_row_ptr.push(int_cols.len());
             inv_diag.push(1.0 / values[end - 1]);
+            debug_assert!(
+                dep <= pack_of_row[i],
+                "external reads stay in earlier packs"
+            );
+            ext_dep.push(dep);
         }
         // Group the super-rows that own internal entries ("chain tasks") by
         // pack, and record each task's chain rows so phase 2 visits nothing
         // else.
-        let num_packs = index3.len() - 1;
         let mut chain_srs = Vec::new();
         let mut chain_sr_ptr = Vec::with_capacity(num_packs + 1);
         let mut chain_rows = Vec::new();
@@ -178,6 +185,7 @@ impl SplitLayout {
             chain_sr_ptr,
             chain_rows,
             chain_row_ptr,
+            ext_dep,
         }
     }
 
@@ -273,6 +281,25 @@ impl SplitLayout {
         &self.chain_rows[self.chain_row_ptr[task]..self.chain_row_ptr[task + 1]]
     }
 
+    /// Per-row readiness metadata: `ext_dep()[i]` is `1 +` the latest pack
+    /// referenced by row `i`'s external entries (`0` when it has none). Row
+    /// `i`'s phase-1 gather may run as soon as packs `0..ext_dep()[i]` are
+    /// done.
+    #[inline]
+    pub fn ext_dep(&self) -> &[u32] {
+        &self.ext_dep
+    }
+
+    /// Readiness of a contiguous row range (a phase-1 gather chunk): the
+    /// number of leading packs that must be done before every external read
+    /// of the range is final. Always `≤` the range's own pack, and for
+    /// chained orderings typically `<` — the slack the pipelined kernel
+    /// overlaps.
+    #[inline]
+    pub fn range_ext_dep(&self, rows: std::ops::Range<usize>) -> u32 {
+        self.ext_dep[rows].iter().copied().max().unwrap_or(0)
+    }
+
     /// External entries of a contiguous row range, as one streamable slab
     /// (used by benches to verify the layout is contiguous per pack).
     pub fn ext_range_nnz(&self, rows: std::ops::Range<usize>) -> usize {
@@ -356,6 +383,49 @@ mod tests {
             let int_sum: usize = rows.clone().map(|i| split.int_row(i).0.len()).sum();
             assert_eq!(split.ext_range_nnz(rows.clone()), ext_sum);
             assert_eq!(split.int_range_nnz(rows), int_sum);
+        }
+    }
+
+    #[test]
+    fn readiness_metadata_bounds_every_external_read() {
+        let a = generators::triangulated_grid(12, 12, 7).unwrap();
+        let l = generators::lower_operand(&a).unwrap();
+        for method in Method::all() {
+            let s = method.build(&l, 8).unwrap();
+            let split = s.split();
+            // Row → pack lookup from the structure.
+            let mut pack_of = vec![0usize; s.n()];
+            for p in 0..s.num_packs() {
+                for r in s.pack_rows(p) {
+                    pack_of[r] = p;
+                }
+            }
+            let mut any_slack = false;
+            for p in 0..s.num_packs() {
+                let rows = s.pack_rows(p);
+                assert!(split.range_ext_dep(rows.clone()) as usize <= p);
+                for i in rows {
+                    let dep = split.ext_dep()[i];
+                    let (cols, _) = split.ext_row(i);
+                    // dep is exactly 1 + the latest referenced pack.
+                    let latest = cols.iter().map(|&j| pack_of[j as usize] + 1).max();
+                    assert_eq!(dep as usize, latest.unwrap_or(0));
+                    if p > 0 && (dep as usize) < p {
+                        any_slack = true;
+                    }
+                }
+            }
+            // The tentpole premise: some rows' gathers are ready before the
+            // predecessor pack finishes (row-granular slack; whole packs
+            // rarely have it under level-set orderings, where every level
+            // depends on its predecessor by construction).
+            if s.num_packs() > 2 {
+                assert!(
+                    any_slack,
+                    "{}: no pipelining slack found in the readiness metadata",
+                    method.label()
+                );
+            }
         }
     }
 

@@ -1,0 +1,300 @@
+//! A counter-based epoch gate for pipelined (barrier-fused) pack execution.
+//!
+//! The split two-phase solver pays two full [`SpinBarrier`]-equivalent pool
+//! barriers per chained pack, even though phase 1 (the external gather) of
+//! pack `p + 1` only depends on packs `≤ p` being *done* — not on every
+//! worker having reached the same program point. [`EpochGate`] replaces those
+//! barriers with per-stage completion counters and a monotone epoch, so idle
+//! workers can run ahead into later stages while stragglers finish:
+//!
+//! * each stage (pack) declares, up front, how many **phase-1 arrivals**
+//!   (static gather chunks) and how many **phase-2 arrivals** (chain tasks)
+//!   it will receive;
+//! * workers report completed work with [`EpochGate::arrive_phase1`] /
+//!   [`EpochGate::arrive_phase2`];
+//! * the *"pack p phase-1 done"* flag is [`EpochGate::phase1_drained`] —
+//!   true once every phase-1 arrival of the stage has been reported;
+//! * the *"pack p done"* flag is the **epoch**: the number of consecutive
+//!   leading stages whose arrivals (both phases) have all been reported.
+//!   [`EpochGate::is_open`]`(d)` asks whether stages `0..d` are done, which
+//!   is exactly the readiness test for a gather chunk whose latest external
+//!   read targets pack `d - 1`.
+//!
+//! # Memory ordering
+//!
+//! Arrivals decrement their counters with `AcqRel`; successive decrements of
+//! one counter form a single release sequence, so a thread that observes a
+//! counter at zero with an `Acquire` load synchronises with *every* arriving
+//! thread — all writes made before any arrival are visible behind the flag.
+//! The epoch is advanced (with a release CAS) only after acquiring such a
+//! zero, and epoch waiters use `Acquire` loads, so visibility chains
+//! transitively across stages and across whichever threads happened to do the
+//! advancing: `is_open(d)` returning `true` happens-after every write made
+//! before every arrival of stages `0..d`.
+//!
+//! Zero-arrival stages (empty packs) complete implicitly: the advance loop
+//! walks past them the moment the epoch reaches them (or at construction).
+//!
+//! The gate is built per solve (two counters per stage); it is intentionally
+//! not reusable, which keeps the protocol monotone and the reasoning simple.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Spins briefly, then yields: the workers may be oversubscribed (more
+/// workers than cores, e.g. the single-core CI host), so unbounded spinning
+/// would starve the very thread being waited on.
+#[inline]
+fn relax(spins: &mut u32) {
+    *spins += 1;
+    if *spins < 64 {
+        std::hint::spin_loop();
+    } else {
+        std::thread::yield_now();
+    }
+}
+
+/// Per-stage completion counters with a monotone "stages done" epoch; see
+/// the module documentation for the protocol.
+#[derive(Debug)]
+pub struct EpochGate {
+    /// Number of consecutive leading stages fully done.
+    epoch: AtomicUsize,
+    /// Outstanding phase-1 arrivals per stage.
+    phase1_remaining: Box<[AtomicUsize]>,
+    /// Outstanding arrivals (phase 1 + phase 2) per stage.
+    total_remaining: Box<[AtomicUsize]>,
+}
+
+impl EpochGate {
+    /// Creates a gate over `counts.len()` stages, where `counts[s]` is the
+    /// `(phase-1, phase-2)` arrival count stage `s` expects.
+    pub fn new(counts: &[(usize, usize)]) -> Self {
+        let gate = EpochGate {
+            epoch: AtomicUsize::new(0),
+            phase1_remaining: counts.iter().map(|&(p1, _)| AtomicUsize::new(p1)).collect(),
+            total_remaining: counts
+                .iter()
+                .map(|&(p1, p2)| AtomicUsize::new(p1 + p2))
+                .collect(),
+        };
+        // Leading zero-arrival stages are complete before anyone arrives.
+        gate.try_advance();
+        gate
+    }
+
+    /// Number of stages.
+    pub fn num_stages(&self) -> usize {
+        self.total_remaining.len()
+    }
+
+    /// The number of consecutive leading stages fully done.
+    pub fn epoch(&self) -> usize {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Whether stages `0..deps` are all done (non-blocking). `true`
+    /// happens-after every write published by those stages' arrivals.
+    #[inline]
+    pub fn is_open(&self, deps: usize) -> bool {
+        self.epoch.load(Ordering::Acquire) >= deps
+    }
+
+    /// Blocks until stages `0..deps` are all done.
+    pub fn wait_open(&self, deps: usize) {
+        let mut spins = 0u32;
+        while !self.is_open(deps) {
+            relax(&mut spins);
+        }
+    }
+
+    /// Whether every phase-1 arrival of `stage` has been reported. `true`
+    /// happens-after every write those arrivals published.
+    #[inline]
+    pub fn phase1_drained(&self, stage: usize) -> bool {
+        self.phase1_remaining[stage].load(Ordering::Acquire) == 0
+    }
+
+    /// Blocks until every phase-1 arrival of `stage` has been reported.
+    pub fn wait_phase1_drained(&self, stage: usize) {
+        let mut spins = 0u32;
+        while !self.phase1_drained(stage) {
+            relax(&mut spins);
+        }
+    }
+
+    /// Reports one completed phase-1 unit of `stage`, publishing the caller's
+    /// writes to threads that subsequently observe the drained flag (or, once
+    /// the stage fully completes, the epoch).
+    pub fn arrive_phase1(&self, stage: usize) {
+        let prev = self.phase1_remaining[stage].fetch_sub(1, Ordering::AcqRel);
+        debug_assert!(prev > 0, "phase-1 over-arrival on stage {stage}");
+        self.complete_one(stage);
+    }
+
+    /// Reports one completed phase-2 unit of `stage`.
+    pub fn arrive_phase2(&self, stage: usize) {
+        self.complete_one(stage);
+    }
+
+    #[inline]
+    fn complete_one(&self, stage: usize) {
+        let prev = self.total_remaining[stage].fetch_sub(1, Ordering::AcqRel);
+        debug_assert!(prev > 0, "over-arrival on stage {stage}");
+        if prev == 1 {
+            self.try_advance();
+        }
+    }
+
+    /// Advances the epoch over every consecutive complete stage. Racing
+    /// advancers are harmless: the CAS keeps the epoch monotone, and each
+    /// competitor re-reads and retries until the frontier stage is
+    /// incomplete.
+    fn try_advance(&self) {
+        loop {
+            let e = self.epoch.load(Ordering::Acquire);
+            if e >= self.num_stages() || self.total_remaining[e].load(Ordering::Acquire) != 0 {
+                return;
+            }
+            // AcqRel: acquire the previous advancer's chain, release our
+            // observation of stage `e`'s completed arrivals to epoch waiters.
+            let _ = self
+                .epoch
+                .compare_exchange(e, e + 1, Ordering::AcqRel, Ordering::Acquire);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
+
+    #[test]
+    fn empty_stages_complete_at_construction() {
+        let gate = EpochGate::new(&[(0, 0), (0, 0), (0, 0)]);
+        assert_eq!(gate.epoch(), 3);
+        assert!(gate.is_open(3));
+        assert!(gate.phase1_drained(1));
+    }
+
+    #[test]
+    fn epoch_advances_only_over_consecutive_complete_stages() {
+        let gate = EpochGate::new(&[(1, 1), (2, 0), (0, 0)]);
+        assert_eq!(gate.epoch(), 0);
+        assert!(!gate.phase1_drained(0));
+        gate.arrive_phase1(0);
+        assert!(gate.phase1_drained(0));
+        assert_eq!(gate.epoch(), 0, "phase 2 of stage 0 still outstanding");
+        // Completing a *later* stage must not open earlier ones.
+        gate.arrive_phase1(1);
+        gate.arrive_phase1(1);
+        assert_eq!(gate.epoch(), 0);
+        // The last arrival of stage 0 sweeps the epoch across stage 1 and the
+        // empty stage 2.
+        gate.arrive_phase2(0);
+        assert_eq!(gate.epoch(), 3);
+        assert!(gate.is_open(3));
+    }
+
+    #[test]
+    fn single_threaded_in_order_use_never_blocks() {
+        let stages = 20;
+        let counts: Vec<(usize, usize)> = (0..stages).map(|s| (1 + s % 3, s % 2)).collect();
+        let gate = EpochGate::new(&counts);
+        for (s, &(p1, p2)) in counts.iter().enumerate() {
+            gate.wait_open(s); // deps of an in-order caller are always met
+            for _ in 0..p1 {
+                gate.arrive_phase1(s);
+            }
+            gate.wait_phase1_drained(s);
+            for _ in 0..p2 {
+                gate.arrive_phase2(s);
+            }
+        }
+        assert_eq!(gate.epoch(), stages);
+    }
+
+    /// The flags must publish the arriving threads' writes: a reader that
+    /// sees `is_open(k)` must see every pre-arrival store of stages `< k`.
+    /// Repeated under contention as a poor man's loom-style stress test.
+    #[test]
+    fn flags_publish_writes_under_contention() {
+        let workers = 4;
+        let stages = 24;
+        for round in 0..60 {
+            let counts: Vec<(usize, usize)> =
+                (0..stages).map(|s| (workers, (s + round) % 3)).collect();
+            let gate = Arc::new(EpochGate::new(&counts));
+            // slots[s][w] is written (non-atomically ordered w.r.t. the gate;
+            // Relaxed stores) before worker w's phase-1 arrival on stage s.
+            let slots: Arc<Vec<Vec<AtomicUsize>>> = Arc::new(
+                (0..stages)
+                    .map(|_| (0..workers).map(|_| AtomicUsize::new(0)).collect())
+                    .collect(),
+            );
+            let phase2_claims: Arc<Vec<AtomicUsize>> =
+                Arc::new((0..stages).map(|_| AtomicUsize::new(0)).collect());
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let gate = Arc::clone(&gate);
+                    let slots = Arc::clone(&slots);
+                    let phase2_claims = Arc::clone(&phase2_claims);
+                    let counts = counts.clone();
+                    std::thread::spawn(move || {
+                        for s in 0..stages {
+                            // Before arriving, check everything the epoch
+                            // claims is published.
+                            let open = gate.epoch();
+                            for done in 0..open {
+                                for v in &slots[done] {
+                                    assert_eq!(
+                                        v.load(std::sync::atomic::Ordering::Relaxed),
+                                        done + 1,
+                                        "stage {done} behind epoch {open} not published"
+                                    );
+                                }
+                            }
+                            slots[s][w].store(s + 1, std::sync::atomic::Ordering::Relaxed);
+                            gate.arrive_phase1(s);
+                            // Dynamically claim this stage's phase-2 units.
+                            loop {
+                                let t = phase2_claims[s]
+                                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                                if t >= counts[s].1 {
+                                    break;
+                                }
+                                gate.wait_phase1_drained(s);
+                                for v in &slots[s] {
+                                    assert_eq!(
+                                        v.load(std::sync::atomic::Ordering::Relaxed),
+                                        s + 1,
+                                        "phase-1 write of stage {s} not published to phase 2"
+                                    );
+                                }
+                                gate.arrive_phase2(s);
+                            }
+                        }
+                        gate.wait_open(stages);
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(gate.epoch(), stages);
+        }
+    }
+
+    #[test]
+    fn out_of_order_completion_is_tolerated() {
+        // Stage 1 completes before stage 0; the epoch must hold at 0 and then
+        // jump to 2.
+        let gate = EpochGate::new(&[(1, 0), (1, 0)]);
+        gate.arrive_phase1(1);
+        assert_eq!(gate.epoch(), 0);
+        assert!(gate.phase1_drained(1));
+        gate.arrive_phase1(0);
+        assert_eq!(gate.epoch(), 2);
+    }
+}

@@ -14,16 +14,21 @@
 //! * [`affinity`] — thread pinning (`sched_setaffinity` on Linux, no-op
 //!   elsewhere), the equivalent of the paper's `KMP_AFFINITY=compact`;
 //! * [`barrier`] — a sense-reversing spin barrier used between packs;
+//! * [`epoch`] — a counter-based epoch gate that fuses the per-pack barriers
+//!   of the split solver into per-stage completion flags, enabling pack
+//!   pipelining (phase 1 of pack `p+1` overlapping phase 2 of pack `p`);
 //! * [`pool`] — a persistent, optionally pinned worker pool with the static /
 //!   dynamic / guided loop schedules the paper tunes per solver.
 
 pub mod affinity;
 pub mod barrier;
+pub mod epoch;
 pub mod latency;
 pub mod pool;
 pub mod topology;
 
 pub use barrier::SpinBarrier;
+pub use epoch::EpochGate;
 pub use latency::{AccessKind, LatencyModel};
 pub use pool::{Schedule, WorkerPool};
 pub use topology::{NumaDistance, NumaTopology};

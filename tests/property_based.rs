@@ -90,7 +90,7 @@ proptest! {
                 }
                 let xb = s.solve_batch(&bb, nrhs).unwrap();
                 prop_assert!(ops::relative_error_inf(&xb, &expected) < 1e-12);
-                for threads in [1usize, 2, 4] {
+                for threads in [1usize, 2, 4, 8] {
                     let solver = ParallelSolver::new(threads, Schedule::Guided { min_chunk: 1 });
                     let par_split = solver.solve_split(&s, &b).unwrap();
                     prop_assert!(
@@ -98,10 +98,22 @@ proptest! {
                         "solve_split diverged ({:?}, k={k}, {threads} threads, n={n})",
                         ordering
                     );
+                    let par_piped = solver.solve_pipelined(&s, &b).unwrap();
+                    prop_assert!(
+                        ops::relative_error_inf(&par_piped, &seq) < 1e-12,
+                        "solve_pipelined diverged ({:?}, k={k}, {threads} threads, n={n})",
+                        ordering
+                    );
                     let par_batch = solver.solve_batch(&s, &bb, nrhs).unwrap();
                     prop_assert!(
                         ops::relative_error_inf(&par_batch, &expected) < 1e-12,
                         "solve_batch diverged ({:?}, k={k}, {threads} threads, n={n})",
+                        ordering
+                    );
+                    let batch_piped = solver.solve_batch_pipelined(&s, &bb, nrhs).unwrap();
+                    prop_assert!(
+                        ops::relative_error_inf(&batch_piped, &expected) < 1e-12,
+                        "solve_batch_pipelined diverged ({:?}, k={k}, {threads} threads, n={n})",
                         ordering
                     );
                 }
@@ -202,8 +214,9 @@ proptest! {
     }
 }
 
-/// The split/batch agreement invariant on every matrix of the synthetic
-/// suite (deterministic, so suite regressions are reported by name).
+/// The split/pipelined/batch agreement invariant on every matrix of the
+/// synthetic suite (deterministic, so suite regressions are reported by
+/// name).
 #[test]
 fn split_kernels_match_sequential_on_the_synthetic_suite() {
     let suite = TestSuite::generate(SuiteScale::Tiny).unwrap();
@@ -241,11 +254,17 @@ fn split_kernels_match_sequential_on_the_synthetic_suite() {
                     "sequential batch diverged on {} ({ordering:?}, k={k})",
                     m.id.label()
                 );
-                for threads in [1usize, 2, 4] {
+                for threads in [1usize, 2, 4, 8] {
                     let solver = ParallelSolver::new(threads, Schedule::Guided { min_chunk: 1 });
                     assert!(
                         ops::relative_error_inf(&solver.solve_split(&s, &b).unwrap(), &seq) < 1e-12,
                         "solve_split diverged on {} ({ordering:?}, k={k}, {threads} threads)",
+                        m.id.label()
+                    );
+                    assert!(
+                        ops::relative_error_inf(&solver.solve_pipelined(&s, &b).unwrap(), &seq)
+                            < 1e-12,
+                        "solve_pipelined diverged on {} ({ordering:?}, k={k}, {threads} threads)",
                         m.id.label()
                     );
                     assert!(
@@ -254,6 +273,14 @@ fn split_kernels_match_sequential_on_the_synthetic_suite() {
                             &expected
                         ) < 1e-12,
                         "solve_batch diverged on {} ({ordering:?}, k={k}, {threads} threads)",
+                        m.id.label()
+                    );
+                    assert!(
+                        ops::relative_error_inf(
+                            &solver.solve_batch_pipelined(&s, &bb, nrhs).unwrap(),
+                            &expected
+                        ) < 1e-12,
+                        "solve_batch_pipelined diverged on {} ({ordering:?}, k={k}, {threads} threads)",
                         m.id.label()
                     );
                 }

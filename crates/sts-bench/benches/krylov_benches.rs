@@ -1,0 +1,68 @@
+//! Criterion benchmarks of the end-to-end Krylov workload: PCG on the
+//! 200×200 grid Laplacian, comparing sequential-sweep against
+//! pipelined-sweep preconditioning.
+//!
+//! Both engines run bitwise-identical arithmetic, so every timed solve
+//! performs exactly the same iteration count — the measured difference is
+//! pure sweep-kernel speed. A per-application pair (one SSOR application,
+//! no CG around it) isolates the sweeps themselves.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sts_core::Method;
+use sts_krylov::{Ic0, KrylovWorkspace, Pcg, Preconditioner, SpdSystem, Ssor, SweepEngine};
+use sts_matrix::{generators, ops};
+use sts_numa::Schedule;
+
+fn krylov_benchmarks(c: &mut Criterion) {
+    let a = generators::grid2d_laplacian(200, 200).expect("grid dimensions are valid");
+    let sys = SpdSystem::build(&a, Method::Sts3, 80).expect("laplacian binds to STS-3");
+    let n = sys.n();
+    let threads = std::thread::available_parallelism()
+        .map(|c| c.get())
+        .unwrap_or(1);
+    let pcg = Pcg::new(threads, Schedule::Guided { min_chunk: 1 });
+    let x_true: Vec<f64> = (0..n)
+        .map(|i| ((i * 7919) % 101) as f64 * 0.02 - 1.0)
+        .collect();
+    let b = ops::spmv(&a, &x_true).expect("dimensions match");
+    let mut ws = KrylovWorkspace::new(n);
+
+    let mut group = c.benchmark_group("pcg_200x200");
+    for engine in [SweepEngine::Sequential, SweepEngine::Pipelined] {
+        let label = match engine {
+            SweepEngine::Sequential => "seq_sweeps",
+            SweepEngine::Pipelined => "pipelined_sweeps",
+        };
+        let mut pre = Ssor::new(&sys, pcg.solver(), engine);
+        // Warm-up outside the timer: forces the lazy split layouts.
+        let warm = pcg
+            .solve(&sys, &mut pre, &b, &mut ws)
+            .expect("PCG converges");
+        assert!(warm.converged);
+        group.bench_with_input(BenchmarkId::new("ssor_solve", label), &sys, |bench, sys| {
+            bench.iter(|| pcg.solve(sys, &mut pre, &b, &mut ws).unwrap())
+        });
+        group.bench_with_input(
+            BenchmarkId::new("ssor_apply", label),
+            &sys,
+            |bench, _sys| {
+                let mut z = vec![0.0; n];
+                let mut sweep = vec![0.0; n];
+                bench.iter(|| {
+                    pre.apply_into(pcg.solver(), &b, &mut z, &mut sweep)
+                        .unwrap()
+                })
+            },
+        );
+    }
+    let mut ic0 = Ic0::new(&sys, pcg.solver(), SweepEngine::Pipelined).expect("laplacian is SPD");
+    group.bench_with_input(
+        BenchmarkId::new("ic0_solve", "pipelined_sweeps"),
+        &sys,
+        |bench, sys| bench.iter(|| pcg.solve(sys, &mut ic0, &b, &mut ws).unwrap()),
+    );
+    group.finish();
+}
+
+criterion_group!(benches, krylov_benchmarks);
+criterion_main!(benches);

@@ -9,7 +9,11 @@
 //!   barrier-bound cycles of the split vs. pipelined schedules;
 //! * measured wall-clock seconds on the host for the sequential, parallel,
 //!   split, pipelined and batched (4 RHS, per-system, split and pipelined)
-//!   kernels, and the pipelined-vs-split wall-time ratio.
+//!   kernels, and the pipelined-vs-split wall-time ratio;
+//! * the end-to-end Krylov workload: SSOR-PCG on the same matrix with
+//!   pipelined sweeps (`pcg_iters`, `pcg_wall_ns`, `pcg_precond_share`) —
+//!   the trend line that catches regressions in what the triangular kernels
+//!   are *for*, not just in the kernels themselves.
 //!
 //! Run with `cargo run --release -p sts-bench --bin bench_smoke`. The output
 //! is one line so CI logs diff cleanly across PRs.
@@ -26,6 +30,7 @@ use std::time::Instant;
 use serde::Serialize;
 use sts_bench::harness::{self, Machine};
 use sts_core::{Method, ParallelSolver};
+use sts_krylov::{KrylovWorkspace, Pcg, SpdSystem, Ssor, SweepEngine};
 use sts_matrix::generators;
 
 #[derive(Serialize)]
@@ -59,6 +64,12 @@ struct Smoke {
     wall_pipelined_vs_split_speedup: f64,
     wall_batch4_per_rhs_s: f64,
     wall_batch4_pipelined_per_rhs_s: f64,
+    /// SSOR-PCG (pipelined sweeps, 1e-8 relative) on the same matrix:
+    /// iterations to convergence, best-of-blocks wall nanoseconds per solve,
+    /// and the fraction of solve time spent inside the preconditioner.
+    pcg_iters: usize,
+    pcg_wall_ns: f64,
+    pcg_precond_share: f64,
 }
 
 fn main() {
@@ -114,6 +125,30 @@ fn main() {
         solver.solve_batch_pipelined(s, &b4, nrhs).unwrap()
     });
 
+    // End-to-end Krylov workload: SSOR-PCG with pipelined sweeps on the same
+    // operator. One warm-up solve builds the lazy layouts; the reported wall
+    // time is the best of a few solves (scheduler noise only adds time).
+    let sys = SpdSystem::build(&a, Method::Sts3, 80).expect("laplacian binds to STS-3");
+    let pcg = Pcg::new(threads, harness::paper_schedule(run.method));
+    let mut pre = Ssor::new(&sys, pcg.solver(), SweepEngine::Pipelined);
+    let x_pcg: Vec<f64> = (0..sys.n())
+        .map(|i| ((i * 7919) % 101) as f64 * 0.02 - 1.0)
+        .collect();
+    let b_pcg = sts_matrix::ops::spmv(&a, &x_pcg).expect("dimensions match");
+    let mut ws = KrylovWorkspace::new(sys.n());
+    let mut best = pcg
+        .solve(&sys, &mut pre, &b_pcg, &mut ws)
+        .expect("warm-up PCG solve succeeds");
+    for _ in 0..4 {
+        let out = pcg
+            .solve(&sys, &mut pre, &b_pcg, &mut ws)
+            .expect("PCG solve succeeds");
+        assert_eq!(out.iterations, best.iterations, "PCG must be deterministic");
+        if out.seconds_total < best.seconds_total {
+            best = out;
+        }
+    }
+
     let smoke = Smoke {
         matrix: "grid2d_laplacian_200x200".to_string(),
         n: s.n(),
@@ -137,6 +172,9 @@ fn main() {
         wall_pipelined_vs_split_speedup: paired_split_s / paired_piped_s,
         wall_batch4_per_rhs_s: wall_batch4_s / nrhs as f64,
         wall_batch4_pipelined_per_rhs_s: wall_batch4_piped_s / nrhs as f64,
+        pcg_iters: best.iterations,
+        pcg_wall_ns: best.seconds_total * 1e9,
+        pcg_precond_share: best.precond_share(),
     };
     let line = serde_json::to_string(&smoke).expect("smoke record serialises");
     println!("{line}");

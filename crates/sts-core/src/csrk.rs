@@ -19,6 +19,7 @@ use sts_matrix::{LowerTriangularCsr, MatrixError};
 
 use crate::builder::Ordering;
 use crate::split::SplitLayout;
+use crate::transpose::TransposeLayout;
 
 /// Result alias for the core crate.
 pub type Result<T> = std::result::Result<T, MatrixError>;
@@ -37,6 +38,10 @@ pub struct StsStructure {
     /// it roughly doubles the off-diagonal storage, so unsplit-only callers
     /// should not pay for it.
     split: OnceLock<SplitLayout>,
+    /// The transpose (backward-sweep) split layout, likewise built on first
+    /// use ([`StsStructure::transpose_split`]) — only the forward/backward
+    /// sweep pairs of preconditioner applications pay for it.
+    tsplit: OnceLock<TransposeLayout>,
 }
 
 /// Equality ignores the lazy split cache: the layout is a pure function of
@@ -76,6 +81,7 @@ impl StsStructure {
             l,
             perm,
             split: OnceLock::new(),
+            tsplit: OnceLock::new(),
         };
         s.validate()?;
         if s.n() > 0 && s.n() - 1 > u32::MAX as usize {
@@ -231,6 +237,49 @@ impl StsStructure {
         self.split.get().is_some()
     }
 
+    /// The transpose (backward-sweep) split layout, built on first use like
+    /// [`StsStructure::split`]. See [`TransposeLayout`] for the
+    /// reverse-pack-order correctness argument the backward kernels rely on.
+    pub fn transpose_split(&self) -> &TransposeLayout {
+        self.tsplit
+            .get_or_init(|| TransposeLayout::build(&self.l, &self.index3, &self.index2))
+    }
+
+    /// Whether the transpose split layout has been built yet (diagnostic).
+    pub fn transpose_split_built(&self) -> bool {
+        self.tsplit.get().is_some()
+    }
+
+    /// Rebuilds this structure around a different operand that shares the
+    /// hierarchy: same dimension, same pack / super-row boundaries, and a
+    /// sparsity pattern that still satisfies the pack-independence invariant
+    /// (validated). The permutation is carried over unchanged.
+    ///
+    /// This is the factored-preconditioner entry point: an incomplete
+    /// Cholesky factor has exactly the sparsity pattern of the reordered
+    /// operand's lower triangle, so the ordering computed once for the
+    /// system matrix (and the split layouts derived from it) can host the
+    /// factor's values without re-running the ordering pipeline. The split
+    /// layouts themselves are value-bearing and are rebuilt lazily on the
+    /// returned structure.
+    pub fn with_operand(&self, l: LowerTriangularCsr) -> Result<StsStructure> {
+        if l.n() != self.n() {
+            return Err(MatrixError::DimensionMismatch(format!(
+                "replacement operand is {}x{0}, structure expects {1}x{1}",
+                l.n(),
+                self.n()
+            )));
+        }
+        StsStructure::new(
+            self.k,
+            self.ordering,
+            self.index3.clone(),
+            self.index2.clone(),
+            l,
+            self.perm.clone(),
+        )
+    }
+
     /// Solves `L' x' = b'` sequentially on the dependency-split layout.
     ///
     /// Produces the same iteration order as [`StsStructure::solve_sequential`]
@@ -241,14 +290,24 @@ impl StsStructure {
     /// unsplit kernel, so results agree to rounding (≤ 1e-12 relative), not
     /// bitwise.
     pub fn solve_sequential_split(&self, b: &[f64]) -> Result<Vec<f64>> {
-        if b.len() != self.n() {
+        let mut x = vec![0.0; self.n()];
+        self.solve_sequential_split_into(b, &mut x)?;
+        Ok(x)
+    }
+
+    /// [`StsStructure::solve_sequential_split`] into a caller-provided
+    /// buffer: no heap allocation, so repeated solves on one structure (the
+    /// preconditioner pattern) stay allocation-free after the lazy layout
+    /// build.
+    pub fn solve_sequential_split_into(&self, b: &[f64], x: &mut [f64]) -> Result<()> {
+        if b.len() != self.n() || x.len() != self.n() {
             return Err(MatrixError::DimensionMismatch(format!(
-                "b has length {}, expected {}",
+                "b and x must both have length {}, got {} and {}",
+                self.n(),
                 b.len(),
-                self.n()
+                x.len()
             )));
         }
-        let mut x = vec![0.0; self.n()];
         let split = self.split();
         let erp = split.ext_row_ptr();
         let ecols = split.ext_cols();
@@ -283,7 +342,65 @@ impl StsStructure {
                 }
             }
         }
+        Ok(())
+    }
+
+    /// Solves the transposed system `L'ᵀ x' = b'` sequentially on the
+    /// transpose split layout, walking the packs in **reverse** order (see
+    /// [`TransposeLayout`] for why that ordering is correct): per pack, an
+    /// external gather against later (already finished) packs, then the
+    /// within-super-row backward chains in decreasing row order.
+    ///
+    /// The per-row arithmetic is identical to the parallel backward kernels
+    /// regardless of thread count, so sequential- and pipelined-sweep
+    /// callers see bitwise-identical results.
+    pub fn solve_transpose_sequential_split(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let mut x = vec![0.0; self.n()];
+        self.solve_transpose_sequential_split_into(b, &mut x)?;
         Ok(x)
+    }
+
+    /// [`StsStructure::solve_transpose_sequential_split`] into a
+    /// caller-provided buffer (no heap allocation).
+    pub fn solve_transpose_sequential_split_into(&self, b: &[f64], x: &mut [f64]) -> Result<()> {
+        if b.len() != self.n() || x.len() != self.n() {
+            return Err(MatrixError::DimensionMismatch(format!(
+                "b and x must both have length {}, got {} and {}",
+                self.n(),
+                b.len(),
+                x.len()
+            )));
+        }
+        let ts = self.transpose_split();
+        let erp = ts.ext_row_ptr();
+        let ecols = ts.ext_cols();
+        let evals = ts.ext_vals();
+        let irp = ts.int_row_ptr();
+        let icols = ts.int_cols();
+        let ivals = ts.int_vals();
+        let inv_diag = ts.inv_diags();
+        for p in (0..self.num_packs()).rev() {
+            // Phase 1: gather from later packs, all of which are final.
+            for i1 in self.pack_rows(p) {
+                let mut acc = 0.0;
+                for k in erp[i1]..erp[i1 + 1] {
+                    acc += evals[k] * x[ecols[k] as usize];
+                }
+                x[i1] = (b[i1] - acc) * inv_diag[i1];
+            }
+            // Phase 2: backward chains, decreasing row order within a task.
+            for t in 0..ts.chain_super_rows(p).len() {
+                for &i1 in ts.chain_rows_of(p, t) {
+                    let i1 = i1 as usize;
+                    let mut acc = 0.0;
+                    for k in irp[i1]..irp[i1 + 1] {
+                        acc += ivals[k] * x[icols[k] as usize];
+                    }
+                    x[i1] -= acc * inv_diag[i1];
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Solves `L' X' = B'` for `nrhs` right-hand sides at once on the split
@@ -531,6 +648,62 @@ mod tests {
         for (a, b) in x.iter().zip(&x_true) {
             assert!((a - b).abs() < 1e-10);
         }
+    }
+
+    #[test]
+    fn transpose_split_sequential_solve_matches_the_column_sweep() {
+        let s = figure1_flat_structure();
+        let x_true: Vec<f64> = (0..9).map(|i| 1.0 - i as f64 * 0.2).collect();
+        let b = s.lower().multiply_transpose(&x_true).unwrap();
+        let x_ref = s.solve_transpose_sequential(&b).unwrap();
+        assert!(!s.transpose_split_built());
+        let x = s.solve_transpose_sequential_split(&b).unwrap();
+        assert!(s.transpose_split_built());
+        for ((a, b), c) in x.iter().zip(&x_ref).zip(&x_true) {
+            assert!((a - b).abs() < 1e-12);
+            assert!((a - c).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn with_operand_reuses_the_hierarchy_for_new_values() {
+        let s = figure1_flat_structure();
+        // Same pattern, shifted values: scale every stored entry.
+        let mut csr = s.lower().to_csr();
+        for v in csr.values_mut() {
+            *v *= 2.0;
+        }
+        let l2 = LowerTriangularCsr::from_csr(&csr).unwrap();
+        let s2 = s.with_operand(l2).unwrap();
+        assert_eq!(s2.num_packs(), s.num_packs());
+        assert_eq!(s2.index2(), s.index2());
+        let b = vec![1.0; 9];
+        let x = s.solve_sequential(&b).unwrap();
+        let x2 = s2.solve_sequential(&b).unwrap();
+        for (a, b) in x2.iter().zip(&x) {
+            // L₂ = 2 L ⇒ x₂ = x / 2.
+            assert!((a - b / 2.0).abs() < 1e-12);
+        }
+        // A wrong-sized operand is rejected.
+        let tiny = generators::paper_figure1_l();
+        let small = LowerTriangularCsr::from_csr(&tiny.to_csr().lower_triangle()).unwrap();
+        let shrunk = StsStructure::new(
+            1,
+            Ordering::LevelSet,
+            vec![0, 1],
+            vec![0, 5],
+            {
+                let mut coo = sts_matrix::CooMatrix::new(5, 5);
+                for i in 0..5 {
+                    coo.push(i, i, 1.0).unwrap();
+                }
+                LowerTriangularCsr::from_csr(&coo.to_csr()).unwrap()
+            },
+            Permutation::identity(5),
+        )
+        .unwrap();
+        assert_eq!(small.n(), 9);
+        assert!(shrunk.with_operand(small).is_err());
     }
 
     #[test]

@@ -17,6 +17,10 @@
 //!   (streamed by the embarrassingly-parallel gather phase) and an
 //!   *internal* slab holding the true in-pack dependence chains, plus
 //!   per-row readiness metadata for pack pipelining;
+//! * [`transpose`] — the transpose (backward-sweep) split layout: the same
+//!   split applied to `L'ᵀ`, with the packs consumed in reverse order, so
+//!   preconditioner forward/backward sweep pairs both run on the parallel
+//!   engine;
 //! * [`solver`] — the threaded pack-parallel solver (worker pool + barriers),
 //!   its two-phase split variants (`solve_split`, `solve_batch`), the
 //!   pack-pipelined barrier-fused variants (`solve_pipelined`,
@@ -48,9 +52,11 @@ pub mod pack;
 pub mod reorder;
 pub mod solver;
 pub mod split;
+pub mod transpose;
 
 pub use builder::{Method, Ordering, StsBuilder, SuperRowSizing};
 pub use csrk::StsStructure;
 pub use exec::simulated::{SimReport, SimSchedule, SimulatedExecutor, SimulationParams};
-pub use solver::parallel::ParallelSolver;
+pub use solver::parallel::{ParallelSolver, PipelinePlan};
 pub use split::SplitLayout;
+pub use transpose::TransposeLayout;

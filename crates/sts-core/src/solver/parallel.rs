@@ -104,14 +104,44 @@
 //! early still passed that chunk's own readiness check, and writes only rows
 //! of pack `p + 2`, which no other worker touches until the epoch covers
 //! `p + 2` — which cannot happen before the chunk's own arrival.
+//!
+//! # The transpose (backward-sweep) kernels
+//!
+//! [`ParallelSolver::solve_transpose_split`] and
+//! [`ParallelSolver::solve_transpose_pipelined`] run the upper-triangular
+//! system `L'ᵀ x' = b'` with the *same* two-phase / pipelined machinery over
+//! the packs in **reverse order**. The correctness argument (see
+//! [`TransposeLayout`](crate::transpose::TransposeLayout) for the full
+//! statement) is the mirror image of the forward one: in `L'ᵀ`, row `i`
+//! reads only rows `j > i`, and pack independence puts every such
+//! cross-super-row `j` in a strictly *later* pack — already finished when
+//! the reverse sweep reaches `i`'s pack — while same-pack reads stay inside
+//! `i`'s own super-row and run as phase-2 chains in decreasing row order.
+//! The pipelined orchestrator is direction-agnostic: it walks *stages*, and
+//! a [`PipelinePlan`] binds stage `s` to pack `s` (forward) or pack
+//! `num_packs − 1 − s` (backward) with readiness metadata stamped in the
+//! matching stage numbering. The epoch-gate memory-ordering argument above
+//! carries over verbatim with "pack" read as "stage".
+//!
+//! # Reusable plans and the `_into` kernels
+//!
+//! Iterative solvers apply these kernels thousands of times on one
+//! structure. The `solve_*_into` variants take a caller-provided solution
+//! buffer plus a [`PipelinePlan`] — the per-solve scheduling state (gate
+//! arrival counts, per-chunk readiness, phase-2 ticket counters) built once
+//! by [`ParallelSolver::plan`] / [`ParallelSolver::plan_transpose`] and
+//! rewound between solves via the gate's generation-stamped
+//! [`reset`](sts_numa::EpochGate::reset) — so a solve performs **no heap
+//! allocation**. `&mut` on the plan is what makes the reset sound: the
+//! borrow checker guarantees no concurrent solve shares the scheduling
+//! state.
 
 use std::sync::atomic::{AtomicUsize, Ordering as AtomicOrdering};
 
-use sts_matrix::MatrixError;
+use sts_matrix::{CsrMatrix, MatrixError};
 use sts_numa::{EpochGate, Schedule, WorkerPool};
 
 use crate::csrk::{Result, StsStructure};
-use crate::split::SplitLayout;
 
 /// Shared mutable solution vector; see the module documentation for the
 /// aliasing discipline that makes this sound.
@@ -417,64 +447,197 @@ impl ParallelSolver {
         Ok(x)
     }
 
+    /// Builds the reusable pipelined-scheduling state for `s` in the given
+    /// direction (one O(n) sweep over the readiness metadata, forcing the
+    /// corresponding lazy layout).
+    fn build_plan(&self, s: &StsStructure, forward: bool) -> PipelinePlan {
+        let workers = self.pool.num_threads();
+        let num_packs = s.num_packs();
+        let mut stage_rows = Vec::with_capacity(num_packs);
+        let mut ntasks = Vec::with_capacity(num_packs);
+        let mut counts = Vec::with_capacity(num_packs);
+        let mut chunk_ptr = Vec::with_capacity(num_packs + 1);
+        let mut chunk_dep: Vec<u32> = Vec::new();
+        chunk_ptr.push(0usize);
+        for st in 0..num_packs {
+            let p = if forward { st } else { num_packs - 1 - st };
+            let rows = s.pack_rows(p);
+            let m = rows.len();
+            let nchunks = workers.min(m);
+            for c in 0..nchunks {
+                let chunk = rows.start + c * m / nchunks..rows.start + (c + 1) * m / nchunks;
+                chunk_dep.push(if forward {
+                    s.split().range_ext_dep(chunk)
+                } else {
+                    s.transpose_split().range_ext_dep(chunk)
+                });
+            }
+            chunk_ptr.push(chunk_dep.len());
+            let nt = if forward {
+                s.split().chain_super_rows(p).len()
+            } else {
+                s.transpose_split().chain_super_rows(p).len()
+            };
+            counts.push((nchunks, nt));
+            ntasks.push(nt);
+            stage_rows.push(rows);
+        }
+        PipelinePlan {
+            forward,
+            n: s.n(),
+            threads: workers,
+            stage_rows,
+            ntasks,
+            chunk_ptr,
+            chunk_dep,
+            gate: EpochGate::new(&counts),
+            tickets: (0..num_packs).map(|_| AtomicUsize::new(0)).collect(),
+        }
+    }
+
+    /// Builds a reusable [`PipelinePlan`] for forward pipelined solves on
+    /// `s` (`solve_pipelined_into` / `solve_batch_pipelined_into`). Build it
+    /// once per structure; the `_into` kernels rewind it between solves at
+    /// no allocation cost.
+    pub fn plan(&self, s: &StsStructure) -> PipelinePlan {
+        self.build_plan(s, true)
+    }
+
+    /// Builds a reusable [`PipelinePlan`] for backward (transpose) pipelined
+    /// solves on `s` (`solve_transpose_pipelined_into` /
+    /// `solve_transpose_batch_pipelined_into`).
+    pub fn plan_transpose(&self, s: &StsStructure) -> PipelinePlan {
+        self.build_plan(s, false)
+    }
+
+    /// Checks that a plan was built by this solver for this structure and
+    /// direction. Dimensions, stage → row-range bindings and chain-task
+    /// counts are verified on every call (O(num_packs + chunks)), because a
+    /// stale plan would hand the gather closures row ranges that race the
+    /// structure's own chain tasks through [`SharedVec`]; the per-chunk
+    /// readiness values — a pure function of the (already matched) pack
+    /// boundaries and the operand's pattern — are re-derived and compared in
+    /// debug builds.
+    fn check_plan(&self, s: &StsStructure, plan: &PipelinePlan, forward: bool) -> Result<()> {
+        let num_packs = s.num_packs();
+        let mut consistent = plan.forward == forward
+            && plan.n == s.n()
+            && plan.stage_rows.len() == num_packs
+            && plan.threads == self.pool.num_threads();
+        if consistent {
+            for st in 0..num_packs {
+                let p = if forward { st } else { num_packs - 1 - st };
+                let ntasks = if forward {
+                    s.split().chain_super_rows(p).len()
+                } else {
+                    s.transpose_split().chain_super_rows(p).len()
+                };
+                if plan.stage_rows[st] != s.pack_rows(p) || plan.ntasks[st] != ntasks {
+                    consistent = false;
+                    break;
+                }
+            }
+        }
+        if !consistent {
+            return Err(MatrixError::InvalidParameter(format!(
+                "pipeline plan mismatch: plan is {} over {} stages for n = {} on {} threads and \
+                 must have been built from this exact structure, kernel needs {} over {} stages \
+                 for n = {} on {} threads",
+                if plan.forward { "forward" } else { "backward" },
+                plan.stage_rows.len(),
+                plan.n,
+                plan.threads,
+                if forward { "forward" } else { "backward" },
+                num_packs,
+                s.n(),
+                self.pool.num_threads(),
+            )));
+        }
+        #[cfg(debug_assertions)]
+        {
+            let fresh = self.build_plan(s, forward);
+            debug_assert_eq!(
+                fresh.chunk_dep, plan.chunk_dep,
+                "plan readiness metadata is stale for this structure"
+            );
+        }
+        Ok(())
+    }
+
     /// Solves `L' x' = b'` with the pack-pipelined kernel: same arithmetic as
     /// [`ParallelSolver::solve_split`], but the per-pack phase barriers are
     /// fused into an [`EpochGate`] so phase 1 of later packs overlaps phase 2
     /// of earlier ones (see the module documentation). One pool dispatch
     /// covers the whole solve.
     pub fn solve_pipelined(&self, s: &StsStructure, b: &[f64]) -> Result<Vec<f64>> {
-        if b.len() != s.n() {
+        let mut x = vec![0.0f64; s.n()];
+        let mut plan = self.plan(s);
+        self.solve_pipelined_into(s, &mut plan, b, &mut x)?;
+        Ok(x)
+    }
+
+    /// [`ParallelSolver::solve_pipelined`] into a caller-provided buffer
+    /// with a caller-held [`PipelinePlan`]: the hot path for iterative
+    /// solvers, performing no heap allocation.
+    pub fn solve_pipelined_into(
+        &self,
+        s: &StsStructure,
+        plan: &mut PipelinePlan,
+        b: &[f64],
+        x: &mut [f64],
+    ) -> Result<()> {
+        if b.len() != s.n() || x.len() != s.n() {
             return Err(MatrixError::DimensionMismatch(format!(
-                "b has length {}, expected {}",
+                "b and x must both have length {}, got {} and {}",
+                s.n(),
                 b.len(),
-                s.n()
+                x.len()
             )));
         }
-        let mut x = vec![0.0f64; s.n()];
-        {
-            let shared = SharedVec::new(&mut x);
-            let split = s.split();
-            let erp = split.ext_row_ptr();
-            let ecols = split.ext_cols();
-            let evals = split.ext_vals();
-            let irp = split.int_row_ptr();
-            let icols = split.int_cols();
-            let ivals = split.int_vals();
-            let inv_diag = split.inv_diags();
-            let gather = |rows: std::ops::Range<usize>| {
-                for i1 in rows {
-                    let mut acc = 0.0;
-                    for k in erp[i1]..erp[i1 + 1] {
-                        // SAFETY: external columns lie in packs the chunk's
-                        // readiness wait covered; the epoch edge published
-                        // their final values (module docs).
-                        acc += evals[k] * unsafe { shared.read(ecols[k] as usize) };
-                    }
-                    // SAFETY: row i1 is written by exactly one statically
-                    // owned chunk.
-                    unsafe { shared.write(i1, (b[i1] - acc) * inv_diag[i1]) };
+        self.check_plan(s, plan, true)?;
+        let shared = SharedVec::new(x);
+        let split = s.split();
+        let erp = split.ext_row_ptr();
+        let ecols = split.ext_cols();
+        let evals = split.ext_vals();
+        let irp = split.int_row_ptr();
+        let icols = split.int_cols();
+        let ivals = split.int_vals();
+        let inv_diag = split.inv_diags();
+        let gather = |rows: std::ops::Range<usize>| {
+            for i1 in rows {
+                let mut acc = 0.0;
+                for k in erp[i1]..erp[i1 + 1] {
+                    // SAFETY: external columns lie in packs the chunk's
+                    // readiness wait covered; the epoch edge published
+                    // their final values (module docs).
+                    acc += evals[k] * unsafe { shared.read(ecols[k] as usize) };
                 }
-            };
-            let chain = |p: usize, t: usize| {
-                for &i1 in split.chain_rows_of(p, t) {
-                    let i1 = i1 as usize;
-                    let mut acc = 0.0;
-                    for k in irp[i1]..irp[i1 + 1] {
-                        // SAFETY: internal columns stay inside this
-                        // super-row — written earlier by this task if they
-                        // are chain rows, published by the drained flag
-                        // otherwise.
-                        acc += ivals[k] * unsafe { shared.read(icols[k] as usize) };
-                    }
-                    // SAFETY: row i1 belongs to exactly one chain task; its
-                    // phase-1 value was published by the drained flag.
-                    let partial = unsafe { shared.read(i1) };
-                    unsafe { shared.write(i1, partial - acc * inv_diag[i1]) };
+                // SAFETY: row i1 is written by exactly one statically
+                // owned chunk.
+                unsafe { shared.write(i1, (b[i1] - acc) * inv_diag[i1]) };
+            }
+        };
+        let chain = |p: usize, t: usize| {
+            // Forward plans bind stage p to pack p.
+            for &i1 in split.chain_rows_of(p, t) {
+                let i1 = i1 as usize;
+                let mut acc = 0.0;
+                for k in irp[i1]..irp[i1 + 1] {
+                    // SAFETY: internal columns stay inside this
+                    // super-row — written earlier by this task if they
+                    // are chain rows, published by the drained flag
+                    // otherwise.
+                    acc += ivals[k] * unsafe { shared.read(icols[k] as usize) };
                 }
-            };
-            self.run_pipelined(s, split, &gather, &chain);
-        }
-        Ok(x)
+                // SAFETY: row i1 belongs to exactly one chain task; its
+                // phase-1 value was published by the drained flag.
+                let partial = unsafe { shared.read(i1) };
+                unsafe { shared.write(i1, partial - acc * inv_diag[i1]) };
+            }
+        };
+        self.run_pipelined(plan, &gather, &chain);
+        Ok(())
     }
 
     /// Solves `L' X' = B'` for `nrhs` right-hand sides with the
@@ -492,175 +655,540 @@ impl ParallelSolver {
                 "solve_batch_pipelined needs at least one right-hand side".into(),
             ));
         }
-        if b.len() != s.n() * nrhs {
+        let mut x = vec![0.0f64; s.n() * nrhs];
+        let mut plan = self.plan(s);
+        self.solve_batch_pipelined_into(s, &mut plan, b, &mut x, nrhs)?;
+        Ok(x)
+    }
+
+    /// [`ParallelSolver::solve_batch_pipelined`] into a caller-provided
+    /// buffer with a caller-held [`PipelinePlan`] (no heap allocation). The
+    /// same plan serves every `nrhs`: the schedule depends only on the
+    /// structure and the thread count.
+    pub fn solve_batch_pipelined_into(
+        &self,
+        s: &StsStructure,
+        plan: &mut PipelinePlan,
+        b: &[f64],
+        x: &mut [f64],
+        nrhs: usize,
+    ) -> Result<()> {
+        if nrhs == 0 {
+            return Err(MatrixError::DimensionMismatch(
+                "solve_batch_pipelined_into needs at least one right-hand side".into(),
+            ));
+        }
+        if b.len() != s.n() * nrhs || x.len() != s.n() * nrhs {
             return Err(MatrixError::DimensionMismatch(format!(
-                "B has length {}, expected n * nrhs = {}",
+                "B and X must both have length n * nrhs = {}, got {} and {}",
+                s.n() * nrhs,
                 b.len(),
-                s.n() * nrhs
+                x.len()
             )));
         }
-        let mut x = vec![0.0f64; s.n() * nrhs];
+        self.check_plan(s, plan, true)?;
+        let shared = SharedVec::new(x);
+        let split = s.split();
+        let erp = split.ext_row_ptr();
+        let ecols = split.ext_cols();
+        let evals = split.ext_vals();
+        let irp = split.int_row_ptr();
+        let icols = split.int_cols();
+        let ivals = split.int_vals();
+        let inv_diag = split.inv_diags();
+        // The aliasing argument is solve_pipelined's, with "row i1"
+        // standing for the nrhs consecutive slots of row i1; the
+        // register-tile accumulation mirrors solve_batch.
+        let gather = |rows: std::ops::Range<usize>| {
+            for i1 in rows {
+                let base = i1 * nrhs;
+                let d = inv_diag[i1];
+                for r0 in (0..nrhs).step_by(TILE) {
+                    let w = TILE.min(nrhs - r0);
+                    let mut acc = [0.0f64; TILE];
+                    acc[..w].copy_from_slice(&b[base + r0..base + r0 + w]);
+                    for k in erp[i1]..erp[i1 + 1] {
+                        let (j, v) = (ecols[k] as usize, evals[k]);
+                        for (r, a) in acc[..w].iter_mut().enumerate() {
+                            // SAFETY: external reads target packs the
+                            // readiness wait covered (epoch edge).
+                            *a -= v * unsafe { shared.read(j * nrhs + r0 + r) };
+                        }
+                    }
+                    for (r, a) in acc[..w].iter().enumerate() {
+                        // SAFETY: the nrhs slots of row i1 have exactly
+                        // one phase-1 writer (this chunk).
+                        unsafe { shared.write(base + r0 + r, a * d) };
+                    }
+                }
+            }
+        };
+        let chain = |p: usize, t: usize| {
+            for &i1 in split.chain_rows_of(p, t) {
+                let i1 = i1 as usize;
+                let base = i1 * nrhs;
+                let d = inv_diag[i1];
+                for r0 in (0..nrhs).step_by(TILE) {
+                    let w = TILE.min(nrhs - r0);
+                    let mut acc = [0.0f64; TILE];
+                    for (r, a) in acc[..w].iter_mut().enumerate() {
+                        // SAFETY: row i1 belongs to exactly one chain
+                        // task; its phase-1 values were published by the
+                        // drained flag.
+                        *a = unsafe { shared.read(base + r0 + r) };
+                    }
+                    for k in irp[i1]..irp[i1 + 1] {
+                        let (j, v) = (icols[k] as usize, ivals[k]);
+                        let vd = v * d;
+                        for (r, a) in acc[..w].iter_mut().enumerate() {
+                            // SAFETY: same-super-row reads — this task's
+                            // earlier writes, or phase-1 results behind
+                            // the drained flag.
+                            *a -= vd * unsafe { shared.read(j * nrhs + r0 + r) };
+                        }
+                    }
+                    for (r, a) in acc[..w].iter().enumerate() {
+                        // SAFETY: row i1 is owned by this chain task.
+                        unsafe { shared.write(base + r0 + r, *a) };
+                    }
+                }
+            }
+        };
+        self.run_pipelined(plan, &gather, &chain);
+        Ok(())
+    }
+
+    /// Solves the transposed (upper-triangular) system `L'ᵀ x' = b'` with
+    /// the two-phase split kernel over the packs in **reverse** order: per
+    /// pack, a statically-chunked gather of the later-pack entries, a phase
+    /// barrier, then the backward in-super-row chains. See the module
+    /// documentation for the reverse-pack-order correctness argument.
+    pub fn solve_transpose_split(&self, s: &StsStructure, b: &[f64]) -> Result<Vec<f64>> {
+        if b.len() != s.n() {
+            return Err(MatrixError::DimensionMismatch(format!(
+                "b has length {}, expected {}",
+                b.len(),
+                s.n()
+            )));
+        }
+        let mut x = vec![0.0f64; s.n()];
         {
             let shared = SharedVec::new(&mut x);
-            let split = s.split();
-            let erp = split.ext_row_ptr();
-            let ecols = split.ext_cols();
-            let evals = split.ext_vals();
-            let irp = split.int_row_ptr();
-            let icols = split.int_cols();
-            let ivals = split.int_vals();
-            let inv_diag = split.inv_diags();
-            // The aliasing argument is solve_pipelined's, with "row i1"
-            // standing for the nrhs consecutive slots of row i1; the
-            // register-tile accumulation mirrors solve_batch.
-            const TILE: usize = 8;
-            let gather = |rows: std::ops::Range<usize>| {
-                for i1 in rows {
-                    let base = i1 * nrhs;
-                    let d = inv_diag[i1];
-                    for r0 in (0..nrhs).step_by(TILE) {
-                        let w = TILE.min(nrhs - r0);
-                        let mut acc = [0.0f64; TILE];
-                        acc[..w].copy_from_slice(&b[base + r0..base + r0 + w]);
+            let ts = s.transpose_split();
+            let erp = ts.ext_row_ptr();
+            let ecols = ts.ext_cols();
+            let evals = ts.ext_vals();
+            let irp = ts.int_row_ptr();
+            let icols = ts.int_cols();
+            let ivals = ts.int_vals();
+            let inv_diag = ts.inv_diags();
+            let workers = self.pool.num_threads();
+            for p in (0..s.num_packs()).rev() {
+                let rows = s.pack_rows(p);
+                let first_row = rows.start;
+                let m = rows.len();
+                // Phase 1: gather the later-pack entries — all final, since
+                // the reverse sweep finished those packs before this one.
+                let nchunks = workers.min(m);
+                self.pool.parallel_for(nchunks, Schedule::Static, &|c| {
+                    let chunk_start = first_row + c * m / nchunks;
+                    let chunk_end = first_row + (c + 1) * m / nchunks;
+                    for i1 in chunk_start..chunk_end {
+                        let mut acc = 0.0;
                         for k in erp[i1]..erp[i1 + 1] {
-                            let (j, v) = (ecols[k] as usize, evals[k]);
-                            for (r, a) in acc[..w].iter_mut().enumerate() {
-                                // SAFETY: external reads target packs the
-                                // readiness wait covered (epoch edge).
-                                *a -= v * unsafe { shared.read(j * nrhs + r0 + r) };
-                            }
+                            // SAFETY: external transpose columns belong to
+                            // later packs, finalized before this pack's
+                            // first barrier of the reverse sweep.
+                            acc += evals[k] * unsafe { shared.read(ecols[k] as usize) };
                         }
-                        for (r, a) in acc[..w].iter().enumerate() {
-                            // SAFETY: the nrhs slots of row i1 have exactly
-                            // one phase-1 writer (this chunk).
-                            unsafe { shared.write(base + r0 + r, a * d) };
-                        }
+                        // SAFETY: row i1 is written by exactly one phase-1
+                        // chunk.
+                        unsafe { shared.write(i1, (b[i1] - acc) * inv_diag[i1]) };
                     }
+                });
+                // Phase 2: backward chains in decreasing row order.
+                let chain = ts.chain_super_rows(p);
+                if chain.is_empty() {
+                    continue;
                 }
-            };
-            let chain = |p: usize, t: usize| {
-                for &i1 in split.chain_rows_of(p, t) {
-                    let i1 = i1 as usize;
-                    let base = i1 * nrhs;
-                    let d = inv_diag[i1];
-                    for r0 in (0..nrhs).step_by(TILE) {
-                        let w = TILE.min(nrhs - r0);
-                        let mut acc = [0.0f64; TILE];
-                        for (r, a) in acc[..w].iter_mut().enumerate() {
-                            // SAFETY: row i1 belongs to exactly one chain
-                            // task; its phase-1 values were published by the
-                            // drained flag.
-                            *a = unsafe { shared.read(base + r0 + r) };
-                        }
+                self.pool.parallel_for(chain.len(), self.schedule, &|t| {
+                    for &i1 in ts.chain_rows_of(p, t) {
+                        let i1 = i1 as usize;
+                        let mut acc = 0.0;
                         for k in irp[i1]..irp[i1 + 1] {
-                            let (j, v) = (icols[k] as usize, ivals[k]);
-                            let vd = v * d;
-                            for (r, a) in acc[..w].iter_mut().enumerate() {
-                                // SAFETY: same-super-row reads — this task's
-                                // earlier writes, or phase-1 results behind
-                                // the drained flag.
-                                *a -= vd * unsafe { shared.read(j * nrhs + r0 + r) };
-                            }
+                            // SAFETY: internal columns stay inside this
+                            // super-row — corrected earlier by this task
+                            // (decreasing order) if they are chain rows,
+                            // published by the phase barrier otherwise.
+                            acc += ivals[k] * unsafe { shared.read(icols[k] as usize) };
                         }
-                        for (r, a) in acc[..w].iter().enumerate() {
-                            // SAFETY: row i1 is owned by this chain task.
-                            unsafe { shared.write(base + r0 + r, *a) };
-                        }
+                        // SAFETY: row i1 belongs to exactly one chain task.
+                        let partial = unsafe { shared.read(i1) };
+                        unsafe { shared.write(i1, partial - acc * inv_diag[i1]) };
                     }
-                }
-            };
-            self.run_pipelined(s, split, &gather, &chain);
+                });
+            }
         }
         Ok(x)
     }
 
-    /// The pipelined orchestrator shared by the single- and multi-RHS
-    /// kernels: one pool dispatch, per-pack completion counters instead of
-    /// barriers, statically owned phase-1 chunks with readiness waits,
-    /// ticket-claimed phase-2 chain tasks, and bounded gather lookahead for
-    /// parked workers. `gather` runs one contiguous phase-1 row range;
-    /// `chain(p, t)` runs chain task `t` of pack `p`.
-    fn run_pipelined(
+    /// Solves `L'ᵀ x' = b'` with the pack-pipelined kernel over the packs in
+    /// reverse order: the backward analogue of
+    /// [`ParallelSolver::solve_pipelined`], one pool dispatch per solve.
+    pub fn solve_transpose_pipelined(&self, s: &StsStructure, b: &[f64]) -> Result<Vec<f64>> {
+        let mut x = vec![0.0f64; s.n()];
+        let mut plan = self.plan_transpose(s);
+        self.solve_transpose_pipelined_into(s, &mut plan, b, &mut x)?;
+        Ok(x)
+    }
+
+    /// [`ParallelSolver::solve_transpose_pipelined`] into a caller-provided
+    /// buffer with a caller-held backward [`PipelinePlan`] (no heap
+    /// allocation).
+    pub fn solve_transpose_pipelined_into(
         &self,
         s: &StsStructure,
-        split: &SplitLayout,
+        plan: &mut PipelinePlan,
+        b: &[f64],
+        x: &mut [f64],
+    ) -> Result<()> {
+        if b.len() != s.n() || x.len() != s.n() {
+            return Err(MatrixError::DimensionMismatch(format!(
+                "b and x must both have length {}, got {} and {}",
+                s.n(),
+                b.len(),
+                x.len()
+            )));
+        }
+        self.check_plan(s, plan, false)?;
+        let num_packs = s.num_packs();
+        let shared = SharedVec::new(x);
+        let ts = s.transpose_split();
+        let erp = ts.ext_row_ptr();
+        let ecols = ts.ext_cols();
+        let evals = ts.ext_vals();
+        let irp = ts.int_row_ptr();
+        let icols = ts.int_cols();
+        let ivals = ts.int_vals();
+        let inv_diag = ts.inv_diags();
+        let gather = |rows: std::ops::Range<usize>| {
+            for i1 in rows {
+                let mut acc = 0.0;
+                for k in erp[i1]..erp[i1 + 1] {
+                    // SAFETY: external transpose columns lie in the later
+                    // packs this chunk's readiness wait covered (reverse
+                    // stage numbering); the epoch edge published them.
+                    acc += evals[k] * unsafe { shared.read(ecols[k] as usize) };
+                }
+                // SAFETY: row i1 is written by exactly one statically owned
+                // chunk.
+                unsafe { shared.write(i1, (b[i1] - acc) * inv_diag[i1]) };
+            }
+        };
+        let chain = |st: usize, t: usize| {
+            // Backward plans bind stage st to pack num_packs − 1 − st.
+            let p = num_packs - 1 - st;
+            for &i1 in ts.chain_rows_of(p, t) {
+                let i1 = i1 as usize;
+                let mut acc = 0.0;
+                for k in irp[i1]..irp[i1 + 1] {
+                    // SAFETY: internal columns stay inside this super-row —
+                    // corrected earlier by this task (decreasing order) if
+                    // they are chain rows, published by the drained flag
+                    // otherwise.
+                    acc += ivals[k] * unsafe { shared.read(icols[k] as usize) };
+                }
+                // SAFETY: row i1 belongs to exactly one chain task; its
+                // phase-1 value was published by the drained flag.
+                let partial = unsafe { shared.read(i1) };
+                unsafe { shared.write(i1, partial - acc * inv_diag[i1]) };
+            }
+        };
+        self.run_pipelined(plan, &gather, &chain);
+        Ok(())
+    }
+
+    /// Solves `L'ᵀ X' = B'` for `nrhs` right-hand sides with the backward
+    /// pack-pipelined kernel (layout matches [`StsStructure::solve_batch`]:
+    /// `b[i * nrhs + r]`).
+    pub fn solve_transpose_batch_pipelined(
+        &self,
+        s: &StsStructure,
+        b: &[f64],
+        nrhs: usize,
+    ) -> Result<Vec<f64>> {
+        if nrhs == 0 {
+            return Err(MatrixError::DimensionMismatch(
+                "solve_transpose_batch_pipelined needs at least one right-hand side".into(),
+            ));
+        }
+        let mut x = vec![0.0f64; s.n() * nrhs];
+        let mut plan = self.plan_transpose(s);
+        self.solve_transpose_batch_pipelined_into(s, &mut plan, b, &mut x, nrhs)?;
+        Ok(x)
+    }
+
+    /// [`ParallelSolver::solve_transpose_batch_pipelined`] into a
+    /// caller-provided buffer with a caller-held backward [`PipelinePlan`]
+    /// (no heap allocation).
+    pub fn solve_transpose_batch_pipelined_into(
+        &self,
+        s: &StsStructure,
+        plan: &mut PipelinePlan,
+        b: &[f64],
+        x: &mut [f64],
+        nrhs: usize,
+    ) -> Result<()> {
+        if nrhs == 0 {
+            return Err(MatrixError::DimensionMismatch(
+                "solve_transpose_batch_pipelined_into needs at least one right-hand side".into(),
+            ));
+        }
+        if b.len() != s.n() * nrhs || x.len() != s.n() * nrhs {
+            return Err(MatrixError::DimensionMismatch(format!(
+                "B and X must both have length n * nrhs = {}, got {} and {}",
+                s.n() * nrhs,
+                b.len(),
+                x.len()
+            )));
+        }
+        self.check_plan(s, plan, false)?;
+        let num_packs = s.num_packs();
+        let shared = SharedVec::new(x);
+        let ts = s.transpose_split();
+        let erp = ts.ext_row_ptr();
+        let ecols = ts.ext_cols();
+        let evals = ts.ext_vals();
+        let irp = ts.int_row_ptr();
+        let icols = ts.int_cols();
+        let ivals = ts.int_vals();
+        let inv_diag = ts.inv_diags();
+        // Aliasing as in solve_transpose_pipelined_into, with "row i1"
+        // standing for its nrhs consecutive slots.
+        let gather = |rows: std::ops::Range<usize>| {
+            for i1 in rows {
+                let base = i1 * nrhs;
+                let d = inv_diag[i1];
+                for r0 in (0..nrhs).step_by(TILE) {
+                    let w = TILE.min(nrhs - r0);
+                    let mut acc = [0.0f64; TILE];
+                    acc[..w].copy_from_slice(&b[base + r0..base + r0 + w]);
+                    for k in erp[i1]..erp[i1 + 1] {
+                        let (j, v) = (ecols[k] as usize, evals[k]);
+                        for (r, a) in acc[..w].iter_mut().enumerate() {
+                            // SAFETY: external reads target later packs the
+                            // readiness wait covered (epoch edge).
+                            *a -= v * unsafe { shared.read(j * nrhs + r0 + r) };
+                        }
+                    }
+                    for (r, a) in acc[..w].iter().enumerate() {
+                        // SAFETY: the nrhs slots of row i1 have exactly one
+                        // phase-1 writer (this chunk).
+                        unsafe { shared.write(base + r0 + r, a * d) };
+                    }
+                }
+            }
+        };
+        let chain = |st: usize, t: usize| {
+            let p = num_packs - 1 - st;
+            for &i1 in ts.chain_rows_of(p, t) {
+                let i1 = i1 as usize;
+                let base = i1 * nrhs;
+                let d = inv_diag[i1];
+                for r0 in (0..nrhs).step_by(TILE) {
+                    let w = TILE.min(nrhs - r0);
+                    let mut acc = [0.0f64; TILE];
+                    for (r, a) in acc[..w].iter_mut().enumerate() {
+                        // SAFETY: row i1 belongs to exactly one chain task;
+                        // its phase-1 values were published by the drained
+                        // flag.
+                        *a = unsafe { shared.read(base + r0 + r) };
+                    }
+                    for k in irp[i1]..irp[i1 + 1] {
+                        let (j, v) = (icols[k] as usize, ivals[k]);
+                        let vd = v * d;
+                        for (r, a) in acc[..w].iter_mut().enumerate() {
+                            // SAFETY: same-super-row reads — this task's
+                            // earlier corrections (decreasing order), or
+                            // phase-1 results behind the drained flag.
+                            *a -= vd * unsafe { shared.read(j * nrhs + r0 + r) };
+                        }
+                    }
+                    for (r, a) in acc[..w].iter().enumerate() {
+                        // SAFETY: row i1 is owned by this chain task.
+                        unsafe { shared.write(base + r0 + r, *a) };
+                    }
+                }
+            }
+        };
+        self.run_pipelined(plan, &gather, &chain);
+        Ok(())
+    }
+
+    /// Sparse matrix–vector product `y = A x` on the solver's worker pool:
+    /// the rows are statically chunked, each chunk writing a disjoint slice
+    /// of `y`. This is the companion kernel iterative solvers need next to
+    /// the triangular sweeps (one `A·p` per iteration), sharing the pool so
+    /// the whole iteration runs on one set of (optionally pinned) workers.
+    /// No heap allocation.
+    pub fn spmv_into(&self, a: &CsrMatrix, x: &[f64], y: &mut [f64]) -> Result<()> {
+        if x.len() != a.ncols() || y.len() != a.nrows() {
+            return Err(MatrixError::DimensionMismatch(
+                "x/y lengths must match the matrix dimensions".into(),
+            ));
+        }
+        let n = a.nrows();
+        if n == 0 {
+            return Ok(());
+        }
+        let shared = SharedVec::new(y);
+        let row_ptr = a.row_ptr();
+        let col_idx = a.col_idx();
+        let values = a.values();
+        let nchunks = self.pool.num_threads().min(n);
+        self.pool.parallel_for(nchunks, Schedule::Static, &|c| {
+            for r in c * n / nchunks..(c + 1) * n / nchunks {
+                let mut acc = 0.0;
+                for k in row_ptr[r]..row_ptr[r + 1] {
+                    acc += values[k] * x[col_idx[k]];
+                }
+                // SAFETY: row r belongs to exactly one static chunk; x is
+                // never written during the product.
+                unsafe { shared.write(r, acc) };
+            }
+        });
+        Ok(())
+    }
+
+    /// Multi-RHS sparse matrix–vector product `Y = A X` on the solver's
+    /// worker pool, with the interleaved layout the batch solvers use
+    /// (`x[i * nrhs + r]`). Each `(col, val)` load is amortised over the
+    /// batch via a register tile. No heap allocation.
+    pub fn spmv_batch_into(
+        &self,
+        a: &CsrMatrix,
+        x: &[f64],
+        y: &mut [f64],
+        nrhs: usize,
+    ) -> Result<()> {
+        if nrhs == 0 {
+            return Err(MatrixError::DimensionMismatch(
+                "spmv_batch_into needs at least one right-hand side".into(),
+            ));
+        }
+        if x.len() != a.ncols() * nrhs || y.len() != a.nrows() * nrhs {
+            return Err(MatrixError::DimensionMismatch(
+                "x/y lengths must match the matrix dimensions times nrhs".into(),
+            ));
+        }
+        let n = a.nrows();
+        if n == 0 {
+            return Ok(());
+        }
+        let shared = SharedVec::new(y);
+        let row_ptr = a.row_ptr();
+        let col_idx = a.col_idx();
+        let values = a.values();
+        let nchunks = self.pool.num_threads().min(n);
+        self.pool.parallel_for(nchunks, Schedule::Static, &|c| {
+            for r in c * n / nchunks..(c + 1) * n / nchunks {
+                let base = r * nrhs;
+                for r0 in (0..nrhs).step_by(TILE) {
+                    let w = TILE.min(nrhs - r0);
+                    let mut acc = [0.0f64; TILE];
+                    for k in row_ptr[r]..row_ptr[r + 1] {
+                        let (j, v) = (col_idx[k], values[k]);
+                        for (q, a) in acc[..w].iter_mut().enumerate() {
+                            *a += v * x[j * nrhs + r0 + q];
+                        }
+                    }
+                    for (q, a) in acc[..w].iter().enumerate() {
+                        // SAFETY: the nrhs slots of row r belong to exactly
+                        // one static chunk.
+                        unsafe { shared.write(base + r0 + q, *a) };
+                    }
+                }
+            }
+        });
+        Ok(())
+    }
+
+    /// The pipelined orchestrator shared by all four pipelined kernels
+    /// (forward/backward × single/multi-RHS): one pool dispatch, per-stage
+    /// completion counters instead of barriers, statically owned phase-1
+    /// chunks with readiness waits, ticket-claimed phase-2 chain tasks, and
+    /// bounded gather lookahead for parked workers. The plan binds stages to
+    /// packs (identity for forward plans, reversal for backward ones);
+    /// `gather` runs one contiguous phase-1 row range and `chain(st, t)`
+    /// runs chain task `t` of stage `st`.
+    fn run_pipelined(
+        &self,
+        plan: &mut PipelinePlan,
         gather: &(dyn Fn(std::ops::Range<usize>) + Sync),
         chain: &(dyn Fn(usize, usize) + Sync),
     ) {
         let workers = self.pool.num_threads();
-        let num_packs = s.num_packs();
+        let num_stages = plan.stage_rows.len();
+        // Rewind the gate (generation-stamped) and the ticket counters; &mut
+        // exclusivity makes the plain stores race-free, and the pool dispatch
+        // below publishes them to every worker. The single-worker fast path
+        // never touches the gate, but still rewinds so the generation stamp
+        // keeps counting solves regardless of thread count.
+        plan.rewind();
         if workers == 1 {
             // A single worker's program order is exactly the two-phase sweep;
             // skip the gate and ticket atomics entirely.
-            for p in 0..num_packs {
-                let rows = s.pack_rows(p);
+            for st in 0..num_stages {
+                let rows = plan.stage_rows[st].clone();
                 if !rows.is_empty() {
                     gather(rows);
                 }
-                for t in 0..split.chain_super_rows(p).len() {
-                    chain(p, t);
+                for t in 0..plan.ntasks[st] {
+                    chain(st, t);
                 }
             }
             return;
         }
-        // Gate arrival counts and per-chunk readiness, precomputed by the
-        // calling thread (one O(n) sweep over the readiness metadata).
-        let mut counts = Vec::with_capacity(num_packs);
-        let mut chunk_ptr = Vec::with_capacity(num_packs + 1);
-        let mut chunk_dep: Vec<u32> = Vec::new();
-        chunk_ptr.push(0usize);
-        for p in 0..num_packs {
-            let rows = s.pack_rows(p);
-            let m = rows.len();
-            let nchunks = workers.min(m);
-            for c in 0..nchunks {
-                let chunk = rows.start + c * m / nchunks..rows.start + (c + 1) * m / nchunks;
-                chunk_dep.push(split.range_ext_dep(chunk));
-            }
-            chunk_ptr.push(chunk_dep.len());
-            counts.push((nchunks, split.chain_super_rows(p).len()));
-        }
-        let gate = EpochGate::new(&counts);
-        let tickets: Vec<AtomicUsize> = (0..num_packs).map(|_| AtomicUsize::new(0)).collect();
-        // Runs worker `w`'s phase-1 chunk of pack `p` (a no-op returning
+        let plan = &*plan;
+        // Runs worker `w`'s phase-1 chunk of stage `st` (a no-op returning
         // `true` when the worker owns none). Non-blocking mode refuses —
         // returning `false` — instead of waiting for the chunk's readiness.
-        let run_chunk = |w: usize, p: usize, blocking: bool| -> bool {
-            let nchunks = chunk_ptr[p + 1] - chunk_ptr[p];
+        let run_chunk = |w: usize, st: usize, blocking: bool| -> bool {
+            let nchunks = plan.chunk_ptr[st + 1] - plan.chunk_ptr[st];
             if w < nchunks {
-                let dep = chunk_dep[chunk_ptr[p] + w] as usize;
+                let dep = plan.chunk_dep[plan.chunk_ptr[st] + w] as usize;
                 if blocking {
-                    gate.wait_open(dep);
-                } else if !gate.is_open(dep) {
+                    plan.gate.wait_open(dep);
+                } else if !plan.gate.is_open(dep) {
                     return false;
                 }
-                let rows = s.pack_rows(p);
+                let rows = plan.stage_rows[st].clone();
                 let m = rows.len();
                 gather(rows.start + w * m / nchunks..rows.start + (w + 1) * m / nchunks);
-                gate.arrive_phase1(p);
+                plan.gate.arrive_phase1(st);
             }
             true
         };
         self.pool.parallel_for(workers, Schedule::Static, &|w| {
-            // The next pack whose phase-1 chunk this worker still owes;
-            // lookahead advances it past the pack being processed.
+            // The next stage whose phase-1 chunk this worker still owes;
+            // lookahead advances it past the stage being processed.
             let mut next_p1 = 0usize;
-            for p in 0..num_packs {
-                if next_p1 == p {
-                    run_chunk(w, p, true);
-                    next_p1 = p + 1;
+            for st in 0..num_stages {
+                if next_p1 == st {
+                    run_chunk(w, st, true);
+                    next_p1 = st + 1;
                 }
-                let ntasks = counts[p].1;
+                let ntasks = plan.ntasks[st];
                 if ntasks == 0 {
                     continue;
                 }
                 let mut spins = 0u32;
                 loop {
-                    if !gate.phase1_drained(p) {
-                        // Parked: gather ahead into the next packs instead of
-                        // spinning (readiness permitting).
-                        if next_p1 < num_packs
-                            && next_p1 - p <= PIPELINE_LOOKAHEAD
+                    if !plan.gate.phase1_drained(st) {
+                        // Parked: gather ahead into the next stages instead
+                        // of spinning (readiness permitting).
+                        if next_p1 < num_stages
+                            && next_p1 - st <= PIPELINE_LOOKAHEAD
                             && run_chunk(w, next_p1, false)
                         {
                             next_p1 += 1;
@@ -674,15 +1202,82 @@ impl ParallelSolver {
                         }
                         continue;
                     }
-                    let t = tickets[p].fetch_add(1, AtomicOrdering::Relaxed);
+                    let t = plan.tickets[st].fetch_add(1, AtomicOrdering::Relaxed);
                     if t >= ntasks {
                         break;
                     }
-                    chain(p, t);
-                    gate.arrive_phase2(p);
+                    chain(st, t);
+                    plan.gate.arrive_phase2(st);
                 }
             }
         });
+    }
+}
+
+/// Register-tile width of the multi-RHS kernels: partial sums for up to this
+/// many right-hand sides accumulate in a stack tile per row, so each
+/// `(col, val)` load is amortised without round-trips through the shared
+/// pointer.
+const TILE: usize = 8;
+
+/// The reusable per-structure scheduling state of the pipelined kernels: the
+/// stage → row-range binding (packs in forward or reverse order), per-chunk
+/// readiness, gate arrival counts, and the phase-2 ticket counters. Built by
+/// [`ParallelSolver::plan`] / [`ParallelSolver::plan_transpose`] once per
+/// structure, rewound — never reallocated — by every `solve_*_into` call, so
+/// repeated solves on one structure are allocation-free.
+///
+/// A plan is tied to the (structure, direction, thread count) it was built
+/// for; the `_into` kernels reject mismatches.
+#[derive(Debug)]
+pub struct PipelinePlan {
+    /// Forward (stage `s` = pack `s`) or backward (stage `s` = pack
+    /// `num_packs − 1 − s`).
+    forward: bool,
+    /// Dimension of the structure the plan was built for.
+    n: usize,
+    /// Thread count of the solver the plan was built for.
+    threads: usize,
+    /// The rows of each stage's pack (contiguous in the reordered
+    /// numbering).
+    stage_rows: Vec<std::ops::Range<usize>>,
+    /// Chain tasks per stage.
+    ntasks: Vec<usize>,
+    /// Stage pointer into `chunk_dep` (`num_stages + 1` entries).
+    chunk_ptr: Vec<usize>,
+    /// Per-chunk readiness in the plan's stage numbering.
+    chunk_dep: Vec<u32>,
+    /// The resettable epoch gate coordinating the stages.
+    gate: EpochGate,
+    /// Phase-2 ticket counters, one per stage.
+    tickets: Vec<AtomicUsize>,
+}
+
+impl PipelinePlan {
+    /// Whether this is a forward plan (`solve_pipelined_into` /
+    /// `solve_batch_pipelined_into`) or a backward one
+    /// (`solve_transpose_*_into`).
+    pub fn is_forward(&self) -> bool {
+        self.forward
+    }
+
+    /// Number of stages (packs).
+    pub fn num_stages(&self) -> usize {
+        self.stage_rows.len()
+    }
+
+    /// How many solves have rewound this plan (the gate's generation stamp).
+    pub fn generation(&self) -> usize {
+        self.gate.generation()
+    }
+
+    /// Rewinds the gate and the ticket counters for the next solve. `&mut`
+    /// exclusivity makes the plain stores race-free.
+    fn rewind(&mut self) {
+        self.gate.reset();
+        for t in &mut self.tickets {
+            *t.get_mut() = 0;
+        }
     }
 }
 
@@ -913,6 +1508,251 @@ mod tests {
                 "batch pipelined diverged with {threads} threads"
             );
         }
+    }
+
+    #[test]
+    fn transpose_kernels_match_the_sequential_column_sweep() {
+        let a = generators::triangulated_grid(14, 14, 2).unwrap();
+        let l = generators::lower_operand(&a).unwrap();
+        for method in Method::all() {
+            let s = method.build(&l, 8).unwrap();
+            let x_true: Vec<f64> = (0..s.n()).map(|i| 1.0 + (i % 5) as f64 * 0.3).collect();
+            let b = s.lower().multiply_transpose(&x_true).unwrap();
+            let seq = s.lower().solve_transpose_seq(&b).unwrap();
+            for threads in [1, 2, 4, 8] {
+                let solver = ParallelSolver::new(threads, Schedule::Guided { min_chunk: 1 });
+                let split = solver.solve_transpose_split(&s, &b).unwrap();
+                assert!(
+                    ops::relative_error_inf(&split, &seq) < 1e-12,
+                    "{} transpose split with {threads} threads diverged",
+                    method.label()
+                );
+                let piped = solver.solve_transpose_pipelined(&s, &b).unwrap();
+                assert!(
+                    ops::relative_error_inf(&piped, &seq) < 1e-12,
+                    "{} transpose pipelined with {threads} threads diverged",
+                    method.label()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_pipelined_is_stable_under_repeated_contention() {
+        // Level sets have the deepest reverse dependence structure; an
+        // oversubscribed pool re-solving many times would expose readiness
+        // races as sporadic divergence.
+        let a = generators::grid2d_laplacian(24, 24).unwrap();
+        let l = generators::lower_operand(&a).unwrap();
+        let s = Method::Csr3Ls.build(&l, 6).unwrap();
+        let x_true: Vec<f64> = (0..s.n()).map(|i| 1.0 + (i % 7) as f64 * 0.2).collect();
+        let b = s.lower().multiply_transpose(&x_true).unwrap();
+        let seq = s.lower().solve_transpose_seq(&b).unwrap();
+        let solver = ParallelSolver::new(8, Schedule::Guided { min_chunk: 1 });
+        let mut plan = solver.plan_transpose(&s);
+        let mut x = vec![0.0; s.n()];
+        for round in 0..50 {
+            solver
+                .solve_transpose_pipelined_into(&s, &mut plan, &b, &mut x)
+                .unwrap();
+            assert!(
+                ops::relative_error_inf(&x, &seq) < 1e-12,
+                "transpose pipelined diverged on round {round}"
+            );
+        }
+        assert_eq!(plan.generation(), 50, "each solve rewinds the plan once");
+    }
+
+    #[test]
+    fn transpose_batch_pipelined_matches_single_rhs_solves() {
+        let a = generators::grid2d_9point(12, 12).unwrap();
+        let l = generators::lower_operand(&a).unwrap();
+        let s = Method::Sts3.build(&l, 6).unwrap();
+        let n = s.n();
+        let nrhs = 3;
+        let mut b = vec![0.0; n * nrhs];
+        let mut expected = vec![0.0; n * nrhs];
+        for r in 0..nrhs {
+            let x_true: Vec<f64> = (0..n).map(|i| (i + r) as f64 * 0.1 + 1.0).collect();
+            let br = s.lower().multiply_transpose(&x_true).unwrap();
+            let xr = s.lower().solve_transpose_seq(&br).unwrap();
+            for i in 0..n {
+                b[i * nrhs + r] = br[i];
+                expected[i * nrhs + r] = xr[i];
+            }
+        }
+        for threads in [1, 3, 8] {
+            let solver = ParallelSolver::new(threads, Schedule::Guided { min_chunk: 1 });
+            let x = solver
+                .solve_transpose_batch_pipelined(&s, &b, nrhs)
+                .unwrap();
+            assert!(
+                ops::relative_error_inf(&x, &expected) < 1e-12,
+                "transpose batch pipelined diverged with {threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn into_kernels_reuse_plans_across_solves_and_match_allocating_kernels() {
+        let a = generators::grid2d_laplacian(16, 16).unwrap();
+        let l = generators::lower_operand(&a).unwrap();
+        let s = Method::Sts3.build(&l, 6).unwrap();
+        let solver = ParallelSolver::new(4, Schedule::Guided { min_chunk: 1 });
+        let mut fwd = solver.plan(&s);
+        let mut bwd = solver.plan_transpose(&s);
+        let mut x = vec![0.0; s.n()];
+        for shift in 0..4 {
+            let b: Vec<f64> = (0..s.n()).map(|i| 1.0 + ((i + shift) % 5) as f64).collect();
+            solver
+                .solve_pipelined_into(&s, &mut fwd, &b, &mut x)
+                .unwrap();
+            let reference = solver.solve_pipelined(&s, &b).unwrap();
+            assert!(ops::relative_error_inf(&x, &reference) < 1e-15);
+            solver
+                .solve_transpose_pipelined_into(&s, &mut bwd, &b, &mut x)
+                .unwrap();
+            let reference = s.lower().solve_transpose_seq(&b).unwrap();
+            assert!(ops::relative_error_inf(&x, &reference) < 1e-12);
+        }
+        // Batch kernels share the same plans.
+        let nrhs = 2;
+        let bb: Vec<f64> = (0..s.n() * nrhs).map(|k| 1.0 + (k % 3) as f64).collect();
+        let mut xb = vec![0.0; s.n() * nrhs];
+        solver
+            .solve_batch_pipelined_into(&s, &mut fwd, &bb, &mut xb, nrhs)
+            .unwrap();
+        let reference = solver.solve_batch(&s, &bb, nrhs).unwrap();
+        assert!(ops::relative_error_inf(&xb, &reference) < 1e-12);
+        solver
+            .solve_transpose_batch_pipelined_into(&s, &mut bwd, &bb, &mut xb, nrhs)
+            .unwrap();
+        let reference = solver
+            .solve_transpose_batch_pipelined(&s, &bb, nrhs)
+            .unwrap();
+        assert!(ops::relative_error_inf(&xb, &reference) < 1e-15);
+    }
+
+    #[test]
+    fn mismatched_plans_are_rejected() {
+        let a = generators::grid2d_laplacian(10, 10).unwrap();
+        let l = generators::lower_operand(&a).unwrap();
+        let s = Method::Sts3.build(&l, 4).unwrap();
+        let solver = ParallelSolver::new(3, Schedule::Static);
+        let b = vec![1.0; s.n()];
+        let mut x = vec![0.0; s.n()];
+        // Wrong direction.
+        let mut bwd = solver.plan_transpose(&s);
+        assert!(solver
+            .solve_pipelined_into(&s, &mut bwd, &b, &mut x)
+            .is_err());
+        let mut fwd = solver.plan(&s);
+        assert!(solver
+            .solve_transpose_pipelined_into(&s, &mut fwd, &b, &mut x)
+            .is_err());
+        // Wrong thread count.
+        let other = ParallelSolver::new(2, Schedule::Static);
+        let mut plan2 = other.plan(&s);
+        assert!(solver
+            .solve_pipelined_into(&s, &mut plan2, &b, &mut x)
+            .is_err());
+        // Wrong structure.
+        let a2 = generators::grid2d_laplacian(9, 9).unwrap();
+        let l2 = generators::lower_operand(&a2).unwrap();
+        let s2 = Method::Sts3.build(&l2, 4).unwrap();
+        let b2 = vec![1.0; s2.n()];
+        let mut x2 = vec![0.0; s2.n()];
+        let mut plan = solver.plan(&s);
+        assert!(solver
+            .solve_pipelined_into(&s2, &mut plan, &b2, &mut x2)
+            .is_err());
+        // Same n, pack count and thread count but different pack boundaries:
+        // a structurally stale plan must still be rejected (the row ranges
+        // it would hand the gather closures race the other structure's chain
+        // tasks).
+        let l9 = generators::paper_figure1_l();
+        let order = vec![0usize, 1, 4, 2, 3, 5, 6, 7, 8];
+        let perm = sts_graph::Permutation::from_new_to_old(order).unwrap();
+        let lp = l9.permute_symmetric(perm.new_to_old()).unwrap();
+        let index2: Vec<usize> = (0..=9).collect();
+        let sa = StsStructure::new(
+            1,
+            crate::builder::Ordering::LevelSet,
+            vec![0, 3, 5, 6, 7, 8, 9],
+            index2.clone(),
+            lp.clone(),
+            perm.clone(),
+        )
+        .unwrap();
+        let sb = StsStructure::new(
+            1,
+            crate::builder::Ordering::LevelSet,
+            vec![0, 2, 5, 6, 7, 8, 9],
+            index2,
+            lp,
+            perm,
+        )
+        .unwrap();
+        assert_eq!(sa.n(), sb.n());
+        assert_eq!(sa.num_packs(), sb.num_packs());
+        let b9 = vec![1.0; 9];
+        let mut x9 = vec![0.0; 9];
+        let mut plan_a = solver.plan(&sa);
+        assert!(solver
+            .solve_pipelined_into(&sb, &mut plan_a, &b9, &mut x9)
+            .is_err());
+        // ... and the plan still works against its own structure.
+        assert!(solver
+            .solve_pipelined_into(&sa, &mut plan_a, &b9, &mut x9)
+            .is_ok());
+    }
+
+    #[test]
+    fn single_worker_solves_still_stamp_the_plan_generation() {
+        let a = generators::grid2d_laplacian(8, 8).unwrap();
+        let l = generators::lower_operand(&a).unwrap();
+        let s = Method::Sts3.build(&l, 4).unwrap();
+        let solver = ParallelSolver::new(1, Schedule::Static);
+        let mut plan = solver.plan(&s);
+        let b = vec![1.0; s.n()];
+        let mut x = vec![0.0; s.n()];
+        for round in 1..=3 {
+            solver
+                .solve_pipelined_into(&s, &mut plan, &b, &mut x)
+                .unwrap();
+            assert_eq!(plan.generation(), round);
+        }
+    }
+
+    #[test]
+    fn pool_spmv_matches_the_sequential_product() {
+        let a = generators::grid2d_9point(13, 11).unwrap();
+        let x: Vec<f64> = (0..a.ncols()).map(|i| 0.3 + (i % 7) as f64 * 0.5).collect();
+        let expected = ops::spmv(&a, &x).unwrap();
+        for threads in [1, 2, 4, 8] {
+            let solver = ParallelSolver::new(threads, Schedule::Static);
+            let mut y = vec![0.0; a.nrows()];
+            solver.spmv_into(&a, &x, &mut y).unwrap();
+            assert!(ops::relative_error_inf(&y, &expected) < 1e-14);
+        }
+        // Batch: interleaved copies scaled per system.
+        let nrhs = 3;
+        let xb: Vec<f64> = (0..a.ncols() * nrhs)
+            .map(|k| x[k / nrhs] * (1.0 + (k % nrhs) as f64))
+            .collect();
+        let solver = ParallelSolver::new(4, Schedule::Static);
+        let mut yb = vec![0.0; a.nrows() * nrhs];
+        solver.spmv_batch_into(&a, &xb, &mut yb, nrhs).unwrap();
+        for i in 0..a.nrows() {
+            for r in 0..nrhs {
+                let want = expected[i] * (1.0 + r as f64);
+                assert!((yb[i * nrhs + r] - want).abs() <= 1e-12 * want.abs().max(1.0));
+            }
+        }
+        // Bad shapes are rejected.
+        let mut y = vec![0.0; a.nrows()];
+        assert!(solver.spmv_into(&a, &x[1..], &mut y).is_err());
+        assert!(solver.spmv_batch_into(&a, &xb, &mut yb, 0).is_err());
     }
 
     #[test]

@@ -1,0 +1,65 @@
+//! `sts-krylov`: the iterative-solver subsystem the triangular kernels serve.
+//!
+//! The paper's argument for fast sparse triangular solves is end-to-end: a
+//! preconditioned Krylov solver applies one forward and one backward
+//! triangular sweep *per iteration*, thousands of times on one fixed
+//! structure. This crate is that workload as a production subsystem:
+//!
+//! * [`SpdSystem`] — an SPD operator bound to an STS ordering: the system
+//!   matrix is permuted **once** into the structure's numbering, so every
+//!   sweep, product and update of the iteration runs in reordered space and
+//!   the permutation is paid only at entry (right-hand side gather) and exit
+//!   (solution scatter);
+//! * [`Preconditioner`] — the sweep contract ([`Identity`], [`Ssor`],
+//!   [`Ic0`]), each applying `z = M⁻¹ r` with **no heap allocation**: the
+//!   sweeps run through the `solve_*_into` kernels against caller-held
+//!   buffers and reusable [`PipelinePlan`](sts_core::PipelinePlan)s, with
+//!   the sweep engine selectable between the bitwise-identical sequential
+//!   split kernels and the pack-pipelined parallel kernels
+//!   ([`SweepEngine`]);
+//! * [`KrylovWorkspace`] — the persistent vector arena (`r`, `z`, `p`,
+//!   `A·p`, sweep scratch) sized once per structure, so a converged solve
+//!   followed by a thousand more allocates nothing;
+//! * [`Pcg`] — the conjugate-gradient driver: tolerance policy
+//!   ([`Tolerance`]), iteration bound, per-iteration residual history,
+//!   preconditioner wall-time attribution ([`PcgOutcome`]), and a batched
+//!   multi-RHS entry point ([`Pcg::solve_batch`]) running lockstep CG on the
+//!   interleaved layout of the `solve_batch_pipelined` kernels.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use sts_core::Method;
+//! use sts_krylov::{Ic0, KrylovWorkspace, Pcg, Preconditioner, SpdSystem, Ssor, SweepEngine};
+//! use sts_matrix::generators;
+//! use sts_numa::Schedule;
+//!
+//! // An SPD operator: the 2-D 5-point Laplacian, bound to an STS-3 ordering.
+//! let a = generators::grid2d_laplacian(24, 24).unwrap();
+//! let sys = SpdSystem::build(&a, Method::Sts3, 40).unwrap();
+//!
+//! // A PCG driver and a preconditioner whose sweeps run on the pipelined
+//! // parallel kernels.
+//! let pcg = Pcg::new(4, Schedule::Guided { min_chunk: 1 });
+//! let mut pre = Ssor::new(&sys, pcg.solver(), SweepEngine::Pipelined);
+//!
+//! // Persistent workspace: repeated solves allocate nothing.
+//! let mut ws = KrylovWorkspace::new(sys.n());
+//! let b = vec![1.0; sys.n()];
+//! let out = pcg.solve(&sys, &mut pre, &b, &mut ws).unwrap();
+//! assert!(out.converged);
+//! assert!(out.iterations < 200);
+//! ```
+
+pub mod pcg;
+pub mod precond;
+pub mod system;
+pub mod workspace;
+
+pub use pcg::{Pcg, PcgBatchOutcome, PcgOptions, PcgOutcome, Tolerance};
+pub use precond::{Ic0, Identity, Preconditioner, Ssor, SweepEngine};
+pub use system::SpdSystem;
+pub use workspace::KrylovWorkspace;
+
+/// Result alias for the Krylov subsystem (errors are the matrix substrate's).
+pub type Result<T> = std::result::Result<T, sts_matrix::MatrixError>;

@@ -1,0 +1,541 @@
+//! The preconditioned conjugate-gradient driver.
+
+use std::time::Instant;
+
+use sts_core::ParallelSolver;
+use sts_matrix::{ops, MatrixError};
+use sts_numa::Schedule;
+
+use crate::precond::Preconditioner;
+use crate::system::SpdSystem;
+use crate::workspace::KrylovWorkspace;
+use crate::Result;
+
+/// When the iteration is allowed to stop.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Tolerance {
+    /// Stop once `‖r‖₂ ≤ factor · ‖b‖₂` (the production default: scale
+    /// invariant).
+    Relative(f64),
+    /// Stop once `‖r‖₂ ≤ bound` outright.
+    Absolute(f64),
+}
+
+impl Tolerance {
+    /// The concrete residual threshold for a system with `‖b‖₂ = b_norm`.
+    pub fn threshold(&self, b_norm: f64) -> f64 {
+        match *self {
+            Tolerance::Relative(factor) => factor * b_norm,
+            Tolerance::Absolute(bound) => bound,
+        }
+    }
+}
+
+/// Driver policy: tolerance, iteration bound, history recording.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PcgOptions {
+    /// Stopping criterion on the (true, recurrence-maintained) residual.
+    pub tolerance: Tolerance,
+    /// Hard iteration bound; exceeding it reports `converged: false`.
+    pub max_iterations: usize,
+    /// Whether to record `‖r‖₂` per iteration in the outcome.
+    pub record_history: bool,
+}
+
+impl Default for PcgOptions {
+    fn default() -> Self {
+        PcgOptions {
+            tolerance: Tolerance::Relative(1e-8),
+            max_iterations: 1000,
+            record_history: true,
+        }
+    }
+}
+
+/// What a single-RHS solve produced.
+#[derive(Debug, Clone)]
+pub struct PcgOutcome {
+    /// The solution, in the caller's (original) numbering.
+    pub x: Vec<f64>,
+    /// Iterations performed (= preconditioner applications = `A·p`
+    /// products).
+    pub iterations: usize,
+    /// Whether the tolerance was met within the iteration bound.
+    pub converged: bool,
+    /// Final `‖r‖₂`.
+    pub residual_norm: f64,
+    /// `‖r‖₂` before each iteration (index 0 is the initial residual), when
+    /// history recording is on.
+    pub history: Vec<f64>,
+    /// Wall time of the whole solve.
+    pub seconds_total: f64,
+    /// Wall time spent inside preconditioner applications.
+    pub seconds_precond: f64,
+}
+
+impl PcgOutcome {
+    /// Fraction of the solve spent applying the preconditioner — the share
+    /// of end-to-end time the triangular kernels own.
+    pub fn precond_share(&self) -> f64 {
+        if self.seconds_total > 0.0 {
+            self.seconds_precond / self.seconds_total
+        } else {
+            0.0
+        }
+    }
+}
+
+/// What a batched solve produced.
+#[derive(Debug, Clone)]
+pub struct PcgBatchOutcome {
+    /// Solutions, interleaved (`x[i * nrhs + q]`), original numbering.
+    pub x: Vec<f64>,
+    /// Per-system iteration at which the tolerance was first met (the
+    /// lockstep count for systems that never converged).
+    pub iterations: Vec<usize>,
+    /// Per-system convergence flags.
+    pub converged: Vec<bool>,
+    /// Per-system final `‖r‖₂`.
+    pub residual_norms: Vec<f64>,
+    /// Lockstep iterations performed (every system advances together; a
+    /// converged system is frozen, not dropped, so the batch kernels keep
+    /// their full width).
+    pub lockstep_iterations: usize,
+}
+
+/// The conjugate-gradient driver: owns the worker pool every kernel of the
+/// iteration runs on (triangular sweeps, `A·p` products) and the stopping
+/// policy.
+pub struct Pcg {
+    solver: ParallelSolver,
+    options: PcgOptions,
+}
+
+impl Pcg {
+    /// A driver on `threads` workers with default options.
+    pub fn new(threads: usize, schedule: Schedule) -> Self {
+        Pcg {
+            solver: ParallelSolver::new(threads, schedule),
+            options: PcgOptions::default(),
+        }
+    }
+
+    /// A driver with explicit options.
+    pub fn with_options(threads: usize, schedule: Schedule, options: PcgOptions) -> Self {
+        Pcg {
+            solver: ParallelSolver::new(threads, schedule),
+            options,
+        }
+    }
+
+    /// The worker pool — preconditioner plans must be built against this
+    /// solver so the `_into` kernels accept them.
+    pub fn solver(&self) -> &ParallelSolver {
+        &self.solver
+    }
+
+    /// The driver's stopping policy.
+    pub fn options(&self) -> &PcgOptions {
+        &self.options
+    }
+
+    /// Solves `A x = b` (original numbering) with preconditioned CG. After
+    /// warm-up (lazy layout builds on first use), an iteration performs no
+    /// heap allocation: every vector lives in `ws` and the sweeps run
+    /// through the `_into` kernels.
+    pub fn solve(
+        &self,
+        sys: &SpdSystem,
+        pre: &mut dyn Preconditioner,
+        b: &[f64],
+        ws: &mut KrylovWorkspace,
+    ) -> Result<PcgOutcome> {
+        let n = sys.n();
+        if b.len() != n {
+            return Err(MatrixError::DimensionMismatch(format!(
+                "b has length {}, expected {n}",
+                b.len()
+            )));
+        }
+        if ws.n() != n || ws.nrhs() != 1 {
+            return Err(MatrixError::DimensionMismatch(format!(
+                "workspace is sized for n = {} × nrhs = {}, solve needs n = {n} × nrhs = 1",
+                ws.n(),
+                ws.nrhs()
+            )));
+        }
+        let start = Instant::now();
+        let mut seconds_precond = 0.0f64;
+        // With x₀ = 0 the initial residual *is* the gathered right-hand
+        // side, so it lands directly in r.
+        sys.gather_into(b, &mut ws.r);
+        ws.x.fill(0.0);
+        let mut rnorm = ops::norm2(&ws.r);
+        let threshold = self.options.tolerance.threshold(rnorm);
+        let mut history = Vec::new();
+        if self.options.record_history {
+            history.reserve(self.options.max_iterations + 1);
+            history.push(rnorm);
+        }
+        let mut iterations = 0usize;
+        let mut rz = 0.0f64;
+        while rnorm > threshold && iterations < self.options.max_iterations {
+            let t0 = Instant::now();
+            pre.apply_into(&self.solver, &ws.r, &mut ws.z, &mut ws.sweep)?;
+            seconds_precond += t0.elapsed().as_secs_f64();
+            let rz_new = ops::dot(&ws.r, &ws.z);
+            if iterations == 0 {
+                ws.p.copy_from_slice(&ws.z);
+            } else {
+                let beta = rz_new / rz;
+                for (pi, zi) in ws.p.iter_mut().zip(&ws.z) {
+                    *pi = zi + beta * *pi;
+                }
+            }
+            rz = rz_new;
+            self.solver.spmv_into(sys.matrix(), &ws.p, &mut ws.ap)?;
+            let pap = ops::dot(&ws.p, &ws.ap);
+            let alpha = rz / pap;
+            if !alpha.is_finite() {
+                // Breakdown (indefinite operator or preconditioner): report
+                // the state honestly instead of iterating on NaNs.
+                break;
+            }
+            ops::axpy(alpha, &ws.p, &mut ws.x);
+            ops::axpy(-alpha, &ws.ap, &mut ws.r);
+            iterations += 1;
+            rnorm = ops::norm2(&ws.r);
+            if self.options.record_history {
+                history.push(rnorm);
+            }
+        }
+        let mut x = vec![0.0; n];
+        sys.scatter_into(&ws.x, &mut x);
+        Ok(PcgOutcome {
+            x,
+            iterations,
+            converged: rnorm <= threshold,
+            residual_norm: rnorm,
+            history,
+            seconds_total: start.elapsed().as_secs_f64(),
+            seconds_precond,
+        })
+    }
+
+    /// Solves `nrhs` systems `A X = B` at once (interleaved layout,
+    /// `b[i * nrhs + q]`, original numbering) with lockstep preconditioned
+    /// CG on the batch kernels: one batched sweep pair and one batched
+    /// `A·X` product per lockstep iteration serve the whole batch, so the
+    /// index traffic of every row is amortised over the right-hand sides.
+    /// Converged systems are frozen (their updates scaled by zero) until the
+    /// stragglers finish.
+    pub fn solve_batch(
+        &self,
+        sys: &SpdSystem,
+        pre: &mut dyn Preconditioner,
+        b: &[f64],
+        nrhs: usize,
+        ws: &mut KrylovWorkspace,
+    ) -> Result<PcgBatchOutcome> {
+        let n = sys.n();
+        if nrhs == 0 {
+            return Err(MatrixError::DimensionMismatch(
+                "solve_batch needs at least one right-hand side".into(),
+            ));
+        }
+        if b.len() != n * nrhs {
+            return Err(MatrixError::DimensionMismatch(format!(
+                "B has length {}, expected n * nrhs = {}",
+                b.len(),
+                n * nrhs
+            )));
+        }
+        if ws.n() != n || ws.nrhs() != nrhs {
+            return Err(MatrixError::DimensionMismatch(format!(
+                "workspace is sized for n = {} × nrhs = {}, solve needs n = {n} × nrhs = {nrhs}",
+                ws.n(),
+                ws.nrhs()
+            )));
+        }
+        sys.gather_batch_into(b, &mut ws.r, nrhs);
+        ws.x.fill(0.0);
+        // Per-system scalar state (O(nrhs), allocated once per solve call).
+        let mut rnorm = vec![0.0f64; nrhs];
+        strided_norms_into(&ws.r, nrhs, &mut rnorm);
+        let thresholds: Vec<f64> = rnorm
+            .iter()
+            .map(|&bn| self.options.tolerance.threshold(bn))
+            .collect();
+        let mut iterations = vec![self.options.max_iterations; nrhs];
+        let mut rz = vec![0.0f64; nrhs];
+        let mut rz_new = vec![0.0f64; nrhs];
+        let mut pap = vec![0.0f64; nrhs];
+        let mut alpha = vec![0.0f64; nrhs];
+        let mut beta = vec![0.0f64; nrhs];
+        for (q, (&r, &t)) in rnorm.iter().zip(&thresholds).enumerate() {
+            if r <= t {
+                iterations[q] = 0;
+            }
+        }
+        let mut lockstep = 0usize;
+        while lockstep < self.options.max_iterations
+            && rnorm.iter().zip(&thresholds).any(|(&r, &t)| r > t)
+        {
+            pre.apply_batch_into(&self.solver, &ws.r, &mut ws.z, &mut ws.sweep, nrhs)?;
+            strided_dots(&ws.r, &ws.z, nrhs, &mut rz_new);
+            for q in 0..nrhs {
+                let active = rnorm[q] > thresholds[q];
+                beta[q] = if lockstep == 0 || !active || rz[q] == 0.0 {
+                    0.0
+                } else {
+                    rz_new[q] / rz[q]
+                };
+            }
+            if lockstep == 0 {
+                ws.p.copy_from_slice(&ws.z);
+            } else {
+                for (i, chunk) in ws.p.chunks_exact_mut(nrhs).enumerate() {
+                    let base = i * nrhs;
+                    for (q, pi) in chunk.iter_mut().enumerate() {
+                        *pi = ws.z[base + q] + beta[q] * *pi;
+                    }
+                }
+            }
+            rz.copy_from_slice(&rz_new);
+            self.solver
+                .spmv_batch_into(sys.matrix(), &ws.p, &mut ws.ap, nrhs)?;
+            strided_dots(&ws.p, &ws.ap, nrhs, &mut pap);
+            for q in 0..nrhs {
+                let active = rnorm[q] > thresholds[q];
+                let a = rz[q] / pap[q];
+                // Frozen or broken-down systems get a zero step: x and r
+                // stay put, so their reported residual remains truthful.
+                alpha[q] = if active && a.is_finite() { a } else { 0.0 };
+            }
+            for i in 0..n {
+                let base = i * nrhs;
+                for (q, &aq) in alpha.iter().enumerate() {
+                    ws.x[base + q] += aq * ws.p[base + q];
+                    ws.r[base + q] -= aq * ws.ap[base + q];
+                }
+            }
+            lockstep += 1;
+            strided_norms_into(&ws.r, nrhs, &mut rnorm);
+            for q in 0..nrhs {
+                if rnorm[q] <= thresholds[q] && iterations[q] > lockstep {
+                    iterations[q] = lockstep;
+                }
+            }
+        }
+        let mut x = vec![0.0; n * nrhs];
+        sys.scatter_batch_into(&ws.x, &mut x, nrhs);
+        let converged: Vec<bool> = rnorm
+            .iter()
+            .zip(&thresholds)
+            .map(|(&r, &t)| r <= t)
+            .collect();
+        for (it, &c) in iterations.iter_mut().zip(&converged) {
+            if !c {
+                *it = lockstep;
+            }
+        }
+        Ok(PcgBatchOutcome {
+            x,
+            iterations,
+            converged,
+            residual_norms: rnorm,
+            lockstep_iterations: lockstep,
+        })
+    }
+}
+
+/// Per-system 2-norms of an interleaved batch vector, into a caller buffer
+/// (no allocation in the lockstep loop).
+fn strided_norms_into(v: &[f64], nrhs: usize, out: &mut [f64]) {
+    out.fill(0.0);
+    for chunk in v.chunks_exact(nrhs) {
+        for (a, &x) in out.iter_mut().zip(chunk) {
+            *a += x * x;
+        }
+    }
+    for a in out {
+        *a = a.sqrt();
+    }
+}
+
+/// Per-system dot products of two interleaved batch vectors.
+fn strided_dots(u: &[f64], v: &[f64], nrhs: usize, out: &mut [f64]) {
+    out.fill(0.0);
+    for (cu, cv) in u.chunks_exact(nrhs).zip(v.chunks_exact(nrhs)) {
+        for ((o, &a), &b) in out.iter_mut().zip(cu).zip(cv) {
+            *o += a * b;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::precond::{Ic0, Identity, Ssor, SweepEngine};
+    use sts_core::Method;
+    use sts_matrix::{generators, ops};
+
+    fn laplacian_system(nx: usize, ny: usize) -> SpdSystem {
+        let a = generators::grid2d_laplacian(nx, ny).unwrap();
+        SpdSystem::build(&a, Method::Sts3, 8).unwrap()
+    }
+
+    #[test]
+    fn plain_cg_solves_the_laplacian() {
+        let sys = laplacian_system(12, 12);
+        let a = generators::grid2d_laplacian(12, 12).unwrap();
+        let x_true: Vec<f64> = (0..sys.n())
+            .map(|i| ((i % 13) as f64 - 6.0) * 0.5)
+            .collect();
+        let b = ops::spmv(&a, &x_true).unwrap();
+        let pcg = Pcg::new(2, Schedule::Guided { min_chunk: 1 });
+        let mut ws = KrylovWorkspace::new(sys.n());
+        let out = pcg.solve(&sys, &mut Identity, &b, &mut ws).unwrap();
+        assert!(out.converged, "CG must converge on an SPD Laplacian");
+        assert!(ops::relative_error_inf(&out.x, &x_true) < 1e-6);
+        assert_eq!(out.history.len(), out.iterations + 1);
+        assert!(out.history.windows(2).any(|w| w[1] < w[0]));
+        assert!(out.residual_norm <= out.history[0] * 1e-8);
+    }
+
+    #[test]
+    fn preconditioning_reduces_iterations() {
+        let sys = laplacian_system(16, 16);
+        let a = generators::grid2d_laplacian(16, 16).unwrap();
+        let x_true: Vec<f64> = (0..sys.n()).map(|i| 1.0 + (i % 7) as f64 * 0.4).collect();
+        let b = ops::spmv(&a, &x_true).unwrap();
+        let pcg = Pcg::new(3, Schedule::Guided { min_chunk: 1 });
+        let mut ws = KrylovWorkspace::new(sys.n());
+        let plain = pcg.solve(&sys, &mut Identity, &b, &mut ws).unwrap();
+        let mut ssor = Ssor::new(&sys, pcg.solver(), SweepEngine::Pipelined);
+        let with_ssor = pcg.solve(&sys, &mut ssor, &b, &mut ws).unwrap();
+        let mut ic0 = Ic0::new(&sys, pcg.solver(), SweepEngine::Pipelined).unwrap();
+        let with_ic0 = pcg.solve(&sys, &mut ic0, &b, &mut ws).unwrap();
+        assert!(plain.converged && with_ssor.converged && with_ic0.converged);
+        assert!(
+            with_ssor.iterations < plain.iterations,
+            "SSOR must beat plain CG ({} vs {})",
+            with_ssor.iterations,
+            plain.iterations
+        );
+        assert!(
+            with_ic0.iterations < plain.iterations,
+            "IC(0) must beat plain CG ({} vs {})",
+            with_ic0.iterations,
+            plain.iterations
+        );
+        assert!(ops::relative_error_inf(&with_ssor.x, &x_true) < 1e-6);
+        assert!(ops::relative_error_inf(&with_ic0.x, &x_true) < 1e-6);
+        assert!(with_ssor.seconds_precond > 0.0);
+        assert!(with_ssor.precond_share() > 0.0 && with_ssor.precond_share() < 1.0);
+    }
+
+    #[test]
+    fn sequential_and_pipelined_sweeps_take_identical_iteration_counts() {
+        // The acceptance invariant: both engines run the same per-row
+        // arithmetic, so the iterate sequences — and hence the counts — are
+        // identical, not merely close.
+        let sys = laplacian_system(20, 20);
+        let a = generators::grid2d_laplacian(20, 20).unwrap();
+        let b = ops::spmv(&a, &vec![1.0; sys.n()]).unwrap();
+        let pcg = Pcg::new(4, Schedule::Guided { min_chunk: 1 });
+        let mut ws = KrylovWorkspace::new(sys.n());
+        let mut seq = Ssor::new(&sys, pcg.solver(), SweepEngine::Sequential);
+        let mut pip = Ssor::new(&sys, pcg.solver(), SweepEngine::Pipelined);
+        let out_seq = pcg.solve(&sys, &mut seq, &b, &mut ws).unwrap();
+        let out_pip = pcg.solve(&sys, &mut pip, &b, &mut ws).unwrap();
+        assert!(out_seq.converged && out_pip.converged);
+        assert_eq!(out_seq.iterations, out_pip.iterations);
+        assert_eq!(out_seq.history, out_pip.history, "bitwise-identical paths");
+    }
+
+    #[test]
+    fn absolute_tolerance_and_iteration_bound_are_honored() {
+        let sys = laplacian_system(10, 10);
+        let a = generators::grid2d_laplacian(10, 10).unwrap();
+        let x_rough: Vec<f64> = (0..sys.n())
+            .map(|i| ((i * 7919) % 23) as f64 - 11.0)
+            .collect();
+        let b = ops::spmv(&a, &x_rough).unwrap();
+        // A bound too tight to reach in 3 iterations.
+        let pcg = Pcg::with_options(
+            2,
+            Schedule::Static,
+            PcgOptions {
+                tolerance: Tolerance::Absolute(1e-12),
+                max_iterations: 3,
+                record_history: false,
+            },
+        );
+        let mut ws = KrylovWorkspace::new(sys.n());
+        let out = pcg.solve(&sys, &mut Identity, &b, &mut ws).unwrap();
+        assert!(!out.converged);
+        assert_eq!(out.iterations, 3);
+        assert!(out.history.is_empty());
+    }
+
+    #[test]
+    fn batched_solve_matches_single_rhs_solves() {
+        let sys = laplacian_system(11, 13);
+        let a = generators::grid2d_laplacian(11, 13).unwrap();
+        let n = sys.n();
+        let nrhs = 3;
+        let pcg = Pcg::new(3, Schedule::Guided { min_chunk: 1 });
+        let mut pre = Ssor::new(&sys, pcg.solver(), SweepEngine::Pipelined);
+        let mut b = vec![0.0; n * nrhs];
+        let mut x_true = vec![0.0; n * nrhs];
+        for q in 0..nrhs {
+            let xq: Vec<f64> = (0..n)
+                .map(|i| 1.0 + ((i + 3 * q) % 9) as f64 * 0.3)
+                .collect();
+            let bq = ops::spmv(&a, &xq).unwrap();
+            for i in 0..n {
+                b[i * nrhs + q] = bq[i];
+                x_true[i * nrhs + q] = xq[i];
+            }
+        }
+        let mut ws = KrylovWorkspace::with_nrhs(n, nrhs);
+        let out = pcg.solve_batch(&sys, &mut pre, &b, nrhs, &mut ws).unwrap();
+        assert!(
+            out.converged.iter().all(|&c| c),
+            "all systems must converge"
+        );
+        assert!(ops::relative_error_inf(&out.x, &x_true) < 1e-6);
+        assert!(out.lockstep_iterations >= *out.iterations.iter().max().unwrap());
+        // Each system's count matches its standalone solve (same arithmetic
+        // per slot — frozen systems never perturb the others).
+        let mut ws1 = KrylovWorkspace::new(n);
+        for q in 0..nrhs {
+            let bq: Vec<f64> = (0..n).map(|i| b[i * nrhs + q]).collect();
+            let single = pcg.solve(&sys, &mut pre, &bq, &mut ws1).unwrap();
+            assert_eq!(
+                single.iterations, out.iterations[q],
+                "system {q} diverged from its standalone count"
+            );
+        }
+    }
+
+    #[test]
+    fn mismatched_workspace_and_rhs_are_rejected() {
+        let sys = laplacian_system(6, 6);
+        let pcg = Pcg::new(2, Schedule::Static);
+        let mut ws = KrylovWorkspace::new(sys.n());
+        assert!(pcg.solve(&sys, &mut Identity, &[1.0; 3], &mut ws).is_err());
+        let mut small = KrylovWorkspace::new(5);
+        assert!(pcg
+            .solve(&sys, &mut Identity, &vec![1.0; sys.n()], &mut small)
+            .is_err());
+        let b = vec![1.0; sys.n() * 2];
+        assert!(pcg
+            .solve_batch(&sys, &mut Identity, &b, 0, &mut ws)
+            .is_err());
+        assert!(pcg
+            .solve_batch(&sys, &mut Identity, &b, 2, &mut ws)
+            .is_err());
+    }
+}

@@ -1,0 +1,426 @@
+//! Preconditioners whose sweeps run on the STS triangular kernels.
+//!
+//! A preconditioner application is two triangular sweeps — one forward, one
+//! backward — on a fixed structure, repeated every iteration. Both
+//! implementations here therefore bind to an [`SpdSystem`]'s structure at
+//! construction, build their [`PipelinePlan`]s once, and apply through the
+//! allocation-free `solve_*_into` kernels:
+//!
+//! * [`Ssor`] — symmetric Gauss–Seidel, `M = (D + L) D⁻¹ (D + L)ᵀ`, whose
+//!   operand *is* the system structure's reordered lower triangle (no extra
+//!   factorization);
+//! * [`Ic0`] — zero-fill incomplete Cholesky, `M = F Fᵀ` with
+//!   `F = ic0(P A Pᵀ)`: the factor shares the lower triangle's sparsity
+//!   pattern exactly, so it reuses the system's pack / super-row hierarchy
+//!   (and hence the whole split-kernel machinery) through
+//!   [`StsStructure::with_operand`];
+//! * [`Identity`] — `M = I`, turning the driver into plain CG for
+//!   comparison runs.
+//!
+//! The [`SweepEngine`] selects between the sequential split kernels and the
+//! pack-pipelined parallel kernels. Both run the *same* per-row arithmetic
+//! in the same order, so switching engines changes wall time, never the
+//! iterate sequence — sequential- and pipelined-sweep PCG take bitwise
+//! identical paths and the same iteration count.
+
+use std::sync::Arc;
+
+use sts_core::{ParallelSolver, PipelinePlan, StsStructure};
+use sts_matrix::MatrixError;
+
+use crate::system::SpdSystem;
+use crate::Result;
+
+/// Which kernels a preconditioner's triangular sweeps run on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SweepEngine {
+    /// The sequential split kernels (`solve_sequential_split_into` /
+    /// `solve_transpose_sequential_split_into`): single-core, no pool
+    /// involvement.
+    Sequential,
+    /// The pack-pipelined parallel kernels (`solve_pipelined_into` /
+    /// `solve_transpose_pipelined_into`) on the driver's worker pool.
+    Pipelined,
+}
+
+/// The application contract `z = M⁻¹ r`, in the system's reordered
+/// numbering, with no heap allocation: implementations may only use the
+/// provided buffers (`sweep` is the caller's mid-sweep scratch from the
+/// [`KrylovWorkspace`](crate::KrylovWorkspace)) and their own prebuilt
+/// state.
+pub trait Preconditioner {
+    /// Short label for reports ("none", "ssor", "ic0").
+    fn label(&self) -> &'static str;
+
+    /// Applies `z ← M⁻¹ r`. `solver` must be the pool the preconditioner's
+    /// plans were built against (the `_into` kernels verify this).
+    fn apply_into(
+        &mut self,
+        solver: &ParallelSolver,
+        r: &[f64],
+        z: &mut [f64],
+        sweep: &mut [f64],
+    ) -> Result<()>;
+
+    /// Applies `z ← M⁻¹ r` to `nrhs` interleaved systems
+    /// (`r[i * nrhs + q]`). Only the pipelined engine carries batch sweeps;
+    /// the default refuses.
+    fn apply_batch_into(
+        &mut self,
+        solver: &ParallelSolver,
+        r: &[f64],
+        z: &mut [f64],
+        sweep: &mut [f64],
+        nrhs: usize,
+    ) -> Result<()> {
+        let _ = (solver, r, z, sweep, nrhs);
+        Err(MatrixError::InvalidParameter(format!(
+            "preconditioner '{}' does not support batched application",
+            self.label()
+        )))
+    }
+}
+
+/// `M = I`: plain conjugate gradient.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Identity;
+
+impl Preconditioner for Identity {
+    fn label(&self) -> &'static str {
+        "none"
+    }
+
+    fn apply_into(
+        &mut self,
+        _solver: &ParallelSolver,
+        r: &[f64],
+        z: &mut [f64],
+        _sweep: &mut [f64],
+    ) -> Result<()> {
+        z.copy_from_slice(r);
+        Ok(())
+    }
+
+    fn apply_batch_into(
+        &mut self,
+        _solver: &ParallelSolver,
+        r: &[f64],
+        z: &mut [f64],
+        _sweep: &mut [f64],
+        _nrhs: usize,
+    ) -> Result<()> {
+        z.copy_from_slice(r);
+        Ok(())
+    }
+}
+
+/// The two sweeps shared by [`Ssor`] and [`Ic0`]: a structure, its
+/// forward/backward plans (pipelined engine only), and the engine choice.
+#[derive(Debug)]
+struct SweepPair {
+    structure: Arc<StsStructure>,
+    engine: SweepEngine,
+    /// `(forward, backward)` plans; `None` for the sequential engine.
+    plans: Option<(PipelinePlan, PipelinePlan)>,
+}
+
+impl SweepPair {
+    fn new(structure: Arc<StsStructure>, solver: &ParallelSolver, engine: SweepEngine) -> Self {
+        let plans = match engine {
+            SweepEngine::Sequential => {
+                // Force the lazy layouts now so the first apply is not the
+                // one paying the build sweeps.
+                structure.split();
+                structure.transpose_split();
+                None
+            }
+            SweepEngine::Pipelined => {
+                Some((solver.plan(&structure), solver.plan_transpose(&structure)))
+            }
+        };
+        SweepPair {
+            structure,
+            engine,
+            plans,
+        }
+    }
+
+    /// Forward sweep `L y = r` into `y`.
+    fn forward(&mut self, solver: &ParallelSolver, r: &[f64], y: &mut [f64]) -> Result<()> {
+        match (&self.engine, &mut self.plans) {
+            (SweepEngine::Sequential, _) => self.structure.solve_sequential_split_into(r, y),
+            (SweepEngine::Pipelined, Some((fwd, _))) => {
+                solver.solve_pipelined_into(&self.structure, fwd, r, y)
+            }
+            (SweepEngine::Pipelined, None) => unreachable!("pipelined pair always holds plans"),
+        }
+    }
+
+    /// Backward sweep `Lᵀ z = t` into `z`.
+    fn backward(&mut self, solver: &ParallelSolver, t: &[f64], z: &mut [f64]) -> Result<()> {
+        match (&self.engine, &mut self.plans) {
+            (SweepEngine::Sequential, _) => {
+                self.structure.solve_transpose_sequential_split_into(t, z)
+            }
+            (SweepEngine::Pipelined, Some((_, bwd))) => {
+                solver.solve_transpose_pipelined_into(&self.structure, bwd, t, z)
+            }
+            (SweepEngine::Pipelined, None) => unreachable!("pipelined pair always holds plans"),
+        }
+    }
+
+    /// Batched forward sweep (pipelined engine only).
+    fn forward_batch(
+        &mut self,
+        solver: &ParallelSolver,
+        r: &[f64],
+        y: &mut [f64],
+        nrhs: usize,
+    ) -> Result<()> {
+        match &mut self.plans {
+            Some((fwd, _)) => solver.solve_batch_pipelined_into(&self.structure, fwd, r, y, nrhs),
+            None => Err(MatrixError::InvalidParameter(
+                "batched sweeps need SweepEngine::Pipelined".into(),
+            )),
+        }
+    }
+
+    /// Batched backward sweep (pipelined engine only).
+    fn backward_batch(
+        &mut self,
+        solver: &ParallelSolver,
+        t: &[f64],
+        z: &mut [f64],
+        nrhs: usize,
+    ) -> Result<()> {
+        match &mut self.plans {
+            Some((_, bwd)) => {
+                solver.solve_transpose_batch_pipelined_into(&self.structure, bwd, t, z, nrhs)
+            }
+            None => Err(MatrixError::InvalidParameter(
+                "batched sweeps need SweepEngine::Pipelined".into(),
+            )),
+        }
+    }
+}
+
+/// Symmetric Gauss–Seidel (SSOR with ω = 1):
+/// `M = (D + L) D⁻¹ (D + L)ᵀ`, where `D + L` is the system structure's
+/// reordered lower triangle. Application is a forward sweep, a diagonal
+/// scale, and a backward sweep — all on the STS kernels, no factorization.
+#[derive(Debug)]
+pub struct Ssor {
+    sweeps: SweepPair,
+    /// Diagonal of the reordered operand (`D`).
+    diag: Vec<f64>,
+}
+
+impl Ssor {
+    /// Builds the preconditioner on `sys`'s structure, with plans bound to
+    /// `solver` when the pipelined engine is selected.
+    pub fn new(sys: &SpdSystem, solver: &ParallelSolver, engine: SweepEngine) -> Ssor {
+        let structure = sys.structure_arc();
+        let diag = (0..structure.n())
+            .map(|i| structure.lower().diag(i))
+            .collect();
+        Ssor {
+            sweeps: SweepPair::new(structure, solver, engine),
+            diag,
+        }
+    }
+}
+
+impl Preconditioner for Ssor {
+    fn label(&self) -> &'static str {
+        "ssor"
+    }
+
+    fn apply_into(
+        &mut self,
+        solver: &ParallelSolver,
+        r: &[f64],
+        z: &mut [f64],
+        sweep: &mut [f64],
+    ) -> Result<()> {
+        // (D + L) y = r.
+        self.sweeps.forward(solver, r, sweep)?;
+        // t = D y, in place.
+        for (value, d) in sweep.iter_mut().zip(&self.diag) {
+            *value *= d;
+        }
+        // (D + L)ᵀ z = t.
+        self.sweeps.backward(solver, sweep, z)
+    }
+
+    fn apply_batch_into(
+        &mut self,
+        solver: &ParallelSolver,
+        r: &[f64],
+        z: &mut [f64],
+        sweep: &mut [f64],
+        nrhs: usize,
+    ) -> Result<()> {
+        self.sweeps.forward_batch(solver, r, sweep, nrhs)?;
+        for (i, &d) in self.diag.iter().enumerate() {
+            for value in &mut sweep[i * nrhs..(i + 1) * nrhs] {
+                *value *= d;
+            }
+        }
+        self.sweeps.backward_batch(solver, sweep, z, nrhs)
+    }
+}
+
+/// Zero-fill incomplete Cholesky: `M = F Fᵀ` with `F = ic0(P A Pᵀ)`.
+///
+/// The factor is computed in the system's reordered numbering (incomplete
+/// factorizations are ordering-dependent, so factoring the *reordered*
+/// matrix is what makes the preconditioner consistent with the iteration's
+/// coordinates), and carried by a second [`StsStructure`] that shares the
+/// system's pack / super-row hierarchy — IC(0) preserves the sparsity
+/// pattern, so the hierarchy transfers via
+/// [`StsStructure::with_operand`].
+#[derive(Debug)]
+pub struct Ic0 {
+    sweeps: SweepPair,
+}
+
+impl Ic0 {
+    /// Factorizes `sys`'s reordered operator and builds the sweep state.
+    /// Fails with [`MatrixError::FactorizationBreakdown`] when the matrix is
+    /// not SPD on the retained pattern.
+    pub fn new(sys: &SpdSystem, solver: &ParallelSolver, engine: SweepEngine) -> Result<Ic0> {
+        let factor = sts_matrix::factor::ic0(sys.matrix())?;
+        let structure = Arc::new(sys.structure().with_operand(factor)?);
+        Ok(Ic0 {
+            sweeps: SweepPair::new(structure, solver, engine),
+        })
+    }
+}
+
+impl Preconditioner for Ic0 {
+    fn label(&self) -> &'static str {
+        "ic0"
+    }
+
+    fn apply_into(
+        &mut self,
+        solver: &ParallelSolver,
+        r: &[f64],
+        z: &mut [f64],
+        sweep: &mut [f64],
+    ) -> Result<()> {
+        // F y = r, then Fᵀ z = y.
+        self.sweeps.forward(solver, r, sweep)?;
+        self.sweeps.backward(solver, sweep, z)
+    }
+
+    fn apply_batch_into(
+        &mut self,
+        solver: &ParallelSolver,
+        r: &[f64],
+        z: &mut [f64],
+        sweep: &mut [f64],
+        nrhs: usize,
+    ) -> Result<()> {
+        self.sweeps.forward_batch(solver, r, sweep, nrhs)?;
+        self.sweeps.backward_batch(solver, sweep, z, nrhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sts_core::Method;
+    use sts_matrix::{generators, ops};
+    use sts_numa::Schedule;
+
+    fn test_setup() -> (SpdSystem, ParallelSolver) {
+        let a = generators::grid2d_laplacian(9, 8).unwrap();
+        let sys = SpdSystem::build(&a, Method::Sts3, 8).unwrap();
+        let solver = ParallelSolver::new(3, Schedule::Guided { min_chunk: 1 });
+        (sys, solver)
+    }
+
+    /// Dense reference for `M⁻¹ r` with `M = (D+L) D⁻¹ (D+L)ᵀ`.
+    fn ssor_reference(sys: &SpdSystem, r: &[f64]) -> Vec<f64> {
+        let l = sys.structure().lower();
+        let y = l.solve_seq(r).unwrap();
+        let dy: Vec<f64> = (0..sys.n()).map(|i| y[i] * l.diag(i)).collect();
+        l.solve_transpose_seq(&dy).unwrap()
+    }
+
+    #[test]
+    fn ssor_engines_agree_with_the_reference_application() {
+        let (sys, solver) = test_setup();
+        let r: Vec<f64> = (0..sys.n()).map(|i| 1.0 + (i % 5) as f64 * 0.3).collect();
+        let expected = ssor_reference(&sys, &r);
+        for engine in [SweepEngine::Sequential, SweepEngine::Pipelined] {
+            let mut pre = Ssor::new(&sys, &solver, engine);
+            let mut z = vec![0.0; sys.n()];
+            let mut sweep = vec![0.0; sys.n()];
+            pre.apply_into(&solver, &r, &mut z, &mut sweep).unwrap();
+            assert!(
+                ops::relative_error_inf(&z, &expected) < 1e-12,
+                "{engine:?} sweep diverged from the reference"
+            );
+        }
+    }
+
+    #[test]
+    fn sequential_and_pipelined_applications_are_bitwise_identical() {
+        let (sys, solver) = test_setup();
+        let r: Vec<f64> = (0..sys.n()).map(|i| 0.25 + (i % 7) as f64).collect();
+        let mut seq = Ssor::new(&sys, &solver, SweepEngine::Sequential);
+        let mut pip = Ssor::new(&sys, &solver, SweepEngine::Pipelined);
+        let (mut z1, mut z2) = (vec![0.0; sys.n()], vec![0.0; sys.n()]);
+        let mut sweep = vec![0.0; sys.n()];
+        seq.apply_into(&solver, &r, &mut z1, &mut sweep).unwrap();
+        pip.apply_into(&solver, &r, &mut z2, &mut sweep).unwrap();
+        assert_eq!(z1, z2, "engines must take bitwise identical paths");
+    }
+
+    #[test]
+    fn ic0_application_inverts_the_factor_product() {
+        let (sys, solver) = test_setup();
+        let mut pre = Ic0::new(&sys, &solver, SweepEngine::Pipelined).unwrap();
+        // Manufacture r = F Fᵀ w, expect apply(r) = w.
+        let f = sts_matrix::factor::ic0(sys.matrix()).unwrap();
+        let w: Vec<f64> = (0..sys.n()).map(|i| 1.0 - (i % 4) as f64 * 0.2).collect();
+        let ftw = f.multiply_transpose(&w).unwrap();
+        let r = f.multiply(&ftw).unwrap();
+        let mut z = vec![0.0; sys.n()];
+        let mut sweep = vec![0.0; sys.n()];
+        pre.apply_into(&solver, &r, &mut z, &mut sweep).unwrap();
+        assert!(ops::relative_error_inf(&z, &w) < 1e-10);
+    }
+
+    #[test]
+    fn batch_application_matches_per_system_applications() {
+        let (sys, solver) = test_setup();
+        let n = sys.n();
+        let nrhs = 3;
+        let mut pre = Ssor::new(&sys, &solver, SweepEngine::Pipelined);
+        let mut rb = vec![0.0; n * nrhs];
+        let mut expected = vec![0.0; n * nrhs];
+        for q in 0..nrhs {
+            let r: Vec<f64> = (0..n).map(|i| 1.0 + ((i + q) % 6) as f64 * 0.4).collect();
+            let mut z = vec![0.0; n];
+            let mut sweep = vec![0.0; n];
+            pre.apply_into(&solver, &r, &mut z, &mut sweep).unwrap();
+            for i in 0..n {
+                rb[i * nrhs + q] = r[i];
+                expected[i * nrhs + q] = z[i];
+            }
+        }
+        let mut zb = vec![0.0; n * nrhs];
+        let mut sweepb = vec![0.0; n * nrhs];
+        pre.apply_batch_into(&solver, &rb, &mut zb, &mut sweepb, nrhs)
+            .unwrap();
+        assert!(ops::relative_error_inf(&zb, &expected) < 1e-13);
+        // The sequential engine refuses batched sweeps.
+        let mut seq = Ssor::new(&sys, &solver, SweepEngine::Sequential);
+        assert!(seq
+            .apply_batch_into(&solver, &rb, &mut zb, &mut sweepb, nrhs)
+            .is_err());
+    }
+}

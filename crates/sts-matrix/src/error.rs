@@ -47,6 +47,15 @@ pub enum MatrixError {
     Io(String),
     /// A generator or suite entry was asked for parameters it cannot satisfy.
     InvalidParameter(String),
+    /// An incomplete factorization hit a non-positive pivot: the input was
+    /// not (numerically) symmetric positive definite on the retained
+    /// pattern.
+    FactorizationBreakdown {
+        /// Row whose pivot broke down.
+        row: usize,
+        /// The offending pivot value (`≤ 0`).
+        pivot: f64,
+    },
 }
 
 impl fmt::Display for MatrixError {
@@ -75,6 +84,10 @@ impl fmt::Display for MatrixError {
             }
             MatrixError::Io(msg) => write!(f, "i/o error: {msg}"),
             MatrixError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            MatrixError::FactorizationBreakdown { row, pivot } => write!(
+                f,
+                "factorization breakdown at row {row}: pivot {pivot} is not positive"
+            ),
         }
     }
 }

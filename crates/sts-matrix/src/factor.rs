@@ -1,0 +1,214 @@
+//! Incomplete factorizations producing triangular preconditioner operands.
+//!
+//! The workload the STS-k kernels exist for is a preconditioned iterative
+//! solver: every iteration applies `M⁻¹` through one forward and one
+//! backward triangular sweep. [`ic0`] builds the classic zero-fill
+//! incomplete Cholesky preconditioner `M = L Lᵀ ≈ A` whose factor has
+//! *exactly* the sparsity pattern of `A`'s lower triangle — which means an
+//! ordering (and split layout) computed once for `A` hosts the factor's
+//! values unchanged.
+//!
+//! # Algorithm
+//!
+//! Row-wise up-looking IC(0): for each row `i` in increasing order, and each
+//! retained strictly-lower position `(i, k)` in increasing column order,
+//!
+//! ```text
+//! L[i][k] = (A[i][k] − Σ_{j < k} L[i][j] · L[k][j]) / L[k][k]
+//! L[i][i] = sqrt(A[i][i] − Σ_{j < i} L[i][j]²)
+//! ```
+//!
+//! where the sums run over the *retained* pattern only (a sorted two-pointer
+//! merge of rows `i` and `k`). A non-positive value under the square root is
+//! reported as [`MatrixError::FactorizationBreakdown`]; on SPD M-matrices
+//! (the grid Laplacians of the synthetic suite) the factorization is known
+//! to exist.
+
+use crate::csr::CsrMatrix;
+use crate::error::MatrixError;
+use crate::triangular::LowerTriangularCsr;
+use crate::Result;
+
+/// Zero-fill incomplete Cholesky: returns the lower-triangular factor `L`
+/// with the sparsity pattern of `a`'s lower triangle such that
+/// `L Lᵀ ≈ a` (exact on the retained pattern positions).
+///
+/// `a` must be square with a fully stored symmetric pattern (both triangles
+/// present, as the synthetic suite and Matrix Market symmetric readers
+/// produce); only the lower triangle is read.
+pub fn ic0(a: &CsrMatrix) -> Result<LowerTriangularCsr> {
+    if a.nrows() != a.ncols() {
+        return Err(MatrixError::DimensionMismatch(format!(
+            "ic0 needs a square matrix, got {}x{}",
+            a.nrows(),
+            a.ncols()
+        )));
+    }
+    let n = a.nrows();
+    // Copy the lower triangle (columns sorted increasingly, diagonal last in
+    // its natural sorted position) — the factor overwrites the values in
+    // place, pattern unchanged.
+    let mut row_ptr = Vec::with_capacity(n + 1);
+    let mut col_idx = Vec::new();
+    let mut vals = Vec::new();
+    row_ptr.push(0usize);
+    for r in 0..n {
+        let mut has_diag = false;
+        for (&c, &v) in a.row_cols(r).iter().zip(a.row_values(r)) {
+            if c > r {
+                break; // columns are sorted; the rest is upper triangle
+            }
+            col_idx.push(c);
+            vals.push(v);
+            has_diag |= c == r;
+        }
+        if !has_diag {
+            return Err(MatrixError::SingularDiagonal { row: r });
+        }
+        row_ptr.push(col_idx.len());
+    }
+    // Up-looking factorization over the retained pattern. Row r's entries
+    // end with its diagonal (largest retained column), so vals[row_ptr[r+1]-1]
+    // is L[r][r] once row r is done.
+    for i in 0..n {
+        let (lo, hi) = (row_ptr[i], row_ptr[i + 1]);
+        for kk in lo..hi - 1 {
+            let k = col_idx[kk];
+            // Sparse dot of rows i and k over columns < k (two-pointer merge
+            // of the already-computed prefixes).
+            let mut s = vals[kk];
+            let (mut pi, mut pk) = (lo, row_ptr[k]);
+            let k_end = row_ptr[k + 1] - 1; // exclude L[k][k]
+            while pi < kk && pk < k_end {
+                match col_idx[pi].cmp(&col_idx[pk]) {
+                    std::cmp::Ordering::Less => pi += 1,
+                    std::cmp::Ordering::Greater => pk += 1,
+                    std::cmp::Ordering::Equal => {
+                        s -= vals[pi] * vals[pk];
+                        pi += 1;
+                        pk += 1;
+                    }
+                }
+            }
+            vals[kk] = s / vals[k_end];
+        }
+        let mut d = vals[hi - 1];
+        for v in &vals[lo..hi - 1] {
+            d -= v * v;
+        }
+        if d <= 0.0 || !d.is_finite() {
+            return Err(MatrixError::FactorizationBreakdown { row: i, pivot: d });
+        }
+        vals[hi - 1] = d.sqrt();
+    }
+    let csr = CsrMatrix::from_raw_unchecked(n, n, row_ptr, col_idx, vals);
+    LowerTriangularCsr::from_csr(&csr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::CooMatrix;
+    use crate::generators;
+    use crate::ops;
+
+    /// Dense `L Lᵀ` entry for verification.
+    fn llt_entry(l: &LowerTriangularCsr, i: usize, j: usize) -> f64 {
+        let row = |r: usize| -> Vec<(usize, f64)> {
+            let mut v: Vec<(usize, f64)> = l
+                .row_off_diag_cols(r)
+                .iter()
+                .copied()
+                .zip(l.row_off_diag_values(r).iter().copied())
+                .collect();
+            v.push((r, l.diag(r)));
+            v
+        };
+        let (ri, rj) = (row(i), row(j));
+        let mut s = 0.0;
+        for &(c, v) in &ri {
+            if let Some(&(_, w)) = rj.iter().find(|&&(d, _)| d == c) {
+                s += v * w;
+            }
+        }
+        s
+    }
+
+    #[test]
+    fn tridiagonal_ic0_is_the_exact_cholesky_factor() {
+        // A tridiagonal SPD matrix has a tridiagonal Cholesky factor, so
+        // IC(0) drops nothing: L Lᵀ must equal A exactly.
+        let n = 12;
+        let mut coo = CooMatrix::new(n, n);
+        for i in 0..n {
+            coo.push(i, i, 4.0).unwrap();
+            if i > 0 {
+                coo.push(i, i - 1, -1.0).unwrap();
+                coo.push(i - 1, i, -1.0).unwrap();
+            }
+        }
+        let a = coo.to_csr();
+        let l = ic0(&a).unwrap();
+        for (r, c, v) in a.iter() {
+            if c <= r {
+                assert!(
+                    (llt_entry(&l, r, c) - v).abs() < 1e-12,
+                    "LLᵀ[{r}][{c}] diverged from A"
+                );
+            }
+        }
+        // The factor actually preconditions: L (Lᵀ x) recovers A x.
+        let x: Vec<f64> = (0..n).map(|i| 1.0 + 0.1 * i as f64).collect();
+        let ax = ops::spmv(&a, &x).unwrap();
+        let y = l.solve_seq(&ax).unwrap();
+        let x_back = l.solve_transpose_seq(&y).unwrap();
+        assert!(ops::relative_error_inf(&x_back, &x) < 1e-10);
+    }
+
+    #[test]
+    fn ic0_matches_a_on_the_retained_pattern() {
+        // The defining IC(0) property: (L Lᵀ)[i][j] = A[i][j] for every
+        // retained position (i, j), even where the exact factor would fill.
+        let a = generators::grid2d_laplacian(6, 5).unwrap();
+        let l = ic0(&a).unwrap();
+        assert_eq!(l.nnz() * 2 - l.n(), a.nnz(), "pattern must be preserved");
+        for (r, c, v) in a.iter() {
+            if c <= r {
+                assert!(
+                    (llt_entry(&l, r, c) - v).abs() < 1e-12,
+                    "IC(0) must match A at retained position ({r}, {c})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ic0_rejects_non_spd_input() {
+        let mut coo = CooMatrix::new(2, 2);
+        coo.push(0, 0, 1.0).unwrap();
+        coo.push(0, 1, 3.0).unwrap();
+        coo.push(1, 0, 3.0).unwrap();
+        coo.push(1, 1, 1.0).unwrap(); // 1 − 9 < 0 under the root
+        let e = ic0(&coo.to_csr());
+        assert!(matches!(
+            e,
+            Err(MatrixError::FactorizationBreakdown { row: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn ic0_rejects_missing_diagonal_and_rectangular_input() {
+        let mut coo = CooMatrix::new(2, 2);
+        coo.push(0, 0, 1.0).unwrap();
+        coo.push(1, 0, 0.5).unwrap();
+        assert!(matches!(
+            ic0(&coo.to_csr()),
+            Err(MatrixError::SingularDiagonal { row: 1 })
+        ));
+        let rect = CooMatrix::new(2, 3);
+        assert!(matches!(
+            ic0(&rect.to_csr()),
+            Err(MatrixError::DimensionMismatch(_))
+        ));
+    }
+}

@@ -12,6 +12,9 @@
 //!   last in every row exactly as Algorithm 1 of the paper expects;
 //! * [`DenseMatrix`] — a small dense helper used as the ground-truth oracle in
 //!   tests;
+//! * incomplete factorizations ([`factor`]): zero-fill incomplete Cholesky
+//!   ([`factor::ic0`]) producing preconditioner operands with the pattern of
+//!   the input's lower triangle;
 //! * Matrix Market I/O ([`io`]);
 //! * synthetic matrix [`generators`] and the Table-1 analogue [`suite`].
 //!
@@ -22,6 +25,7 @@ pub mod coo;
 pub mod csr;
 pub mod dense;
 pub mod error;
+pub mod factor;
 pub mod generators;
 pub mod io;
 pub mod ops;

@@ -183,26 +183,35 @@ impl LowerTriangularCsr {
     /// forward/backward pair needed by symmetric Gauss–Seidel and incomplete
     /// Cholesky preconditioners.
     pub fn solve_transpose_seq(&self, b: &[f64]) -> Result<Vec<f64>> {
-        if b.len() != self.n {
+        let mut x = vec![0.0; self.n];
+        self.solve_transpose_seq_into(b, &mut x)?;
+        Ok(x)
+    }
+
+    /// Solves `Lᵀ x = b` sequentially into a caller-provided buffer with no
+    /// heap allocation: `x` doubles as the running right-hand side of the
+    /// column sweep (each finalized `x[i]` scatters its update into the
+    /// still-pending entries below it in the buffer).
+    pub fn solve_transpose_seq_into(&self, b: &[f64], x: &mut [f64]) -> Result<()> {
+        if b.len() != self.n || x.len() != self.n {
             return Err(MatrixError::DimensionMismatch(format!(
-                "b has length {} but L is {}x{}",
-                b.len(),
+                "b and x must both have length {} but got {} and {}",
                 self.n,
-                self.n
+                b.len(),
+                x.len()
             )));
         }
-        let mut rhs = b.to_vec();
-        let mut x = vec![0.0; self.n];
+        x.copy_from_slice(b);
         for i in (0..self.n).rev() {
             let start = self.row_ptr[i];
             let end = self.row_ptr[i + 1];
-            let xi = rhs[i] / self.values[end - 1];
+            let xi = x[i] / self.values[end - 1];
             x[i] = xi;
             for k in start..end - 1 {
-                rhs[self.col_idx[k]] -= self.values[k] * xi;
+                x[self.col_idx[k]] -= self.values[k] * xi;
             }
         }
-        Ok(x)
+        Ok(())
     }
 
     /// Computes `y = Lᵀ x` (used to manufacture right-hand sides for the

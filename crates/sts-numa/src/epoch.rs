@@ -35,8 +35,22 @@
 //! Zero-arrival stages (empty packs) complete implicitly: the advance loop
 //! walks past them the moment the epoch reaches them (or at construction).
 //!
-//! The gate is built per solve (two counters per stage); it is intentionally
-//! not reusable, which keeps the protocol monotone and the reasoning simple.
+//! # Reuse
+//!
+//! Within one solve the protocol is monotone: counters only count down and
+//! the epoch only moves forward, which keeps the reasoning simple. Callers
+//! that solve thousands of times on one structure (preconditioned iterative
+//! solvers apply two triangular sweeps per iteration) would otherwise
+//! allocate and initialise two counters per pack on every solve, so the gate
+//! is *resettable between solves*: [`EpochGate::reset`] takes `&mut self` —
+//! exclusive access, so no arrival can race the refill — restores every
+//! counter from the arrival counts the gate was built with, rewinds the
+//! epoch, and bumps a **generation stamp** ([`EpochGate::generation`]).
+//! The stamp lets reuse bugs fail loudly: a caller that caches flag results
+//! across a reset observes the generation change, and the stress tests
+//! assert each round's flags belong to the round's own generation. The
+//! exclusivity requirement is enforced by the borrow checker, not by the
+//! protocol: hand the gate back to workers only after `reset` returns.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -63,6 +77,13 @@ pub struct EpochGate {
     phase1_remaining: Box<[AtomicUsize]>,
     /// Outstanding arrivals (phase 1 + phase 2) per stage.
     total_remaining: Box<[AtomicUsize]>,
+    /// The `(phase-1, phase-2)` arrival counts the gate was built with,
+    /// kept so [`EpochGate::reset`] can restore the counters.
+    counts: Box<[(usize, usize)]>,
+    /// How many times the gate has been reset. Plain (non-atomic) because it
+    /// only changes under `&mut self`; readers are synchronised by whatever
+    /// handed them the gate.
+    generation: usize,
 }
 
 impl EpochGate {
@@ -76,10 +97,42 @@ impl EpochGate {
                 .iter()
                 .map(|&(p1, p2)| AtomicUsize::new(p1 + p2))
                 .collect(),
+            counts: counts.into(),
+            generation: 0,
         };
         // Leading zero-arrival stages are complete before anyone arrives.
         gate.try_advance();
         gate
+    }
+
+    /// Rewinds the gate to its post-construction state for the next solve on
+    /// the same structure: every counter is restored from the original
+    /// arrival counts, the epoch returns to the leading-empty-stage frontier,
+    /// and the generation stamp is bumped.
+    ///
+    /// `&mut self` is the synchronisation: the caller must have exclusive
+    /// access, which a completed solve provides (the pool's completion
+    /// barrier orders every worker's last arrival before the orchestrator
+    /// regains the gate). The plain `get_mut` stores below are therefore
+    /// data-race free by construction, and every worker of the next solve
+    /// observes the refilled counters through whatever mechanism hands the
+    /// gate back out (the next pool dispatch).
+    pub fn reset(&mut self) {
+        for (s, &(p1, p2)) in self.counts.iter().enumerate() {
+            *self.phase1_remaining[s].get_mut() = p1;
+            *self.total_remaining[s].get_mut() = p1 + p2;
+        }
+        *self.epoch.get_mut() = 0;
+        self.generation += 1;
+        // Leading zero-arrival stages complete implicitly, as at construction.
+        self.try_advance();
+    }
+
+    /// The number of completed [`EpochGate::reset`] calls: solve `g` runs
+    /// under generation `g`, so flag results cached across a reset are
+    /// detectably stale.
+    pub fn generation(&self) -> usize {
+        self.generation
     }
 
     /// Number of stages.
@@ -284,6 +337,93 @@ mod tests {
             }
             assert_eq!(gate.epoch(), stages);
         }
+    }
+
+    #[test]
+    fn reset_restores_the_post_construction_state() {
+        let mut gate = EpochGate::new(&[(0, 0), (2, 1), (1, 0)]);
+        assert_eq!(gate.generation(), 0);
+        assert_eq!(gate.epoch(), 1, "leading empty stage completes eagerly");
+        gate.arrive_phase1(1);
+        gate.arrive_phase1(1);
+        gate.arrive_phase2(1);
+        gate.arrive_phase1(2);
+        assert_eq!(gate.epoch(), 3);
+        gate.reset();
+        assert_eq!(gate.generation(), 1);
+        assert_eq!(gate.epoch(), 1, "reset rewinds to the empty-stage frontier");
+        assert!(!gate.phase1_drained(1));
+        // The gate must be fully usable again.
+        gate.arrive_phase1(1);
+        gate.arrive_phase1(1);
+        assert!(gate.phase1_drained(1));
+        gate.arrive_phase2(1);
+        gate.arrive_phase1(2);
+        assert_eq!(gate.epoch(), 3);
+        assert_eq!(gate.generation(), 1);
+    }
+
+    /// The PCG shape: one gate, built once per structure, reused for many
+    /// solves under worker contention. Every round must behave exactly like a
+    /// freshly-built gate — flags publish the round's own writes (stamped
+    /// with the round's generation), never a previous round's.
+    #[test]
+    fn reset_gate_is_reusable_under_contention() {
+        let workers = 4;
+        let stages = 16;
+        let rounds = 40;
+        let counts: Vec<(usize, usize)> = (0..stages).map(|s| (workers, s % 3)).collect();
+        let mut gate = EpochGate::new(&counts);
+        // slots[s][w] holds `generation * stages + s + 1`, written before
+        // worker w's phase-1 arrival on stage s: a stale value behind an open
+        // flag pinpoints both the stage and the round that leaked.
+        let slots: Vec<Vec<AtomicUsize>> = (0..stages)
+            .map(|_| (0..workers).map(|_| AtomicUsize::new(0)).collect())
+            .collect();
+        for round in 0..rounds {
+            if round > 0 {
+                gate.reset();
+            }
+            assert_eq!(gate.generation(), round);
+            let phase2_claims: Vec<AtomicUsize> =
+                (0..stages).map(|_| AtomicUsize::new(0)).collect();
+            let gate_ref = &gate;
+            let slots_ref = &slots;
+            let claims_ref = &phase2_claims;
+            let counts_ref = &counts;
+            std::thread::scope(|scope| {
+                for w in 0..workers {
+                    scope.spawn(move || {
+                        for s in 0..stages {
+                            let open = gate_ref.epoch();
+                            for (done, slot) in slots_ref.iter().enumerate().take(open) {
+                                for v in slot {
+                                    assert_eq!(
+                                        v.load(Ordering::Relaxed),
+                                        round * stages + done + 1,
+                                        "stage {done} of round {round} not published \
+                                         (stale generation?)"
+                                    );
+                                }
+                            }
+                            slots_ref[s][w].store(round * stages + s + 1, Ordering::Relaxed);
+                            gate_ref.arrive_phase1(s);
+                            loop {
+                                let t = claims_ref[s].fetch_add(1, Ordering::Relaxed);
+                                if t >= counts_ref[s].1 {
+                                    break;
+                                }
+                                gate_ref.wait_phase1_drained(s);
+                                gate_ref.arrive_phase2(s);
+                            }
+                        }
+                        gate_ref.wait_open(stages);
+                    });
+                }
+            });
+            assert_eq!(gate.epoch(), stages, "round {round} did not drain");
+        }
+        assert_eq!(gate.generation(), rounds - 1);
     }
 
     #[test]

@@ -1,143 +1,112 @@
-//! Preconditioned conjugate gradient with an SSOR-style preconditioner whose
-//! forward/backward sweeps are STS-3 triangular solves.
+//! Preconditioned conjugate gradient on the `sts-krylov` subsystem.
 //!
-//! This is the paper's motivating use case: an iterative solver performs one
-//! (or two) sparse triangular solves per iteration, so the solve's parallel
-//! efficiency dominates end-to-end time. The example solves an SPD 2-D
-//! Laplacian system with plain CG and with CG preconditioned by the
-//! symmetric Gauss–Seidel sweep `M = (D + L) D⁻¹ (D + L)ᵀ`, where the
-//! `(D + L)` solve uses the STS-3 structure and the transposed solve reuses
-//! the sequential kernel.
+//! This is the paper's motivating use case end to end: an iterative solver
+//! performs one forward and one backward sparse triangular sweep per
+//! iteration, so the sweeps' parallel efficiency dominates wall time. The
+//! example solves an SPD 2-D Laplacian system four ways —
+//!
+//! * plain CG (no preconditioner),
+//! * SSOR-PCG with *sequential* split sweeps,
+//! * SSOR-PCG with *pipelined* parallel sweeps,
+//! * IC(0)-PCG with pipelined parallel sweeps,
+//!
+//! and reports iterations, wall time, and the share of time spent inside
+//! the preconditioner (the fraction the triangular kernels own). The two
+//! SSOR rows demonstrate the subsystem's core invariant: both engines run
+//! bitwise-identical arithmetic, so they take *exactly* the same iteration
+//! count and differ only in speed.
 //!
 //! Run with `cargo run --release --example pcg_preconditioner`.
 
-use sts_k::core::{Method, StsStructure};
-use sts_k::matrix::ops;
-use sts_k::matrix::{generators, CsrMatrix, LowerTriangularCsr};
+use sts_k::core::Method;
+use sts_k::krylov::{
+    Ic0, Identity, KrylovWorkspace, Pcg, PcgOutcome, Preconditioner, SpdSystem, Ssor, SweepEngine,
+};
+use sts_k::matrix::{generators, ops};
+use sts_k::numa::Schedule;
 
-/// Plain conjugate gradient; returns (solution, iterations).
-fn cg(a: &CsrMatrix, b: &[f64], tol: f64, max_iter: usize) -> (Vec<f64>, usize) {
-    let n = b.len();
-    let mut x = vec![0.0; n];
-    let mut r = b.to_vec();
-    let mut p = r.clone();
-    let mut rs_old = ops::dot(&r, &r);
-    for it in 0..max_iter {
-        if rs_old.sqrt() <= tol {
-            return (x, it);
-        }
-        let ap = ops::spmv(a, &p).expect("dimensions match");
-        let alpha = rs_old / ops::dot(&p, &ap);
-        ops::axpy(alpha, &p, &mut x);
-        ops::axpy(-alpha, &ap, &mut r);
-        let rs_new = ops::dot(&r, &r);
-        let beta = rs_new / rs_old;
-        for i in 0..n {
-            p[i] = r[i] + beta * p[i];
-        }
-        rs_old = rs_new;
-    }
-    (x, max_iter)
-}
-
-/// Symmetric Gauss–Seidel preconditioner application `z = M⁻¹ r` built on the
-/// STS-3 structure of `D + L` (in the structure's ordering).
-struct SsorPreconditioner {
-    structure: StsStructure,
-    /// Diagonal of the reordered operand.
-    diag: Vec<f64>,
-}
-
-impl SsorPreconditioner {
-    fn new(l_plus_d: &LowerTriangularCsr) -> Self {
-        let structure = Method::Sts3.build(l_plus_d, 80).expect("builder succeeds");
-        let diag = (0..structure.n())
-            .map(|i| structure.lower().diag(i))
-            .collect();
-        SsorPreconditioner { structure, diag }
-    }
-
-    /// Applies `M⁻¹ r` where `r` is given in the *original* numbering; the
-    /// result is returned in the original numbering as well.
-    fn apply(&self, r: &[f64]) -> Vec<f64> {
-        let r_new = self.structure.gather_from_original(r);
-        // Forward sweep: (D + L) y = r.
-        let y = self
-            .structure
-            .solve_sequential(&r_new)
-            .expect("solve succeeds");
-        // Scale by D.
-        let dy: Vec<f64> = y.iter().zip(&self.diag).map(|(v, d)| v * d).collect();
-        // Backward sweep: (D + L)ᵀ z = D y.
-        let z = self
-            .structure
-            .solve_transpose_sequential(&dy)
-            .expect("solve succeeds");
-        self.structure.scatter_to_original(&z)
-    }
-}
-
-/// Preconditioned conjugate gradient; returns (solution, iterations).
-fn pcg(
-    a: &CsrMatrix,
-    b: &[f64],
-    pre: &SsorPreconditioner,
-    tol: f64,
-    max_iter: usize,
-) -> (Vec<f64>, usize) {
-    let n = b.len();
-    let mut x = vec![0.0; n];
-    let mut r = b.to_vec();
-    let mut z = pre.apply(&r);
-    let mut p = z.clone();
-    let mut rz_old = ops::dot(&r, &z);
-    for it in 0..max_iter {
-        if ops::norm2(&r) <= tol {
-            return (x, it);
-        }
-        let ap = ops::spmv(a, &p).expect("dimensions match");
-        let alpha = rz_old / ops::dot(&p, &ap);
-        ops::axpy(alpha, &p, &mut x);
-        ops::axpy(-alpha, &ap, &mut r);
-        z = pre.apply(&r);
-        let rz_new = ops::dot(&r, &z);
-        let beta = rz_new / rz_old;
-        for i in 0..n {
-            p[i] = z[i] + beta * p[i];
-        }
-        rz_old = rz_new;
-    }
-    (x, max_iter)
+fn report(label: &str, out: &PcgOutcome, x_true: &[f64]) {
+    println!(
+        "{label:<26} {:>5} iterations  {:>9.3} ms  precond {:>4.1}%  error {:.2e}",
+        out.iterations,
+        out.seconds_total * 1e3,
+        out.precond_share() * 100.0,
+        ops::relative_error_inf(&out.x, x_true)
+    );
 }
 
 fn main() {
-    // An SPD system: 2-D 5-point Laplacian on an 80x80 grid.
-    let a = generators::grid2d_laplacian(80, 80).expect("grid dimensions are valid");
-    let l_plus_d = generators::lower_operand(&a).expect("diagonally dominant");
-    let n = a.nrows();
-    let x_true: Vec<f64> = (0..n).map(|i| ((i % 13) as f64 - 6.0) * 0.5).collect();
+    // An SPD system: 2-D 5-point Laplacian on a 120x120 grid.
+    let a = generators::grid2d_laplacian(120, 120).expect("grid dimensions are valid");
+    let sys = SpdSystem::build(&a, Method::Sts3, 80).expect("laplacian binds to STS-3");
+    let threads = std::thread::available_parallelism()
+        .map(|c| c.get())
+        .unwrap_or(1);
+    println!(
+        "system: n = {}, nnz = {}, STS-3 with {} packs over {} super-rows, {} threads",
+        sys.n(),
+        sys.matrix().nnz(),
+        sys.structure().num_packs(),
+        sys.structure().num_super_rows(),
+        threads
+    );
+
+    let n = sys.n();
+    // A rough (pseudo-random) solution so the Krylov space has full
+    // dimension — smooth right-hand sides converge unrepresentatively fast.
+    let x_true: Vec<f64> = (0..n)
+        .map(|i| ((i * 7919) % 101) as f64 * 0.02 - 1.0)
+        .collect();
     let b = ops::spmv(&a, &x_true).expect("dimensions match");
-    let tol = 1e-8 * ops::norm2(&b);
 
-    let (x_cg, it_cg) = cg(&a, &b, tol, 2000);
-    println!(
-        "plain CG:   {it_cg:4} iterations, error {:.2e}",
-        ops::relative_error_inf(&x_cg, &x_true)
+    let pcg = Pcg::new(threads, Schedule::Guided { min_chunk: 1 });
+    let mut ws = KrylovWorkspace::new(n);
+
+    // Plain CG: the baseline every preconditioner must beat.
+    let plain = pcg
+        .solve(&sys, &mut Identity, &b, &mut ws)
+        .expect("plain CG runs");
+    report("plain CG", &plain, &x_true);
+
+    // SSOR-PCG, sequential vs pipelined sweeps: same iterates, faster sweeps.
+    let mut ssor_seq = Ssor::new(&sys, pcg.solver(), SweepEngine::Sequential);
+    let seq = pcg
+        .solve(&sys, &mut ssor_seq, &b, &mut ws)
+        .expect("sequential-sweep PCG runs");
+    report("SSOR-PCG (seq sweeps)", &seq, &x_true);
+
+    let mut ssor_pip = Ssor::new(&sys, pcg.solver(), SweepEngine::Pipelined);
+    let pip = pcg
+        .solve(&sys, &mut ssor_pip, &b, &mut ws)
+        .expect("pipelined-sweep PCG runs");
+    report("SSOR-PCG (pipelined)", &pip, &x_true);
+    assert_eq!(
+        seq.iterations, pip.iterations,
+        "the sweep engines are bitwise identical: counts must match exactly"
     );
 
-    let pre = SsorPreconditioner::new(&l_plus_d);
+    // IC(0)-PCG: a genuine factorization, same hierarchy, fewer iterations.
+    let mut ic0 = Ic0::new(&sys, pcg.solver(), SweepEngine::Pipelined).expect("laplacian is SPD");
+    let ic = pcg
+        .solve(&sys, &mut ic0, &b, &mut ws)
+        .expect("IC(0)-PCG runs");
+    report("IC(0)-PCG (pipelined)", &ic, &x_true);
+
     println!(
-        "preconditioner built: STS-3 with {} packs over {} super-rows",
-        pre.structure.num_packs(),
-        pre.structure.num_super_rows()
+        "\niteration reduction: SSOR {:.1}x, IC(0) {:.1}x over plain CG",
+        plain.iterations as f64 / seq.iterations.max(1) as f64,
+        plain.iterations as f64 / ic.iterations.max(1) as f64
     );
-    let (x_pcg, it_pcg) = pcg(&a, &b, &pre, tol, 2000);
     println!(
-        "SSOR-PCG:   {it_pcg:4} iterations, error {:.2e}",
-        ops::relative_error_inf(&x_pcg, &x_true)
+        "sweep-engine speedup at equal iterates: {:.2}x on preconditioner time \
+         ({:.3} ms -> {:.3} ms per solve)",
+        seq.seconds_precond / pip.seconds_precond.max(1e-12),
+        seq.seconds_precond * 1e3,
+        pip.seconds_precond * 1e3
     );
+    let label = ssor_pip.label();
     println!(
-        "iteration reduction from preconditioning: {:.1}x",
-        it_cg as f64 / it_pcg.max(1) as f64
+        "preconditioner '{label}' applied {} times without allocation",
+        pip.iterations
     );
 }

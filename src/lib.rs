@@ -4,11 +4,14 @@
 //! crates and the core STS-k library so that examples, integration tests and
 //! downstream users can depend on a single crate.
 //!
-//! * [`matrix`] — sparse matrix storage, Matrix Market I/O, synthetic suite;
+//! * [`matrix`] — sparse matrix storage, Matrix Market I/O, synthetic suite,
+//!   incomplete factorizations;
 //! * [`graph`] — adjacency graphs, RCM, level sets, coloring, coarsening;
 //! * [`numa`] — machine topology and latency models, pinned thread pool;
 //! * [`sched`] — DAR task graphs, the In-Pack cost model and schedulers;
-//! * [`core`] — the CSR-k structure, pack construction and the four solvers.
+//! * [`core`] — the CSR-k structure, pack construction and the four solvers;
+//! * [`krylov`] — the preconditioned conjugate-gradient subsystem driving
+//!   the pipelined triangular kernels end to end.
 //!
 //! # Quickstart
 //!
@@ -71,9 +74,50 @@
 //! The split layout behind these kernels is built lazily on first use;
 //! callers that only ever run the unsplit kernels skip its ≈2× off-diagonal
 //! storage cost entirely.
+//!
+//! # The Krylov subsystem (`sts-krylov`)
+//!
+//! The workload the triangular kernels exist for: a preconditioned
+//! conjugate-gradient solver performing one forward and one backward sweep
+//! per iteration on a fixed structure. [`krylov::SpdSystem`] permutes the
+//! operator into the STS ordering once; [`krylov::Ssor`] (symmetric
+//! Gauss–Seidel) and [`krylov::Ic0`] (zero-fill incomplete Cholesky) run
+//! their sweeps on the pipelined `solve_*_into` kernels against a persistent
+//! [`krylov::KrylovWorkspace`], so an iteration allocates nothing; and the
+//! backward sweeps run in parallel too, on the transpose split layout
+//! ([`core::TransposeLayout`], packs in reverse order):
+//!
+//! ```
+//! use sts_k::core::Method;
+//! use sts_k::krylov::{Ic0, KrylovWorkspace, Pcg, SpdSystem, Ssor, SweepEngine};
+//! use sts_k::matrix::{generators, ops};
+//! use sts_k::numa::Schedule;
+//!
+//! // SPD operator bound to an STS-3 ordering.
+//! let a = generators::grid2d_laplacian(24, 24).unwrap();
+//! let sys = SpdSystem::build(&a, Method::Sts3, 40).unwrap();
+//!
+//! // PCG with symmetric Gauss–Seidel sweeps on the pipelined kernels.
+//! let pcg = Pcg::new(4, Schedule::Guided { min_chunk: 1 });
+//! let mut pre = Ssor::new(&sys, pcg.solver(), SweepEngine::Pipelined);
+//! let mut ws = KrylovWorkspace::new(sys.n());
+//!
+//! let x_true = vec![1.0; sys.n()];
+//! let b = ops::spmv(&a, &x_true).unwrap();
+//! let out = pcg.solve(&sys, &mut pre, &b, &mut ws).unwrap();
+//! assert!(out.converged);
+//! assert!(ops::relative_error_inf(&out.x, &x_true) < 1e-6);
+//!
+//! // The IC(0) factor shares the reordered pattern, so it reuses the same
+//! // hierarchy — and usually converges in fewer iterations still.
+//! let mut ic0 = Ic0::new(&sys, pcg.solver(), SweepEngine::Pipelined).unwrap();
+//! let out_ic0 = pcg.solve(&sys, &mut ic0, &b, &mut ws).unwrap();
+//! assert!(out_ic0.converged);
+//! ```
 
 pub use sts_core as core;
 pub use sts_graph as graph;
+pub use sts_krylov as krylov;
 pub use sts_matrix as matrix;
 pub use sts_numa as numa;
 pub use sts_sched as sched;

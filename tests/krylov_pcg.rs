@@ -1,0 +1,161 @@
+//! End-to-end tests of the `sts-krylov` subsystem against a dense reference:
+//! PCG (plain, SSOR, IC(0); sequential and pipelined sweep engines) must
+//! converge to the dense-Cholesky solution of the synthetic SPD suite (grid
+//! Laplacians) within an iteration bound.
+
+use sts_k::core::Method;
+use sts_k::krylov::{
+    Ic0, Identity, KrylovWorkspace, Pcg, PcgOptions, Preconditioner, SpdSystem, Ssor, SweepEngine,
+    Tolerance,
+};
+use sts_k::matrix::{generators, ops, CsrMatrix};
+use sts_k::numa::Schedule;
+
+/// Dense Cholesky solve `A x = b` — the ground-truth oracle.
+fn dense_cholesky_solve(a: &CsrMatrix, b: &[f64]) -> Vec<f64> {
+    let n = a.nrows();
+    let mut m = vec![vec![0.0f64; n]; n];
+    for (r, c, v) in a.iter() {
+        m[r][c] = v;
+    }
+    // In-place lower Cholesky: m becomes L with A = L Lᵀ.
+    for i in 0..n {
+        for j in 0..=i {
+            let mut s = m[i][j];
+            for (a, b) in m[i][..j].iter().zip(&m[j][..j]) {
+                s -= a * b;
+            }
+            if i == j {
+                assert!(s > 0.0, "test operator must be SPD");
+                m[i][i] = s.sqrt();
+            } else {
+                m[i][j] = s / m[j][j];
+            }
+        }
+    }
+    // Forward then backward substitution.
+    let mut y = vec![0.0f64; n];
+    for i in 0..n {
+        let mut s = b[i];
+        for k in 0..i {
+            s -= m[i][k] * y[k];
+        }
+        y[i] = s / m[i][i];
+    }
+    let mut x = vec![0.0f64; n];
+    for i in (0..n).rev() {
+        let mut s = y[i];
+        for k in i + 1..n {
+            s -= m[k][i] * x[k];
+        }
+        x[i] = s / m[i][i];
+    }
+    x
+}
+
+/// The synthetic SPD suite: grid Laplacians of assorted shapes.
+fn spd_suite() -> Vec<(String, CsrMatrix)> {
+    vec![
+        (
+            "grid2d_8x8".into(),
+            generators::grid2d_laplacian(8, 8).unwrap(),
+        ),
+        (
+            "grid2d_13x7".into(),
+            generators::grid2d_laplacian(13, 7).unwrap(),
+        ),
+        (
+            "grid2d_16x16".into(),
+            generators::grid2d_laplacian(16, 16).unwrap(),
+        ),
+        (
+            "grid3d_5x4x4".into(),
+            generators::grid3d_laplacian(5, 4, 4).unwrap(),
+        ),
+    ]
+}
+
+#[test]
+fn pcg_matches_the_dense_reference_on_the_spd_suite() {
+    for (name, a) in spd_suite() {
+        let sys = SpdSystem::build(&a, Method::Sts3, 8).unwrap();
+        let n = sys.n();
+        // A rough right-hand side so the Krylov space has full dimension.
+        let b: Vec<f64> = (0..n).map(|i| ((i * 7919) % 17) as f64 - 8.0).collect();
+        let x_ref = dense_cholesky_solve(&a, &b);
+        let pcg = Pcg::with_options(
+            4,
+            Schedule::Guided { min_chunk: 1 },
+            PcgOptions {
+                tolerance: Tolerance::Relative(1e-10),
+                max_iterations: n,
+                record_history: true,
+            },
+        );
+        let mut ws = KrylovWorkspace::new(n);
+        let mut preconditioners: Vec<(&str, Box<dyn Preconditioner>)> = vec![
+            ("none", Box::new(Identity)),
+            (
+                "ssor-seq",
+                Box::new(Ssor::new(&sys, pcg.solver(), SweepEngine::Sequential)),
+            ),
+            (
+                "ssor-pipelined",
+                Box::new(Ssor::new(&sys, pcg.solver(), SweepEngine::Pipelined)),
+            ),
+            (
+                "ic0-pipelined",
+                Box::new(Ic0::new(&sys, pcg.solver(), SweepEngine::Pipelined).unwrap()),
+            ),
+        ];
+        for (label, pre) in preconditioners.iter_mut() {
+            let out = pcg.solve(&sys, pre.as_mut(), &b, &mut ws).unwrap();
+            assert!(
+                out.converged,
+                "{name}/{label}: PCG must converge within n = {n} iterations \
+                 (residual {:.3e})",
+                out.residual_norm
+            );
+            assert!(
+                out.iterations <= n,
+                "{name}/{label}: iteration bound exceeded"
+            );
+            assert!(
+                ops::relative_error_inf(&out.x, &x_ref) < 1e-7,
+                "{name}/{label}: solution diverged from the dense reference"
+            );
+            // The recorded history is consistent with convergence.
+            assert_eq!(out.history.len(), out.iterations + 1);
+            assert!(out.history.last().unwrap() <= &out.history[0]);
+        }
+    }
+}
+
+#[test]
+fn batched_pcg_matches_the_dense_reference() {
+    let a = generators::grid2d_laplacian(12, 10).unwrap();
+    let sys = SpdSystem::build(&a, Method::Sts3, 8).unwrap();
+    let n = sys.n();
+    let nrhs = 4;
+    let pcg = Pcg::new(3, Schedule::Guided { min_chunk: 1 });
+    let mut pre = Ssor::new(&sys, pcg.solver(), SweepEngine::Pipelined);
+    let mut b = vec![0.0; n * nrhs];
+    let mut x_ref = vec![0.0; n * nrhs];
+    for q in 0..nrhs {
+        let bq: Vec<f64> = (0..n)
+            .map(|i| ((i * 31 + q * 7) % 23) as f64 * 0.5 - 5.0)
+            .collect();
+        let xq = dense_cholesky_solve(&a, &bq);
+        for i in 0..n {
+            b[i * nrhs + q] = bq[i];
+            x_ref[i * nrhs + q] = xq[i];
+        }
+    }
+    let mut ws = KrylovWorkspace::with_nrhs(n, nrhs);
+    let out = pcg.solve_batch(&sys, &mut pre, &b, nrhs, &mut ws).unwrap();
+    assert!(out.converged.iter().all(|&c| c));
+    assert!(
+        ops::relative_error_inf(&out.x, &x_ref) < 1e-6,
+        "batched PCG diverged from the dense reference"
+    );
+}

@@ -122,6 +122,44 @@ proptest! {
     }
 
     #[test]
+    fn transpose_kernels_match_the_sequential_backward_sweep(l in lower_triangular_strategy()) {
+        // The PR-3 tentpole invariant: the parallel backward-sweep kernels
+        // (two-phase split and pack-pipelined, packs in reverse order) agree
+        // with the sequential column sweep to 1e-12 across both orderings,
+        // both multi-level depths and several worker counts.
+        for ordering in [Ordering::LevelSet, Ordering::Coloring] {
+            for k in [2usize, 3] {
+                let s = StsBuilder::new(k)
+                    .ordering(ordering)
+                    .super_row_sizing(SuperRowSizing::Rows(8))
+                    .build(&l)
+                    .unwrap();
+                let n = s.n();
+                let x_true: Vec<f64> = (0..n).map(|i| 0.5 + (i % 6) as f64 * 0.4).collect();
+                let b = s.lower().multiply_transpose(&x_true).unwrap();
+                let seq = s.lower().solve_transpose_seq(&b).unwrap();
+                let seq_split = s.solve_transpose_sequential_split(&b).unwrap();
+                prop_assert!(ops::relative_error_inf(&seq_split, &seq) < 1e-12);
+                for threads in [1usize, 2, 4, 8] {
+                    let solver = ParallelSolver::new(threads, Schedule::Guided { min_chunk: 1 });
+                    let par_split = solver.solve_transpose_split(&s, &b).unwrap();
+                    prop_assert!(
+                        ops::relative_error_inf(&par_split, &seq) < 1e-12,
+                        "solve_transpose_split diverged ({:?}, k={k}, {threads} threads, n={n})",
+                        ordering
+                    );
+                    let par_piped = solver.solve_transpose_pipelined(&s, &b).unwrap();
+                    prop_assert!(
+                        ops::relative_error_inf(&par_piped, &seq) < 1e-12,
+                        "solve_transpose_pipelined diverged ({:?}, k={k}, {threads} threads, n={n})",
+                        ordering
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
     fn builder_permutation_is_a_bijection(l in lower_triangular_strategy()) {
         let s = StsBuilder::new(3)
             .ordering(Ordering::Coloring)

@@ -1,11 +1,14 @@
 //! Criterion benchmarks of the end-to-end Krylov workload: PCG on the
 //! 200×200 grid Laplacian, comparing sequential-sweep against
-//! pipelined-sweep preconditioning.
+//! pipelined-sweep preconditioning, plus the IC(0) *setup* pair —
+//! sequential up-looking sweep vs. the level-scheduled build on the pack
+//! hierarchy.
 //!
-//! Both engines run bitwise-identical arithmetic, so every timed solve
-//! performs exactly the same iteration count — the measured difference is
-//! pure sweep-kernel speed. A per-application pair (one SSOR application,
-//! no CG around it) isolates the sweeps themselves.
+//! Both sweep engines (and both setup engines) run bitwise-identical
+//! arithmetic, so every timed solve performs exactly the same iteration
+//! count — the measured difference is pure kernel speed. A per-application
+//! pair (one SSOR application, no CG around it) isolates the sweeps
+//! themselves.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sts_core::Method;
@@ -55,12 +58,34 @@ fn krylov_benchmarks(c: &mut Criterion) {
             },
         );
     }
-    let mut ic0 = Ic0::new(&sys, pcg.solver(), SweepEngine::Pipelined).expect("laplacian is SPD");
+    let mut ic0 =
+        Ic0::new_parallel(&sys, pcg.solver(), SweepEngine::Pipelined).expect("laplacian is SPD");
     group.bench_with_input(
         BenchmarkId::new("ic0_solve", "pipelined_sweeps"),
         &sys,
         |bench, sys| bench.iter(|| pcg.solve(sys, &mut ic0, &b, &mut ws).unwrap()),
     );
+    group.finish();
+
+    // The preconditioner setup pair: identical factors (asserted), so the
+    // measured difference is pure scheduling.
+    let f_seq = sts_matrix::factor::ic0(sys.matrix()).expect("laplacian is SPD");
+    let f_par = pcg
+        .solver()
+        .parallel_ic0(sys.structure(), sys.matrix())
+        .expect("laplacian is SPD");
+    assert_eq!(f_seq.values(), f_par.values(), "setup engines must agree");
+    let mut group = c.benchmark_group("ic0_build_200x200");
+    group.bench_function("sequential_sweep", |bench| {
+        bench.iter(|| sts_matrix::factor::ic0(sys.matrix()).unwrap())
+    });
+    group.bench_function("level_scheduled", |bench| {
+        bench.iter(|| {
+            pcg.solver()
+                .parallel_ic0(sys.structure(), sys.matrix())
+                .unwrap()
+        })
+    });
     group.finish();
 }
 

@@ -1,0 +1,119 @@
+//! Bench-regression gate: fails CI when the fresh `bench_smoke` record
+//! regresses past the threshold against the committed baseline.
+//!
+//! ```text
+//! bench_gate [--baseline bench/baseline.json] [--current bench/bench_smoke.json]
+//!            [--max-regress-pct 25] [--advisory]
+//! ```
+//!
+//! Exit codes: `0` when every gated field (see
+//! [`sts_bench::gate::GATED_FIELDS`]) is within the threshold — or when the
+//! baseline file is missing (bootstrap: the first push to `main` commits
+//! one); `1` on a regression; `2` on unusable input (unreadable files,
+//! malformed JSON, bad flags), which must fail the job rather than pass it
+//! silently.
+//!
+//! `--advisory` prints the same report but always exits `0`; the workflow
+//! passes it when the PR carries the `bench-override` label, so a known,
+//! accepted regression (e.g. a correctness fix that costs wall time) can
+//! land without deleting the gate. Pushes to `main` then refresh the
+//! baseline, re-arming the gate at the new level.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use sts_bench::gate;
+
+struct Args {
+    baseline: PathBuf,
+    current: PathBuf,
+    max_regress_pct: f64,
+    advisory: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut out = Args {
+        baseline: PathBuf::from("bench/baseline.json"),
+        current: PathBuf::from("bench/bench_smoke.json"),
+        max_regress_pct: 25.0,
+        advisory: false,
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let take = |i: &mut usize| -> Result<String, String> {
+            *i += 1;
+            args.get(*i)
+                .cloned()
+                .ok_or_else(|| format!("{} needs an argument", args[*i - 1]))
+        };
+        match args[i].as_str() {
+            "--baseline" => out.baseline = PathBuf::from(take(&mut i)?),
+            "--current" => out.current = PathBuf::from(take(&mut i)?),
+            "--max-regress-pct" => {
+                out.max_regress_pct = take(&mut i)?
+                    .parse::<f64>()
+                    .map_err(|e| format!("--max-regress-pct: {e}"))?;
+                if !out.max_regress_pct.is_finite() || out.max_regress_pct < 0.0 {
+                    return Err("--max-regress-pct must be a non-negative number".into());
+                }
+            }
+            "--advisory" => out.advisory = true,
+            other => return Err(format!("unknown argument {other}")),
+        }
+        i += 1;
+    }
+    Ok(out)
+}
+
+fn load(path: &std::path::Path) -> Result<serde_json::Value, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    serde_json::from_str(text.trim()).map_err(|e| format!("cannot parse {}: {e}", path.display()))
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("bench_gate: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if !args.baseline.exists() {
+        // Bootstrap: no baseline committed yet. The gate must not block the
+        // PR that introduces it, and main's refresh step creates one.
+        println!(
+            "bench_gate: no baseline at {} — skipping (main refresh will commit one)",
+            args.baseline.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+    let (baseline, current) = match (load(&args.baseline), load(&args.current)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (b, c) => {
+            for err in [b.err(), c.err()].into_iter().flatten() {
+                eprintln!("bench_gate: {err}");
+            }
+            return ExitCode::from(2);
+        }
+    };
+    let report = gate::compare(&baseline, &current, args.max_regress_pct);
+    println!("{}", report.render());
+    if report.passed() {
+        ExitCode::SUCCESS
+    } else if args.advisory {
+        println!(
+            "bench_gate: regression detected, but --advisory is set (override label) — passing"
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "bench_gate: wall-time regression beyond +{:.0}% — if intended, apply the \
+             bench-override label to the PR, which starts a fresh advisory run (see \
+             .github/workflows/ci.yml)",
+            args.max_regress_pct
+        );
+        ExitCode::FAILURE
+    }
+}

@@ -13,7 +13,13 @@
 //! * the end-to-end Krylov workload: SSOR-PCG on the same matrix with
 //!   pipelined sweeps (`pcg_iters`, `pcg_wall_ns`, `pcg_precond_share`) —
 //!   the trend line that catches regressions in what the triangular kernels
-//!   are *for*, not just in the kernels themselves.
+//!   are *for*, not just in the kernels themselves;
+//! * the preconditioner *setup* path: IC(0) construction wall time for both
+//!   engines (`ic0_build_sequential_wall_ns` vs.
+//!   `ic0_build_parallel_wall_ns`, the level-scheduled build on the pack
+//!   hierarchy) plus the modelled counterpart
+//!   (`sim_ic0_build_*_cycles`), after asserting the two factors are
+//!   bitwise identical.
 //!
 //! Run with `cargo run --release -p sts-bench --bin bench_smoke`. The output
 //! is one line so CI logs diff cleanly across PRs.
@@ -21,9 +27,10 @@
 //! # Flags
 //!
 //! * `--json-path <FILE>` — additionally write the JSON line to `<FILE>`
-//!   (parent directories are created). CI uses this to archive the record as
-//!   a per-commit artifact and to append it to the `BENCH_trend.jsonl` job
-//!   summary, so kernel regressions show up as a series across commits.
+//!   (missing parent directories are created). CI uses this to archive the
+//!   record as a per-commit artifact, to append it to the
+//!   `BENCH_trend.jsonl` job summary, and to feed the `bench_gate`
+//!   regression check against the committed `bench/baseline.json`.
 
 use std::time::Instant;
 
@@ -70,6 +77,21 @@ struct Smoke {
     pcg_iters: usize,
     pcg_wall_ns: f64,
     pcg_precond_share: f64,
+    /// IC(0) preconditioner setup on the same operator, both engines
+    /// (best-of-blocks wall nanoseconds per factorization; the factors are
+    /// bitwise identical, asserted before timing): the sequential
+    /// up-looking sweep vs. the level-scheduled build on the pack
+    /// hierarchy, plus the modelled cycles on the 16-core Intel node.
+    /// `ic0_build_engine` records what the default setup path actually ran
+    /// on this host — `parallel_ic0` takes a sequential fast path when the
+    /// pool has a single worker.
+    ic0_build_engine: String,
+    ic0_build_sequential_wall_ns: f64,
+    ic0_build_parallel_wall_ns: f64,
+    ic0_build_parallel_vs_sequential_speedup: f64,
+    sim_ic0_build_sequential_cycles: f64,
+    sim_ic0_build_parallel_cycles: f64,
+    sim_ic0_build_speedup: f64,
 }
 
 fn main() {
@@ -149,6 +171,34 @@ fn main() {
         }
     }
 
+    // Preconditioner setup: sequential vs. level-scheduled IC(0) on the
+    // system's pack hierarchy. The factors are bitwise identical by
+    // construction — assert it once, then time the pair interleaved
+    // (min-of-blocks, same protocol as the kernel ratio above). The
+    // factorization is ~10× a solve, so it gets a smaller block budget.
+    let f_seq = sts_matrix::factor::ic0(sys.matrix()).expect("laplacian is SPD");
+    let f_par = pcg
+        .solver()
+        .parallel_ic0(sys.structure(), sys.matrix())
+        .expect("laplacian is SPD");
+    assert_eq!(
+        f_seq.values(),
+        f_par.values(),
+        "setup engines must produce bitwise identical factors"
+    );
+    let (ic0_seq_s, ic0_par_s) = time_pair_blocks(
+        20,
+        2,
+        || sts_matrix::factor::ic0(sys.matrix()).unwrap(),
+        || {
+            pcg.solver()
+                .parallel_ic0(sys.structure(), sys.matrix())
+                .unwrap()
+        },
+    );
+    let sim_ic0_seq = harness::simulate_ic0_build(machine, &run, 1);
+    let sim_ic0_par = harness::simulate_ic0_build(machine, &run, sim_cores);
+
     let smoke = Smoke {
         matrix: "grid2d_laplacian_200x200".to_string(),
         n: s.n(),
@@ -175,16 +225,22 @@ fn main() {
         pcg_iters: best.iterations,
         pcg_wall_ns: best.seconds_total * 1e9,
         pcg_precond_share: best.precond_share(),
+        ic0_build_engine: if threads > 1 {
+            "parallel".to_string()
+        } else {
+            "parallel-seq-fastpath".to_string()
+        },
+        ic0_build_sequential_wall_ns: ic0_seq_s * 1e9,
+        ic0_build_parallel_wall_ns: ic0_par_s * 1e9,
+        ic0_build_parallel_vs_sequential_speedup: ic0_seq_s / ic0_par_s,
+        sim_ic0_build_sequential_cycles: sim_ic0_seq.total_cycles,
+        sim_ic0_build_parallel_cycles: sim_ic0_par.total_cycles,
+        sim_ic0_build_speedup: sim_ic0_seq.total_cycles / sim_ic0_par.total_cycles,
     };
     let line = serde_json::to_string(&smoke).expect("smoke record serialises");
     println!("{line}");
     if let Some(path) = json_path {
-        if let Some(parent) = path.parent() {
-            if !parent.as_os_str().is_empty() {
-                std::fs::create_dir_all(parent).expect("bench json directory is creatable");
-            }
-        }
-        std::fs::write(&path, format!("{line}\n")).expect("bench json is writable");
+        harness::write_json_line(&path, &line).expect("bench json is writable");
         eprintln!("[bench json written to {}]", path.display());
     }
 }
@@ -230,17 +286,27 @@ fn time_per_solve<O>(repeats: usize, mut solve: impl FnMut() -> O) -> f64 {
 /// interrupts, which only ever add time (this host is typically one core).
 fn time_pair<O1, O2>(
     repeats: usize,
-    mut solve_a: impl FnMut() -> O1,
-    mut solve_b: impl FnMut() -> O2,
+    solve_a: impl FnMut() -> O1,
+    solve_b: impl FnMut() -> O2,
 ) -> (f64, f64) {
-    let _ = solve_a(); // warm-ups (also force the lazy split layout)
-    let _ = solve_b();
     // More rounds than the mean-based fields use: the minimum converges on
     // the true kernel cost as long as *some* block of each kernel runs
     // undisturbed, so the budget buys robustness against sustained host
     // load, not just isolated interrupts.
     let block = 5usize;
-    let rounds = repeats.div_ceil(block).max(60);
+    time_pair_blocks(repeats.div_ceil(block).max(60), block, solve_a, solve_b)
+}
+
+/// [`time_pair`] with an explicit block/round budget, for operations too
+/// expensive for the default one (the IC(0) factorizations).
+fn time_pair_blocks<O1, O2>(
+    rounds: usize,
+    block: usize,
+    mut solve_a: impl FnMut() -> O1,
+    mut solve_b: impl FnMut() -> O2,
+) -> (f64, f64) {
+    let _ = solve_a(); // warm-ups (also force the lazy split layout)
+    let _ = solve_b();
     let (mut best_a, mut best_b) = (f64::INFINITY, f64::INFINITY);
     for _ in 0..rounds {
         let start = Instant::now();

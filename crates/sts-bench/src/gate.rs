@@ -1,0 +1,236 @@
+//! The CI bench-regression gate: compares a fresh `bench_smoke` record
+//! against the committed baseline and fails on wall-time regressions.
+//!
+//! CI has collected a per-commit `BENCH_trend` series since PR 2, but
+//! nothing *enforced* it — a kernel regression rode in silently as one more
+//! line in the job summary. [`compare`] turns the trend line into a gate:
+//! the wall-time fields in [`GATED_FIELDS`] (the end-to-end PCG solve, the
+//! pipelined triangular kernels it runs on, and the level-scheduled IC(0)
+//! setup) must not regress by more than the configured percentage against
+//! `bench/baseline.json`, which is refreshed from every push to `main`.
+//!
+//! Robustness rules, chosen for a noisy shared CI host:
+//!
+//! * only the *gated* fields fail the job — simulator cycles, iteration
+//!   counts and ratio fields are informational;
+//! * a field missing from either record is **skipped**, not failed, so a PR
+//!   that adds a new trend field does not trip over a baseline that predates
+//!   it (the refreshed `main` baseline picks it up);
+//! * a non-positive or non-finite baseline value is skipped likewise (a
+//!   ratio against it is meaningless);
+//! * the default threshold is 25% — far above the run-to-run jitter of the
+//!   min-of-blocks measurements `bench_smoke` reports, far below a real
+//!   kernel regression.
+//!
+//! The `bench_gate` binary wraps this for the workflow; `--advisory`
+//! (wired to an override label on the PR) demotes failures to warnings.
+
+use serde_json::Value;
+
+/// The wall-time fields the gate enforces: the end-to-end PCG solve, the
+/// pipelined solve kernels, and the IC(0) setup path. Everything else in the
+/// record is informational.
+pub const GATED_FIELDS: &[&str] = &[
+    "pcg_wall_ns",
+    "wall_parallel_pipelined_s",
+    "wall_batch4_pipelined_per_rhs_s",
+    "ic0_build_parallel_wall_ns",
+];
+
+/// One gated field's comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FieldCheck {
+    /// Field name in the bench record.
+    pub field: &'static str,
+    /// Baseline value.
+    pub baseline: f64,
+    /// Current value.
+    pub current: f64,
+    /// `current / baseline` (> 1.0 means slower).
+    pub ratio: f64,
+    /// Whether the regression exceeds the threshold.
+    pub failed: bool,
+}
+
+/// The gate's verdict over every gated field.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateReport {
+    /// Comparisons for the fields present in both records.
+    pub checks: Vec<FieldCheck>,
+    /// Gated fields skipped because they were missing (or unusable) in the
+    /// baseline or the current record.
+    pub skipped: Vec<&'static str>,
+    /// The regression threshold in percent.
+    pub threshold_pct: f64,
+}
+
+impl GateReport {
+    /// Whether every compared field stayed within the threshold.
+    pub fn passed(&self) -> bool {
+        self.checks.iter().all(|c| !c.failed)
+    }
+
+    /// Human-readable table, one line per field, worst regression first.
+    pub fn render(&self) -> String {
+        let mut lines = vec![format!(
+            "bench gate (threshold +{:.0}% on {} fields):",
+            self.threshold_pct,
+            GATED_FIELDS.len()
+        )];
+        let mut checks = self.checks.clone();
+        checks.sort_by(|a, b| b.ratio.partial_cmp(&a.ratio).unwrap());
+        for c in &checks {
+            lines.push(format!(
+                "  [{}] {:<34} baseline {:>12.4e}  current {:>12.4e}  ratio {:.3}",
+                if c.failed { "FAIL" } else { " ok " },
+                c.field,
+                c.baseline,
+                c.current,
+                c.ratio
+            ));
+        }
+        for s in &self.skipped {
+            lines.push(format!("  [skip] {s:<33} missing or unusable in a record"));
+        }
+        lines.join("\n")
+    }
+}
+
+/// Extracts a finite numeric field from a bench record.
+fn numeric(record: &Value, field: &str) -> Option<f64> {
+    record.get(field)?.as_f64().filter(|v| v.is_finite())
+}
+
+/// Compares `current` against `baseline` over [`GATED_FIELDS`] with the
+/// given regression threshold (percent; 25.0 means "fail when more than 25%
+/// slower"). See the module documentation for the skip rules.
+pub fn compare(baseline: &Value, current: &Value, threshold_pct: f64) -> GateReport {
+    let limit = 1.0 + threshold_pct / 100.0;
+    let mut checks = Vec::new();
+    let mut skipped = Vec::new();
+    for &field in GATED_FIELDS {
+        match (numeric(baseline, field), numeric(current, field)) {
+            (Some(base), Some(cur)) if base > 0.0 => {
+                let ratio = cur / base;
+                checks.push(FieldCheck {
+                    field,
+                    baseline: base,
+                    current: cur,
+                    ratio,
+                    failed: ratio > limit,
+                });
+            }
+            _ => skipped.push(field),
+        }
+    }
+    GateReport {
+        checks,
+        skipped,
+        threshold_pct,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(pcg: f64, piped: f64, batch: f64, ic0: f64) -> Value {
+        Value::Object(vec![
+            ("pcg_wall_ns".into(), Value::Float(pcg)),
+            ("wall_parallel_pipelined_s".into(), Value::Float(piped)),
+            (
+                "wall_batch4_pipelined_per_rhs_s".into(),
+                Value::Float(batch),
+            ),
+            ("ic0_build_parallel_wall_ns".into(), Value::Float(ic0)),
+            ("pcg_iters".into(), Value::UInt(12)),
+        ])
+    }
+
+    #[test]
+    fn identical_records_pass() {
+        let r = record(7.3e6, 2.5e-4, 1.1e-4, 9.0e5);
+        let report = compare(&r, &r, 25.0);
+        assert!(report.passed());
+        assert_eq!(report.checks.len(), GATED_FIELDS.len());
+        assert!(report.skipped.is_empty());
+        assert!(report.checks.iter().all(|c| (c.ratio - 1.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn regression_beyond_the_threshold_fails_only_that_field() {
+        let base = record(1000.0, 1.0, 1.0, 1.0);
+        let cur = record(1300.0, 1.2, 1.0, 1.0); // +30% and +20%
+        let report = compare(&base, &cur, 25.0);
+        assert!(!report.passed());
+        let failed: Vec<_> = report
+            .checks
+            .iter()
+            .filter(|c| c.failed)
+            .map(|c| c.field)
+            .collect();
+        assert_eq!(failed, vec!["pcg_wall_ns"], "only the >25% field fails");
+    }
+
+    #[test]
+    fn improvements_always_pass() {
+        let base = record(1000.0, 1.0, 1.0, 1.0);
+        let cur = record(100.0, 0.5, 0.9, 0.01);
+        assert!(compare(&base, &cur, 25.0).passed());
+    }
+
+    #[test]
+    fn threshold_boundary_is_exclusive() {
+        let base = record(1000.0, 1.0, 1.0, 1.0);
+        let at_limit = record(1250.0, 1.25, 1.25, 1.25);
+        assert!(
+            compare(&base, &at_limit, 25.0).passed(),
+            "exactly +25% passes"
+        );
+        let over = record(1250.1, 1.0, 1.0, 1.0);
+        assert!(!compare(&base, &over, 25.0).passed());
+    }
+
+    #[test]
+    fn missing_fields_are_skipped_not_failed() {
+        // A baseline predating a newly added trend field must not fail the
+        // PR that adds the field. Parsed from text, as the binary does.
+        let old_baseline = serde_json::from_str(r#"{"pcg_wall_ns": 1000.0}"#).unwrap();
+        let cur = record(1000.0, 1.0, 1.0, 1.0);
+        let report = compare(&old_baseline, &cur, 25.0);
+        assert!(report.passed());
+        assert_eq!(report.checks.len(), 1);
+        assert_eq!(report.skipped.len(), GATED_FIELDS.len() - 1);
+    }
+
+    #[test]
+    fn unusable_baseline_values_are_skipped() {
+        let base = Value::Object(vec![
+            ("pcg_wall_ns".into(), Value::Float(0.0)),
+            (
+                "wall_parallel_pipelined_s".into(),
+                Value::Str("not a number".into()),
+            ),
+            (
+                "wall_batch4_pipelined_per_rhs_s".into(),
+                Value::Float(f64::NAN),
+            ),
+            ("ic0_build_parallel_wall_ns".into(), Value::Float(1.0)),
+        ]);
+        let cur = record(99999.0, 99999.0, 99999.0, 1.0);
+        let report = compare(&base, &cur, 25.0);
+        assert!(report.passed());
+        assert_eq!(report.checks.len(), 1, "only the usable field is compared");
+    }
+
+    #[test]
+    fn render_lists_every_check_and_skip() {
+        let old_baseline = serde_json::from_str(r#"{"pcg_wall_ns": 1000.0}"#).unwrap();
+        let cur = record(1500.0, 1.0, 1.0, 1.0);
+        let report = compare(&old_baseline, &cur, 25.0);
+        let text = report.render();
+        assert!(text.contains("FAIL"));
+        assert!(text.contains("pcg_wall_ns"));
+        assert!(text.contains("[skip]"));
+    }
+}

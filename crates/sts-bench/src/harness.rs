@@ -252,6 +252,14 @@ pub fn simulate_pipelined(machine: Machine, run: &MethodRun, cores: usize) -> Si
     exec.simulate_pipelined(&run.structure, cores, paper_schedule(run.method))
 }
 
+/// Simulates the level-scheduled IC(0) construction for one built method on
+/// `cores` cores of the given machine (`cores = 1` models the sequential
+/// up-looking sweep).
+pub fn simulate_ic0_build(machine: Machine, run: &MethodRun, cores: usize) -> SimReport {
+    let exec = SimulatedExecutor::new(machine.topology());
+    exec.simulate_ic0_build(&run.structure, cores)
+}
+
 /// The shared measurement protocol of the `wallclock_seconds*` helpers: one
 /// untimed warm-up solve (which also forces the lazy split layout out of the
 /// timed region), then the mean over `repeats` solves, as the paper averages
@@ -303,6 +311,19 @@ pub fn geometric_mean(values: &[f64]) -> f64 {
     }
     let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
     (log_sum / values.len() as f64).exp()
+}
+
+/// Writes one JSON line to `path`, creating missing parent directories
+/// first — `bench_smoke --json-path bench/bench_smoke.json` must work from a
+/// fresh checkout where `bench/` does not exist yet (CI relies on the file
+/// appearing, so the caller treats an error as fatal).
+pub fn write_json_line(path: &Path, line: &str) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    std::fs::write(path, format!("{line}\n"))
 }
 
 /// Writes a serialisable result as pretty JSON into `<out_dir>/<name>.json`.
@@ -383,6 +404,27 @@ mod tests {
             paper_schedule(Method::Sts3),
             Schedule::Guided { min_chunk: 1 }
         );
+    }
+
+    #[test]
+    fn write_json_line_creates_missing_parent_directories() {
+        // A fresh checkout has no bench/ directory; the writer must create
+        // the whole chain rather than fail on the first missing component.
+        let root =
+            std::env::temp_dir().join(format!("sts_bench_write_json_line_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let path = root.join("nested/deeper/bench_smoke.json");
+        assert!(!path.parent().unwrap().exists());
+        write_json_line(&path, r#"{"ok":true}"#).expect("missing parents are created");
+        assert_eq!(
+            std::fs::read_to_string(&path).unwrap(),
+            "{\"ok\":true}\n",
+            "record is written with a trailing newline"
+        );
+        // Overwriting through now-existing directories also works.
+        write_json_line(&path, r#"{"ok":false}"#).unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "{\"ok\":false}\n");
+        std::fs::remove_dir_all(&root).unwrap();
     }
 
     #[test]

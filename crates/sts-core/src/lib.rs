@@ -24,8 +24,11 @@
 //! * [`solver`] — the threaded pack-parallel solver (worker pool + barriers),
 //!   its two-phase split variants (`solve_split`, `solve_batch`), the
 //!   pack-pipelined barrier-fused variants (`solve_pipelined`,
-//!   `solve_batch_pipelined`), and a schedule-only level-scheduled solver
-//!   for callers who cannot reorder their system;
+//!   `solve_batch_pipelined`), a schedule-only level-scheduled solver
+//!   for callers who cannot reorder their system, and the level-scheduled
+//!   parallel IC(0) construction (`ParallelSolver::parallel_ic0`) that runs
+//!   the preconditioner *setup* over the same pack hierarchy and epoch-gate
+//!   readiness scheme as the solves;
 //! * [`exec`] — the simulated NUMA executor that prices a solve on a modelled
 //!   machine (the paper's 32-core Intel and 24-core AMD nodes), used by the
 //!   figure harnesses;

@@ -1,0 +1,315 @@
+//! Level-scheduled parallel IC(0) construction on the pack hierarchy.
+//!
+//! `sts_matrix::factor::ic0` is an up-looking sweep whose dependency DAG is
+//! exactly the triangular-solve DAG: row `i` reads the rows named by its
+//! retained strictly-lower columns (completely — prefix and diagonal) plus
+//! its own earlier entries. The pack / super-row hierarchy an
+//! [`StsStructure`] validates for the solve therefore schedules the
+//! factorization verbatim:
+//!
+//! * the super-rows of pack `p` are factored concurrently, statically
+//!   chunked over the workers (chunk `c` of every pack is owned by worker
+//!   `c`, so each row has exactly one writer);
+//! * a chunk does not wait for pack `p − 1`; it waits — through the same
+//!   [`EpochGate`] protocol the pipelined solve kernels use — only until the
+//!   packs its rows' **external columns actually reference**
+//!   ([`SplitLayout::range_ext_dep`](crate::split::SplitLayout::range_ext_dep),
+//!   a pure function of the pattern, which IC(0) preserves) are fully
+//!   factored. Chunks of pack `p + 1` overlap stragglers of pack `p`
+//!   whenever the dependency structure allows, exactly as in the solves;
+//! * within a chunk, rows run in increasing order, so same-super-row reads
+//!   are this worker's own earlier writes in program order.
+//!
+//! # Bitwise identity
+//!
+//! Every value `L[i][·]` is a pure function of already-final inputs,
+//! evaluated by [`ic0_factor_row`](sts_matrix::factor::ic0_factor_row) in
+//! the same merge order as the sequential sweep — so the level-scheduled
+//! factor is **bitwise identical** to `sts_matrix::factor::ic0` for every
+//! worker count and interleaving (asserted by the property tests).
+//!
+//! # Breakdown identity
+//!
+//! A worker that hits a non-SPD pivot does not abort the sweep (which would
+//! strand waiters on the gate); it records the row and keeps factoring —
+//! `sqrt` of the bad pivot propagates as NaN, and NaN-poisoned descendants
+//! fail their own pivot checks. The *lowest* recorded row has all its
+//! dependencies intact (any broken dependency would itself be a lower
+//! recorded row), so its pivot is bitwise identical to the one the
+//! sequential sweep reports when it stops there first: both engines return
+//! the same [`MatrixError::FactorizationBreakdown`].
+//!
+//! # Memory ordering / race freedom
+//!
+//! The value array is shared through the same
+//! [`SharedVec`](super::parallel::SharedVec) wrapper as the solve kernels.
+//! Row `i`'s slice has one writer (the owner of its chunk). Reads target
+//! (a) rows of packs `0..dep`, published by the gate's epoch edge
+//! (`wait_open(dep)` happens-after every arrival of those packs), or
+//! (b) rows of `i`'s own super-row, written earlier by the same worker in
+//! program order. Pack independence ([`StsStructure::validate`]) rules out
+//! every other target, so no slot is ever accessed concurrently with its
+//! write.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering as AtomicOrdering};
+
+use sts_matrix::factor::{ic0_factor_row, lower_pattern_copy};
+use sts_matrix::{CsrMatrix, LowerTriangularCsr, MatrixError};
+use sts_numa::{EpochGate, Schedule};
+
+use crate::csrk::{Result, StsStructure};
+use crate::solver::parallel::{ParallelSolver, SharedVec};
+
+impl ParallelSolver {
+    /// Zero-fill incomplete Cholesky of `a`, level-scheduled over `s`'s pack
+    /// hierarchy on this solver's worker pool.
+    ///
+    /// `a` must be the reordered symmetric matrix whose lower triangle has
+    /// **exactly** the sparsity pattern of `s.lower()` (the
+    /// [`StsStructure::with_operand`] contract) — the schedule's readiness
+    /// metadata and the pack-independence invariant are derived from that
+    /// pattern, so a mismatch is rejected up front. Values may differ.
+    ///
+    /// The result is bitwise identical to `sts_matrix::factor::ic0(a)` —
+    /// including the [`MatrixError::FactorizationBreakdown`] row and pivot
+    /// on non-SPD input — for every thread count (see the module
+    /// documentation for the argument).
+    pub fn parallel_ic0(&self, s: &StsStructure, a: &CsrMatrix) -> Result<LowerTriangularCsr> {
+        let (row_ptr, col_idx, mut vals) = lower_pattern_copy(a)?;
+        if row_ptr != s.lower().row_ptr() || col_idx != s.lower().col_idx() {
+            return Err(MatrixError::InvalidStructure(
+                "parallel_ic0 needs lower(a) to have exactly the structure operand's sparsity \
+                 pattern (the with_operand contract); the level schedule is derived from it"
+                    .into(),
+            ));
+        }
+        let n = s.n();
+        let workers = self.num_threads();
+        if workers == 1 || n == 0 {
+            // One worker's program order is the sequential sweep; skip the
+            // gate (and its atomics) entirely.
+            for i in 0..n {
+                let (done, rest) = vals.split_at_mut(row_ptr[i]);
+                let row = &mut rest[..row_ptr[i + 1] - row_ptr[i]];
+                let d = ic0_factor_row(&row_ptr, &col_idx, |k| done[k], row, i);
+                if d <= 0.0 || !d.is_finite() {
+                    return Err(MatrixError::FactorizationBreakdown { row: i, pivot: d });
+                }
+            }
+            let csr = CsrMatrix::from_raw_unchecked(n, n, row_ptr, col_idx, vals);
+            return LowerTriangularCsr::from_csr(&csr);
+        }
+
+        // Static chunks of each pack's super-rows (chunk c owned by worker
+        // c) with per-chunk readiness in pack numbering, as in the pipelined
+        // solve plans. Forcing the lazy split layout here only borrows what
+        // the preconditioner sweeps build anyway.
+        let split = s.split();
+        let num_packs = s.num_packs();
+        let index2 = s.index2();
+        let mut chunk_rows: Vec<std::ops::Range<usize>> = Vec::new();
+        let mut chunk_dep: Vec<u32> = Vec::new();
+        let mut chunk_ptr = Vec::with_capacity(num_packs + 1);
+        let mut counts = Vec::with_capacity(num_packs);
+        chunk_ptr.push(0usize);
+        for p in 0..num_packs {
+            let srs = s.pack_super_rows(p);
+            let nsr = srs.len();
+            let nchunks = workers.min(nsr);
+            for c in 0..nchunks {
+                let sr_lo = srs.start + c * nsr / nchunks;
+                let sr_hi = srs.start + (c + 1) * nsr / nchunks;
+                let rows = index2[sr_lo]..index2[sr_hi];
+                chunk_dep.push(split.range_ext_dep(rows.clone()));
+                chunk_rows.push(rows);
+            }
+            chunk_ptr.push(chunk_rows.len());
+            counts.push((nchunks, 0));
+        }
+        let gate = EpochGate::new(&counts);
+        // Per-worker-slot breakdown records (row, pivot bits); usize::MAX
+        // marks "none". Each slot has exactly one writer.
+        let bd_row: Vec<AtomicUsize> = (0..workers).map(|_| AtomicUsize::new(usize::MAX)).collect();
+        let bd_pivot: Vec<AtomicU64> = (0..workers).map(|_| AtomicU64::new(0)).collect();
+        {
+            let shared = SharedVec::new(&mut vals);
+            let row_ptr = &row_ptr;
+            let col_idx = &col_idx;
+            self.pool().parallel_for(workers, Schedule::Static, &|w| {
+                let mut local_row = usize::MAX;
+                let mut local_pivot = 0.0f64;
+                for p in 0..num_packs {
+                    let nchunks = chunk_ptr[p + 1] - chunk_ptr[p];
+                    if w >= nchunks {
+                        continue;
+                    }
+                    let idx = chunk_ptr[p] + w;
+                    // Wait only for the packs this chunk's external columns
+                    // reference (dep ≤ p, so progress is guaranteed: every
+                    // worker only ever waits on strictly earlier packs).
+                    gate.wait_open(chunk_dep[idx] as usize);
+                    for i in chunk_rows[idx].clone() {
+                        let lo = row_ptr[i];
+                        // SAFETY: row i's slots are written only by this
+                        // chunk's owner; reads inside ic0_factor_row target
+                        // strictly earlier rows — published by the epoch
+                        // edge (earlier packs) or written earlier by this
+                        // worker (own super-row). See the module docs.
+                        let row = unsafe { shared.slice_mut(lo, row_ptr[i + 1] - lo) };
+                        let d =
+                            ic0_factor_row(row_ptr, col_idx, |k| unsafe { shared.read(k) }, row, i);
+                        if (d <= 0.0 || !d.is_finite()) && i < local_row {
+                            local_row = i;
+                            local_pivot = d;
+                        }
+                    }
+                    gate.arrive_phase1(p);
+                }
+                if local_row != usize::MAX {
+                    // Relaxed suffices: the pool's completion barrier
+                    // publishes these slots to the orchestrator below.
+                    bd_row[w].store(local_row, AtomicOrdering::Relaxed);
+                    bd_pivot[w].store(local_pivot.to_bits(), AtomicOrdering::Relaxed);
+                }
+            });
+        }
+        let mut first = usize::MAX;
+        let mut pivot = 0.0f64;
+        for w in 0..workers {
+            let r = bd_row[w].load(AtomicOrdering::Relaxed);
+            if r < first {
+                first = r;
+                pivot = f64::from_bits(bd_pivot[w].load(AtomicOrdering::Relaxed));
+            }
+        }
+        if first != usize::MAX {
+            return Err(MatrixError::FactorizationBreakdown { row: first, pivot });
+        }
+        let csr = CsrMatrix::from_raw_unchecked(n, n, row_ptr, col_idx, vals);
+        LowerTriangularCsr::from_csr(&csr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::Method;
+    use sts_matrix::{factor, generators};
+
+    /// The structure and reordered full matrix for a grid Laplacian: the
+    /// SpdSystem shape without depending on sts-krylov.
+    fn laplacian_setup(nx: usize, ny: usize) -> (StsStructure, CsrMatrix) {
+        let a = generators::grid2d_laplacian(nx, ny).unwrap();
+        let l = generators::lower_operand(&a).unwrap();
+        let s = Method::Sts3.build(&l, 8).unwrap();
+        let a_perm = a.permute_symmetric(s.permutation().new_to_old()).unwrap();
+        (s, a_perm)
+    }
+
+    #[test]
+    fn parallel_factor_is_bitwise_identical_across_thread_counts() {
+        let (s, a) = laplacian_setup(17, 15);
+        let reference = factor::ic0(&a).unwrap();
+        for threads in [1, 2, 4, 8] {
+            let solver = ParallelSolver::new(threads, Schedule::Guided { min_chunk: 1 });
+            let f = solver.parallel_ic0(&s, &a).unwrap();
+            assert_eq!(
+                f.values(),
+                reference.values(),
+                "parallel IC(0) diverged from sequential with {threads} threads"
+            );
+            assert_eq!(f.row_ptr(), reference.row_ptr());
+            assert_eq!(f.col_idx(), reference.col_idx());
+        }
+    }
+
+    #[test]
+    fn repeated_contended_builds_stay_identical() {
+        // Oversubscribed pool, chain-heavy level-set ordering: readiness
+        // races would show up as sporadic divergence.
+        let a = generators::grid2d_laplacian(20, 20).unwrap();
+        let l = generators::lower_operand(&a).unwrap();
+        let s = Method::Csr3Ls.build(&l, 6).unwrap();
+        let a_perm = a.permute_symmetric(s.permutation().new_to_old()).unwrap();
+        let reference = factor::ic0(&a_perm).unwrap();
+        let solver = ParallelSolver::new(8, Schedule::Guided { min_chunk: 1 });
+        for round in 0..20 {
+            let f = solver.parallel_ic0(&s, &a_perm).unwrap();
+            assert_eq!(
+                f.values(),
+                reference.values(),
+                "parallel IC(0) diverged on round {round}"
+            );
+        }
+    }
+
+    #[test]
+    fn breakdown_reports_the_same_row_and_pivot_as_sequential() {
+        let (s, mut a) = laplacian_setup(9, 9);
+        // Poison one diagonal in the *reordered* numbering so the pivot at
+        // that row goes non-positive; rows depending on it NaN-poison, and
+        // both engines must stop at the same first row with the same pivot.
+        let target = s.n() / 2;
+        let pos = a
+            .row_cols(target)
+            .iter()
+            .position(|&c| c == target)
+            .unwrap();
+        let start = a.row_ptr()[target];
+        a.values_mut()[start + pos] = 1e-9;
+        let seq = factor::ic0(&a);
+        let Err(MatrixError::FactorizationBreakdown {
+            row: seq_row,
+            pivot: seq_pivot,
+        }) = seq
+        else {
+            panic!("poisoned diagonal must break the sequential factorization");
+        };
+        for threads in [2, 4, 8] {
+            let solver = ParallelSolver::new(threads, Schedule::Guided { min_chunk: 1 });
+            match solver.parallel_ic0(&s, &a) {
+                Err(MatrixError::FactorizationBreakdown { row, pivot }) => {
+                    assert_eq!(row, seq_row, "{threads} threads: breakdown row differs");
+                    assert_eq!(
+                        pivot.to_bits(),
+                        seq_pivot.to_bits(),
+                        "{threads} threads: breakdown pivot differs"
+                    );
+                }
+                other => panic!("{threads} threads: expected breakdown, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn pattern_mismatch_is_rejected() {
+        let (s, a) = laplacian_setup(6, 6);
+        // A matrix of the right size but a different pattern (identity).
+        let other = CsrMatrix::identity(s.n());
+        let solver = ParallelSolver::new(2, Schedule::Static);
+        assert!(matches!(
+            solver.parallel_ic0(&s, &other),
+            Err(MatrixError::InvalidStructure(_))
+        ));
+        // And the happy path still works afterwards (pool reusable).
+        assert!(solver.parallel_ic0(&s, &a).is_ok());
+    }
+
+    #[test]
+    fn factor_preconditions_through_the_structure_sweeps() {
+        // End-to-end: the parallel factor hosted by with_operand inverts
+        // F Fᵀ through the structure's forward/backward sweeps.
+        let (s, a) = laplacian_setup(10, 8);
+        let solver = ParallelSolver::new(4, Schedule::Guided { min_chunk: 1 });
+        let f = solver.parallel_ic0(&s, &a).unwrap();
+        let fs = s.with_operand(f).unwrap();
+        let w: Vec<f64> = (0..s.n()).map(|i| 1.0 - (i % 4) as f64 * 0.2).collect();
+        let ftw = fs.lower().multiply_transpose(&w).unwrap();
+        let r = fs.lower().multiply(&ftw).unwrap();
+        let y = fs.solve_sequential_split(&r).unwrap();
+        let z = fs.solve_transpose_sequential_split(&y).unwrap();
+        for (got, want) in z.iter().zip(&w) {
+            assert!((got - want).abs() < 1e-10);
+        }
+    }
+}

@@ -7,7 +7,12 @@
 //!   must solve their original `L x = b` without any reordering (classical
 //!   Saltz level scheduling); it shares no storage transformation with STS-k
 //!   and serves as an additional baseline.
+//! * [`factor`] — level-scheduled parallel IC(0) construction
+//!   ([`ParallelSolver::parallel_ic0`]): the preconditioner *setup* run over
+//!   the same pack hierarchy and epoch-gate readiness scheme as the solves,
+//!   bitwise identical to the sequential up-looking sweep.
 
+pub mod factor;
 pub mod parallel;
 pub mod scheduled;
 

@@ -177,6 +177,19 @@ impl SharedVec {
         debug_assert!(idx < self.len);
         *self.ptr.add(idx)
     }
+
+    /// Exclusive view of the `len` slots starting at `start`.
+    ///
+    /// # Safety
+    /// Caller must guarantee the range is in bounds and that no other thread
+    /// reads or writes any slot of the range for the lifetime of the
+    /// returned slice (the level-scheduled factorization's per-row
+    /// ownership discipline provides exactly this).
+    #[allow(clippy::mut_from_ref)]
+    pub(crate) unsafe fn slice_mut(&self, start: usize, len: usize) -> &mut [f64] {
+        debug_assert!(start + len <= self.len);
+        std::slice::from_raw_parts_mut(self.ptr.add(start), len)
+    }
 }
 
 /// A reusable parallel solver bound to a worker pool.
@@ -210,6 +223,12 @@ impl ParallelSolver {
     /// Number of worker threads.
     pub fn num_threads(&self) -> usize {
         self.pool.num_threads()
+    }
+
+    /// The underlying worker pool (crate-internal: the level-scheduled
+    /// factorization kernel dispatches on it).
+    pub(crate) fn pool(&self) -> &WorkerPool {
+        &self.pool
     }
 
     /// The intra-pack schedule in use.

@@ -13,7 +13,10 @@
 //!   `F = ic0(P A Pᵀ)`: the factor shares the lower triangle's sparsity
 //!   pattern exactly, so it reuses the system's pack / super-row hierarchy
 //!   (and hence the whole split-kernel machinery) through
-//!   [`StsStructure::with_operand`];
+//!   [`StsStructure::with_operand`]. The factorization itself is
+//!   level-scheduled over that same hierarchy on the driver's pool by
+//!   default ([`Ic0::new_parallel`]), bitwise identical to the sequential
+//!   sweep ([`Ic0::new_sequential`]);
 //! * [`Identity`] — `M = I`, turning the driver into plain CG for
 //!   comparison runs.
 //!
@@ -288,12 +291,55 @@ impl Ic0 {
     /// Factorizes `sys`'s reordered operator and builds the sweep state.
     /// Fails with [`MatrixError::FactorizationBreakdown`] when the matrix is
     /// not SPD on the retained pattern.
+    ///
+    /// This is the **default setup path**: the factorization is
+    /// level-scheduled over the system's pack hierarchy on `solver`'s pool
+    /// ([`Ic0::new_parallel`]), which on large systems takes the
+    /// preconditioner setup off the critical path the pipelined sweeps just
+    /// shortened. The sequential sweep is retained as
+    /// [`Ic0::new_sequential`]; both produce **bitwise identical** factors
+    /// (and identical breakdown errors), so the choice only moves wall
+    /// time.
     pub fn new(sys: &SpdSystem, solver: &ParallelSolver, engine: SweepEngine) -> Result<Ic0> {
+        Ic0::new_parallel(sys, solver, engine)
+    }
+
+    /// [`Ic0::new`] with the factorization explicitly level-scheduled on
+    /// `solver`'s worker pool
+    /// (`ParallelSolver::parallel_ic0`): pack `p`'s update
+    /// sweep waits only on the packs its column range actually reads, so
+    /// setup work of later packs overlaps stragglers of earlier ones.
+    pub fn new_parallel(
+        sys: &SpdSystem,
+        solver: &ParallelSolver,
+        engine: SweepEngine,
+    ) -> Result<Ic0> {
+        let factor = solver.parallel_ic0(sys.structure(), sys.matrix())?;
+        let structure = Arc::new(sys.structure().with_operand(factor)?);
+        Ok(Ic0 {
+            sweeps: SweepPair::new(structure, solver, engine),
+        })
+    }
+
+    /// [`Ic0::new`] with the sequential up-looking factorization
+    /// (`sts_matrix::factor::ic0`) — the single-core fallback, bitwise
+    /// identical to the level-scheduled build.
+    pub fn new_sequential(
+        sys: &SpdSystem,
+        solver: &ParallelSolver,
+        engine: SweepEngine,
+    ) -> Result<Ic0> {
         let factor = sts_matrix::factor::ic0(sys.matrix())?;
         let structure = Arc::new(sys.structure().with_operand(factor)?);
         Ok(Ic0 {
             sweeps: SweepPair::new(structure, solver, engine),
         })
+    }
+
+    /// The factor structure's operand values (test/diagnostic hook: setup
+    /// engines are asserted bitwise identical through this).
+    pub fn factor_values(&self) -> &[f64] {
+        self.sweeps.structure.lower().values()
     }
 }
 
@@ -392,6 +438,29 @@ mod tests {
         let mut sweep = vec![0.0; sys.n()];
         pre.apply_into(&solver, &r, &mut z, &mut sweep).unwrap();
         assert!(ops::relative_error_inf(&z, &w) < 1e-10);
+    }
+
+    #[test]
+    fn ic0_setup_engines_build_bitwise_identical_factors() {
+        let (sys, solver) = test_setup();
+        let seq = Ic0::new_sequential(&sys, &solver, SweepEngine::Sequential).unwrap();
+        let par = Ic0::new_parallel(&sys, &solver, SweepEngine::Sequential).unwrap();
+        let def = Ic0::new(&sys, &solver, SweepEngine::Sequential).unwrap();
+        assert_eq!(
+            seq.factor_values(),
+            par.factor_values(),
+            "setup engines must produce the same factor bit for bit"
+        );
+        assert_eq!(def.factor_values(), par.factor_values());
+        // And the applications are therefore bitwise identical too.
+        let r: Vec<f64> = (0..sys.n()).map(|i| 0.5 + (i % 9) as f64 * 0.3).collect();
+        let (mut z1, mut z2) = (vec![0.0; sys.n()], vec![0.0; sys.n()]);
+        let mut sweep = vec![0.0; sys.n()];
+        let mut seq = seq;
+        let mut par = par;
+        seq.apply_into(&solver, &r, &mut z1, &mut sweep).unwrap();
+        par.apply_into(&solver, &r, &mut z2, &mut sweep).unwrap();
+        assert_eq!(z1, z2);
     }
 
     #[test]

@@ -23,20 +23,40 @@
 //! reported as [`MatrixError::FactorizationBreakdown`]; on SPD M-matrices
 //! (the grid Laplacians of the synthetic suite) the factorization is known
 //! to exist.
+//!
+//! # Level-scheduled (parallel) construction
+//!
+//! The factorization's dependency DAG is *the same DAG the triangular solve
+//! walks*: row `i`'s update reads exactly the rows `k` named by its retained
+//! strictly-lower columns (each such row completely — its prefix for the
+//! two-pointer merge and its diagonal for the scale), plus its own earlier
+//! entries. A pack / super-row hierarchy that is valid for the solve — no
+//! row depends on a row of a *different* super-row of the same pack — is
+//! therefore valid verbatim for the factorization: the rows of one pack can
+//! be factored concurrently as long as (a) every earlier pack a row's
+//! columns reference has fully completed and (b) the rows of one super-row
+//! are factored in increasing row order by a single worker. Because each
+//! row's value is a pure function of already-final inputs evaluated in the
+//! same merge order, the level-scheduled factor is **bitwise identical** to
+//! the sequential up-looking sweep, for any worker count and any
+//! interleaving. The pool-resident kernel lives in
+//! `sts_core::ParallelSolver::parallel_ic0`; this module provides the
+//! engine-agnostic pieces it shares with [`ic0`]: the lower-triangle pattern
+//! copy ([`lower_pattern_copy`]) and the single-row update
+//! ([`ic0_factor_row`]).
 
 use crate::csr::CsrMatrix;
 use crate::error::MatrixError;
 use crate::triangular::LowerTriangularCsr;
 use crate::Result;
 
-/// Zero-fill incomplete Cholesky: returns the lower-triangular factor `L`
-/// with the sparsity pattern of `a`'s lower triangle such that
-/// `L Lᵀ ≈ a` (exact on the retained pattern positions).
+/// Copies `a`'s lower triangle (columns sorted increasingly, diagonal last
+/// in its natural sorted position) into raw CSR arrays — the in-place
+/// workspace both the sequential and the level-scheduled IC(0) sweeps
+/// overwrite, pattern unchanged.
 ///
-/// `a` must be square with a fully stored symmetric pattern (both triangles
-/// present, as the synthetic suite and Matrix Market symmetric readers
-/// produce); only the lower triangle is read.
-pub fn ic0(a: &CsrMatrix) -> Result<LowerTriangularCsr> {
+/// Fails when `a` is not square or a row has no stored diagonal.
+pub fn lower_pattern_copy(a: &CsrMatrix) -> Result<(Vec<usize>, Vec<usize>, Vec<f64>)> {
     if a.nrows() != a.ncols() {
         return Err(MatrixError::DimensionMismatch(format!(
             "ic0 needs a square matrix, got {}x{}",
@@ -45,9 +65,6 @@ pub fn ic0(a: &CsrMatrix) -> Result<LowerTriangularCsr> {
         )));
     }
     let n = a.nrows();
-    // Copy the lower triangle (columns sorted increasingly, diagonal last in
-    // its natural sorted position) — the factor overwrites the values in
-    // place, pattern unchanged.
     let mut row_ptr = Vec::with_capacity(n + 1);
     let mut col_idx = Vec::new();
     let mut vals = Vec::new();
@@ -67,39 +84,90 @@ pub fn ic0(a: &CsrMatrix) -> Result<LowerTriangularCsr> {
         }
         row_ptr.push(col_idx.len());
     }
+    Ok((row_ptr, col_idx, vals))
+}
+
+/// The up-looking IC(0) update of row `i` over the retained pattern.
+///
+/// `row` is the row's value slice `vals[row_ptr[i]..row_ptr[i + 1]]`
+/// (initialised with `A`'s lower-triangle values, diagonal last), held
+/// exclusively by the caller; `read(k)` returns the already-final factor
+/// value at global value index `k < row_ptr[i]` — a plain slice read for the
+/// sequential sweep, a shared-pointer read for the level-scheduled one.
+/// Every index passed to `read` targets a strictly earlier row, which is
+/// what makes the borrow split sound in both engines.
+///
+/// Returns the pivot `d = A[i][i] − Σ L[i][j]²` *before* the square root,
+/// having already stored `sqrt(d)` in the diagonal slot; the caller checks
+/// `d <= 0.0 || !d.is_finite()` and reports
+/// [`MatrixError::FactorizationBreakdown`] (a non-SPD pivot propagates as
+/// NaN, which downstream rows' own pivot checks also catch, so the first —
+/// lowest-row — breakdown is identical whichever engine runs the sweep).
+#[inline]
+pub fn ic0_factor_row<F: Fn(usize) -> f64>(
+    row_ptr: &[usize],
+    col_idx: &[usize],
+    read: F,
+    row: &mut [f64],
+    i: usize,
+) -> f64 {
+    let lo = row_ptr[i];
+    let hi = row_ptr[i + 1];
+    debug_assert_eq!(row.len(), hi - lo, "row slice must cover row {i}");
+    for kk in lo..hi - 1 {
+        let k = col_idx[kk];
+        // Sparse dot of rows i and k over columns < k (two-pointer merge of
+        // the already-computed prefixes).
+        let mut s = row[kk - lo];
+        let (mut pi, mut pk) = (lo, row_ptr[k]);
+        let k_end = row_ptr[k + 1] - 1; // exclude L[k][k]
+        while pi < kk && pk < k_end {
+            match col_idx[pi].cmp(&col_idx[pk]) {
+                std::cmp::Ordering::Less => pi += 1,
+                std::cmp::Ordering::Greater => pk += 1,
+                std::cmp::Ordering::Equal => {
+                    s -= row[pi - lo] * read(pk);
+                    pi += 1;
+                    pk += 1;
+                }
+            }
+        }
+        row[kk - lo] = s / read(k_end);
+    }
+    let mut d = row[hi - 1 - lo];
+    for v in &row[..hi - 1 - lo] {
+        d -= v * v;
+    }
+    row[hi - 1 - lo] = d.sqrt();
+    d
+}
+
+/// Zero-fill incomplete Cholesky: returns the lower-triangular factor `L`
+/// with the sparsity pattern of `a`'s lower triangle such that
+/// `L Lᵀ ≈ a` (exact on the retained pattern positions).
+///
+/// `a` must be square with a fully stored symmetric pattern (both triangles
+/// present, as the synthetic suite and Matrix Market symmetric readers
+/// produce); only the lower triangle is read. This is the sequential
+/// up-looking sweep; the level-scheduled parallel construction
+/// (`sts_core::ParallelSolver::parallel_ic0`) produces bitwise-identical
+/// values on the same input (see the module documentation).
+pub fn ic0(a: &CsrMatrix) -> Result<LowerTriangularCsr> {
+    let (row_ptr, col_idx, mut vals) = lower_pattern_copy(a)?;
+    let n = a.nrows();
     // Up-looking factorization over the retained pattern. Row r's entries
     // end with its diagonal (largest retained column), so vals[row_ptr[r+1]-1]
     // is L[r][r] once row r is done.
     for i in 0..n {
-        let (lo, hi) = (row_ptr[i], row_ptr[i + 1]);
-        for kk in lo..hi - 1 {
-            let k = col_idx[kk];
-            // Sparse dot of rows i and k over columns < k (two-pointer merge
-            // of the already-computed prefixes).
-            let mut s = vals[kk];
-            let (mut pi, mut pk) = (lo, row_ptr[k]);
-            let k_end = row_ptr[k + 1] - 1; // exclude L[k][k]
-            while pi < kk && pk < k_end {
-                match col_idx[pi].cmp(&col_idx[pk]) {
-                    std::cmp::Ordering::Less => pi += 1,
-                    std::cmp::Ordering::Greater => pk += 1,
-                    std::cmp::Ordering::Equal => {
-                        s -= vals[pi] * vals[pk];
-                        pi += 1;
-                        pk += 1;
-                    }
-                }
-            }
-            vals[kk] = s / vals[k_end];
-        }
-        let mut d = vals[hi - 1];
-        for v in &vals[lo..hi - 1] {
-            d -= v * v;
-        }
+        let lo = row_ptr[i];
+        let hi = row_ptr[i + 1];
+        // Rows < i are final; the split borrow mirrors the dependency DAG.
+        let (done, rest) = vals.split_at_mut(lo);
+        let row = &mut rest[..hi - lo];
+        let d = ic0_factor_row(&row_ptr, &col_idx, |k| done[k], row, i);
         if d <= 0.0 || !d.is_finite() {
             return Err(MatrixError::FactorizationBreakdown { row: i, pivot: d });
         }
-        vals[hi - 1] = d.sqrt();
     }
     let csr = CsrMatrix::from_raw_unchecked(n, n, row_ptr, col_idx, vals);
     LowerTriangularCsr::from_csr(&csr)
@@ -180,6 +248,38 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn lower_pattern_copy_extracts_exactly_the_lower_triangle() {
+        let a = generators::grid2d_laplacian(5, 4).unwrap();
+        let (row_ptr, col_idx, vals) = lower_pattern_copy(&a).unwrap();
+        assert_eq!(row_ptr.len(), a.nrows() + 1);
+        assert_eq!(col_idx.len(), vals.len());
+        for r in 0..a.nrows() {
+            let cols = &col_idx[row_ptr[r]..row_ptr[r + 1]];
+            assert!(cols.windows(2).all(|w| w[0] < w[1]), "columns sorted");
+            assert_eq!(*cols.last().unwrap(), r, "diagonal last");
+            for (&c, &v) in cols.iter().zip(&vals[row_ptr[r]..row_ptr[r + 1]]) {
+                assert_eq!(v, a.get(r, c));
+            }
+        }
+    }
+
+    #[test]
+    fn factor_row_reproduces_the_full_sweep_row_by_row() {
+        // Driving ic0_factor_row by hand must give the exact ic0 factor —
+        // the parity the level-scheduled engine relies on.
+        let a = generators::grid2d_laplacian(7, 6).unwrap();
+        let reference = ic0(&a).unwrap();
+        let (row_ptr, col_idx, mut vals) = lower_pattern_copy(&a).unwrap();
+        for i in 0..a.nrows() {
+            let (done, rest) = vals.split_at_mut(row_ptr[i]);
+            let row = &mut rest[..row_ptr[i + 1] - row_ptr[i]];
+            let d = ic0_factor_row(&row_ptr, &col_idx, |k| done[k], row, i);
+            assert!(d > 0.0 && d.is_finite());
+        }
+        assert_eq!(vals, reference.values(), "bitwise parity with ic0");
     }
 
     #[test]

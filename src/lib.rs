@@ -107,12 +107,37 @@
 //! let out = pcg.solve(&sys, &mut pre, &b, &mut ws).unwrap();
 //! assert!(out.converged);
 //! assert!(ops::relative_error_inf(&out.x, &x_true) < 1e-6);
+//! ```
 //!
-//! // The IC(0) factor shares the reordered pattern, so it reuses the same
-//! // hierarchy — and usually converges in fewer iterations still.
-//! let mut ic0 = Ic0::new(&sys, pcg.solver(), SweepEngine::Pipelined).unwrap();
+//! ## Parallel preconditioner setup
+//!
+//! The IC(0) factor shares the reordered pattern, so it reuses the same
+//! hierarchy — and the *factorization itself* is level-scheduled over that
+//! hierarchy on the driver's pool ([`krylov::Ic0::new_parallel`], the
+//! default behind [`krylov::Ic0::new`]): pack `p`'s update sweep waits only
+//! on the packs its column range actually reads, exactly like the pipelined
+//! solves. The sequential sweep ([`krylov::Ic0::new_sequential`]) remains
+//! as the fallback and produces a bitwise-identical factor, so the choice
+//! only moves setup wall time:
+//!
+//! ```
+//! # use sts_k::core::Method;
+//! # use sts_k::krylov::{Ic0, KrylovWorkspace, Pcg, SpdSystem, SweepEngine};
+//! # use sts_k::matrix::{generators, ops};
+//! # use sts_k::numa::Schedule;
+//! # let a = generators::grid2d_laplacian(24, 24).unwrap();
+//! # let sys = SpdSystem::build(&a, Method::Sts3, 40).unwrap();
+//! # let pcg = Pcg::new(4, Schedule::Guided { min_chunk: 1 });
+//! # let mut ws = KrylovWorkspace::new(sys.n());
+//! # let b = ops::spmv(&a, &vec![1.0; sys.n()]).unwrap();
+//! // Setup runs level-scheduled on the pool; sweeps run pipelined.
+//! let mut ic0 = Ic0::new_parallel(&sys, pcg.solver(), SweepEngine::Pipelined).unwrap();
 //! let out_ic0 = pcg.solve(&sys, &mut ic0, &b, &mut ws).unwrap();
 //! assert!(out_ic0.converged);
+//!
+//! // Bitwise-identical fallback, for single-core hosts.
+//! let seq = Ic0::new_sequential(&sys, pcg.solver(), SweepEngine::Sequential).unwrap();
+//! assert_eq!(seq.factor_values(), ic0.factor_values());
 //! ```
 
 pub use sts_core as core;

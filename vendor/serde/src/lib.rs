@@ -32,6 +32,37 @@ pub enum Value {
     Object(Vec<(String, Value)>),
 }
 
+impl Value {
+    /// Object field lookup (`None` for non-objects and missing keys),
+    /// name-compatible with `serde_json::Value::get`.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Numeric view of the value (`None` for non-numbers), name-compatible
+    /// with `serde_json::Value::as_f64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::UInt(u) => Some(*u as f64),
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// String view of the value (`None` for non-strings), name-compatible
+    /// with `serde_json::Value::as_str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
 /// Types that can lower themselves into the [`Value`] data model.
 pub trait Serialize {
     /// Converts `self` into a JSON-like value tree.
@@ -60,6 +91,12 @@ macro_rules! impl_int {
 
 impl_uint!(u8, u16, u32, u64, usize);
 impl_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
 
 impl Serialize for f32 {
     fn to_value(&self) -> Value {

@@ -1,19 +1,21 @@
 //! Offline stand-in for [serde_json](https://docs.rs/serde_json): renders the
-//! vendored [`serde::Value`] tree as JSON text. Only the encoding surface the
-//! workspace uses is provided (`to_string`, `to_string_pretty`).
+//! vendored [`serde::Value`] tree as JSON text and parses JSON text back into
+//! it. Only the surface the workspace uses is provided (`to_string`,
+//! `to_string_pretty`, `from_str` into [`Value`]).
 
 use std::fmt;
 
-use serde::{Serialize, Value};
+use serde::Serialize;
+pub use serde::Value;
 
-/// Serialization error. The vendored data model is infallible to encode, so
-/// this type is never constructed; it exists for signature compatibility.
+/// Serialization/deserialization error. Encoding the vendored data model is
+/// infallible; parsing reports the byte offset and a short description.
 #[derive(Debug)]
-pub struct Error(());
+pub struct Error(String);
 
 impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "JSON serialization error")
+        write!(f, "JSON error: {}", self.0)
     }
 }
 
@@ -34,6 +36,190 @@ pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
     let mut out = String::new();
     write_value(&value.to_value(), Some(2), 0, &mut out);
     Ok(out)
+}
+
+/// Parses a JSON document into a [`Value`] (the deserialization surface the
+/// bench-regression gate uses to read trend records). Trailing whitespace is
+/// allowed; trailing non-whitespace content is an error.
+pub fn from_str(s: &str) -> Result<Value> {
+    let bytes = s.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(Error(format!("trailing content at byte {pos}")));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, byte: u8) -> Result<()> {
+    if bytes.get(*pos) == Some(&byte) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(Error(format!(
+            "expected '{}' at byte {}",
+            byte as char, *pos
+        )))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err(Error("unexpected end of input".into())),
+        Some(b'n') => parse_literal(bytes, pos, "null", Value::Null),
+        Some(b't') => parse_literal(bytes, pos, "true", Value::Bool(true)),
+        Some(b'f') => parse_literal(bytes, pos, "false", Value::Bool(false)),
+        Some(b'"') => Ok(Value::Str(parse_string(bytes, pos)?)),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Value::Array(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Value::Array(items));
+                    }
+                    _ => return Err(Error(format!("expected ',' or ']' at byte {}", *pos))),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut entries = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Value::Object(entries));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                expect(bytes, pos, b':')?;
+                let value = parse_value(bytes, pos)?;
+                entries.push((key, value));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Value::Object(entries));
+                    }
+                    _ => return Err(Error(format!("expected ',' or '}}' at byte {}", *pos))),
+                }
+            }
+        }
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_literal(bytes: &[u8], pos: &mut usize, literal: &str, value: Value) -> Result<Value> {
+    if bytes[*pos..].starts_with(literal.as_bytes()) {
+        *pos += literal.len();
+        Ok(value)
+    } else {
+        Err(Error(format!("invalid literal at byte {}", *pos)))
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err(Error("unterminated string".into())),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .ok_or_else(|| Error(format!("bad \\u escape at byte {}", *pos)))?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| Error(format!("bad \\u escape at byte {}", *pos)))?;
+                        // Surrogate pairs are not needed by the trend
+                        // records; reject them instead of mis-decoding.
+                        out.push(
+                            char::from_u32(code)
+                                .ok_or_else(|| Error(format!("bad \\u escape at byte {}", *pos)))?,
+                        );
+                        *pos += 4;
+                    }
+                    _ => return Err(Error(format!("bad escape at byte {}", *pos))),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (the input came from &str, so the
+                // boundaries are valid).
+                let rest = std::str::from_utf8(&bytes[*pos..])
+                    .map_err(|_| Error(format!("invalid UTF-8 at byte {}", *pos)))?;
+                let c = rest.chars().next().unwrap();
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Value> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let mut float = false;
+    while let Some(&b) = bytes.get(*pos) {
+        match b {
+            b'0'..=b'9' => *pos += 1,
+            b'.' | b'e' | b'E' | b'+' | b'-' => {
+                float = true;
+                *pos += 1;
+            }
+            _ => break,
+        }
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos])
+        .map_err(|_| Error(format!("invalid number at byte {start}")))?;
+    if !float {
+        if let Ok(u) = text.parse::<u64>() {
+            return Ok(Value::UInt(u));
+        }
+        if let Ok(i) = text.parse::<i64>() {
+            return Ok(Value::Int(i));
+        }
+    }
+    text.parse::<f64>()
+        .map(Value::Float)
+        .map_err(|_| Error(format!("invalid number '{text}' at byte {start}")))
 }
 
 fn write_value(v: &Value, indent: Option<usize>, depth: usize, out: &mut String) {
@@ -185,5 +371,42 @@ mod tests {
     #[test]
     fn empty_containers_render_compactly() {
         assert_eq!(to_string_pretty(&Vec::<usize>::new()).unwrap(), "[]");
+    }
+
+    #[test]
+    fn parse_round_trips_the_encoder_output() {
+        let v = Value::Object(vec![
+            ("pcg_wall_ns".to_string(), Value::Float(7.3e6)),
+            ("iters".to_string(), Value::UInt(12)),
+            ("neg".to_string(), Value::Int(-3)),
+            ("label".to_string(), Value::Str("a\"b\\c".to_string())),
+            (
+                "xs".to_string(),
+                Value::Array(vec![Value::Bool(true), Value::Null, Value::Float(0.5)]),
+            ),
+        ]);
+        let text = to_string(&v).unwrap();
+        assert_eq!(from_str(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn parse_accepts_whitespace_and_reports_numbers() {
+        let v = from_str(" { \"a\" : [ 1 , 2.5 , -7 ] }\n").unwrap();
+        let xs = v.get("a").unwrap();
+        match xs {
+            Value::Array(items) => {
+                assert_eq!(items[0].as_f64(), Some(1.0));
+                assert_eq!(items[1].as_f64(), Some(2.5));
+                assert_eq!(items[2].as_f64(), Some(-7.0));
+            }
+            other => panic!("expected array, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_rejects_malformed_documents() {
+        for bad in ["", "{", "{\"a\":}", "[1,]", "nul", "1 2", "\"open"] {
+            assert!(from_str(bad).is_err(), "{bad:?} must not parse");
+        }
     }
 }

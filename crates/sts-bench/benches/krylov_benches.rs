@@ -2,7 +2,10 @@
 //! 200×200 grid Laplacian, comparing sequential-sweep against
 //! pipelined-sweep preconditioning, plus the IC(0) *setup* pair —
 //! sequential up-looking sweep vs. the level-scheduled build on the pack
-//! hierarchy.
+//! hierarchy, plus the batched pair — lockstep scalar CG vs block CG on a
+//! shared Krylov space over four correlated right-hand sides, on both sweep
+//! engines (the sequential one running the batched sequential split
+//! kernels).
 //!
 //! Both sweep engines (and both setup engines) run bitwise-identical
 //! arithmetic, so every timed solve performs exactly the same iteration
@@ -65,6 +68,39 @@ fn krylov_benchmarks(c: &mut Criterion) {
         &sys,
         |bench, sys| bench.iter(|| pcg.solve(sys, &mut ic0, &b, &mut ws).unwrap()),
     );
+    group.finish();
+
+    // Lockstep scalar CG vs block CG on four correlated right-hand sides
+    // (Krylov chain + 1% rough parts): same operator, same tolerance — the
+    // block driver converges in fewer iterations on a shared Krylov space,
+    // at the price of small dense projections per step. Both engines'
+    // batched sweeps back the SSOR pair, so the bench also exercises the
+    // sequential batched split kernels.
+    let nrhs = 4;
+    let bb = generators::correlated_rhs_chain(&a, nrhs).expect("workload binds to the operator");
+    let mut wsb = KrylovWorkspace::with_nrhs(n, nrhs);
+    let mut group = c.benchmark_group("pcg_batch4_200x200");
+    for engine in [SweepEngine::Sequential, SweepEngine::Pipelined] {
+        let label = match engine {
+            SweepEngine::Sequential => "seq_sweeps",
+            SweepEngine::Pipelined => "pipelined_sweeps",
+        };
+        let mut pre = Ssor::new(&sys, pcg.solver(), engine);
+        let warm = pcg
+            .solve_batch(&sys, &mut pre, &bb, nrhs, &mut wsb)
+            .expect("lockstep CG converges");
+        assert!(warm.converged.iter().all(|&c| c));
+        group.bench_with_input(
+            BenchmarkId::new("ssor_lockstep", label),
+            &sys,
+            |bench, sys| {
+                bench.iter(|| pcg.solve_batch(sys, &mut pre, &bb, nrhs, &mut wsb).unwrap())
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("ssor_block", label), &sys, |bench, sys| {
+            bench.iter(|| pcg.solve_block(sys, &mut pre, &bb, nrhs, &mut wsb).unwrap())
+        });
+    }
     group.finish();
 
     // The preconditioner setup pair: identical factors (asserted), so the

@@ -14,6 +14,12 @@
 //!   pipelined sweeps (`pcg_iters`, `pcg_wall_ns`, `pcg_precond_share`) —
 //!   the trend line that catches regressions in what the triangular kernels
 //!   are *for*, not just in the kernels themselves;
+//! * the block-Krylov workload: block CG vs lockstep scalar CG on four
+//!   correlated right-hand sides (`pcg_block_iters`,
+//!   `pcg_block_lockstep_iters`, `pcg_block_steps`,
+//!   `pcg_block_vs_lockstep_iter_ratio`, and the gated
+//!   `pcg_block_wall_per_rhs_ns`) — the shared Krylov space must cut
+//!   iterations, not just per-iteration cost;
 //! * the preconditioner *setup* path: IC(0) construction wall time for both
 //!   engines (`ic0_build_sequential_wall_ns` vs.
 //!   `ic0_build_parallel_wall_ns`, the level-scheduled build on the pack
@@ -37,7 +43,7 @@ use std::time::Instant;
 use serde::Serialize;
 use sts_bench::harness::{self, Machine};
 use sts_core::{Method, ParallelSolver};
-use sts_krylov::{KrylovWorkspace, Pcg, SpdSystem, Ssor, SweepEngine};
+use sts_krylov::{Identity, KrylovWorkspace, Pcg, SpdSystem, Ssor, SweepEngine};
 use sts_matrix::generators;
 
 #[derive(Serialize)]
@@ -77,6 +83,19 @@ struct Smoke {
     pcg_iters: usize,
     pcg_wall_ns: f64,
     pcg_precond_share: f64,
+    /// Block CG vs lockstep scalar CG on the same operator with 4
+    /// correlated right-hand sides (a Krylov chain `b_q ∝ A^q c` plus a 1%
+    /// independent rough part each): total per-system iterations of the
+    /// shared-Krylov-space block driver, of the lockstep scalar driver, the
+    /// shared block steps, and the iteration ratio (< 1.0 means the block
+    /// space converged in fewer iterations, the headline win). The wall
+    /// field is best-of-blocks nanoseconds per right-hand side of the block
+    /// solve and is gated.
+    pcg_block_iters: usize,
+    pcg_block_lockstep_iters: usize,
+    pcg_block_steps: usize,
+    pcg_block_vs_lockstep_iter_ratio: f64,
+    pcg_block_wall_per_rhs_ns: f64,
     /// IC(0) preconditioner setup on the same operator, both engines
     /// (best-of-blocks wall nanoseconds per factorization; the factors are
     /// bitwise identical, asserted before timing): the sequential
@@ -171,6 +190,41 @@ fn main() {
         }
     }
 
+    // Block CG vs lockstep scalar CG: four correlated right-hand sides
+    // (Krylov chain + 1% rough parts — the "family of similar load cases"
+    // shape block solvers exist for), plain CG so the iteration comparison
+    // isolates the shared Krylov space itself. Deterministic, so the
+    // iteration counts are exact trend lines; the block wall time is
+    // best-of-5 per solve like the scalar PCG field.
+    let nrhs_blk = 4;
+    let b_blk =
+        generators::correlated_rhs_chain(&a, nrhs_blk).expect("workload binds to the operator");
+    let mut ws_blk = KrylovWorkspace::with_nrhs(sys.n(), nrhs_blk);
+    let lockstep = pcg
+        .solve_batch(&sys, &mut Identity, &b_blk, nrhs_blk, &mut ws_blk)
+        .expect("lockstep CG solves the correlated batch");
+    let mut best_blk = pcg
+        .solve_block(&sys, &mut Identity, &b_blk, nrhs_blk, &mut ws_blk)
+        .expect("block CG solves the correlated batch");
+    assert!(
+        best_blk.converged.iter().all(|&c| c) && lockstep.converged.iter().all(|&c| c),
+        "both batch drivers must converge on the smoke operator"
+    );
+    for _ in 0..4 {
+        let out = pcg
+            .solve_block(&sys, &mut Identity, &b_blk, nrhs_blk, &mut ws_blk)
+            .expect("block CG solve succeeds");
+        assert_eq!(
+            out.total_iterations(),
+            best_blk.total_iterations(),
+            "block CG must be deterministic"
+        );
+        if out.seconds_total < best_blk.seconds_total {
+            best_blk = out;
+        }
+    }
+    let lockstep_total: usize = lockstep.iterations.iter().sum();
+
     // Preconditioner setup: sequential vs. level-scheduled IC(0) on the
     // system's pack hierarchy. The factors are bitwise identical by
     // construction — assert it once, then time the pair interleaved
@@ -225,6 +279,12 @@ fn main() {
         pcg_iters: best.iterations,
         pcg_wall_ns: best.seconds_total * 1e9,
         pcg_precond_share: best.precond_share(),
+        pcg_block_iters: best_blk.total_iterations(),
+        pcg_block_lockstep_iters: lockstep_total,
+        pcg_block_steps: best_blk.block_steps,
+        pcg_block_vs_lockstep_iter_ratio: best_blk.total_iterations() as f64
+            / lockstep_total as f64,
+        pcg_block_wall_per_rhs_ns: best_blk.seconds_total * 1e9 / nrhs_blk as f64,
         ic0_build_engine: if threads > 1 {
             "parallel".to_string()
         } else {

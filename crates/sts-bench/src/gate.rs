@@ -16,8 +16,10 @@
 //! * a field missing from either record is **skipped**, not failed, so a PR
 //!   that adds a new trend field does not trip over a baseline that predates
 //!   it (the refreshed `main` baseline picks it up);
-//! * a non-positive or non-finite baseline value is skipped likewise (a
-//!   ratio against it is meaningless);
+//! * a non-positive or non-finite value is skipped likewise — in the
+//!   baseline (a ratio against it is meaningless) **and in the current
+//!   record**: a broken bench reporting `0` wall-ns must surface as
+//!   `[skip]`, never slip through as a 0.0-ratio `[ ok ]`;
 //! * the default threshold is 25% — far above the run-to-run jitter of the
 //!   min-of-blocks measurements `bench_smoke` reports, far below a real
 //!   kernel regression.
@@ -27,11 +29,12 @@
 
 use serde_json::Value;
 
-/// The wall-time fields the gate enforces: the end-to-end PCG solve, the
-/// pipelined solve kernels, and the IC(0) setup path. Everything else in the
-/// record is informational.
+/// The wall-time fields the gate enforces: the end-to-end PCG solve (scalar
+/// and per-RHS block), the pipelined solve kernels, and the IC(0) setup
+/// path. Everything else in the record is informational.
 pub const GATED_FIELDS: &[&str] = &[
     "pcg_wall_ns",
+    "pcg_block_wall_per_rhs_ns",
     "wall_parallel_pipelined_s",
     "wall_batch4_pipelined_per_rhs_s",
     "ic0_build_parallel_wall_ns",
@@ -78,7 +81,9 @@ impl GateReport {
             GATED_FIELDS.len()
         )];
         let mut checks = self.checks.clone();
-        checks.sort_by(|a, b| b.ratio.partial_cmp(&a.ratio).unwrap());
+        // total_cmp, not partial_cmp().unwrap(): a pathological record must
+        // render as a report line, never panic the gate binary.
+        checks.sort_by(|a, b| b.ratio.total_cmp(&a.ratio));
         for c in &checks {
             lines.push(format!(
                 "  [{}] {:<34} baseline {:>12.4e}  current {:>12.4e}  ratio {:.3}",
@@ -110,7 +115,10 @@ pub fn compare(baseline: &Value, current: &Value, threshold_pct: f64) -> GateRep
     let mut skipped = Vec::new();
     for &field in GATED_FIELDS {
         match (numeric(baseline, field), numeric(current, field)) {
-            (Some(base), Some(cur)) if base > 0.0 => {
+            // Both values must be usable: positive and finite. A broken
+            // bench reporting 0 (or negative) wall time would otherwise
+            // pass with ratio 0.0.
+            (Some(base), Some(cur)) if base > 0.0 && cur > 0.0 => {
                 let ratio = cur / base;
                 checks.push(FieldCheck {
                     field,
@@ -135,8 +143,13 @@ mod tests {
     use super::*;
 
     fn record(pcg: f64, piped: f64, batch: f64, ic0: f64) -> Value {
+        record_with_block(pcg, piped, batch, ic0, 1.0e6)
+    }
+
+    fn record_with_block(pcg: f64, piped: f64, batch: f64, ic0: f64, block: f64) -> Value {
         Value::Object(vec![
             ("pcg_wall_ns".into(), Value::Float(pcg)),
+            ("pcg_block_wall_per_rhs_ns".into(), Value::Float(block)),
             ("wall_parallel_pipelined_s".into(), Value::Float(piped)),
             (
                 "wall_batch4_pipelined_per_rhs_s".into(),
@@ -221,6 +234,87 @@ mod tests {
         let report = compare(&base, &cur, 25.0);
         assert!(report.passed());
         assert_eq!(report.checks.len(), 1, "only the usable field is compared");
+    }
+
+    #[test]
+    fn unusable_current_values_are_skipped_not_passed() {
+        // The bugfix: a broken bench reporting a zero (or negative, or NaN)
+        // gated field must be skipped, not accepted with ratio 0.0. The
+        // fields must land in `skipped` so render shows them as [skip].
+        let base = record(1000.0, 1.0, 1.0, 1.0);
+        for bad in [0.0, -5.0, f64::NAN, f64::INFINITY] {
+            let cur = record_with_block(bad, 1.0, 1.0, 1.0, 1.0e6);
+            let report = compare(&base, &cur, 25.0);
+            assert!(
+                report.passed(),
+                "an unusable current value ({bad}) must not fail the gate"
+            );
+            assert!(
+                report.skipped.contains(&"pcg_wall_ns"),
+                "an unusable current value ({bad}) must be reported skipped"
+            );
+            assert!(
+                !report.checks.iter().any(|c| c.field == "pcg_wall_ns"),
+                "an unusable current value ({bad}) must not be compared"
+            );
+            let text = report.render();
+            assert!(text.contains("[skip] pcg_wall_ns"));
+            assert!(!text.contains("[ ok ] pcg_wall_ns"));
+        }
+    }
+
+    #[test]
+    fn nan_baseline_values_are_skipped() {
+        let base = record(f64::NAN, 1.0, 1.0, 1.0);
+        let cur = record(99999.0, 1.0, 1.0, 1.0);
+        let report = compare(&base, &cur, 25.0);
+        assert!(report.passed());
+        assert!(report.skipped.contains(&"pcg_wall_ns"));
+    }
+
+    #[test]
+    fn field_missing_from_both_records_is_skipped_once() {
+        let base = serde_json::from_str(r#"{"pcg_wall_ns": 1000.0}"#).unwrap();
+        let cur = serde_json::from_str(r#"{"pcg_wall_ns": 1000.0}"#).unwrap();
+        let report = compare(&base, &cur, 25.0);
+        assert!(report.passed());
+        assert_eq!(report.checks.len(), 1);
+        assert_eq!(report.skipped.len(), GATED_FIELDS.len() - 1);
+        // Each absent field appears exactly once in the skip list.
+        let mut sorted = report.skipped.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), GATED_FIELDS.len() - 1);
+    }
+
+    #[test]
+    fn render_never_panics_on_pathological_ratios() {
+        // NaN can only reach `checks` through future refactors, but the
+        // report must stay panic-free even then: build one by hand and sort
+        // it through render.
+        let report = GateReport {
+            checks: vec![
+                FieldCheck {
+                    field: "pcg_wall_ns",
+                    baseline: 1.0,
+                    current: f64::NAN,
+                    ratio: f64::NAN,
+                    failed: false,
+                },
+                FieldCheck {
+                    field: "ic0_build_parallel_wall_ns",
+                    baseline: 1.0,
+                    current: 2.0,
+                    ratio: 2.0,
+                    failed: true,
+                },
+            ],
+            skipped: vec![],
+            threshold_pct: 25.0,
+        };
+        let text = report.render();
+        assert!(text.contains("pcg_wall_ns"));
+        assert!(text.contains("ic0_build_parallel_wall_ns"));
     }
 
     #[test]

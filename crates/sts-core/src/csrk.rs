@@ -345,6 +345,119 @@ impl StsStructure {
         Ok(())
     }
 
+    /// Solves `L' X' = B'` for `nrhs` interleaved right-hand sides
+    /// (`b[i * nrhs + q]`) sequentially on the dependency-split layout, with
+    /// the index traffic of every row amortised over the batch.
+    ///
+    /// Per right-hand side this performs **exactly** the floating-point
+    /// operations of [`StsStructure::solve_sequential_split`], in the same
+    /// order — the batch dimension only reorders the *loads* of the shared
+    /// column/value slabs — so the result is bitwise identical to `nrhs`
+    /// scalar sequential split solves. That is what lets the sequential
+    /// sweep engine serve batched preconditioner applications
+    /// interchangeably with the pipelined batch kernels on single-core
+    /// hosts.
+    pub fn solve_batch_sequential_split(&self, b: &[f64], nrhs: usize) -> Result<Vec<f64>> {
+        let mut x = vec![0.0; b.len()];
+        self.solve_batch_sequential_split_into(b, &mut x, nrhs)?;
+        Ok(x)
+    }
+
+    /// [`StsStructure::solve_batch_sequential_split`] into a caller-provided
+    /// buffer: no heap allocation (the per-row accumulators live in a fixed
+    /// stack block, walked in chunks of up to [`BATCH_CHUNK`] right-hand
+    /// sides).
+    pub fn solve_batch_sequential_split_into(
+        &self,
+        b: &[f64],
+        x: &mut [f64],
+        nrhs: usize,
+    ) -> Result<()> {
+        self.check_batch_lengths(b, x, nrhs)?;
+        let split = self.split();
+        let inv_diag = split.inv_diags();
+        for p in 0..self.num_packs() {
+            let rows = self.pack_rows(p);
+            // Phase 1: external gather with the diagonal scale folded in.
+            for i1 in rows.clone() {
+                let (cols, vals) = split.ext_row(i1);
+                batch_row_update(Some(b), x, i1, cols, vals, inv_diag[i1], nrhs);
+            }
+            // Phase 2: internal substitution over the chain rows.
+            for t in 0..split.chain_super_rows(p).len() {
+                for &i1 in split.chain_rows_of(p, t) {
+                    let i1 = i1 as usize;
+                    let (cols, vals) = split.int_row(i1);
+                    batch_row_update(None, x, i1, cols, vals, inv_diag[i1], nrhs);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Solves the transposed system `L'ᵀ X' = B'` for `nrhs` interleaved
+    /// right-hand sides sequentially on the transpose split layout (packs in
+    /// reverse order, like
+    /// [`StsStructure::solve_transpose_sequential_split`]). Bitwise
+    /// identical per right-hand side to `nrhs` scalar transpose sequential
+    /// split solves, for the same reason as
+    /// [`StsStructure::solve_batch_sequential_split`].
+    pub fn solve_transpose_batch_sequential_split(
+        &self,
+        b: &[f64],
+        nrhs: usize,
+    ) -> Result<Vec<f64>> {
+        let mut x = vec![0.0; b.len()];
+        self.solve_transpose_batch_sequential_split_into(b, &mut x, nrhs)?;
+        Ok(x)
+    }
+
+    /// [`StsStructure::solve_transpose_batch_sequential_split`] into a
+    /// caller-provided buffer (no heap allocation).
+    pub fn solve_transpose_batch_sequential_split_into(
+        &self,
+        b: &[f64],
+        x: &mut [f64],
+        nrhs: usize,
+    ) -> Result<()> {
+        self.check_batch_lengths(b, x, nrhs)?;
+        let ts = self.transpose_split();
+        let inv_diag = ts.inv_diags();
+        for p in (0..self.num_packs()).rev() {
+            // Phase 1: gather from later packs, all of which are final.
+            for i1 in self.pack_rows(p) {
+                let (cols, vals) = ts.ext_row(i1);
+                batch_row_update(Some(b), x, i1, cols, vals, inv_diag[i1], nrhs);
+            }
+            // Phase 2: backward chains, decreasing row order within a task.
+            for t in 0..ts.chain_super_rows(p).len() {
+                for &i1 in ts.chain_rows_of(p, t) {
+                    let i1 = i1 as usize;
+                    let (cols, vals) = ts.int_row(i1);
+                    batch_row_update(None, x, i1, cols, vals, inv_diag[i1], nrhs);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn check_batch_lengths(&self, b: &[f64], x: &[f64], nrhs: usize) -> Result<()> {
+        if nrhs == 0 {
+            return Err(MatrixError::DimensionMismatch(
+                "batched solves need at least one right-hand side".into(),
+            ));
+        }
+        if b.len() != self.n() * nrhs || x.len() != self.n() * nrhs {
+            return Err(MatrixError::DimensionMismatch(format!(
+                "B and X must both have length n * nrhs = {}, got {} and {}",
+                self.n() * nrhs,
+                b.len(),
+                x.len()
+            )));
+        }
+        Ok(())
+    }
+
     /// Solves the transposed system `L'ᵀ x' = b'` sequentially on the
     /// transpose split layout, walking the packs in **reverse** order (see
     /// [`TransposeLayout`] for why that ordering is correct): per pack, an
@@ -538,6 +651,53 @@ impl StsStructure {
     }
 }
 
+/// Right-hand sides processed per stack accumulator block by the sequential
+/// batch kernels — wide enough that typical batches (4–8 RHS) stream the
+/// column/value slabs exactly once, small enough to stay in registers.
+pub const BATCH_CHUNK: usize = 8;
+
+/// One row of a sequential batched sweep, for every right-hand side, in
+/// chunks of [`BATCH_CHUNK`]: accumulates `acc[q] = Σ_k vals[k] ·
+/// x[cols[k], q]` in slab order (the *same* floating-point sequence as the
+/// scalar split kernels, so each lane is bitwise identical to a standalone
+/// solve) and then applies either the phase-1 external update
+/// `x[i, q] = (b[i, q] − acc[q]) · d` (when `b` is provided) or the phase-2
+/// chain update `x[i, q] −= acc[q] · d` (when it is not).
+#[inline]
+fn batch_row_update(
+    b: Option<&[f64]>,
+    x: &mut [f64],
+    i1: usize,
+    cols: &[u32],
+    vals: &[f64],
+    d: f64,
+    nrhs: usize,
+) {
+    let mut q0 = 0;
+    while q0 < nrhs {
+        let width = (nrhs - q0).min(BATCH_CHUNK);
+        let mut acc = [0.0f64; BATCH_CHUNK];
+        for (&j, &v) in cols.iter().zip(vals) {
+            let xj = &x[j as usize * nrhs + q0..];
+            for (a, &xq) in acc[..width].iter_mut().zip(&xj[..width]) {
+                *a += v * xq;
+            }
+        }
+        let row = &mut x[i1 * nrhs + q0..i1 * nrhs + q0 + width];
+        if let Some(b) = b {
+            let bi = &b[i1 * nrhs + q0..];
+            for ((xv, &a), &bq) in row.iter_mut().zip(&acc[..width]).zip(bi) {
+                *xv = (bq - a) * d;
+            }
+        } else {
+            for (xv, &a) in row.iter_mut().zip(&acc[..width]) {
+                *xv -= a * d;
+            }
+        }
+        q0 += width;
+    }
+}
+
 fn check_monotone_cover(index: &[usize], total: usize, name: &str) -> Result<()> {
     if index.is_empty() || index[0] != 0 {
         return Err(MatrixError::InvalidStructure(format!(
@@ -634,6 +794,53 @@ mod tests {
         for (a, b) in xb.iter().zip(&x) {
             assert!((a - b).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn sequential_batch_kernels_are_bitwise_identical_to_per_rhs_sweeps() {
+        // The engine-matrix invariant: each lane of the sequential batch
+        // kernels runs the scalar split kernels' exact floating-point
+        // sequence, so equality is ==, not a tolerance. A width above
+        // BATCH_CHUNK exercises the chunked accumulator path too.
+        let s = figure1_flat_structure();
+        let n = s.n();
+        for nrhs in [1usize, 3, super::BATCH_CHUNK + 2] {
+            let mut bb = vec![0.0; n * nrhs];
+            for q in 0..nrhs {
+                for i in 0..n {
+                    bb[i * nrhs + q] = 1.0 + (i * 7 + q * 3) as f64 * 0.31;
+                }
+            }
+            let xb = s.solve_batch_sequential_split(&bb, nrhs).unwrap();
+            let tb = s.solve_transpose_batch_sequential_split(&bb, nrhs).unwrap();
+            for q in 0..nrhs {
+                let bq: Vec<f64> = (0..n).map(|i| bb[i * nrhs + q]).collect();
+                let xq = s.solve_sequential_split(&bq).unwrap();
+                let tq = s.solve_transpose_sequential_split(&bq).unwrap();
+                for i in 0..n {
+                    assert_eq!(
+                        xb[i * nrhs + q],
+                        xq[i],
+                        "forward lane {q} diverged at row {i}"
+                    );
+                    assert_eq!(
+                        tb[i * nrhs + q],
+                        tq[i],
+                        "backward lane {q} diverged at row {i}"
+                    );
+                }
+            }
+        }
+        // Length and nrhs validation.
+        let mut x = vec![0.0; n * 2];
+        assert!(s.solve_batch_sequential_split(&[1.0; 3], 2).is_err());
+        assert!(s
+            .solve_batch_sequential_split_into(&vec![1.0; n * 2], &mut x[..3], 2)
+            .is_err());
+        assert!(s.solve_batch_sequential_split(&[], 0).is_err());
+        assert!(s
+            .solve_transpose_batch_sequential_split(&[1.0; 3], 2)
+            .is_err());
     }
 
     #[test]

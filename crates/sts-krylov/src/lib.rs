@@ -22,9 +22,14 @@
 //!   followed by a thousand more allocates nothing;
 //! * [`Pcg`] — the conjugate-gradient driver: tolerance policy
 //!   ([`Tolerance`]), iteration bound, per-iteration residual history,
-//!   preconditioner wall-time attribution ([`PcgOutcome`]), and a batched
+//!   preconditioner wall-time attribution ([`PcgOutcome`]), a batched
 //!   multi-RHS entry point ([`Pcg::solve_batch`]) running lockstep CG on the
-//!   interleaved layout of the `solve_batch_pipelined` kernels.
+//!   interleaved layout of the batch sweep kernels, and a **block**-CG entry
+//!   point ([`Pcg::solve_block`]) sharing one Krylov space across the batch
+//!   — small dense projections pick the step over the whole direction block,
+//!   with rank-revealing deflation of dependent directions and per-system
+//!   convergence freezing, so the batch converges in fewer iterations, not
+//!   just cheaper ones.
 //!
 //! # Quickstart
 //!
@@ -56,7 +61,7 @@ pub mod precond;
 pub mod system;
 pub mod workspace;
 
-pub use pcg::{Pcg, PcgBatchOutcome, PcgOptions, PcgOutcome, Tolerance};
+pub use pcg::{Pcg, PcgBatchOutcome, PcgBlockOutcome, PcgOptions, PcgOutcome, Tolerance};
 pub use precond::{Ic0, Identity, Preconditioner, Ssor, SweepEngine};
 pub use system::SpdSystem;
 pub use workspace::KrylovWorkspace;

@@ -103,6 +103,41 @@ pub struct PcgBatchOutcome {
     pub lockstep_iterations: usize,
 }
 
+/// What a block solve produced.
+#[derive(Debug, Clone)]
+pub struct PcgBlockOutcome {
+    /// Solutions, interleaved (`x[i * nrhs + q]`), original numbering.
+    pub x: Vec<f64>,
+    /// Per-system block step at which the tolerance was first met (the
+    /// total block-step count for systems that never converged).
+    pub iterations: Vec<usize>,
+    /// Per-system convergence flags.
+    pub converged: Vec<bool>,
+    /// Per-system final `‖r‖₂`.
+    pub residual_norms: Vec<f64>,
+    /// Shared Krylov steps performed: each step applies one batched
+    /// preconditioner sweep pair and one batched `A·P` product to the whole
+    /// block.
+    pub block_steps: usize,
+    /// Search directions dropped as linearly dependent by the
+    /// rank-revealing projection (converged systems leaving the basis are
+    /// not counted).
+    pub deflations: usize,
+    /// Wall time of the whole solve.
+    pub seconds_total: f64,
+    /// Wall time spent inside preconditioner applications.
+    pub seconds_precond: f64,
+}
+
+impl PcgBlockOutcome {
+    /// Total per-system iterations — the block analogue of summing
+    /// [`PcgOutcome::iterations`] over standalone solves, and the number the
+    /// shared Krylov space is meant to shrink.
+    pub fn total_iterations(&self) -> usize {
+        self.iterations.iter().sum()
+    }
+}
+
 /// The conjugate-gradient driver: owns the worker pool every kernel of the
 /// iteration runs on (triangular sweeps, `A·p` products) and the stopping
 /// policy.
@@ -187,6 +222,17 @@ impl Pcg {
             if iterations == 0 {
                 ws.p.copy_from_slice(&ws.z);
             } else {
+                if rz == 0.0 {
+                    // Stagnated preconditioned residual (e.g. an exactly
+                    // converged system iterated past convergence, or an
+                    // indefinite preconditioner): `rz_new / rz` would poison
+                    // p with ±∞ and, one 0·∞ alpha later, x with NaN. Stop
+                    // here instead — x, p and r keep their last finite
+                    // values and `converged` reports the true residual
+                    // state, mirroring the batch path's `rz[q] == 0.0`
+                    // freeze.
+                    break;
+                }
                 let beta = rz_new / rz;
                 for (pi, zi) in ws.p.iter_mut().zip(&ws.z) {
                     *pi = zi + beta * *pi;
@@ -345,6 +391,271 @@ impl Pcg {
             converged,
             residual_norms: rnorm,
             lockstep_iterations: lockstep,
+        })
+    }
+
+    /// Solves `nrhs` systems `A X = B` (interleaved layout, original
+    /// numbering) with **block** preconditioned CG: one Krylov space shared
+    /// by every right-hand side. Where [`Pcg::solve_batch`] runs `nrhs`
+    /// independent scalar recurrences in lockstep (amortising index traffic
+    /// but not iterations), the block driver searches over the *whole*
+    /// direction block each step — the coefficient matrices
+    /// `α = (Pᵀ A P)⁻¹ (Pᵀ R)` and `β = −(Pᵀ A P)⁻¹ ((A P)ᵀ Z)` come from
+    /// small dense projections ([`ops::block_gram_into`] /
+    /// [`ops::block_dots_into`] and the rank-revealing
+    /// [`ops::small_cholesky_solve`]) — so every system converges in as few
+    /// steps as the union of the Krylov spaces allows, typically strictly
+    /// fewer than its scalar count.
+    ///
+    /// Robustness:
+    ///
+    /// * **deflation** — a direction that becomes linearly dependent (e.g.
+    ///   duplicate right-hand sides) is detected by the rank-revealing
+    ///   Cholesky and dropped from the basis; its system keeps iterating on
+    ///   the remaining directions and re-enters with a fresh direction next
+    ///   step;
+    /// * **freezing** — a converged system stops updating (its coefficient
+    ///   columns are zeroed and its direction leaves the basis), so its
+    ///   reported residual stays truthful while stragglers finish;
+    /// * if every direction deflates while systems are still unconverged
+    ///   (residuals numerically inside the converged span), the solve stops
+    ///   and reports the state honestly rather than spinning.
+    ///
+    /// Works with either [`SweepEngine`](crate::SweepEngine): the
+    /// preconditioner's batched application runs on the pipelined batch
+    /// kernels or the sequential batched split kernels.
+    pub fn solve_block(
+        &self,
+        sys: &SpdSystem,
+        pre: &mut dyn Preconditioner,
+        b: &[f64],
+        nrhs: usize,
+        ws: &mut KrylovWorkspace,
+    ) -> Result<PcgBlockOutcome> {
+        let n = sys.n();
+        if nrhs == 0 {
+            return Err(MatrixError::DimensionMismatch(
+                "solve_block needs at least one right-hand side".into(),
+            ));
+        }
+        if b.len() != n * nrhs {
+            return Err(MatrixError::DimensionMismatch(format!(
+                "B has length {}, expected n * nrhs = {}",
+                b.len(),
+                n * nrhs
+            )));
+        }
+        if ws.n() != n || ws.nrhs() != nrhs {
+            return Err(MatrixError::DimensionMismatch(format!(
+                "workspace is sized for n = {} × nrhs = {}, solve needs n = {n} × nrhs = {nrhs}",
+                ws.n(),
+                ws.nrhs()
+            )));
+        }
+        // A dependent direction is one whose pivot has fallen this far below
+        // the block's largest: it no longer contributes a numerically new
+        // search direction.
+        const DEFLATION_TOL: f64 = 1e-12;
+        let start = Instant::now();
+        let mut seconds_precond = 0.0f64;
+        sys.gather_batch_into(b, &mut ws.r, nrhs);
+        ws.x.fill(0.0);
+        let mut rnorm = vec![0.0f64; nrhs];
+        strided_norms_into(&ws.r, nrhs, &mut rnorm);
+        let thresholds: Vec<f64> = rnorm
+            .iter()
+            .map(|&bn| self.options.tolerance.threshold(bn))
+            .collect();
+        let mut iterations = vec![self.options.max_iterations; nrhs];
+        let mut active: Vec<bool> = rnorm
+            .iter()
+            .zip(&thresholds)
+            .map(|(&r, &t)| r > t)
+            .collect();
+        for (q, &a) in active.iter().enumerate() {
+            if !a {
+                iterations[q] = 0;
+            }
+        }
+        let mut block_steps = 0usize;
+        let mut deflations = 0usize;
+        if active.iter().any(|&a| a) {
+            // Initial directions: P = Z = M⁻¹ R, masked to the unconverged
+            // systems (converged-at-entry columns never enter the basis).
+            let t0 = Instant::now();
+            pre.apply_batch_into(&self.solver, &ws.r, &mut ws.z, &mut ws.sweep, nrhs)?;
+            seconds_precond += t0.elapsed().as_secs_f64();
+            for (pc, zc) in ws.p.chunks_exact_mut(nrhs).zip(ws.z.chunks_exact(nrhs)) {
+                for (q, (pv, &zv)) in pc.iter_mut().zip(zc).enumerate() {
+                    *pv = if active[q] { zv } else { 0.0 };
+                }
+            }
+            let mut in_basis = active.clone();
+            while block_steps < self.options.max_iterations && active.iter().any(|&a| a) {
+                self.solver
+                    .spmv_batch_into(sys.matrix(), &ws.p, &mut ws.ap, nrhs)?;
+                // α = W⁻¹ (Pᵀ R), W = Pᵀ A P. The Gram matrix is factored
+                // in place; a copy feeds the β solve after the residual
+                // update below invalidates this right-hand side.
+                ops::block_gram_into(&ws.p, &ws.ap, nrhs, &mut ws.gram)?;
+                ws.gram_copy.copy_from_slice(&ws.gram);
+                ops::block_dots_into(&ws.p, &ws.r, nrhs, &mut ws.coef)?;
+                ops::small_cholesky_solve(
+                    &mut ws.gram,
+                    nrhs,
+                    &mut ws.coef,
+                    nrhs,
+                    DEFLATION_TOL,
+                    &mut ws.retained,
+                )?;
+                // Rank-revealing deflation: a basis direction the Cholesky
+                // dropped is linearly dependent — remove it (its system, if
+                // still unconverged, keeps riding the retained directions
+                // and gets a fresh direction at the β step).
+                for q in 0..nrhs {
+                    if in_basis[q] && !ws.retained[q] {
+                        in_basis[q] = false;
+                        deflations += 1;
+                        for pc in ws.p.chunks_exact_mut(nrhs) {
+                            pc[q] = 0.0;
+                        }
+                        for apc in ws.ap.chunks_exact_mut(nrhs) {
+                            apc[q] = 0.0;
+                        }
+                        // Drop the direction from the saved Gram matrix
+                        // too, so the β solve below projects onto the
+                        // retained basis only.
+                        for j in 0..nrhs {
+                            ws.gram_copy[j * nrhs + q] = 0.0;
+                            ws.gram_copy[q * nrhs + j] = 0.0;
+                        }
+                    }
+                }
+                if !in_basis.iter().any(|&b| b) {
+                    // Every direction deflated with systems still active:
+                    // no further progress is possible — stop honestly.
+                    break;
+                }
+                // Freeze converged systems: their coefficient columns are
+                // zeroed so x and r stay put.
+                for (q, &act) in active.iter().enumerate() {
+                    if !act {
+                        for j in 0..nrhs {
+                            ws.coef[j * nrhs + q] = 0.0;
+                        }
+                    }
+                }
+                // X += P α, R −= (A P) α.
+                for i in 0..n {
+                    let base = i * nrhs;
+                    for (q, &act) in active.iter().enumerate() {
+                        if !act {
+                            continue;
+                        }
+                        let mut dx = 0.0;
+                        let mut dr = 0.0;
+                        for j in 0..nrhs {
+                            let a = ws.coef[j * nrhs + q];
+                            if a != 0.0 {
+                                dx += ws.p[base + j] * a;
+                                dr += ws.ap[base + j] * a;
+                            }
+                        }
+                        ws.x[base + q] += dx;
+                        ws.r[base + q] -= dr;
+                    }
+                }
+                block_steps += 1;
+                strided_norms_into(&ws.r, nrhs, &mut rnorm);
+                for q in 0..nrhs {
+                    if active[q] && rnorm[q] <= thresholds[q] {
+                        active[q] = false;
+                        in_basis[q] = false;
+                        iterations[q] = block_steps;
+                        // Retire the frozen direction completely, exactly
+                        // like deflation: zero its p *and* ap columns and
+                        // its row/column of the saved Gram matrix, so the β
+                        // projection below solves over the retained basis
+                        // only (the zeroed Gram pivot is dropped by the
+                        // rank-revealing Cholesky).
+                        for pc in ws.p.chunks_exact_mut(nrhs) {
+                            pc[q] = 0.0;
+                        }
+                        for apc in ws.ap.chunks_exact_mut(nrhs) {
+                            apc[q] = 0.0;
+                        }
+                        for j in 0..nrhs {
+                            ws.gram_copy[j * nrhs + q] = 0.0;
+                            ws.gram_copy[q * nrhs + j] = 0.0;
+                        }
+                    }
+                }
+                if !active.iter().any(|&a| a) {
+                    break;
+                }
+                // β = −W⁻¹ ((A P)ᵀ Z): A-conjugate the fresh preconditioned
+                // residuals against the old basis.
+                let t0 = Instant::now();
+                pre.apply_batch_into(&self.solver, &ws.r, &mut ws.z, &mut ws.sweep, nrhs)?;
+                seconds_precond += t0.elapsed().as_secs_f64();
+                ops::block_dots_into(&ws.ap, &ws.z, nrhs, &mut ws.coef)?;
+                ops::small_cholesky_solve(
+                    &mut ws.gram_copy,
+                    nrhs,
+                    &mut ws.coef,
+                    nrhs,
+                    DEFLATION_TOL,
+                    &mut ws.retained,
+                )?;
+                // P ← Z − P β, staged per row through the sweep scratch so
+                // every new column reads the *old* direction block.
+                for i in 0..n {
+                    let base = i * nrhs;
+                    for (q, &act) in active.iter().enumerate() {
+                        if !act {
+                            continue;
+                        }
+                        let mut acc = ws.z[base + q];
+                        for j in 0..nrhs {
+                            let bq = ws.coef[j * nrhs + q];
+                            if bq != 0.0 {
+                                acc -= ws.p[base + j] * bq;
+                            }
+                        }
+                        ws.sweep[base + q] = acc;
+                    }
+                    for (q, &act) in active.iter().enumerate() {
+                        if act {
+                            ws.p[base + q] = ws.sweep[base + q];
+                        }
+                    }
+                }
+                // Every active system owns a fresh direction again;
+                // dependence is re-detected at the next projection.
+                in_basis.copy_from_slice(&active);
+            }
+        }
+        let mut x = vec![0.0; n * nrhs];
+        sys.scatter_batch_into(&ws.x, &mut x, nrhs);
+        let converged: Vec<bool> = rnorm
+            .iter()
+            .zip(&thresholds)
+            .map(|(&r, &t)| r <= t)
+            .collect();
+        for (it, &c) in iterations.iter_mut().zip(&converged) {
+            if !c {
+                *it = block_steps;
+            }
+        }
+        Ok(PcgBlockOutcome {
+            x,
+            iterations,
+            converged,
+            residual_norms: rnorm,
+            block_steps,
+            deflations,
+            seconds_total: start.elapsed().as_secs_f64(),
+            seconds_precond,
         })
     }
 }
@@ -520,6 +831,267 @@ mod tests {
         }
     }
 
+    /// A preconditioner manufactured to stagnate: the second application
+    /// returns a vector *exactly* orthogonal to r (so `rz` lands on 0.0
+    /// while the residual is still alive), and later applications return r
+    /// again — the shape that used to drive `beta = rz_new / 0` to ±∞ and
+    /// then `x += (0·∞) · p` to NaN.
+    struct StagnatingPre {
+        calls: usize,
+    }
+
+    impl Preconditioner for StagnatingPre {
+        fn label(&self) -> &'static str {
+            "stagnating"
+        }
+
+        fn apply_into(
+            &mut self,
+            _solver: &sts_core::ParallelSolver,
+            r: &[f64],
+            z: &mut [f64],
+            _sweep: &mut [f64],
+        ) -> crate::Result<()> {
+            if self.calls == 1 {
+                // z ⊥ r exactly: dot(r, z) = r₀·r₁ − r₁·r₀ = 0.0 in floating
+                // point (the two products are bitwise equal).
+                z.fill(0.0);
+                z[0] = r[1];
+                z[1] = -r[0];
+            } else {
+                z.copy_from_slice(r);
+            }
+            self.calls += 1;
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn stagnated_rz_breaks_cleanly_instead_of_poisoning_x() {
+        // Regression for the beta recurrence dividing by rz == 0: the solve
+        // must stop at the stagnation point with finite x/r state and an
+        // honest convergence flag, not return NaNs.
+        let sys = laplacian_system(8, 8);
+        let a = generators::grid2d_laplacian(8, 8).unwrap();
+        // A rough right-hand side so the solve is still far from converged
+        // when the stagnating application lands at iteration 1.
+        let x_rough: Vec<f64> = (0..sys.n())
+            .map(|i| ((i * 7919) % 23) as f64 - 11.0)
+            .collect();
+        let b = ops::spmv(&a, &x_rough).unwrap();
+        let pcg = Pcg::new(2, Schedule::Static);
+        let mut ws = KrylovWorkspace::new(sys.n());
+        let mut pre = StagnatingPre { calls: 0 };
+        let out = pcg.solve(&sys, &mut pre, &b, &mut ws).unwrap();
+        assert!(
+            out.x.iter().all(|v| v.is_finite()),
+            "x must stay unpoisoned through the rz == 0 breakdown"
+        );
+        assert!(out.residual_norm.is_finite());
+        assert!(
+            !out.converged,
+            "the stagnated solve did not reach tolerance"
+        );
+        assert!(out.history.iter().all(|v| v.is_finite()));
+        // The orthogonal application lands at iteration 1 (rz = 0, alpha =
+        // 0); the guard fires at the next beta step, so exactly two
+        // iterations ran.
+        assert_eq!(out.iterations, 2);
+    }
+
+    #[test]
+    fn zero_rhs_converges_immediately_with_zero_solution() {
+        let sys = laplacian_system(9, 9);
+        let pcg = Pcg::new(2, Schedule::Static);
+        let mut ws = KrylovWorkspace::new(sys.n());
+        let b = vec![0.0; sys.n()];
+        let out = pcg.solve(&sys, &mut Identity, &b, &mut ws).unwrap();
+        assert!(out.converged);
+        assert_eq!(out.iterations, 0);
+        assert_eq!(out.residual_norm, 0.0);
+        assert!(out.x.iter().all(|&v| v == 0.0));
+        // Batch and block paths agree: an all-zero batch is converged at
+        // entry with zero block steps.
+        let nrhs = 3;
+        let mut wsb = KrylovWorkspace::with_nrhs(sys.n(), nrhs);
+        let bb = vec![0.0; sys.n() * nrhs];
+        let blk = pcg
+            .solve_block(&sys, &mut Identity, &bb, nrhs, &mut wsb)
+            .unwrap();
+        assert!(blk.converged.iter().all(|&c| c));
+        assert_eq!(blk.block_steps, 0);
+        assert!(blk.iterations.iter().all(|&i| i == 0));
+        assert!(blk.x.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn absolute_tolerance_converging_path_is_honored() {
+        // The Absolute branch with a reachable bound: the final residual
+        // respects the bound outright (no scaling by ‖b‖).
+        let sys = laplacian_system(10, 10);
+        let a = generators::grid2d_laplacian(10, 10).unwrap();
+        let b = ops::spmv(&a, &vec![2.0; sys.n()]).unwrap();
+        let bound = 1e-6;
+        let pcg = Pcg::with_options(
+            2,
+            Schedule::Static,
+            PcgOptions {
+                tolerance: Tolerance::Absolute(bound),
+                max_iterations: 500,
+                record_history: true,
+            },
+        );
+        let mut ws = KrylovWorkspace::new(sys.n());
+        let out = pcg.solve(&sys, &mut Identity, &b, &mut ws).unwrap();
+        assert!(out.converged);
+        assert!(out.residual_norm <= bound);
+        assert!(
+            out.history[out.iterations - 1] > bound,
+            "the solve must stop at the first iteration under the bound"
+        );
+    }
+
+    #[test]
+    fn block_solve_matches_single_solves_in_fewer_or_equal_steps() {
+        let sys = laplacian_system(14, 11);
+        let a = generators::grid2d_laplacian(14, 11).unwrap();
+        let n = sys.n();
+        let nrhs = 3;
+        let pcg = Pcg::new(3, Schedule::Guided { min_chunk: 1 });
+        let mut pre = Ssor::new(&sys, pcg.solver(), SweepEngine::Pipelined);
+        let mut b = vec![0.0; n * nrhs];
+        let mut x_true = vec![0.0; n * nrhs];
+        for q in 0..nrhs {
+            let xq: Vec<f64> = (0..n)
+                .map(|i| ((i * 7919 + q * 131) % 23) as f64 * 0.3 - 3.0)
+                .collect();
+            let bq = ops::spmv(&a, &xq).unwrap();
+            for i in 0..n {
+                b[i * nrhs + q] = bq[i];
+                x_true[i * nrhs + q] = xq[i];
+            }
+        }
+        let mut ws = KrylovWorkspace::with_nrhs(n, nrhs);
+        let out = pcg.solve_block(&sys, &mut pre, &b, nrhs, &mut ws).unwrap();
+        assert!(out.converged.iter().all(|&c| c), "block CG must converge");
+        assert!(ops::relative_error_inf(&out.x, &x_true) < 1e-6);
+        assert_eq!(out.block_steps, *out.iterations.iter().max().unwrap());
+        // On this (deterministic) workload no system needs more steps than
+        // its standalone scalar solve. That is an empirical property of the
+        // workload, not a theorem — block CG minimizes each column's A-norm
+        // error over the *shared* space, whose per-column polynomial can in
+        // principle lag a tailored scalar one by a step on skewed batches
+        // (e.g. one tiny-norm smooth system among rough ones).
+        let mut ws1 = KrylovWorkspace::new(n);
+        let mut total_single = 0;
+        for q in 0..nrhs {
+            let bq: Vec<f64> = (0..n).map(|i| b[i * nrhs + q]).collect();
+            let single = pcg.solve(&sys, &mut pre, &bq, &mut ws1).unwrap();
+            assert!(
+                out.iterations[q] <= single.iterations,
+                "system {q} took {} block steps vs {} scalar iterations",
+                out.iterations[q],
+                single.iterations
+            );
+            total_single += single.iterations;
+        }
+        assert!(out.total_iterations() <= total_single);
+        assert!(out.seconds_precond > 0.0);
+    }
+
+    #[test]
+    fn block_solve_deflates_duplicate_right_hand_sides() {
+        // Two identical columns make P rank-deficient at step 0: the
+        // rank-revealing projection must drop one direction and still drive
+        // both systems to the same solution.
+        let sys = laplacian_system(12, 12);
+        let a = generators::grid2d_laplacian(12, 12).unwrap();
+        let n = sys.n();
+        let nrhs = 3;
+        let pcg = Pcg::new(2, Schedule::Guided { min_chunk: 1 });
+        let mut pre = Ssor::new(&sys, pcg.solver(), SweepEngine::Pipelined);
+        let b0: Vec<f64> = (0..n).map(|i| ((i * 31) % 19) as f64 - 9.0).collect();
+        let b2: Vec<f64> = (0..n).map(|i| ((i * 17) % 13) as f64 * 0.5).collect();
+        let mut b = vec![0.0; n * nrhs];
+        for i in 0..n {
+            b[i * nrhs] = b0[i];
+            b[i * nrhs + 1] = b0[i]; // exact duplicate of column 0
+            b[i * nrhs + 2] = b2[i];
+        }
+        let mut ws = KrylovWorkspace::with_nrhs(n, nrhs);
+        let out = pcg.solve_block(&sys, &mut pre, &b, nrhs, &mut ws).unwrap();
+        assert!(out.converged.iter().all(|&c| c));
+        assert!(out.deflations >= 1, "the duplicate direction must deflate");
+        for i in 0..n {
+            assert!(
+                (out.x[i * nrhs] - out.x[i * nrhs + 1]).abs() < 1e-8,
+                "duplicate systems must agree at row {i}"
+            );
+        }
+        // Against the scalar reference solution.
+        let mut ws1 = KrylovWorkspace::new(n);
+        let single = pcg.solve(&sys, &mut pre, &b0, &mut ws1).unwrap();
+        let x0: Vec<f64> = (0..n).map(|i| out.x[i * nrhs]).collect();
+        assert!(ops::relative_error_inf(&x0, &single.x) < 1e-6);
+        let r0 = ops::spmv(&a, &x0).unwrap();
+        let res: Vec<f64> = r0.iter().zip(&b0).map(|(a, b)| a - b).collect();
+        assert!(ops::norm2(&res) <= 1e-8 * ops::norm2(&b0) * 10.0);
+    }
+
+    #[test]
+    fn block_and_batch_solves_run_on_the_sequential_engine() {
+        // The engine matrix is complete: batched lockstep and block solves
+        // work on single-core hosts through the sequential batched split
+        // kernels, with iterate sequences identical to the pipelined engine
+        // (the kernels are bitwise identical per lane).
+        let sys = laplacian_system(10, 13);
+        let a = generators::grid2d_laplacian(10, 13).unwrap();
+        let n = sys.n();
+        let nrhs = 2;
+        let pcg = Pcg::new(2, Schedule::Guided { min_chunk: 1 });
+        let mut b = vec![0.0; n * nrhs];
+        for q in 0..nrhs {
+            let xq: Vec<f64> = (0..n)
+                .map(|i| 1.0 + ((i + 5 * q) % 7) as f64 * 0.4)
+                .collect();
+            let bq = ops::spmv(&a, &xq).unwrap();
+            for i in 0..n {
+                b[i * nrhs + q] = bq[i];
+            }
+        }
+        let mut ws = KrylovWorkspace::with_nrhs(n, nrhs);
+        let mut seq = Ssor::new(&sys, pcg.solver(), SweepEngine::Sequential);
+        let mut pip = Ssor::new(&sys, pcg.solver(), SweepEngine::Pipelined);
+        let batch_seq = pcg.solve_batch(&sys, &mut seq, &b, nrhs, &mut ws).unwrap();
+        let batch_pip = pcg.solve_batch(&sys, &mut pip, &b, nrhs, &mut ws).unwrap();
+        assert!(batch_seq.converged.iter().all(|&c| c));
+        assert_eq!(batch_seq.iterations, batch_pip.iterations);
+        assert!(ops::relative_error_inf(&batch_seq.x, &batch_pip.x) < 1e-10);
+        // The strong form of "exactly as single-RHS": every lane of the
+        // sequential-engine batch solve is bitwise identical to its
+        // standalone sequential-engine solve (the batched sequential sweeps
+        // run the scalar kernels' exact floating-point sequence; the
+        // pipelined batch kernels only promise tolerance-level agreement).
+        let mut ws1 = KrylovWorkspace::new(n);
+        for q in 0..nrhs {
+            let bq: Vec<f64> = (0..n).map(|i| b[i * nrhs + q]).collect();
+            let single = pcg.solve(&sys, &mut seq, &bq, &mut ws1).unwrap();
+            assert_eq!(single.iterations, batch_seq.iterations[q]);
+            for i in 0..n {
+                assert_eq!(
+                    batch_seq.x[i * nrhs + q],
+                    single.x[i],
+                    "lane {q} diverged from its standalone solve at row {i}"
+                );
+            }
+        }
+        let block_seq = pcg.solve_block(&sys, &mut seq, &b, nrhs, &mut ws).unwrap();
+        let block_pip = pcg.solve_block(&sys, &mut pip, &b, nrhs, &mut ws).unwrap();
+        assert!(block_seq.converged.iter().all(|&c| c));
+        assert_eq!(block_seq.iterations, block_pip.iterations);
+        assert!(ops::relative_error_inf(&block_seq.x, &block_pip.x) < 1e-10);
+    }
+
     #[test]
     fn mismatched_workspace_and_rhs_are_rejected() {
         let sys = laplacian_system(6, 6);
@@ -536,6 +1108,15 @@ mod tests {
             .is_err());
         assert!(pcg
             .solve_batch(&sys, &mut Identity, &b, 2, &mut ws)
+            .is_err());
+        assert!(pcg
+            .solve_block(&sys, &mut Identity, &b, 0, &mut ws)
+            .is_err());
+        assert!(pcg
+            .solve_block(&sys, &mut Identity, &b, 2, &mut ws)
+            .is_err());
+        assert!(pcg
+            .solve_block(&sys, &mut Identity, &b[..5], 2, &mut ws)
             .is_err());
     }
 }

@@ -66,8 +66,10 @@ pub trait Preconditioner {
     ) -> Result<()>;
 
     /// Applies `z ← M⁻¹ r` to `nrhs` interleaved systems
-    /// (`r[i * nrhs + q]`). Only the pipelined engine carries batch sweeps;
-    /// the default refuses.
+    /// (`r[i * nrhs + q]`). Both sweep engines carry batch sweeps ([`Ssor`]
+    /// / [`Ic0`] route the sequential engine through the batched sequential
+    /// split kernels); the trait default refuses for preconditioners
+    /// without batch support.
     fn apply_batch_into(
         &mut self,
         solver: &ParallelSolver,
@@ -172,7 +174,10 @@ impl SweepPair {
         }
     }
 
-    /// Batched forward sweep (pipelined engine only).
+    /// Batched forward sweep. The sequential engine runs the batched
+    /// sequential split kernel — bitwise identical per right-hand side to
+    /// the scalar sequential sweep — so engine selection works for batches
+    /// exactly as it does for single-RHS applications.
     fn forward_batch(
         &mut self,
         solver: &ParallelSolver,
@@ -180,15 +185,19 @@ impl SweepPair {
         y: &mut [f64],
         nrhs: usize,
     ) -> Result<()> {
-        match &mut self.plans {
-            Some((fwd, _)) => solver.solve_batch_pipelined_into(&self.structure, fwd, r, y, nrhs),
-            None => Err(MatrixError::InvalidParameter(
-                "batched sweeps need SweepEngine::Pipelined".into(),
-            )),
+        match (&self.engine, &mut self.plans) {
+            (SweepEngine::Sequential, _) => {
+                self.structure.solve_batch_sequential_split_into(r, y, nrhs)
+            }
+            (SweepEngine::Pipelined, Some((fwd, _))) => {
+                solver.solve_batch_pipelined_into(&self.structure, fwd, r, y, nrhs)
+            }
+            (SweepEngine::Pipelined, None) => unreachable!("pipelined pair always holds plans"),
         }
     }
 
-    /// Batched backward sweep (pipelined engine only).
+    /// Batched backward sweep; engine selection as in
+    /// [`SweepPair::forward_batch`].
     fn backward_batch(
         &mut self,
         solver: &ParallelSolver,
@@ -196,13 +205,14 @@ impl SweepPair {
         z: &mut [f64],
         nrhs: usize,
     ) -> Result<()> {
-        match &mut self.plans {
-            Some((_, bwd)) => {
+        match (&self.engine, &mut self.plans) {
+            (SweepEngine::Sequential, _) => self
+                .structure
+                .solve_transpose_batch_sequential_split_into(t, z, nrhs),
+            (SweepEngine::Pipelined, Some((_, bwd))) => {
                 solver.solve_transpose_batch_pipelined_into(&self.structure, bwd, t, z, nrhs)
             }
-            None => Err(MatrixError::InvalidParameter(
-                "batched sweeps need SweepEngine::Pipelined".into(),
-            )),
+            (SweepEngine::Pipelined, None) => unreachable!("pipelined pair always holds plans"),
         }
     }
 }
@@ -486,10 +496,21 @@ mod tests {
         pre.apply_batch_into(&solver, &rb, &mut zb, &mut sweepb, nrhs)
             .unwrap();
         assert!(ops::relative_error_inf(&zb, &expected) < 1e-13);
-        // The sequential engine refuses batched sweeps.
+        // The sequential engine's batched sweeps are bitwise identical to
+        // its per-system applications (each lane runs the scalar kernel's
+        // exact floating-point sequence).
         let mut seq = Ssor::new(&sys, &solver, SweepEngine::Sequential);
-        assert!(seq
-            .apply_batch_into(&solver, &rb, &mut zb, &mut sweepb, nrhs)
-            .is_err());
+        let mut zb_seq = vec![0.0; n * nrhs];
+        seq.apply_batch_into(&solver, &rb, &mut zb_seq, &mut sweepb, nrhs)
+            .unwrap();
+        for q in 0..nrhs {
+            let r: Vec<f64> = (0..n).map(|i| rb[i * nrhs + q]).collect();
+            let mut z = vec![0.0; n];
+            let mut sweep = vec![0.0; n];
+            seq.apply_into(&solver, &r, &mut z, &mut sweep).unwrap();
+            for i in 0..n {
+                assert_eq!(zb_seq[i * nrhs + q], z[i], "lane {q} diverged at row {i}");
+            }
+        }
     }
 }

@@ -122,6 +122,53 @@ proptest! {
     }
 
     #[test]
+    fn sequential_batch_sweeps_are_bitwise_identical_to_per_rhs_sweeps(
+        l in lower_triangular_strategy()
+    ) {
+        // The engine-matrix invariant behind single-core batched
+        // preconditioning: every lane of the sequential batched split
+        // kernels (forward and transpose) runs the scalar kernels' exact
+        // floating-point sequence, so equality is ==, not a tolerance —
+        // across both orderings and both multi-level depths.
+        let nrhs = 3;
+        for ordering in [Ordering::LevelSet, Ordering::Coloring] {
+            for k in [2usize, 3] {
+                let s = StsBuilder::new(k)
+                    .ordering(ordering)
+                    .super_row_sizing(SuperRowSizing::Rows(8))
+                    .build(&l)
+                    .unwrap();
+                let n = s.n();
+                let mut bb = vec![0.0; n * nrhs];
+                for q in 0..nrhs {
+                    for i in 0..n {
+                        bb[i * nrhs + q] = 0.5 + ((i * 5 + q * 7) % 11) as f64 * 0.35;
+                    }
+                }
+                let xb = s.solve_batch_sequential_split(&bb, nrhs).unwrap();
+                let tb = s.solve_transpose_batch_sequential_split(&bb, nrhs).unwrap();
+                for q in 0..nrhs {
+                    let bq: Vec<f64> = (0..n).map(|i| bb[i * nrhs + q]).collect();
+                    let xq = s.solve_sequential_split(&bq).unwrap();
+                    let tq = s.solve_transpose_sequential_split(&bq).unwrap();
+                    for i in 0..n {
+                        prop_assert_eq!(
+                            xb[i * nrhs + q], xq[i],
+                            "forward lane {} diverged at row {} ({:?}, k={})",
+                            q, i, ordering, k
+                        );
+                        prop_assert_eq!(
+                            tb[i * nrhs + q], tq[i],
+                            "backward lane {} diverged at row {} ({:?}, k={})",
+                            q, i, ordering, k
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
     fn transpose_kernels_match_the_sequential_backward_sweep(l in lower_triangular_strategy()) {
         // The PR-3 tentpole invariant: the parallel backward-sweep kernels
         // (two-phase split and pack-pipelined, packs in reverse order) agree

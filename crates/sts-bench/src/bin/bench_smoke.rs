@@ -25,7 +25,13 @@
 //!   `ic0_build_parallel_wall_ns`, the level-scheduled build on the pack
 //!   hierarchy) plus the modelled counterpart
 //!   (`sim_ic0_build_*_cycles`), after asserting the two factors are
-//!   bitwise identical.
+//!   bitwise identical;
+//! * the fault-tolerant path: recovery-ladder attempts burned restoring
+//!   convergence on the Kershaw-perturbed operator (`recovery_attempts`),
+//!   the per-solve cost of the clean-path guards
+//!   (`pcg_guarded_overhead_ns`, gated at < 2% of `pcg_wall_ns`), and the
+//!   wall cost of one `validate()` boundary pass (`spd_validate_wall_ns`)
+//!   — the robustness tax trend lines.
 //!
 //! Run with `cargo run --release -p sts-bench --bin bench_smoke`. The output
 //! is one line so CI logs diff cleanly across PRs.
@@ -43,7 +49,7 @@ use std::time::Instant;
 use serde::Serialize;
 use sts_bench::harness::{self, Machine};
 use sts_core::{Method, ParallelSolver};
-use sts_krylov::{Identity, KrylovWorkspace, Pcg, SpdSystem, Ssor, SweepEngine};
+use sts_krylov::{Identity, KrylovWorkspace, Pcg, RobustPcg, SpdSystem, Ssor, SweepEngine};
 use sts_matrix::generators;
 
 #[derive(Serialize)]
@@ -111,6 +117,23 @@ struct Smoke {
     sim_ic0_build_sequential_cycles: f64,
     sim_ic0_build_parallel_cycles: f64,
     sim_ic0_build_speedup: f64,
+    /// The fault-tolerant solve path: rungs the recovery ladder burned
+    /// (abandoned attempts) restoring convergence on the Kershaw-perturbed
+    /// operator — the IC(0)-breaking-but-SPD shape. A growing count means
+    /// the default shift schedule got weaker.
+    recovery_attempts: usize,
+    /// Best-of-blocks wall nanoseconds of the guards a *clean* PCG solve
+    /// pays per call: the tolerance clamp plus the `pcg_iters + 1`
+    /// non-finite residual checks — the exact scalar operations this
+    /// solve's guard path executes, measured in isolation. Gated against
+    /// `pcg_wall_ns` (< 2%) so the per-solve robustness tax can never
+    /// quietly grow into the hot path.
+    pcg_guarded_overhead_ns: f64,
+    /// Best-of-blocks wall nanoseconds of one `CsrMatrix::validate` pass
+    /// over the smoke operator — the price of the non-finite/SPD-shape
+    /// guard at the `SpdSystem::build` boundary. Informational: it is a
+    /// once-per-build cost, amortised over every solve on the system.
+    spd_validate_wall_ns: f64,
 }
 
 fn main() {
@@ -253,6 +276,44 @@ fn main() {
     let sim_ic0_seq = harness::simulate_ic0_build(machine, &run, 1);
     let sim_ic0_par = harness::simulate_ic0_build(machine, &run, sim_cores);
 
+    // Fault-tolerant path: the recovery ladder on the Kershaw-perturbed
+    // operator (SPD but IC(0)-fatal). The attempt count is a trend line for
+    // the default shift schedule; the solve must converge.
+    let (a_kershaw, _) = sts_bench::faultinject::kershaw_cycle(&a, 200, 200, 7);
+    let sys_kershaw =
+        SpdSystem::build(&a_kershaw, Method::Sts3, 80).expect("perturbed operator stays SPD");
+    let robust = RobustPcg::new(Pcg::new(threads, harness::paper_schedule(run.method)));
+    let mut ws_kershaw = KrylovWorkspace::new(sys_kershaw.n());
+    let b_kershaw = vec![1.0; sys_kershaw.n()];
+    let recovered = robust
+        .solve(&sys_kershaw, &b_kershaw, &mut ws_kershaw)
+        .expect("the ladder must reach a working rung");
+    assert!(
+        recovered.outcome.converged,
+        "recovery must restore convergence on the perturbed operator"
+    );
+    let recovery_attempts = recovered.report.attempts.len();
+
+    // The guard tax, split by where it is paid. Per solve: the tolerance
+    // clamp plus one finite check per residual norm — the scalar branch
+    // sequence the guarded PCG loop adds, on opaque values so it cannot be
+    // folded away. Per build: one full validate() pass.
+    let norms: Vec<f64> = (0..=best.iterations).map(|i| 1.0 + i as f64).collect();
+    let (guard_s, _) = time_pair_blocks(
+        2000,
+        200,
+        || {
+            let b_norm = std::hint::black_box(1.0f64);
+            let mut clean = b_norm.is_finite();
+            for &r in &norms {
+                clean &= std::hint::black_box(r).is_finite();
+            }
+            std::hint::black_box(clean)
+        },
+        || (),
+    );
+    let (validate_s, _) = time_pair_blocks(20, 5, || a.validate().unwrap(), || ());
+
     let smoke = Smoke {
         matrix: "grid2d_laplacian_200x200".to_string(),
         n: s.n(),
@@ -296,6 +357,9 @@ fn main() {
         sim_ic0_build_sequential_cycles: sim_ic0_seq.total_cycles,
         sim_ic0_build_parallel_cycles: sim_ic0_par.total_cycles,
         sim_ic0_build_speedup: sim_ic0_seq.total_cycles / sim_ic0_par.total_cycles,
+        recovery_attempts,
+        pcg_guarded_overhead_ns: guard_s * 1e9,
+        spd_validate_wall_ns: validate_s * 1e9,
     };
     let line = serde_json::to_string(&smoke).expect("smoke record serialises");
     println!("{line}");

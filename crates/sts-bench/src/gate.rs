@@ -24,6 +24,13 @@
 //!   min-of-blocks measurements `bench_smoke` reports, far below a real
 //!   kernel regression.
 //!
+//! On top of the baseline comparison, the gate enforces one *absolute*
+//! bound: the clean-path guard cost (`pcg_guarded_overhead_ns`, the scalar
+//! checks a guarded PCG solve executes when nothing is wrong) must stay
+//! under [`MAX_GUARD_SHARE`] of `pcg_wall_ns`. It reads the current record
+//! only — no baseline involved — and is skipped for records predating the
+//! fields.
+//!
 //! The `bench_gate` binary wraps this for the workflow; `--advisory`
 //! (wired to an override label on the PR) demotes failures to warnings.
 
@@ -40,6 +47,11 @@ pub const GATED_FIELDS: &[&str] = &[
     "ic0_build_parallel_wall_ns",
 ];
 
+/// The share of `pcg_wall_ns` the clean-path guards
+/// (`pcg_guarded_overhead_ns`) may cost before the gate fails: the
+/// robustness checks must stay effectively free on the unfaulted hot path.
+pub const MAX_GUARD_SHARE: f64 = 0.02;
+
 /// One gated field's comparison.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FieldCheck {
@@ -55,6 +67,21 @@ pub struct FieldCheck {
     pub failed: bool,
 }
 
+/// The absolute guard-cost check: `pcg_guarded_overhead_ns` as a share of
+/// `pcg_wall_ns`, both read from the *current* record only — no baseline
+/// needed, so it arms the moment the bench emits the fields.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GuardCheck {
+    /// Per-solve guard cost (`pcg_guarded_overhead_ns`).
+    pub overhead_ns: f64,
+    /// The solve it taxes (`pcg_wall_ns`).
+    pub solve_ns: f64,
+    /// `overhead_ns / solve_ns`.
+    pub share: f64,
+    /// Whether the share exceeds [`MAX_GUARD_SHARE`].
+    pub failed: bool,
+}
+
 /// The gate's verdict over every gated field.
 #[derive(Debug, Clone, PartialEq)]
 pub struct GateReport {
@@ -63,14 +90,18 @@ pub struct GateReport {
     /// Gated fields skipped because they were missing (or unusable) in the
     /// baseline or the current record.
     pub skipped: Vec<&'static str>,
+    /// The clean-path guard-cost check, when the current record carries the
+    /// fields (`None` for records predating them).
+    pub guard: Option<GuardCheck>,
     /// The regression threshold in percent.
     pub threshold_pct: f64,
 }
 
 impl GateReport {
-    /// Whether every compared field stayed within the threshold.
+    /// Whether every compared field stayed within the threshold and the
+    /// guard share stayed under its cap.
     pub fn passed(&self) -> bool {
-        self.checks.iter().all(|c| !c.failed)
+        self.checks.iter().all(|c| !c.failed) && self.guard.iter().all(|g| !g.failed)
     }
 
     /// Human-readable table, one line per field, worst regression first.
@@ -96,6 +127,22 @@ impl GateReport {
         }
         for s in &self.skipped {
             lines.push(format!("  [skip] {s:<33} missing or unusable in a record"));
+        }
+        match &self.guard {
+            Some(g) => lines.push(format!(
+                "  [{}] {:<34} overhead {:>12.4e}  solve {:>12.4e}  share {:.4} (cap {:.2})",
+                if g.failed { "FAIL" } else { " ok " },
+                "pcg_guarded_overhead_ns",
+                g.overhead_ns,
+                g.solve_ns,
+                g.share,
+                MAX_GUARD_SHARE
+            )),
+            None => lines.push(
+                "  [skip] pcg_guarded_overhead_ns          missing or unusable in the current \
+                 record"
+                    .to_string(),
+            ),
         }
         lines.join("\n")
     }
@@ -131,9 +178,27 @@ pub fn compare(baseline: &Value, current: &Value, threshold_pct: f64) -> GateRep
             _ => skipped.push(field),
         }
     }
+    let guard = match (
+        numeric(current, "pcg_guarded_overhead_ns"),
+        numeric(current, "pcg_wall_ns"),
+    ) {
+        // The overhead may legitimately be ~0 (it is a handful of scalar
+        // branches), so only the denominator must be positive.
+        (Some(overhead_ns), Some(solve_ns)) if overhead_ns >= 0.0 && solve_ns > 0.0 => {
+            let share = overhead_ns / solve_ns;
+            Some(GuardCheck {
+                overhead_ns,
+                solve_ns,
+                share,
+                failed: share > MAX_GUARD_SHARE,
+            })
+        }
+        _ => None,
+    };
     GateReport {
         checks,
         skipped,
+        guard,
         threshold_pct,
     }
 }
@@ -158,6 +223,56 @@ mod tests {
             ("ic0_build_parallel_wall_ns".into(), Value::Float(ic0)),
             ("pcg_iters".into(), Value::UInt(12)),
         ])
+    }
+
+    #[test]
+    fn guard_share_under_the_cap_passes_and_is_reported() {
+        let mut cur = record(1.0e6, 1.0, 1.0, 1.0);
+        if let Value::Object(m) = &mut cur {
+            m.push(("pcg_guarded_overhead_ns".into(), Value::Float(1.0e4)));
+        }
+        let base = record(1.0e6, 1.0, 1.0, 1.0);
+        let report = compare(&base, &cur, 25.0);
+        assert!(report.passed());
+        let g = report.guard.as_ref().expect("fields present");
+        assert!(!g.failed);
+        assert!((g.share - 0.01).abs() < 1e-12);
+        assert!(report.render().contains("[ ok ] pcg_guarded_overhead_ns"));
+    }
+
+    #[test]
+    fn guard_share_over_the_cap_fails_the_gate() {
+        // 5% of the solve: the robustness tax crept into the hot path.
+        let mut cur = record(1.0e6, 1.0, 1.0, 1.0);
+        if let Value::Object(m) = &mut cur {
+            m.push(("pcg_guarded_overhead_ns".into(), Value::Float(5.0e4)));
+        }
+        let base = record(1.0e6, 1.0, 1.0, 1.0);
+        let report = compare(&base, &cur, 25.0);
+        assert!(!report.passed());
+        assert!(report.guard.as_ref().is_some_and(|g| g.failed));
+        assert!(report.render().contains("[FAIL] pcg_guarded_overhead_ns"));
+        // Every relative comparison still passed: only the absolute guard
+        // bound tripped.
+        assert!(report.checks.iter().all(|c| !c.failed));
+    }
+
+    #[test]
+    fn records_without_guard_fields_skip_the_guard_check() {
+        // Pre-guard records (and a broken bench emitting a non-finite
+        // overhead) must skip, not fail — mirroring the field skip rules.
+        let base = record(1000.0, 1.0, 1.0, 1.0);
+        let cur = record(1000.0, 1.0, 1.0, 1.0);
+        let report = compare(&base, &cur, 25.0);
+        assert!(report.passed());
+        assert!(report.guard.is_none());
+        assert!(report.render().contains("[skip] pcg_guarded_overhead_ns"));
+
+        let mut bad = record(1000.0, 1.0, 1.0, 1.0);
+        if let Value::Object(m) = &mut bad {
+            m.push(("pcg_guarded_overhead_ns".into(), Value::Float(f64::NAN)));
+        }
+        assert!(compare(&base, &bad, 25.0).guard.is_none());
     }
 
     #[test]
@@ -310,6 +425,12 @@ mod tests {
                 },
             ],
             skipped: vec![],
+            guard: Some(GuardCheck {
+                overhead_ns: f64::NAN,
+                solve_ns: f64::NAN,
+                share: f64::NAN,
+                failed: false,
+            }),
             threshold_pct: 25.0,
         };
         let text = report.render();

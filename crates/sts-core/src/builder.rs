@@ -278,6 +278,9 @@ impl StsBuilder {
 /// Builds `A = L + Lᵀ` but keeps `L`'s diagonal (instead of doubling it), so
 /// that the reordered operand `lower(P A Pᵀ)` carries the same values as the
 /// input wherever the pattern overlaps.
+// Every pushed index comes from a validated `LowerTriangularCsr`, so the
+// bounds-checked pushes cannot fail.
+#[allow(clippy::expect_used)]
 pub fn symmetrize_preserving_diagonal(l: &LowerTriangularCsr) -> CsrMatrix {
     let n = l.n();
     let mut coo = CooMatrix::with_capacity(n, n, l.nnz() * 2);

@@ -699,15 +699,19 @@ fn batch_row_update(
 }
 
 fn check_monotone_cover(index: &[usize], total: usize, name: &str) -> Result<()> {
-    if index.is_empty() || index[0] != 0 {
+    let Some((&first, &last)) = index.first().zip(index.last()) else {
+        return Err(MatrixError::InvalidStructure(format!(
+            "{name} must start at 0"
+        )));
+    };
+    if first != 0 {
         return Err(MatrixError::InvalidStructure(format!(
             "{name} must start at 0"
         )));
     }
-    if *index.last().unwrap() != total {
+    if last != total {
         return Err(MatrixError::InvalidStructure(format!(
-            "{name} must end at {total}, got {}",
-            index.last().unwrap()
+            "{name} must end at {total}, got {last}"
         )));
     }
     if index.windows(2).any(|w| w[0] > w[1]) {

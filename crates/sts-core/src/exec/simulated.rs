@@ -313,8 +313,8 @@ impl SimulatedExecutor {
                                 min_chunk
                             };
                             let slot = (0..cores)
-                                .min_by(|&a, &b| core_time[a].partial_cmp(&core_time[b]).unwrap())
-                                .unwrap();
+                                .min_by(|&a, &b| core_time[a].total_cmp(&core_time[b]))
+                                .unwrap_or(0);
                             core_time[slot] += self.params.dispatch_cycles;
                             for t in next..(next + size).min(m2) {
                                 assignment[t] = slot;
@@ -467,8 +467,8 @@ impl SimulatedExecutor {
             let mut pack_done = phase1_done;
             for &sr in &tasks {
                 let slot = (0..cores)
-                    .min_by(|&a, &b| slot_time[a].partial_cmp(&slot_time[b]).unwrap())
-                    .unwrap();
+                    .min_by(|&a, &b| slot_time[a].total_cmp(&slot_time[b]))
+                    .unwrap_or(0);
                 let core = core_ids[slot];
                 let mut cycles = self.params.dispatch_cycles; // the ticket claim
                 for i1 in s.super_row_rows(sr) {
@@ -732,8 +732,8 @@ impl SimulatedExecutor {
                             min_chunk
                         };
                         let slot = (0..cores)
-                            .min_by(|&a, &b| core_time[a].partial_cmp(&core_time[b]).unwrap())
-                            .unwrap();
+                            .min_by(|&a, &b| core_time[a].total_cmp(&core_time[b]))
+                            .unwrap_or(0);
                         core_time[slot] += self.params.dispatch_cycles;
                         for t in next..(next + size).min(m) {
                             assignment[t] = slot;

@@ -47,6 +47,8 @@
 //! `L x = b` without reordering can use
 //! [`solver::LevelScheduledSolver`], which schedules the original system.
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod analysis;
 pub mod builder;
 pub mod csrk;
@@ -60,6 +62,6 @@ pub mod transpose;
 pub use builder::{Method, Ordering, StsBuilder, SuperRowSizing};
 pub use csrk::StsStructure;
 pub use exec::simulated::{SimReport, SimSchedule, SimulatedExecutor, SimulationParams};
-pub use solver::parallel::{ParallelSolver, PipelinePlan};
+pub use solver::parallel::{ChaosHook, ParallelSolver, PipelinePlan};
 pub use split::SplitLayout;
 pub use transpose::TransposeLayout;

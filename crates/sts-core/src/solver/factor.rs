@@ -51,14 +51,19 @@
 //! every other target, so no slot is ever accessed concurrently with its
 //! write.
 
+use std::cell::Cell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering as AtomicOrdering};
+use std::time::Instant;
 
 use sts_matrix::factor::{ic0_factor_row, lower_pattern_copy};
 use sts_matrix::{CsrMatrix, LowerTriangularCsr, MatrixError};
-use sts_numa::{EpochGate, Schedule};
+use sts_numa::{EpochGate, GateWait, Schedule};
 
 use crate::csrk::{Result, StsStructure};
-use crate::solver::parallel::{ParallelSolver, SharedVec};
+use crate::solver::parallel::{
+    panic_message, pool_error_to_matrix, KernelFailure, ParallelSolver, SharedVec,
+};
 
 impl ParallelSolver {
     /// Zero-fill incomplete Cholesky of `a`, level-scheduled over `s`'s pack
@@ -87,13 +92,39 @@ impl ParallelSolver {
         let workers = self.num_threads();
         if workers == 1 || n == 0 {
             // One worker's program order is the sequential sweep; skip the
-            // gate (and its atomics) entirely.
-            for i in 0..n {
-                let (done, rest) = vals.split_at_mut(row_ptr[i]);
-                let row = &mut rest[..row_ptr[i + 1] - row_ptr[i]];
-                let d = ic0_factor_row(&row_ptr, &col_idx, |k| done[k], row, i);
-                if d <= 0.0 || !d.is_finite() {
-                    return Err(MatrixError::FactorizationBreakdown { row: i, pivot: d });
+            // gate (and its atomics) entirely. The packs partition the rows
+            // contiguously in order, so the pack-outer loop visits rows
+            // 0..n exactly as the flat sweep does — it exists so the chaos
+            // hook sees the same (worker, pack) schedule as the parallel
+            // path, and `catch_unwind` gives a panicking hook (or kernel)
+            // the same structured error.
+            let current_pack = Cell::new(0usize);
+            let swept = catch_unwind(AssertUnwindSafe(|| -> Result<()> {
+                for p in 0..s.num_packs() {
+                    current_pack.set(p);
+                    if let Some(hook) = self.chaos_hook() {
+                        hook(0, p);
+                    }
+                    for i in s.pack_rows(p) {
+                        let (done, rest) = vals.split_at_mut(row_ptr[i]);
+                        let row = &mut rest[..row_ptr[i + 1] - row_ptr[i]];
+                        let d = ic0_factor_row(&row_ptr, &col_idx, |k| done[k], row, i);
+                        if d <= 0.0 || !d.is_finite() {
+                            return Err(MatrixError::FactorizationBreakdown { row: i, pivot: d });
+                        }
+                    }
+                }
+                Ok(())
+            }));
+            match swept {
+                Ok(Ok(())) => {}
+                Ok(Err(e)) => return Err(e),
+                Err(payload) => {
+                    return Err(MatrixError::WorkerPanicked {
+                        slot: 0,
+                        pack: current_pack.get(),
+                        message: panic_message(payload.as_ref()),
+                    })
                 }
             }
             let csr = CsrMatrix::from_raw_unchecked(n, n, row_ptr, col_idx, vals);
@@ -131,48 +162,87 @@ impl ParallelSolver {
         // marks "none". Each slot has exactly one writer.
         let bd_row: Vec<AtomicUsize> = (0..workers).map(|_| AtomicUsize::new(usize::MAX)).collect();
         let bd_pivot: Vec<AtomicU64> = (0..workers).map(|_| AtomicU64::new(0)).collect();
+        let deadline = Instant::now() + self.watchdog();
+        let failure = KernelFailure::new();
         {
             let shared = SharedVec::new(&mut vals);
             let row_ptr = &row_ptr;
             let col_idx = &col_idx;
-            self.pool().parallel_for(workers, Schedule::Static, &|w| {
-                let mut local_row = usize::MAX;
-                let mut local_pivot = 0.0f64;
-                for p in 0..num_packs {
-                    let nchunks = chunk_ptr[p + 1] - chunk_ptr[p];
-                    if w >= nchunks {
-                        continue;
-                    }
-                    let idx = chunk_ptr[p] + w;
-                    // Wait only for the packs this chunk's external columns
-                    // reference (dep ≤ p, so progress is guaranteed: every
-                    // worker only ever waits on strictly earlier packs).
-                    gate.wait_open(chunk_dep[idx] as usize);
-                    for i in chunk_rows[idx].clone() {
-                        let lo = row_ptr[i];
-                        // SAFETY: row i's slots are written only by this
-                        // chunk's owner; reads inside ic0_factor_row target
-                        // strictly earlier rows — published by the epoch
-                        // edge (earlier packs) or written earlier by this
-                        // worker (own super-row). See the module docs.
-                        let row = unsafe { shared.slice_mut(lo, row_ptr[i + 1] - lo) };
-                        let d =
-                            ic0_factor_row(row_ptr, col_idx, |k| unsafe { shared.read(k) }, row, i);
-                        if (d <= 0.0 || !d.is_finite()) && i < local_row {
-                            local_row = i;
-                            local_pivot = d;
+            let failure = &failure;
+            self.pool()
+                .parallel_for(workers, Schedule::Static, &|w| {
+                    let current_pack = Cell::new(0usize);
+                    let body = catch_unwind(AssertUnwindSafe(|| {
+                        let mut local_row = usize::MAX;
+                        let mut local_pivot = 0.0f64;
+                        for p in 0..num_packs {
+                            let nchunks = chunk_ptr[p + 1] - chunk_ptr[p];
+                            if w >= nchunks {
+                                continue;
+                            }
+                            let idx = chunk_ptr[p] + w;
+                            current_pack.set(p);
+                            // Wait only for the packs this chunk's external
+                            // columns reference (dep ≤ p, so progress is
+                            // guaranteed: every worker only ever waits on
+                            // strictly earlier packs). Poisoned or timed-out
+                            // waits unwind the sweep instead of hanging.
+                            match gate.wait_open_until(chunk_dep[idx] as usize, deadline) {
+                                GateWait::Ready => {}
+                                GateWait::Poisoned => break,
+                                GateWait::TimedOut => {
+                                    failure.record_timeout(p);
+                                    gate.poison();
+                                    break;
+                                }
+                            }
+                            if let Some(hook) = self.chaos_hook() {
+                                hook(w, p);
+                            }
+                            for i in chunk_rows[idx].clone() {
+                                let lo = row_ptr[i];
+                                // SAFETY: row i's slots are written only by
+                                // this chunk's owner; reads inside
+                                // ic0_factor_row target strictly earlier rows
+                                // — published by the epoch edge (earlier
+                                // packs) or written earlier by this worker
+                                // (own super-row). See the module docs.
+                                let row = unsafe { shared.slice_mut(lo, row_ptr[i + 1] - lo) };
+                                let d = ic0_factor_row(
+                                    row_ptr,
+                                    col_idx,
+                                    |k| unsafe { shared.read(k) },
+                                    row,
+                                    i,
+                                );
+                                if (d <= 0.0 || !d.is_finite()) && i < local_row {
+                                    local_row = i;
+                                    local_pivot = d;
+                                }
+                            }
+                            gate.arrive_phase1(p);
                         }
+                        if local_row != usize::MAX {
+                            // Relaxed suffices: the pool's completion barrier
+                            // publishes these slots to the orchestrator below.
+                            bd_row[w].store(local_row, AtomicOrdering::Relaxed);
+                            bd_pivot[w].store(local_pivot.to_bits(), AtomicOrdering::Relaxed);
+                        }
+                    }));
+                    if let Err(payload) = body {
+                        failure.record_panic(
+                            w,
+                            current_pack.get(),
+                            panic_message(payload.as_ref()),
+                        );
+                        gate.poison();
                     }
-                    gate.arrive_phase1(p);
-                }
-                if local_row != usize::MAX {
-                    // Relaxed suffices: the pool's completion barrier
-                    // publishes these slots to the orchestrator below.
-                    bd_row[w].store(local_row, AtomicOrdering::Relaxed);
-                    bd_pivot[w].store(local_pivot.to_bits(), AtomicOrdering::Relaxed);
-                }
-            });
+                })
+                .map_err(pool_error_to_matrix)?;
         }
+        // A panic or timeout outranks the breakdown merge: the sweep did not
+        // finish, so the per-worker records may be incomplete.
+        failure.into_result(self.watchdog().as_millis() as u64)?;
         let mut first = usize::MAX;
         let mut pivot = 0.0f64;
         for w in 0..workers {

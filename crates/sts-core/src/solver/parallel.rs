@@ -136,12 +136,104 @@
 //! borrow checker guarantees no concurrent solve shares the scheduling
 //! state.
 
+use std::cell::Cell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering as AtomicOrdering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 use sts_matrix::{CsrMatrix, MatrixError};
-use sts_numa::{EpochGate, Schedule, WorkerPool};
+use sts_numa::{EpochGate, GateWait, PoolError, Schedule, WorkerPool};
 
 use crate::csrk::{Result, StsStructure};
+
+/// Maps a pool-level failure into the matrix error taxonomy the solver
+/// surfaces.
+pub(crate) fn pool_error_to_matrix(e: PoolError) -> MatrixError {
+    match e {
+        PoolError::WorkerPanicked {
+            slot,
+            pack,
+            message,
+        } => MatrixError::WorkerPanicked {
+            slot,
+            pack,
+            message,
+        },
+    }
+}
+
+/// Stringifies a caught panic payload for error reporting.
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// A hook the fault-injection harness installs to perturb worker `w` at
+/// stage/pack `st` of a parallel kernel (panic, stall, …). Runs inside the
+/// kernel's `catch_unwind` region, so a panicking hook behaves exactly like a
+/// panicking kernel body.
+pub type ChaosHook = Arc<dyn Fn(usize, usize) + Send + Sync>;
+
+/// Shared failure record of one pipelined dispatch: the first panic and the
+/// first watchdog timeout, whichever workers hit them.
+pub(crate) struct KernelFailure {
+    panic: Mutex<Option<(usize, usize, String)>>,
+    timeout_stage: AtomicUsize,
+}
+
+impl KernelFailure {
+    pub(crate) fn new() -> Self {
+        KernelFailure {
+            panic: Mutex::new(None),
+            timeout_stage: AtomicUsize::new(usize::MAX),
+        }
+    }
+
+    pub(crate) fn record_panic(&self, slot: usize, pack: usize, message: String) {
+        if let Ok(mut guard) = self.panic.lock() {
+            if guard.is_none() {
+                *guard = Some((slot, pack, message));
+            }
+        }
+    }
+
+    pub(crate) fn record_timeout(&self, stage: usize) {
+        let _ = self.timeout_stage.compare_exchange(
+            usize::MAX,
+            stage,
+            AtomicOrdering::Relaxed,
+            AtomicOrdering::Relaxed,
+        );
+    }
+
+    /// Resolves the dispatch outcome; a recorded panic outranks a timeout
+    /// (the timeout is usually collateral of the panic's poisoning).
+    pub(crate) fn into_result(self, timeout_ms: u64) -> Result<()> {
+        if let Ok(mut guard) = self.panic.lock() {
+            if let Some((slot, pack, message)) = guard.take() {
+                return Err(MatrixError::WorkerPanicked {
+                    slot,
+                    pack,
+                    message,
+                });
+            }
+        }
+        match self.timeout_stage.load(AtomicOrdering::Relaxed) {
+            usize::MAX => Ok(()),
+            stage => Err(MatrixError::SolveTimeout { stage, timeout_ms }),
+        }
+    }
+}
+
+/// Default watchdog budget for one pipelined dispatch; generous enough that
+/// no healthy solve on any matrix in the suite comes near it.
+pub(crate) const DEFAULT_WATCHDOG_MS: u64 = 10_000;
 
 /// Shared mutable solution vector; see the module documentation for the
 /// aliasing discipline that makes this sound.
@@ -196,6 +288,12 @@ impl SharedVec {
 pub struct ParallelSolver {
     pool: WorkerPool,
     schedule: Schedule,
+    /// Watchdog budget for one pipelined dispatch, in milliseconds: gate
+    /// waits past this deadline poison the gate and surface as
+    /// [`MatrixError::SolveTimeout`].
+    watchdog_ms: u64,
+    /// Optional fault-injection hook; see [`ChaosHook`].
+    chaos: Option<ChaosHook>,
 }
 
 impl ParallelSolver {
@@ -205,6 +303,8 @@ impl ParallelSolver {
         ParallelSolver {
             pool: WorkerPool::new(threads),
             schedule,
+            watchdog_ms: DEFAULT_WATCHDOG_MS,
+            chaos: None,
         }
     }
 
@@ -217,7 +317,34 @@ impl ParallelSolver {
         ParallelSolver {
             pool: WorkerPool::with_pinning(threads, core_order),
             schedule,
+            watchdog_ms: DEFAULT_WATCHDOG_MS,
+            chaos: None,
         }
+    }
+
+    /// Sets the watchdog deadline of the pipelined kernels: a gate wait that
+    /// exceeds this budget (counted from dispatch start) poisons the gate and
+    /// the solve returns [`MatrixError::SolveTimeout`] instead of hanging
+    /// behind a stalled worker. A stalled worker that is still *running* (as
+    /// opposed to dead) is waited out before the error returns, so the caller
+    /// regains control after roughly `max(stall, timeout)`, not `timeout`.
+    /// Budgets below 1 ms are clamped up to 1 ms.
+    pub fn set_watchdog(&mut self, budget: Duration) {
+        self.watchdog_ms = (budget.as_millis() as u64).max(1);
+    }
+
+    /// The current watchdog budget of the pipelined kernels.
+    pub fn watchdog(&self) -> Duration {
+        Duration::from_millis(self.watchdog_ms)
+    }
+
+    /// Installs (or clears) a fault-injection hook invoked as `hook(w, st)`
+    /// when worker `w` starts the phase-1 unit of stage/pack `st` in the
+    /// pipelined kernels and the level-scheduled factorization. Test support:
+    /// a hook that panics or stalls exercises the failure paths
+    /// deterministically.
+    pub fn set_chaos_hook(&mut self, hook: Option<ChaosHook>) {
+        self.chaos = hook;
     }
 
     /// Number of worker threads.
@@ -229,6 +356,13 @@ impl ParallelSolver {
     /// factorization kernel dispatches on it).
     pub(crate) fn pool(&self) -> &WorkerPool {
         &self.pool
+    }
+
+    /// The installed chaos hook, if any (crate-internal: the level-scheduled
+    /// factorization invokes it per `(worker, pack)` exactly like the
+    /// pipelined kernels do).
+    pub(crate) fn chaos_hook(&self) -> Option<&ChaosHook> {
+        self.chaos.as_ref()
     }
 
     /// The intra-pack schedule in use.
@@ -256,24 +390,26 @@ impl ParallelSolver {
                 let pack = s.pack_super_rows(p);
                 let first_super_row = pack.start;
                 let pack_len = pack.len();
-                self.pool.parallel_for(pack_len, self.schedule, &|t| {
-                    let sr = first_super_row + t;
-                    for i1 in s.super_row_rows(sr) {
-                        let start = row_ptr[i1];
-                        let end = row_ptr[i1 + 1];
-                        let mut acc = 0.0;
-                        for k in start..end - 1 {
-                            // SAFETY: column k refers either to an earlier pack
-                            // (completed before this pack started) or to an
-                            // earlier row of this same super-row (written by
-                            // this worker earlier in this closure).
-                            acc += values[k] * unsafe { shared.read(col_idx[k]) };
+                self.pool
+                    .parallel_for(pack_len, self.schedule, &|t| {
+                        let sr = first_super_row + t;
+                        for i1 in s.super_row_rows(sr) {
+                            let start = row_ptr[i1];
+                            let end = row_ptr[i1 + 1];
+                            let mut acc = 0.0;
+                            for k in start..end - 1 {
+                                // SAFETY: column k refers either to an earlier pack
+                                // (completed before this pack started) or to an
+                                // earlier row of this same super-row (written by
+                                // this worker earlier in this closure).
+                                acc += values[k] * unsafe { shared.read(col_idx[k]) };
+                            }
+                            // SAFETY: row i1 belongs to exactly one super-row,
+                            // executed by exactly one worker.
+                            unsafe { shared.write(i1, (b[i1] - acc) / values[end - 1]) };
                         }
-                        // SAFETY: row i1 belongs to exactly one super-row,
-                        // executed by exactly one worker.
-                        unsafe { shared.write(i1, (b[i1] - acc) / values[end - 1]) };
-                    }
-                });
+                    })
+                    .map_err(pool_error_to_matrix)?;
             }
         }
         Ok(x)
@@ -312,22 +448,24 @@ impl ParallelSolver {
                 // contiguous slab range) per worker, one dispatch per worker.
                 // Rows without internal entries are final after this sweep.
                 let nchunks = workers.min(m);
-                self.pool.parallel_for(nchunks, Schedule::Static, &|c| {
-                    let chunk_start = first_row + c * m / nchunks;
-                    let chunk_end = first_row + (c + 1) * m / nchunks;
-                    for i1 in chunk_start..chunk_end {
-                        let mut acc = 0.0;
-                        for k in erp[i1]..erp[i1 + 1] {
-                            // SAFETY: external columns belong to earlier
-                            // packs, finalized before this pack's first
-                            // barrier.
-                            acc += evals[k] * unsafe { shared.read(ecols[k] as usize) };
+                self.pool
+                    .parallel_for(nchunks, Schedule::Static, &|c| {
+                        let chunk_start = first_row + c * m / nchunks;
+                        let chunk_end = first_row + (c + 1) * m / nchunks;
+                        for i1 in chunk_start..chunk_end {
+                            let mut acc = 0.0;
+                            for k in erp[i1]..erp[i1 + 1] {
+                                // SAFETY: external columns belong to earlier
+                                // packs, finalized before this pack's first
+                                // barrier.
+                                acc += evals[k] * unsafe { shared.read(ecols[k] as usize) };
+                            }
+                            // SAFETY: row i1 is written by exactly one phase-1
+                            // chunk.
+                            unsafe { shared.write(i1, (b[i1] - acc) * inv_diag[i1]) };
                         }
-                        // SAFETY: row i1 is written by exactly one phase-1
-                        // chunk.
-                        unsafe { shared.write(i1, (b[i1] - acc) * inv_diag[i1]) };
-                    }
-                });
+                    })
+                    .map_err(pool_error_to_matrix)?;
                 // Phase 2: internal substitution along the super-row chains.
                 // Only the precomputed chain tasks are dispatched, and each
                 // task visits only its chain rows; chain-free packs skip the
@@ -336,23 +474,25 @@ impl ParallelSolver {
                 if chain.is_empty() {
                     continue;
                 }
-                self.pool.parallel_for(chain.len(), self.schedule, &|t| {
-                    for &i1 in split.chain_rows_of(p, t) {
-                        let i1 = i1 as usize;
-                        let mut acc = 0.0;
-                        for k in irp[i1]..irp[i1 + 1] {
-                            // SAFETY: internal columns stay inside this
-                            // super-row — written earlier by this worker if
-                            // they are chain rows, published by the phase
-                            // barrier otherwise.
-                            acc += ivals[k] * unsafe { shared.read(icols[k] as usize) };
+                self.pool
+                    .parallel_for(chain.len(), self.schedule, &|t| {
+                        for &i1 in split.chain_rows_of(p, t) {
+                            let i1 = i1 as usize;
+                            let mut acc = 0.0;
+                            for k in irp[i1]..irp[i1 + 1] {
+                                // SAFETY: internal columns stay inside this
+                                // super-row — written earlier by this worker if
+                                // they are chain rows, published by the phase
+                                // barrier otherwise.
+                                acc += ivals[k] * unsafe { shared.read(icols[k] as usize) };
+                            }
+                            // SAFETY: row i1 belongs to exactly one chain task;
+                            // its phase-1 value was published by the barrier.
+                            let partial = unsafe { shared.read(i1) };
+                            unsafe { shared.write(i1, partial - acc * inv_diag[i1]) };
                         }
-                        // SAFETY: row i1 belongs to exactly one chain task;
-                        // its phase-1 value was published by the barrier.
-                        let partial = unsafe { shared.read(i1) };
-                        unsafe { shared.write(i1, partial - acc * inv_diag[i1]) };
-                    }
-                });
+                    })
+                    .map_err(pool_error_to_matrix)?;
             }
         }
         Ok(x)
@@ -399,68 +539,72 @@ impl ParallelSolver {
                 // are written back once; right-hand sides beyond the tile
                 // width are processed in further passes over the row.
                 const TILE: usize = 8;
-                self.pool.parallel_for(nchunks, Schedule::Static, &|c| {
-                    let chunk_start = first_row + c * m / nchunks;
-                    let chunk_end = first_row + (c + 1) * m / nchunks;
-                    for i1 in chunk_start..chunk_end {
-                        let base = i1 * nrhs;
-                        let d = inv_diag[i1];
-                        for r0 in (0..nrhs).step_by(TILE) {
-                            let w = TILE.min(nrhs - r0);
-                            let mut acc = [0.0f64; TILE];
-                            acc[..w].copy_from_slice(&b[base + r0..base + r0 + w]);
-                            for k in erp[i1]..erp[i1 + 1] {
-                                let (j, v) = (ecols[k] as usize, evals[k]);
-                                for (r, a) in acc[..w].iter_mut().enumerate() {
-                                    // SAFETY: as in solve_split, reads target
-                                    // earlier packs, finalized before this
-                                    // pack's first barrier.
-                                    *a -= v * unsafe { shared.read(j * nrhs + r0 + r) };
+                self.pool
+                    .parallel_for(nchunks, Schedule::Static, &|c| {
+                        let chunk_start = first_row + c * m / nchunks;
+                        let chunk_end = first_row + (c + 1) * m / nchunks;
+                        for i1 in chunk_start..chunk_end {
+                            let base = i1 * nrhs;
+                            let d = inv_diag[i1];
+                            for r0 in (0..nrhs).step_by(TILE) {
+                                let w = TILE.min(nrhs - r0);
+                                let mut acc = [0.0f64; TILE];
+                                acc[..w].copy_from_slice(&b[base + r0..base + r0 + w]);
+                                for k in erp[i1]..erp[i1 + 1] {
+                                    let (j, v) = (ecols[k] as usize, evals[k]);
+                                    for (r, a) in acc[..w].iter_mut().enumerate() {
+                                        // SAFETY: as in solve_split, reads target
+                                        // earlier packs, finalized before this
+                                        // pack's first barrier.
+                                        *a -= v * unsafe { shared.read(j * nrhs + r0 + r) };
+                                    }
+                                }
+                                for (r, a) in acc[..w].iter().enumerate() {
+                                    // SAFETY: the nrhs slots of row i1 have
+                                    // exactly one phase-1 writer (this chunk).
+                                    unsafe { shared.write(base + r0 + r, a * d) };
                                 }
                             }
-                            for (r, a) in acc[..w].iter().enumerate() {
-                                // SAFETY: the nrhs slots of row i1 have
-                                // exactly one phase-1 writer (this chunk).
-                                unsafe { shared.write(base + r0 + r, a * d) };
-                            }
                         }
-                    }
-                });
+                    })
+                    .map_err(pool_error_to_matrix)?;
                 let chain = split.chain_super_rows(p);
                 if chain.is_empty() {
                     continue;
                 }
-                self.pool.parallel_for(chain.len(), self.schedule, &|t| {
-                    for &i1 in split.chain_rows_of(p, t) {
-                        let i1 = i1 as usize;
-                        let base = i1 * nrhs;
-                        let d = inv_diag[i1];
-                        for r0 in (0..nrhs).step_by(TILE) {
-                            let w = TILE.min(nrhs - r0);
-                            let mut acc = [0.0f64; TILE];
-                            for (r, a) in acc[..w].iter_mut().enumerate() {
-                                // SAFETY: row i1 belongs to exactly one chain
-                                // task; its phase-1 values were published by
-                                // the barrier.
-                                *a = unsafe { shared.read(base + r0 + r) };
-                            }
-                            for k in irp[i1]..irp[i1 + 1] {
-                                let (j, v) = (icols[k] as usize, ivals[k]);
-                                let vd = v * d;
+                self.pool
+                    .parallel_for(chain.len(), self.schedule, &|t| {
+                        for &i1 in split.chain_rows_of(p, t) {
+                            let i1 = i1 as usize;
+                            let base = i1 * nrhs;
+                            let d = inv_diag[i1];
+                            for r0 in (0..nrhs).step_by(TILE) {
+                                let w = TILE.min(nrhs - r0);
+                                let mut acc = [0.0f64; TILE];
                                 for (r, a) in acc[..w].iter_mut().enumerate() {
-                                    // SAFETY: same-super-row reads — this
-                                    // worker's earlier writes, or phase-1
-                                    // results published by the barrier.
-                                    *a -= vd * unsafe { shared.read(j * nrhs + r0 + r) };
+                                    // SAFETY: row i1 belongs to exactly one chain
+                                    // task; its phase-1 values were published by
+                                    // the barrier.
+                                    *a = unsafe { shared.read(base + r0 + r) };
+                                }
+                                for k in irp[i1]..irp[i1 + 1] {
+                                    let (j, v) = (icols[k] as usize, ivals[k]);
+                                    let vd = v * d;
+                                    for (r, a) in acc[..w].iter_mut().enumerate() {
+                                        // SAFETY: same-super-row reads — this
+                                        // worker's earlier writes, or phase-1
+                                        // results published by the barrier.
+                                        *a -= vd * unsafe { shared.read(j * nrhs + r0 + r) };
+                                    }
+                                }
+                                for (r, a) in acc[..w].iter().enumerate() {
+                                    // SAFETY: row i1 is owned by this chain task.
+                                    unsafe { shared.write(base + r0 + r, *a) };
                                 }
                             }
-                            for (r, a) in acc[..w].iter().enumerate() {
-                                // SAFETY: row i1 is owned by this chain task.
-                                unsafe { shared.write(base + r0 + r, *a) };
-                            }
                         }
-                    }
-                });
+                    })
+                    .map_err(pool_error_to_matrix)?;
             }
         }
         Ok(x)
@@ -655,7 +799,7 @@ impl ParallelSolver {
                 unsafe { shared.write(i1, partial - acc * inv_diag[i1]) };
             }
         };
-        self.run_pipelined(plan, &gather, &chain);
+        self.run_pipelined(plan, &gather, &chain)?;
         Ok(())
     }
 
@@ -773,7 +917,7 @@ impl ParallelSolver {
                 }
             }
         };
-        self.run_pipelined(plan, &gather, &chain);
+        self.run_pipelined(plan, &gather, &chain)?;
         Ok(())
     }
 
@@ -809,43 +953,47 @@ impl ParallelSolver {
                 // Phase 1: gather the later-pack entries — all final, since
                 // the reverse sweep finished those packs before this one.
                 let nchunks = workers.min(m);
-                self.pool.parallel_for(nchunks, Schedule::Static, &|c| {
-                    let chunk_start = first_row + c * m / nchunks;
-                    let chunk_end = first_row + (c + 1) * m / nchunks;
-                    for i1 in chunk_start..chunk_end {
-                        let mut acc = 0.0;
-                        for k in erp[i1]..erp[i1 + 1] {
-                            // SAFETY: external transpose columns belong to
-                            // later packs, finalized before this pack's
-                            // first barrier of the reverse sweep.
-                            acc += evals[k] * unsafe { shared.read(ecols[k] as usize) };
+                self.pool
+                    .parallel_for(nchunks, Schedule::Static, &|c| {
+                        let chunk_start = first_row + c * m / nchunks;
+                        let chunk_end = first_row + (c + 1) * m / nchunks;
+                        for i1 in chunk_start..chunk_end {
+                            let mut acc = 0.0;
+                            for k in erp[i1]..erp[i1 + 1] {
+                                // SAFETY: external transpose columns belong to
+                                // later packs, finalized before this pack's
+                                // first barrier of the reverse sweep.
+                                acc += evals[k] * unsafe { shared.read(ecols[k] as usize) };
+                            }
+                            // SAFETY: row i1 is written by exactly one phase-1
+                            // chunk.
+                            unsafe { shared.write(i1, (b[i1] - acc) * inv_diag[i1]) };
                         }
-                        // SAFETY: row i1 is written by exactly one phase-1
-                        // chunk.
-                        unsafe { shared.write(i1, (b[i1] - acc) * inv_diag[i1]) };
-                    }
-                });
+                    })
+                    .map_err(pool_error_to_matrix)?;
                 // Phase 2: backward chains in decreasing row order.
                 let chain = ts.chain_super_rows(p);
                 if chain.is_empty() {
                     continue;
                 }
-                self.pool.parallel_for(chain.len(), self.schedule, &|t| {
-                    for &i1 in ts.chain_rows_of(p, t) {
-                        let i1 = i1 as usize;
-                        let mut acc = 0.0;
-                        for k in irp[i1]..irp[i1 + 1] {
-                            // SAFETY: internal columns stay inside this
-                            // super-row — corrected earlier by this task
-                            // (decreasing order) if they are chain rows,
-                            // published by the phase barrier otherwise.
-                            acc += ivals[k] * unsafe { shared.read(icols[k] as usize) };
+                self.pool
+                    .parallel_for(chain.len(), self.schedule, &|t| {
+                        for &i1 in ts.chain_rows_of(p, t) {
+                            let i1 = i1 as usize;
+                            let mut acc = 0.0;
+                            for k in irp[i1]..irp[i1 + 1] {
+                                // SAFETY: internal columns stay inside this
+                                // super-row — corrected earlier by this task
+                                // (decreasing order) if they are chain rows,
+                                // published by the phase barrier otherwise.
+                                acc += ivals[k] * unsafe { shared.read(icols[k] as usize) };
+                            }
+                            // SAFETY: row i1 belongs to exactly one chain task.
+                            let partial = unsafe { shared.read(i1) };
+                            unsafe { shared.write(i1, partial - acc * inv_diag[i1]) };
                         }
-                        // SAFETY: row i1 belongs to exactly one chain task.
-                        let partial = unsafe { shared.read(i1) };
-                        unsafe { shared.write(i1, partial - acc * inv_diag[i1]) };
-                    }
-                });
+                    })
+                    .map_err(pool_error_to_matrix)?;
             }
         }
         Ok(x)
@@ -923,7 +1071,7 @@ impl ParallelSolver {
                 unsafe { shared.write(i1, partial - acc * inv_diag[i1]) };
             }
         };
-        self.run_pipelined(plan, &gather, &chain);
+        self.run_pipelined(plan, &gather, &chain)?;
         Ok(())
     }
 
@@ -1040,7 +1188,7 @@ impl ParallelSolver {
                 }
             }
         };
-        self.run_pipelined(plan, &gather, &chain);
+        self.run_pipelined(plan, &gather, &chain)?;
         Ok(())
     }
 
@@ -1065,17 +1213,19 @@ impl ParallelSolver {
         let col_idx = a.col_idx();
         let values = a.values();
         let nchunks = self.pool.num_threads().min(n);
-        self.pool.parallel_for(nchunks, Schedule::Static, &|c| {
-            for r in c * n / nchunks..(c + 1) * n / nchunks {
-                let mut acc = 0.0;
-                for k in row_ptr[r]..row_ptr[r + 1] {
-                    acc += values[k] * x[col_idx[k]];
+        self.pool
+            .parallel_for(nchunks, Schedule::Static, &|c| {
+                for r in c * n / nchunks..(c + 1) * n / nchunks {
+                    let mut acc = 0.0;
+                    for k in row_ptr[r]..row_ptr[r + 1] {
+                        acc += values[k] * x[col_idx[k]];
+                    }
+                    // SAFETY: row r belongs to exactly one static chunk; x is
+                    // never written during the product.
+                    unsafe { shared.write(r, acc) };
                 }
-                // SAFETY: row r belongs to exactly one static chunk; x is
-                // never written during the product.
-                unsafe { shared.write(r, acc) };
-            }
-        });
+            })
+            .map_err(pool_error_to_matrix)?;
         Ok(())
     }
 
@@ -1109,26 +1259,28 @@ impl ParallelSolver {
         let col_idx = a.col_idx();
         let values = a.values();
         let nchunks = self.pool.num_threads().min(n);
-        self.pool.parallel_for(nchunks, Schedule::Static, &|c| {
-            for r in c * n / nchunks..(c + 1) * n / nchunks {
-                let base = r * nrhs;
-                for r0 in (0..nrhs).step_by(TILE) {
-                    let w = TILE.min(nrhs - r0);
-                    let mut acc = [0.0f64; TILE];
-                    for k in row_ptr[r]..row_ptr[r + 1] {
-                        let (j, v) = (col_idx[k], values[k]);
-                        for (q, a) in acc[..w].iter_mut().enumerate() {
-                            *a += v * x[j * nrhs + r0 + q];
+        self.pool
+            .parallel_for(nchunks, Schedule::Static, &|c| {
+                for r in c * n / nchunks..(c + 1) * n / nchunks {
+                    let base = r * nrhs;
+                    for r0 in (0..nrhs).step_by(TILE) {
+                        let w = TILE.min(nrhs - r0);
+                        let mut acc = [0.0f64; TILE];
+                        for k in row_ptr[r]..row_ptr[r + 1] {
+                            let (j, v) = (col_idx[k], values[k]);
+                            for (q, a) in acc[..w].iter_mut().enumerate() {
+                                *a += v * x[j * nrhs + r0 + q];
+                            }
+                        }
+                        for (q, a) in acc[..w].iter().enumerate() {
+                            // SAFETY: the nrhs slots of row r belong to exactly
+                            // one static chunk.
+                            unsafe { shared.write(base + r0 + q, *a) };
                         }
                     }
-                    for (q, a) in acc[..w].iter().enumerate() {
-                        // SAFETY: the nrhs slots of row r belong to exactly
-                        // one static chunk.
-                        unsafe { shared.write(base + r0 + q, *a) };
-                    }
                 }
-            }
-        });
+            })
+            .map_err(pool_error_to_matrix)?;
         Ok(())
     }
 
@@ -1140,12 +1292,25 @@ impl ParallelSolver {
     /// packs (identity for forward plans, reversal for backward ones);
     /// `gather` runs one contiguous phase-1 row range and `chain(st, t)`
     /// runs chain task `t` of stage `st`.
+    /// # Failure semantics
+    ///
+    /// Every worker's loop runs under `catch_unwind`. A panicking body (or
+    /// chaos hook) records the first `(slot, stage, payload)` and poisons the
+    /// gate; peers observe the poison at their next bounded wait (or the
+    /// poison check ahead of each ticket claim) and bail, so the pool barrier
+    /// completes and the solve returns [`MatrixError::WorkerPanicked`]. A
+    /// blocking gate wait that exceeds the watchdog deadline records the
+    /// stage, poisons the gate the same way, and the solve returns
+    /// [`MatrixError::SolveTimeout`] — after the stalled worker's body
+    /// finishes, since `parallel_for` cannot abandon a borrowed job; the
+    /// caller therefore regains control after `max(stall, budget)`, never
+    /// hangs. On any error the output buffer must be treated as torn.
     fn run_pipelined(
         &self,
         plan: &mut PipelinePlan,
         gather: &(dyn Fn(std::ops::Range<usize>) + Sync),
         chain: &(dyn Fn(usize, usize) + Sync),
-    ) {
+    ) -> Result<()> {
         let workers = self.pool.num_threads();
         let num_stages = plan.stage_rows.len();
         // Rewind the gate (generation-stamped) and the ticket counters; &mut
@@ -1156,81 +1321,156 @@ impl ParallelSolver {
         plan.rewind();
         if workers == 1 {
             // A single worker's program order is exactly the two-phase sweep;
-            // skip the gate and ticket atomics entirely.
-            for st in 0..num_stages {
-                let rows = plan.stage_rows[st].clone();
-                if !rows.is_empty() {
-                    gather(rows);
+            // skip the gate and ticket atomics entirely. A stalling chaos
+            // hook simply runs slowly here — there is no peer to starve.
+            let current = Cell::new(0usize);
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                for st in 0..num_stages {
+                    current.set(st);
+                    if let Some(hook) = &self.chaos {
+                        hook(0, st);
+                    }
+                    let rows = plan.stage_rows[st].clone();
+                    if !rows.is_empty() {
+                        gather(rows);
+                    }
+                    for t in 0..plan.ntasks[st] {
+                        chain(st, t);
+                    }
                 }
-                for t in 0..plan.ntasks[st] {
-                    chain(st, t);
-                }
-            }
-            return;
+            }));
+            return match result {
+                Ok(()) => Ok(()),
+                Err(payload) => Err(MatrixError::WorkerPanicked {
+                    slot: 0,
+                    pack: current.get(),
+                    message: panic_message(payload.as_ref()),
+                }),
+            };
         }
+        let deadline = Instant::now() + Duration::from_millis(self.watchdog_ms);
+        let failure = KernelFailure::new();
         let plan = &*plan;
-        // Runs worker `w`'s phase-1 chunk of stage `st` (a no-op returning
-        // `true` when the worker owns none). Non-blocking mode refuses —
-        // returning `false` — instead of waiting for the chunk's readiness.
-        let run_chunk = |w: usize, st: usize, blocking: bool| -> bool {
+        // Runs worker `w`'s phase-1 chunk of stage `st` (a no-op `Ran` when
+        // the worker owns none). Non-blocking mode refuses — `NotReady` —
+        // instead of waiting for the chunk's readiness; `Bail` means the
+        // gate was poisoned (or this wait timed out and poisoned it) and the
+        // worker must unwind its loop.
+        let run_chunk = |w: usize, st: usize, blocking: bool, current: &Cell<usize>| -> ChunkStep {
             let nchunks = plan.chunk_ptr[st + 1] - plan.chunk_ptr[st];
             if w < nchunks {
                 let dep = plan.chunk_dep[plan.chunk_ptr[st] + w] as usize;
                 if blocking {
-                    plan.gate.wait_open(dep);
+                    match plan.gate.wait_open_until(dep, deadline) {
+                        GateWait::Ready => {}
+                        GateWait::Poisoned => return ChunkStep::Bail,
+                        GateWait::TimedOut => {
+                            failure.record_timeout(st);
+                            plan.gate.poison();
+                            return ChunkStep::Bail;
+                        }
+                    }
+                } else if plan.gate.is_poisoned() {
+                    return ChunkStep::Bail;
                 } else if !plan.gate.is_open(dep) {
-                    return false;
+                    return ChunkStep::NotReady;
+                }
+                current.set(st);
+                if let Some(hook) = &self.chaos {
+                    hook(w, st);
                 }
                 let rows = plan.stage_rows[st].clone();
                 let m = rows.len();
                 gather(rows.start + w * m / nchunks..rows.start + (w + 1) * m / nchunks);
                 plan.gate.arrive_phase1(st);
             }
-            true
+            ChunkStep::Ran
         };
-        self.pool.parallel_for(workers, Schedule::Static, &|w| {
-            // The next stage whose phase-1 chunk this worker still owes;
-            // lookahead advances it past the stage being processed.
-            let mut next_p1 = 0usize;
-            for st in 0..num_stages {
-                if next_p1 == st {
-                    run_chunk(w, st, true);
-                    next_p1 = st + 1;
-                }
-                let ntasks = plan.ntasks[st];
-                if ntasks == 0 {
-                    continue;
-                }
-                let mut spins = 0u32;
-                loop {
-                    if !plan.gate.phase1_drained(st) {
-                        // Parked: gather ahead into the next stages instead
-                        // of spinning (readiness permitting).
-                        if next_p1 < num_stages
-                            && next_p1 - st <= PIPELINE_LOOKAHEAD
-                            && run_chunk(w, next_p1, false)
-                        {
-                            next_p1 += 1;
-                            spins = 0;
-                        } else if spins < 64 {
-                            spins += 1;
-                            std::hint::spin_loop();
-                        } else {
-                            // Possibly oversubscribed: let the stragglers run.
-                            std::thread::yield_now();
+        self.pool
+            .parallel_for(workers, Schedule::Static, &|w| {
+                let current = Cell::new(0usize);
+                let body = catch_unwind(AssertUnwindSafe(|| {
+                    // The next stage whose phase-1 chunk this worker still
+                    // owes; lookahead advances it past the stage being
+                    // processed.
+                    let mut next_p1 = 0usize;
+                    'stages: for st in 0..num_stages {
+                        if next_p1 == st {
+                            if run_chunk(w, st, true, &current) == ChunkStep::Bail {
+                                break 'stages;
+                            }
+                            next_p1 = st + 1;
                         }
-                        continue;
+                        let ntasks = plan.ntasks[st];
+                        if ntasks == 0 {
+                            continue;
+                        }
+                        let mut spins = 0u32;
+                        loop {
+                            if plan.gate.is_poisoned() {
+                                break 'stages;
+                            }
+                            if !plan.gate.phase1_drained(st) {
+                                // Parked: gather ahead into the next stages
+                                // instead of spinning (readiness permitting).
+                                if next_p1 < num_stages && next_p1 - st <= PIPELINE_LOOKAHEAD {
+                                    match run_chunk(w, next_p1, false, &current) {
+                                        ChunkStep::Ran => {
+                                            next_p1 += 1;
+                                            spins = 0;
+                                            continue;
+                                        }
+                                        ChunkStep::Bail => break 'stages,
+                                        ChunkStep::NotReady => {}
+                                    }
+                                }
+                                spins += 1;
+                                if spins < 64 {
+                                    std::hint::spin_loop();
+                                } else {
+                                    // Possibly oversubscribed: let the
+                                    // stragglers run — and watch the clock,
+                                    // in case a straggler never comes back.
+                                    if spins.is_multiple_of(64) && Instant::now() >= deadline {
+                                        failure.record_timeout(st);
+                                        plan.gate.poison();
+                                        break 'stages;
+                                    }
+                                    std::thread::yield_now();
+                                }
+                                continue;
+                            }
+                            let t = plan.tickets[st].fetch_add(1, AtomicOrdering::Relaxed);
+                            if t >= ntasks {
+                                break;
+                            }
+                            current.set(st);
+                            chain(st, t);
+                            plan.gate.arrive_phase2(st);
+                        }
                     }
-                    let t = plan.tickets[st].fetch_add(1, AtomicOrdering::Relaxed);
-                    if t >= ntasks {
-                        break;
-                    }
-                    chain(st, t);
-                    plan.gate.arrive_phase2(st);
+                }));
+                if let Err(payload) = body {
+                    failure.record_panic(w, current.get(), panic_message(payload.as_ref()));
+                    plan.gate.poison();
                 }
-            }
-        });
+            })
+            // Unreachable in practice — the catch above absorbs every panic —
+            // but kept sound rather than assumed.
+            .map_err(pool_error_to_matrix)?;
+        failure.into_result(self.watchdog_ms)
     }
+}
+
+/// Tri-state outcome of one phase-1 chunk attempt in the pipelined loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ChunkStep {
+    /// The chunk ran (or the worker owns none at this stage).
+    Ran,
+    /// Non-blocking readiness check failed; try again later.
+    NotReady,
+    /// The gate is poisoned (or this wait timed out): unwind the worker loop.
+    Bail,
 }
 
 /// Register-tile width of the multi-RHS kernels: partial sums for up to this

@@ -77,7 +77,8 @@ impl LevelScheduledSolver {
                     }
                     // SAFETY: each row belongs to exactly one level entry.
                     unsafe { shared.write(i, (b[i] - acc) / values[end - 1]) };
-                });
+                })
+                .map_err(crate::solver::parallel::pool_error_to_matrix)?;
             }
         }
         Ok(x)

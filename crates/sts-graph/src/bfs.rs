@@ -89,10 +89,9 @@ pub fn pseudo_peripheral_vertex(graph: &Graph, start: usize) -> usize {
             Some(l) if !l.is_empty() => l,
             _ => return current,
         };
-        let next = *last
-            .iter()
-            .min_by_key(|&&v| graph.degree(v))
-            .expect("last BFS level is non-empty");
+        let Some(&next) = last.iter().min_by_key(|&&v| graph.degree(v)) else {
+            return current;
+        };
         if next == current {
             return current;
         }

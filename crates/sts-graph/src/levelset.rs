@@ -138,7 +138,11 @@ pub fn bfs_level_sets(graph: &Graph, start: Option<usize>) -> Vec<Vec<usize>> {
     }
     let mut levels: Vec<Vec<usize>> = Vec::new();
     let mut visited = vec![false; graph.n()];
-    let first = start.unwrap_or_else(|| graph.max_degree_vertex().expect("non-empty graph"));
+    // `max_degree_vertex` is `None` only for an empty graph, excluded above.
+    let first = match start {
+        Some(s) => s,
+        None => graph.max_degree_vertex().unwrap_or(0),
+    };
     // Cover every connected component, continuing from the next unvisited
     // max-degree vertex.
     let mut roots = vec![first];

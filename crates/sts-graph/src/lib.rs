@@ -14,6 +14,8 @@
 //!
 //! The crate depends only on `sts-matrix` and has no threading concerns.
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod adjacency;
 pub mod bfs;
 pub mod coarsen;

@@ -19,6 +19,9 @@ use crate::permutation::Permutation;
 /// Each connected component is traversed from a pseudo-peripheral vertex;
 /// within the frontier, vertices are visited in increasing degree order, which
 /// is the classic bandwidth-reducing heuristic.
+// The traversal visits every vertex exactly once, so the final
+// `from_new_to_old` cannot fail; the expect documents the invariant.
+#[allow(clippy::expect_used)]
 pub fn cuthill_mckee(graph: &Graph) -> Permutation {
     let n = graph.n();
     let mut order = Vec::with_capacity(n);
@@ -26,10 +29,9 @@ pub fn cuthill_mckee(graph: &Graph) -> Permutation {
     for component in connected_components(graph) {
         // Start from a pseudo-peripheral vertex of this component, seeding the
         // search at the component's minimum-degree vertex.
-        let seed = *component
-            .iter()
-            .min_by_key(|&&v| graph.degree(v))
-            .expect("components are non-empty");
+        let Some(&seed) = component.iter().min_by_key(|&&v| graph.degree(v)) else {
+            continue;
+        };
         let start = pseudo_peripheral_vertex(graph, seed);
         visited[start] = true;
         let mut queue = std::collections::VecDeque::from([start]);
@@ -54,6 +56,8 @@ pub fn cuthill_mckee(graph: &Graph) -> Permutation {
 }
 
 /// Computes the *reverse* Cuthill–McKee ordering (new → old).
+// Reversal preserves bijectivity, so the rebuild cannot fail.
+#[allow(clippy::expect_used)]
 pub fn reverse_cuthill_mckee(graph: &Graph) -> Permutation {
     let cm = cuthill_mckee(graph);
     let reversed: Vec<usize> = cm.new_to_old().iter().rev().copied().collect();

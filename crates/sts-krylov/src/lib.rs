@@ -29,7 +29,11 @@
 //!   — small dense projections pick the step over the whole direction block,
 //!   with rank-revealing deflation of dependent directions and per-system
 //!   convergence freezing, so the batch converges in fewer iterations, not
-//!   just cheaper ones.
+//!   just cheaper ones;
+//! * [`RobustPcg`] — the fault-tolerant driver: on IC(0) breakdown it
+//!   descends a recovery ladder (Manteuffel-shifted IC(0) under escalating
+//!   α, then SSOR, then Identity), reporting every abandoned rung in a
+//!   [`RecoveryReport`] so degradation is observable, never silent.
 //!
 //! # Quickstart
 //!
@@ -56,13 +60,17 @@
 //! assert!(out.iterations < 200);
 //! ```
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod pcg;
 pub mod precond;
+pub mod recovery;
 pub mod system;
 pub mod workspace;
 
 pub use pcg::{Pcg, PcgBatchOutcome, PcgBlockOutcome, PcgOptions, PcgOutcome, Tolerance};
 pub use precond::{Ic0, Identity, Preconditioner, Ssor, SweepEngine};
+pub use recovery::{RecoveryAttempt, RecoveryPolicy, RecoveryReport, RobustOutcome, RobustPcg};
 pub use system::SpdSystem;
 pub use workspace::KrylovWorkspace;
 

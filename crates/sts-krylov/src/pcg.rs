@@ -23,9 +23,26 @@ pub enum Tolerance {
 
 impl Tolerance {
     /// The concrete residual threshold for a system with `‖b‖₂ = b_norm`.
+    ///
+    /// A zero `b_norm` yields a zero threshold, so a zero right-hand side
+    /// converges immediately (at `x = 0`) instead of dividing by zero
+    /// somewhere downstream. A *non-finite* `b_norm` would poison the
+    /// stopping comparison (`NaN > NaN` is `false`, which would silently
+    /// report an untouched iterate as finished); the solve drivers reject a
+    /// non-finite initial residual with
+    /// [`MatrixError::NonFiniteResidual`](sts_matrix::MatrixError::NonFiniteResidual)
+    /// before consulting the threshold, and this helper stays total for
+    /// direct callers by clamping to `0.0` — the conservative
+    /// "never converged" answer, never a NaN.
     pub fn threshold(&self, b_norm: f64) -> f64 {
         match *self {
-            Tolerance::Relative(factor) => factor * b_norm,
+            Tolerance::Relative(factor) => {
+                if b_norm.is_finite() {
+                    factor * b_norm
+                } else {
+                    0.0
+                }
+            }
             Tolerance::Absolute(bound) => bound,
         }
     }
@@ -169,6 +186,13 @@ impl Pcg {
         &self.solver
     }
 
+    /// Mutable access to the worker pool, for configuring the watchdog
+    /// deadline ([`ParallelSolver::set_watchdog`]) or installing a
+    /// fault-injection hook.
+    pub fn solver_mut(&mut self) -> &mut ParallelSolver {
+        &mut self.solver
+    }
+
     /// The driver's stopping policy.
     pub fn options(&self) -> &PcgOptions {
         &self.options
@@ -206,6 +230,12 @@ impl Pcg {
         sys.gather_into(b, &mut ws.r);
         ws.x.fill(0.0);
         let mut rnorm = ops::norm2(&ws.r);
+        if !rnorm.is_finite() {
+            // A NaN or infinite right-hand side: every comparison against
+            // the threshold would be silently false. Name the breakdown
+            // instead of iterating on poison.
+            return Err(MatrixError::NonFiniteResidual { iteration: 0 });
+        }
         let threshold = self.options.tolerance.threshold(rnorm);
         let mut history = Vec::new();
         if self.options.record_history {
@@ -251,6 +281,15 @@ impl Pcg {
             ops::axpy(-alpha, &ws.ap, &mut ws.r);
             iterations += 1;
             rnorm = ops::norm2(&ws.r);
+            if !rnorm.is_finite() {
+                // A non-finite value slipped into the recurrence (operator
+                // or preconditioner emitted NaN/∞ past the alpha guard):
+                // stop with the iteration named rather than looping on NaN
+                // until the bound.
+                return Err(MatrixError::NonFiniteResidual {
+                    iteration: iterations,
+                });
+            }
             if self.options.record_history {
                 history.push(rnorm);
             }
@@ -308,6 +347,7 @@ impl Pcg {
         // Per-system scalar state (O(nrhs), allocated once per solve call).
         let mut rnorm = vec![0.0f64; nrhs];
         strided_norms_into(&ws.r, nrhs, &mut rnorm);
+        check_finite_norms(&rnorm, 0)?;
         let thresholds: Vec<f64> = rnorm
             .iter()
             .map(|&bn| self.options.tolerance.threshold(bn))
@@ -367,6 +407,7 @@ impl Pcg {
             }
             lockstep += 1;
             strided_norms_into(&ws.r, nrhs, &mut rnorm);
+            check_finite_norms(&rnorm, lockstep)?;
             for q in 0..nrhs {
                 if rnorm[q] <= thresholds[q] && iterations[q] > lockstep {
                     iterations[q] = lockstep;
@@ -462,6 +503,7 @@ impl Pcg {
         ws.x.fill(0.0);
         let mut rnorm = vec![0.0f64; nrhs];
         strided_norms_into(&ws.r, nrhs, &mut rnorm);
+        check_finite_norms(&rnorm, 0)?;
         let thresholds: Vec<f64> = rnorm
             .iter()
             .map(|&bn| self.options.tolerance.threshold(bn))
@@ -567,6 +609,7 @@ impl Pcg {
                 }
                 block_steps += 1;
                 strided_norms_into(&ws.r, nrhs, &mut rnorm);
+                check_finite_norms(&rnorm, block_steps)?;
                 for q in 0..nrhs {
                     if active[q] && rnorm[q] <= thresholds[q] {
                         active[q] = false;
@@ -658,6 +701,15 @@ impl Pcg {
             seconds_precond,
         })
     }
+}
+
+/// Rejects a non-finite residual norm anywhere in a batch, naming the
+/// iteration at which it appeared (0 is the initial residual).
+fn check_finite_norms(rnorm: &[f64], iteration: usize) -> Result<()> {
+    if rnorm.iter().any(|r| !r.is_finite()) {
+        return Err(MatrixError::NonFiniteResidual { iteration });
+    }
+    Ok(())
 }
 
 /// Per-system 2-norms of an interleaved batch vector, into a caller buffer

@@ -295,6 +295,9 @@ impl Preconditioner for Ssor {
 #[derive(Debug)]
 pub struct Ic0 {
     sweeps: SweepPair,
+    /// The Manteuffel shift α the factored operand was built with
+    /// (`0.0` for a plain factorization).
+    shift: f64,
 }
 
 impl Ic0 {
@@ -328,6 +331,7 @@ impl Ic0 {
         let structure = Arc::new(sys.structure().with_operand(factor)?);
         Ok(Ic0 {
             sweeps: SweepPair::new(structure, solver, engine),
+            shift: 0.0,
         })
     }
 
@@ -343,7 +347,68 @@ impl Ic0 {
         let structure = Arc::new(sys.structure().with_operand(factor)?);
         Ok(Ic0 {
             sweeps: SweepPair::new(structure, solver, engine),
+            shift: 0.0,
         })
+    }
+
+    /// **Manteuffel-shifted** IC(0): factors `A + α·diag(A)` instead of `A`
+    /// (every diagonal entry scaled by `1 + α`), the classical recovery for
+    /// an incomplete factorization that breaks down on an operand that is
+    /// SPD but not an M-matrix. The pattern is unchanged, so the factor
+    /// rides the same pack hierarchy, and a large enough α always restores
+    /// diagonal dominance (and hence existence of the factorization) at the
+    /// price of a weaker preconditioner. This is the ladder rung the
+    /// recovery driver ([`crate::RobustPcg`]) climbs under escalating α.
+    ///
+    /// Setup is level-scheduled on `solver`'s pool, bitwise identical to
+    /// [`Ic0::new_shifted_sequential`].
+    pub fn new_shifted(
+        sys: &SpdSystem,
+        solver: &ParallelSolver,
+        engine: SweepEngine,
+        alpha: f64,
+    ) -> Result<Ic0> {
+        Ic0::new_shifted_parallel(sys, solver, engine, alpha)
+    }
+
+    /// [`Ic0::new_shifted`] with the factorization explicitly
+    /// level-scheduled on `solver`'s worker pool.
+    pub fn new_shifted_parallel(
+        sys: &SpdSystem,
+        solver: &ParallelSolver,
+        engine: SweepEngine,
+        alpha: f64,
+    ) -> Result<Ic0> {
+        let shifted = shifted_operand(sys.matrix(), alpha)?;
+        let factor = solver.parallel_ic0(sys.structure(), &shifted)?;
+        let structure = Arc::new(sys.structure().with_operand(factor)?);
+        Ok(Ic0 {
+            sweeps: SweepPair::new(structure, solver, engine),
+            shift: alpha,
+        })
+    }
+
+    /// [`Ic0::new_shifted`] with the sequential up-looking factorization —
+    /// bitwise identical to the level-scheduled shifted build.
+    pub fn new_shifted_sequential(
+        sys: &SpdSystem,
+        solver: &ParallelSolver,
+        engine: SweepEngine,
+        alpha: f64,
+    ) -> Result<Ic0> {
+        let shifted = shifted_operand(sys.matrix(), alpha)?;
+        let factor = sts_matrix::factor::ic0(&shifted)?;
+        let structure = Arc::new(sys.structure().with_operand(factor)?);
+        Ok(Ic0 {
+            sweeps: SweepPair::new(structure, solver, engine),
+            shift: alpha,
+        })
+    }
+
+    /// The Manteuffel shift α this factorization was built with (`0.0` for
+    /// the plain constructors).
+    pub fn shift(&self) -> f64 {
+        self.shift
     }
 
     /// The factor structure's operand values (test/diagnostic hook: setup
@@ -353,9 +418,45 @@ impl Ic0 {
     }
 }
 
+/// `A + α·diag(A)`: a copy of `a` with every diagonal entry scaled by
+/// `1 + α`. The sparsity pattern — and therefore the pack hierarchy every
+/// downstream kernel runs on — is untouched.
+fn shifted_operand(a: &sts_matrix::CsrMatrix, alpha: f64) -> Result<sts_matrix::CsrMatrix> {
+    if !alpha.is_finite() || alpha < 0.0 {
+        return Err(MatrixError::InvalidParameter(format!(
+            "Manteuffel shift must be finite and non-negative, got {alpha}"
+        )));
+    }
+    let mut diag_pos = Vec::with_capacity(a.nrows());
+    let row_ptr = a.row_ptr();
+    let col_idx = a.col_idx();
+    for r in 0..a.nrows() {
+        for (k, &c) in col_idx
+            .iter()
+            .enumerate()
+            .take(row_ptr[r + 1])
+            .skip(row_ptr[r])
+        {
+            if c == r {
+                diag_pos.push(k);
+            }
+        }
+    }
+    let mut shifted = a.clone();
+    let values = shifted.values_mut();
+    for k in diag_pos {
+        values[k] *= 1.0 + alpha;
+    }
+    Ok(shifted)
+}
+
 impl Preconditioner for Ic0 {
     fn label(&self) -> &'static str {
-        "ic0"
+        if self.shift == 0.0 {
+            "ic0"
+        } else {
+            "ic0-shifted"
+        }
     }
 
     fn apply_into(

@@ -1,0 +1,338 @@
+//! The recovery ladder: graceful degradation for breakdown-prone
+//! preconditioning.
+//!
+//! IC(0) exists for every M-matrix, but a merely-SPD operand can drive a
+//! pivot of the incomplete factorization negative
+//! ([`MatrixError::FactorizationBreakdown`]) even though exact Cholesky
+//! would succeed — the classical Kershaw counterexample. A production
+//! solver must not surface that as a hard failure when a slightly weaker
+//! preconditioner finishes the job. [`RobustPcg`] climbs a ladder instead:
+//!
+//! 1. **IC(0)** on `A` itself — the fast path, identical to
+//!    [`Ic0::new`];
+//! 2. **shifted IC(0)** on `A + α·diag(A)` under escalating α
+//!    ([`Ic0::new_shifted`], Manteuffel's shift): each rung is a strictly
+//!    more diagonally dominant operand, so a large enough α always
+//!    factors;
+//! 3. **SSOR** — no factorization at all, cannot break down at setup;
+//! 4. **Identity** — plain CG, the unconditional last resort.
+//!
+//! Every attempt — failed or final — is recorded in a [`RecoveryReport`],
+//! so degradation is *observable*: the caller learns which rung converged,
+//! which shifts were burned, and how many iterations the descent cost,
+//! instead of silently getting a slower solve. Only *breakdown-shaped*
+//! errors descend the ladder ([`MatrixError::FactorizationBreakdown`] at
+//! setup, [`MatrixError::NonFiniteResidual`] during the iteration);
+//! structural errors (dimension mismatches, worker panics, timeouts)
+//! propagate immediately — retrying cannot fix those, and masking them
+//! would hide real faults.
+
+use sts_matrix::MatrixError;
+
+use crate::pcg::{Pcg, PcgOutcome};
+use crate::precond::{Ic0, Identity, Preconditioner, Ssor, SweepEngine};
+use crate::system::SpdSystem;
+use crate::workspace::KrylovWorkspace;
+use crate::Result;
+
+/// Which rungs the ladder may visit, and in what strength order.
+#[derive(Debug, Clone)]
+pub struct RecoveryPolicy {
+    /// Escalating Manteuffel shifts tried after the unshifted
+    /// factorization breaks down.
+    pub shifts: Vec<f64>,
+    /// Whether the ladder may degrade past shifted IC(0) to SSOR.
+    pub allow_ssor: bool,
+    /// Whether the ladder may degrade all the way to plain CG.
+    pub allow_identity: bool,
+    /// The sweep engine every rung's preconditioner runs on.
+    pub engine: SweepEngine,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy {
+            shifts: vec![1e-3, 1e-2, 1e-1, 1.0],
+            allow_ssor: true,
+            allow_identity: true,
+            engine: SweepEngine::Pipelined,
+        }
+    }
+}
+
+/// One rung the ladder tried and abandoned.
+#[derive(Debug, Clone)]
+pub struct RecoveryAttempt {
+    /// The rung's preconditioner label ("ic0", "ic0-shifted", "ssor",
+    /// "none").
+    pub preconditioner: &'static str,
+    /// The Manteuffel shift of the rung (0.0 off the shifted rungs).
+    pub shift: f64,
+    /// Why the rung was abandoned.
+    pub error: MatrixError,
+    /// Iterations the rung consumed before failing (0 for setup-time
+    /// breakdowns).
+    pub iterations: usize,
+}
+
+/// What the descent looked like: every abandoned rung, plus where the
+/// ladder came to rest.
+#[derive(Debug, Clone)]
+pub struct RecoveryReport {
+    /// The rungs tried and abandoned, in order. Empty when the fast path
+    /// succeeded.
+    pub attempts: Vec<RecoveryAttempt>,
+    /// The shifts whose factorizations were attempted (successful final
+    /// rung included).
+    pub shifts_tried: Vec<f64>,
+    /// Label of the preconditioner that produced the returned outcome.
+    pub final_preconditioner: &'static str,
+    /// The shift of the final rung (0.0 when unshifted).
+    pub final_shift: f64,
+    /// Whether the returned outcome came from anything but the fast path.
+    pub degraded: bool,
+    /// Iterations consumed by abandoned rungs — the descent's cost on top
+    /// of the final solve's own count.
+    pub extra_iterations: usize,
+}
+
+/// A [`PcgOutcome`] plus the story of how it was obtained.
+#[derive(Debug, Clone)]
+pub struct RobustOutcome {
+    /// The final rung's solve outcome.
+    pub outcome: PcgOutcome,
+    /// The descent record.
+    pub report: RecoveryReport,
+}
+
+/// The fault-tolerant PCG driver: [`Pcg`] plus the recovery ladder.
+pub struct RobustPcg {
+    pcg: Pcg,
+    policy: RecoveryPolicy,
+}
+
+impl RobustPcg {
+    /// Wraps `pcg` with the default policy (four escalating shifts, SSOR
+    /// and Identity both allowed).
+    pub fn new(pcg: Pcg) -> Self {
+        RobustPcg {
+            pcg,
+            policy: RecoveryPolicy::default(),
+        }
+    }
+
+    /// Wraps `pcg` with an explicit policy.
+    pub fn with_policy(pcg: Pcg, policy: RecoveryPolicy) -> Self {
+        RobustPcg { pcg, policy }
+    }
+
+    /// The wrapped driver.
+    pub fn pcg(&self) -> &Pcg {
+        &self.pcg
+    }
+
+    /// The wrapped driver, mutably (watchdog configuration, fault hooks).
+    pub fn pcg_mut(&mut self) -> &mut Pcg {
+        &mut self.pcg
+    }
+
+    /// The ladder policy.
+    pub fn policy(&self) -> &RecoveryPolicy {
+        &self.policy
+    }
+
+    /// Solves `A x = b`, descending the ladder on breakdown. Returns the
+    /// first rung's outcome that produced a clean solve (converged or
+    /// not), together with the [`RecoveryReport`]. Errs only when every
+    /// permitted rung failed with a breakdown-shaped error, or any rung
+    /// failed with a structural one.
+    pub fn solve(
+        &self,
+        sys: &SpdSystem,
+        b: &[f64],
+        ws: &mut KrylovWorkspace,
+    ) -> Result<RobustOutcome> {
+        let mut attempts: Vec<RecoveryAttempt> = Vec::new();
+        let mut shifts_tried: Vec<f64> = Vec::new();
+        let engine = self.policy.engine;
+
+        // Rungs 1 and 2: IC(0), then shifted IC(0) under escalating α.
+        for &alpha in std::iter::once(&0.0).chain(self.policy.shifts.iter()) {
+            shifts_tried.push(alpha);
+            let built = if alpha == 0.0 {
+                Ic0::new(sys, self.pcg.solver(), engine)
+            } else {
+                Ic0::new_shifted(sys, self.pcg.solver(), engine, alpha)
+            };
+            let mut pre = match built {
+                Ok(pre) => pre,
+                Err(e) if descends(&e) => {
+                    attempts.push(RecoveryAttempt {
+                        preconditioner: if alpha == 0.0 { "ic0" } else { "ic0-shifted" },
+                        shift: alpha,
+                        error: e,
+                        iterations: 0,
+                    });
+                    continue;
+                }
+                Err(e) => return Err(e),
+            };
+            let label = pre.label();
+            match self.try_rung(sys, &mut pre, b, ws, label, alpha, &mut attempts)? {
+                Some(outcome) => {
+                    return Ok(self.finish(outcome, attempts, shifts_tried, label, alpha));
+                }
+                None => continue,
+            }
+        }
+
+        // Rung 3: SSOR — setup cannot break down.
+        if self.policy.allow_ssor {
+            let mut pre = Ssor::new(sys, self.pcg.solver(), engine);
+            if let Some(outcome) =
+                self.try_rung(sys, &mut pre, b, ws, "ssor", 0.0, &mut attempts)?
+            {
+                return Ok(self.finish(outcome, attempts, shifts_tried, "ssor", 0.0));
+            }
+        }
+
+        // Rung 4: plain CG.
+        if self.policy.allow_identity {
+            let mut pre = Identity;
+            if let Some(outcome) =
+                self.try_rung(sys, &mut pre, b, ws, "none", 0.0, &mut attempts)?
+            {
+                return Ok(self.finish(outcome, attempts, shifts_tried, "none", 0.0));
+            }
+        }
+
+        // Every permitted rung broke down. Surface the last breakdown.
+        Err(attempts.pop().map(|a| a.error).unwrap_or_else(|| {
+            MatrixError::InvalidParameter("recovery ladder has no permitted rungs".into())
+        }))
+    }
+
+    /// Runs one rung's solve. `Ok(Some(outcome))` means the rung produced
+    /// a clean outcome; `Ok(None)` means it broke down (recorded in
+    /// `attempts`) and the ladder should descend; `Err` propagates
+    /// structural failures.
+    #[allow(clippy::too_many_arguments)]
+    fn try_rung(
+        &self,
+        sys: &SpdSystem,
+        pre: &mut dyn Preconditioner,
+        b: &[f64],
+        ws: &mut KrylovWorkspace,
+        label: &'static str,
+        shift: f64,
+        attempts: &mut Vec<RecoveryAttempt>,
+    ) -> Result<Option<PcgOutcome>> {
+        match self.pcg.solve(sys, pre, b, ws) {
+            Ok(outcome) => Ok(Some(outcome)),
+            Err(e) if descends(&e) => {
+                let iterations = match &e {
+                    MatrixError::NonFiniteResidual { iteration } => *iteration,
+                    _ => 0,
+                };
+                attempts.push(RecoveryAttempt {
+                    preconditioner: label,
+                    shift,
+                    error: e,
+                    iterations,
+                });
+                Ok(None)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    fn finish(
+        &self,
+        outcome: PcgOutcome,
+        attempts: Vec<RecoveryAttempt>,
+        shifts_tried: Vec<f64>,
+        final_preconditioner: &'static str,
+        final_shift: f64,
+    ) -> RobustOutcome {
+        let extra_iterations = attempts.iter().map(|a| a.iterations).sum();
+        let degraded = !attempts.is_empty();
+        RobustOutcome {
+            outcome,
+            report: RecoveryReport {
+                attempts,
+                shifts_tried,
+                final_preconditioner,
+                final_shift,
+                degraded,
+                extra_iterations,
+            },
+        }
+    }
+}
+
+/// Whether an error is breakdown-shaped — fixable by a weaker
+/// preconditioner — as opposed to structural (wrong sizes, poisoned pool,
+/// timeout), which retrying under a different preconditioner cannot cure.
+fn descends(e: &MatrixError) -> bool {
+    matches!(
+        e,
+        MatrixError::FactorizationBreakdown { .. } | MatrixError::NonFiniteResidual { .. }
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sts_core::Method;
+    use sts_matrix::{generators, ops};
+    use sts_numa::Schedule;
+
+    #[test]
+    fn clean_system_takes_the_fast_path_with_an_empty_report() {
+        let a = generators::grid2d_laplacian(12, 12).unwrap();
+        let sys = SpdSystem::build(&a, Method::Sts3, 8).unwrap();
+        let b = ops::spmv(&a, &vec![1.0; sys.n()]).unwrap();
+        let robust = RobustPcg::new(Pcg::new(2, Schedule::Guided { min_chunk: 1 }));
+        let mut ws = KrylovWorkspace::new(sys.n());
+        let out = robust.solve(&sys, &b, &mut ws).unwrap();
+        assert!(out.outcome.converged);
+        assert!(!out.report.degraded);
+        assert!(out.report.attempts.is_empty());
+        assert_eq!(out.report.final_preconditioner, "ic0");
+        assert_eq!(out.report.final_shift, 0.0);
+        assert_eq!(out.report.extra_iterations, 0);
+        assert_eq!(out.report.shifts_tried, vec![0.0]);
+    }
+
+    #[test]
+    fn structural_errors_do_not_descend_the_ladder() {
+        let a = generators::grid2d_laplacian(8, 8).unwrap();
+        let sys = SpdSystem::build(&a, Method::Sts3, 8).unwrap();
+        let robust = RobustPcg::new(Pcg::new(2, Schedule::Static));
+        let mut ws = KrylovWorkspace::new(sys.n());
+        // Wrong-length b: a DimensionMismatch must propagate, not trigger
+        // an SSOR retry that would also fail confusingly.
+        let e = robust.solve(&sys, &[1.0; 3], &mut ws).unwrap_err();
+        assert!(matches!(e, MatrixError::DimensionMismatch(_)));
+    }
+
+    #[test]
+    fn ladder_with_no_rungs_is_rejected() {
+        let a = generators::grid2d_laplacian(6, 6).unwrap();
+        let sys = SpdSystem::build(&a, Method::Sts3, 8).unwrap();
+        // A policy that forbids every fallback still runs IC(0) itself.
+        let policy = RecoveryPolicy {
+            shifts: vec![],
+            allow_ssor: false,
+            allow_identity: false,
+            engine: SweepEngine::Sequential,
+        };
+        let robust = RobustPcg::with_policy(Pcg::new(1, Schedule::Static), policy);
+        let b = vec![1.0; sys.n()];
+        let mut ws = KrylovWorkspace::new(sys.n());
+        // The Laplacian factors fine, so the fast path still succeeds.
+        let out = robust.solve(&sys, &b, &mut ws).unwrap();
+        assert!(out.outcome.converged);
+        assert!(!out.report.degraded);
+    }
+}

@@ -28,6 +28,12 @@ pub struct SpdSystem {
 impl SpdSystem {
     /// Binds `a` (symmetric, fully stored, positive diagonal) to the
     /// ordering computed by `method` on its lower triangle.
+    ///
+    /// The operand is validated at this boundary
+    /// ([`CsrMatrix::validate`]): sorted in-bounds columns, a present and
+    /// positive diagonal, and finite values. A matrix carrying a NaN or an
+    /// infinity is rejected here with [`MatrixError::NonFinite`] naming the
+    /// offending entry, instead of poisoning every later iterate.
     pub fn build(a: &CsrMatrix, method: Method, rows_per_super_row: usize) -> Result<SpdSystem> {
         if a.nrows() != a.ncols() {
             return Err(MatrixError::DimensionMismatch(format!(
@@ -36,6 +42,7 @@ impl SpdSystem {
                 a.ncols()
             )));
         }
+        a.validate()?;
         if !a.is_symmetric(1e-12) {
             return Err(MatrixError::InvalidParameter(
                 "SpdSystem::build needs a symmetric matrix with both triangles stored".into(),

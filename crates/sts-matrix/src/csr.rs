@@ -47,10 +47,10 @@ impl CsrMatrix {
                 values.len()
             )));
         }
-        if *row_ptr.last().unwrap() != col_idx.len() {
+        if row_ptr[nrows] != col_idx.len() {
             return Err(MatrixError::InvalidStructure(format!(
                 "row_ptr[n]={} does not match nnz={}",
-                row_ptr.last().unwrap(),
+                row_ptr[nrows],
                 col_idx.len()
             )));
         }
@@ -108,6 +108,79 @@ impl CsrMatrix {
             col_idx,
             values,
         }
+    }
+
+    /// Checks numeric and structural fitness for use as an SPD solver
+    /// operand: monotone row pointers, in-bounds strictly-increasing column
+    /// indices, every stored value finite and — for square matrices — a
+    /// present, positive, finite diagonal in every row.
+    ///
+    /// Structural invariants are enforced at [`CsrMatrix::from_raw`] time
+    /// already; `validate` re-verifies them so matrices assembled through
+    /// [`CsrMatrix::from_raw_unchecked`] (or mutated via
+    /// [`CsrMatrix::values_mut`]) get the same guarantees at the solver
+    /// boundary, and adds the numeric checks no constructor performs.
+    pub fn validate(&self) -> Result<()> {
+        if self.row_ptr.len() != self.nrows + 1
+            || self.row_ptr.first() != Some(&0)
+            || self.col_idx.len() != self.values.len()
+            || self.row_ptr.last() != Some(&self.values.len())
+        {
+            return Err(MatrixError::InvalidStructure(
+                "row pointer array is inconsistent with the entry arrays".to_string(),
+            ));
+        }
+        for r in 0..self.nrows {
+            let (lo, hi) = (self.row_ptr[r], self.row_ptr[r + 1]);
+            if lo > hi {
+                return Err(MatrixError::InvalidStructure(format!(
+                    "row pointers decrease at row {r}"
+                )));
+            }
+            let mut diag = None;
+            let mut prev: Option<usize> = None;
+            for k in lo..hi {
+                let c = self.col_idx[k];
+                if c >= self.ncols {
+                    return Err(MatrixError::IndexOutOfBounds {
+                        row: r,
+                        col: c,
+                        nrows: self.nrows,
+                        ncols: self.ncols,
+                    });
+                }
+                if prev.is_some_and(|p| p >= c) {
+                    return Err(MatrixError::InvalidStructure(format!(
+                        "row {r} columns are not strictly increasing"
+                    )));
+                }
+                prev = Some(c);
+                let v = self.values[k];
+                if !v.is_finite() {
+                    return Err(MatrixError::NonFinite {
+                        row: r,
+                        col: c,
+                        value: v,
+                    });
+                }
+                if c == r {
+                    diag = Some(v);
+                }
+            }
+            if self.nrows == self.ncols {
+                match diag {
+                    None => return Err(MatrixError::SingularDiagonal { row: r }),
+                    Some(d) if d <= 0.0 => {
+                        return Err(MatrixError::InvalidParameter(format!(
+                            "row {r} has non-positive diagonal {d}; the operand is not positive \
+                             definite"
+                        )))
+                    }
+                    Some(_) => {}
+                }
+            }
+        }
+        Ok(())
     }
 
     /// An `n x n` identity matrix.
@@ -343,6 +416,60 @@ impl CsrMatrix {
 mod tests {
     use super::*;
     use crate::coo::CooMatrix;
+
+    #[test]
+    fn validate_accepts_an_spd_like_operand() {
+        let a = CsrMatrix::from_raw(
+            2,
+            2,
+            vec![0, 2, 4],
+            vec![0, 1, 0, 1],
+            vec![2.0, -1.0, -1.0, 2.0],
+        )
+        .unwrap();
+        assert!(a.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_non_finite_values() {
+        let mut a = CsrMatrix::identity(3);
+        a.values_mut()[1] = f64::NAN;
+        assert!(matches!(
+            a.validate(),
+            Err(MatrixError::NonFinite { row: 1, col: 1, .. })
+        ));
+        a.values_mut()[1] = f64::INFINITY;
+        assert!(matches!(a.validate(), Err(MatrixError::NonFinite { .. })));
+    }
+
+    #[test]
+    fn validate_rejects_missing_or_non_positive_diagonals() {
+        let missing = CsrMatrix::from_raw(2, 2, vec![0, 1, 2], vec![0, 0], vec![1.0, 1.0]).unwrap();
+        assert!(matches!(
+            missing.validate(),
+            Err(MatrixError::SingularDiagonal { row: 1 })
+        ));
+        let mut neg = CsrMatrix::identity(2);
+        neg.values_mut()[0] = -1.0;
+        assert!(matches!(
+            neg.validate(),
+            Err(MatrixError::InvalidParameter(_))
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_malformed_unchecked_structure() {
+        let bad = CsrMatrix::from_raw_unchecked(1, 3, vec![0, 2], vec![2, 0], vec![1.0, 1.0]);
+        assert!(matches!(
+            bad.validate(),
+            Err(MatrixError::InvalidStructure(_))
+        ));
+        let oob = CsrMatrix::from_raw_unchecked(1, 1, vec![0, 1], vec![5], vec![1.0]);
+        assert!(matches!(
+            oob.validate(),
+            Err(MatrixError::IndexOutOfBounds { .. })
+        ));
+    }
 
     fn sample() -> CsrMatrix {
         // [ 2 0 1 ]

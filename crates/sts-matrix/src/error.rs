@@ -56,6 +56,40 @@ pub enum MatrixError {
         /// The offending pivot value (`≤ 0`).
         pivot: f64,
     },
+    /// A worker thread panicked inside a parallel kernel. The dispatch was
+    /// quiesced (no iteration is still running) but output buffers written by
+    /// the failed kernel must be considered torn.
+    WorkerPanicked {
+        /// Pool slot (worker index) whose body panicked.
+        slot: usize,
+        /// Pack / stage (or loop index) in flight when the panic fired.
+        pack: usize,
+        /// The panic payload, stringified when possible.
+        message: String,
+    },
+    /// A parallel solve exceeded its watchdog deadline: a worker stalled (or
+    /// died without unwinding) and an epoch-gate arrival never came.
+    SolveTimeout {
+        /// Stage (pack) whose gate wait timed out.
+        stage: usize,
+        /// The watchdog budget that was exceeded, in milliseconds.
+        timeout_ms: u64,
+    },
+    /// A matrix entry is NaN or infinite.
+    NonFinite {
+        /// Row of the offending entry.
+        row: usize,
+        /// Column of the offending entry.
+        col: usize,
+        /// The offending value.
+        value: f64,
+    },
+    /// The iterative solver's residual recurrence produced a non-finite norm
+    /// (iteration 0 is the initial residual, i.e. the right-hand side).
+    NonFiniteResidual {
+        /// Iteration at which the residual norm stopped being finite.
+        iteration: usize,
+    },
 }
 
 impl fmt::Display for MatrixError {
@@ -87,6 +121,27 @@ impl fmt::Display for MatrixError {
             MatrixError::FactorizationBreakdown { row, pivot } => write!(
                 f,
                 "factorization breakdown at row {row}: pivot {pivot} is not positive"
+            ),
+            MatrixError::WorkerPanicked {
+                slot,
+                pack,
+                message,
+            } => write!(
+                f,
+                "worker {slot} panicked while executing pack {pack}: {message}"
+            ),
+            MatrixError::SolveTimeout { stage, timeout_ms } => write!(
+                f,
+                "parallel solve timed out at stage {stage}: a worker stalled past the \
+                 {timeout_ms} ms watchdog deadline"
+            ),
+            MatrixError::NonFinite { row, col, value } => {
+                write!(f, "entry ({row}, {col}) has non-finite value {value}")
+            }
+            MatrixError::NonFiniteResidual { iteration } => write!(
+                f,
+                "residual norm is not finite at iteration {iteration} \
+                 (iteration 0 is the initial residual)"
             ),
         }
     }

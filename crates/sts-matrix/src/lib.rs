@@ -21,6 +21,8 @@
 //! The crate is deliberately free of any threading or NUMA concerns; those
 //! live in `sts-numa` and `sts-core`.
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod coo;
 pub mod csr;
 pub mod dense;

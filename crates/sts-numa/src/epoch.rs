@@ -51,8 +51,30 @@
 //! assert each round's flags belong to the round's own generation. The
 //! exclusivity requirement is enforced by the borrow checker, not by the
 //! protocol: hand the gate back to workers only after `reset` returns.
+//!
+//! # Poisoning and watchdog deadlines
+//!
+//! The monotone protocol has one failure mode: an arrival that never comes.
+//! A worker that panics (its body is caught by the pool) or stalls leaves its
+//! stage's counters above zero, and every peer blocked in [`EpochGate::wait_open`]
+//! would spin forever. Two escape hatches close that hole:
+//!
+//! * **Poisoning** — [`EpochGate::poison`] raises a flag checked by the
+//!   bounded waits; a worker that catches a peer's failure (or observes its
+//!   own) poisons the gate, and every subsequent
+//!   [`EpochGate::wait_open_until`] / [`EpochGate::wait_phase1_drained_until`]
+//!   returns [`GateWait::Poisoned`] promptly. The poisoned flag never blocks
+//!   arrivals, so already-running workers drain normally.
+//! * **Deadlines** — the bounded waits take an absolute [`Instant`] deadline
+//!   (the solve-level watchdog) and return [`GateWait::TimedOut`] once it
+//!   passes, converting a silent hang behind a stalled worker into a
+//!   structured timeout the orchestrator can surface.
+//!
+//! [`EpochGate::reset`] clears the poison along with the counters, so a
+//! poisoned solve does not condemn the structure it ran on.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::time::Instant;
 
 /// Spins briefly, then yields: the workers may be oversubscribed (more
 /// workers than cores, e.g. the single-core CI host), so unbounded spinning
@@ -65,6 +87,19 @@ fn relax(spins: &mut u32) {
     } else {
         std::thread::yield_now();
     }
+}
+
+/// Outcome of a bounded gate wait ([`EpochGate::wait_open_until`],
+/// [`EpochGate::wait_phase1_drained_until`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GateWait {
+    /// The awaited condition (epoch coverage or phase-1 drain) was met.
+    Ready,
+    /// The gate was poisoned while waiting: a peer worker failed and the
+    /// awaited arrivals may never come.
+    Poisoned,
+    /// The deadline passed before the condition was met.
+    TimedOut,
 }
 
 /// Per-stage completion counters with a monotone "stages done" epoch; see
@@ -84,6 +119,9 @@ pub struct EpochGate {
     /// only changes under `&mut self`; readers are synchronised by whatever
     /// handed them the gate.
     generation: usize,
+    /// Raised when a participant failed and outstanding arrivals may never
+    /// come; cleared by [`EpochGate::reset`].
+    poisoned: AtomicBool,
 }
 
 impl EpochGate {
@@ -99,6 +137,7 @@ impl EpochGate {
                 .collect(),
             counts: counts.into(),
             generation: 0,
+            poisoned: AtomicBool::new(false),
         };
         // Leading zero-arrival stages are complete before anyone arrives.
         gate.try_advance();
@@ -123,9 +162,23 @@ impl EpochGate {
             *self.total_remaining[s].get_mut() = p1 + p2;
         }
         *self.epoch.get_mut() = 0;
+        *self.poisoned.get_mut() = false;
         self.generation += 1;
         // Leading zero-arrival stages complete implicitly, as at construction.
         self.try_advance();
+    }
+
+    /// Marks the gate as poisoned: a participant failed and arrivals it owed
+    /// may never come. Bounded waits return [`GateWait::Poisoned`] promptly
+    /// afterwards. Idempotent; cleared by [`EpochGate::reset`].
+    pub fn poison(&self) {
+        self.poisoned.store(true, Ordering::Release);
+    }
+
+    /// Whether the gate has been poisoned this generation.
+    #[inline]
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::Acquire)
     }
 
     /// The number of completed [`EpochGate::reset`] calls: solve `g` runs
@@ -160,6 +213,28 @@ impl EpochGate {
         }
     }
 
+    /// Blocks until stages `0..deps` are all done, the gate is poisoned, or
+    /// `deadline` passes — whichever happens first. The deadline is sampled
+    /// every 64 spins, so a timeout is reported within a bounded number of
+    /// yields of its expiry.
+    pub fn wait_open_until(&self, deps: usize, deadline: Instant) -> GateWait {
+        let mut spins = 0u32;
+        loop {
+            if self.is_open(deps) {
+                return GateWait::Ready;
+            }
+            if self.is_poisoned() {
+                return GateWait::Poisoned;
+            }
+            // Sample the clock only once the wait is already in yield
+            // territory, so briefly-closed gates never pay for `Instant`.
+            if spins >= 64 && spins.is_multiple_of(64) && Instant::now() >= deadline {
+                return GateWait::TimedOut;
+            }
+            relax(&mut spins);
+        }
+    }
+
     /// Whether every phase-1 arrival of `stage` has been reported. `true`
     /// happens-after every write those arrivals published.
     #[inline]
@@ -171,6 +246,26 @@ impl EpochGate {
     pub fn wait_phase1_drained(&self, stage: usize) {
         let mut spins = 0u32;
         while !self.phase1_drained(stage) {
+            relax(&mut spins);
+        }
+    }
+
+    /// Blocks until every phase-1 arrival of `stage` has been reported, the
+    /// gate is poisoned, or `deadline` passes — whichever happens first.
+    pub fn wait_phase1_drained_until(&self, stage: usize, deadline: Instant) -> GateWait {
+        let mut spins = 0u32;
+        loop {
+            if self.phase1_drained(stage) {
+                return GateWait::Ready;
+            }
+            if self.is_poisoned() {
+                return GateWait::Poisoned;
+            }
+            // Sample the clock only once the wait is already in yield
+            // territory, so briefly-closed gates never pay for `Instant`.
+            if spins >= 64 && spins.is_multiple_of(64) && Instant::now() >= deadline {
+                return GateWait::TimedOut;
+            }
             relax(&mut spins);
         }
     }
@@ -424,6 +519,43 @@ mod tests {
             assert_eq!(gate.epoch(), stages, "round {round} did not drain");
         }
         assert_eq!(gate.generation(), rounds - 1);
+    }
+
+    #[test]
+    fn poisoned_gate_unblocks_bounded_waits_immediately() {
+        let gate = EpochGate::new(&[(1, 0)]);
+        gate.poison();
+        let far = Instant::now() + std::time::Duration::from_secs(60);
+        assert_eq!(gate.wait_open_until(1, far), GateWait::Poisoned);
+        assert_eq!(gate.wait_phase1_drained_until(0, far), GateWait::Poisoned);
+        // Arrivals are still accepted while poisoned, and a satisfied
+        // condition wins over the poison flag.
+        gate.arrive_phase1(0);
+        assert_eq!(gate.wait_open_until(1, far), GateWait::Ready);
+    }
+
+    #[test]
+    fn bounded_wait_times_out_on_a_missing_arrival() {
+        let gate = EpochGate::new(&[(1, 0)]);
+        let deadline = Instant::now() + std::time::Duration::from_millis(20);
+        let start = Instant::now();
+        assert_eq!(gate.wait_open_until(1, deadline), GateWait::TimedOut);
+        assert!(
+            start.elapsed() < std::time::Duration::from_secs(5),
+            "timeout must be reported promptly"
+        );
+    }
+
+    #[test]
+    fn reset_clears_the_poison() {
+        let mut gate = EpochGate::new(&[(1, 0)]);
+        gate.poison();
+        assert!(gate.is_poisoned());
+        gate.reset();
+        assert!(!gate.is_poisoned());
+        let far = Instant::now() + std::time::Duration::from_secs(60);
+        gate.arrive_phase1(0);
+        assert_eq!(gate.wait_open_until(1, far), GateWait::Ready);
     }
 
     #[test]

@@ -18,7 +18,13 @@
 //!   of the split solver into per-stage completion flags, enabling pack
 //!   pipelining (phase 1 of pack `p+1` overlapping phase 2 of pack `p`);
 //! * [`pool`] — a persistent, optionally pinned worker pool with the static /
-//!   dynamic / guided loop schedules the paper tunes per solver.
+//!   dynamic / guided loop schedules the paper tunes per solver. Loop bodies
+//!   run under `catch_unwind`, so a panicking body surfaces as a structured
+//!   [`PoolError`] instead of deadlocking the completion barrier, and the
+//!   epoch gate carries poisoning plus watchdog deadlines so workers blocked
+//!   on a failed peer bail out in bounded time.
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod affinity;
 pub mod barrier;
@@ -28,7 +34,7 @@ pub mod pool;
 pub mod topology;
 
 pub use barrier::SpinBarrier;
-pub use epoch::EpochGate;
+pub use epoch::{EpochGate, GateWait};
 pub use latency::{AccessKind, LatencyModel};
-pub use pool::{Schedule, WorkerPool};
+pub use pool::{PoolError, Schedule, WorkerPool};
 pub use topology::{NumaDistance, NumaTopology};

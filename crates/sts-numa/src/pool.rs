@@ -13,8 +13,45 @@
 //! * [`WorkerPool::parallel_for`] supports [`Schedule::Static`] blocks,
 //!   [`Schedule::Dynamic`] chunk self-scheduling and [`Schedule::Guided`]
 //!   decreasing chunks, matching the OpenMP schedules the paper tunes.
+//!
+//! # Panic safety
+//!
+//! A loop body that panics must not take the pool down with it. The hazard is
+//! structural: `parallel_for` blocks until every worker has decremented
+//! `active`, and a panic that unwound through a worker's dispatch path would
+//! skip that decrement, leaving the caller (and every later caller) blocked
+//! forever on the completion condvar.
+//!
+//! The correctness argument for the recovery path:
+//!
+//! 1. Every execution of the borrowed loop body — on a worker thread *and* on
+//!    the single-thread inline path — runs inside
+//!    `catch_unwind(AssertUnwindSafe(..))`. `AssertUnwindSafe` is justified
+//!    because a dispatch that observed a panic always returns
+//!    [`PoolError::WorkerPanicked`], so the caller is told its shared state
+//!    may be torn and must not trust buffers written by this dispatch.
+//! 2. After catching, the worker takes the state lock, records the *first*
+//!    panic payload (slot, in-flight index, stringified message), raises the
+//!    per-dispatch `cancelled` flag, and **then** performs the same
+//!    `active -= 1` bookkeeping as the success path. The decrement is
+//!    therefore unconditional, so the completion barrier always opens.
+//! 3. `cancelled` is checked by every schedule before each claimed index, so
+//!    surviving workers drain the remaining iteration space in bounded time
+//!    (at most one loop body each) instead of computing garbage against torn
+//!    state.
+//! 4. `parallel_for` takes the recorded payload out of the shared state after
+//!    the barrier, returning `Err(WorkerPanicked)`. Because the record is
+//!    *taken* and `cancelled` is re-armed at the next dispatch, the pool
+//!    itself stays healthy: the panicking generation is fully quiesced before
+//!    `parallel_for` returns, and subsequent dispatches run normally.
+//!
+//! Higher layers (the pipelined solvers' epoch gates) add their own poisoning
+//! on top so that workers *blocked on a gate* — rather than claiming indices —
+//! also observe the failure; see `sts_numa::epoch`.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::cell::Cell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use parking_lot::{Condvar, Mutex};
@@ -40,6 +77,52 @@ pub enum Schedule {
     },
 }
 
+/// Structured failure of a [`WorkerPool::parallel_for`] dispatch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PoolError {
+    /// A worker's loop body panicked. The dispatch still completed its
+    /// barrier (no iteration is left running), but output buffers written by
+    /// the loop body must be considered torn.
+    WorkerPanicked {
+        /// Pool slot (worker index) whose body panicked; for the inline
+        /// single-thread path this is 0.
+        slot: usize,
+        /// Loop index in flight when the panic fired. For the per-pack and
+        /// per-chunk dispatches of the solvers this is the pack / task index.
+        pack: usize,
+        /// The panic payload, stringified when it was a `&str` or `String`.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for PoolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PoolError::WorkerPanicked {
+                slot,
+                pack,
+                message,
+            } => write!(
+                f,
+                "worker {slot} panicked while executing loop index {pack}: {message}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PoolError {}
+
+/// Stringifies a caught panic payload for error reporting.
+fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 /// A type-erased borrow of the loop body, valid only while its generation is
 /// in flight. `parallel_for` blocks until every worker has finished, which is
 /// what makes storing the raw pointer sound.
@@ -59,6 +142,8 @@ struct State {
     generation: u64,
     active: usize,
     shutdown: bool,
+    /// First panic observed in the in-flight generation: (slot, index, msg).
+    panic: Option<(usize, usize, String)>,
 }
 
 struct Shared {
@@ -66,6 +151,9 @@ struct Shared {
     work_cv: Condvar,
     done_cv: Condvar,
     next: AtomicUsize,
+    /// Raised when a worker panics so the surviving workers stop claiming
+    /// iterations; re-armed (cleared) at every dispatch.
+    cancelled: AtomicBool,
 }
 
 /// A persistent pool of worker threads executing parallel loops.
@@ -92,15 +180,21 @@ impl WorkerPool {
                 generation: 0,
                 active: 0,
                 shutdown: false,
+                panic: None,
             }),
             work_cv: Condvar::new(),
             done_cv: Condvar::new(),
             next: AtomicUsize::new(0),
+            cancelled: AtomicBool::new(false),
         });
         let mut handles = Vec::with_capacity(threads);
         for worker_id in 0..threads {
             let shared = Arc::clone(&shared);
             let pin_core = core_order.get(worker_id).copied();
+            // Spawn failure is a resource-exhaustion condition at pool
+            // construction, before any solve is in flight; aborting is the
+            // only sane response.
+            #[allow(clippy::expect_used)]
             let handle = std::thread::Builder::new()
                 .name(format!("sts-worker-{worker_id}"))
                 .spawn(move || {
@@ -129,20 +223,46 @@ impl WorkerPool {
     ///
     /// With a single worker (or `len == 0`) the loop runs inline on the caller
     /// to avoid synchronisation overhead.
-    pub fn parallel_for(&self, len: usize, schedule: Schedule, f: &(dyn Fn(usize) + Sync)) {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PoolError::WorkerPanicked`] when any execution of `f`
+    /// panicked. The call still blocks until every worker has quiesced (the
+    /// remaining workers stop claiming indices once the panic is observed),
+    /// so the borrow of `f` never escapes and the pool remains usable for
+    /// subsequent dispatches. Buffers written by `f` must be treated as torn.
+    pub fn parallel_for(
+        &self,
+        len: usize,
+        schedule: Schedule,
+        f: &(dyn Fn(usize) + Sync),
+    ) -> Result<(), PoolError> {
         if len == 0 {
-            return;
+            return Ok(());
         }
         if self.threads == 1 {
-            for i in 0..len {
-                f(i);
-            }
-            return;
+            let current = Cell::new(0usize);
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                for i in 0..len {
+                    current.set(i);
+                    f(i);
+                }
+            }));
+            return match result {
+                Ok(()) => Ok(()),
+                Err(payload) => Err(PoolError::WorkerPanicked {
+                    slot: 0,
+                    pack: current.get(),
+                    message: payload_message(payload.as_ref()),
+                }),
+            };
         }
         self.shared.next.store(0, Ordering::Relaxed);
+        self.shared.cancelled.store(false, Ordering::Relaxed);
         {
             let mut st = self.shared.state.lock();
             debug_assert!(st.job.is_none(), "parallel_for is not reentrant");
+            st.panic = None;
             // SAFETY: this only erases the lifetime of `f`; the pointer is
             // dereferenced exclusively while this call keeps `f` alive (we do
             // not return until every worker has finished the generation).
@@ -163,6 +283,14 @@ impl WorkerPool {
             self.shared.done_cv.wait(&mut st);
         }
         st.job = None;
+        match st.panic.take() {
+            None => Ok(()),
+            Some((slot, pack, message)) => Err(PoolError::WorkerPanicked {
+                slot,
+                pack,
+                message,
+            }),
+        }
     }
 }
 
@@ -191,6 +319,10 @@ fn worker_loop(shared: &Shared, worker_id: usize, threads: usize) {
                 return;
             }
             last_generation = st.generation;
+            // The dispatching thread installs the job before bumping the
+            // generation under the same lock, so a newer generation implies a
+            // present job.
+            #[allow(clippy::expect_used)]
             let job = st
                 .job
                 .as_ref()
@@ -200,8 +332,29 @@ fn worker_loop(shared: &Shared, worker_id: usize, threads: usize) {
         // SAFETY: see the `Job` safety comment — the referent outlives this
         // use because `parallel_for` waits for `active == 0`.
         let f = unsafe { &*func };
-        run_chunks(f, len, schedule, worker_id, threads, &shared.next);
+        let current = Cell::new(0usize);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            run_chunks(
+                f,
+                len,
+                schedule,
+                worker_id,
+                threads,
+                &shared.next,
+                &shared.cancelled,
+                &current,
+            );
+        }));
         let mut st = shared.state.lock();
+        if let Err(payload) = result {
+            // Stop the other workers promptly, record only the first payload.
+            shared.cancelled.store(true, Ordering::Relaxed);
+            if st.panic.is_none() {
+                st.panic = Some((worker_id, current.get(), payload_message(payload.as_ref())));
+            }
+        }
+        // Unconditional: this is the decrement whose absence used to deadlock
+        // the completion barrier on a panic.
         st.active -= 1;
         if st.active == 0 {
             shared.done_cv.notify_all();
@@ -209,6 +362,7 @@ fn worker_loop(shared: &Shared, worker_id: usize, threads: usize) {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_chunks(
     f: &(dyn Fn(usize) + Sync),
     len: usize,
@@ -216,23 +370,36 @@ fn run_chunks(
     worker_id: usize,
     threads: usize,
     next: &AtomicUsize,
+    cancelled: &AtomicBool,
+    current: &Cell<usize>,
 ) {
     match schedule {
         Schedule::Static => {
             let start = worker_id * len / threads;
             let end = (worker_id + 1) * len / threads;
             for i in start..end {
+                if cancelled.load(Ordering::Relaxed) {
+                    return;
+                }
+                current.set(i);
                 f(i);
             }
         }
         Schedule::Dynamic { chunk } => {
             let chunk = chunk.max(1);
             loop {
+                if cancelled.load(Ordering::Relaxed) {
+                    return;
+                }
                 let start = next.fetch_add(chunk, Ordering::Relaxed);
                 if start >= len {
                     break;
                 }
                 for i in start..(start + chunk).min(len) {
+                    if cancelled.load(Ordering::Relaxed) {
+                        return;
+                    }
+                    current.set(i);
                     f(i);
                 }
             }
@@ -240,6 +407,9 @@ fn run_chunks(
         Schedule::Guided { min_chunk } => {
             let min_chunk = min_chunk.max(1);
             loop {
+                if cancelled.load(Ordering::Relaxed) {
+                    return;
+                }
                 let observed = next.load(Ordering::Relaxed);
                 if observed >= len {
                     break;
@@ -251,6 +421,10 @@ fn run_chunks(
                     break;
                 }
                 for i in start..(start + chunk).min(len) {
+                    if cancelled.load(Ordering::Relaxed) {
+                        return;
+                    }
+                    current.set(i);
                     f(i);
                 }
             }
@@ -268,7 +442,8 @@ mod tests {
         let visited: Vec<AtomicUsize> = (0..len).map(|_| AtomicUsize::new(0)).collect();
         pool.parallel_for(len, schedule, &|i| {
             visited[i].fetch_add(1, Ordering::SeqCst);
-        });
+        })
+        .unwrap();
         for (i, v) in visited.iter().enumerate() {
             assert_eq!(
                 v.load(Ordering::SeqCst),
@@ -306,7 +481,8 @@ mod tests {
         let called = AtomicBool::new(false);
         pool.parallel_for(0, Schedule::Static, &|_| {
             called.store(true, Ordering::SeqCst);
-        });
+        })
+        .unwrap();
         assert!(!called.load(Ordering::SeqCst));
     }
 
@@ -317,7 +493,8 @@ mod tests {
         for round in 0..50 {
             pool.parallel_for(round + 1, Schedule::Guided { min_chunk: 1 }, &|i| {
                 total.fetch_add(i + 1, Ordering::SeqCst);
-            });
+            })
+            .unwrap();
         }
         // Sum over rounds of (1 + 2 + ... + (round+1)).
         let expected: usize = (1..=50).map(|r| r * (r + 1) / 2).sum();
@@ -330,7 +507,8 @@ mod tests {
         let sum = AtomicUsize::new(0);
         pool.parallel_for(10_000, Schedule::Dynamic { chunk: 64 }, &|i| {
             sum.fetch_add(i, Ordering::Relaxed);
-        });
+        })
+        .unwrap();
         assert_eq!(sum.load(Ordering::SeqCst), 10_000 * 9_999 / 2);
     }
 
@@ -343,7 +521,8 @@ mod tests {
         let out: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
         pool.parallel_for(n, Schedule::Static, &|i| {
             out[i].store(i * i, Ordering::Relaxed);
-        });
+        })
+        .unwrap();
         for (i, v) in out.iter().enumerate() {
             assert_eq!(v.load(Ordering::Relaxed), i * i);
         }
@@ -355,7 +534,57 @@ mod tests {
         let count = AtomicUsize::new(0);
         pool.parallel_for(10, Schedule::Static, &|_| {
             count.fetch_add(1, Ordering::SeqCst);
-        });
+        })
+        .unwrap();
         assert_eq!(count.load(Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    fn panicking_body_returns_structured_error_instead_of_hanging() {
+        for threads in [1, 2, 4, 8] {
+            let pool = WorkerPool::new(threads);
+            let err = pool
+                .parallel_for(64, Schedule::Dynamic { chunk: 1 }, &|i| {
+                    if i == 17 {
+                        panic!("injected fault at index 17");
+                    }
+                })
+                .unwrap_err();
+            match err {
+                PoolError::WorkerPanicked {
+                    slot,
+                    pack,
+                    message,
+                } => {
+                    assert!(slot < threads, "slot {slot} out of range");
+                    assert_eq!(pack, 17);
+                    assert!(message.contains("injected fault"), "message: {message}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pool_survives_a_panic_and_runs_the_next_dispatch() {
+        let pool = WorkerPool::new(4);
+        assert!(pool
+            .parallel_for(32, Schedule::Static, &|_| panic!("boom"))
+            .is_err());
+        let count = AtomicUsize::new(0);
+        pool.parallel_for(100, Schedule::Guided { min_chunk: 1 }, &|_| {
+            count.fetch_add(1, Ordering::SeqCst);
+        })
+        .unwrap();
+        assert_eq!(count.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn only_the_first_panic_payload_is_reported() {
+        let pool = WorkerPool::new(4);
+        let err = pool
+            .parallel_for(4, Schedule::Static, &|i| panic!("fault in index {i}"))
+            .unwrap_err();
+        let PoolError::WorkerPanicked { message, .. } = err;
+        assert!(message.starts_with("fault in index"), "message: {message}");
     }
 }

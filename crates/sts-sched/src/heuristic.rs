@@ -49,8 +49,8 @@ pub fn dynamic_greedy_schedule(
     let mut free_at = vec![0.0f64; q];
     for (t, slot) in assignment.iter_mut().enumerate() {
         let p = (0..q)
-            .min_by(|&a, &b| free_at[a].partial_cmp(&free_at[b]).expect("finite times"))
-            .expect("q >= 1");
+            .min_by(|&a, &b| free_at[a].total_cmp(&free_at[b]))
+            .unwrap_or(0);
         *slot = p;
         free_at[p] += task_time(t).max(0.0);
     }

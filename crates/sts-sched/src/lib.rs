@@ -22,6 +22,8 @@
 //!   NP-completeness proof (Figure 4), used in tests and the
 //!   `fig_inpack_model` harness.
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod cost;
 pub mod dar;
 pub mod exact;

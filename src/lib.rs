@@ -187,6 +187,62 @@
 //! let seq = Ic0::new_sequential(&sys, pcg.solver(), SweepEngine::Sequential).unwrap();
 //! assert_eq!(seq.factor_values(), ic0.factor_values());
 //! ```
+//!
+//! # Error handling & graceful degradation
+//!
+//! Every failure mode of the solve path surfaces as a structured
+//! [`matrix::MatrixError`] — never a hang, never a NaN in a returned
+//! iterate:
+//!
+//! * **Input validation.** [`matrix::CsrMatrix::validate`] (in-bounds sorted
+//!   columns, a present positive diagonal, finite values) runs at
+//!   [`krylov::SpdSystem::build`], so a NaN or structurally broken operand
+//!   is rejected at the boundary with the offending `(row, col, value)`
+//!   named — before any kernel touches it. A non-finite right-hand side or
+//!   a NaN emitted mid-recurrence trips the residual guard instead,
+//!   reported as `NonFiniteResidual { iteration }`.
+//! * **Worker panics.** Pool job bodies run under `catch_unwind`; a panic
+//!   poisons only the current dispatch, and `parallel_for`, the pipelined
+//!   solves and the parallel IC(0) setup return
+//!   `WorkerPanicked { slot, pack, message }` with the first payload. The
+//!   pool and any [`core::PipelinePlan`] stay usable — the epoch gate is
+//!   rewound per solve, so the next call runs clean.
+//! * **Worker stalls.** Cross-worker gate waits carry a watchdog deadline
+//!   ([`core::ParallelSolver::set_watchdog`]); a worker that stops making
+//!   progress converts its peers' waits into
+//!   `SolveTimeout { stage, timeout_ms }` instead of a livelock. A lone
+//!   worker has no peer to starve, so a stall there is just a slow success.
+//! * **Preconditioner breakdown.** IC(0) on an SPD-but-not-M matrix can hit
+//!   a non-positive pivot (`FactorizationBreakdown { row, pivot }`, bitwise
+//!   identical between the sequential and level-scheduled engines).
+//!   [`krylov::RobustPcg`] wraps [`krylov::Pcg`] in a recovery ladder: it
+//!   retries with the Manteuffel-shifted `IC(0)(A + α·diag(A))` under the
+//!   escalating shifts of [`krylov::RecoveryPolicy`], then degrades to SSOR
+//!   and finally to unpreconditioned CG, and reports every abandoned rung in
+//!   a [`krylov::RecoveryReport`] (attempts, shifts tried, the surviving
+//!   preconditioner, extra iterations paid).
+//!
+//! ```
+//! use sts_k::core::Method;
+//! use sts_k::krylov::{KrylovWorkspace, Pcg, RobustPcg, SpdSystem};
+//! use sts_k::matrix::generators;
+//! use sts_k::numa::Schedule;
+//!
+//! let a = generators::grid2d_laplacian(24, 24).unwrap();
+//! let sys = SpdSystem::build(&a, Method::Sts3, 40).unwrap();
+//! let robust = RobustPcg::new(Pcg::new(4, Schedule::Guided { min_chunk: 1 }));
+//! let mut ws = KrylovWorkspace::new(sys.n());
+//! let out = robust.solve(&sys, &vec![1.0; sys.n()], &mut ws).unwrap();
+//! // A clean operator never pays for the ladder: no attempts recorded.
+//! assert!(out.outcome.converged && out.report.attempts.is_empty());
+//! ```
+//!
+//! The deterministic fault-injection helpers behind the chaos suite
+//! (`tests/fault_injection.rs`) live in `sts-bench`'s `faultinject` module:
+//! seeded SPD-breaking perturbations, NaN poisoning, and chaos hooks that
+//! panic or stall a chosen worker at a chosen pack.
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub use sts_core as core;
 pub use sts_graph as graph;

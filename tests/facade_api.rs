@@ -43,7 +43,8 @@ fn facade_exposes_every_substrate() {
     let counter = std::sync::atomic::AtomicUsize::new(0);
     pool.parallel_for(10, Schedule::Static, &|_| {
         counter.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
-    });
+    })
+    .unwrap();
     assert_eq!(counter.load(std::sync::atomic::Ordering::SeqCst), 10);
 
     // sched

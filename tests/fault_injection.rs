@@ -1,0 +1,441 @@
+//! Chaos suite: every injected fault must yield a structured error or a
+//! successful recovery — never a hang, never a NaN result — within a
+//! bounded wall-clock budget, at every thread count.
+//!
+//! The faults come from `sts_bench::faultinject` (deterministic, seeded):
+//! worker panics at a chosen pack, worker stalls, NaN values, and
+//! SPD-breaking perturbations (both the validation-clean tiny-diagonal kind
+//! and the genuinely-SPD Kershaw 4-cycle that only the shifted-IC(0)
+//! recovery rungs can handle).
+
+use std::sync::atomic::{AtomicUsize, Ordering as AtomicOrdering};
+use std::time::{Duration, Instant};
+
+use sts_bench::faultinject;
+use sts_k::core::{ChaosHook, Method, ParallelSolver};
+use sts_k::krylov::{Ic0, KrylovWorkspace, Pcg, Preconditioner, RobustPcg, SpdSystem, SweepEngine};
+use sts_k::matrix::{factor, generators, ops, MatrixError};
+use sts_k::numa::{PoolError, Schedule, WorkerPool};
+
+/// Every chaos scenario must resolve inside this budget — generous enough
+/// for a debug-profile CI host, far below "hung".
+const BUDGET: Duration = Duration::from_secs(30);
+
+/// The worker counts each scenario runs under, plus the CI matrix leg.
+fn thread_counts() -> Vec<usize> {
+    let mut counts = vec![1usize, 2, 4, 8];
+    if let Ok(raw) = std::env::var("STS_TEST_THREADS") {
+        if let Ok(extra) = raw.trim().parse::<usize>() {
+            if extra > 0 && !counts.contains(&extra) {
+                counts.push(extra);
+            }
+        }
+    }
+    counts
+}
+
+/// Runs `f` and asserts it finished inside the chaos budget.
+fn within_budget<T>(label: &str, f: impl FnOnce() -> T) -> T {
+    let start = Instant::now();
+    let out = f();
+    let elapsed = start.elapsed();
+    assert!(
+        elapsed < BUDGET,
+        "{label} took {elapsed:?}, over the {BUDGET:?} chaos budget"
+    );
+    out
+}
+
+#[test]
+fn pool_panic_is_a_structured_error_and_the_pool_survives() {
+    for threads in thread_counts() {
+        within_budget("pool panic", || {
+            let pool = WorkerPool::new(threads);
+            let err = pool
+                .parallel_for(64, Schedule::Dynamic { chunk: 1 }, &|i| {
+                    if i == 17 {
+                        panic!("injected fault: body died at index {i}");
+                    }
+                })
+                .expect_err("a panicking body must surface an error");
+            let PoolError::WorkerPanicked {
+                slot,
+                pack,
+                message,
+            } = err;
+            assert!(
+                slot < threads,
+                "slot {slot} out of range at {threads} threads"
+            );
+            assert_eq!(pack, 17);
+            assert!(message.contains("injected fault"));
+            // Poisoning is per-dispatch: the same pool runs the next job.
+            let hits = AtomicUsize::new(0);
+            pool.parallel_for(32, Schedule::Static, &|_| {
+                hits.fetch_add(1, AtomicOrdering::Relaxed);
+            })
+            .expect("the pool must survive a panicked dispatch");
+            assert_eq!(hits.into_inner(), 32);
+        });
+    }
+}
+
+#[test]
+fn pipelined_solve_panic_poisons_and_recovers() {
+    let a = generators::grid2d_laplacian(24, 24).unwrap();
+    let l = generators::lower_operand(&a).unwrap();
+    let s = Method::Sts3.build(&l, 16).unwrap();
+    let b = vec![1.0; s.n()];
+    let reference = s.solve_sequential(&b).unwrap();
+    for threads in thread_counts() {
+        within_budget("pipelined panic", || {
+            let mut solver = ParallelSolver::new(threads, Schedule::Guided { min_chunk: 1 });
+            solver.set_chaos_hook(Some(faultinject::panic_hook(0)));
+            let err = solver
+                .solve_pipelined(&s, &b)
+                .expect_err("the injected panic must surface");
+            match err {
+                MatrixError::WorkerPanicked {
+                    slot,
+                    pack,
+                    message,
+                } => {
+                    assert!(slot < threads);
+                    assert_eq!(pack, 0, "the panic site is deterministic");
+                    assert!(message.contains("injected fault"));
+                }
+                other => panic!("expected WorkerPanicked, got {other:?}"),
+            }
+            // Clearing the hook restores a fully working solver: the gate
+            // poison is rewound per solve, nothing leaks across dispatches.
+            solver.set_chaos_hook(None);
+            let x = solver.solve_pipelined(&s, &b).expect("solver must recover");
+            assert!(
+                ops::relative_error_inf(&x, &reference) < 1e-12,
+                "post-fault solve diverged at {threads} threads"
+            );
+        });
+    }
+}
+
+#[test]
+fn parallel_ic0_panic_is_a_structured_error() {
+    let a = generators::grid2d_laplacian(20, 20).unwrap();
+    let sys = SpdSystem::build(&a, Method::Sts3, 16).unwrap();
+    let f_ref = factor::ic0(sys.matrix()).unwrap();
+    for threads in thread_counts() {
+        within_budget("ic0 panic", || {
+            let mut solver = ParallelSolver::new(threads, Schedule::Guided { min_chunk: 1 });
+            solver.set_chaos_hook(Some(faultinject::panic_hook(0)));
+            let err = solver
+                .parallel_ic0(sys.structure(), sys.matrix())
+                .expect_err("the injected panic must surface");
+            match err {
+                MatrixError::WorkerPanicked { slot, pack, .. } => {
+                    assert!(slot < threads);
+                    assert_eq!(pack, 0);
+                }
+                other => panic!("expected WorkerPanicked, got {other:?}"),
+            }
+            solver.set_chaos_hook(None);
+            let f = solver
+                .parallel_ic0(sys.structure(), sys.matrix())
+                .expect("setup must recover");
+            assert_eq!(f.values(), f_ref.values(), "post-fault factor is exact");
+        });
+    }
+}
+
+#[test]
+fn stalled_worker_times_out_instead_of_hanging() {
+    // Worker 0 parks inside its stage-0 gather for far longer than the
+    // watchdog budget. With peers present, they hit the deadline waiting on
+    // the drained stage, poison the gate, and the solve reports a timeout
+    // shortly after the stalled worker wakes — bounded by
+    // max(stall, watchdog), never a hang.
+    let a = generators::grid2d_laplacian(24, 24).unwrap();
+    let l = generators::lower_operand(&a).unwrap();
+    let s = Method::Sts3.build(&l, 16).unwrap();
+    let b = vec![1.0; s.n()];
+    let reference = s.solve_sequential(&b).unwrap();
+    for threads in thread_counts().into_iter().filter(|&t| t > 1) {
+        within_budget("stall timeout", || {
+            let mut solver = ParallelSolver::new(threads, Schedule::Guided { min_chunk: 1 });
+            solver.set_watchdog(Duration::from_millis(250));
+            solver.set_chaos_hook(Some(faultinject::stall_hook(
+                0,
+                0,
+                Duration::from_millis(1500),
+            )));
+            let err = solver
+                .solve_pipelined(&s, &b)
+                .expect_err("the stalled solve must time out");
+            match err {
+                MatrixError::SolveTimeout { timeout_ms, .. } => {
+                    assert_eq!(timeout_ms, 250);
+                }
+                other => panic!("expected SolveTimeout, got {other:?}"),
+            }
+            solver.set_chaos_hook(None);
+            let x = solver.solve_pipelined(&s, &b).expect("solver must recover");
+            assert!(
+                ops::relative_error_inf(&x, &reference) < 1e-12,
+                "post-timeout solve diverged at {threads} threads"
+            );
+        });
+    }
+}
+
+#[test]
+fn stalled_single_worker_is_a_slow_success() {
+    // With one worker there is no peer to starve: the stall just makes the
+    // solve slow. Explicitly documented semantics of the watchdog — it
+    // guards cross-worker waits, not total runtime.
+    let a = generators::grid2d_laplacian(16, 16).unwrap();
+    let l = generators::lower_operand(&a).unwrap();
+    let s = Method::Sts3.build(&l, 16).unwrap();
+    let b = vec![1.0; s.n()];
+    within_budget("single-worker stall", || {
+        let mut solver = ParallelSolver::new(1, Schedule::Static);
+        solver.set_watchdog(Duration::from_millis(100));
+        solver.set_chaos_hook(Some(faultinject::stall_hook(
+            0,
+            0,
+            Duration::from_millis(400),
+        )));
+        let x = solver
+            .solve_pipelined(&s, &b)
+            .expect("a stalled lone worker still finishes");
+        assert!(ops::relative_error_inf(&x, &s.solve_sequential(&b).unwrap()) < 1e-12);
+    });
+}
+
+#[test]
+fn nan_matrix_is_rejected_at_the_build_boundary() {
+    within_budget("NaN operand", || {
+        let mut a = generators::grid2d_laplacian(12, 12).unwrap();
+        let sites = faultinject::inject_nan_values(&mut a, 2, 5);
+        let err = SpdSystem::build(&a, Method::Sts3, 8)
+            .expect_err("a NaN operand must be rejected before any kernel runs");
+        match err {
+            MatrixError::NonFinite { row, col, value } => {
+                assert!(
+                    sites.contains(&(row, col)),
+                    "the error must name a poisoned site, got ({row}, {col})"
+                );
+                assert!(value.is_nan());
+            }
+            other => panic!("expected NonFinite, got {other:?}"),
+        }
+    });
+}
+
+#[test]
+fn nan_rhs_is_a_named_residual_error() {
+    let a = generators::grid2d_laplacian(10, 10).unwrap();
+    let sys = SpdSystem::build(&a, Method::Sts3, 8).unwrap();
+    within_budget("NaN rhs", || {
+        let pcg = Pcg::new(2, Schedule::Static);
+        let mut ws = KrylovWorkspace::new(sys.n());
+        let mut b = vec![1.0; sys.n()];
+        b[37] = f64::NAN;
+        let err = pcg
+            .solve(&sys, &mut sts_k::krylov::Identity, &b, &mut ws)
+            .expect_err("a NaN right-hand side must be rejected");
+        assert!(
+            matches!(err, MatrixError::NonFiniteResidual { iteration: 0 }),
+            "expected NonFiniteResidual at iteration 0, got {err:?}"
+        );
+    });
+}
+
+/// A preconditioner that starts returning NaN after a few clean
+/// applications — the mid-iteration poisoning shape.
+struct LatePoison {
+    calls: usize,
+}
+
+impl Preconditioner for LatePoison {
+    fn label(&self) -> &'static str {
+        "late-poison"
+    }
+
+    fn apply_into(
+        &mut self,
+        _solver: &ParallelSolver,
+        r: &[f64],
+        z: &mut [f64],
+        _sweep: &mut [f64],
+    ) -> sts_k::krylov::Result<()> {
+        z.copy_from_slice(r);
+        if self.calls >= 2 {
+            z[0] = f64::NAN;
+        }
+        self.calls += 1;
+        Ok(())
+    }
+}
+
+#[test]
+fn mid_solve_preconditioner_nan_never_reaches_the_iterate() {
+    // A NaN emitted by the preconditioner mid-solve poisons the search
+    // direction, so the very next step trips the alpha breakdown guard: the
+    // solve stops with an honest non-converged outcome whose iterate kept
+    // its last finite value. The NaN must never surface in `x` and the loop
+    // must never spin on NaN until the iteration bound.
+    let a = generators::grid2d_laplacian(10, 10).unwrap();
+    let sys = SpdSystem::build(&a, Method::Sts3, 8).unwrap();
+    within_budget("late poison", || {
+        let pcg = Pcg::new(2, Schedule::Static);
+        let mut ws = KrylovWorkspace::new(sys.n());
+        let x_rough: Vec<f64> = (0..sys.n())
+            .map(|i| ((i * 7919) % 23) as f64 - 11.0)
+            .collect();
+        let b = ops::spmv(&a, &x_rough).unwrap();
+        let mut pre = LatePoison { calls: 0 };
+        let out = pcg
+            .solve(&sys, &mut pre, &b, &mut ws)
+            .expect("the alpha guard degrades gracefully, it does not error");
+        assert!(!out.converged, "the poisoned solve cannot have converged");
+        assert!(
+            out.iterations < pcg.options().max_iterations,
+            "the guard must stop the loop, not run it to the bound"
+        );
+        assert!(
+            out.x.iter().all(|v| v.is_finite()),
+            "the injected NaN leaked into the returned iterate"
+        );
+    });
+}
+
+#[test]
+fn breakdown_error_is_identical_at_every_thread_count() {
+    // The tiny-diagonal poison defeats IC(0) deterministically; sequential
+    // and level-scheduled setup must report the *same* breakdown — same
+    // row, bitwise-same pivot — at every worker count.
+    let mut a = generators::grid2d_laplacian(14, 14).unwrap();
+    faultinject::break_spd_diagonal(&mut a, 9);
+    let sys = SpdSystem::build(&a, Method::Sts3, 8).unwrap();
+    let (row_ref, pivot_ref) = match factor::ic0(sys.matrix()) {
+        Err(MatrixError::FactorizationBreakdown { row, pivot }) => (row, pivot),
+        other => panic!("expected a breakdown, got {other:?}"),
+    };
+    for threads in thread_counts() {
+        within_budget("breakdown parity", || {
+            let solver = ParallelSolver::new(threads, Schedule::Guided { min_chunk: 1 });
+            match solver.parallel_ic0(sys.structure(), sys.matrix()) {
+                Err(MatrixError::FactorizationBreakdown { row, pivot }) => {
+                    assert_eq!(row, row_ref, "breakdown row at {threads} threads");
+                    assert_eq!(
+                        pivot.to_bits(),
+                        pivot_ref.to_bits(),
+                        "breakdown pivot at {threads} threads"
+                    );
+                }
+                other => panic!("expected a breakdown at {threads} threads, got {other:?}"),
+            }
+        });
+    }
+}
+
+#[test]
+fn shifted_ic0_engines_are_bitwise_identical_across_the_ladder() {
+    let a = generators::grid2d_laplacian(16, 16).unwrap();
+    let sys = SpdSystem::build(&a, Method::Sts3, 8).unwrap();
+    for threads in thread_counts() {
+        within_budget("shifted parity", || {
+            let solver = ParallelSolver::new(threads, Schedule::Guided { min_chunk: 1 });
+            for alpha in [1e-3, 1e-1, 1.0] {
+                let seq =
+                    Ic0::new_shifted_sequential(&sys, &solver, SweepEngine::Sequential, alpha)
+                        .unwrap();
+                let par = Ic0::new_shifted_parallel(&sys, &solver, SweepEngine::Sequential, alpha)
+                    .unwrap();
+                assert_eq!(
+                    seq.factor_values(),
+                    par.factor_values(),
+                    "shifted (α = {alpha}) factors diverged at {threads} threads"
+                );
+                assert_eq!(seq.shift(), alpha);
+                assert_eq!(seq.label(), "ic0-shifted");
+            }
+        });
+    }
+}
+
+#[test]
+fn recovery_ladder_restores_convergence_on_the_kershaw_operator() {
+    // The acceptance scenario: the Kershaw-perturbed 200×200 grid Laplacian
+    // is SPD but defeats unshifted IC(0); the ladder must climb to a
+    // working shift and converge, with the descent fully reported.
+    let a = generators::grid2d_laplacian(200, 200).unwrap();
+    let (k, _) = faultinject::kershaw_cycle(&a, 200, 200, 7);
+    let sys = SpdSystem::build(&k, Method::Sts3, 80).expect("the perturbed operator stays SPD");
+    within_budget("recovery ladder", || {
+        let robust = RobustPcg::new(Pcg::new(4, Schedule::Guided { min_chunk: 1 }));
+        let mut ws = KrylovWorkspace::new(sys.n());
+        let b = vec![1.0; sys.n()];
+        let out = robust.solve(&sys, &b, &mut ws).expect("the ladder holds");
+        assert!(out.outcome.converged, "recovery must restore convergence");
+        assert!(out.outcome.x.iter().all(|v| v.is_finite()));
+        assert!(out.report.degraded);
+        assert!(
+            out.report.attempts.len() >= 2,
+            "the unshifted rung and at least one shift must have failed"
+        );
+        assert!(
+            out.report
+                .attempts
+                .iter()
+                .all(|at| matches!(at.error, MatrixError::FactorizationBreakdown { .. })),
+            "every abandoned rung broke down at setup"
+        );
+        assert!(
+            out.report.final_preconditioner == "ic0-shifted"
+                || out.report.final_preconditioner == "ssor",
+            "the ladder must not fall through to plain CG on an SPD operand"
+        );
+    });
+}
+
+#[test]
+fn chaos_hooks_compose_with_the_krylov_driver() {
+    // End-to-end: a panic injected under a full PCG solve surfaces as the
+    // same structured error through every layer, and the driver is usable
+    // again after the hook is cleared.
+    let a = generators::grid2d_laplacian(16, 16).unwrap();
+    let sys = SpdSystem::build(&a, Method::Sts3, 8).unwrap();
+    for threads in thread_counts() {
+        within_budget("krylov chaos", || {
+            let mut pcg = Pcg::new(threads, Schedule::Guided { min_chunk: 1 });
+            pcg.solver_mut()
+                .set_chaos_hook(Some(faultinject::panic_hook(0)));
+            let mut pre = sts_k::krylov::Ssor::new(&sys, pcg.solver(), SweepEngine::Pipelined);
+            let mut ws = KrylovWorkspace::new(sys.n());
+            let b = vec![1.0; sys.n()];
+            let err = pcg
+                .solve(&sys, &mut pre, &b, &mut ws)
+                .expect_err("the injected panic must surface through PCG");
+            assert!(
+                matches!(err, MatrixError::WorkerPanicked { .. }),
+                "expected WorkerPanicked, got {err:?}"
+            );
+            pcg.solver_mut().set_chaos_hook(None);
+            let out = pcg
+                .solve(&sys, &mut pre, &b, &mut ws)
+                .expect("the driver must recover once the fault clears");
+            assert!(out.converged);
+            assert!(out.x.iter().all(|v| v.is_finite()));
+        });
+    }
+}
+
+#[test]
+fn stall_hook_type_is_the_public_chaos_hook() {
+    // The harness's hooks are plain `ChaosHook`s — any test can write its
+    // own without new API surface.
+    let custom: ChaosHook = std::sync::Arc::new(|_w, _p| {});
+    let mut solver = ParallelSolver::new(2, Schedule::Static);
+    solver.set_chaos_hook(Some(custom));
+    solver.set_chaos_hook(None);
+}

@@ -31,7 +31,12 @@
 //!   the per-solve cost of the clean-path guards
 //!   (`pcg_guarded_overhead_ns`, gated at < 2% of `pcg_wall_ns`), and the
 //!   wall cost of one `validate()` boundary pass (`spd_validate_wall_ns`)
-//!   — the robustness tax trend lines.
+//!   — the robustness tax trend lines;
+//! * the solver service: the cold path through the wire contract
+//!   (`serve_cold_solve_wall_ns` — pattern analysis + factorization + first
+//!   solve) vs. the warm cached path (`serve_warm_solve_wall_ns`), both
+//!   gated — the structure/factor cache must keep the steady-state solve
+//!   far below the cold one.
 //!
 //! Run with `cargo run --release -p sts-bench --bin bench_smoke`. The output
 //! is one line so CI logs diff cleanly across PRs.
@@ -46,11 +51,13 @@
 
 use std::time::Instant;
 
-use serde::Serialize;
+use serde::{Serialize, Value};
 use sts_bench::harness::{self, Machine};
 use sts_core::{Method, ParallelSolver};
 use sts_krylov::{Identity, KrylovWorkspace, Pcg, RobustPcg, SpdSystem, Ssor, SweepEngine};
 use sts_matrix::generators;
+use sts_serve::protocol::{float_array, obj, render, usize_array};
+use sts_serve::{ServiceConfig, SolverService};
 
 #[derive(Serialize)]
 struct Smoke {
@@ -134,6 +141,17 @@ struct Smoke {
     /// guard at the `SpdSystem::build` boundary. Informational: it is a
     /// once-per-build cost, amortised over every solve on the system.
     spd_validate_wall_ns: f64,
+    /// The solver service's cold path, measured once through the wire
+    /// contract on an in-process `SolverService`: `submit_pattern` (full
+    /// STS analysis) + `submit_values` (warm rebind + IC(0) factorization)
+    /// + the first solve. Gated: this is what a new pattern costs a client.
+    serve_cold_solve_wall_ns: f64,
+    /// The service's warm path (best-of-blocks): one `solve` request
+    /// against the cached structure and factor — JSON parsing, workspace
+    /// checkout, the PCG solve, and response rendering. Gated: this is the
+    /// steady-state cost a streaming client pays per solve, and it must
+    /// stay far below the cold path for the cache to be worth anything.
+    serve_warm_solve_wall_ns: f64,
 }
 
 fn main() {
@@ -314,6 +332,74 @@ fn main() {
     );
     let (validate_s, _) = time_pair_blocks(20, 5, || a.validate().unwrap(), || ());
 
+    // The solver service, through the wire contract on an in-process
+    // `SolverService` (no sockets, so the numbers isolate the service
+    // layer): the cold path pays analysis + factorization + first solve
+    // once; the warm path is the steady-state cached solve a streaming
+    // client sees. The cache's entire point is warm ≪ cold — asserted here,
+    // trended by the gate.
+    let mut service = SolverService::new(ServiceConfig::default());
+    let pattern_req = render(&obj(vec![
+        ("v", Value::UInt(1)),
+        ("id", Value::UInt(1)),
+        ("op", Value::Str("submit_pattern".to_string())),
+        ("n", Value::UInt(a.nrows() as u64)),
+        ("row_ptr", usize_array(a.row_ptr())),
+        ("col_idx", usize_array(a.col_idx())),
+        ("method", Value::Str("STS-3".to_string())),
+        ("rows_per_super_row", Value::UInt(80)),
+    ]));
+    let serve_cold_start = Instant::now();
+    let reply = service.handle_line(&pattern_req);
+    assert!(
+        reply.line.contains("\"ok\":true"),
+        "pattern submits cleanly"
+    );
+    let pattern = reply
+        .line
+        .split("\"pattern\":\"")
+        .nth(1)
+        .and_then(|rest| rest.get(..16))
+        .expect("submit_pattern returns the key")
+        .to_string();
+    let values_req = render(&obj(vec![
+        ("v", Value::UInt(1)),
+        ("id", Value::UInt(2)),
+        ("op", Value::Str("submit_values".to_string())),
+        ("pattern", Value::Str(pattern.clone())),
+        ("values", float_array(a.values())),
+    ]));
+    assert!(service
+        .handle_line(&values_req)
+        .line
+        .contains("\"ok\":true"));
+    let solve_req = render(&obj(vec![
+        ("v", Value::UInt(1)),
+        ("id", Value::UInt(3)),
+        ("op", Value::Str("solve".to_string())),
+        ("pattern", Value::Str(pattern)),
+        ("b", float_array(&b_pcg)),
+    ]));
+    let reply = service.handle_line(&solve_req);
+    assert!(
+        reply.line.contains("\"converged\":true"),
+        "the served smoke solve converges"
+    );
+    let serve_cold_s = serve_cold_start.elapsed().as_secs_f64();
+    let mut serve_warm_s = f64::INFINITY;
+    for _ in 0..20 {
+        let start = Instant::now();
+        for _ in 0..5 {
+            let reply = service.handle_line(&solve_req);
+            debug_assert!(reply.line.contains("\"cache\":\"warm\""));
+        }
+        serve_warm_s = serve_warm_s.min(start.elapsed().as_secs_f64() / 5.0);
+    }
+    assert!(
+        serve_warm_s < serve_cold_s,
+        "the warm service path must undercut the cold path (warm {serve_warm_s:.3e}s vs cold {serve_cold_s:.3e}s)"
+    );
+
     let smoke = Smoke {
         matrix: "grid2d_laplacian_200x200".to_string(),
         n: s.n(),
@@ -360,6 +446,8 @@ fn main() {
         recovery_attempts,
         pcg_guarded_overhead_ns: guard_s * 1e9,
         spd_validate_wall_ns: validate_s * 1e9,
+        serve_cold_solve_wall_ns: serve_cold_s * 1e9,
+        serve_warm_solve_wall_ns: serve_warm_s * 1e9,
     };
     let line = serde_json::to_string(&smoke).expect("smoke record serialises");
     println!("{line}");

@@ -5,8 +5,9 @@
 //! nothing *enforced* it — a kernel regression rode in silently as one more
 //! line in the job summary. [`compare`] turns the trend line into a gate:
 //! the wall-time fields in [`GATED_FIELDS`] (the end-to-end PCG solve, the
-//! pipelined triangular kernels it runs on, and the level-scheduled IC(0)
-//! setup) must not regress by more than the configured percentage against
+//! pipelined triangular kernels it runs on, the level-scheduled IC(0)
+//! setup, and the solver service's cold and warm solve paths) must not
+//! regress by more than the configured percentage against
 //! `bench/baseline.json`, which is refreshed from every push to `main`.
 //!
 //! Robustness rules, chosen for a noisy shared CI host:
@@ -37,14 +38,17 @@
 use serde_json::Value;
 
 /// The wall-time fields the gate enforces: the end-to-end PCG solve (scalar
-/// and per-RHS block), the pipelined solve kernels, and the IC(0) setup
-/// path. Everything else in the record is informational.
+/// and per-RHS block), the pipelined solve kernels, the IC(0) setup path,
+/// and the solver service's cold (first pattern + values + solve) and warm
+/// (cached) solve paths. Everything else in the record is informational.
 pub const GATED_FIELDS: &[&str] = &[
     "pcg_wall_ns",
     "pcg_block_wall_per_rhs_ns",
     "wall_parallel_pipelined_s",
     "wall_batch4_pipelined_per_rhs_s",
     "ic0_build_parallel_wall_ns",
+    "serve_cold_solve_wall_ns",
+    "serve_warm_solve_wall_ns",
 ];
 
 /// The share of `pcg_wall_ns` the clean-path guards
@@ -221,6 +225,8 @@ mod tests {
                 Value::Float(batch),
             ),
             ("ic0_build_parallel_wall_ns".into(), Value::Float(ic0)),
+            ("serve_cold_solve_wall_ns".into(), Value::Float(5.0e8)),
+            ("serve_warm_solve_wall_ns".into(), Value::Float(1.0e6)),
             ("pcg_iters".into(), Value::UInt(12)),
         ])
     }

@@ -2,7 +2,7 @@
 //! evaluation.
 //!
 //! [`StsBuilder`] turns a lower-triangular operand into an
-//! [`StsStructure`](crate::csrk::StsStructure) by composing the steps of
+//! [`StsStructure`] by composing the steps of
 //! Section 3:
 //!
 //! 1. symmetrize to `A = L + Lᵀ` (keeping `L`'s diagonal) and apply RCM — all

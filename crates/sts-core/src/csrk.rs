@@ -12,7 +12,7 @@
 //! super-rows of a pack are independent tasks; the rows of a super-row are
 //! solved sequentially by whichever core owns the task.
 
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
 use sts_graph::Permutation;
 use sts_matrix::{LowerTriangularCsr, MatrixError};
@@ -30,10 +30,14 @@ pub type Result<T> = std::result::Result<T, MatrixError>;
 pub struct StsStructure {
     k: usize,
     ordering: Ordering,
-    index3: Vec<usize>,
-    index2: Vec<usize>,
+    /// Pack → first super-row, shared (`Arc`) between the analysis structure
+    /// and any factor structure derived via [`StsStructure::with_operand`].
+    index3: Arc<Vec<usize>>,
+    /// Super-row → first row, shared like `index3`.
+    index2: Arc<Vec<usize>>,
     l: LowerTriangularCsr,
-    perm: Permutation,
+    /// The reordering permutation, shared like the index arrays.
+    perm: Arc<Permutation>,
     /// The dependency-split layout, built on first use ([`StsStructure::split`]):
     /// it roughly doubles the off-diagonal storage, so unsplit-only callers
     /// should not pay for it.
@@ -72,6 +76,29 @@ impl StsStructure {
         index2: Vec<usize>,
         l: LowerTriangularCsr,
         perm: Permutation,
+    ) -> Result<Self> {
+        Self::from_shared(
+            k,
+            ordering,
+            Arc::new(index3),
+            Arc::new(index2),
+            l,
+            Arc::new(perm),
+        )
+    }
+
+    /// Assembles a structure around already-shared hierarchy arrays, still
+    /// validating every invariant. This is how [`StsStructure::with_operand`]
+    /// avoids copying the (potentially large) index arrays and permutation:
+    /// the analysis structure and every factor structure derived from it hold
+    /// `Arc`s to the same allocations.
+    fn from_shared(
+        k: usize,
+        ordering: Ordering,
+        index3: Arc<Vec<usize>>,
+        index2: Arc<Vec<usize>>,
+        l: LowerTriangularCsr,
+        perm: Arc<Permutation>,
     ) -> Result<Self> {
         let s = StsStructure {
             k,
@@ -270,14 +297,24 @@ impl StsStructure {
                 self.n()
             )));
         }
-        StsStructure::new(
+        StsStructure::from_shared(
             self.k,
             self.ordering,
-            self.index3.clone(),
-            self.index2.clone(),
+            Arc::clone(&self.index3),
+            Arc::clone(&self.index2),
             l,
-            self.perm.clone(),
+            Arc::clone(&self.perm),
         )
+    }
+
+    /// Whether `other` shares this structure's hierarchy allocations (index
+    /// arrays and permutation) rather than owning copies. True for any
+    /// structure derived through [`StsStructure::with_operand`]; diagnostic
+    /// for cache implementations that rely on the sharing.
+    pub fn shares_hierarchy_with(&self, other: &StsStructure) -> bool {
+        Arc::ptr_eq(&self.index3, &other.index3)
+            && Arc::ptr_eq(&self.index2, &other.index2)
+            && Arc::ptr_eq(&self.perm, &other.perm)
     }
 
     /// Solves `L' x' = b'` sequentially on the dependency-split layout.

@@ -3,7 +3,7 @@
 //! The simulator replays the exact schedule the threaded solver would run —
 //! packs in order, super-rows of a pack distributed over the cores with a
 //! static / dynamic / guided policy — and charges costs from the machine's
-//! [`LatencyModel`]:
+//! [`LatencyModel`](sts_numa::LatencyModel):
 //!
 //! * streaming the rows of `L'` (values + column indices) costs
 //!   [`SimulationParams::stream_cycles_per_nnz`] per stored entry plus one

@@ -23,7 +23,7 @@
 //! # Bitwise identity
 //!
 //! Every value `L[i][·]` is a pure function of already-final inputs,
-//! evaluated by [`ic0_factor_row`](sts_matrix::factor::ic0_factor_row) in
+//! evaluated by [`ic0_factor_row`] in
 //! the same merge order as the sequential sweep — so the level-scheduled
 //! factor is **bitwise identical** to `sts_matrix::factor::ic0` for every
 //! worker count and interleaving (asserted by the property tests).
@@ -42,7 +42,7 @@
 //! # Memory ordering / race freedom
 //!
 //! The value array is shared through the same
-//! [`SharedVec`](super::parallel::SharedVec) wrapper as the solve kernels.
+//! `SharedVec` (`solver::parallel`) wrapper as the solve kernels.
 //! Row `i`'s slice has one writer (the owner of its chunk). Reads target
 //! (a) rows of packs `0..dep`, published by the gate's epoch edge
 //! (`wait_open(dep)` happens-after every arrival of those packs), or

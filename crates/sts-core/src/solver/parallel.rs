@@ -60,7 +60,7 @@
 //! [`ParallelSolver::solve_pipelined`] and
 //! [`ParallelSolver::solve_batch_pipelined`] run the *same* per-row
 //! arithmetic as the split kernels but fuse the two full-pool barriers per
-//! pack into an [`EpochGate`](sts_numa::EpochGate): one pool dispatch covers
+//! pack into an [`EpochGate`]: one pool dispatch covers
 //! the whole solve, and workers coordinate through per-pack completion
 //! counters instead of barriers. The schedule per worker `w`:
 //!

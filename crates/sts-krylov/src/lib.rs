@@ -61,6 +61,7 @@
 //! ```
 
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+#![warn(missing_docs)]
 
 pub mod pcg;
 pub mod precond;
@@ -70,7 +71,10 @@ pub mod workspace;
 
 pub use pcg::{Pcg, PcgBatchOutcome, PcgBlockOutcome, PcgOptions, PcgOutcome, Tolerance};
 pub use precond::{Ic0, Identity, Preconditioner, Ssor, SweepEngine};
-pub use recovery::{RecoveryAttempt, RecoveryPolicy, RecoveryReport, RobustOutcome, RobustPcg};
+pub use recovery::{
+    build_ladder_preconditioner, LadderPreconditioner, RecoveryAttempt, RecoveryPolicy,
+    RecoveryReport, RobustBatchOutcome, RobustBlockOutcome, RobustOutcome, RobustPcg,
+};
 pub use system::SpdSystem;
 pub use workspace::KrylovWorkspace;
 

@@ -30,7 +30,7 @@ impl Tolerance {
     /// stopping comparison (`NaN > NaN` is `false`, which would silently
     /// report an untouched iterate as finished); the solve drivers reject a
     /// non-finite initial residual with
-    /// [`MatrixError::NonFiniteResidual`](sts_matrix::MatrixError::NonFiniteResidual)
+    /// [`MatrixError::NonFiniteResidual`]
     /// before consulting the threshold, and this helper stays total for
     /// direct callers by clamping to `0.0` — the conservative
     /// "never converged" answer, never a NaN.
@@ -196,6 +196,13 @@ impl Pcg {
     /// The driver's stopping policy.
     pub fn options(&self) -> &PcgOptions {
         &self.options
+    }
+
+    /// Replaces the stopping policy without rebuilding the worker pool.
+    /// Lets a long-lived driver (e.g. a solver service) honour per-request
+    /// tolerances while keeping its threads parked between solves.
+    pub fn set_options(&mut self, options: PcgOptions) {
+        self.options = options;
     }
 
     /// Solves `A x = b` (original numbering) with preconditioned CG. After

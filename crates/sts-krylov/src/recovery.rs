@@ -27,9 +27,10 @@
 //! propagate immediately — retrying cannot fix those, and masking them
 //! would hide real faults.
 
+use sts_core::ParallelSolver;
 use sts_matrix::MatrixError;
 
-use crate::pcg::{Pcg, PcgOutcome};
+use crate::pcg::{Pcg, PcgBatchOutcome, PcgBlockOutcome, PcgOutcome};
 use crate::precond::{Ic0, Identity, Preconditioner, Ssor, SweepEngine};
 use crate::system::SpdSystem;
 use crate::workspace::KrylovWorkspace;
@@ -105,6 +106,141 @@ pub struct RobustOutcome {
     pub report: RecoveryReport,
 }
 
+/// A [`PcgBatchOutcome`] plus the descent record — the batched analogue of
+/// [`RobustOutcome`]. The whole batch descends together: a breakdown on any
+/// system restarts the lockstep iteration on the next rung for all of them.
+#[derive(Debug, Clone)]
+pub struct RobustBatchOutcome {
+    /// The final rung's batched solve outcome.
+    pub outcome: PcgBatchOutcome,
+    /// The descent record.
+    pub report: RecoveryReport,
+}
+
+/// A [`PcgBlockOutcome`] plus the descent record — the block-CG analogue of
+/// [`RobustOutcome`].
+#[derive(Debug, Clone)]
+pub struct RobustBlockOutcome {
+    /// The final rung's block solve outcome.
+    pub outcome: PcgBlockOutcome,
+    /// The descent record.
+    pub report: RecoveryReport,
+}
+
+/// A preconditioner produced by climbing the setup-time rungs of the
+/// recovery ladder ([`build_ladder_preconditioner`]): whichever rung's setup
+/// succeeded first, behind one concrete type so callers (e.g. a factor
+/// cache) can store it without boxing.
+#[derive(Debug)]
+pub enum LadderPreconditioner {
+    /// An IC(0) factor (possibly Manteuffel-shifted) whose setup succeeded.
+    Ic0(Ic0),
+    /// The SSOR fallback — no factorization, setup cannot break down.
+    Ssor(Ssor),
+    /// Plain CG, the unconditional last resort.
+    Identity(Identity),
+}
+
+impl Preconditioner for LadderPreconditioner {
+    fn label(&self) -> &'static str {
+        match self {
+            LadderPreconditioner::Ic0(p) => p.label(),
+            LadderPreconditioner::Ssor(p) => p.label(),
+            LadderPreconditioner::Identity(p) => p.label(),
+        }
+    }
+
+    fn apply_into(
+        &mut self,
+        solver: &ParallelSolver,
+        r: &[f64],
+        z: &mut [f64],
+        sweep: &mut [f64],
+    ) -> Result<()> {
+        match self {
+            LadderPreconditioner::Ic0(p) => p.apply_into(solver, r, z, sweep),
+            LadderPreconditioner::Ssor(p) => p.apply_into(solver, r, z, sweep),
+            LadderPreconditioner::Identity(p) => p.apply_into(solver, r, z, sweep),
+        }
+    }
+
+    fn apply_batch_into(
+        &mut self,
+        solver: &ParallelSolver,
+        r: &[f64],
+        z: &mut [f64],
+        sweep: &mut [f64],
+        nrhs: usize,
+    ) -> Result<()> {
+        match self {
+            LadderPreconditioner::Ic0(p) => p.apply_batch_into(solver, r, z, sweep, nrhs),
+            LadderPreconditioner::Ssor(p) => p.apply_batch_into(solver, r, z, sweep, nrhs),
+            LadderPreconditioner::Identity(p) => p.apply_batch_into(solver, r, z, sweep, nrhs),
+        }
+    }
+}
+
+/// Climbs the *setup-time* rungs of the ladder without running a solve:
+/// IC(0), then shifted IC(0) under the policy's escalating shifts, then SSOR
+/// / Identity if permitted. Returns the first rung whose setup succeeded plus
+/// a [`RecoveryReport`] of the setup breakdowns burned on the way down.
+///
+/// This is the factor-cache entry point: a solver service factors once at
+/// value-submission time and then reuses the returned preconditioner across
+/// many solves, so setup-time degradation must be decided (and reported)
+/// once, up front. Iteration-time breakdowns
+/// ([`MatrixError::NonFiniteResidual`]) can of course still surface later;
+/// only the full [`RobustPcg`] entry points descend on those.
+pub fn build_ladder_preconditioner(
+    sys: &SpdSystem,
+    solver: &ParallelSolver,
+    policy: &RecoveryPolicy,
+) -> Result<(LadderPreconditioner, RecoveryReport)> {
+    let mut attempts: Vec<RecoveryAttempt> = Vec::new();
+    let mut shifts_tried: Vec<f64> = Vec::new();
+    for &alpha in std::iter::once(&0.0).chain(policy.shifts.iter()) {
+        shifts_tried.push(alpha);
+        let built = if alpha == 0.0 {
+            Ic0::new(sys, solver, policy.engine)
+        } else {
+            Ic0::new_shifted(sys, solver, policy.engine, alpha)
+        };
+        match built {
+            Ok(pre) => {
+                let label = pre.label();
+                return Ok((
+                    LadderPreconditioner::Ic0(pre),
+                    report_for(attempts, shifts_tried, label, alpha),
+                ));
+            }
+            Err(e) if descends(&e) => {
+                attempts.push(RecoveryAttempt {
+                    preconditioner: if alpha == 0.0 { "ic0" } else { "ic0-shifted" },
+                    shift: alpha,
+                    error: e,
+                    iterations: 0,
+                });
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    if policy.allow_ssor {
+        return Ok((
+            LadderPreconditioner::Ssor(Ssor::new(sys, solver, policy.engine)),
+            report_for(attempts, shifts_tried, "ssor", 0.0),
+        ));
+    }
+    if policy.allow_identity {
+        return Ok((
+            LadderPreconditioner::Identity(Identity),
+            report_for(attempts, shifts_tried, "none", 0.0),
+        ));
+    }
+    Err(attempts.pop().map(|a| a.error).unwrap_or_else(|| {
+        MatrixError::InvalidParameter("recovery ladder has no permitted rungs".into())
+    }))
+}
+
 /// The fault-tolerant PCG driver: [`Pcg`] plus the recovery ladder.
 pub struct RobustPcg {
     pcg: Pcg,
@@ -152,6 +288,52 @@ impl RobustPcg {
         b: &[f64],
         ws: &mut KrylovWorkspace,
     ) -> Result<RobustOutcome> {
+        let (outcome, report) =
+            self.solve_ladder(sys, &mut |pcg, pre| pcg.solve(sys, pre, b, ws))?;
+        Ok(RobustOutcome { outcome, report })
+    }
+
+    /// Solves `nrhs` systems at once ([`Pcg::solve_batch`]) behind the
+    /// ladder. The lockstep batch shares one preconditioner, so a breakdown
+    /// on any system descends the whole batch to the next rung and restarts
+    /// the lockstep iteration there; abandoned-rung iteration counts land in
+    /// [`RecoveryReport::extra_iterations`] as usual.
+    pub fn solve_batch(
+        &self,
+        sys: &SpdSystem,
+        b: &[f64],
+        nrhs: usize,
+        ws: &mut KrylovWorkspace,
+    ) -> Result<RobustBatchOutcome> {
+        let (outcome, report) =
+            self.solve_ladder(sys, &mut |pcg, pre| pcg.solve_batch(sys, pre, b, nrhs, ws))?;
+        Ok(RobustBatchOutcome { outcome, report })
+    }
+
+    /// Solves `nrhs` systems on a shared block Krylov space
+    /// ([`Pcg::solve_block`]) behind the ladder, descending the whole block
+    /// together on breakdown like [`RobustPcg::solve_batch`].
+    pub fn solve_block(
+        &self,
+        sys: &SpdSystem,
+        b: &[f64],
+        nrhs: usize,
+        ws: &mut KrylovWorkspace,
+    ) -> Result<RobustBlockOutcome> {
+        let (outcome, report) =
+            self.solve_ladder(sys, &mut |pcg, pre| pcg.solve_block(sys, pre, b, nrhs, ws))?;
+        Ok(RobustBlockOutcome { outcome, report })
+    }
+
+    /// The shared descent: builds each rung's preconditioner in ladder order
+    /// and hands it to `run` (one of the three [`Pcg`] solve entries).
+    /// Breakdown-shaped failures — at setup or inside `run` — are recorded
+    /// and descend; structural failures propagate immediately.
+    fn solve_ladder<O>(
+        &self,
+        sys: &SpdSystem,
+        run: &mut dyn FnMut(&Pcg, &mut dyn Preconditioner) -> Result<O>,
+    ) -> Result<(O, RecoveryReport)> {
         let mut attempts: Vec<RecoveryAttempt> = Vec::new();
         let mut shifts_tried: Vec<f64> = Vec::new();
         let engine = self.policy.engine;
@@ -178,9 +360,9 @@ impl RobustPcg {
                 Err(e) => return Err(e),
             };
             let label = pre.label();
-            match self.try_rung(sys, &mut pre, b, ws, label, alpha, &mut attempts)? {
+            match Self::try_rung(run, &self.pcg, &mut pre, label, alpha, &mut attempts)? {
                 Some(outcome) => {
-                    return Ok(self.finish(outcome, attempts, shifts_tried, label, alpha));
+                    return Ok((outcome, report_for(attempts, shifts_tried, label, alpha)));
                 }
                 None => continue,
             }
@@ -190,9 +372,9 @@ impl RobustPcg {
         if self.policy.allow_ssor {
             let mut pre = Ssor::new(sys, self.pcg.solver(), engine);
             if let Some(outcome) =
-                self.try_rung(sys, &mut pre, b, ws, "ssor", 0.0, &mut attempts)?
+                Self::try_rung(run, &self.pcg, &mut pre, "ssor", 0.0, &mut attempts)?
             {
-                return Ok(self.finish(outcome, attempts, shifts_tried, "ssor", 0.0));
+                return Ok((outcome, report_for(attempts, shifts_tried, "ssor", 0.0)));
             }
         }
 
@@ -200,9 +382,9 @@ impl RobustPcg {
         if self.policy.allow_identity {
             let mut pre = Identity;
             if let Some(outcome) =
-                self.try_rung(sys, &mut pre, b, ws, "none", 0.0, &mut attempts)?
+                Self::try_rung(run, &self.pcg, &mut pre, "none", 0.0, &mut attempts)?
             {
-                return Ok(self.finish(outcome, attempts, shifts_tried, "none", 0.0));
+                return Ok((outcome, report_for(attempts, shifts_tried, "none", 0.0)));
             }
         }
 
@@ -216,18 +398,15 @@ impl RobustPcg {
     /// a clean outcome; `Ok(None)` means it broke down (recorded in
     /// `attempts`) and the ladder should descend; `Err` propagates
     /// structural failures.
-    #[allow(clippy::too_many_arguments)]
-    fn try_rung(
-        &self,
-        sys: &SpdSystem,
+    fn try_rung<O>(
+        run: &mut dyn FnMut(&Pcg, &mut dyn Preconditioner) -> Result<O>,
+        pcg: &Pcg,
         pre: &mut dyn Preconditioner,
-        b: &[f64],
-        ws: &mut KrylovWorkspace,
         label: &'static str,
         shift: f64,
         attempts: &mut Vec<RecoveryAttempt>,
-    ) -> Result<Option<PcgOutcome>> {
-        match self.pcg.solve(sys, pre, b, ws) {
+    ) -> Result<Option<O>> {
+        match run(pcg, pre) {
             Ok(outcome) => Ok(Some(outcome)),
             Err(e) if descends(&e) => {
                 let iterations = match &e {
@@ -245,28 +424,24 @@ impl RobustPcg {
             Err(e) => Err(e),
         }
     }
+}
 
-    fn finish(
-        &self,
-        outcome: PcgOutcome,
-        attempts: Vec<RecoveryAttempt>,
-        shifts_tried: Vec<f64>,
-        final_preconditioner: &'static str,
-        final_shift: f64,
-    ) -> RobustOutcome {
-        let extra_iterations = attempts.iter().map(|a| a.iterations).sum();
-        let degraded = !attempts.is_empty();
-        RobustOutcome {
-            outcome,
-            report: RecoveryReport {
-                attempts,
-                shifts_tried,
-                final_preconditioner,
-                final_shift,
-                degraded,
-                extra_iterations,
-            },
-        }
+/// Assembles the descent record once a rung has come to rest.
+fn report_for(
+    attempts: Vec<RecoveryAttempt>,
+    shifts_tried: Vec<f64>,
+    final_preconditioner: &'static str,
+    final_shift: f64,
+) -> RecoveryReport {
+    let extra_iterations = attempts.iter().map(|a| a.iterations).sum();
+    let degraded = !attempts.is_empty();
+    RecoveryReport {
+        attempts,
+        shifts_tried,
+        final_preconditioner,
+        final_shift,
+        degraded,
+        extra_iterations,
     }
 }
 
@@ -302,6 +477,65 @@ mod tests {
         assert_eq!(out.report.final_shift, 0.0);
         assert_eq!(out.report.extra_iterations, 0);
         assert_eq!(out.report.shifts_tried, vec![0.0]);
+    }
+
+    #[test]
+    fn batch_and_block_entries_descend_the_same_ladder() {
+        let a = generators::grid2d_laplacian(10, 10).unwrap();
+        let sys = SpdSystem::build(&a, Method::Sts3, 8).unwrap();
+        let nrhs = 3;
+        let mut b = vec![0.0; sys.n() * nrhs];
+        for (k, slot) in b.iter_mut().enumerate() {
+            *slot = 1.0 + (k % 7) as f64;
+        }
+        let robust = RobustPcg::new(Pcg::new(2, Schedule::Guided { min_chunk: 1 }));
+        let mut ws = KrylovWorkspace::with_nrhs(sys.n(), nrhs);
+        let batch = robust.solve_batch(&sys, &b, nrhs, &mut ws).unwrap();
+        assert!(batch.outcome.converged.iter().all(|&c| c));
+        assert!(!batch.report.degraded);
+        assert_eq!(batch.report.final_preconditioner, "ic0");
+        let block = robust.solve_block(&sys, &b, nrhs, &mut ws).unwrap();
+        assert!(block.outcome.converged.iter().all(|&c| c));
+        assert!(!block.report.degraded);
+        // Batch/batch entries surface structural errors (wrong-size B)
+        // without descending, like the scalar entry.
+        let e = robust
+            .solve_batch(&sys, &b[..5], nrhs, &mut ws)
+            .unwrap_err();
+        assert!(matches!(e, MatrixError::DimensionMismatch(_)));
+    }
+
+    #[test]
+    fn setup_ladder_builds_the_fast_path_on_a_clean_operand() {
+        let a = generators::grid2d_laplacian(9, 9).unwrap();
+        let sys = SpdSystem::build(&a, Method::Sts3, 8).unwrap();
+        let pcg = Pcg::new(2, Schedule::Static);
+        let (mut pre, report) =
+            build_ladder_preconditioner(&sys, pcg.solver(), &RecoveryPolicy::default()).unwrap();
+        assert_eq!(pre.label(), "ic0");
+        assert!(!report.degraded);
+        assert_eq!(report.shifts_tried, vec![0.0]);
+        // The returned preconditioner drives an ordinary solve.
+        let b = ops::spmv(&a, &vec![1.0; sys.n()]).unwrap();
+        let mut ws = KrylovWorkspace::new(sys.n());
+        let out = pcg.solve(&sys, &mut pre, &b, &mut ws).unwrap();
+        assert!(out.converged);
+    }
+
+    #[test]
+    fn setup_ladder_with_no_rungs_is_rejected() {
+        let a = generators::grid2d_laplacian(6, 6).unwrap();
+        let sys = SpdSystem::build(&a, Method::Sts3, 8).unwrap();
+        let pcg = Pcg::new(1, Schedule::Static);
+        let policy = RecoveryPolicy {
+            shifts: vec![],
+            allow_ssor: false,
+            allow_identity: false,
+            engine: SweepEngine::Sequential,
+        };
+        // IC(0) itself still runs (the Laplacian factors), so this succeeds…
+        let (pre, _) = build_ladder_preconditioner(&sys, pcg.solver(), &policy).unwrap();
+        assert_eq!(pre.label(), "ic0");
     }
 
     #[test]

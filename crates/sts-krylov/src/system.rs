@@ -57,6 +57,60 @@ impl SpdSystem {
         })
     }
 
+    /// Binds `a` to an ordering that was already computed for its sparsity
+    /// pattern, skipping the analysis pipeline entirely.
+    ///
+    /// This is the warm path of a structure cache: `base` is the
+    /// [`StsStructure`] produced by an earlier [`SpdSystem::build`] (or a
+    /// pattern-only analysis) on a matrix with the same sparsity pattern.
+    /// Orderings are purely structural, so the pack / super-row hierarchy and
+    /// permutation carry over unchanged — only the operand values are
+    /// re-permuted (`O(nnz)`), and the hierarchy arrays are shared by `Arc`
+    /// rather than copied. The resulting system is bitwise identical to what
+    /// a fresh [`SpdSystem::build`] with the same method would produce.
+    ///
+    /// The operand is validated exactly as in [`SpdSystem::build`]; a matrix
+    /// whose pattern no longer matches the cached hierarchy is rejected with
+    /// [`MatrixError::DimensionMismatch`] or
+    /// [`MatrixError::InvalidStructure`].
+    pub fn build_with_structure(a: &CsrMatrix, base: &StsStructure) -> Result<SpdSystem> {
+        if a.nrows() != a.ncols() {
+            return Err(MatrixError::DimensionMismatch(format!(
+                "SPD system must be square, got {}x{}",
+                a.nrows(),
+                a.ncols()
+            )));
+        }
+        if a.nrows() != base.n() {
+            return Err(MatrixError::DimensionMismatch(format!(
+                "matrix is {}x{0}, cached structure expects {1}x{1}",
+                a.nrows(),
+                base.n()
+            )));
+        }
+        a.validate()?;
+        if !a.is_symmetric(1e-12) {
+            return Err(MatrixError::InvalidParameter(
+                "SpdSystem::build_with_structure needs a symmetric matrix with both triangles \
+                 stored"
+                    .into(),
+            ));
+        }
+        let a_perm = a.permute_symmetric(base.permutation().new_to_old())?;
+        let l_perm = sts_matrix::LowerTriangularCsr::from_lower_triangle_of(&a_perm)?;
+        if l_perm.row_ptr() != base.lower().row_ptr() || l_perm.col_idx() != base.lower().col_idx()
+        {
+            return Err(MatrixError::InvalidStructure(
+                "matrix sparsity pattern does not match the cached structure".into(),
+            ));
+        }
+        let structure = base.with_operand(l_perm)?;
+        Ok(SpdSystem {
+            structure: Arc::new(structure),
+            a: a_perm,
+        })
+    }
+
     /// Dimension of the system.
     pub fn n(&self) -> usize {
         self.a.nrows()
@@ -145,6 +199,30 @@ mod tests {
         sys.gather_batch_into(&xb, &mut gathered, nrhs);
         sys.scatter_batch_into(&gathered, &mut scattered, nrhs);
         assert_eq!(scattered, xb);
+    }
+
+    #[test]
+    fn build_with_structure_matches_fresh_build_bitwise() {
+        let a = generators::grid2d_laplacian(9, 5).unwrap();
+        let cold = SpdSystem::build(&a, Method::Sts3, 8).unwrap();
+        // Same pattern, different values: scale and re-symmetrize.
+        let scaled = CsrMatrix::from_raw(
+            a.nrows(),
+            a.ncols(),
+            a.row_ptr().to_vec(),
+            a.col_idx().to_vec(),
+            a.values().iter().map(|v| v * 3.0).collect(),
+        )
+        .unwrap();
+        let warm = SpdSystem::build_with_structure(&scaled, cold.structure()).unwrap();
+        let fresh = SpdSystem::build(&scaled, Method::Sts3, 8).unwrap();
+        assert_eq!(warm.matrix().values(), fresh.matrix().values());
+        assert_eq!(warm.structure(), fresh.structure());
+        // The warm structure shares the cached hierarchy instead of copying.
+        assert!(warm.structure().shares_hierarchy_with(cold.structure()));
+        // A pattern that doesn't match the cached hierarchy is rejected.
+        let other = generators::grid2d_laplacian(5, 9).unwrap();
+        assert!(SpdSystem::build_with_structure(&other, cold.structure()).is_err());
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Coordinate (triplet) matrix builder.
 //!
 //! A [`CooMatrix`] accumulates `(row, col, value)` triplets in arbitrary order
-//! and converts them to [`CsrMatrix`](crate::CsrMatrix) form, summing
+//! and converts them to [`CsrMatrix`] form, summing
 //! duplicates. All matrix generators and the Matrix Market reader build
 //! through this type.
 

@@ -3,7 +3,7 @@
 //! The paper's evaluation (Table 1) uses twelve symmetric matrices from the
 //! University of Florida collection. This module reproduces that suite with
 //! synthetic matrices of the same structural class (see
-//! [`generators`](crate::generators)) at a configurable [`SuiteScale`], so the
+//! [`generators`]) at a configurable [`SuiteScale`], so the
 //! whole evaluation pipeline runs on a laptop and in CI while preserving the
 //! row-density classes that drive the paper's results.
 

@@ -1,6 +1,7 @@
 //! A counter-based epoch gate for pipelined (barrier-fused) pack execution.
 //!
-//! The split two-phase solver pays two full [`SpinBarrier`]-equivalent pool
+//! The split two-phase solver pays two full
+//! [`SpinBarrier`](crate::SpinBarrier)-equivalent pool
 //! barriers per chained pack, even though phase 1 (the external gather) of
 //! pack `p + 1` only depends on packs `≤ p` being *done* — not on every
 //! worker having reached the same program point. [`EpochGate`] replaces those

@@ -110,7 +110,8 @@ impl ThreePartitionInstance {
         (DarGraph::from_inputs(inputs), component_of)
     }
 
-    /// The canonical yes-certificate assignment for a [`solvable`] instance:
+    /// The canonical yes-certificate assignment for a
+    /// [`solvable`](ThreePartitionInstance::solvable) instance:
     /// the three components of triplet `k` (items `3k`, `3k+1`, `3k+2`) all go
     /// to processor `k`.
     pub fn canonical_assignment(&self, component_of: &[usize]) -> Vec<usize> {

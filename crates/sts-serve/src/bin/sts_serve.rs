@@ -1,0 +1,106 @@
+//! The solver daemon.
+//!
+//! ```text
+//! sts_serve [--addr 127.0.0.1:7171] [--threads 4] [--capacity 32] [--quiet]
+//! ```
+//!
+//! Binds the address, prints one `{"event":"listening","addr":…}` JSON line
+//! to stdout (machine-readable readiness for wrappers; `--addr
+//! 127.0.0.1:0` picks a free port and reports it), then serves JSON-lines
+//! requests until a client sends `shutdown`. Unless `--quiet` is given,
+//! per-request metrics stream to stderr, one JSON object per line in the
+//! same format `bench_smoke` emits.
+
+use std::net::TcpListener;
+use std::process::ExitCode;
+use std::sync::{Arc, Mutex};
+
+use serde::Value;
+use sts_serve::protocol::{obj, render};
+use sts_serve::{serve, ServiceConfig, SolverService};
+
+struct Args {
+    addr: String,
+    threads: usize,
+    capacity: usize,
+    quiet: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: "127.0.0.1:7171".to_string(),
+        threads: 4,
+        capacity: 32,
+        quiet: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--addr" => args.addr = it.next().ok_or("--addr needs a value")?,
+            "--threads" => {
+                args.threads = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--threads needs a positive integer")?;
+            }
+            "--capacity" => {
+                args.capacity = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--capacity needs a positive integer")?;
+            }
+            "--quiet" => args.quiet = true,
+            "--help" | "-h" => {
+                return Err(
+                    "usage: sts_serve [--addr HOST:PORT] [--threads N] [--capacity N] [--quiet]"
+                        .to_string(),
+                );
+            }
+            other => return Err(format!("unknown flag '{other}' (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let listener = match TcpListener::bind(&args.addr) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("cannot bind {}: {e}", args.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    let bound = match listener.local_addr() {
+        Ok(a) => a.to_string(),
+        Err(_) => args.addr.clone(),
+    };
+    let mut service = SolverService::new(ServiceConfig {
+        threads: args.threads.max(1),
+        cache_capacity: args.capacity.max(1),
+        ..ServiceConfig::default()
+    });
+    if !args.quiet {
+        service.set_metrics_sink(Box::new(|line: &str| eprintln!("{line}")));
+    }
+    println!(
+        "{}",
+        render(&obj(vec![
+            ("event", Value::Str("listening".to_string())),
+            ("addr", Value::Str(bound)),
+        ]))
+    );
+    match serve(listener, Arc::new(Mutex::new(service))) {
+        Ok(_) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("serve loop failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

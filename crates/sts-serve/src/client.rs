@@ -1,0 +1,222 @@
+//! The client library: a typed, blocking wrapper over the wire contract.
+//!
+//! [`Client`] speaks the JSON-lines protocol over a `TcpStream` and lifts
+//! responses into typed results, mapping `"ok": false` envelopes onto
+//! [`ClientError::Server`] with the stable error-code string preserved.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use serde::Value;
+use sts_matrix::CsrMatrix;
+
+use crate::protocol::{float_array, obj, render, usize_array, PROTOCOL_VERSION};
+
+/// Client-side failures.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure (connect, read, write).
+    Io(std::io::Error),
+    /// The server answered with an error envelope.
+    Server {
+        /// The stable wire error code (e.g. `"unknown_pattern"`).
+        code: String,
+        /// The human-readable message.
+        message: String,
+    },
+    /// The server's response did not match the contract shape.
+    Malformed(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Server { code, message } => write!(f, "server error [{code}]: {message}"),
+            ClientError::Malformed(msg) => write!(f, "malformed response: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// Result alias of the client library.
+pub type ClientResult<T> = Result<T, ClientError>;
+
+/// What a `solve` request returned, lifted from the wire.
+#[derive(Debug, Clone)]
+pub struct SolveResult {
+    /// The solution (interleaved `x[i * nrhs + q]` for multi-RHS modes),
+    /// bitwise identical to the solver's in-process output.
+    pub x: Vec<f64>,
+    /// Iterations: the scalar count for `single`, the lockstep count for
+    /// `batch`, block steps for `block`.
+    pub iterations: u64,
+    /// Whether every system met the tolerance.
+    pub converged: bool,
+    /// Server-side solve wall time, nanoseconds.
+    pub solve_wall_ns: u64,
+}
+
+/// A blocking JSON-lines client over one TCP connection.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    next_id: u64,
+}
+
+impl Client {
+    /// Connects to a running daemon.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> ClientResult<Client> {
+        let stream = TcpStream::connect(addr)?;
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+            next_id: 0,
+        })
+    }
+
+    /// Sends one request object (the `v`/`id` envelope fields are added
+    /// here) and waits for its response, returning the `"result"` object.
+    pub fn request(&mut self, op: &str, mut fields: Vec<(&str, Value)>) -> ClientResult<Value> {
+        self.next_id += 1;
+        let id = self.next_id;
+        let mut entries = vec![
+            ("v", Value::UInt(PROTOCOL_VERSION)),
+            ("id", Value::UInt(id)),
+            ("op", Value::Str(op.to_string())),
+        ];
+        entries.append(&mut fields);
+        let line = render(&obj(entries));
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+
+        let mut response = String::new();
+        let read = self.reader.read_line(&mut response)?;
+        if read == 0 {
+            return Err(ClientError::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            )));
+        }
+        let v = serde_json::from_str(response.trim_end())
+            .map_err(|e| ClientError::Malformed(format!("response is not JSON: {e}")))?;
+        match v.get("ok").and_then(Value::as_bool) {
+            Some(true) => v
+                .get("result")
+                .cloned()
+                .ok_or_else(|| ClientError::Malformed("ok response without result".to_string())),
+            Some(false) => {
+                let error = v.get("error");
+                let code = error
+                    .and_then(|e| e.get("code"))
+                    .and_then(Value::as_str)
+                    .unwrap_or("internal")
+                    .to_string();
+                let message = error
+                    .and_then(|e| e.get("message"))
+                    .and_then(Value::as_str)
+                    .unwrap_or("")
+                    .to_string();
+                Err(ClientError::Server { code, message })
+            }
+            None => Err(ClientError::Malformed(
+                "response carries no ok field".to_string(),
+            )),
+        }
+    }
+
+    /// Submits a matrix's sparsity pattern for analysis; returns the pattern
+    /// key to quote in `submit_values` / `solve`.
+    pub fn submit_pattern(
+        &mut self,
+        a: &CsrMatrix,
+        method: &str,
+        rows_per_super_row: usize,
+    ) -> ClientResult<String> {
+        let result = self.request(
+            "submit_pattern",
+            vec![
+                ("n", Value::UInt(a.nrows() as u64)),
+                ("row_ptr", usize_array(a.row_ptr())),
+                ("col_idx", usize_array(a.col_idx())),
+                ("method", Value::Str(method.to_string())),
+                ("rows_per_super_row", Value::UInt(rows_per_super_row as u64)),
+            ],
+        )?;
+        result
+            .get("pattern")
+            .and_then(Value::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| ClientError::Malformed("submit_pattern without pattern".to_string()))
+    }
+
+    /// Attaches the matrix's values to a submitted pattern (factors the
+    /// preconditioner server-side). Returns the preconditioner label the
+    /// setup ladder came to rest on.
+    pub fn submit_values(&mut self, pattern: &str, values: &[f64]) -> ClientResult<String> {
+        let result = self.request(
+            "submit_values",
+            vec![
+                ("pattern", Value::Str(pattern.to_string())),
+                ("values", float_array(values)),
+            ],
+        )?;
+        result
+            .get("preconditioner")
+            .and_then(Value::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| {
+                ClientError::Malformed("submit_values without preconditioner".to_string())
+            })
+    }
+
+    /// Solves one system on the warm path.
+    pub fn solve(&mut self, pattern: &str, b: &[f64]) -> ClientResult<SolveResult> {
+        let result = self.request(
+            "solve",
+            vec![
+                ("pattern", Value::Str(pattern.to_string())),
+                ("b", float_array(b)),
+            ],
+        )?;
+        let x = result
+            .get("x")
+            .and_then(Value::as_array)
+            .map(|items| items.iter().filter_map(Value::as_f64).collect::<Vec<f64>>())
+            .ok_or_else(|| ClientError::Malformed("solve without x".to_string()))?;
+        Ok(SolveResult {
+            x,
+            iterations: result
+                .get("iterations")
+                .and_then(Value::as_u64)
+                .unwrap_or(0),
+            converged: result
+                .get("converged")
+                .and_then(Value::as_bool)
+                .unwrap_or(false),
+            solve_wall_ns: result
+                .get("solve_wall_ns")
+                .and_then(Value::as_u64)
+                .unwrap_or(0),
+        })
+    }
+
+    /// Fetches the service counters.
+    pub fn stats(&mut self) -> ClientResult<Value> {
+        self.request("stats", Vec::new())
+    }
+
+    /// Asks the daemon to stop accepting connections.
+    pub fn shutdown(&mut self) -> ClientResult<()> {
+        self.request("shutdown", Vec::new()).map(|_| ())
+    }
+}

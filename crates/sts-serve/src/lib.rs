@@ -1,0 +1,58 @@
+//! `sts-serve`: the persistent solver service over the STS-k Krylov stack.
+//!
+//! The expensive artifacts of a preconditioned solve — the STS analysis
+//! (ordering, pack hierarchy, split layouts) and the IC(0) factor — depend
+//! only on the sparsity pattern and the numeric values respectively, and
+//! both are fully reusable. This crate amortizes them across requests and
+//! clients:
+//!
+//! * [`SolverService`] — the I/O-free state machine: a [`StructureCache`]
+//!   keyed on a sparsity-pattern hash, a [`WorkspacePool`] of checkout
+//!   [`KrylovWorkspace`](sts_krylov::KrylovWorkspace)s, and exactly one
+//!   shared [`Pcg`](sts_krylov::Pcg) worker pool all solves multiplex onto;
+//! * [`protocol`] — the versioned JSON-lines wire contract (submit pattern /
+//!   submit values / solve / stats / shutdown) with stable machine-readable
+//!   [`ErrorCode`]s, snapshot-tested under `tests/contract/`;
+//! * [`serve`] — the TCP daemon (`std::net`, thread per connection, one
+//!   service behind a mutex);
+//! * [`Client`] — the typed blocking client library the CLI binaries are a
+//!   thin shell over.
+//!
+//! The cache split mirrors the production lifecycle: `submit_pattern` pays
+//! `O(analysis)` once per distinct pattern (orderings are purely structural,
+//! so pattern-only analysis is exact); `submit_values` rebinds values and
+//! factors in `O(nnz)`; `solve` is then a pure warm path that allocates
+//! nothing beyond its checkout workspace. Solutions cross the wire bitwise
+//! intact (shortest-round-trip float rendering), so a served solve equals
+//! the direct in-process API bit for bit.
+//!
+//! # Quickstart (in-process)
+//!
+//! ```
+//! use sts_serve::{ServiceConfig, SolverService};
+//!
+//! let mut service = SolverService::new(ServiceConfig::default());
+//! let reply = service.handle_line(
+//!     r#"{"v":1,"id":1,"op":"submit_pattern","n":2,"row_ptr":[0,2,4],
+//!         "col_idx":[0,1,0,1],"method":"STS-3","rows_per_super_row":8}"#,
+//! );
+//! assert!(reply.line.contains("\"ok\":true"));
+//! assert!(!reply.shutdown);
+//! ```
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod client;
+pub mod pool;
+pub mod protocol;
+pub mod server;
+pub mod service;
+
+pub use cache::{pattern_key, CacheStats, StructureCache};
+pub use client::{Client, ClientError, ClientResult, SolveResult};
+pub use pool::{PoolStats, WorkspacePool};
+pub use protocol::{ErrorCode, Request, SolveMode, PROTOCOL_VERSION};
+pub use server::serve;
+pub use service::{MetricsSink, ServeReply, ServiceConfig, SolverService};

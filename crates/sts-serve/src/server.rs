@@ -1,0 +1,76 @@
+//! The TCP daemon: JSON lines over `std::net`, thread per connection.
+//!
+//! Connections share one [`SolverService`] behind a mutex: requests from
+//! concurrent clients interleave at line granularity, and every solve runs
+//! on the service's single shared worker pool (the paper's threads), never
+//! one pool per client.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+
+use crate::service::SolverService;
+
+/// Runs the accept loop until a client's `shutdown` request is
+/// acknowledged. Returns the number of connections served.
+///
+/// Each connection gets a reader thread; responses are written back on the
+/// same stream, one line per request, in request order.
+pub fn serve(listener: TcpListener, service: Arc<Mutex<SolverService>>) -> std::io::Result<u64> {
+    let stopping = Arc::new(AtomicBool::new(false));
+    let addr = listener.local_addr()?;
+    let mut connections = 0u64;
+    let mut handles = Vec::new();
+    for stream in listener.incoming() {
+        if stopping.load(Ordering::SeqCst) {
+            break;
+        }
+        let stream = stream?;
+        connections += 1;
+        let service = Arc::clone(&service);
+        let stopping_flag = Arc::clone(&stopping);
+        handles.push(thread::spawn(move || {
+            let _ = handle_connection(stream, service, &stopping_flag, addr);
+        }));
+    }
+    for handle in handles {
+        let _ = handle.join();
+    }
+    Ok(connections)
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    service: Arc<Mutex<SolverService>>,
+    stopping: &AtomicBool,
+    addr: std::net::SocketAddr,
+) -> std::io::Result<()> {
+    let mut writer = stream.try_clone()?;
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let reply = match service.lock() {
+            Ok(mut service) => service.handle_line(&line),
+            // A poisoned mutex means a handler panicked; the pool itself
+            // recovers (catch_unwind + poisoning at dispatch level), so
+            // answer with what the envelope can say and keep serving.
+            Err(poisoned) => poisoned.into_inner().handle_line(&line),
+        };
+        writer.write_all(reply.line.as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+        if reply.shutdown {
+            stopping.store(true, Ordering::SeqCst);
+            // The accept loop blocks in `incoming()`; poke it awake with a
+            // throwaway connection so it observes the flag and exits.
+            let _ = TcpStream::connect(addr);
+            break;
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,575 @@
+//! The solver service: protocol dispatch over the cache and the shared pool.
+//!
+//! [`SolverService`] owns exactly one [`Pcg`] driver (and therefore one
+//! worker pool): every client's solves multiplex onto the same threads. It
+//! performs no I/O of its own — [`SolverService::handle_line`] maps one
+//! request line to one response line — so the same state machine serves the
+//! TCP daemon, in-process tests, and the bench harness identically.
+
+use std::time::Instant;
+
+use serde::Value;
+use sts_core::Method;
+use sts_krylov::{
+    build_ladder_preconditioner, KrylovWorkspace, Pcg, PcgOptions, Preconditioner, RecoveryPolicy,
+    SpdSystem, Tolerance,
+};
+use sts_matrix::{CsrMatrix, MatrixError};
+use sts_numa::Schedule;
+
+use crate::cache::{key_from_wire, key_to_wire, pattern_key, FactorEntry, StructureCache};
+use crate::pool::WorkspacePool;
+use crate::protocol::{
+    err_envelope, float_array, map_error, obj, ok_envelope, parse_request, render, ErrorCode,
+    Request, SolveMode,
+};
+
+/// Construction-time knobs of a [`SolverService`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Worker threads of the shared solve pool.
+    pub threads: usize,
+    /// Chunk schedule of the shared pool.
+    pub schedule: Schedule,
+    /// Maximum number of patterns the cache holds before LRU eviction.
+    pub cache_capacity: usize,
+    /// Recovery ladder policy applied when factoring at `submit_values`.
+    pub recovery: RecoveryPolicy,
+    /// Default stopping policy; per-request `tolerance` / `max_iterations`
+    /// fields override it for one solve.
+    pub options: PcgOptions,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            threads: 4,
+            schedule: Schedule::Guided { min_chunk: 1 },
+            cache_capacity: 32,
+            recovery: RecoveryPolicy::default(),
+            options: PcgOptions::default(),
+        }
+    }
+}
+
+/// One handled request: the response line plus whether the daemon should
+/// stop accepting connections.
+#[derive(Debug, Clone)]
+pub struct ServeReply {
+    /// The JSON response line (no trailing newline).
+    pub line: String,
+    /// True after a `shutdown` request was acknowledged.
+    pub shutdown: bool,
+}
+
+/// Per-request metrics sink: receives one JSON line per handled request, in
+/// the same one-object-per-line format `bench_smoke` emits.
+pub type MetricsSink = Box<dyn FnMut(&str) + Send>;
+
+/// The persistent solver service.
+pub struct SolverService {
+    pcg: Pcg,
+    config: ServiceConfig,
+    cache: StructureCache,
+    pool: WorkspacePool,
+    requests: u64,
+    solves: u64,
+    metrics: Option<MetricsSink>,
+}
+
+/// What a dispatched op produced: the result object of the success envelope
+/// plus the metric fields worth trending.
+struct OpOutcome {
+    result: Value,
+    metric_fields: Vec<(&'static str, Value)>,
+}
+
+type OpResult = Result<OpOutcome, (ErrorCode, String)>;
+
+impl SolverService {
+    /// A service with `config`'s pool, cache, and policies.
+    pub fn new(config: ServiceConfig) -> Self {
+        SolverService {
+            pcg: Pcg::with_options(config.threads, config.schedule, config.options),
+            cache: StructureCache::new(config.cache_capacity),
+            pool: WorkspacePool::new(),
+            requests: 0,
+            solves: 0,
+            metrics: None,
+            config,
+        }
+    }
+
+    /// Installs a per-request metrics sink (one JSON line per request).
+    pub fn set_metrics_sink(&mut self, sink: MetricsSink) {
+        self.metrics = Some(sink);
+    }
+
+    /// Handles one request line, returning the response line and the
+    /// shutdown flag. Never panics on malformed input: every failure maps to
+    /// an error envelope with a stable [`ErrorCode`].
+    pub fn handle_line(&mut self, line: &str) -> ServeReply {
+        let start = Instant::now();
+        self.requests += 1;
+        let (id, op_name, outcome) = match parse_request(line) {
+            Ok((id, request)) => {
+                let op_name = op_label(&request);
+                (id, op_name, self.dispatch(request))
+            }
+            Err(e) => (e.id, "invalid", Err((e.code, e.message))),
+        };
+        let wall_ns = start.elapsed().as_nanos() as u64;
+        let shutdown = op_name == "shutdown" && outcome.is_ok();
+        let (line, ok, code, metric_fields) = match outcome {
+            Ok(op) => (ok_envelope(id, op.result), true, None, op.metric_fields),
+            Err((code, message)) => (
+                err_envelope(id, code, &message),
+                false,
+                Some(code),
+                Vec::new(),
+            ),
+        };
+        self.emit_metrics(op_name, id, ok, code, wall_ns, metric_fields);
+        ServeReply { line, shutdown }
+    }
+
+    fn emit_metrics(
+        &mut self,
+        op: &str,
+        id: u64,
+        ok: bool,
+        code: Option<ErrorCode>,
+        wall_ns: u64,
+        extra: Vec<(&'static str, Value)>,
+    ) {
+        if let Some(sink) = self.metrics.as_mut() {
+            let mut fields = vec![
+                ("event", Value::Str("request".to_string())),
+                ("op", Value::Str(op.to_string())),
+                ("id", Value::UInt(id)),
+                ("ok", Value::Bool(ok)),
+                ("wall_ns", Value::UInt(wall_ns)),
+            ];
+            if let Some(code) = code {
+                fields.push(("code", Value::Str(code.as_str().to_string())));
+            }
+            fields.extend(extra);
+            let line = render(&obj(fields));
+            sink(&line);
+        }
+    }
+
+    fn dispatch(&mut self, request: Request) -> OpResult {
+        match request {
+            Request::SubmitPattern {
+                n,
+                row_ptr,
+                col_idx,
+                method,
+                rows_per_super_row,
+            } => self.submit_pattern(n, row_ptr, col_idx, &method, rows_per_super_row),
+            Request::SubmitValues { pattern, values } => self.submit_values(&pattern, values),
+            Request::Solve {
+                pattern,
+                b,
+                mode,
+                nrhs,
+                tolerance,
+                max_iterations,
+            } => self.solve(&pattern, b, mode, nrhs, tolerance, max_iterations),
+            Request::Stats => Ok(self.stats()),
+            Request::Shutdown => Ok(OpOutcome {
+                result: obj(vec![("stopping", Value::Bool(true))]),
+                metric_fields: Vec::new(),
+            }),
+        }
+    }
+
+    fn submit_pattern(
+        &mut self,
+        n: usize,
+        row_ptr: Vec<usize>,
+        col_idx: Vec<usize>,
+        method_label: &str,
+        rows_per_super_row: usize,
+    ) -> OpResult {
+        let method = method_from_label(method_label).ok_or_else(|| {
+            (
+                ErrorCode::BadRequest,
+                format!("unknown analysis method '{method_label}'"),
+            )
+        })?;
+        if rows_per_super_row == 0 {
+            return Err((
+                ErrorCode::BadRequest,
+                "rows_per_super_row must be positive".to_string(),
+            ));
+        }
+        let key = pattern_key(n, &row_ptr, &col_idx, method, rows_per_super_row);
+        if self.cache.get_mut(key).is_some() {
+            // Idempotent resubmission: the analysis is already paid for.
+            let entry = self.cache.peek(key).ok_or_else(internal_race)?;
+            let result = pattern_result(key, true, 0, &entry.structure);
+            return Ok(OpOutcome {
+                result,
+                metric_fields: vec![
+                    ("pattern", Value::Str(key_to_wire(key))),
+                    ("cache", Value::Str("hit".to_string())),
+                ],
+            });
+        }
+        // Cold path: analyze the pattern on synthetic M-matrix values — the
+        // orderings are purely structural, so the hierarchy is identical to
+        // what the caller's values would produce.
+        let start = Instant::now();
+        let synthetic = synthetic_values(n, &row_ptr, &col_idx);
+        let a = CsrMatrix::from_raw(n, n, row_ptr.clone(), col_idx.clone(), synthetic)
+            .map_err(wire_error)?;
+        let sys = SpdSystem::build(&a, method, rows_per_super_row).map_err(wire_error)?;
+        let structure = sys.structure_arc();
+        let analysis_wall_ns = start.elapsed().as_nanos() as u64;
+        let entry = self.cache.insert(
+            key,
+            method,
+            rows_per_super_row,
+            row_ptr,
+            col_idx,
+            structure,
+            analysis_wall_ns,
+        );
+        let result = pattern_result(key, false, analysis_wall_ns, &entry.structure);
+        Ok(OpOutcome {
+            result,
+            metric_fields: vec![
+                ("pattern", Value::Str(key_to_wire(key))),
+                ("cache", Value::Str("miss".to_string())),
+                ("analysis_wall_ns", Value::UInt(analysis_wall_ns)),
+            ],
+        })
+    }
+
+    fn submit_values(&mut self, pattern: &str, values: Vec<f64>) -> OpResult {
+        let key = parse_pattern(pattern)?;
+        let entry = self
+            .cache
+            .get_mut(key)
+            .ok_or_else(|| unknown_pattern(pattern))?;
+        if values.len() != entry.col_idx.len() {
+            return Err((
+                ErrorCode::DimensionMismatch,
+                format!(
+                    "got {} values, pattern has {} entries",
+                    values.len(),
+                    entry.col_idx.len()
+                ),
+            ));
+        }
+        let start = Instant::now();
+        let a = CsrMatrix::from_raw(
+            entry.structure.n(),
+            entry.structure.n(),
+            entry.row_ptr.clone(),
+            entry.col_idx.clone(),
+            values,
+        )
+        .map_err(wire_error)?;
+        // Warm rebind: the cached hierarchy carries over, no analysis runs.
+        let system = SpdSystem::build_with_structure(&a, &entry.structure).map_err(wire_error)?;
+        let (preconditioner, recovery) =
+            build_ladder_preconditioner(&system, self.pcg.solver(), &self.config.recovery)
+                .map_err(wire_error)?;
+        let factor_wall_ns = start.elapsed().as_nanos() as u64;
+        let label = preconditioner.label();
+        let result = obj(vec![
+            ("pattern", Value::Str(key_to_wire(key))),
+            ("preconditioner", Value::Str(label.to_string())),
+            ("degraded", Value::Bool(recovery.degraded)),
+            (
+                "recovery_attempts",
+                Value::UInt(recovery.attempts.len() as u64),
+            ),
+            ("final_shift", Value::Float(recovery.final_shift)),
+            ("factor_wall_ns", Value::UInt(factor_wall_ns)),
+        ]);
+        entry.factor = Some(FactorEntry {
+            system,
+            preconditioner,
+            recovery,
+            factor_wall_ns,
+        });
+        Ok(OpOutcome {
+            result,
+            metric_fields: vec![
+                ("pattern", Value::Str(key_to_wire(key))),
+                ("factor_wall_ns", Value::UInt(factor_wall_ns)),
+                ("preconditioner", Value::Str(label.to_string())),
+            ],
+        })
+    }
+
+    fn solve(
+        &mut self,
+        pattern: &str,
+        b: Vec<f64>,
+        mode: SolveMode,
+        nrhs: usize,
+        tolerance: Option<f64>,
+        max_iterations: Option<usize>,
+    ) -> OpResult {
+        let key = parse_pattern(pattern)?;
+        if nrhs == 0 {
+            return Err((ErrorCode::BadRequest, "nrhs must be at least 1".to_string()));
+        }
+        if mode == SolveMode::Single && nrhs != 1 {
+            return Err((
+                ErrorCode::BadRequest,
+                format!("mode 'single' solves one system, got nrhs = {nrhs}"),
+            ));
+        }
+        // Per-request stopping policy: apply overrides for this solve only.
+        let mut options = self.config.options;
+        if let Some(tol) = tolerance {
+            if !(tol.is_finite() && tol > 0.0) {
+                return Err((
+                    ErrorCode::BadRequest,
+                    format!("tolerance must be positive and finite, got {tol}"),
+                ));
+            }
+            options.tolerance = Tolerance::Relative(tol);
+        }
+        if let Some(iters) = max_iterations {
+            options.max_iterations = iters;
+        }
+        self.pcg.set_options(options);
+
+        let entry = self
+            .cache
+            .get_mut(key)
+            .ok_or_else(|| unknown_pattern(pattern))?;
+        let factor = entry.factor.as_mut().ok_or_else(|| {
+            (
+                ErrorCode::NoValues,
+                format!("pattern '{pattern}' has no submitted values; call submit_values first"),
+            )
+        })?;
+        let n = factor.system.n();
+        if b.len() != n * nrhs {
+            return Err((
+                ErrorCode::DimensionMismatch,
+                format!(
+                    "b has {} entries, expected n * nrhs = {}",
+                    b.len(),
+                    n * nrhs
+                ),
+            ));
+        }
+        let start = Instant::now();
+        let mut ws = self.pool.checkout(n, nrhs);
+        let solved = run_solve(&self.pcg, factor, &b, mode, nrhs, &mut ws);
+        self.pool.checkin(ws);
+        self.pcg.set_options(self.config.options);
+        let solve_wall_ns = start.elapsed().as_nanos() as u64;
+        let (mut fields, iterations) = solved.map_err(wire_error)?;
+        self.solves += 1;
+        fields.push(("solve_wall_ns", Value::UInt(solve_wall_ns)));
+        fields.push(("cache", Value::Str("warm".to_string())));
+        Ok(OpOutcome {
+            result: obj(fields),
+            metric_fields: vec![
+                ("pattern", Value::Str(key_to_wire(key))),
+                ("cache", Value::Str("warm".to_string())),
+                ("mode", Value::Str(mode.as_str().to_string())),
+                ("solve_wall_ns", Value::UInt(solve_wall_ns)),
+                ("iterations", Value::UInt(iterations)),
+            ],
+        })
+    }
+
+    fn stats(&mut self) -> OpOutcome {
+        let cache = self.cache.stats();
+        let pool = self.pool.stats();
+        let result = obj(vec![
+            ("patterns_cached", Value::UInt(self.cache.len() as u64)),
+            (
+                "factors_cached",
+                Value::UInt(self.cache.factors_cached() as u64),
+            ),
+            ("cache_capacity", Value::UInt(self.cache.capacity() as u64)),
+            ("cache_hits", Value::UInt(cache.hits)),
+            ("cache_misses", Value::UInt(cache.misses)),
+            ("cache_evictions", Value::UInt(cache.evictions)),
+            ("workspaces_idle", Value::UInt(self.pool.idle() as u64)),
+            ("workspaces_created", Value::UInt(pool.created)),
+            ("workspaces_reused", Value::UInt(pool.reused)),
+            ("requests", Value::UInt(self.requests)),
+            ("solves", Value::UInt(self.solves)),
+            ("threads", Value::UInt(self.config.threads as u64)),
+        ]);
+        OpOutcome {
+            result,
+            metric_fields: Vec::new(),
+        }
+    }
+}
+
+/// Response fields of a solve plus the scalar iteration count reported on
+/// the metrics line.
+type SolveFields = (Vec<(&'static str, Value)>, u64);
+
+/// Runs the mode-selected solve and lowers the outcome to response fields.
+fn run_solve(
+    pcg: &Pcg,
+    factor: &mut FactorEntry,
+    b: &[f64],
+    mode: SolveMode,
+    nrhs: usize,
+    ws: &mut KrylovWorkspace,
+) -> Result<SolveFields, MatrixError> {
+    let pre: &mut dyn Preconditioner = &mut factor.preconditioner;
+    match mode {
+        SolveMode::Single => {
+            let out = pcg.solve(&factor.system, pre, b, ws)?;
+            let iterations = out.iterations as u64;
+            Ok((
+                vec![
+                    ("x", float_array(&out.x)),
+                    ("iterations", Value::UInt(iterations)),
+                    ("converged", Value::Bool(out.converged)),
+                    ("residual_norm", Value::Float(out.residual_norm)),
+                ],
+                iterations,
+            ))
+        }
+        SolveMode::Batch => {
+            let out = pcg.solve_batch(&factor.system, pre, b, nrhs, ws)?;
+            let iterations = out.lockstep_iterations as u64;
+            Ok((
+                vec![
+                    ("x", float_array(&out.x)),
+                    (
+                        "iterations",
+                        Value::Array(
+                            out.iterations
+                                .iter()
+                                .map(|&i| Value::UInt(i as u64))
+                                .collect(),
+                        ),
+                    ),
+                    (
+                        "converged",
+                        Value::Array(out.converged.iter().map(|&c| Value::Bool(c)).collect()),
+                    ),
+                    ("residual_norms", float_array(&out.residual_norms)),
+                    ("lockstep_iterations", Value::UInt(iterations)),
+                ],
+                iterations,
+            ))
+        }
+        SolveMode::Block => {
+            let out = pcg.solve_block(&factor.system, pre, b, nrhs, ws)?;
+            let iterations = out.block_steps as u64;
+            Ok((
+                vec![
+                    ("x", float_array(&out.x)),
+                    (
+                        "iterations",
+                        Value::Array(
+                            out.iterations
+                                .iter()
+                                .map(|&i| Value::UInt(i as u64))
+                                .collect(),
+                        ),
+                    ),
+                    (
+                        "converged",
+                        Value::Array(out.converged.iter().map(|&c| Value::Bool(c)).collect()),
+                    ),
+                    ("residual_norms", float_array(&out.residual_norms)),
+                    ("block_steps", Value::UInt(iterations)),
+                    ("deflations", Value::UInt(out.deflations as u64)),
+                ],
+                iterations,
+            ))
+        }
+    }
+}
+
+/// The result object of `submit_pattern`.
+fn pattern_result(
+    key: u64,
+    cached: bool,
+    analysis_wall_ns: u64,
+    structure: &sts_core::StsStructure,
+) -> Value {
+    obj(vec![
+        ("pattern", Value::Str(key_to_wire(key))),
+        ("cached", Value::Bool(cached)),
+        ("analysis_wall_ns", Value::UInt(analysis_wall_ns)),
+        ("n", Value::UInt(structure.n() as u64)),
+        ("nnz_lower", Value::UInt(structure.nnz() as u64)),
+        ("packs", Value::UInt(structure.num_packs() as u64)),
+        ("super_rows", Value::UInt(structure.num_super_rows() as u64)),
+    ])
+}
+
+/// Symmetric M-matrix values for a pattern: `degree + 1` on the diagonal,
+/// `-1` off it. Diagonally dominant, so analysis-time validation and the
+/// orderings behave exactly as with production values.
+fn synthetic_values(n: usize, row_ptr: &[usize], col_idx: &[usize]) -> Vec<f64> {
+    let mut values = vec![-1.0; col_idx.len()];
+    if row_ptr.len() != n + 1 || *row_ptr.last().unwrap_or(&0) != col_idx.len() {
+        // Malformed pattern: let CsrMatrix::from_raw produce the real error.
+        return values;
+    }
+    for i in 0..n {
+        let row = row_ptr[i]..row_ptr[i + 1];
+        let degree = row.len().saturating_sub(1);
+        for k in row {
+            if col_idx[k] == i {
+                values[k] = degree as f64 + 1.0;
+            }
+        }
+    }
+    values
+}
+
+fn method_from_label(label: &str) -> Option<Method> {
+    Method::all().into_iter().find(|m| m.label() == label)
+}
+
+fn op_label(request: &Request) -> &'static str {
+    match request {
+        Request::SubmitPattern { .. } => "submit_pattern",
+        Request::SubmitValues { .. } => "submit_values",
+        Request::Solve { .. } => "solve",
+        Request::Stats => "stats",
+        Request::Shutdown => "shutdown",
+    }
+}
+
+fn parse_pattern(pattern: &str) -> Result<u64, (ErrorCode, String)> {
+    key_from_wire(pattern).ok_or_else(|| {
+        (
+            ErrorCode::BadRequest,
+            format!("'{pattern}' is not a pattern key (16 hex digits)"),
+        )
+    })
+}
+
+fn unknown_pattern(pattern: &str) -> (ErrorCode, String) {
+    (
+        ErrorCode::UnknownPattern,
+        format!("pattern '{pattern}' is not cached (evicted or never submitted)"),
+    )
+}
+
+fn internal_race() -> (ErrorCode, String) {
+    (
+        ErrorCode::Internal,
+        "cache entry vanished mid-request".to_string(),
+    )
+}
+
+fn wire_error(e: MatrixError) -> (ErrorCode, String) {
+    (map_error(&e), e.to_string())
+}

@@ -11,7 +11,9 @@
 //! * [`sched`] — DAR task graphs, the In-Pack cost model and schedulers;
 //! * [`core`] — the CSR-k structure, pack construction and the four solvers;
 //! * [`krylov`] — the preconditioned conjugate-gradient subsystem driving
-//!   the pipelined triangular kernels end to end.
+//!   the pipelined triangular kernels end to end;
+//! * [`serve`] — the persistent solver service: a JSON-lines daemon with a
+//!   structure/factor cache and a typed client library.
 //!
 //! # Quickstart
 //!
@@ -241,6 +243,45 @@
 //! (`tests/fault_injection.rs`) live in `sts-bench`'s `faultinject` module:
 //! seeded SPD-breaking perturbations, NaN poisoning, and chaos hooks that
 //! panic or stall a chosen worker at a chosen pack.
+//!
+//! # The solver service (`sts-serve`)
+//!
+//! Analysis and factorization are reusable across every solve that shares a
+//! sparsity pattern. [`serve::SolverService`] caches both behind a
+//! versioned JSON-lines contract — submit a pattern once (`O(analysis)`),
+//! attach values once (`O(nnz)` rebind + factor), then stream warm solves
+//! that skip analysis entirely; concurrent clients multiplex onto one
+//! shared worker pool, and solutions cross the wire bitwise intact:
+//!
+//! ```
+//! use sts_k::serve::{ServiceConfig, SolverService};
+//!
+//! let mut service = SolverService::new(ServiceConfig::default());
+//!
+//! // 1. Submit the sparsity pattern (a tiny 2×2 SPD system here): the
+//! //    analysis runs once and is keyed by a pattern hash.
+//! let reply = service.handle_line(
+//!     r#"{"v":1,"id":1,"op":"submit_pattern","n":2,"row_ptr":[0,2,4],
+//!         "col_idx":[0,1,0,1],"method":"STS-3","rows_per_super_row":8}"#,
+//! );
+//! assert!(reply.line.contains("\"ok\":true"));
+//! let key = reply.line.split("\"pattern\":\"").nth(1).unwrap()[..16].to_string();
+//!
+//! // 2. Attach values (factors the preconditioner), then 3. solve warm.
+//! let reply = service.handle_line(&format!(
+//!     r#"{{"v":1,"id":2,"op":"submit_values","pattern":"{key}","values":[4.0,-1.0,-1.0,4.0]}}"#,
+//! ));
+//! assert!(reply.line.contains("\"preconditioner\":\"ic0\""));
+//! let reply = service.handle_line(&format!(
+//!     r#"{{"v":1,"id":3,"op":"solve","pattern":"{key}","b":[3.0,3.0]}}"#,
+//! ));
+//! assert!(reply.line.contains("\"converged\":true"));
+//! // The warm path skipped analysis: the solve envelope says so.
+//! assert!(reply.line.contains("\"cache\":\"warm\""));
+//! ```
+//!
+//! The daemon (`sts_serve` binary) serves the same state machine over TCP;
+//! [`serve::Client`] is the typed blocking client the `sts_solve` CLI wraps.
 
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
@@ -250,3 +291,4 @@ pub use sts_krylov as krylov;
 pub use sts_matrix as matrix;
 pub use sts_numa as numa;
 pub use sts_sched as sched;
+pub use sts_serve as serve;

@@ -1,0 +1,98 @@
+//! End-to-end TCP test: several clients multiplex onto one daemon sharing
+//! one analyzed pattern, and every served solution is bitwise identical to
+//! the direct in-process API — concurrency and the wire change nothing.
+
+use std::net::TcpListener;
+use std::sync::{Arc, Mutex};
+use std::thread;
+
+use sts_k::core::Method;
+use sts_k::krylov::{build_ladder_preconditioner, KrylovWorkspace, Pcg, RecoveryPolicy, SpdSystem};
+use sts_k::matrix::generators;
+use sts_k::serve::{serve, Client, ServiceConfig, SolverService};
+
+/// Deterministic per-client right-hand side.
+fn rhs(n: usize, seed: usize) -> Vec<f64> {
+    (0..n).map(|i| 1.0 + ((i + 3 * seed) % 11) as f64).collect()
+}
+
+#[test]
+fn concurrent_clients_get_bitwise_identical_solutions() {
+    let a = generators::grid2d_laplacian(16, 16).unwrap();
+    let n = a.nrows();
+    let config = ServiceConfig::default();
+
+    // Direct in-process reference, same pool shape as the daemon's.
+    let pcg = Pcg::with_options(config.threads, config.schedule, config.options);
+    let sys = SpdSystem::build(&a, Method::Sts3, 8).unwrap();
+    let (mut pre, _) =
+        build_ladder_preconditioner(&sys, pcg.solver(), &RecoveryPolicy::default()).unwrap();
+    let clients = 5usize;
+    let mut reference = Vec::with_capacity(clients);
+    let mut ws = KrylovWorkspace::new(n);
+    for seed in 0..clients {
+        let out = pcg.solve(&sys, &mut pre, &rhs(n, seed), &mut ws).unwrap();
+        assert!(out.converged);
+        reference.push(out.x);
+    }
+
+    // Daemon on an ephemeral port.
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    let service = Arc::new(Mutex::new(SolverService::new(config)));
+    let daemon = thread::spawn(move || serve(listener, service));
+
+    // One client pays the analysis and factorization…
+    let mut setup = Client::connect(&addr).unwrap();
+    let pattern = setup.submit_pattern(&a, "STS-3", 8).unwrap();
+    let preconditioner = setup.submit_values(&pattern, a.values()).unwrap();
+    assert_eq!(preconditioner, "ic0");
+
+    // …then every client solves concurrently against the shared factor.
+    let mut handles = Vec::new();
+    for seed in 0..clients {
+        let addr = addr.clone();
+        let pattern = pattern.clone();
+        handles.push(thread::spawn(move || {
+            let mut client = Client::connect(&addr).unwrap();
+            let mut solutions = Vec::new();
+            for round in 0..3 {
+                let result = client.solve(&pattern, &rhs(n, seed)).unwrap();
+                assert!(
+                    result.converged,
+                    "client {seed} round {round} must converge"
+                );
+                solutions.push(result.x);
+            }
+            (seed, solutions)
+        }));
+    }
+    for handle in handles {
+        let (seed, solutions) = handle.join().unwrap();
+        for x in solutions {
+            assert_eq!(
+                x.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                reference[seed]
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect::<Vec<_>>(),
+                "client {seed} must match the direct API bitwise"
+            );
+        }
+    }
+
+    // The shared pattern was analyzed exactly once; every solve was warm.
+    let stats = setup.stats().unwrap();
+    assert_eq!(
+        stats.get("patterns_cached").and_then(serde::Value::as_u64),
+        Some(1)
+    );
+    assert_eq!(
+        stats.get("solves").and_then(serde::Value::as_u64),
+        Some(3 * clients as u64)
+    );
+
+    setup.shutdown().unwrap();
+    let connections = daemon.join().unwrap().unwrap();
+    assert!(connections > clients as u64);
+}

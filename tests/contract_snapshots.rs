@@ -1,0 +1,180 @@
+//! Wire-contract snapshot tests.
+//!
+//! The JSON-lines protocol is versioned: within protocol v1, field names,
+//! op names, error codes, and envelope shapes must never drift. These tests
+//! pin the serialized contract against committed snapshot files under
+//! `tests/contract/`:
+//!
+//! * `error_codes.jsonl` — one error envelope per [`ErrorCode`], in the
+//!   contract's fixed order;
+//! * `session.txt` — a scripted request/response session covering every op
+//!   (cold and warm paths, all three solve modes, per-request overrides)
+//!   and every error code the dispatch layer can produce deterministically.
+//!
+//! Timing fields (any key ending in `_ns`) are zeroed before comparison;
+//! everything else — including solution vectors, which the service promises
+//! cross the wire bitwise intact — is compared verbatim.
+//!
+//! To regenerate after an *intentional* contract change (which requires a
+//! protocol version bump or an additive-only extension):
+//!
+//! ```text
+//! UPDATE_SNAPSHOTS=1 cargo test --test contract_snapshots
+//! ```
+
+use std::path::PathBuf;
+
+use serde::Value;
+use sts_k::core::Method;
+use sts_k::serve::protocol::{err_envelope, ErrorCode};
+use sts_k::serve::{pattern_key, ServiceConfig, SolverService};
+
+fn contract_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("contract")
+}
+
+/// Compares `actual` against the committed snapshot, or rewrites the
+/// snapshot when `UPDATE_SNAPSHOTS` is set.
+fn assert_snapshot(name: &str, actual: &str) {
+    let path = contract_dir().join(name);
+    if std::env::var_os("UPDATE_SNAPSHOTS").is_some() {
+        std::fs::create_dir_all(contract_dir()).expect("tests/contract is creatable");
+        std::fs::write(&path, actual).expect("snapshot is writable");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|_| {
+        panic!(
+            "missing snapshot {}; run `UPDATE_SNAPSHOTS=1 cargo test --test contract_snapshots` \
+             to create it, then commit the file",
+            path.display()
+        )
+    });
+    assert_eq!(
+        expected,
+        actual,
+        "the wire contract drifted from {}; if the change is intentional (additive or behind a \
+         version bump), regenerate with UPDATE_SNAPSHOTS=1 and review the diff",
+        path.display()
+    );
+}
+
+/// Zeroes every field whose key ends in `_ns` (wall-clock timings are the
+/// only nondeterministic part of a response).
+fn zero_timings(v: &mut Value) {
+    match v {
+        Value::Object(pairs) => {
+            for (k, val) in pairs.iter_mut() {
+                if k.ends_with("_ns") {
+                    *val = Value::UInt(0);
+                } else {
+                    zero_timings(val);
+                }
+            }
+        }
+        Value::Array(items) => {
+            for item in items.iter_mut() {
+                zero_timings(item);
+            }
+        }
+        _ => {}
+    }
+}
+
+fn normalize(line: &str) -> String {
+    let mut v = serde_json::from_str(line).expect("response lines are valid JSON");
+    zero_timings(&mut v);
+    serde_json::to_string(&v).expect("normalized response serializes")
+}
+
+#[test]
+fn error_code_catalogue_matches_snapshot() {
+    let mut lines = String::new();
+    for code in ErrorCode::all() {
+        let envelope = err_envelope(9, *code, &format!("exemplar message for {}", code.as_str()));
+        lines.push_str(&envelope);
+        lines.push('\n');
+    }
+    assert_snapshot("error_codes.jsonl", &lines);
+}
+
+#[test]
+fn scripted_session_matches_snapshot() {
+    // Fixed thread count: solves are bitwise deterministic at any count,
+    // but the stats line reports the configured pool size.
+    let mut service = SolverService::new(ServiceConfig {
+        threads: 2,
+        ..ServiceConfig::default()
+    });
+
+    // The canonical 2×2 SPD operator [[4,-1],[-1,4]] — small enough that
+    // the full solve output (bitwise) fits in the snapshot.
+    let (n, row_ptr, col_idx) = (2usize, vec![0usize, 2, 4], vec![0usize, 1, 0, 1]);
+    let key = format!(
+        "{:016x}",
+        pattern_key(n, &row_ptr, &col_idx, Method::Sts3, 1)
+    );
+    // A second pattern that never receives values (the `no_values` path).
+    let bare = format!(
+        "{:016x}",
+        pattern_key(n, &row_ptr, &col_idx, Method::CsrLs, 1)
+    );
+
+    let script: Vec<String> = vec![
+        // Every op, cold then warm.
+        format!(
+            r#"{{"v":1,"id":1,"op":"submit_pattern","n":2,"row_ptr":[0,2,4],"col_idx":[0,1,0,1],"method":"STS-3","rows_per_super_row":1}}"#
+        ),
+        format!(
+            r#"{{"v":1,"id":2,"op":"submit_pattern","n":2,"row_ptr":[0,2,4],"col_idx":[0,1,0,1],"method":"STS-3","rows_per_super_row":1}}"#
+        ),
+        format!(r#"{{"v":1,"id":3,"op":"submit_values","pattern":"{key}","values":[4.0,-1.0,-1.0,4.0]}}"#),
+        format!(r#"{{"v":1,"id":4,"op":"solve","pattern":"{key}","b":[3.0,3.0]}}"#),
+        format!(
+            r#"{{"v":1,"id":5,"op":"solve","pattern":"{key}","b":[3.0,6.0,3.0,6.0],"mode":"batch","nrhs":2}}"#
+        ),
+        format!(
+            r#"{{"v":1,"id":6,"op":"solve","pattern":"{key}","b":[3.0,6.0,3.0,6.0],"mode":"block","nrhs":2}}"#
+        ),
+        format!(
+            r#"{{"v":1,"id":7,"op":"solve","pattern":"{key}","b":[3.0,3.0],"tolerance":1e-12,"max_iterations":50}}"#
+        ),
+        // Every deterministically reachable error code.
+        "this is not json".to_string(),
+        r#"{"v":2,"id":8,"op":"stats"}"#.to_string(),
+        r#"{"v":1,"id":9}"#.to_string(),
+        r#"{"v":1,"id":10,"op":"conjure"}"#.to_string(),
+        format!(
+            r#"{{"v":1,"id":11,"op":"solve","pattern":"{key}","b":[3.0,3.0],"mode":"triangular"}}"#
+        ),
+        r#"{"v":1,"id":12,"op":"solve","pattern":"zzzz","b":[3.0,3.0]}"#.to_string(),
+        r#"{"v":1,"id":13,"op":"solve","pattern":"00000000deadbeef","b":[3.0,3.0]}"#.to_string(),
+        r#"{"v":1,"id":14,"op":"submit_pattern","n":2,"row_ptr":[0,2,4],"col_idx":[0,1,0,1],"method":"LU","rows_per_super_row":1}"#.to_string(),
+        r#"{"v":1,"id":15,"op":"submit_pattern","n":2,"row_ptr":[0,2,4],"col_idx":[0,5,0,1],"method":"STS-3","rows_per_super_row":1}"#.to_string(),
+        r#"{"v":1,"id":16,"op":"submit_pattern","n":2,"row_ptr":[0,2,4],"col_idx":[0,1,0,1],"method":"CSR-LS","rows_per_super_row":1}"#.to_string(),
+        format!(r#"{{"v":1,"id":17,"op":"solve","pattern":"{bare}","b":[3.0,3.0]}}"#),
+        format!(r#"{{"v":1,"id":18,"op":"submit_values","pattern":"{key}","values":[4.0,-1.0]}}"#),
+        format!(r#"{{"v":1,"id":19,"op":"solve","pattern":"{key}","b":[3.0]}}"#),
+        // Counters and the shutdown handshake close the session.
+        r#"{"v":1,"id":20,"op":"stats"}"#.to_string(),
+        r#"{"v":1,"id":21,"op":"shutdown"}"#.to_string(),
+    ];
+
+    let mut transcript = String::new();
+    for (i, request) in script.iter().enumerate() {
+        let reply = service.handle_line(request);
+        transcript.push_str("> ");
+        transcript.push_str(request);
+        transcript.push('\n');
+        transcript.push_str("< ");
+        transcript.push_str(&normalize(&reply.line));
+        transcript.push('\n');
+        let last = i + 1 == script.len();
+        assert_eq!(
+            reply.shutdown, last,
+            "only the final shutdown request may stop the daemon"
+        );
+    }
+    assert_snapshot("session.txt", &transcript);
+}

@@ -117,7 +117,7 @@ impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
 pub mod collection {
     use super::{SampleRange, StdRng, Strategy};
 
-    /// Strategy returned by [`vec`].
+    /// Strategy returned by [`vec()`].
     pub struct VecStrategy<S> {
         element: S,
         size: std::ops::Range<usize>,

@@ -61,6 +61,51 @@ impl Value {
             _ => None,
         }
     }
+
+    /// Boolean view of the value (`None` for non-booleans), name-compatible
+    /// with `serde_json::Value::as_bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Array view of the value (`None` for non-arrays), name-compatible with
+    /// `serde_json::Value::as_array`.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Unsigned-integer view of the value, name-compatible with
+    /// `serde_json::Value::as_u64`. Non-negative `Int`s convert; floats do
+    /// not (they may have lost integer precision in transport).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::UInt(u) => Some(*u),
+            Value::Int(i) => u64::try_from(*i).ok(),
+            _ => None,
+        }
+    }
+
+    /// Signed-integer view of the value, name-compatible with
+    /// `serde_json::Value::as_i64`.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::UInt(u) => i64::try_from(*u).ok(),
+            _ => None,
+        }
+    }
+
+    /// `usize` view of the value (convenience over [`Value::as_u64`] for
+    /// index-typed protocol fields).
+    pub fn as_usize(&self) -> Option<usize> {
+        self.as_u64().and_then(|u| usize::try_from(u).ok())
+    }
 }
 
 /// Types that can lower themselves into the [`Value`] data model.
@@ -200,5 +245,23 @@ mod tests {
             (1usize, 2.0f64).to_value(),
             Value::Array(vec![Value::UInt(1), Value::Float(2.0)])
         );
+    }
+
+    #[test]
+    fn accessors_view_the_matching_variant_only() {
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+        assert_eq!(Value::UInt(1).as_bool(), None);
+        assert_eq!(
+            Value::Array(vec![Value::UInt(7)]).as_array(),
+            Some(&[Value::UInt(7)][..])
+        );
+        assert_eq!(Value::Null.as_array(), None);
+        assert_eq!(Value::UInt(9).as_u64(), Some(9));
+        assert_eq!(Value::Int(9).as_u64(), Some(9));
+        assert_eq!(Value::Int(-1).as_u64(), None);
+        assert_eq!(Value::Float(9.0).as_u64(), None);
+        assert_eq!(Value::Int(-3).as_i64(), Some(-3));
+        assert_eq!(Value::UInt(u64::MAX).as_i64(), None);
+        assert_eq!(Value::UInt(12).as_usize(), Some(12));
     }
 }

@@ -32,6 +32,10 @@
 //!   (`pcg_guarded_overhead_ns`, gated at < 2% of `pcg_wall_ns`), and the
 //!   wall cost of one `validate()` boundary pass (`spd_validate_wall_ns`)
 //!   — the robustness tax trend lines;
+//! * the observability tax: what a pipelined solve pays for an
+//!   installed-but-disabled span recorder
+//!   (`pcg_trace_disabled_overhead_ns`, gated at < 2% of `pcg_wall_ns`) —
+//!   tracing must be free when it is off;
 //! * the solver service: the cold path through the wire contract
 //!   (`serve_cold_solve_wall_ns` — pattern analysis + factorization + first
 //!   solve) vs. the warm cached path (`serve_warm_solve_wall_ns`), both
@@ -49,6 +53,7 @@
 //!   `BENCH_trend.jsonl` job summary, and to feed the `bench_gate`
 //!   regression check against the committed `bench/baseline.json`.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use serde::{Serialize, Value};
@@ -58,6 +63,7 @@ use sts_krylov::{Identity, KrylovWorkspace, Pcg, RobustPcg, SpdSystem, Ssor, Swe
 use sts_matrix::generators;
 use sts_serve::protocol::{float_array, obj, render, usize_array};
 use sts_serve::{ServiceConfig, SolverService};
+use sts_trace::SpanRecorder;
 
 #[derive(Serialize)]
 struct Smoke {
@@ -136,6 +142,12 @@ struct Smoke {
     /// `pcg_wall_ns` (< 2%) so the per-solve robustness tax can never
     /// quietly grow into the hot path.
     pcg_guarded_overhead_ns: f64,
+    /// Best-of-blocks wall nanoseconds an installed-but-*disabled*
+    /// `SpanRecorder` adds to one pipelined triangular solve — the paired
+    /// difference between a traced-off solver and a plain one, clamped at
+    /// zero. Gated against `pcg_wall_ns` (< 2%): observability must stay
+    /// free when it is off.
+    pcg_trace_disabled_overhead_ns: f64,
     /// Best-of-blocks wall nanoseconds of one `CsrMatrix::validate` pass
     /// over the smoke operator — the price of the non-finite/SPD-shape
     /// guard at the `SpdSystem::build` boundary. Informational: it is a
@@ -332,6 +344,20 @@ fn main() {
     );
     let (validate_s, _) = time_pair_blocks(20, 5, || a.validate().unwrap(), || ());
 
+    // The disabled-tracing tax: the same pipelined kernel with a span
+    // recorder installed but never enabled, paired against the plain solver
+    // (interleaved min-of-blocks, like every other ratio here). The
+    // difference is the whole cost observability charges a production solve
+    // that has tracing wired up but off.
+    let mut solver_traced = ParallelSolver::new(threads, harness::paper_schedule(run.method));
+    solver_traced.set_trace_recorder(Some(Arc::new(SpanRecorder::new(1024))));
+    let (piped_plain_s, piped_traced_s) = time_pair(
+        repeats,
+        || solver.solve_pipelined(s, &b).unwrap(),
+        || solver_traced.solve_pipelined(s, &b).unwrap(),
+    );
+    let trace_overhead_ns = ((piped_traced_s - piped_plain_s) * 1e9).max(0.0);
+
     // The solver service, through the wire contract on an in-process
     // `SolverService` (no sockets, so the numbers isolate the service
     // layer): the cold path pays analysis + factorization + first solve
@@ -424,7 +450,9 @@ fn main() {
         wall_batch4_per_rhs_s: wall_batch4_s / nrhs as f64,
         wall_batch4_pipelined_per_rhs_s: wall_batch4_piped_s / nrhs as f64,
         pcg_iters: best.iterations,
-        pcg_wall_ns: best.seconds_total * 1e9,
+        // The driver's integer clock (PcgOutcome::wall_ns) — the same value
+        // the service metrics line reports, not an f64 re-derivation.
+        pcg_wall_ns: best.wall_ns as f64,
         pcg_precond_share: best.precond_share(),
         pcg_block_iters: best_blk.total_iterations(),
         pcg_block_lockstep_iters: lockstep_total,
@@ -445,6 +473,7 @@ fn main() {
         sim_ic0_build_speedup: sim_ic0_seq.total_cycles / sim_ic0_par.total_cycles,
         recovery_attempts,
         pcg_guarded_overhead_ns: guard_s * 1e9,
+        pcg_trace_disabled_overhead_ns: trace_overhead_ns,
         spd_validate_wall_ns: validate_s * 1e9,
         serve_cold_solve_wall_ns: serve_cold_s * 1e9,
         serve_warm_solve_wall_ns: serve_warm_s * 1e9,

@@ -25,12 +25,17 @@
 //!   min-of-blocks measurements `bench_smoke` reports, far below a real
 //!   kernel regression.
 //!
-//! On top of the baseline comparison, the gate enforces one *absolute*
-//! bound: the clean-path guard cost (`pcg_guarded_overhead_ns`, the scalar
-//! checks a guarded PCG solve executes when nothing is wrong) must stay
-//! under [`MAX_GUARD_SHARE`] of `pcg_wall_ns`. It reads the current record
-//! only — no baseline involved — and is skipped for records predating the
-//! fields.
+//! On top of the baseline comparison, the gate enforces two *absolute*
+//! bounds, both read from the current record only (no baseline involved,
+//! skipped for records predating the fields):
+//!
+//! * the clean-path guard cost (`pcg_guarded_overhead_ns`, the scalar
+//!   checks a guarded PCG solve executes when nothing is wrong) must stay
+//!   under [`MAX_GUARD_SHARE`] of `pcg_wall_ns`;
+//! * the disabled-tracing cost (`pcg_trace_disabled_overhead_ns`, what a
+//!   pipelined solve pays for an installed-but-disabled span recorder) must
+//!   stay under [`MAX_TRACE_SHARE`] of `pcg_wall_ns` — observability must
+//!   be free when it is off.
 //!
 //! The `bench_gate` binary wraps this for the workflow; `--advisory`
 //! (wired to an override label on the PR) demotes failures to warnings.
@@ -49,12 +54,18 @@ pub const GATED_FIELDS: &[&str] = &[
     "ic0_build_parallel_wall_ns",
     "serve_cold_solve_wall_ns",
     "serve_warm_solve_wall_ns",
+    "pcg_trace_disabled_overhead_ns",
 ];
 
 /// The share of `pcg_wall_ns` the clean-path guards
 /// (`pcg_guarded_overhead_ns`) may cost before the gate fails: the
 /// robustness checks must stay effectively free on the unfaulted hot path.
 pub const MAX_GUARD_SHARE: f64 = 0.02;
+
+/// The share of `pcg_wall_ns` the *disabled* tracing path
+/// (`pcg_trace_disabled_overhead_ns`) may cost before the gate fails: an
+/// installed-but-off span recorder must not tax the solve.
+pub const MAX_TRACE_SHARE: f64 = 0.02;
 
 /// One gated field's comparison.
 #[derive(Debug, Clone, PartialEq)]
@@ -71,18 +82,20 @@ pub struct FieldCheck {
     pub failed: bool,
 }
 
-/// The absolute guard-cost check: `pcg_guarded_overhead_ns` as a share of
-/// `pcg_wall_ns`, both read from the *current* record only — no baseline
-/// needed, so it arms the moment the bench emits the fields.
+/// An absolute overhead-share check: a per-solve overhead field as a share
+/// of `pcg_wall_ns`, both read from the *current* record only — no baseline
+/// needed, so it arms the moment the bench emits the fields. Used for the
+/// clean-path guard cost (cap [`MAX_GUARD_SHARE`]) and the disabled-tracing
+/// cost (cap [`MAX_TRACE_SHARE`]).
 #[derive(Debug, Clone, PartialEq)]
 pub struct GuardCheck {
-    /// Per-solve guard cost (`pcg_guarded_overhead_ns`).
+    /// Per-solve overhead cost in nanoseconds.
     pub overhead_ns: f64,
     /// The solve it taxes (`pcg_wall_ns`).
     pub solve_ns: f64,
     /// `overhead_ns / solve_ns`.
     pub share: f64,
-    /// Whether the share exceeds [`MAX_GUARD_SHARE`].
+    /// Whether the share exceeds the check's cap.
     pub failed: bool,
 }
 
@@ -97,15 +110,20 @@ pub struct GateReport {
     /// The clean-path guard-cost check, when the current record carries the
     /// fields (`None` for records predating them).
     pub guard: Option<GuardCheck>,
+    /// The disabled-tracing overhead check, when the current record carries
+    /// the fields (`None` for records predating them).
+    pub trace: Option<GuardCheck>,
     /// The regression threshold in percent.
     pub threshold_pct: f64,
 }
 
 impl GateReport {
-    /// Whether every compared field stayed within the threshold and the
-    /// guard share stayed under its cap.
+    /// Whether every compared field stayed within the threshold and every
+    /// overhead share stayed under its cap.
     pub fn passed(&self) -> bool {
-        self.checks.iter().all(|c| !c.failed) && self.guard.iter().all(|g| !g.failed)
+        self.checks.iter().all(|c| !c.failed)
+            && self.guard.iter().all(|g| !g.failed)
+            && self.trace.iter().all(|g| !g.failed)
     }
 
     /// Human-readable table, one line per field, worst regression first.
@@ -132,21 +150,28 @@ impl GateReport {
         for s in &self.skipped {
             lines.push(format!("  [skip] {s:<33} missing or unusable in a record"));
         }
-        match &self.guard {
-            Some(g) => lines.push(format!(
-                "  [{}] {:<34} overhead {:>12.4e}  solve {:>12.4e}  share {:.4} (cap {:.2})",
-                if g.failed { "FAIL" } else { " ok " },
-                "pcg_guarded_overhead_ns",
-                g.overhead_ns,
-                g.solve_ns,
-                g.share,
-                MAX_GUARD_SHARE
-            )),
-            None => lines.push(
-                "  [skip] pcg_guarded_overhead_ns          missing or unusable in the current \
-                 record"
-                    .to_string(),
+        for (check, field, cap) in [
+            (&self.guard, "pcg_guarded_overhead_ns", MAX_GUARD_SHARE),
+            (
+                &self.trace,
+                "pcg_trace_disabled_overhead_ns",
+                MAX_TRACE_SHARE,
             ),
+        ] {
+            match check {
+                Some(g) => lines.push(format!(
+                    "  [{}] {:<34} overhead {:>12.4e}  solve {:>12.4e}  share {:.4} (cap {:.2})",
+                    if g.failed { "FAIL" } else { " ok " },
+                    field,
+                    g.overhead_ns,
+                    g.solve_ns,
+                    g.share,
+                    cap
+                )),
+                None => lines.push(format!(
+                    "  [skip] {field:<33} missing or unusable in the current record"
+                )),
+            }
         }
         lines.join("\n")
     }
@@ -182,29 +207,33 @@ pub fn compare(baseline: &Value, current: &Value, threshold_pct: f64) -> GateRep
             _ => skipped.push(field),
         }
     }
-    let guard = match (
-        numeric(current, "pcg_guarded_overhead_ns"),
-        numeric(current, "pcg_wall_ns"),
-    ) {
-        // The overhead may legitimately be ~0 (it is a handful of scalar
-        // branches), so only the denominator must be positive.
-        (Some(overhead_ns), Some(solve_ns)) if overhead_ns >= 0.0 && solve_ns > 0.0 => {
-            let share = overhead_ns / solve_ns;
-            Some(GuardCheck {
-                overhead_ns,
-                solve_ns,
-                share,
-                failed: share > MAX_GUARD_SHARE,
-            })
-        }
-        _ => None,
-    };
     GateReport {
         checks,
         skipped,
-        guard,
+        guard: share_check(current, "pcg_guarded_overhead_ns", MAX_GUARD_SHARE),
+        trace: share_check(current, "pcg_trace_disabled_overhead_ns", MAX_TRACE_SHARE),
         threshold_pct,
     }
+}
+
+/// Builds the absolute overhead-share check of `field` against
+/// `pcg_wall_ns`, or `None` when either field is missing or unusable.
+fn share_check(current: &Value, field: &str, cap: f64) -> Option<GuardCheck> {
+    let overhead_ns = numeric(current, field)?;
+    let solve_ns = numeric(current, "pcg_wall_ns")?;
+    // The overhead may legitimately be ~0 (a handful of scalar branches, or
+    // a clamped-to-zero paired measurement), so only the denominator must
+    // be positive.
+    if overhead_ns < 0.0 || solve_ns <= 0.0 {
+        return None;
+    }
+    let share = overhead_ns / solve_ns;
+    Some(GuardCheck {
+        overhead_ns,
+        solve_ns,
+        share,
+        failed: share > cap,
+    })
 }
 
 #[cfg(test)]
@@ -227,6 +256,9 @@ mod tests {
             ("ic0_build_parallel_wall_ns".into(), Value::Float(ic0)),
             ("serve_cold_solve_wall_ns".into(), Value::Float(5.0e8)),
             ("serve_warm_solve_wall_ns".into(), Value::Float(1.0e6)),
+            // Tiny, so the absolute share stays under the cap for every
+            // pcg_wall_ns the tests use.
+            ("pcg_trace_disabled_overhead_ns".into(), Value::Float(1.0)),
             ("pcg_iters".into(), Value::UInt(12)),
         ])
     }
@@ -261,6 +293,48 @@ mod tests {
         // Every relative comparison still passed: only the absolute guard
         // bound tripped.
         assert!(report.checks.iter().all(|c| !c.failed));
+    }
+
+    #[test]
+    fn trace_share_under_the_cap_passes_and_is_reported() {
+        let base = record(1.0e6, 1.0, 1.0, 1.0);
+        let report = compare(&base, &base, 25.0);
+        assert!(report.passed());
+        let t = report.trace.as_ref().expect("fields present");
+        assert!(!t.failed);
+        assert!((t.share - 1.0e-6).abs() < 1e-12);
+        assert!(report
+            .render()
+            .contains("[ ok ] pcg_trace_disabled_overhead_ns"));
+    }
+
+    #[test]
+    fn trace_share_over_the_cap_fails_the_gate() {
+        // 5% of the solve: the disabled tracing path grew a real cost.
+        let mut cur = record(1.0e6, 1.0, 1.0, 1.0);
+        if let Value::Object(m) = &mut cur {
+            m.retain(|(k, _)| k != "pcg_trace_disabled_overhead_ns");
+            m.push(("pcg_trace_disabled_overhead_ns".into(), Value::Float(5.0e4)));
+        }
+        let base = record(1.0e6, 1.0, 1.0, 1.0);
+        let report = compare(&base, &cur, 25.0);
+        assert!(!report.passed());
+        assert!(report.trace.as_ref().is_some_and(|t| t.failed));
+        assert!(report
+            .render()
+            .contains("[FAIL] pcg_trace_disabled_overhead_ns"));
+    }
+
+    #[test]
+    fn records_without_trace_fields_skip_the_trace_check() {
+        let base: Value = serde_json::from_str(r#"{"pcg_wall_ns": 1000.0}"#).unwrap();
+        let cur: Value = serde_json::from_str(r#"{"pcg_wall_ns": 1000.0}"#).unwrap();
+        let report = compare(&base, &cur, 25.0);
+        assert!(report.passed());
+        assert!(report.trace.is_none());
+        assert!(report
+            .render()
+            .contains("[skip] pcg_trace_disabled_overhead_ns"));
     }
 
     #[test]
@@ -437,6 +511,7 @@ mod tests {
                 share: f64::NAN,
                 failed: false,
             }),
+            trace: None,
             threshold_pct: 25.0,
         };
         let text = report.render();

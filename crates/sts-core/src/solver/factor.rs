@@ -59,6 +59,7 @@ use std::time::Instant;
 use sts_matrix::factor::{ic0_factor_row, lower_pattern_copy};
 use sts_matrix::{CsrMatrix, LowerTriangularCsr, MatrixError};
 use sts_numa::{EpochGate, GateWait, Schedule};
+use sts_trace::Phase;
 
 use crate::csrk::{Result, StsStructure};
 use crate::solver::parallel::{
@@ -99,12 +100,14 @@ impl ParallelSolver {
             // path, and `catch_unwind` gives a panicking hook (or kernel)
             // the same structured error.
             let current_pack = Cell::new(0usize);
+            let rec = self.active_recorder();
             let swept = catch_unwind(AssertUnwindSafe(|| -> Result<()> {
                 for p in 0..s.num_packs() {
                     current_pack.set(p);
                     if let Some(hook) = self.chaos_hook() {
                         hook(0, p);
                     }
+                    let t0 = rec.map(|r| r.now_ns());
                     for i in s.pack_rows(p) {
                         let (done, rest) = vals.split_at_mut(row_ptr[i]);
                         let row = &mut rest[..row_ptr[i + 1] - row_ptr[i]];
@@ -112,6 +115,9 @@ impl ParallelSolver {
                         if d <= 0.0 || !d.is_finite() {
                             return Err(MatrixError::FactorizationBreakdown { row: i, pivot: d });
                         }
+                    }
+                    if let Some(r) = rec {
+                        r.record(0, p as u32, Phase::Factor, t0.unwrap_or(0), r.now_ns());
                     }
                 }
                 Ok(())
@@ -164,6 +170,7 @@ impl ParallelSolver {
         let bd_pivot: Vec<AtomicU64> = (0..workers).map(|_| AtomicU64::new(0)).collect();
         let deadline = Instant::now() + self.watchdog();
         let failure = KernelFailure::new();
+        let rec = self.active_recorder();
         {
             let shared = SharedVec::new(&mut vals);
             let row_ptr = &row_ptr;
@@ -187,7 +194,18 @@ impl ParallelSolver {
                             // guaranteed: every worker only ever waits on
                             // strictly earlier packs). Poisoned or timed-out
                             // waits unwind the sweep instead of hanging.
-                            match gate.wait_open_until(chunk_dep[idx] as usize, deadline) {
+                            let t0 = rec.map(|r| r.now_ns());
+                            let wait = gate.wait_open_until(chunk_dep[idx] as usize, deadline);
+                            if let Some(r) = rec {
+                                r.record(
+                                    w as u32,
+                                    p as u32,
+                                    Phase::GateWait,
+                                    t0.unwrap_or(0),
+                                    r.now_ns(),
+                                );
+                            }
+                            match wait {
                                 GateWait::Ready => {}
                                 GateWait::Poisoned => break,
                                 GateWait::TimedOut => {
@@ -199,6 +217,7 @@ impl ParallelSolver {
                             if let Some(hook) = self.chaos_hook() {
                                 hook(w, p);
                             }
+                            let t0 = rec.map(|r| r.now_ns());
                             for i in chunk_rows[idx].clone() {
                                 let lo = row_ptr[i];
                                 // SAFETY: row i's slots are written only by
@@ -219,6 +238,15 @@ impl ParallelSolver {
                                     local_row = i;
                                     local_pivot = d;
                                 }
+                            }
+                            if let Some(r) = rec {
+                                r.record(
+                                    w as u32,
+                                    p as u32,
+                                    Phase::Factor,
+                                    t0.unwrap_or(0),
+                                    r.now_ns(),
+                                );
                             }
                             gate.arrive_phase1(p);
                         }

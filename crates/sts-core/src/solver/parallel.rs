@@ -144,6 +144,7 @@ use std::time::{Duration, Instant};
 
 use sts_matrix::{CsrMatrix, MatrixError};
 use sts_numa::{EpochGate, GateWait, PoolError, Schedule, WorkerPool};
+use sts_trace::{Phase, SpanRecorder};
 
 use crate::csrk::{Result, StsStructure};
 
@@ -294,6 +295,8 @@ pub struct ParallelSolver {
     watchdog_ms: u64,
     /// Optional fault-injection hook; see [`ChaosHook`].
     chaos: Option<ChaosHook>,
+    /// Optional span recorder; see [`ParallelSolver::set_trace_recorder`].
+    trace: Option<Arc<SpanRecorder>>,
 }
 
 impl ParallelSolver {
@@ -305,6 +308,7 @@ impl ParallelSolver {
             schedule,
             watchdog_ms: DEFAULT_WATCHDOG_MS,
             chaos: None,
+            trace: None,
         }
     }
 
@@ -319,6 +323,7 @@ impl ParallelSolver {
             schedule,
             watchdog_ms: DEFAULT_WATCHDOG_MS,
             chaos: None,
+            trace: None,
         }
     }
 
@@ -345,6 +350,37 @@ impl ParallelSolver {
     /// deterministically.
     pub fn set_chaos_hook(&mut self, hook: Option<ChaosHook>) {
         self.chaos = hook;
+    }
+
+    /// Installs (or clears) a span recorder fed by the parallel kernels:
+    /// phase-1 gather chunks ([`Phase::Gather`]), phase-2 chain tasks
+    /// ([`Phase::Chain`]), blocking epoch-gate waits ([`Phase::GateWait`])
+    /// in the pipelined kernels, and level-scheduled IC(0) chunks
+    /// ([`Phase::Factor`]).
+    ///
+    /// The recorder's enabled flag is sampled once per solve, so an
+    /// installed-but-disabled recorder costs one `Option` check per kernel
+    /// dispatch (`bench_smoke` measures this configuration and the CI gate
+    /// bounds it below 2% of a PCG solve). The `worker` field of a span is
+    /// the pool slot for the pipelined kernels and the static phase-1
+    /// chunks; for `solve_split`'s dynamically scheduled phase-2 it carries
+    /// the chain-task index instead (the pool does not expose which slot
+    /// claimed a task). The `pack` field is the *stage* index: identical to
+    /// the pack for forward sweeps, reversed for transpose sweeps.
+    pub fn set_trace_recorder(&mut self, recorder: Option<Arc<SpanRecorder>>) {
+        self.trace = recorder;
+    }
+
+    /// The installed span recorder, if any.
+    pub fn trace_recorder(&self) -> Option<&Arc<SpanRecorder>> {
+        self.trace.as_ref()
+    }
+
+    /// The recorder to feed during one kernel dispatch: installed *and*
+    /// enabled (sampled once, so the per-span cost is only paid when spans
+    /// are actually wanted).
+    pub(crate) fn active_recorder(&self) -> Option<&SpanRecorder> {
+        self.trace.as_deref().filter(|r| r.is_enabled())
     }
 
     /// Number of worker threads.
@@ -439,6 +475,7 @@ impl ParallelSolver {
             let ivals = split.int_vals();
             let inv_diag = split.inv_diags();
             let workers = self.pool.num_threads();
+            let rec = self.active_recorder();
             for p in 0..s.num_packs() {
                 let rows = s.pack_rows(p);
                 let first_row = rows.start;
@@ -450,6 +487,7 @@ impl ParallelSolver {
                 let nchunks = workers.min(m);
                 self.pool
                     .parallel_for(nchunks, Schedule::Static, &|c| {
+                        let t0 = rec.map(|r| r.now_ns());
                         let chunk_start = first_row + c * m / nchunks;
                         let chunk_end = first_row + (c + 1) * m / nchunks;
                         for i1 in chunk_start..chunk_end {
@@ -464,6 +502,15 @@ impl ParallelSolver {
                             // chunk.
                             unsafe { shared.write(i1, (b[i1] - acc) * inv_diag[i1]) };
                         }
+                        if let Some(r) = rec {
+                            r.record(
+                                c as u32,
+                                p as u32,
+                                Phase::Gather,
+                                t0.unwrap_or(0),
+                                r.now_ns(),
+                            );
+                        }
                     })
                     .map_err(pool_error_to_matrix)?;
                 // Phase 2: internal substitution along the super-row chains.
@@ -476,6 +523,7 @@ impl ParallelSolver {
                 }
                 self.pool
                     .parallel_for(chain.len(), self.schedule, &|t| {
+                        let t0 = rec.map(|r| r.now_ns());
                         for &i1 in split.chain_rows_of(p, t) {
                             let i1 = i1 as usize;
                             let mut acc = 0.0;
@@ -490,6 +538,18 @@ impl ParallelSolver {
                             // its phase-1 value was published by the barrier.
                             let partial = unsafe { shared.read(i1) };
                             unsafe { shared.write(i1, partial - acc * inv_diag[i1]) };
+                        }
+                        if let Some(r) = rec {
+                            // The pool does not expose which slot claimed a
+                            // dynamically scheduled task, so the worker field
+                            // carries the chain-task index here.
+                            r.record(
+                                t as u32,
+                                p as u32,
+                                Phase::Chain,
+                                t0.unwrap_or(0),
+                                r.now_ns(),
+                            );
                         }
                     })
                     .map_err(pool_error_to_matrix)?;
@@ -1319,6 +1379,7 @@ impl ParallelSolver {
         // never touches the gate, but still rewinds so the generation stamp
         // keeps counting solves regardless of thread count.
         plan.rewind();
+        let rec = self.active_recorder();
         if workers == 1 {
             // A single worker's program order is exactly the two-phase sweep;
             // skip the gate and ticket atomics entirely. A stalling chaos
@@ -1332,10 +1393,18 @@ impl ParallelSolver {
                     }
                     let rows = plan.stage_rows[st].clone();
                     if !rows.is_empty() {
+                        let t0 = rec.map(|r| r.now_ns());
                         gather(rows);
+                        if let Some(r) = rec {
+                            r.record(0, st as u32, Phase::Gather, t0.unwrap_or(0), r.now_ns());
+                        }
                     }
                     for t in 0..plan.ntasks[st] {
+                        let t0 = rec.map(|r| r.now_ns());
                         chain(st, t);
+                        if let Some(r) = rec {
+                            r.record(0, st as u32, Phase::Chain, t0.unwrap_or(0), r.now_ns());
+                        }
                     }
                 }
             }));
@@ -1361,7 +1430,18 @@ impl ParallelSolver {
             if w < nchunks {
                 let dep = plan.chunk_dep[plan.chunk_ptr[st] + w] as usize;
                 if blocking {
-                    match plan.gate.wait_open_until(dep, deadline) {
+                    let t0 = rec.map(|r| r.now_ns());
+                    let wait = plan.gate.wait_open_until(dep, deadline);
+                    if let Some(r) = rec {
+                        r.record(
+                            w as u32,
+                            st as u32,
+                            Phase::GateWait,
+                            t0.unwrap_or(0),
+                            r.now_ns(),
+                        );
+                    }
+                    match wait {
                         GateWait::Ready => {}
                         GateWait::Poisoned => return ChunkStep::Bail,
                         GateWait::TimedOut => {
@@ -1381,7 +1461,17 @@ impl ParallelSolver {
                 }
                 let rows = plan.stage_rows[st].clone();
                 let m = rows.len();
+                let t0 = rec.map(|r| r.now_ns());
                 gather(rows.start + w * m / nchunks..rows.start + (w + 1) * m / nchunks);
+                if let Some(r) = rec {
+                    r.record(
+                        w as u32,
+                        st as u32,
+                        Phase::Gather,
+                        t0.unwrap_or(0),
+                        r.now_ns(),
+                    );
+                }
                 plan.gate.arrive_phase1(st);
             }
             ChunkStep::Ran
@@ -1445,7 +1535,17 @@ impl ParallelSolver {
                                 break;
                             }
                             current.set(st);
+                            let t0 = rec.map(|r| r.now_ns());
                             chain(st, t);
+                            if let Some(r) = rec {
+                                r.record(
+                                    w as u32,
+                                    st as u32,
+                                    Phase::Chain,
+                                    t0.unwrap_or(0),
+                                    r.now_ns(),
+                                );
+                            }
                             plan.gate.arrive_phase2(st);
                         }
                     }

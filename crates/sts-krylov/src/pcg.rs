@@ -1,10 +1,12 @@
 //! The preconditioned conjugate-gradient driver.
 
-use std::time::Instant;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use sts_core::ParallelSolver;
 use sts_matrix::{ops, MatrixError};
 use sts_numa::Schedule;
+use sts_trace::Registry;
 
 use crate::precond::Preconditioner;
 use crate::system::SpdSystem;
@@ -88,6 +90,14 @@ pub struct PcgOutcome {
     pub seconds_total: f64,
     /// Wall time spent inside preconditioner applications.
     pub seconds_precond: f64,
+    /// Wall time of the whole solve, integer nanoseconds — the canonical
+    /// value every reporting layer (metrics lines, histograms, bench
+    /// fields) should reuse instead of re-deriving its own. The legacy
+    /// `seconds_total` is the same measurement rendered as f64 seconds.
+    pub wall_ns: u64,
+    /// Wall time inside preconditioner applications, integer nanoseconds
+    /// (the same measurement as `seconds_precond`).
+    pub precond_ns: u64,
 }
 
 impl PcgOutcome {
@@ -161,6 +171,7 @@ impl PcgBlockOutcome {
 pub struct Pcg {
     solver: ParallelSolver,
     options: PcgOptions,
+    metrics: Option<Arc<Registry>>,
 }
 
 impl Pcg {
@@ -169,6 +180,7 @@ impl Pcg {
         Pcg {
             solver: ParallelSolver::new(threads, schedule),
             options: PcgOptions::default(),
+            metrics: None,
         }
     }
 
@@ -177,7 +189,23 @@ impl Pcg {
         Pcg {
             solver: ParallelSolver::new(threads, schedule),
             options,
+            metrics: None,
         }
+    }
+
+    /// Installs (or clears) a metrics registry the driver feeds per solve:
+    /// the `pcg_solves_total` counter plus the `pcg_iterations`,
+    /// `pcg_wall_ns` and `pcg_precond_share_pct` histograms (and, through
+    /// [`RobustPcg`](crate::RobustPcg), the `pcg_recovery_rungs_total`
+    /// counter). Observation is lock-free; the registry lookup happens once
+    /// per solve, far off the iteration hot path.
+    pub fn set_metrics_registry(&mut self, registry: Option<Arc<Registry>>) {
+        self.metrics = registry;
+    }
+
+    /// The installed metrics registry, if any.
+    pub fn metrics_registry(&self) -> Option<&Arc<Registry>> {
+        self.metrics.as_ref()
     }
 
     /// The worker pool — preconditioner plans must be built against this
@@ -231,7 +259,7 @@ impl Pcg {
             )));
         }
         let start = Instant::now();
-        let mut seconds_precond = 0.0f64;
+        let mut precond = Duration::ZERO;
         // With x₀ = 0 the initial residual *is* the gathered right-hand
         // side, so it lands directly in r.
         sys.gather_into(b, &mut ws.r);
@@ -254,7 +282,7 @@ impl Pcg {
         while rnorm > threshold && iterations < self.options.max_iterations {
             let t0 = Instant::now();
             pre.apply_into(&self.solver, &ws.r, &mut ws.z, &mut ws.sweep)?;
-            seconds_precond += t0.elapsed().as_secs_f64();
+            precond += t0.elapsed();
             let rz_new = ops::dot(&ws.r, &ws.z);
             if iterations == 0 {
                 ws.p.copy_from_slice(&ws.z);
@@ -303,15 +331,28 @@ impl Pcg {
         }
         let mut x = vec![0.0; n];
         sys.scatter_into(&ws.x, &mut x);
-        Ok(PcgOutcome {
+        // One elapsed() reading feeds both representations, so the integer
+        // and f64 fields can never disagree about what was measured.
+        let wall = start.elapsed();
+        let outcome = PcgOutcome {
             x,
             iterations,
             converged: rnorm <= threshold,
             residual_norm: rnorm,
             history,
-            seconds_total: start.elapsed().as_secs_f64(),
-            seconds_precond,
-        })
+            seconds_total: wall.as_secs_f64(),
+            seconds_precond: precond.as_secs_f64(),
+            wall_ns: wall.as_nanos() as u64,
+            precond_ns: precond.as_nanos() as u64,
+        };
+        if let Some(reg) = &self.metrics {
+            reg.counter("pcg_solves_total").inc();
+            reg.histogram("pcg_iterations").observe(iterations as u64);
+            reg.histogram("pcg_wall_ns").observe(outcome.wall_ns);
+            reg.histogram("pcg_precond_share_pct")
+                .observe((outcome.precond_share() * 100.0) as u64);
+        }
+        Ok(outcome)
     }
 
     /// Solves `nrhs` systems `A X = B` at once (interleaved layout,

@@ -290,6 +290,7 @@ impl RobustPcg {
     ) -> Result<RobustOutcome> {
         let (outcome, report) =
             self.solve_ladder(sys, &mut |pcg, pre| pcg.solve(sys, pre, b, ws))?;
+        self.observe_recovery(&report);
         Ok(RobustOutcome { outcome, report })
     }
 
@@ -307,6 +308,7 @@ impl RobustPcg {
     ) -> Result<RobustBatchOutcome> {
         let (outcome, report) =
             self.solve_ladder(sys, &mut |pcg, pre| pcg.solve_batch(sys, pre, b, nrhs, ws))?;
+        self.observe_recovery(&report);
         Ok(RobustBatchOutcome { outcome, report })
     }
 
@@ -322,7 +324,22 @@ impl RobustPcg {
     ) -> Result<RobustBlockOutcome> {
         let (outcome, report) =
             self.solve_ladder(sys, &mut |pcg, pre| pcg.solve_block(sys, pre, b, nrhs, ws))?;
+        self.observe_recovery(&report);
         Ok(RobustBlockOutcome { outcome, report })
+    }
+
+    /// Feeds the descent into the wrapped driver's metrics registry (if one
+    /// is installed): every abandoned rung counts one
+    /// `pcg_recovery_rungs_total` — the trend line a weakening default
+    /// shift schedule shows up on first.
+    fn observe_recovery(&self, report: &RecoveryReport) {
+        if report.attempts.is_empty() {
+            return;
+        }
+        if let Some(reg) = self.pcg.metrics_registry() {
+            reg.counter("pcg_recovery_rungs_total")
+                .add(report.attempts.len() as u64);
+        }
     }
 
     /// The shared descent: builds each rung's preconditioner in ladder order

@@ -55,4 +55,4 @@ pub use client::{Client, ClientError, ClientResult, SolveResult};
 pub use pool::{PoolStats, WorkspacePool};
 pub use protocol::{ErrorCode, Request, SolveMode, PROTOCOL_VERSION};
 pub use server::serve;
-pub use service::{MetricsSink, ServeReply, ServiceConfig, SolverService};
+pub use service::{MetricsSink, ServeReply, ServiceConfig, SolverService, TraceSink};

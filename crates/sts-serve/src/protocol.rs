@@ -194,6 +194,9 @@ pub enum Request {
     },
     /// Service counters (cache hits/misses, evictions, solves).
     Stats,
+    /// Aggregated observability state: the `stats` counters plus a
+    /// Prometheus-style text exposition of the metrics registry.
+    Metrics,
     /// Stop the daemon after responding.
     Shutdown,
 }
@@ -379,6 +382,7 @@ pub fn parse_request(line: &str) -> Result<(u64, Request), RequestError> {
             }
         }
         "stats" => Request::Stats,
+        "metrics" => Request::Metrics,
         "shutdown" => Request::Shutdown,
         other => {
             return Err(RequestError {
@@ -433,6 +437,10 @@ mod tests {
         assert!(matches!(
             parse_request(r#"{"v":1,"id":1,"op":"stats"}"#).unwrap().1,
             Request::Stats
+        ));
+        assert!(matches!(
+            parse_request(r#"{"v":1,"id":1,"op":"metrics"}"#).unwrap().1,
+            Request::Metrics
         ));
         assert!(matches!(
             parse_request(r#"{"v":1,"id":1,"op":"shutdown"}"#)

@@ -6,6 +6,7 @@
 //! request line to one response line — so the same state machine serves the
 //! TCP daemon, in-process tests, and the bench harness identically.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use serde::Value;
@@ -16,6 +17,7 @@ use sts_krylov::{
 };
 use sts_matrix::{CsrMatrix, MatrixError};
 use sts_numa::Schedule;
+use sts_trace::{chrome_trace_json, Registry, SpanRecorder};
 
 use crate::cache::{key_from_wire, key_to_wire, pattern_key, FactorEntry, StructureCache};
 use crate::pool::WorkspacePool;
@@ -66,6 +68,15 @@ pub struct ServeReply {
 /// the same one-object-per-line format `bench_smoke` emits.
 pub type MetricsSink = Box<dyn FnMut(&str) + Send>;
 
+/// Per-solve trace sink: receives the 1-based solve sequence number and the
+/// Chrome trace-event JSON of that solve's span timeline.
+pub type TraceSink = Box<dyn FnMut(u64, &str) + Send>;
+
+/// Span-ring capacity of the tracing recorder a [`TraceSink`] installs.
+/// Sized for thousands of pack phases per solve; older spans are dropped
+/// (counted) if a single solve overflows it.
+const TRACE_CAPACITY: usize = 65_536;
+
 /// The persistent solver service.
 pub struct SolverService {
     pcg: Pcg,
@@ -75,6 +86,9 @@ pub struct SolverService {
     requests: u64,
     solves: u64,
     metrics: Option<MetricsSink>,
+    registry: Arc<Registry>,
+    trace_recorder: Option<Arc<SpanRecorder>>,
+    trace_sink: Option<TraceSink>,
 }
 
 /// What a dispatched op produced: the result object of the success envelope
@@ -89,13 +103,19 @@ type OpResult = Result<OpOutcome, (ErrorCode, String)>;
 impl SolverService {
     /// A service with `config`'s pool, cache, and policies.
     pub fn new(config: ServiceConfig) -> Self {
+        let registry = Arc::new(Registry::new());
+        let mut pcg = Pcg::with_options(config.threads, config.schedule, config.options);
+        pcg.set_metrics_registry(Some(Arc::clone(&registry)));
         SolverService {
-            pcg: Pcg::with_options(config.threads, config.schedule, config.options),
+            pcg,
             cache: StructureCache::new(config.cache_capacity),
             pool: WorkspacePool::new(),
             requests: 0,
             solves: 0,
             metrics: None,
+            registry,
+            trace_recorder: None,
+            trace_sink: None,
             config,
         }
     }
@@ -103,6 +123,26 @@ impl SolverService {
     /// Installs a per-request metrics sink (one JSON line per request).
     pub fn set_metrics_sink(&mut self, sink: MetricsSink) {
         self.metrics = Some(sink);
+    }
+
+    /// Installs a per-solve trace sink and enables span recording on the
+    /// shared solver. Every subsequent `solve` request hands the sink one
+    /// Chrome trace-event JSON document (viewable in Perfetto /
+    /// `chrome://tracing`) keyed by the solve sequence number.
+    pub fn set_trace_sink(&mut self, sink: TraceSink) {
+        let recorder = Arc::new(SpanRecorder::new(TRACE_CAPACITY));
+        recorder.enable();
+        self.pcg
+            .solver_mut()
+            .set_trace_recorder(Some(Arc::clone(&recorder)));
+        self.trace_recorder = Some(recorder);
+        self.trace_sink = Some(sink);
+    }
+
+    /// The shared metrics registry every layer of this service feeds
+    /// (Krylov iteration counts, per-op latency, cache traffic).
+    pub fn metrics_registry(&self) -> &Arc<Registry> {
+        &self.registry
     }
 
     /// Handles one request line, returning the response line and the
@@ -119,6 +159,15 @@ impl SolverService {
             Err(e) => (e.id, "invalid", Err((e.code, e.message))),
         };
         let wall_ns = start.elapsed().as_nanos() as u64;
+        self.registry.counter("sts_serve_requests_total").inc();
+        self.registry
+            .histogram(&format!("sts_serve_op_wall_ns_{op_name}"))
+            .observe(wall_ns);
+        if let Err((code, _)) = &outcome {
+            self.registry
+                .counter(&format!("sts_serve_errors_total_{}", code.as_str()))
+                .inc();
+        }
         let shutdown = op_name == "shutdown" && outcome.is_ok();
         let (line, ok, code, metric_fields) = match outcome {
             Ok(op) => (ok_envelope(id, op.result), true, None, op.metric_fields),
@@ -178,6 +227,7 @@ impl SolverService {
                 max_iterations,
             } => self.solve(&pattern, b, mode, nrhs, tolerance, max_iterations),
             Request::Stats => Ok(self.stats()),
+            Request::Metrics => Ok(self.metrics_op()),
             Request::Shutdown => Ok(OpOutcome {
                 result: obj(vec![("stopping", Value::Bool(true))]),
                 metric_fields: Vec::new(),
@@ -207,6 +257,7 @@ impl SolverService {
         }
         let key = pattern_key(n, &row_ptr, &col_idx, method, rows_per_super_row);
         if self.cache.get_mut(key).is_some() {
+            self.registry.counter("sts_serve_cache_hits_total").inc();
             // Idempotent resubmission: the analysis is already paid for.
             let entry = self.cache.peek(key).ok_or_else(internal_race)?;
             let result = pattern_result(key, true, 0, &entry.structure);
@@ -218,6 +269,7 @@ impl SolverService {
                 ],
             });
         }
+        self.registry.counter("sts_serve_cache_misses_total").inc();
         // Cold path: analyze the pattern on synthetic M-matrix values — the
         // orderings are purely structural, so the hierarchy is identical to
         // what the caller's values would produce.
@@ -363,32 +415,69 @@ impl SolverService {
                 ),
             ));
         }
+        if let Some(rec) = &self.trace_recorder {
+            // One timeline per solve: drop whatever the previous request
+            // recorded before this solve's spans land.
+            rec.clear();
+        }
         let start = Instant::now();
         let mut ws = self.pool.checkout(n, nrhs);
         let solved = run_solve(&self.pcg, factor, &b, mode, nrhs, &mut ws);
         self.pool.checkin(ws);
         self.pcg.set_options(self.config.options);
         let solve_wall_ns = start.elapsed().as_nanos() as u64;
-        let (mut fields, iterations) = solved.map_err(wire_error)?;
+        let (mut fields, iterations, pcg_wall_ns) = solved.map_err(wire_error)?;
         self.solves += 1;
+        if let (Some(rec), Some(sink)) = (&self.trace_recorder, self.trace_sink.as_mut()) {
+            let spans = rec.snapshot();
+            if !spans.is_empty() {
+                sink(self.solves, &chrome_trace_json(&spans));
+            }
+        }
         fields.push(("solve_wall_ns", Value::UInt(solve_wall_ns)));
         fields.push(("cache", Value::Str("warm".to_string())));
+        let mut metric_fields = vec![
+            ("pattern", Value::Str(key_to_wire(key))),
+            ("cache", Value::Str("warm".to_string())),
+            ("mode", Value::Str(mode.as_str().to_string())),
+            ("solve_wall_ns", Value::UInt(solve_wall_ns)),
+            ("iterations", Value::UInt(iterations)),
+        ];
+        if let Some(ns) = pcg_wall_ns {
+            // The driver's own integer clock (PcgOutcome::wall_ns), not a
+            // service-side re-measurement.
+            metric_fields.push(("pcg_wall_ns", Value::UInt(ns)));
+        }
         Ok(OpOutcome {
             result: obj(fields),
-            metric_fields: vec![
-                ("pattern", Value::Str(key_to_wire(key))),
-                ("cache", Value::Str("warm".to_string())),
-                ("mode", Value::Str(mode.as_str().to_string())),
-                ("solve_wall_ns", Value::UInt(solve_wall_ns)),
-                ("iterations", Value::UInt(iterations)),
-            ],
+            metric_fields,
         })
     }
 
     fn stats(&mut self) -> OpOutcome {
+        OpOutcome {
+            result: self.stats_value(),
+            metric_fields: Vec::new(),
+        }
+    }
+
+    /// `stats` counters plus the Prometheus text exposition of the shared
+    /// registry — one scrape-shaped response for external collectors.
+    fn metrics_op(&mut self) -> OpOutcome {
+        let stats = self.stats_value();
+        OpOutcome {
+            result: obj(vec![
+                ("stats", stats),
+                ("exposition", Value::Str(self.registry.render_prometheus())),
+            ]),
+            metric_fields: Vec::new(),
+        }
+    }
+
+    fn stats_value(&mut self) -> Value {
         let cache = self.cache.stats();
         let pool = self.pool.stats();
-        let result = obj(vec![
+        obj(vec![
             ("patterns_cached", Value::UInt(self.cache.len() as u64)),
             (
                 "factors_cached",
@@ -404,17 +493,14 @@ impl SolverService {
             ("requests", Value::UInt(self.requests)),
             ("solves", Value::UInt(self.solves)),
             ("threads", Value::UInt(self.config.threads as u64)),
-        ]);
-        OpOutcome {
-            result,
-            metric_fields: Vec::new(),
-        }
+        ])
     }
 }
 
-/// Response fields of a solve plus the scalar iteration count reported on
-/// the metrics line.
-type SolveFields = (Vec<(&'static str, Value)>, u64);
+/// Response fields of a solve, the scalar iteration count reported on the
+/// metrics line, and the driver-measured wall time (`PcgOutcome::wall_ns`)
+/// when the mode exposes one.
+type SolveFields = (Vec<(&'static str, Value)>, u64, Option<u64>);
 
 /// Runs the mode-selected solve and lowers the outcome to response fields.
 fn run_solve(
@@ -438,6 +524,7 @@ fn run_solve(
                     ("residual_norm", Value::Float(out.residual_norm)),
                 ],
                 iterations,
+                Some(out.wall_ns),
             ))
         }
         SolveMode::Batch => {
@@ -463,6 +550,7 @@ fn run_solve(
                     ("lockstep_iterations", Value::UInt(iterations)),
                 ],
                 iterations,
+                None,
             ))
         }
         SolveMode::Block => {
@@ -489,6 +577,7 @@ fn run_solve(
                     ("deflations", Value::UInt(out.deflations as u64)),
                 ],
                 iterations,
+                None,
             ))
         }
     }
@@ -543,6 +632,7 @@ fn op_label(request: &Request) -> &'static str {
         Request::SubmitValues { .. } => "submit_values",
         Request::Solve { .. } => "solve",
         Request::Stats => "stats",
+        Request::Metrics => "metrics",
         Request::Shutdown => "shutdown",
     }
 }

@@ -1,0 +1,112 @@
+//! Chrome trace-event JSON export of span snapshots.
+//!
+//! The output is the trace-event *array* format — a JSON array of complete
+//! (`"ph":"X"`) events — which Perfetto and `chrome://tracing` both load
+//! directly: workers render as tracks (`tid`), packs annotate each span
+//! (`args.pack`), and the phase becomes the span name. Timestamps are the
+//! format's microseconds, emitted with nanosecond precision as `µs.nnn`
+//! decimals, all derived from the recorder's single monotonic epoch so
+//! cross-worker ordering is exact.
+//!
+//! The JSON is built by hand: the exporter must work in a crate with no
+//! dependencies, and the grammar needed — fixed keys, integers, and
+//! fixed-point decimals — is tiny. Validity is pinned by the workspace
+//! integration test, which parses the output with the vendored serde_json.
+
+use crate::span::SpanEvent;
+
+/// Formats nanoseconds as the trace format's microseconds with three
+/// decimal places (`1234567` → `"1234.567"`).
+fn micros(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1_000, ns % 1_000)
+}
+
+/// Renders spans as a Chrome trace-event JSON array (complete `"X"`
+/// events), loadable in Perfetto / `chrome://tracing`.
+///
+/// `pid` is fixed at 0, `tid` is the worker slot, `name` the phase, and
+/// `args.pack` carries the pack. Pass a [`SpanRecorder::snapshot`]
+/// (already start-sorted); any slice of spans works.
+///
+/// [`SpanRecorder::snapshot`]: crate::SpanRecorder::snapshot
+pub fn chrome_trace_json(spans: &[SpanEvent]) -> String {
+    let mut out = String::with_capacity(2 + spans.len() * 96);
+    out.push('[');
+    for (i, s) in spans.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"name\":\"{}\",\"cat\":\"sts\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":0,\
+             \"tid\":{},\"args\":{{\"pack\":{}}}}}",
+            s.phase.as_str(),
+            micros(s.t_start_ns),
+            micros(s.t_end_ns.saturating_sub(s.t_start_ns)),
+            s.worker,
+            s.pack
+        ));
+    }
+    out.push(']');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::Phase;
+
+    #[test]
+    fn micros_keeps_nanosecond_precision() {
+        assert_eq!(micros(0), "0.000");
+        assert_eq!(micros(999), "0.999");
+        assert_eq!(micros(1_000), "1.000");
+        assert_eq!(micros(1_234_567), "1234.567");
+    }
+
+    #[test]
+    fn empty_snapshot_is_an_empty_array() {
+        assert_eq!(chrome_trace_json(&[]), "[]");
+    }
+
+    #[test]
+    fn events_carry_worker_pack_and_phase() {
+        let spans = vec![
+            SpanEvent {
+                worker: 0,
+                pack: 0,
+                phase: Phase::Gather,
+                t_start_ns: 1_000,
+                t_end_ns: 3_500,
+            },
+            SpanEvent {
+                worker: 2,
+                pack: 5,
+                phase: Phase::Chain,
+                t_start_ns: 4_000,
+                t_end_ns: 4_001,
+            },
+        ];
+        let json = chrome_trace_json(&spans);
+        assert!(json.starts_with('[') && json.ends_with(']'));
+        assert!(json.contains(
+            "{\"name\":\"gather\",\"cat\":\"sts\",\"ph\":\"X\",\"ts\":1.000,\"dur\":2.500,\
+             \"pid\":0,\"tid\":0,\"args\":{\"pack\":0}}"
+        ));
+        assert!(json.contains("\"name\":\"chain\""));
+        assert!(json.contains("\"tid\":2"));
+        assert!(json.contains("\"pack\":5"));
+        assert_eq!(json.matches("\"ph\":\"X\"").count(), 2);
+    }
+
+    #[test]
+    fn duration_saturates_instead_of_underflowing() {
+        let spans = vec![SpanEvent {
+            worker: 0,
+            pack: 0,
+            phase: Phase::GateWait,
+            t_start_ns: 10,
+            t_end_ns: 10,
+        }];
+        assert!(chrome_trace_json(&spans).contains("\"dur\":0.000"));
+    }
+}

@@ -13,7 +13,11 @@
 //! * [`krylov`] — the preconditioned conjugate-gradient subsystem driving
 //!   the pipelined triangular kernels end to end;
 //! * [`serve`] — the persistent solver service: a JSON-lines daemon with a
-//!   structure/factor cache and a typed client library.
+//!   structure/factor cache and a typed client library;
+//! * [`trace`] — the zero-dependency observability layer: lock-free span
+//!   recording over the solve phases, counters and log-scale latency
+//!   histograms with a Prometheus-style exposition, and a Chrome
+//!   trace-event exporter (viewable in Perfetto / `chrome://tracing`).
 //!
 //! # Quickstart
 //!
@@ -292,3 +296,4 @@ pub use sts_matrix as matrix;
 pub use sts_numa as numa;
 pub use sts_sched as sched;
 pub use sts_serve as serve;
+pub use sts_trace as trace;

@@ -9,7 +9,10 @@
 //!   contract's fixed order;
 //! * `session.txt` — a scripted request/response session covering every op
 //!   (cold and warm paths, all three solve modes, per-request overrides)
-//!   and every error code the dispatch layer can produce deterministically.
+//!   and every error code the dispatch layer can produce deterministically;
+//! * `metrics_lines.jsonl` — the per-request JSONL lines a
+//!   [`MetricsSink`](sts_k::serve::MetricsSink) receives, pinning the line
+//!   schema (field names and order) external collectors parse.
 //!
 //! Timing fields (any key ending in `_ns`) are zeroed before comparison;
 //! everything else — including solution vectors, which the service promises
@@ -177,4 +180,54 @@ fn scripted_session_matches_snapshot() {
         );
     }
     assert_snapshot("session.txt", &transcript);
+}
+
+#[test]
+fn metrics_sink_line_schema_matches_snapshot() {
+    use std::sync::{Arc, Mutex};
+
+    let mut service = SolverService::new(ServiceConfig {
+        threads: 2,
+        ..ServiceConfig::default()
+    });
+    let lines: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+    let sink_lines = Arc::clone(&lines);
+    service.set_metrics_sink(Box::new(move |line: &str| {
+        sink_lines.lock().unwrap().push(line.to_string());
+    }));
+
+    // One request per distinct line shape: pattern miss and hit, values,
+    // warm solve, a parse failure, an op error, stats, metrics, shutdown.
+    let (n, row_ptr, col_idx) = (2usize, vec![0usize, 2, 4], vec![0usize, 1, 0, 1]);
+    let key = format!(
+        "{:016x}",
+        pattern_key(n, &row_ptr, &col_idx, Method::Sts3, 1)
+    );
+    let script: Vec<String> = vec![
+        format!(
+            r#"{{"v":1,"id":1,"op":"submit_pattern","n":2,"row_ptr":[0,2,4],"col_idx":[0,1,0,1],"method":"STS-3","rows_per_super_row":1}}"#
+        ),
+        format!(
+            r#"{{"v":1,"id":2,"op":"submit_pattern","n":2,"row_ptr":[0,2,4],"col_idx":[0,1,0,1],"method":"STS-3","rows_per_super_row":1}}"#
+        ),
+        format!(
+            r#"{{"v":1,"id":3,"op":"submit_values","pattern":"{key}","values":[4.0,-1.0,-1.0,4.0]}}"#
+        ),
+        format!(r#"{{"v":1,"id":4,"op":"solve","pattern":"{key}","b":[3.0,3.0]}}"#),
+        "this is not json".to_string(),
+        r#"{"v":1,"id":5,"op":"conjure"}"#.to_string(),
+        r#"{"v":1,"id":6,"op":"stats"}"#.to_string(),
+        r#"{"v":1,"id":7,"op":"metrics"}"#.to_string(),
+        r#"{"v":1,"id":8,"op":"shutdown"}"#.to_string(),
+    ];
+    for request in &script {
+        service.handle_line(request);
+    }
+
+    let mut snapshot = String::new();
+    for line in lines.lock().unwrap().iter() {
+        snapshot.push_str(&normalize(line));
+        snapshot.push('\n');
+    }
+    assert_snapshot("metrics_lines.jsonl", &snapshot);
 }

@@ -14,6 +14,14 @@
 //!   pipelined sweeps (`pcg_iters`, `pcg_wall_ns`, `pcg_precond_share`) —
 //!   the trend line that catches regressions in what the triangular kernels
 //!   are *for*, not just in the kernels themselves;
+//! * the mixed-precision path: the identical SSOR-PCG solve with the
+//!   preconditioner sweeps reading f32 value slabs (the gated
+//!   `pcg_f32slab_wall_ns`, expected below `pcg_wall_ns` — the slabs halve
+//!   the sweep's value traffic), the modelled per-row value traffic at both
+//!   widths (`sim_bytes_per_row_f64` / `sim_bytes_per_row_f32`, the ~2×
+//!   ratio), and the refinement passes an f32 triangular solve needs to
+//!   reach the f64 answer (`f32_refinement_extra_iters`, gated absolutely
+//!   at ≤ 2);
 //! * the block-Krylov workload: block CG vs lockstep scalar CG on four
 //!   correlated right-hand sides (`pcg_block_iters`,
 //!   `pcg_block_lockstep_iters`, `pcg_block_steps`,
@@ -58,8 +66,11 @@ use std::time::Instant;
 
 use serde::{Serialize, Value};
 use sts_bench::harness::{self, Machine};
-use sts_core::{Method, ParallelSolver};
-use sts_krylov::{Identity, KrylovWorkspace, Pcg, RobustPcg, SpdSystem, Ssor, SweepEngine};
+use sts_core::{Method, ParallelSolver, PrecisionPolicy, SimulatedExecutor, SolveOptions};
+use sts_krylov::{
+    solve_refined, Identity, KrylovWorkspace, Pcg, Preconditioner, RefineOptions, RobustPcg,
+    SpdSystem, Ssor, SweepEngine,
+};
 use sts_matrix::generators;
 use sts_serve::protocol::{float_array, obj, render, usize_array};
 use sts_serve::{ServiceConfig, SolverService};
@@ -102,6 +113,23 @@ struct Smoke {
     pcg_iters: usize,
     pcg_wall_ns: f64,
     pcg_precond_share: f64,
+    /// The identical SSOR-PCG solve with the preconditioner sweeps reading
+    /// the f32 value slabs (f64 accumulation) — same best-of-5 protocol as
+    /// `pcg_wall_ns`, so the pair is directly comparable. Gated, and
+    /// expected *below* the f64 field: the slabs halve the bandwidth-bound
+    /// sweep's value traffic.
+    pcg_f32slab_wall_ns: f64,
+    /// Modelled compulsory value-slab traffic per row of one forward sweep
+    /// at each storage width (`SimulatedExecutor::model_solve_bytes`) — the
+    /// ~2× reduction the mixed-precision kernels chase, as arithmetic over
+    /// the split layout rather than a measurement.
+    sim_bytes_per_row_f64: f64,
+    sim_bytes_per_row_f32: f64,
+    /// Correction passes `solve_refined` needed to drive an f32-slab
+    /// triangular solve on the smoke operator to its 1e-12 relative
+    /// residual. Gated absolutely at ≤ 2: the f32 slabs may trade memory
+    /// traffic, never accuracy.
+    f32_refinement_extra_iters: usize,
     /// Block CG vs lockstep scalar CG on the same operator with 4
     /// correlated right-hand sides (a Krylov chain `b_q ∝ A^q c` plus a 1%
     /// independent rough part each): total per-system iterations of the
@@ -242,6 +270,45 @@ fn main() {
             best = out;
         }
     }
+
+    // The mixed-precision trend lines. First the same SSOR-PCG solve with
+    // the preconditioner sweeps on the f32 value slabs: `solve_with`
+    // switches the slabs and the first call pays the one-time demotion, so
+    // it doubles as the warm-up; the reported wall time follows the same
+    // best-of-5 protocol as `pcg_wall_ns` so the f32-below-f64 comparison
+    // the gate trends is apples to apples. The preconditioner is restored to
+    // f64 afterwards — every later section must keep measuring the default
+    // path.
+    let f32_opts = SolveOptions::default().with_precision(PrecisionPolicy::ValuesF32WithRefinement);
+    let mut best_f32 = pcg
+        .solve_with(&sys, &mut pre, &b_pcg, &mut ws, &f32_opts)
+        .expect("warm-up f32-slab PCG solve succeeds");
+    for _ in 0..4 {
+        let out = pcg
+            .solve_with(&sys, &mut pre, &b_pcg, &mut ws, &f32_opts)
+            .expect("f32-slab PCG solve succeeds");
+        assert_eq!(
+            out.iterations, best_f32.iterations,
+            "f32-slab PCG must be deterministic"
+        );
+        if out.seconds_total < best_f32.seconds_total {
+            best_f32 = out;
+        }
+    }
+    pre.set_precision(PrecisionPolicy::ValuesF64);
+    // The modelled counterpart: compulsory value-slab traffic per row of one
+    // sweep at each storage width — pure arithmetic over the split layout.
+    let bytes_exec = SimulatedExecutor::new(machine.topology());
+    let bytes_f64 = bytes_exec.model_solve_bytes(s, PrecisionPolicy::ValuesF64);
+    let bytes_f32 = bytes_exec.model_solve_bytes(s, PrecisionPolicy::ValuesF32WithRefinement);
+    // And the accuracy side of the trade: how many correction passes drive
+    // an f32-slab triangular solve on this operator back to the f64 answer.
+    let refined = solve_refined(&solver, s, &b, &f32_opts, &RefineOptions::default())
+        .expect("the f32-slab smoke solve refines");
+    assert!(
+        refined.converged,
+        "refinement must converge on the smoke operator"
+    );
 
     // Block CG vs lockstep scalar CG: four correlated right-hand sides
     // (Krylov chain + 1% rough parts — the "family of similar load cases"
@@ -454,6 +521,10 @@ fn main() {
         // the service metrics line reports, not an f64 re-derivation.
         pcg_wall_ns: best.wall_ns as f64,
         pcg_precond_share: best.precond_share(),
+        pcg_f32slab_wall_ns: best_f32.wall_ns as f64,
+        sim_bytes_per_row_f64: bytes_f64.value_bytes_per_row(),
+        sim_bytes_per_row_f32: bytes_f32.value_bytes_per_row(),
+        f32_refinement_extra_iters: refined.refine_iterations,
         pcg_block_iters: best_blk.total_iterations(),
         pcg_block_lockstep_iters: lockstep_total,
         pcg_block_steps: best_blk.block_steps,

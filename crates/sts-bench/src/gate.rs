@@ -25,8 +25,8 @@
 //!   min-of-blocks measurements `bench_smoke` reports, far below a real
 //!   kernel regression.
 //!
-//! On top of the baseline comparison, the gate enforces two *absolute*
-//! bounds, both read from the current record only (no baseline involved,
+//! On top of the baseline comparison, the gate enforces three *absolute*
+//! bounds, all read from the current record only (no baseline involved,
 //! skipped for records predating the fields):
 //!
 //! * the clean-path guard cost (`pcg_guarded_overhead_ns`, the scalar
@@ -35,19 +35,26 @@
 //! * the disabled-tracing cost (`pcg_trace_disabled_overhead_ns`, what a
 //!   pipelined solve pays for an installed-but-disabled span recorder) must
 //!   stay under [`MAX_TRACE_SHARE`] of `pcg_wall_ns` — observability must
-//!   be free when it is off.
+//!   be free when it is off;
+//! * the mixed-precision refinement budget (`f32_refinement_extra_iters`,
+//!   the correction passes that drive an f32-slab solve to the f64 answer
+//!   on the smoke Laplacian) must stay at or under
+//!   [`MAX_REFINE_EXTRA_ITERS`] — the f32 slabs may only trade memory
+//!   traffic, never accuracy.
 //!
 //! The `bench_gate` binary wraps this for the workflow; `--advisory`
 //! (wired to an override label on the PR) demotes failures to warnings.
 
 use serde_json::Value;
 
-/// The wall-time fields the gate enforces: the end-to-end PCG solve (scalar
-/// and per-RHS block), the pipelined solve kernels, the IC(0) setup path,
-/// and the solver service's cold (first pattern + values + solve) and warm
-/// (cached) solve paths. Everything else in the record is informational.
+/// The wall-time fields the gate enforces: the end-to-end PCG solve (scalar,
+/// f32-slab mixed-precision, and per-RHS block), the pipelined solve
+/// kernels, the IC(0) setup path, and the solver service's cold (first
+/// pattern + values + solve) and warm (cached) solve paths. Everything else
+/// in the record is informational.
 pub const GATED_FIELDS: &[&str] = &[
     "pcg_wall_ns",
+    "pcg_f32slab_wall_ns",
     "pcg_block_wall_per_rhs_ns",
     "wall_parallel_pipelined_s",
     "wall_batch4_pipelined_per_rhs_s",
@@ -66,6 +73,13 @@ pub const MAX_GUARD_SHARE: f64 = 0.02;
 /// (`pcg_trace_disabled_overhead_ns`) may cost before the gate fails: an
 /// installed-but-off span recorder must not tax the solve.
 pub const MAX_TRACE_SHARE: f64 = 0.02;
+
+/// The most refinement passes (`f32_refinement_extra_iters`) the
+/// mixed-precision triangular solve may need on the smoke Laplacian before
+/// the gate fails. Each pass contracts the error by the f32 rounding level
+/// (~1e-7), so two passes reach 1e-12 with margin — needing more means the
+/// refinement loop or the f32 kernels lost accuracy.
+pub const MAX_REFINE_EXTRA_ITERS: f64 = 2.0;
 
 /// One gated field's comparison.
 #[derive(Debug, Clone, PartialEq)]
@@ -99,6 +113,18 @@ pub struct GuardCheck {
     pub failed: bool,
 }
 
+/// The mixed-precision accuracy check: the refinement passes the f32-slab
+/// smoke solve needed, capped absolutely at [`MAX_REFINE_EXTRA_ITERS`].
+/// Read from the *current* record only, like the overhead shares.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RefineCheck {
+    /// Refinement passes `solve_refined` reported
+    /// (`f32_refinement_extra_iters`).
+    pub extra_iters: f64,
+    /// Whether the count exceeds [`MAX_REFINE_EXTRA_ITERS`].
+    pub failed: bool,
+}
+
 /// The gate's verdict over every gated field.
 #[derive(Debug, Clone, PartialEq)]
 pub struct GateReport {
@@ -113,6 +139,10 @@ pub struct GateReport {
     /// The disabled-tracing overhead check, when the current record carries
     /// the fields (`None` for records predating them).
     pub trace: Option<GuardCheck>,
+    /// The mixed-precision refinement-budget check, when the current record
+    /// carries `f32_refinement_extra_iters` (`None` for records predating
+    /// it).
+    pub refine: Option<RefineCheck>,
     /// The regression threshold in percent.
     pub threshold_pct: f64,
 }
@@ -124,6 +154,7 @@ impl GateReport {
         self.checks.iter().all(|c| !c.failed)
             && self.guard.iter().all(|g| !g.failed)
             && self.trace.iter().all(|g| !g.failed)
+            && self.refine.iter().all(|r| !r.failed)
     }
 
     /// Human-readable table, one line per field, worst regression first.
@@ -173,6 +204,19 @@ impl GateReport {
                 )),
             }
         }
+        match &self.refine {
+            Some(r) => lines.push(format!(
+                "  [{}] {:<34} passes {:>12.0}  cap {:>12.0}",
+                if r.failed { "FAIL" } else { " ok " },
+                "f32_refinement_extra_iters",
+                r.extra_iters,
+                MAX_REFINE_EXTRA_ITERS
+            )),
+            None => lines.push(format!(
+                "  [skip] {:<33} missing or unusable in the current record",
+                "f32_refinement_extra_iters"
+            )),
+        }
         lines.join("\n")
     }
 }
@@ -212,8 +256,23 @@ pub fn compare(baseline: &Value, current: &Value, threshold_pct: f64) -> GateRep
         skipped,
         guard: share_check(current, "pcg_guarded_overhead_ns", MAX_GUARD_SHARE),
         trace: share_check(current, "pcg_trace_disabled_overhead_ns", MAX_TRACE_SHARE),
+        refine: refine_check(current),
         threshold_pct,
     }
+}
+
+/// Builds the absolute refinement-budget check from
+/// `f32_refinement_extra_iters`, or `None` when the field is missing or
+/// unusable (records predating mixed precision must skip, not fail).
+fn refine_check(current: &Value) -> Option<RefineCheck> {
+    let extra_iters = numeric(current, "f32_refinement_extra_iters")?;
+    if extra_iters < 0.0 {
+        return None;
+    }
+    Some(RefineCheck {
+        extra_iters,
+        failed: extra_iters > MAX_REFINE_EXTRA_ITERS,
+    })
 }
 
 /// Builds the absolute overhead-share check of `field` against
@@ -247,6 +306,8 @@ mod tests {
     fn record_with_block(pcg: f64, piped: f64, batch: f64, ic0: f64, block: f64) -> Value {
         Value::Object(vec![
             ("pcg_wall_ns".into(), Value::Float(pcg)),
+            ("pcg_f32slab_wall_ns".into(), Value::Float(0.7e6)),
+            ("f32_refinement_extra_iters".into(), Value::UInt(1)),
             ("pcg_block_wall_per_rhs_ns".into(), Value::Float(block)),
             ("wall_parallel_pipelined_s".into(), Value::Float(piped)),
             (
@@ -353,6 +414,50 @@ mod tests {
             m.push(("pcg_guarded_overhead_ns".into(), Value::Float(f64::NAN)));
         }
         assert!(compare(&base, &bad, 25.0).guard.is_none());
+    }
+
+    #[test]
+    fn refinement_within_the_budget_passes_and_is_reported() {
+        let base = record(1.0e6, 1.0, 1.0, 1.0);
+        let report = compare(&base, &base, 25.0);
+        assert!(report.passed());
+        let r = report.refine.as_ref().expect("field present");
+        assert!(!r.failed);
+        assert!((r.extra_iters - 1.0).abs() < 1e-12);
+        assert!(report
+            .render()
+            .contains("[ ok ] f32_refinement_extra_iters"));
+    }
+
+    #[test]
+    fn refinement_over_the_budget_fails_the_gate() {
+        // Three passes: the f32 path lost accuracy somewhere.
+        let base = record(1.0e6, 1.0, 1.0, 1.0);
+        let mut cur = record(1.0e6, 1.0, 1.0, 1.0);
+        if let Value::Object(m) = &mut cur {
+            m.retain(|(k, _)| k != "f32_refinement_extra_iters");
+            m.push(("f32_refinement_extra_iters".into(), Value::UInt(3)));
+        }
+        let report = compare(&base, &cur, 25.0);
+        assert!(!report.passed());
+        assert!(report.refine.as_ref().is_some_and(|r| r.failed));
+        assert!(report
+            .render()
+            .contains("[FAIL] f32_refinement_extra_iters"));
+        // Every relative comparison still passed: only the absolute
+        // refinement budget tripped.
+        assert!(report.checks.iter().all(|c| !c.failed));
+    }
+
+    #[test]
+    fn records_without_refinement_fields_skip_the_refine_check() {
+        let base: Value = serde_json::from_str(r#"{"pcg_wall_ns": 1000.0}"#).unwrap();
+        let report = compare(&base, &base, 25.0);
+        assert!(report.passed());
+        assert!(report.refine.is_none());
+        assert!(report
+            .render()
+            .contains("[skip] f32_refinement_extra_iters"));
     }
 
     #[test]
@@ -512,6 +617,10 @@ mod tests {
                 failed: false,
             }),
             trace: None,
+            refine: Some(RefineCheck {
+                extra_iters: f64::NAN,
+                failed: false,
+            }),
             threshold_pct: 25.0,
         };
         let text = report.render();

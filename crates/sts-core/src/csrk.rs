@@ -18,6 +18,7 @@ use sts_graph::Permutation;
 use sts_matrix::{LowerTriangularCsr, MatrixError};
 
 use crate::builder::Ordering;
+use crate::options::SlabValue;
 use crate::split::SplitLayout;
 use crate::transpose::TransposeLayout;
 
@@ -337,6 +338,40 @@ impl StsStructure {
     /// preconditioner pattern) stay allocation-free after the lazy layout
     /// build.
     pub fn solve_sequential_split_into(&self, b: &[f64], x: &mut [f64]) -> Result<()> {
+        let split = self.split();
+        self.sequential_split_sweep_into(b, x, split.ext_vals(), split.int_vals())
+    }
+
+    /// Mixed-precision [`StsStructure::solve_sequential_split`]: loads the
+    /// demoted `f32` value slabs but accumulates in `f64` (the storage /
+    /// accumulation split of
+    /// [`PrecisionPolicy::ValuesF32WithRefinement`](crate::options::PrecisionPolicy)).
+    /// Accurate to ≈ `f32` storage rounding per sweep; drive to full
+    /// accuracy with an outer corrector.
+    pub fn solve_sequential_split_f32(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let mut x = vec![0.0; self.n()];
+        self.solve_sequential_split_f32_into(b, &mut x)?;
+        Ok(x)
+    }
+
+    /// [`StsStructure::solve_sequential_split_f32`] into a caller-provided
+    /// buffer (no heap allocation after the lazy `f32` slab build).
+    pub fn solve_sequential_split_f32_into(&self, b: &[f64], x: &mut [f64]) -> Result<()> {
+        let split = self.split();
+        self.sequential_split_sweep_into(b, x, split.ext_vals_f32(), split.int_vals_f32())
+    }
+
+    /// The forward sequential split sweep, generic over the stored value
+    /// type. The `f64` instantiation is instruction-for-instruction the
+    /// pre-generic kernel (`SlabValue::to_f64` is the inlined identity), so
+    /// the engine-matrix bitwise invariants are preserved.
+    fn sequential_split_sweep_into<V: SlabValue>(
+        &self,
+        b: &[f64],
+        x: &mut [f64],
+        evals: &[V],
+        ivals: &[V],
+    ) -> Result<()> {
         if b.len() != self.n() || x.len() != self.n() {
             return Err(MatrixError::DimensionMismatch(format!(
                 "b and x must both have length {}, got {} and {}",
@@ -348,10 +383,8 @@ impl StsStructure {
         let split = self.split();
         let erp = split.ext_row_ptr();
         let ecols = split.ext_cols();
-        let evals = split.ext_vals();
         let irp = split.int_row_ptr();
         let icols = split.int_cols();
-        let ivals = split.int_vals();
         let inv_diag = split.inv_diags();
         for p in 0..self.num_packs() {
             let rows = self.pack_rows(p);
@@ -361,7 +394,7 @@ impl StsStructure {
             for i1 in rows.clone() {
                 let mut acc = 0.0;
                 for k in erp[i1]..erp[i1 + 1] {
-                    acc += evals[k] * x[ecols[k] as usize];
+                    acc += evals[k].to_f64() * x[ecols[k] as usize];
                 }
                 x[i1] = (b[i1] - acc) * inv_diag[i1];
             }
@@ -373,7 +406,7 @@ impl StsStructure {
                     let i1 = i1 as usize;
                     let mut acc = 0.0;
                     for k in irp[i1]..irp[i1 + 1] {
-                        acc += ivals[k] * x[icols[k] as usize];
+                        acc += ivals[k].to_f64() * x[icols[k] as usize];
                     }
                     x[i1] -= acc * inv_diag[i1];
                 }
@@ -410,22 +443,75 @@ impl StsStructure {
         x: &mut [f64],
         nrhs: usize,
     ) -> Result<()> {
+        let split = self.split();
+        self.batch_sequential_split_sweep_into(b, x, nrhs, split.ext_vals(), split.int_vals())
+    }
+
+    /// Mixed-precision [`StsStructure::solve_batch_sequential_split_into`]:
+    /// `f32` value slabs, `f64` accumulation, lane-bitwise identical to
+    /// `nrhs` scalar [`StsStructure::solve_sequential_split_f32`] sweeps.
+    pub fn solve_batch_sequential_split_f32_into(
+        &self,
+        b: &[f64],
+        x: &mut [f64],
+        nrhs: usize,
+    ) -> Result<()> {
+        let split = self.split();
+        self.batch_sequential_split_sweep_into(
+            b,
+            x,
+            nrhs,
+            split.ext_vals_f32(),
+            split.int_vals_f32(),
+        )
+    }
+
+    /// The forward sequential batch sweep, generic over the stored value
+    /// type (see [`StsStructure::sequential_split_sweep_into`]).
+    fn batch_sequential_split_sweep_into<V: SlabValue>(
+        &self,
+        b: &[f64],
+        x: &mut [f64],
+        nrhs: usize,
+        evals: &[V],
+        ivals: &[V],
+    ) -> Result<()> {
         self.check_batch_lengths(b, x, nrhs)?;
         let split = self.split();
+        let erp = split.ext_row_ptr();
+        let ecols = split.ext_cols();
+        let irp = split.int_row_ptr();
+        let icols = split.int_cols();
         let inv_diag = split.inv_diags();
         for p in 0..self.num_packs() {
             let rows = self.pack_rows(p);
             // Phase 1: external gather with the diagonal scale folded in.
             for i1 in rows.clone() {
-                let (cols, vals) = split.ext_row(i1);
-                batch_row_update(Some(b), x, i1, cols, vals, inv_diag[i1], nrhs);
+                let r = erp[i1]..erp[i1 + 1];
+                batch_row_update(
+                    Some(b),
+                    x,
+                    i1,
+                    &ecols[r.clone()],
+                    &evals[r],
+                    inv_diag[i1],
+                    nrhs,
+                );
             }
             // Phase 2: internal substitution over the chain rows.
             for t in 0..split.chain_super_rows(p).len() {
                 for &i1 in split.chain_rows_of(p, t) {
                     let i1 = i1 as usize;
-                    let (cols, vals) = split.int_row(i1);
-                    batch_row_update(None, x, i1, cols, vals, inv_diag[i1], nrhs);
+                    let r = irp[i1]..irp[i1 + 1];
+                    batch_row_update(
+                        None,
+                        x,
+                        i1,
+                        &icols[r.clone()],
+                        &ivals[r],
+                        inv_diag[i1],
+                        nrhs,
+                    );
                 }
             }
         }
@@ -457,21 +543,74 @@ impl StsStructure {
         x: &mut [f64],
         nrhs: usize,
     ) -> Result<()> {
+        let ts = self.transpose_split();
+        self.transpose_batch_sequential_split_sweep_into(b, x, nrhs, ts.ext_vals(), ts.int_vals())
+    }
+
+    /// Mixed-precision
+    /// [`StsStructure::solve_transpose_batch_sequential_split_into`]:
+    /// `f32` value slabs, `f64` accumulation.
+    pub fn solve_transpose_batch_sequential_split_f32_into(
+        &self,
+        b: &[f64],
+        x: &mut [f64],
+        nrhs: usize,
+    ) -> Result<()> {
+        let ts = self.transpose_split();
+        self.transpose_batch_sequential_split_sweep_into(
+            b,
+            x,
+            nrhs,
+            ts.ext_vals_f32(),
+            ts.int_vals_f32(),
+        )
+    }
+
+    /// The backward sequential batch sweep, generic over the stored value
+    /// type (see [`StsStructure::sequential_split_sweep_into`]).
+    fn transpose_batch_sequential_split_sweep_into<V: SlabValue>(
+        &self,
+        b: &[f64],
+        x: &mut [f64],
+        nrhs: usize,
+        evals: &[V],
+        ivals: &[V],
+    ) -> Result<()> {
         self.check_batch_lengths(b, x, nrhs)?;
         let ts = self.transpose_split();
+        let erp = ts.ext_row_ptr();
+        let ecols = ts.ext_cols();
+        let irp = ts.int_row_ptr();
+        let icols = ts.int_cols();
         let inv_diag = ts.inv_diags();
         for p in (0..self.num_packs()).rev() {
             // Phase 1: gather from later packs, all of which are final.
             for i1 in self.pack_rows(p) {
-                let (cols, vals) = ts.ext_row(i1);
-                batch_row_update(Some(b), x, i1, cols, vals, inv_diag[i1], nrhs);
+                let r = erp[i1]..erp[i1 + 1];
+                batch_row_update(
+                    Some(b),
+                    x,
+                    i1,
+                    &ecols[r.clone()],
+                    &evals[r],
+                    inv_diag[i1],
+                    nrhs,
+                );
             }
             // Phase 2: backward chains, decreasing row order within a task.
             for t in 0..ts.chain_super_rows(p).len() {
                 for &i1 in ts.chain_rows_of(p, t) {
                     let i1 = i1 as usize;
-                    let (cols, vals) = ts.int_row(i1);
-                    batch_row_update(None, x, i1, cols, vals, inv_diag[i1], nrhs);
+                    let r = irp[i1]..irp[i1 + 1];
+                    batch_row_update(
+                        None,
+                        x,
+                        i1,
+                        &icols[r.clone()],
+                        &ivals[r],
+                        inv_diag[i1],
+                        nrhs,
+                    );
                 }
             }
         }
@@ -513,6 +652,40 @@ impl StsStructure {
     /// [`StsStructure::solve_transpose_sequential_split`] into a
     /// caller-provided buffer (no heap allocation).
     pub fn solve_transpose_sequential_split_into(&self, b: &[f64], x: &mut [f64]) -> Result<()> {
+        let ts = self.transpose_split();
+        self.transpose_sequential_split_sweep_into(b, x, ts.ext_vals(), ts.int_vals())
+    }
+
+    /// Mixed-precision [`StsStructure::solve_transpose_sequential_split`]:
+    /// `f32` value slabs, `f64` accumulation (see
+    /// [`StsStructure::solve_sequential_split_f32`]).
+    pub fn solve_transpose_sequential_split_f32(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let mut x = vec![0.0; self.n()];
+        self.solve_transpose_sequential_split_f32_into(b, &mut x)?;
+        Ok(x)
+    }
+
+    /// [`StsStructure::solve_transpose_sequential_split_f32`] into a
+    /// caller-provided buffer (no heap allocation after the lazy `f32` slab
+    /// build).
+    pub fn solve_transpose_sequential_split_f32_into(
+        &self,
+        b: &[f64],
+        x: &mut [f64],
+    ) -> Result<()> {
+        let ts = self.transpose_split();
+        self.transpose_sequential_split_sweep_into(b, x, ts.ext_vals_f32(), ts.int_vals_f32())
+    }
+
+    /// The backward sequential split sweep, generic over the stored value
+    /// type (see [`StsStructure::sequential_split_sweep_into`]).
+    fn transpose_sequential_split_sweep_into<V: SlabValue>(
+        &self,
+        b: &[f64],
+        x: &mut [f64],
+        evals: &[V],
+        ivals: &[V],
+    ) -> Result<()> {
         if b.len() != self.n() || x.len() != self.n() {
             return Err(MatrixError::DimensionMismatch(format!(
                 "b and x must both have length {}, got {} and {}",
@@ -524,17 +697,15 @@ impl StsStructure {
         let ts = self.transpose_split();
         let erp = ts.ext_row_ptr();
         let ecols = ts.ext_cols();
-        let evals = ts.ext_vals();
         let irp = ts.int_row_ptr();
         let icols = ts.int_cols();
-        let ivals = ts.int_vals();
         let inv_diag = ts.inv_diags();
         for p in (0..self.num_packs()).rev() {
             // Phase 1: gather from later packs, all of which are final.
             for i1 in self.pack_rows(p) {
                 let mut acc = 0.0;
                 for k in erp[i1]..erp[i1 + 1] {
-                    acc += evals[k] * x[ecols[k] as usize];
+                    acc += evals[k].to_f64() * x[ecols[k] as usize];
                 }
                 x[i1] = (b[i1] - acc) * inv_diag[i1];
             }
@@ -544,7 +715,7 @@ impl StsStructure {
                     let i1 = i1 as usize;
                     let mut acc = 0.0;
                     for k in irp[i1]..irp[i1 + 1] {
-                        acc += ivals[k] * x[icols[k] as usize];
+                        acc += ivals[k].to_f64() * x[icols[k] as usize];
                     }
                     x[i1] -= acc * inv_diag[i1];
                 }
@@ -701,12 +872,12 @@ pub const BATCH_CHUNK: usize = 8;
 /// `x[i, q] = (b[i, q] − acc[q]) · d` (when `b` is provided) or the phase-2
 /// chain update `x[i, q] −= acc[q] · d` (when it is not).
 #[inline]
-fn batch_row_update(
+fn batch_row_update<V: SlabValue>(
     b: Option<&[f64]>,
     x: &mut [f64],
     i1: usize,
     cols: &[u32],
-    vals: &[f64],
+    vals: &[V],
     d: f64,
     nrhs: usize,
 ) {
@@ -715,6 +886,7 @@ fn batch_row_update(
         let width = (nrhs - q0).min(BATCH_CHUNK);
         let mut acc = [0.0f64; BATCH_CHUNK];
         for (&j, &v) in cols.iter().zip(vals) {
+            let v = v.to_f64();
             let xj = &x[j as usize * nrhs + q0..];
             for (a, &xq) in acc[..width].iter_mut().zip(&xj[..width]) {
                 *a += v * xq;

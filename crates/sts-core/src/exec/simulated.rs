@@ -26,6 +26,7 @@ use serde::Serialize;
 use sts_numa::{NumaTopology, Schedule};
 
 use crate::csrk::StsStructure;
+use crate::options::PrecisionPolicy;
 
 /// Intra-pack scheduling policy used by the simulator (mirrors
 /// [`sts_numa::Schedule`]).
@@ -92,6 +93,65 @@ pub struct SimReport {
     pub num_packs: usize,
 }
 
+/// The modelled memory traffic of one split/pipelined triangular sweep
+/// under a given [`PrecisionPolicy`] — the bandwidth side of the simulator,
+/// complementing the cycle model.
+///
+/// The sweeps are bandwidth-bound: each solve streams the slab arrays once
+/// (compulsory traffic), so the model is exact arithmetic over the layout
+/// sizes, not a cache simulation. Counted per solve:
+///
+/// * **value bytes** — the external + internal value slabs at the policy's
+///   storage width, plus the reciprocal diagonal (always `f64`: the
+///   storage/accumulation invariant keeps the diagonal scale exact);
+/// * **index bytes** — the `u32` column slabs plus the two `usize` row
+///   pointers;
+/// * **vector bytes** — reading `b` and writing `x` once each (`f64`).
+///   Gather *reads* of `x` are reuse-dependent and are priced by the cycle
+///   model instead.
+///
+/// Demoting the slabs to `f32` halves the value-slab term and nothing else,
+/// which is exactly the ~2× value-traffic reduction `bench_smoke` confirms
+/// on the wall clock.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct SolveBytesModel {
+    /// Rows of the modelled structure.
+    pub n: usize,
+    /// Value-slab traffic (slabs at storage width + `f64` reciprocal
+    /// diagonal).
+    pub value_bytes: u64,
+    /// Index traffic (`u32` columns + `usize` row pointers).
+    pub index_bytes: u64,
+    /// Right-hand-side read + solution write.
+    pub vector_bytes: u64,
+}
+
+impl SolveBytesModel {
+    /// Total modelled traffic of one sweep.
+    pub fn total_bytes(&self) -> u64 {
+        self.value_bytes + self.index_bytes + self.vector_bytes
+    }
+
+    /// Value-slab traffic per row — the number `bench_smoke` reports as
+    /// `sim_bytes_per_row_{f64,f32}`.
+    pub fn value_bytes_per_row(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.value_bytes as f64 / self.n as f64
+        }
+    }
+
+    /// Total traffic per row.
+    pub fn total_bytes_per_row(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.total_bytes() as f64 / self.n as f64
+        }
+    }
+}
+
 /// Simulates STS-k solves on a modelled NUMA machine.
 #[derive(Debug, Clone)]
 pub struct SimulatedExecutor {
@@ -126,6 +186,26 @@ impl SimulatedExecutor {
     /// Simulates a full solve of `s` on `cores` cores with the given schedule.
     pub fn simulate(&self, s: &StsStructure, cores: usize, schedule: SimSchedule) -> SimReport {
         self.simulate_packs(s, cores, schedule, 0..s.num_packs())
+    }
+
+    /// Models the compulsory memory traffic of one forward split/pipelined
+    /// sweep of `s` under `precision` (see [`SolveBytesModel`] for what is
+    /// counted). Forces the lazy split layout; pure arithmetic otherwise.
+    pub fn model_solve_bytes(
+        &self,
+        s: &StsStructure,
+        precision: PrecisionPolicy,
+    ) -> SolveBytesModel {
+        let split = s.split();
+        let n = split.n() as u64;
+        let slab_nnz = (split.ext_nnz() + split.int_nnz()) as u64;
+        let usize_bytes = std::mem::size_of::<usize>() as u64;
+        SolveBytesModel {
+            n: split.n(),
+            value_bytes: slab_nnz * precision.value_bytes() as u64 + n * 8,
+            index_bytes: slab_nnz * 4 + 2 * (n + 1) * usize_bytes,
+            vector_bytes: 2 * n * 8,
+        }
     }
 
     /// Simulates a single pack (no barriers), used by the Figure-14 harness to

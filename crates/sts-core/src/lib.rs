@@ -29,9 +29,15 @@
 //!   parallel IC(0) construction (`ParallelSolver::parallel_ic0`) that runs
 //!   the preconditioner *setup* over the same pack hierarchy and epoch-gate
 //!   readiness scheme as the solves;
+//! * [`options`] — the typed [`SolveOptions`] request (engine × direction ×
+//!   batch width × [`PrecisionPolicy`]) consumed by
+//!   [`solver::parallel::ParallelSolver::solve_with`], and the [`SlabValue`]
+//!   abstraction behind the mixed-precision (f32-storage / f64-accumulation)
+//!   sweep kernels;
 //! * [`exec`] — the simulated NUMA executor that prices a solve on a modelled
 //!   machine (the paper's 32-core Intel and 24-core AMD nodes), used by the
-//!   figure harnesses;
+//!   figure harnesses, including the bytes-per-row bandwidth model that
+//!   predicts the mixed-precision traffic reduction;
 //! * [`analysis`] — the parallelism and work-distribution statistics behind
 //!   Figures 7 and 8.
 //!
@@ -53,6 +59,7 @@ pub mod analysis;
 pub mod builder;
 pub mod csrk;
 pub mod exec;
+pub mod options;
 pub mod pack;
 pub mod reorder;
 pub mod solver;
@@ -61,7 +68,10 @@ pub mod transpose;
 
 pub use builder::{Method, Ordering, StsBuilder, SuperRowSizing};
 pub use csrk::StsStructure;
-pub use exec::simulated::{SimReport, SimSchedule, SimulatedExecutor, SimulationParams};
+pub use exec::simulated::{
+    SimReport, SimSchedule, SimulatedExecutor, SimulationParams, SolveBytesModel,
+};
+pub use options::{PrecisionPolicy, SlabValue, SolveEngine, SolveOptions, SweepDirection};
 pub use solver::parallel::{ChaosHook, ParallelSolver, PipelinePlan};
 pub use split::SplitLayout;
 pub use transpose::TransposeLayout;

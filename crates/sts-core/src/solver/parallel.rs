@@ -147,6 +147,7 @@ use sts_numa::{EpochGate, GateWait, PoolError, Schedule, WorkerPool};
 use sts_trace::{Phase, SpanRecorder};
 
 use crate::csrk::{Result, StsStructure};
+use crate::options::{PrecisionPolicy, SlabValue, SolveEngine, SolveOptions, SweepDirection};
 
 /// Maps a pool-level failure into the matrix error taxonomy the solver
 /// surfaces.
@@ -406,8 +407,188 @@ impl ParallelSolver {
         self.schedule
     }
 
+    /// Solves a triangular system described by a typed [`SolveOptions`]
+    /// request — the single entry behind the named `solve_*` methods.
+    ///
+    /// The request selects the engine ([`SolveEngine`]), sweep direction
+    /// ([`SweepDirection`]), batch width (`nrhs`, interleaved layout
+    /// `b[i * nrhs + r]`) and value-slab precision ([`PrecisionPolicy`]).
+    /// Every named entry (`solve`, `solve_split`, `solve_batch`,
+    /// `solve_pipelined`, …) is a thin wrapper over this method and remains
+    /// bitwise identical to its pre-`SolveOptions` behaviour; f64
+    /// monomorphizations of the precision-generic kernels perform the exact
+    /// same arithmetic as the original fixed-precision code.
+    ///
+    /// Mixed-precision requests ([`PrecisionPolicy::ValuesF32WithRefinement`])
+    /// read the lazily demoted f32 value slabs but accumulate every partial
+    /// product in f64; the sweep alone is accurate to roughly single
+    /// precision, and callers needing f64 accuracy wrap it in iterative
+    /// refinement (`sts-krylov`'s refinement driver does this).
+    ///
+    /// # Errors
+    ///
+    /// Combinations without a kernel return
+    /// [`MatrixError::InvalidParameter`]: the unsplit [`SolveEngine::Parallel`]
+    /// engine only supports forward single-RHS f64 solves, and the split
+    /// engine has no transpose batch kernel (use the pipelined engine).
+    /// `nrhs == 0` or a right-hand side whose length is not `n * nrhs`
+    /// returns [`MatrixError::DimensionMismatch`].
+    pub fn solve_with(&self, s: &StsStructure, b: &[f64], opts: &SolveOptions) -> Result<Vec<f64>> {
+        let nrhs = opts.nrhs;
+        if nrhs == 0 {
+            return Err(MatrixError::DimensionMismatch(
+                "solve_with needs at least one right-hand side".into(),
+            ));
+        }
+        if b.len() != s.n() * nrhs {
+            return Err(MatrixError::DimensionMismatch(format!(
+                "B has length {}, expected n * nrhs = {}",
+                b.len(),
+                s.n() * nrhs
+            )));
+        }
+        let f32_vals = opts.precision == PrecisionPolicy::ValuesF32WithRefinement;
+        match opts.engine {
+            SolveEngine::Sequential => {
+                let mut x = vec![0.0f64; s.n() * nrhs];
+                match (opts.direction, nrhs, f32_vals) {
+                    (SweepDirection::Forward, 1, false) => {
+                        s.solve_sequential_split_into(b, &mut x)?
+                    }
+                    (SweepDirection::Forward, 1, true) => {
+                        s.solve_sequential_split_f32_into(b, &mut x)?
+                    }
+                    (SweepDirection::Forward, _, false) => {
+                        s.solve_batch_sequential_split_into(b, &mut x, nrhs)?
+                    }
+                    (SweepDirection::Forward, _, true) => {
+                        s.solve_batch_sequential_split_f32_into(b, &mut x, nrhs)?
+                    }
+                    (SweepDirection::Transpose, 1, false) => {
+                        s.solve_transpose_sequential_split_into(b, &mut x)?
+                    }
+                    (SweepDirection::Transpose, 1, true) => {
+                        s.solve_transpose_sequential_split_f32_into(b, &mut x)?
+                    }
+                    (SweepDirection::Transpose, _, false) => {
+                        s.solve_transpose_batch_sequential_split_into(b, &mut x, nrhs)?
+                    }
+                    (SweepDirection::Transpose, _, true) => {
+                        s.solve_transpose_batch_sequential_split_f32_into(b, &mut x, nrhs)?
+                    }
+                }
+                Ok(x)
+            }
+            SolveEngine::Parallel => {
+                if opts.direction != SweepDirection::Forward || nrhs != 1 || f32_vals {
+                    return Err(MatrixError::InvalidParameter(
+                        "the unsplit parallel engine supports only forward single-RHS f64 \
+                         solves; use the split or pipelined engine"
+                            .into(),
+                    ));
+                }
+                self.solve_unsplit(s, b)
+            }
+            SolveEngine::Split => match opts.direction {
+                SweepDirection::Forward => {
+                    let split = s.split();
+                    match (nrhs, f32_vals) {
+                        (1, false) => {
+                            self.solve_split_generic(s, b, split.ext_vals(), split.int_vals())
+                        }
+                        (1, true) => self.solve_split_generic(
+                            s,
+                            b,
+                            split.ext_vals_f32(),
+                            split.int_vals_f32(),
+                        ),
+                        (_, false) => {
+                            self.solve_batch_generic(s, b, nrhs, split.ext_vals(), split.int_vals())
+                        }
+                        (_, true) => self.solve_batch_generic(
+                            s,
+                            b,
+                            nrhs,
+                            split.ext_vals_f32(),
+                            split.int_vals_f32(),
+                        ),
+                    }
+                }
+                SweepDirection::Transpose => {
+                    if nrhs != 1 {
+                        return Err(MatrixError::InvalidParameter(
+                            "the split engine has no transpose batch kernel; use the \
+                             pipelined engine"
+                                .into(),
+                        ));
+                    }
+                    let ts = s.transpose_split();
+                    if f32_vals {
+                        self.solve_transpose_split_generic(
+                            s,
+                            b,
+                            ts.ext_vals_f32(),
+                            ts.int_vals_f32(),
+                        )
+                    } else {
+                        self.solve_transpose_split_generic(s, b, ts.ext_vals(), ts.int_vals())
+                    }
+                }
+            },
+            SolveEngine::Pipelined => {
+                let mut x = vec![0.0f64; s.n() * nrhs];
+                match opts.direction {
+                    SweepDirection::Forward => {
+                        let mut plan = self.plan(s);
+                        match (nrhs, f32_vals) {
+                            (1, false) => self.solve_pipelined_into(s, &mut plan, b, &mut x)?,
+                            (1, true) => self.solve_pipelined_f32_into(s, &mut plan, b, &mut x)?,
+                            (_, false) => {
+                                self.solve_batch_pipelined_into(s, &mut plan, b, &mut x, nrhs)?
+                            }
+                            (_, true) => {
+                                self.solve_batch_pipelined_f32_into(s, &mut plan, b, &mut x, nrhs)?
+                            }
+                        }
+                    }
+                    SweepDirection::Transpose => {
+                        let mut plan = self.plan_transpose(s);
+                        match (nrhs, f32_vals) {
+                            (1, false) => {
+                                self.solve_transpose_pipelined_into(s, &mut plan, b, &mut x)?
+                            }
+                            (1, true) => {
+                                self.solve_transpose_pipelined_f32_into(s, &mut plan, b, &mut x)?
+                            }
+                            (_, false) => self.solve_transpose_batch_pipelined_into(
+                                s, &mut plan, b, &mut x, nrhs,
+                            )?,
+                            (_, true) => self.solve_transpose_batch_pipelined_f32_into(
+                                s, &mut plan, b, &mut x, nrhs,
+                            )?,
+                        }
+                    }
+                }
+                Ok(x)
+            }
+        }
+    }
+
     /// Solves the reordered system `L' x' = b'` in parallel and returns `x'`.
+    ///
+    /// Named wrapper over [`ParallelSolver::solve_with`] with
+    /// [`SolveEngine::Parallel`] (the unsplit barrier-per-pack kernel);
+    /// output is bitwise identical to the pre-`SolveOptions` entry.
     pub fn solve(&self, s: &StsStructure, b: &[f64]) -> Result<Vec<f64>> {
+        self.solve_with(
+            s,
+            b,
+            &SolveOptions::default().with_engine(SolveEngine::Parallel),
+        )
+    }
+
+    /// The unsplit barrier-per-pack kernel behind [`SolveEngine::Parallel`].
+    fn solve_unsplit(&self, s: &StsStructure, b: &[f64]) -> Result<Vec<f64>> {
         if b.len() != s.n() {
             return Err(MatrixError::DimensionMismatch(format!(
                 "b has length {}, expected {}",
@@ -455,7 +636,40 @@ impl ParallelSolver {
     /// documentation): per pack, a statically-chunked external gather over
     /// the rows, a phase barrier, then the internal substitution over the
     /// super-rows under the configured schedule.
+    ///
+    /// Named wrapper over [`ParallelSolver::solve_with`] with
+    /// [`SolveEngine::Split`]; output is bitwise identical to the
+    /// pre-`SolveOptions` entry.
     pub fn solve_split(&self, s: &StsStructure, b: &[f64]) -> Result<Vec<f64>> {
+        self.solve_with(
+            s,
+            b,
+            &SolveOptions::default().with_engine(SolveEngine::Split),
+        )
+    }
+
+    /// [`ParallelSolver::solve_split`] reading the f32 value slabs
+    /// (accumulation stays f64; see [`PrecisionPolicy`]).
+    pub fn solve_split_f32(&self, s: &StsStructure, b: &[f64]) -> Result<Vec<f64>> {
+        self.solve_with(
+            s,
+            b,
+            &SolveOptions::default()
+                .with_engine(SolveEngine::Split)
+                .with_precision(PrecisionPolicy::ValuesF32WithRefinement),
+        )
+    }
+
+    /// The two-phase split kernel, generic over the value-slab precision:
+    /// `evals`/`ivals` are the external/internal slabs of `s.split()` in
+    /// either width, and every partial product is accumulated in f64.
+    fn solve_split_generic<V: SlabValue>(
+        &self,
+        s: &StsStructure,
+        b: &[f64],
+        evals: &[V],
+        ivals: &[V],
+    ) -> Result<Vec<f64>> {
         if b.len() != s.n() {
             return Err(MatrixError::DimensionMismatch(format!(
                 "b has length {}, expected {}",
@@ -469,10 +683,8 @@ impl ParallelSolver {
             let split = s.split();
             let erp = split.ext_row_ptr();
             let ecols = split.ext_cols();
-            let evals = split.ext_vals();
             let irp = split.int_row_ptr();
             let icols = split.int_cols();
-            let ivals = split.int_vals();
             let inv_diag = split.inv_diags();
             let workers = self.pool.num_threads();
             let rec = self.active_recorder();
@@ -496,7 +708,8 @@ impl ParallelSolver {
                                 // SAFETY: external columns belong to earlier
                                 // packs, finalized before this pack's first
                                 // barrier.
-                                acc += evals[k] * unsafe { shared.read(ecols[k] as usize) };
+                                acc +=
+                                    evals[k].to_f64() * unsafe { shared.read(ecols[k] as usize) };
                             }
                             // SAFETY: row i1 is written by exactly one phase-1
                             // chunk.
@@ -532,7 +745,8 @@ impl ParallelSolver {
                                 // super-row — written earlier by this worker if
                                 // they are chain rows, published by the phase
                                 // barrier otherwise.
-                                acc += ivals[k] * unsafe { shared.read(icols[k] as usize) };
+                                acc +=
+                                    ivals[k].to_f64() * unsafe { shared.read(icols[k] as usize) };
                             }
                             // SAFETY: row i1 belongs to exactly one chain task;
                             // its phase-1 value was published by the barrier.
@@ -561,7 +775,30 @@ impl ParallelSolver {
     /// Solves `L' X' = B'` for `nrhs` right-hand sides with the two-phase
     /// split kernel, amortising each `(col, val)` load over the whole batch.
     /// Layout matches [`StsStructure::solve_batch`]: `b[i * nrhs + r]`.
+    ///
+    /// Named wrapper over [`ParallelSolver::solve_with`] with
+    /// [`SolveEngine::Split`] and the given batch width; output is bitwise
+    /// identical to the pre-`SolveOptions` entry.
     pub fn solve_batch(&self, s: &StsStructure, b: &[f64], nrhs: usize) -> Result<Vec<f64>> {
+        self.solve_with(
+            s,
+            b,
+            &SolveOptions::default()
+                .with_engine(SolveEngine::Split)
+                .with_nrhs(nrhs),
+        )
+    }
+
+    /// The two-phase split batch kernel, generic over the value-slab
+    /// precision (accumulation stays f64).
+    fn solve_batch_generic<V: SlabValue>(
+        &self,
+        s: &StsStructure,
+        b: &[f64],
+        nrhs: usize,
+        evals: &[V],
+        ivals: &[V],
+    ) -> Result<Vec<f64>> {
         if nrhs == 0 {
             return Err(MatrixError::DimensionMismatch(
                 "solve_batch needs at least one right-hand side".into(),
@@ -580,10 +817,8 @@ impl ParallelSolver {
             let split = s.split();
             let erp = split.ext_row_ptr();
             let ecols = split.ext_cols();
-            let evals = split.ext_vals();
             let irp = split.int_row_ptr();
             let icols = split.int_cols();
-            let ivals = split.int_vals();
             let inv_diag = split.inv_diags();
             // The aliasing argument is identical to solve_split's, with "row
             // i1" standing for the nrhs consecutive slots of row i1.
@@ -611,7 +846,7 @@ impl ParallelSolver {
                                 let mut acc = [0.0f64; TILE];
                                 acc[..w].copy_from_slice(&b[base + r0..base + r0 + w]);
                                 for k in erp[i1]..erp[i1 + 1] {
-                                    let (j, v) = (ecols[k] as usize, evals[k]);
+                                    let (j, v) = (ecols[k] as usize, evals[k].to_f64());
                                     for (r, a) in acc[..w].iter_mut().enumerate() {
                                         // SAFETY: as in solve_split, reads target
                                         // earlier packs, finalized before this
@@ -648,7 +883,7 @@ impl ParallelSolver {
                                     *a = unsafe { shared.read(base + r0 + r) };
                                 }
                                 for k in irp[i1]..irp[i1 + 1] {
-                                    let (j, v) = (icols[k] as usize, ivals[k]);
+                                    let (j, v) = (icols[k] as usize, ivals[k].to_f64());
                                     let vd = v * d;
                                     for (r, a) in acc[..w].iter_mut().enumerate() {
                                         // SAFETY: same-super-row reads — this
@@ -792,11 +1027,12 @@ impl ParallelSolver {
     /// fused into an [`EpochGate`] so phase 1 of later packs overlaps phase 2
     /// of earlier ones (see the module documentation). One pool dispatch
     /// covers the whole solve.
+    ///
+    /// Named wrapper over [`ParallelSolver::solve_with`] with the default
+    /// [`SolveEngine::Pipelined`]; output is bitwise identical to the
+    /// pre-`SolveOptions` entry.
     pub fn solve_pipelined(&self, s: &StsStructure, b: &[f64]) -> Result<Vec<f64>> {
-        let mut x = vec![0.0f64; s.n()];
-        let mut plan = self.plan(s);
-        self.solve_pipelined_into(s, &mut plan, b, &mut x)?;
-        Ok(x)
+        self.solve_with(s, b, &SolveOptions::default())
     }
 
     /// [`ParallelSolver::solve_pipelined`] into a caller-provided buffer
@@ -808,6 +1044,38 @@ impl ParallelSolver {
         plan: &mut PipelinePlan,
         b: &[f64],
         x: &mut [f64],
+    ) -> Result<()> {
+        let split = s.split();
+        self.solve_pipelined_into_generic(s, plan, b, x, split.ext_vals(), split.int_vals())
+    }
+
+    /// [`ParallelSolver::solve_pipelined_into`] reading the f32 value slabs
+    /// (accumulation stays f64; see [`PrecisionPolicy`]). Builds the slabs
+    /// on first use; call [`SplitLayout::ext_vals_f32`] ahead of timing
+    /// loops to exclude the one-time demotion.
+    ///
+    /// [`SplitLayout::ext_vals_f32`]: crate::split::SplitLayout::ext_vals_f32
+    pub fn solve_pipelined_f32_into(
+        &self,
+        s: &StsStructure,
+        plan: &mut PipelinePlan,
+        b: &[f64],
+        x: &mut [f64],
+    ) -> Result<()> {
+        let split = s.split();
+        self.solve_pipelined_into_generic(s, plan, b, x, split.ext_vals_f32(), split.int_vals_f32())
+    }
+
+    /// The forward pipelined kernel, generic over the value-slab precision
+    /// (accumulation stays f64).
+    fn solve_pipelined_into_generic<V: SlabValue>(
+        &self,
+        s: &StsStructure,
+        plan: &mut PipelinePlan,
+        b: &[f64],
+        x: &mut [f64],
+        evals: &[V],
+        ivals: &[V],
     ) -> Result<()> {
         if b.len() != s.n() || x.len() != s.n() {
             return Err(MatrixError::DimensionMismatch(format!(
@@ -822,10 +1090,8 @@ impl ParallelSolver {
         let split = s.split();
         let erp = split.ext_row_ptr();
         let ecols = split.ext_cols();
-        let evals = split.ext_vals();
         let irp = split.int_row_ptr();
         let icols = split.int_cols();
-        let ivals = split.int_vals();
         let inv_diag = split.inv_diags();
         let gather = |rows: std::ops::Range<usize>| {
             for i1 in rows {
@@ -834,7 +1100,7 @@ impl ParallelSolver {
                     // SAFETY: external columns lie in packs the chunk's
                     // readiness wait covered; the epoch edge published
                     // their final values (module docs).
-                    acc += evals[k] * unsafe { shared.read(ecols[k] as usize) };
+                    acc += evals[k].to_f64() * unsafe { shared.read(ecols[k] as usize) };
                 }
                 // SAFETY: row i1 is written by exactly one statically
                 // owned chunk.
@@ -851,7 +1117,7 @@ impl ParallelSolver {
                     // super-row — written earlier by this task if they
                     // are chain rows, published by the drained flag
                     // otherwise.
-                    acc += ivals[k] * unsafe { shared.read(icols[k] as usize) };
+                    acc += ivals[k].to_f64() * unsafe { shared.read(icols[k] as usize) };
                 }
                 // SAFETY: row i1 belongs to exactly one chain task; its
                 // phase-1 value was published by the drained flag.
@@ -873,15 +1139,7 @@ impl ParallelSolver {
         b: &[f64],
         nrhs: usize,
     ) -> Result<Vec<f64>> {
-        if nrhs == 0 {
-            return Err(MatrixError::DimensionMismatch(
-                "solve_batch_pipelined needs at least one right-hand side".into(),
-            ));
-        }
-        let mut x = vec![0.0f64; s.n() * nrhs];
-        let mut plan = self.plan(s);
-        self.solve_batch_pipelined_into(s, &mut plan, b, &mut x, nrhs)?;
-        Ok(x)
+        self.solve_with(s, b, &SolveOptions::default().with_nrhs(nrhs))
     }
 
     /// [`ParallelSolver::solve_batch_pipelined`] into a caller-provided
@@ -895,6 +1153,53 @@ impl ParallelSolver {
         b: &[f64],
         x: &mut [f64],
         nrhs: usize,
+    ) -> Result<()> {
+        let split = s.split();
+        self.solve_batch_pipelined_into_generic(
+            s,
+            plan,
+            b,
+            x,
+            nrhs,
+            split.ext_vals(),
+            split.int_vals(),
+        )
+    }
+
+    /// [`ParallelSolver::solve_batch_pipelined_into`] reading the f32 value
+    /// slabs (accumulation stays f64; see [`PrecisionPolicy`]).
+    pub fn solve_batch_pipelined_f32_into(
+        &self,
+        s: &StsStructure,
+        plan: &mut PipelinePlan,
+        b: &[f64],
+        x: &mut [f64],
+        nrhs: usize,
+    ) -> Result<()> {
+        let split = s.split();
+        self.solve_batch_pipelined_into_generic(
+            s,
+            plan,
+            b,
+            x,
+            nrhs,
+            split.ext_vals_f32(),
+            split.int_vals_f32(),
+        )
+    }
+
+    /// The forward pipelined batch kernel, generic over the value-slab
+    /// precision (accumulation stays f64).
+    #[allow(clippy::too_many_arguments)]
+    fn solve_batch_pipelined_into_generic<V: SlabValue>(
+        &self,
+        s: &StsStructure,
+        plan: &mut PipelinePlan,
+        b: &[f64],
+        x: &mut [f64],
+        nrhs: usize,
+        evals: &[V],
+        ivals: &[V],
     ) -> Result<()> {
         if nrhs == 0 {
             return Err(MatrixError::DimensionMismatch(
@@ -914,10 +1219,8 @@ impl ParallelSolver {
         let split = s.split();
         let erp = split.ext_row_ptr();
         let ecols = split.ext_cols();
-        let evals = split.ext_vals();
         let irp = split.int_row_ptr();
         let icols = split.int_cols();
-        let ivals = split.int_vals();
         let inv_diag = split.inv_diags();
         // The aliasing argument is solve_pipelined's, with "row i1"
         // standing for the nrhs consecutive slots of row i1; the
@@ -931,7 +1234,7 @@ impl ParallelSolver {
                     let mut acc = [0.0f64; TILE];
                     acc[..w].copy_from_slice(&b[base + r0..base + r0 + w]);
                     for k in erp[i1]..erp[i1 + 1] {
-                        let (j, v) = (ecols[k] as usize, evals[k]);
+                        let (j, v) = (ecols[k] as usize, evals[k].to_f64());
                         for (r, a) in acc[..w].iter_mut().enumerate() {
                             // SAFETY: external reads target packs the
                             // readiness wait covered (epoch edge).
@@ -961,7 +1264,7 @@ impl ParallelSolver {
                         *a = unsafe { shared.read(base + r0 + r) };
                     }
                     for k in irp[i1]..irp[i1 + 1] {
-                        let (j, v) = (icols[k] as usize, ivals[k]);
+                        let (j, v) = (icols[k] as usize, ivals[k].to_f64());
                         let vd = v * d;
                         for (r, a) in acc[..w].iter_mut().enumerate() {
                             // SAFETY: same-super-row reads — this task's
@@ -986,7 +1289,43 @@ impl ParallelSolver {
     /// pack, a statically-chunked gather of the later-pack entries, a phase
     /// barrier, then the backward in-super-row chains. See the module
     /// documentation for the reverse-pack-order correctness argument.
+    ///
+    /// Named wrapper over [`ParallelSolver::solve_with`] with
+    /// [`SolveEngine::Split`] and [`SweepDirection::Transpose`]; output is
+    /// bitwise identical to the pre-`SolveOptions` entry.
     pub fn solve_transpose_split(&self, s: &StsStructure, b: &[f64]) -> Result<Vec<f64>> {
+        self.solve_with(
+            s,
+            b,
+            &SolveOptions::default()
+                .with_engine(SolveEngine::Split)
+                .with_direction(SweepDirection::Transpose),
+        )
+    }
+
+    /// [`ParallelSolver::solve_transpose_split`] reading the f32 value slabs
+    /// (accumulation stays f64; see [`PrecisionPolicy`]).
+    pub fn solve_transpose_split_f32(&self, s: &StsStructure, b: &[f64]) -> Result<Vec<f64>> {
+        self.solve_with(
+            s,
+            b,
+            &SolveOptions::default()
+                .with_engine(SolveEngine::Split)
+                .with_direction(SweepDirection::Transpose)
+                .with_precision(PrecisionPolicy::ValuesF32WithRefinement),
+        )
+    }
+
+    /// The two-phase transpose split kernel, generic over the value-slab
+    /// precision: `evals`/`ivals` are the slabs of `s.transpose_split()` in
+    /// either width, and every partial product is accumulated in f64.
+    fn solve_transpose_split_generic<V: SlabValue>(
+        &self,
+        s: &StsStructure,
+        b: &[f64],
+        evals: &[V],
+        ivals: &[V],
+    ) -> Result<Vec<f64>> {
         if b.len() != s.n() {
             return Err(MatrixError::DimensionMismatch(format!(
                 "b has length {}, expected {}",
@@ -1000,10 +1339,8 @@ impl ParallelSolver {
             let ts = s.transpose_split();
             let erp = ts.ext_row_ptr();
             let ecols = ts.ext_cols();
-            let evals = ts.ext_vals();
             let irp = ts.int_row_ptr();
             let icols = ts.int_cols();
-            let ivals = ts.int_vals();
             let inv_diag = ts.inv_diags();
             let workers = self.pool.num_threads();
             for p in (0..s.num_packs()).rev() {
@@ -1023,7 +1360,8 @@ impl ParallelSolver {
                                 // SAFETY: external transpose columns belong to
                                 // later packs, finalized before this pack's
                                 // first barrier of the reverse sweep.
-                                acc += evals[k] * unsafe { shared.read(ecols[k] as usize) };
+                                acc +=
+                                    evals[k].to_f64() * unsafe { shared.read(ecols[k] as usize) };
                             }
                             // SAFETY: row i1 is written by exactly one phase-1
                             // chunk.
@@ -1046,7 +1384,8 @@ impl ParallelSolver {
                                 // super-row — corrected earlier by this task
                                 // (decreasing order) if they are chain rows,
                                 // published by the phase barrier otherwise.
-                                acc += ivals[k] * unsafe { shared.read(icols[k] as usize) };
+                                acc +=
+                                    ivals[k].to_f64() * unsafe { shared.read(icols[k] as usize) };
                             }
                             // SAFETY: row i1 belongs to exactly one chain task.
                             let partial = unsafe { shared.read(i1) };
@@ -1062,11 +1401,16 @@ impl ParallelSolver {
     /// Solves `L'ᵀ x' = b'` with the pack-pipelined kernel over the packs in
     /// reverse order: the backward analogue of
     /// [`ParallelSolver::solve_pipelined`], one pool dispatch per solve.
+    ///
+    /// Named wrapper over [`ParallelSolver::solve_with`] with
+    /// [`SweepDirection::Transpose`]; output is bitwise identical to the
+    /// pre-`SolveOptions` entry.
     pub fn solve_transpose_pipelined(&self, s: &StsStructure, b: &[f64]) -> Result<Vec<f64>> {
-        let mut x = vec![0.0f64; s.n()];
-        let mut plan = self.plan_transpose(s);
-        self.solve_transpose_pipelined_into(s, &mut plan, b, &mut x)?;
-        Ok(x)
+        self.solve_with(
+            s,
+            b,
+            &SolveOptions::default().with_direction(SweepDirection::Transpose),
+        )
     }
 
     /// [`ParallelSolver::solve_transpose_pipelined`] into a caller-provided
@@ -1078,6 +1422,41 @@ impl ParallelSolver {
         plan: &mut PipelinePlan,
         b: &[f64],
         x: &mut [f64],
+    ) -> Result<()> {
+        let ts = s.transpose_split();
+        self.solve_transpose_pipelined_into_generic(s, plan, b, x, ts.ext_vals(), ts.int_vals())
+    }
+
+    /// [`ParallelSolver::solve_transpose_pipelined_into`] reading the f32
+    /// value slabs (accumulation stays f64; see [`PrecisionPolicy`]).
+    pub fn solve_transpose_pipelined_f32_into(
+        &self,
+        s: &StsStructure,
+        plan: &mut PipelinePlan,
+        b: &[f64],
+        x: &mut [f64],
+    ) -> Result<()> {
+        let ts = s.transpose_split();
+        self.solve_transpose_pipelined_into_generic(
+            s,
+            plan,
+            b,
+            x,
+            ts.ext_vals_f32(),
+            ts.int_vals_f32(),
+        )
+    }
+
+    /// The backward pipelined kernel, generic over the value-slab precision
+    /// (accumulation stays f64).
+    fn solve_transpose_pipelined_into_generic<V: SlabValue>(
+        &self,
+        s: &StsStructure,
+        plan: &mut PipelinePlan,
+        b: &[f64],
+        x: &mut [f64],
+        evals: &[V],
+        ivals: &[V],
     ) -> Result<()> {
         if b.len() != s.n() || x.len() != s.n() {
             return Err(MatrixError::DimensionMismatch(format!(
@@ -1093,10 +1472,8 @@ impl ParallelSolver {
         let ts = s.transpose_split();
         let erp = ts.ext_row_ptr();
         let ecols = ts.ext_cols();
-        let evals = ts.ext_vals();
         let irp = ts.int_row_ptr();
         let icols = ts.int_cols();
-        let ivals = ts.int_vals();
         let inv_diag = ts.inv_diags();
         let gather = |rows: std::ops::Range<usize>| {
             for i1 in rows {
@@ -1105,7 +1482,7 @@ impl ParallelSolver {
                     // SAFETY: external transpose columns lie in the later
                     // packs this chunk's readiness wait covered (reverse
                     // stage numbering); the epoch edge published them.
-                    acc += evals[k] * unsafe { shared.read(ecols[k] as usize) };
+                    acc += evals[k].to_f64() * unsafe { shared.read(ecols[k] as usize) };
                 }
                 // SAFETY: row i1 is written by exactly one statically owned
                 // chunk.
@@ -1123,7 +1500,7 @@ impl ParallelSolver {
                     // corrected earlier by this task (decreasing order) if
                     // they are chain rows, published by the drained flag
                     // otherwise.
-                    acc += ivals[k] * unsafe { shared.read(icols[k] as usize) };
+                    acc += ivals[k].to_f64() * unsafe { shared.read(icols[k] as usize) };
                 }
                 // SAFETY: row i1 belongs to exactly one chain task; its
                 // phase-1 value was published by the drained flag.
@@ -1144,15 +1521,13 @@ impl ParallelSolver {
         b: &[f64],
         nrhs: usize,
     ) -> Result<Vec<f64>> {
-        if nrhs == 0 {
-            return Err(MatrixError::DimensionMismatch(
-                "solve_transpose_batch_pipelined needs at least one right-hand side".into(),
-            ));
-        }
-        let mut x = vec![0.0f64; s.n() * nrhs];
-        let mut plan = self.plan_transpose(s);
-        self.solve_transpose_batch_pipelined_into(s, &mut plan, b, &mut x, nrhs)?;
-        Ok(x)
+        self.solve_with(
+            s,
+            b,
+            &SolveOptions::default()
+                .with_direction(SweepDirection::Transpose)
+                .with_nrhs(nrhs),
+        )
     }
 
     /// [`ParallelSolver::solve_transpose_batch_pipelined`] into a
@@ -1165,6 +1540,53 @@ impl ParallelSolver {
         b: &[f64],
         x: &mut [f64],
         nrhs: usize,
+    ) -> Result<()> {
+        let ts = s.transpose_split();
+        self.solve_transpose_batch_pipelined_into_generic(
+            s,
+            plan,
+            b,
+            x,
+            nrhs,
+            ts.ext_vals(),
+            ts.int_vals(),
+        )
+    }
+
+    /// [`ParallelSolver::solve_transpose_batch_pipelined_into`] reading the
+    /// f32 value slabs (accumulation stays f64; see [`PrecisionPolicy`]).
+    pub fn solve_transpose_batch_pipelined_f32_into(
+        &self,
+        s: &StsStructure,
+        plan: &mut PipelinePlan,
+        b: &[f64],
+        x: &mut [f64],
+        nrhs: usize,
+    ) -> Result<()> {
+        let ts = s.transpose_split();
+        self.solve_transpose_batch_pipelined_into_generic(
+            s,
+            plan,
+            b,
+            x,
+            nrhs,
+            ts.ext_vals_f32(),
+            ts.int_vals_f32(),
+        )
+    }
+
+    /// The backward pipelined batch kernel, generic over the value-slab
+    /// precision (accumulation stays f64).
+    #[allow(clippy::too_many_arguments)]
+    fn solve_transpose_batch_pipelined_into_generic<V: SlabValue>(
+        &self,
+        s: &StsStructure,
+        plan: &mut PipelinePlan,
+        b: &[f64],
+        x: &mut [f64],
+        nrhs: usize,
+        evals: &[V],
+        ivals: &[V],
     ) -> Result<()> {
         if nrhs == 0 {
             return Err(MatrixError::DimensionMismatch(
@@ -1185,10 +1607,8 @@ impl ParallelSolver {
         let ts = s.transpose_split();
         let erp = ts.ext_row_ptr();
         let ecols = ts.ext_cols();
-        let evals = ts.ext_vals();
         let irp = ts.int_row_ptr();
         let icols = ts.int_cols();
-        let ivals = ts.int_vals();
         let inv_diag = ts.inv_diags();
         // Aliasing as in solve_transpose_pipelined_into, with "row i1"
         // standing for its nrhs consecutive slots.
@@ -1201,7 +1621,7 @@ impl ParallelSolver {
                     let mut acc = [0.0f64; TILE];
                     acc[..w].copy_from_slice(&b[base + r0..base + r0 + w]);
                     for k in erp[i1]..erp[i1 + 1] {
-                        let (j, v) = (ecols[k] as usize, evals[k]);
+                        let (j, v) = (ecols[k] as usize, evals[k].to_f64());
                         for (r, a) in acc[..w].iter_mut().enumerate() {
                             // SAFETY: external reads target later packs the
                             // readiness wait covered (epoch edge).
@@ -1232,7 +1652,7 @@ impl ParallelSolver {
                         *a = unsafe { shared.read(base + r0 + r) };
                     }
                     for k in irp[i1]..irp[i1 + 1] {
-                        let (j, v) = (icols[k] as usize, ivals[k]);
+                        let (j, v) = (icols[k] as usize, ivals[k].to_f64());
                         let vd = v * d;
                         for (r, a) in acc[..w].iter_mut().enumerate() {
                             // SAFETY: same-super-row reads — this task's
@@ -2126,5 +2546,219 @@ mod tests {
         let b = s.lower().multiply(&x_true).unwrap();
         let x = solver.solve(&s, &b).unwrap();
         assert!(ops::relative_error_inf(&x, &x_true) < 1e-10);
+    }
+
+    #[test]
+    fn solve_with_is_bitwise_identical_to_every_named_entry() {
+        let a = generators::triangulated_grid(12, 12, 1).unwrap();
+        let l = generators::lower_operand(&a).unwrap();
+        let s = Method::Sts3.build(&l, 6).unwrap();
+        let n = s.n();
+        let b: Vec<f64> = (0..n).map(|i| 1.0 + (i % 7) as f64 * 0.25).collect();
+        let nrhs = 3;
+        let bb: Vec<f64> = (0..n * nrhs)
+            .map(|k| 1.0 + (k % 11) as f64 * 0.125)
+            .collect();
+        let solver = ParallelSolver::new(4, Schedule::Guided { min_chunk: 1 });
+        let opt = SolveOptions::default;
+        // Every named entry must agree bitwise with the solve_with request it
+        // wraps — the API-redesign contract (assert_eq on f64 vectors).
+        assert_eq!(
+            solver.solve(&s, &b).unwrap(),
+            solver
+                .solve_with(&s, &b, &opt().with_engine(SolveEngine::Parallel))
+                .unwrap()
+        );
+        assert_eq!(
+            solver.solve_split(&s, &b).unwrap(),
+            solver
+                .solve_with(&s, &b, &opt().with_engine(SolveEngine::Split))
+                .unwrap()
+        );
+        assert_eq!(
+            solver.solve_batch(&s, &bb, nrhs).unwrap(),
+            solver
+                .solve_with(
+                    &s,
+                    &bb,
+                    &opt().with_engine(SolveEngine::Split).with_nrhs(nrhs)
+                )
+                .unwrap()
+        );
+        assert_eq!(
+            solver.solve_pipelined(&s, &b).unwrap(),
+            solver.solve_with(&s, &b, &opt()).unwrap()
+        );
+        assert_eq!(
+            solver.solve_batch_pipelined(&s, &bb, nrhs).unwrap(),
+            solver.solve_with(&s, &bb, &opt().with_nrhs(nrhs)).unwrap()
+        );
+        assert_eq!(
+            solver.solve_transpose_split(&s, &b).unwrap(),
+            solver
+                .solve_with(
+                    &s,
+                    &b,
+                    &opt()
+                        .with_engine(SolveEngine::Split)
+                        .with_direction(SweepDirection::Transpose)
+                )
+                .unwrap()
+        );
+        assert_eq!(
+            solver.solve_transpose_pipelined(&s, &b).unwrap(),
+            solver
+                .solve_with(&s, &b, &opt().with_direction(SweepDirection::Transpose))
+                .unwrap()
+        );
+        assert_eq!(
+            solver
+                .solve_transpose_batch_pipelined(&s, &bb, nrhs)
+                .unwrap(),
+            solver
+                .solve_with(
+                    &s,
+                    &bb,
+                    &opt()
+                        .with_direction(SweepDirection::Transpose)
+                        .with_nrhs(nrhs)
+                )
+                .unwrap()
+        );
+        // Sequential engine matches the structure's own kernels bitwise.
+        assert_eq!(
+            s.solve_sequential_split(&b).unwrap(),
+            solver
+                .solve_with(&s, &b, &opt().with_engine(SolveEngine::Sequential))
+                .unwrap()
+        );
+        assert_eq!(
+            s.solve_transpose_sequential_split(&b).unwrap(),
+            solver
+                .solve_with(
+                    &s,
+                    &b,
+                    &opt()
+                        .with_engine(SolveEngine::Sequential)
+                        .with_direction(SweepDirection::Transpose)
+                )
+                .unwrap()
+        );
+    }
+
+    #[test]
+    fn f32_kernels_agree_bitwise_across_engines_and_approximate_f64() {
+        let a = generators::triangulated_grid(12, 12, 3).unwrap();
+        let l = generators::lower_operand(&a).unwrap();
+        let s = Method::Sts3.build(&l, 6).unwrap();
+        let n = s.n();
+        let x_true: Vec<f64> = (0..n).map(|i| 1.0 + (i % 5) as f64 * 0.3).collect();
+        let b = s.lower().multiply(&x_true).unwrap();
+        let f64_ref = s.solve_sequential_split(&b).unwrap();
+        let seq32 = s.solve_sequential_split_f32(&b).unwrap();
+        for threads in [1, 2, 4] {
+            let solver = ParallelSolver::new(threads, Schedule::Guided { min_chunk: 1 });
+            let split32 = solver.solve_split_f32(&s, &b).unwrap();
+            let pipe32 = solver
+                .solve_with(
+                    &s,
+                    &b,
+                    &SolveOptions::default()
+                        .with_precision(PrecisionPolicy::ValuesF32WithRefinement),
+                )
+                .unwrap();
+            // The mixed-precision kernels round only the stored values; the
+            // f64 accumulation order is engine-invariant, so all engines give
+            // the exact same bits.
+            assert_eq!(seq32, split32, "split f32 diverged at {threads} threads");
+            assert_eq!(seq32, pipe32, "pipelined f32 diverged at {threads} threads");
+            // Transpose engines agree with each other the same way.
+            let tseq32 = s.solve_transpose_sequential_split_f32(&b).unwrap();
+            let tsplit32 = solver.solve_transpose_split_f32(&s, &b).unwrap();
+            assert_eq!(tseq32, tsplit32);
+        }
+        // And the sweep is accurate to at least roughly single precision
+        // before any refinement (exactly f64 when every stored value is
+        // f32-representable, as on integer-valued operands).
+        assert!(ops::relative_error_inf(&seq32, &f64_ref) < 1e-4);
+    }
+
+    #[test]
+    fn solve_with_rejects_unsupported_combinations() {
+        let l = generators::paper_figure1_l();
+        let s = Method::Sts3.build(&l, 2).unwrap();
+        let solver = ParallelSolver::new(2, Schedule::Static);
+        let b = vec![1.0; s.n()];
+        // nrhs == 0 is a dimension error on every engine.
+        assert!(matches!(
+            solver.solve_with(&s, &b, &SolveOptions::default().with_nrhs(0)),
+            Err(MatrixError::DimensionMismatch(_))
+        ));
+        // The unsplit parallel engine has no transpose/batch/f32 kernels.
+        for bad in [
+            SolveOptions::default()
+                .with_engine(SolveEngine::Parallel)
+                .with_direction(SweepDirection::Transpose),
+            SolveOptions::default()
+                .with_engine(SolveEngine::Parallel)
+                .with_nrhs(2),
+            SolveOptions::default()
+                .with_engine(SolveEngine::Parallel)
+                .with_precision(PrecisionPolicy::ValuesF32WithRefinement),
+        ] {
+            let blen = s.n() * bad.nrhs;
+            assert!(matches!(
+                solver.solve_with(&s, &vec![1.0; blen], &bad),
+                Err(MatrixError::InvalidParameter(_))
+            ));
+        }
+        // The split engine has no transpose batch kernel.
+        assert!(matches!(
+            solver.solve_with(
+                &s,
+                &vec![1.0; s.n() * 2],
+                &SolveOptions::default()
+                    .with_engine(SolveEngine::Split)
+                    .with_direction(SweepDirection::Transpose)
+                    .with_nrhs(2)
+            ),
+            Err(MatrixError::InvalidParameter(_))
+        ));
+    }
+
+    #[test]
+    fn f32_batch_kernels_match_per_rhs_f32_solves() {
+        let a = generators::grid2d_9point(11, 11).unwrap();
+        let l = generators::lower_operand(&a).unwrap();
+        let s = Method::Sts3.build(&l, 5).unwrap();
+        let n = s.n();
+        let nrhs = 3;
+        let mut b = vec![0.0; n * nrhs];
+        let mut expected = vec![0.0; n * nrhs];
+        let solver = ParallelSolver::new(3, Schedule::Guided { min_chunk: 1 });
+        for r in 0..nrhs {
+            let br: Vec<f64> = (0..n).map(|i| 1.0 + ((i + r) % 9) as f64 * 0.2).collect();
+            let xr = solver.solve_split_f32(&s, &br).unwrap();
+            for i in 0..n {
+                b[i * nrhs + r] = br[i];
+                expected[i * nrhs + r] = xr[i];
+            }
+        }
+        let f32_opts = SolveOptions::default()
+            .with_precision(PrecisionPolicy::ValuesF32WithRefinement)
+            .with_nrhs(nrhs);
+        let batch_pipe = solver.solve_with(&s, &b, &f32_opts).unwrap();
+        let batch_split = solver
+            .solve_with(&s, &b, &f32_opts.with_engine(SolveEngine::Split))
+            .unwrap();
+        let batch_seq = solver
+            .solve_with(&s, &b, &f32_opts.with_engine(SolveEngine::Sequential))
+            .unwrap();
+        // The two parallel batch kernels share their arithmetic exactly; the
+        // sequential batch kernel and the per-RHS solves fold the diagonal in
+        // a different (equally valid) order, so those agree to rounding.
+        assert_eq!(batch_pipe, batch_split);
+        assert!(ops::relative_error_inf(&batch_pipe, &expected) < 1e-12);
+        assert!(ops::relative_error_inf(&batch_seq, &expected) < 1e-12);
     }
 }

@@ -38,6 +38,8 @@
 //!
 //! [`StsStructure::validate`]: crate::csrk::StsStructure::validate
 
+use std::sync::OnceLock;
+
 use sts_matrix::LowerTriangularCsr;
 
 /// Per-row split of the reordered operand into external (off-pack) and
@@ -45,7 +47,7 @@ use sts_matrix::LowerTriangularCsr;
 /// kernel schedules against. Built lazily by the first
 /// [`StsStructure::split`](crate::csrk::StsStructure::split) call; immutable
 /// afterwards.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct SplitLayout {
     /// CSR row pointer over the external slab (`n + 1` entries).
     ext_row_ptr: Vec<usize>,
@@ -83,6 +85,34 @@ pub struct SplitLayout {
     /// entries)`, `0` when the row has none. The row's phase-1 gather may run
     /// as soon as packs `0..ext_dep[i]` are done.
     ext_dep: Vec<u32>,
+    /// Lazily demoted `f32` copy of `ext_vals` for the mixed-precision
+    /// kernels (storage-only — accumulation stays `f64`). Built on first
+    /// [`SplitLayout::ext_vals_f32`] call so `f64`-only callers never pay
+    /// the extra storage; ignored by `PartialEq` like the lazy caches on
+    /// `StsStructure`.
+    ext_vals_f32: OnceLock<Vec<f32>>,
+    /// Lazily demoted `f32` copy of `int_vals` (see `ext_vals_f32`).
+    int_vals_f32: OnceLock<Vec<f32>>,
+}
+
+/// Equality compares the built slabs and metadata; the lazily demoted `f32`
+/// value caches are derived data and are ignored (the same convention as
+/// `StsStructure`'s lazy layout caches).
+impl PartialEq for SplitLayout {
+    fn eq(&self, other: &SplitLayout) -> bool {
+        self.ext_row_ptr == other.ext_row_ptr
+            && self.ext_cols == other.ext_cols
+            && self.ext_vals == other.ext_vals
+            && self.int_row_ptr == other.int_row_ptr
+            && self.int_cols == other.int_cols
+            && self.int_vals == other.int_vals
+            && self.inv_diag == other.inv_diag
+            && self.chain_srs == other.chain_srs
+            && self.chain_sr_ptr == other.chain_sr_ptr
+            && self.chain_rows == other.chain_rows
+            && self.chain_row_ptr == other.chain_row_ptr
+            && self.ext_dep == other.ext_dep
+    }
 }
 
 impl SplitLayout {
@@ -186,6 +216,8 @@ impl SplitLayout {
             chain_rows,
             chain_row_ptr,
             ext_dep,
+            ext_vals_f32: OnceLock::new(),
+            int_vals_f32: OnceLock::new(),
         }
     }
 
@@ -202,6 +234,30 @@ impl SplitLayout {
     /// Total entries in the internal (in-pack) slab.
     pub fn int_nnz(&self) -> usize {
         self.int_cols.len()
+    }
+
+    /// The demoted `f32` copy of the external value slab, built on first
+    /// use (one rounding per entry; the reciprocal diagonal is *not*
+    /// demoted). Thread-safe: concurrent first calls race benignly inside
+    /// the `OnceLock`.
+    #[inline]
+    pub fn ext_vals_f32(&self) -> &[f32] {
+        self.ext_vals_f32
+            .get_or_init(|| self.ext_vals.iter().map(|&v| v as f32).collect())
+    }
+
+    /// The demoted `f32` copy of the internal value slab (see
+    /// [`SplitLayout::ext_vals_f32`]).
+    #[inline]
+    pub fn int_vals_f32(&self) -> &[f32] {
+        self.int_vals_f32
+            .get_or_init(|| self.int_vals.iter().map(|&v| v as f32).collect())
+    }
+
+    /// Whether the demoted `f32` slabs have been built yet (diagnostic;
+    /// `f64`-only callers should keep this `false`).
+    pub fn f32_slabs_built(&self) -> bool {
+        self.ext_vals_f32.get().is_some() && self.int_vals_f32.get().is_some()
     }
 
     /// The external slab's CSR row pointer (`n + 1` entries).

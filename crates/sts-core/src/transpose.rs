@@ -55,6 +55,8 @@
 //! [`StsStructure::transpose_split`]: crate::csrk::StsStructure::transpose_split
 //! [`StsStructure::validate`]: crate::csrk::StsStructure::validate
 
+use std::sync::OnceLock;
+
 use sts_matrix::LowerTriangularCsr;
 
 /// Per-row split of the transposed reordered operand into external
@@ -62,7 +64,7 @@ use sts_matrix::LowerTriangularCsr;
 /// readiness metadata. Built lazily by the first
 /// [`StsStructure::transpose_split`](crate::csrk::StsStructure::transpose_split)
 /// call; immutable afterwards.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct TransposeLayout {
     /// CSR row pointer over the external slab (`n + 1` entries).
     ext_row_ptr: Vec<usize>,
@@ -95,6 +97,31 @@ pub struct TransposeLayout {
     /// may run as soon as the first `ext_dep[i]` *stages* (latest packs) are
     /// done.
     ext_dep: Vec<u32>,
+    /// Lazily demoted `f32` copy of `ext_vals` for the mixed-precision
+    /// backward kernels (storage-only; ignored by `PartialEq`).
+    ext_vals_f32: OnceLock<Vec<f32>>,
+    /// Lazily demoted `f32` copy of `int_vals` (see `ext_vals_f32`).
+    int_vals_f32: OnceLock<Vec<f32>>,
+}
+
+/// Equality compares the built slabs and metadata; the lazily demoted `f32`
+/// value caches are derived data and are ignored (the same convention as the
+/// forward [`SplitLayout`](crate::split::SplitLayout)).
+impl PartialEq for TransposeLayout {
+    fn eq(&self, other: &TransposeLayout) -> bool {
+        self.ext_row_ptr == other.ext_row_ptr
+            && self.ext_cols == other.ext_cols
+            && self.ext_vals == other.ext_vals
+            && self.int_row_ptr == other.int_row_ptr
+            && self.int_cols == other.int_cols
+            && self.int_vals == other.int_vals
+            && self.inv_diag == other.inv_diag
+            && self.chain_srs == other.chain_srs
+            && self.chain_sr_ptr == other.chain_sr_ptr
+            && self.chain_rows == other.chain_rows
+            && self.chain_row_ptr == other.chain_row_ptr
+            && self.ext_dep == other.ext_dep
+    }
 }
 
 impl TransposeLayout {
@@ -211,12 +238,37 @@ impl TransposeLayout {
             chain_rows,
             chain_row_ptr,
             ext_dep,
+            ext_vals_f32: OnceLock::new(),
+            int_vals_f32: OnceLock::new(),
         }
     }
 
     /// Number of rows.
     pub fn n(&self) -> usize {
         self.inv_diag.len()
+    }
+
+    /// The demoted `f32` copy of the external value slab, built on first
+    /// use (the reciprocal diagonal is *not* demoted). Thread-safe like the
+    /// forward
+    /// [`SplitLayout::ext_vals_f32`](crate::split::SplitLayout::ext_vals_f32).
+    #[inline]
+    pub fn ext_vals_f32(&self) -> &[f32] {
+        self.ext_vals_f32
+            .get_or_init(|| self.ext_vals.iter().map(|&v| v as f32).collect())
+    }
+
+    /// The demoted `f32` copy of the internal value slab (see
+    /// [`TransposeLayout::ext_vals_f32`]).
+    #[inline]
+    pub fn int_vals_f32(&self) -> &[f32] {
+        self.int_vals_f32
+            .get_or_init(|| self.int_vals.iter().map(|&v| v as f32).collect())
+    }
+
+    /// Whether the demoted `f32` slabs have been built yet (diagnostic).
+    pub fn f32_slabs_built(&self) -> bool {
+        self.ext_vals_f32.get().is_some() && self.int_vals_f32.get().is_some()
     }
 
     /// Total entries in the external (later-pack) slab.

@@ -31,9 +31,14 @@
 //!   convergence freezing, so the batch converges in fewer iterations, not
 //!   just cheaper ones;
 //! * [`RobustPcg`] — the fault-tolerant driver: on IC(0) breakdown it
-//!   descends a recovery ladder (Manteuffel-shifted IC(0) under escalating
-//!   α, then SSOR, then Identity), reporting every abandoned rung in a
-//!   [`RecoveryReport`] so degradation is observable, never silent.
+//!   descends a recovery ladder (a single-row diagonal boost targeting the
+//!   exact pivot the breakdown named, then Manteuffel-shifted IC(0) under
+//!   escalating α, then SSOR, then Identity), reporting every abandoned rung
+//!   in a [`RecoveryReport`] so degradation is observable, never silent;
+//! * [`solve_refined`] — iterative refinement for the mixed-precision
+//!   kernels: triangular sweeps on f32 value slabs
+//!   ([`PrecisionPolicy`](sts_core::PrecisionPolicy)), residuals in f64, so
+//!   the cheap solves converge to the same tolerance as the f64 path.
 //!
 //! # Quickstart
 //!
@@ -66,6 +71,7 @@
 pub mod pcg;
 pub mod precond;
 pub mod recovery;
+pub mod refine;
 pub mod system;
 pub mod workspace;
 
@@ -75,6 +81,7 @@ pub use recovery::{
     build_ladder_preconditioner, LadderPreconditioner, RecoveryAttempt, RecoveryPolicy,
     RecoveryReport, RobustBatchOutcome, RobustBlockOutcome, RobustOutcome, RobustPcg,
 };
+pub use refine::{solve_refined, RefineOptions, RefineOutcome};
 pub use system::SpdSystem;
 pub use workspace::KrylovWorkspace;
 

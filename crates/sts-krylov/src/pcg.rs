@@ -3,7 +3,7 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use sts_core::ParallelSolver;
+use sts_core::{ParallelSolver, SolveOptions};
 use sts_matrix::{ops, MatrixError};
 use sts_numa::Schedule;
 use sts_trace::Registry;
@@ -353,6 +353,62 @@ impl Pcg {
                 .observe((outcome.precond_share() * 100.0) as u64);
         }
         Ok(outcome)
+    }
+
+    /// [`Pcg::solve`] behind the unified [`SolveOptions`] front door: sets
+    /// the requested [`SolveOptions::precision`] on `pre`
+    /// ([`Preconditioner::set_precision`]) and runs the single-RHS solve.
+    ///
+    /// Only the `precision` and `nrhs` fields are consumed here — the
+    /// preconditioner's own [`SweepEngine`](crate::SweepEngine) governs how
+    /// its sweeps run, and CG has no direction to choose. `nrhs` must be 1;
+    /// use [`Pcg::solve_batch_with`] / [`Pcg::solve_block_with`] for more.
+    pub fn solve_with(
+        &self,
+        sys: &SpdSystem,
+        pre: &mut dyn Preconditioner,
+        b: &[f64],
+        ws: &mut KrylovWorkspace,
+        opts: &SolveOptions,
+    ) -> Result<PcgOutcome> {
+        if opts.nrhs != 1 {
+            return Err(MatrixError::DimensionMismatch(format!(
+                "solve_with is the single-RHS entry (got nrhs = {}); use solve_batch_with",
+                opts.nrhs
+            )));
+        }
+        pre.set_precision(opts.precision);
+        self.solve(sys, pre, b, ws)
+    }
+
+    /// [`Pcg::solve_batch`] behind the unified [`SolveOptions`] front door:
+    /// sets [`SolveOptions::precision`] on `pre` and solves
+    /// [`SolveOptions::nrhs`] systems in lockstep.
+    pub fn solve_batch_with(
+        &self,
+        sys: &SpdSystem,
+        pre: &mut dyn Preconditioner,
+        b: &[f64],
+        ws: &mut KrylovWorkspace,
+        opts: &SolveOptions,
+    ) -> Result<PcgBatchOutcome> {
+        pre.set_precision(opts.precision);
+        self.solve_batch(sys, pre, b, opts.nrhs, ws)
+    }
+
+    /// [`Pcg::solve_block`] behind the unified [`SolveOptions`] front door:
+    /// sets [`SolveOptions::precision`] on `pre` and solves
+    /// [`SolveOptions::nrhs`] systems on a shared block Krylov space.
+    pub fn solve_block_with(
+        &self,
+        sys: &SpdSystem,
+        pre: &mut dyn Preconditioner,
+        b: &[f64],
+        ws: &mut KrylovWorkspace,
+        opts: &SolveOptions,
+    ) -> Result<PcgBlockOutcome> {
+        pre.set_precision(opts.precision);
+        self.solve_block(sys, pre, b, opts.nrhs, ws)
     }
 
     /// Solves `nrhs` systems `A X = B` at once (interleaved layout,

@@ -28,7 +28,7 @@
 
 use std::sync::Arc;
 
-use sts_core::{ParallelSolver, PipelinePlan, StsStructure};
+use sts_core::{ParallelSolver, PipelinePlan, PrecisionPolicy, StsStructure};
 use sts_matrix::MatrixError;
 
 use crate::system::SpdSystem;
@@ -84,6 +84,25 @@ pub trait Preconditioner {
             self.label()
         )))
     }
+
+    /// Selects the value-slab precision the sweeps read
+    /// ([`PrecisionPolicy::ValuesF32WithRefinement`] loads the lazily
+    /// demoted f32 slabs, accumulating in f64). The default is a no-op:
+    /// preconditioners without triangular sweeps ([`Identity`]) have nothing
+    /// to demote and always behave as f64. Implementations must make the
+    /// switch take effect on the *next* application; they may eagerly build
+    /// the f32 slabs so the first mixed-precision apply is not the one
+    /// paying the demotion sweep.
+    fn set_precision(&mut self, precision: PrecisionPolicy) {
+        let _ = precision;
+    }
+
+    /// The value-slab precision the sweeps currently read
+    /// ([`PrecisionPolicy::ValuesF64`] unless
+    /// [`Preconditioner::set_precision`] switched it).
+    fn precision(&self) -> PrecisionPolicy {
+        PrecisionPolicy::ValuesF64
+    }
 }
 
 /// `M = I`: plain conjugate gradient.
@@ -127,6 +146,9 @@ struct SweepPair {
     engine: SweepEngine,
     /// `(forward, backward)` plans; `None` for the sequential engine.
     plans: Option<(PipelinePlan, PipelinePlan)>,
+    /// Which value slabs the sweeps read; switched by
+    /// [`Preconditioner::set_precision`], f64 by default.
+    precision: PrecisionPolicy,
 }
 
 impl SweepPair {
@@ -147,13 +169,38 @@ impl SweepPair {
             structure,
             engine,
             plans,
+            precision: PrecisionPolicy::ValuesF64,
         }
+    }
+
+    /// Switches the value-slab precision of subsequent sweeps, eagerly
+    /// demoting the slabs so the next apply is not the one paying the
+    /// one-time conversion.
+    fn set_precision(&mut self, precision: PrecisionPolicy) {
+        if precision == PrecisionPolicy::ValuesF32WithRefinement {
+            self.structure.split().ext_vals_f32();
+            self.structure.split().int_vals_f32();
+            self.structure.transpose_split().ext_vals_f32();
+            self.structure.transpose_split().int_vals_f32();
+        }
+        self.precision = precision;
+    }
+
+    fn f32_vals(&self) -> bool {
+        self.precision == PrecisionPolicy::ValuesF32WithRefinement
     }
 
     /// Forward sweep `L y = r` into `y`.
     fn forward(&mut self, solver: &ParallelSolver, r: &[f64], y: &mut [f64]) -> Result<()> {
+        let f32_vals = self.f32_vals();
         match (&self.engine, &mut self.plans) {
+            (SweepEngine::Sequential, _) if f32_vals => {
+                self.structure.solve_sequential_split_f32_into(r, y)
+            }
             (SweepEngine::Sequential, _) => self.structure.solve_sequential_split_into(r, y),
+            (SweepEngine::Pipelined, Some((fwd, _))) if f32_vals => {
+                solver.solve_pipelined_f32_into(&self.structure, fwd, r, y)
+            }
             (SweepEngine::Pipelined, Some((fwd, _))) => {
                 solver.solve_pipelined_into(&self.structure, fwd, r, y)
             }
@@ -163,9 +210,16 @@ impl SweepPair {
 
     /// Backward sweep `Lᵀ z = t` into `z`.
     fn backward(&mut self, solver: &ParallelSolver, t: &[f64], z: &mut [f64]) -> Result<()> {
+        let f32_vals = self.f32_vals();
         match (&self.engine, &mut self.plans) {
+            (SweepEngine::Sequential, _) if f32_vals => self
+                .structure
+                .solve_transpose_sequential_split_f32_into(t, z),
             (SweepEngine::Sequential, _) => {
                 self.structure.solve_transpose_sequential_split_into(t, z)
+            }
+            (SweepEngine::Pipelined, Some((_, bwd))) if f32_vals => {
+                solver.solve_transpose_pipelined_f32_into(&self.structure, bwd, t, z)
             }
             (SweepEngine::Pipelined, Some((_, bwd))) => {
                 solver.solve_transpose_pipelined_into(&self.structure, bwd, t, z)
@@ -185,9 +239,16 @@ impl SweepPair {
         y: &mut [f64],
         nrhs: usize,
     ) -> Result<()> {
+        let f32_vals = self.f32_vals();
         match (&self.engine, &mut self.plans) {
+            (SweepEngine::Sequential, _) if f32_vals => self
+                .structure
+                .solve_batch_sequential_split_f32_into(r, y, nrhs),
             (SweepEngine::Sequential, _) => {
                 self.structure.solve_batch_sequential_split_into(r, y, nrhs)
+            }
+            (SweepEngine::Pipelined, Some((fwd, _))) if f32_vals => {
+                solver.solve_batch_pipelined_f32_into(&self.structure, fwd, r, y, nrhs)
             }
             (SweepEngine::Pipelined, Some((fwd, _))) => {
                 solver.solve_batch_pipelined_into(&self.structure, fwd, r, y, nrhs)
@@ -205,10 +266,17 @@ impl SweepPair {
         z: &mut [f64],
         nrhs: usize,
     ) -> Result<()> {
+        let f32_vals = self.f32_vals();
         match (&self.engine, &mut self.plans) {
+            (SweepEngine::Sequential, _) if f32_vals => self
+                .structure
+                .solve_transpose_batch_sequential_split_f32_into(t, z, nrhs),
             (SweepEngine::Sequential, _) => self
                 .structure
                 .solve_transpose_batch_sequential_split_into(t, z, nrhs),
+            (SweepEngine::Pipelined, Some((_, bwd))) if f32_vals => {
+                solver.solve_transpose_batch_pipelined_f32_into(&self.structure, bwd, t, z, nrhs)
+            }
             (SweepEngine::Pipelined, Some((_, bwd))) => {
                 solver.solve_transpose_batch_pipelined_into(&self.structure, bwd, t, z, nrhs)
             }
@@ -281,6 +349,14 @@ impl Preconditioner for Ssor {
         }
         self.sweeps.backward_batch(solver, sweep, z, nrhs)
     }
+
+    fn set_precision(&mut self, precision: PrecisionPolicy) {
+        self.sweeps.set_precision(precision);
+    }
+
+    fn precision(&self) -> PrecisionPolicy {
+        self.sweeps.precision
+    }
 }
 
 /// Zero-fill incomplete Cholesky: `M = F Fᵀ` with `F = ic0(P A Pᵀ)`.
@@ -298,6 +374,9 @@ pub struct Ic0 {
     /// The Manteuffel shift α the factored operand was built with
     /// (`0.0` for a plain factorization).
     shift: f64,
+    /// The single-row diagonal boost `(row, alpha)` the operand was built
+    /// with, if the row-boost recovery rung produced this factor.
+    row_boost: Option<(usize, f64)>,
 }
 
 impl Ic0 {
@@ -332,6 +411,7 @@ impl Ic0 {
         Ok(Ic0 {
             sweeps: SweepPair::new(structure, solver, engine),
             shift: 0.0,
+            row_boost: None,
         })
     }
 
@@ -348,6 +428,7 @@ impl Ic0 {
         Ok(Ic0 {
             sweeps: SweepPair::new(structure, solver, engine),
             shift: 0.0,
+            row_boost: None,
         })
     }
 
@@ -385,6 +466,7 @@ impl Ic0 {
         Ok(Ic0 {
             sweeps: SweepPair::new(structure, solver, engine),
             shift: alpha,
+            row_boost: None,
         })
     }
 
@@ -402,6 +484,34 @@ impl Ic0 {
         Ok(Ic0 {
             sweeps: SweepPair::new(structure, solver, engine),
             shift: alpha,
+            row_boost: None,
+        })
+    }
+
+    /// **Row-boosted** IC(0): factors `A` with only row `row`'s diagonal
+    /// entry scaled by `1 + α`. This is the gentlest recovery for a
+    /// factorization that broke down at a *known* pivot row (reported by
+    /// [`MatrixError::FactorizationBreakdown`]): instead of the
+    /// whole-diagonal Manteuffel shift — which weakens the preconditioner
+    /// everywhere — the perturbation stays local to the row that lost
+    /// positivity. The recovery ladder ([`crate::RobustPcg`]) tries this
+    /// rung before escalating to [`Ic0::new_shifted`].
+    ///
+    /// Setup is level-scheduled on `solver`'s pool, like [`Ic0::new`].
+    pub fn new_row_boosted(
+        sys: &SpdSystem,
+        solver: &ParallelSolver,
+        engine: SweepEngine,
+        row: usize,
+        alpha: f64,
+    ) -> Result<Ic0> {
+        let boosted = boosted_operand(sys.matrix(), row, alpha)?;
+        let factor = solver.parallel_ic0(sys.structure(), &boosted)?;
+        let structure = Arc::new(sys.structure().with_operand(factor)?);
+        Ok(Ic0 {
+            sweeps: SweepPair::new(structure, solver, engine),
+            shift: 0.0,
+            row_boost: Some((row, alpha)),
         })
     }
 
@@ -409,6 +519,12 @@ impl Ic0 {
     /// the plain constructors).
     pub fn shift(&self) -> f64 {
         self.shift
+    }
+
+    /// The `(row, alpha)` single-row diagonal boost this factorization was
+    /// built with, if any ([`Ic0::new_row_boosted`]).
+    pub fn row_boost(&self) -> Option<(usize, f64)> {
+        self.row_boost
     }
 
     /// The factor structure's operand values (test/diagnostic hook: setup
@@ -450,9 +566,42 @@ fn shifted_operand(a: &sts_matrix::CsrMatrix, alpha: f64) -> Result<sts_matrix::
     Ok(shifted)
 }
 
+/// A copy of `a` with **only** row `row`'s diagonal entry scaled by
+/// `1 + α` — the localized counterpart of [`shifted_operand`], used by the
+/// row-boost recovery rung. The sparsity pattern is untouched.
+fn boosted_operand(
+    a: &sts_matrix::CsrMatrix,
+    row: usize,
+    alpha: f64,
+) -> Result<sts_matrix::CsrMatrix> {
+    if !alpha.is_finite() || alpha <= 0.0 {
+        return Err(MatrixError::InvalidParameter(format!(
+            "row boost must be finite and positive, got {alpha}"
+        )));
+    }
+    if row >= a.nrows() {
+        return Err(MatrixError::InvalidParameter(format!(
+            "row boost targets row {row}, but the operand has {} rows",
+            a.nrows()
+        )));
+    }
+    let row_ptr = a.row_ptr();
+    let col_idx = a.col_idx();
+    let diag_k = (row_ptr[row]..row_ptr[row + 1])
+        .find(|&k| col_idx[k] == row)
+        .ok_or_else(|| {
+            MatrixError::InvalidStructure(format!("row {row} has no stored diagonal entry"))
+        })?;
+    let mut boosted = a.clone();
+    boosted.values_mut()[diag_k] *= 1.0 + alpha;
+    Ok(boosted)
+}
+
 impl Preconditioner for Ic0 {
     fn label(&self) -> &'static str {
-        if self.shift == 0.0 {
+        if self.row_boost.is_some() {
+            "ic0-rowboost"
+        } else if self.shift == 0.0 {
             "ic0"
         } else {
             "ic0-shifted"
@@ -481,6 +630,14 @@ impl Preconditioner for Ic0 {
     ) -> Result<()> {
         self.sweeps.forward_batch(solver, r, sweep, nrhs)?;
         self.sweeps.backward_batch(solver, sweep, z, nrhs)
+    }
+
+    fn set_precision(&mut self, precision: PrecisionPolicy) {
+        self.sweeps.set_precision(precision);
+    }
+
+    fn precision(&self) -> PrecisionPolicy {
+        self.sweeps.precision
     }
 }
 

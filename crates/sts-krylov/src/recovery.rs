@@ -10,12 +10,19 @@
 //!
 //! 1. **IC(0)** on `A` itself — the fast path, identical to
 //!    [`Ic0::new`];
-//! 2. **shifted IC(0)** on `A + α·diag(A)` under escalating α
+//! 2. **row-boosted IC(0)** ([`Ic0::new_row_boosted`]): the breakdown
+//!    reports exactly which pivot went non-positive
+//!    ([`MatrixError::FactorizationBreakdown`]`::row`), so before touching
+//!    the whole diagonal the ladder boosts *only that row's* diagonal under
+//!    escalating boosts — a far smaller perturbation of the
+//!    preconditioner, so convergence barely degrades when it works
+//!    (Kershaw's counterexample factors with a single boosted pivot);
+//! 3. **shifted IC(0)** on `A + α·diag(A)` under escalating α
 //!    ([`Ic0::new_shifted`], Manteuffel's shift): each rung is a strictly
 //!    more diagonally dominant operand, so a large enough α always
 //!    factors;
-//! 3. **SSOR** — no factorization at all, cannot break down at setup;
-//! 4. **Identity** — plain CG, the unconditional last resort.
+//! 4. **SSOR** — no factorization at all, cannot break down at setup;
+//! 5. **Identity** — plain CG, the unconditional last resort.
 //!
 //! Every attempt — failed or final — is recorded in a [`RecoveryReport`],
 //! so degradation is *observable*: the caller learns which rung converged,
@@ -27,7 +34,7 @@
 //! propagate immediately — retrying cannot fix those, and masking them
 //! would hide real faults.
 
-use sts_core::ParallelSolver;
+use sts_core::{ParallelSolver, PrecisionPolicy};
 use sts_matrix::MatrixError;
 
 use crate::pcg::{Pcg, PcgBatchOutcome, PcgBlockOutcome, PcgOutcome};
@@ -39,8 +46,13 @@ use crate::Result;
 /// Which rungs the ladder may visit, and in what strength order.
 #[derive(Debug, Clone)]
 pub struct RecoveryPolicy {
-    /// Escalating Manteuffel shifts tried after the unshifted
-    /// factorization breaks down.
+    /// Escalating single-row diagonal boosts tried on the exact row
+    /// [`MatrixError::FactorizationBreakdown`] reported, before any
+    /// whole-diagonal shift ([`Ic0::new_row_boosted`]). Empty disables
+    /// the rung.
+    pub row_boosts: Vec<f64>,
+    /// Escalating Manteuffel shifts tried after the unshifted (and
+    /// row-boosted) factorizations break down.
     pub shifts: Vec<f64>,
     /// Whether the ladder may degrade past shifted IC(0) to SSOR.
     pub allow_ssor: bool,
@@ -48,15 +60,20 @@ pub struct RecoveryPolicy {
     pub allow_identity: bool,
     /// The sweep engine every rung's preconditioner runs on.
     pub engine: SweepEngine,
+    /// The value-slab precision every rung's preconditioner sweeps with
+    /// ([`Preconditioner::set_precision`]).
+    pub precision: PrecisionPolicy,
 }
 
 impl Default for RecoveryPolicy {
     fn default() -> Self {
         RecoveryPolicy {
+            row_boosts: vec![1e-2, 1.0],
             shifts: vec![1e-3, 1e-2, 1e-1, 1.0],
             allow_ssor: true,
             allow_identity: true,
             engine: SweepEngine::Pipelined,
+            precision: PrecisionPolicy::ValuesF64,
         }
     }
 }
@@ -64,10 +81,11 @@ impl Default for RecoveryPolicy {
 /// One rung the ladder tried and abandoned.
 #[derive(Debug, Clone)]
 pub struct RecoveryAttempt {
-    /// The rung's preconditioner label ("ic0", "ic0-shifted", "ssor",
-    /// "none").
+    /// The rung's preconditioner label ("ic0", "ic0-rowboost",
+    /// "ic0-shifted", "ssor", "none").
     pub preconditioner: &'static str,
-    /// The Manteuffel shift of the rung (0.0 off the shifted rungs).
+    /// The Manteuffel shift of the rung — or, on "ic0-rowboost" rungs,
+    /// the single-row boost (0.0 off both).
     pub shift: f64,
     /// Why the rung was abandoned.
     pub error: MatrixError,
@@ -88,7 +106,8 @@ pub struct RecoveryReport {
     pub shifts_tried: Vec<f64>,
     /// Label of the preconditioner that produced the returned outcome.
     pub final_preconditioner: &'static str,
-    /// The shift of the final rung (0.0 when unshifted).
+    /// The shift of the final rung — or its single-row boost when
+    /// `final_preconditioner` is "ic0-rowboost" (0.0 when unshifted).
     pub final_shift: f64,
     /// Whether the returned outcome came from anything but the fast path.
     pub degraded: bool,
@@ -178,6 +197,22 @@ impl Preconditioner for LadderPreconditioner {
             LadderPreconditioner::Identity(p) => p.apply_batch_into(solver, r, z, sweep, nrhs),
         }
     }
+
+    fn set_precision(&mut self, precision: PrecisionPolicy) {
+        match self {
+            LadderPreconditioner::Ic0(p) => p.set_precision(precision),
+            LadderPreconditioner::Ssor(p) => p.set_precision(precision),
+            LadderPreconditioner::Identity(p) => p.set_precision(precision),
+        }
+    }
+
+    fn precision(&self) -> PrecisionPolicy {
+        match self {
+            LadderPreconditioner::Ic0(p) => p.precision(),
+            LadderPreconditioner::Ssor(p) => p.precision(),
+            LadderPreconditioner::Identity(p) => p.precision(),
+        }
+    }
 }
 
 /// Climbs the *setup-time* rungs of the ladder without running a solve:
@@ -198,24 +233,72 @@ pub fn build_ladder_preconditioner(
 ) -> Result<(LadderPreconditioner, RecoveryReport)> {
     let mut attempts: Vec<RecoveryAttempt> = Vec::new();
     let mut shifts_tried: Vec<f64> = Vec::new();
-    for &alpha in std::iter::once(&0.0).chain(policy.shifts.iter()) {
+    let mut breakdown_row: Option<usize> = None;
+    let finish = |mut pre: LadderPreconditioner, report: RecoveryReport| {
+        pre.set_precision(policy.precision);
+        Ok((pre, report))
+    };
+
+    // Rung 1: plain IC(0). A breakdown names the offending pivot row,
+    // which rung 2 targets.
+    shifts_tried.push(0.0);
+    match Ic0::new(sys, solver, policy.engine) {
+        Ok(pre) => {
+            return finish(
+                LadderPreconditioner::Ic0(pre),
+                report_for(attempts, shifts_tried, "ic0", 0.0),
+            );
+        }
+        Err(e) if descends(&e) => {
+            if let MatrixError::FactorizationBreakdown { row, .. } = e {
+                breakdown_row = Some(row);
+            }
+            attempts.push(RecoveryAttempt {
+                preconditioner: "ic0",
+                shift: 0.0,
+                error: e,
+                iterations: 0,
+            });
+        }
+        Err(e) => return Err(e),
+    }
+
+    // Rung 2: boost only the reported pivot row's diagonal, escalating.
+    if let Some(row) = breakdown_row {
+        for &beta in policy.row_boosts.iter() {
+            match Ic0::new_row_boosted(sys, solver, policy.engine, row, beta) {
+                Ok(pre) => {
+                    return finish(
+                        LadderPreconditioner::Ic0(pre),
+                        report_for(attempts, shifts_tried, "ic0-rowboost", beta),
+                    );
+                }
+                Err(e) if descends(&e) => {
+                    attempts.push(RecoveryAttempt {
+                        preconditioner: "ic0-rowboost",
+                        shift: beta,
+                        error: e,
+                        iterations: 0,
+                    });
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    // Rung 3: whole-diagonal Manteuffel shifts, escalating.
+    for &alpha in policy.shifts.iter() {
         shifts_tried.push(alpha);
-        let built = if alpha == 0.0 {
-            Ic0::new(sys, solver, policy.engine)
-        } else {
-            Ic0::new_shifted(sys, solver, policy.engine, alpha)
-        };
-        match built {
+        match Ic0::new_shifted(sys, solver, policy.engine, alpha) {
             Ok(pre) => {
-                let label = pre.label();
-                return Ok((
+                return finish(
                     LadderPreconditioner::Ic0(pre),
-                    report_for(attempts, shifts_tried, label, alpha),
-                ));
+                    report_for(attempts, shifts_tried, "ic0-shifted", alpha),
+                );
             }
             Err(e) if descends(&e) => {
                 attempts.push(RecoveryAttempt {
-                    preconditioner: if alpha == 0.0 { "ic0" } else { "ic0-shifted" },
+                    preconditioner: "ic0-shifted",
                     shift: alpha,
                     error: e,
                     iterations: 0,
@@ -225,16 +308,16 @@ pub fn build_ladder_preconditioner(
         }
     }
     if policy.allow_ssor {
-        return Ok((
+        return finish(
             LadderPreconditioner::Ssor(Ssor::new(sys, solver, policy.engine)),
             report_for(attempts, shifts_tried, "ssor", 0.0),
-        ));
+        );
     }
     if policy.allow_identity {
-        return Ok((
+        return finish(
             LadderPreconditioner::Identity(Identity),
             report_for(attempts, shifts_tried, "none", 0.0),
-        ));
+        );
     }
     Err(attempts.pop().map(|a| a.error).unwrap_or_else(|| {
         MatrixError::InvalidParameter("recovery ladder has no permitted rungs".into())
@@ -289,7 +372,34 @@ impl RobustPcg {
         ws: &mut KrylovWorkspace,
     ) -> Result<RobustOutcome> {
         let (outcome, report) =
-            self.solve_ladder(sys, &mut |pcg, pre| pcg.solve(sys, pre, b, ws))?;
+            self.solve_ladder(sys, self.policy.precision, &mut |pcg, pre| {
+                pcg.solve(sys, pre, b, ws)
+            })?;
+        self.observe_recovery(&report);
+        Ok(RobustOutcome { outcome, report })
+    }
+
+    /// [`RobustPcg::solve`] behind the unified
+    /// [`SolveOptions`](sts_core::SolveOptions) front door. Only the
+    /// `precision` and `nrhs` fields are consumed: the requested precision
+    /// overrides [`RecoveryPolicy::precision`] for this solve (every rung's
+    /// preconditioner sweeps with it), and `nrhs` must be 1.
+    pub fn solve_with(
+        &self,
+        sys: &SpdSystem,
+        b: &[f64],
+        ws: &mut KrylovWorkspace,
+        opts: &sts_core::SolveOptions,
+    ) -> Result<RobustOutcome> {
+        if opts.nrhs != 1 {
+            return Err(MatrixError::DimensionMismatch(format!(
+                "solve_with is the single-RHS entry (got nrhs = {}); use solve_batch",
+                opts.nrhs
+            )));
+        }
+        let (outcome, report) = self.solve_ladder(sys, opts.precision, &mut |pcg, pre| {
+            pcg.solve(sys, pre, b, ws)
+        })?;
         self.observe_recovery(&report);
         Ok(RobustOutcome { outcome, report })
     }
@@ -307,7 +417,9 @@ impl RobustPcg {
         ws: &mut KrylovWorkspace,
     ) -> Result<RobustBatchOutcome> {
         let (outcome, report) =
-            self.solve_ladder(sys, &mut |pcg, pre| pcg.solve_batch(sys, pre, b, nrhs, ws))?;
+            self.solve_ladder(sys, self.policy.precision, &mut |pcg, pre| {
+                pcg.solve_batch(sys, pre, b, nrhs, ws)
+            })?;
         self.observe_recovery(&report);
         Ok(RobustBatchOutcome { outcome, report })
     }
@@ -323,7 +435,9 @@ impl RobustPcg {
         ws: &mut KrylovWorkspace,
     ) -> Result<RobustBlockOutcome> {
         let (outcome, report) =
-            self.solve_ladder(sys, &mut |pcg, pre| pcg.solve_block(sys, pre, b, nrhs, ws))?;
+            self.solve_ladder(sys, self.policy.precision, &mut |pcg, pre| {
+                pcg.solve_block(sys, pre, b, nrhs, ws)
+            })?;
         self.observe_recovery(&report);
         Ok(RobustBlockOutcome { outcome, report })
     }
@@ -349,25 +463,82 @@ impl RobustPcg {
     fn solve_ladder<O>(
         &self,
         sys: &SpdSystem,
+        precision: PrecisionPolicy,
         run: &mut dyn FnMut(&Pcg, &mut dyn Preconditioner) -> Result<O>,
     ) -> Result<(O, RecoveryReport)> {
         let mut attempts: Vec<RecoveryAttempt> = Vec::new();
         let mut shifts_tried: Vec<f64> = Vec::new();
+        let mut breakdown_row: Option<usize> = None;
         let engine = self.policy.engine;
 
-        // Rungs 1 and 2: IC(0), then shifted IC(0) under escalating α.
-        for &alpha in std::iter::once(&0.0).chain(self.policy.shifts.iter()) {
+        // Rung 1: plain IC(0). A setup breakdown names the offending pivot
+        // row, which rung 2 targets.
+        shifts_tried.push(0.0);
+        match Ic0::new(sys, self.pcg.solver(), engine) {
+            Ok(mut pre) => {
+                pre.set_precision(precision);
+                if let Some(outcome) =
+                    Self::try_rung(run, &self.pcg, &mut pre, "ic0", 0.0, &mut attempts)?
+                {
+                    return Ok((outcome, report_for(attempts, shifts_tried, "ic0", 0.0)));
+                }
+            }
+            Err(e) if descends(&e) => {
+                if let MatrixError::FactorizationBreakdown { row, .. } = e {
+                    breakdown_row = Some(row);
+                }
+                attempts.push(RecoveryAttempt {
+                    preconditioner: "ic0",
+                    shift: 0.0,
+                    error: e,
+                    iterations: 0,
+                });
+            }
+            Err(e) => return Err(e),
+        }
+
+        // Rung 2: boost only the reported pivot row's diagonal, escalating.
+        if let Some(row) = breakdown_row {
+            for &beta in self.policy.row_boosts.iter() {
+                let mut pre = match Ic0::new_row_boosted(sys, self.pcg.solver(), engine, row, beta)
+                {
+                    Ok(pre) => pre,
+                    Err(e) if descends(&e) => {
+                        attempts.push(RecoveryAttempt {
+                            preconditioner: "ic0-rowboost",
+                            shift: beta,
+                            error: e,
+                            iterations: 0,
+                        });
+                        continue;
+                    }
+                    Err(e) => return Err(e),
+                };
+                pre.set_precision(precision);
+                if let Some(outcome) = Self::try_rung(
+                    run,
+                    &self.pcg,
+                    &mut pre,
+                    "ic0-rowboost",
+                    beta,
+                    &mut attempts,
+                )? {
+                    return Ok((
+                        outcome,
+                        report_for(attempts, shifts_tried, "ic0-rowboost", beta),
+                    ));
+                }
+            }
+        }
+
+        // Rung 3: whole-diagonal shifted IC(0) under escalating α.
+        for &alpha in self.policy.shifts.iter() {
             shifts_tried.push(alpha);
-            let built = if alpha == 0.0 {
-                Ic0::new(sys, self.pcg.solver(), engine)
-            } else {
-                Ic0::new_shifted(sys, self.pcg.solver(), engine, alpha)
-            };
-            let mut pre = match built {
+            let mut pre = match Ic0::new_shifted(sys, self.pcg.solver(), engine, alpha) {
                 Ok(pre) => pre,
                 Err(e) if descends(&e) => {
                     attempts.push(RecoveryAttempt {
-                        preconditioner: if alpha == 0.0 { "ic0" } else { "ic0-shifted" },
+                        preconditioner: "ic0-shifted",
                         shift: alpha,
                         error: e,
                         iterations: 0,
@@ -376,18 +547,26 @@ impl RobustPcg {
                 }
                 Err(e) => return Err(e),
             };
-            let label = pre.label();
-            match Self::try_rung(run, &self.pcg, &mut pre, label, alpha, &mut attempts)? {
-                Some(outcome) => {
-                    return Ok((outcome, report_for(attempts, shifts_tried, label, alpha)));
-                }
-                None => continue,
+            pre.set_precision(precision);
+            if let Some(outcome) = Self::try_rung(
+                run,
+                &self.pcg,
+                &mut pre,
+                "ic0-shifted",
+                alpha,
+                &mut attempts,
+            )? {
+                return Ok((
+                    outcome,
+                    report_for(attempts, shifts_tried, "ic0-shifted", alpha),
+                ));
             }
         }
 
-        // Rung 3: SSOR — setup cannot break down.
+        // Rung 4: SSOR — setup cannot break down.
         if self.policy.allow_ssor {
             let mut pre = Ssor::new(sys, self.pcg.solver(), engine);
+            pre.set_precision(precision);
             if let Some(outcome) =
                 Self::try_rung(run, &self.pcg, &mut pre, "ssor", 0.0, &mut attempts)?
             {
@@ -395,7 +574,7 @@ impl RobustPcg {
             }
         }
 
-        // Rung 4: plain CG.
+        // Rung 5: plain CG.
         if self.policy.allow_identity {
             let mut pre = Identity;
             if let Some(outcome) =
@@ -546,9 +725,11 @@ mod tests {
         let pcg = Pcg::new(1, Schedule::Static);
         let policy = RecoveryPolicy {
             shifts: vec![],
+            row_boosts: vec![],
             allow_ssor: false,
             allow_identity: false,
             engine: SweepEngine::Sequential,
+            ..RecoveryPolicy::default()
         };
         // IC(0) itself still runs (the Laplacian factors), so this succeeds…
         let (pre, _) = build_ladder_preconditioner(&sys, pcg.solver(), &policy).unwrap();
@@ -574,9 +755,11 @@ mod tests {
         // A policy that forbids every fallback still runs IC(0) itself.
         let policy = RecoveryPolicy {
             shifts: vec![],
+            row_boosts: vec![],
             allow_ssor: false,
             allow_identity: false,
             engine: SweepEngine::Sequential,
+            ..RecoveryPolicy::default()
         };
         let robust = RobustPcg::with_policy(Pcg::new(1, Schedule::Static), policy);
         let b = vec![1.0; sys.n()];

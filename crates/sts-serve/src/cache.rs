@@ -18,7 +18,7 @@
 
 use std::sync::Arc;
 
-use sts_core::{Method, StsStructure};
+use sts_core::{Method, PrecisionPolicy, StsStructure};
 use sts_krylov::{LadderPreconditioner, RecoveryReport, SpdSystem};
 
 /// A 64-bit FNV-1a hash over the pattern identity: dimension, CSR arrays,
@@ -83,6 +83,9 @@ pub struct FactorEntry {
     pub recovery: RecoveryReport,
     /// Wall time of the value rebind + factorization, nanoseconds.
     pub factor_wall_ns: u64,
+    /// The value-slab precision `submit_values` requested — the default a
+    /// solve without its own `"precision"` field runs at.
+    pub precision: PrecisionPolicy,
 }
 
 /// One cached pattern: the analysis artifacts plus (after `submit_values`)

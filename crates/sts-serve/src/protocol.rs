@@ -15,6 +15,7 @@
 //! vector read back by a client is bit-for-bit the solver's output.
 
 use serde::Value;
+use sts_core::PrecisionPolicy;
 use sts_matrix::MatrixError;
 
 /// The protocol version this build speaks. Requests carrying any other
@@ -175,6 +176,9 @@ pub enum Request {
         pattern: String,
         /// Values aligned with the pattern's CSR entries.
         values: Vec<f64>,
+        /// Value-slab precision the factor's sweeps run at; parsed from the
+        /// optional `"precision"` field (`"f64"`, the default, or `"f32"`).
+        precision: PrecisionPolicy,
     },
     /// Solve on a pattern whose values have been submitted (the warm path).
     Solve {
@@ -191,6 +195,10 @@ pub enum Request {
         tolerance: Option<f64>,
         /// Optional iteration-bound override.
         max_iterations: Option<usize>,
+        /// Value-slab precision for this solve's sweeps, overriding what
+        /// `submit_values` requested for one solve; `None` (field absent)
+        /// inherits the factor's precision.
+        precision: Option<PrecisionPolicy>,
     },
     /// Service counters (cache hits/misses, evictions, solves).
     Stats,
@@ -310,6 +318,26 @@ fn get_float_array(v: &Value, id: u64, field: &str) -> Result<Vec<f64>, RequestE
         .ok_or_else(|| missing(id, field))
 }
 
+/// Parses the optional `"precision"` field: `"f64"` means full precision,
+/// `"f32"` requests the mixed-precision slabs, absent yields `None` (each
+/// op picks its own default), and anything else is a
+/// [`ErrorCode::BadRequest`] (the same code an unknown solve mode earns).
+fn get_precision(v: &Value, id: u64) -> Result<Option<PrecisionPolicy>, RequestError> {
+    match v.get("precision") {
+        None => Ok(None),
+        Some(x) => match x.as_str() {
+            Some("f64") => Ok(Some(PrecisionPolicy::ValuesF64)),
+            Some("f32") => Ok(Some(PrecisionPolicy::ValuesF32WithRefinement)),
+            Some(other) => Err(RequestError {
+                id,
+                code: ErrorCode::BadRequest,
+                message: format!("unknown precision '{other}' (expected 'f64' or 'f32')"),
+            }),
+            None => Err(missing(id, "precision")),
+        },
+    }
+}
+
 /// Parses one request line into its correlation id and [`Request`].
 ///
 /// On failure the returned [`RequestError`] still carries the id when one
@@ -346,6 +374,7 @@ pub fn parse_request(line: &str) -> Result<(u64, Request), RequestError> {
         "submit_values" => Request::SubmitValues {
             pattern: get_str(&v, id, "pattern")?,
             values: get_float_array(&v, id, "values")?,
+            precision: get_precision(&v, id)?.unwrap_or(PrecisionPolicy::ValuesF64),
         },
         "solve" => {
             let mode = match v.get("mode").and_then(Value::as_str) {
@@ -379,6 +408,7 @@ pub fn parse_request(line: &str) -> Result<(u64, Request), RequestError> {
                 nrhs,
                 tolerance,
                 max_iterations,
+                precision: get_precision(&v, id)?,
             }
         }
         "stats" => Request::Stats,
@@ -412,7 +442,24 @@ mod tests {
             r#"{"v":1,"id":8,"op":"submit_values","pattern":"abcd","values":[2.0,3.0]}"#,
         )
         .unwrap();
-        assert!(matches!(r, Request::SubmitValues { .. }));
+        assert!(matches!(
+            r,
+            Request::SubmitValues {
+                precision: PrecisionPolicy::ValuesF64,
+                ..
+            }
+        ));
+        let (_, r) = parse_request(
+            r#"{"v":1,"id":8,"op":"submit_values","pattern":"abcd","values":[2.0],"precision":"f32"}"#,
+        )
+        .unwrap();
+        assert!(matches!(
+            r,
+            Request::SubmitValues {
+                precision: PrecisionPolicy::ValuesF32WithRefinement,
+                ..
+            }
+        ));
 
         let (_, r) = parse_request(
             r#"{"v":1,"id":9,"op":"solve","pattern":"abcd","b":[1.0,2.0],"mode":"batch","nrhs":2,"tolerance":1e-10}"#,
@@ -468,6 +515,19 @@ mod tests {
 
         let e = parse_request(
             r#"{"v":1,"id":6,"op":"solve","pattern":"x","b":[1.0],"mode":"triangular"}"#,
+        )
+        .unwrap_err();
+        assert_eq!(e.code, ErrorCode::BadRequest);
+
+        // An unknown precision earns the same invalid-field code on both
+        // ops that accept it.
+        let e = parse_request(
+            r#"{"v":1,"id":7,"op":"solve","pattern":"x","b":[1.0],"precision":"f16"}"#,
+        )
+        .unwrap_err();
+        assert_eq!(e.code, ErrorCode::BadRequest);
+        let e = parse_request(
+            r#"{"v":1,"id":8,"op":"submit_values","pattern":"x","values":[1.0],"precision":"f16"}"#,
         )
         .unwrap_err();
         assert_eq!(e.code, ErrorCode::BadRequest);

@@ -10,7 +10,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use serde::Value;
-use sts_core::Method;
+use sts_core::{Method, PrecisionPolicy};
 use sts_krylov::{
     build_ladder_preconditioner, KrylovWorkspace, Pcg, PcgOptions, Preconditioner, RecoveryPolicy,
     SpdSystem, Tolerance,
@@ -217,7 +217,11 @@ impl SolverService {
                 method,
                 rows_per_super_row,
             } => self.submit_pattern(n, row_ptr, col_idx, &method, rows_per_super_row),
-            Request::SubmitValues { pattern, values } => self.submit_values(&pattern, values),
+            Request::SubmitValues {
+                pattern,
+                values,
+                precision,
+            } => self.submit_values(&pattern, values, precision),
             Request::Solve {
                 pattern,
                 b,
@@ -225,7 +229,16 @@ impl SolverService {
                 nrhs,
                 tolerance,
                 max_iterations,
-            } => self.solve(&pattern, b, mode, nrhs, tolerance, max_iterations),
+                precision,
+            } => self.solve(
+                &pattern,
+                b,
+                mode,
+                nrhs,
+                tolerance,
+                max_iterations,
+                precision,
+            ),
             Request::Stats => Ok(self.stats()),
             Request::Metrics => Ok(self.metrics_op()),
             Request::Shutdown => Ok(OpOutcome {
@@ -300,7 +313,12 @@ impl SolverService {
         })
     }
 
-    fn submit_values(&mut self, pattern: &str, values: Vec<f64>) -> OpResult {
+    fn submit_values(
+        &mut self,
+        pattern: &str,
+        values: Vec<f64>,
+        precision: PrecisionPolicy,
+    ) -> OpResult {
         let key = parse_pattern(pattern)?;
         let entry = self
             .cache
@@ -327,8 +345,12 @@ impl SolverService {
         .map_err(wire_error)?;
         // Warm rebind: the cached hierarchy carries over, no analysis runs.
         let system = SpdSystem::build_with_structure(&a, &entry.structure).map_err(wire_error)?;
+        // The request's precision overrides the configured ladder default,
+        // so a single service can hold f64 and f32 factors side by side.
+        let mut recovery_policy = self.config.recovery.clone();
+        recovery_policy.precision = precision;
         let (preconditioner, recovery) =
-            build_ladder_preconditioner(&system, self.pcg.solver(), &self.config.recovery)
+            build_ladder_preconditioner(&system, self.pcg.solver(), &recovery_policy)
                 .map_err(wire_error)?;
         let factor_wall_ns = start.elapsed().as_nanos() as u64;
         let label = preconditioner.label();
@@ -342,12 +364,14 @@ impl SolverService {
             ),
             ("final_shift", Value::Float(recovery.final_shift)),
             ("factor_wall_ns", Value::UInt(factor_wall_ns)),
+            ("precision", Value::Str(precision.as_str().to_string())),
         ]);
         entry.factor = Some(FactorEntry {
             system,
             preconditioner,
             recovery,
             factor_wall_ns,
+            precision,
         });
         Ok(OpOutcome {
             result,
@@ -359,6 +383,7 @@ impl SolverService {
         })
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn solve(
         &mut self,
         pattern: &str,
@@ -367,6 +392,7 @@ impl SolverService {
         nrhs: usize,
         tolerance: Option<f64>,
         max_iterations: Option<usize>,
+        precision: Option<PrecisionPolicy>,
     ) -> OpResult {
         let key = parse_pattern(pattern)?;
         if nrhs == 0 {
@@ -422,7 +448,15 @@ impl SolverService {
         }
         let start = Instant::now();
         let mut ws = self.pool.checkout(n, nrhs);
+        // A per-request precision overrides the factor's default for this
+        // solve only; restoring afterwards is a flag flip (demoted slabs
+        // stay cached on the structure). An absent field inherits the
+        // precision `submit_values` requested.
+        let factor_precision = factor.precision;
+        let precision = precision.unwrap_or(factor_precision);
+        factor.preconditioner.set_precision(precision);
         let solved = run_solve(&self.pcg, factor, &b, mode, nrhs, &mut ws);
+        factor.preconditioner.set_precision(factor_precision);
         self.pool.checkin(ws);
         self.pcg.set_options(self.config.options);
         let solve_wall_ns = start.elapsed().as_nanos() as u64;
@@ -436,10 +470,12 @@ impl SolverService {
         }
         fields.push(("solve_wall_ns", Value::UInt(solve_wall_ns)));
         fields.push(("cache", Value::Str("warm".to_string())));
+        fields.push(("precision", Value::Str(precision.as_str().to_string())));
         let mut metric_fields = vec![
             ("pattern", Value::Str(key_to_wire(key))),
             ("cache", Value::Str("warm".to_string())),
             ("mode", Value::Str(mode.as_str().to_string())),
+            ("precision", Value::Str(precision.as_str().to_string())),
             ("solve_wall_ns", Value::UInt(solve_wall_ns)),
             ("iterations", Value::UInt(iterations)),
         ];

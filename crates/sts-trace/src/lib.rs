@@ -26,7 +26,8 @@
 //! `sts-core` records [`Phase::Gather`] around every phase-1 external
 //! gather chunk, [`Phase::Chain`] around every phase-2 in-pack chain task,
 //! [`Phase::GateWait`] around blocking `EpochGate` waits (the pipelined
-//! kernels' readiness protocol), and [`Phase::Factor`] around the
+//! kernels' readiness protocol), [`Phase::Refine`] around mixed-precision
+//! refinement passes, and [`Phase::Factor`] around the
 //! level-scheduled IC(0) construction chunks. Install a recorder with
 //! `ParallelSolver::set_trace_recorder`, run a solve, then [`SpanRecorder::snapshot`]
 //! and export.

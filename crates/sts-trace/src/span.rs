@@ -39,6 +39,9 @@ pub enum Phase {
     GateWait,
     /// A level-scheduled IC(0) construction chunk.
     Factor,
+    /// A mixed-precision refinement pass: the f64 residual plus the f32
+    /// correction sweep it feeds.
+    Refine,
 }
 
 impl Phase {
@@ -49,6 +52,7 @@ impl Phase {
             Phase::Chain => "chain",
             Phase::GateWait => "gate_wait",
             Phase::Factor => "factor",
+            Phase::Refine => "refine",
         }
     }
 
@@ -58,6 +62,7 @@ impl Phase {
             Phase::Chain => 1,
             Phase::GateWait => 2,
             Phase::Factor => 3,
+            Phase::Refine => 4,
         }
     }
 
@@ -67,6 +72,7 @@ impl Phase {
             1 => Some(Phase::Chain),
             2 => Some(Phase::GateWait),
             3 => Some(Phase::Factor),
+            4 => Some(Phase::Refine),
             _ => None,
         }
     }

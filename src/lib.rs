@@ -81,6 +81,46 @@
 //! callers that only ever run the unsplit kernels skip its ≈2× off-diagonal
 //! storage cost entirely.
 //!
+//! # One front door: `SolveOptions`
+//!
+//! The named entries above are thin wrappers over a single typed
+//! dispatcher, [`core::ParallelSolver::solve_with`]: engine, sweep
+//! direction, right-hand-side count and value-slab precision travel
+//! together in one [`core::SolveOptions`]. The wrappers stay — bitwise
+//! identical to the options they name — but new code should start here.
+//! [`core::PrecisionPolicy::ValuesF32WithRefinement`] demotes the value
+//! slabs to cached f32 copies (~half the sweep's value traffic) while every
+//! kernel still accumulates in f64, and
+//! [`krylov::solve_refined`] drives the result to the f64 answer in a pass
+//! or two of iterative refinement:
+//!
+//! ```
+//! use sts_k::core::{Ordering, ParallelSolver, PrecisionPolicy, SolveEngine,
+//!                   SolveOptions, StsBuilder};
+//! use sts_k::krylov::{solve_refined, RefineOptions};
+//! use sts_k::matrix::generators;
+//! use sts_k::numa::Schedule;
+//!
+//! let a = generators::triangulated_grid(14, 11, 7).unwrap();
+//! let l = generators::lower_operand(&a).unwrap();
+//! let sts = StsBuilder::new(3).ordering(Ordering::Coloring).build(&l).unwrap();
+//! let solver = ParallelSolver::new(4, Schedule::Guided { min_chunk: 1 });
+//! let b = vec![1.0; sts.n()];
+//!
+//! // The pipelined f64 solve, spelled through the front door: exactly the
+//! // bits `solve_pipelined` produces.
+//! let opts = SolveOptions::default().with_engine(SolveEngine::Pipelined);
+//! let x = solver.solve_with(&sts, &b, &opts).unwrap();
+//! assert_eq!(x, solver.solve_pipelined(&sts, &b).unwrap());
+//!
+//! // Mixed precision: f32 value slabs, f64 accumulation, refined back to
+//! // the f64 answer against the full-precision operand.
+//! let f32_opts = opts.with_precision(PrecisionPolicy::ValuesF32WithRefinement);
+//! let out = solve_refined(&solver, &sts, &b, &f32_opts, &RefineOptions::default()).unwrap();
+//! assert!(out.converged && out.refine_iterations <= 2);
+//! assert!(x.iter().zip(&out.x).all(|(a, b)| (a - b).abs() < 1e-10));
+//! ```
+//!
 //! # The Krylov subsystem (`sts-krylov`)
 //!
 //! The workload the triangular kernels exist for: a preconditioned
@@ -222,8 +262,11 @@
 //!   a non-positive pivot (`FactorizationBreakdown { row, pivot }`, bitwise
 //!   identical between the sequential and level-scheduled engines).
 //!   [`krylov::RobustPcg`] wraps [`krylov::Pcg`] in a recovery ladder: it
-//!   retries with the Manteuffel-shifted `IC(0)(A + α·diag(A))` under the
-//!   escalating shifts of [`krylov::RecoveryPolicy`], then degrades to SSOR
+//!   first retries with only the *reported breakdown row's* diagonal
+//!   boosted (the targeted `ic0-rowboost` rung, under
+//!   [`krylov::RecoveryPolicy::row_boosts`]), then with the
+//!   Manteuffel-shifted `IC(0)(A + α·diag(A))` under the escalating shifts
+//!   of [`krylov::RecoveryPolicy`], then degrades to SSOR
 //!   and finally to unpreconditioned CG, and reports every abandoned rung in
 //!   a [`krylov::RecoveryReport`] (attempts, shifts tried, the surviving
 //!   preconditioner, extra iterations paid).

@@ -143,6 +143,12 @@ fn scripted_session_matches_snapshot() {
         format!(
             r#"{{"v":1,"id":7,"op":"solve","pattern":"{key}","b":[3.0,3.0],"tolerance":1e-12,"max_iterations":50}}"#
         ),
+        // Mixed precision: an f32 factor, an inheriting solve, a per-solve
+        // f64 override, and the rejected unknown precision.
+        format!(r#"{{"v":1,"id":22,"op":"submit_values","pattern":"{key}","values":[4.0,-1.0,-1.0,4.0],"precision":"f32"}}"#),
+        format!(r#"{{"v":1,"id":23,"op":"solve","pattern":"{key}","b":[3.0,3.0]}}"#),
+        format!(r#"{{"v":1,"id":24,"op":"solve","pattern":"{key}","b":[3.0,3.0],"precision":"f64"}}"#),
+        format!(r#"{{"v":1,"id":25,"op":"solve","pattern":"{key}","b":[3.0,3.0],"precision":"f16"}}"#),
         // Every deterministically reachable error code.
         "this is not json".to_string(),
         r#"{"v":2,"id":8,"op":"stats"}"#.to_string(),

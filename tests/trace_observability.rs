@@ -60,7 +60,7 @@ fn pipelined_solve_trace_covers_every_pack_per_phase() {
             Phase::Chain => {
                 chained.insert(s.pack);
             }
-            Phase::GateWait | Phase::Factor => {}
+            Phase::GateWait | Phase::Factor | Phase::Refine => {}
         }
     }
     let all: BTreeSet<u32> = (0..num_packs as u32).collect();

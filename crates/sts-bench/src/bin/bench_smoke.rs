@@ -48,7 +48,11 @@
 //!   (`serve_cold_solve_wall_ns` — pattern analysis + factorization + first
 //!   solve) vs. the warm cached path (`serve_warm_solve_wall_ns`), both
 //!   gated — the structure/factor cache must keep the steady-state solve
-//!   far below the cold one.
+//!   far below the cold one;
+//! * the static schedule verifier: wall nanoseconds of one full
+//!   `verify_schedule()` pass over the smoke structure and the total
+//!   happens-before edges it certified (`verify_schedule_wall_ns`,
+//!   `hb_edges_total`) — advisory trend lines, deliberately not gated.
 //!
 //! Run with `cargo run --release -p sts-bench --bin bench_smoke`. The output
 //! is one line so CI logs diff cleanly across PRs.
@@ -192,6 +196,17 @@ struct Smoke {
     /// steady-state cost a streaming client pays per solve, and it must
     /// stay far below the cold path for the cache to be worth anything.
     serve_warm_solve_wall_ns: f64,
+    /// Wall nanoseconds of one full static schedule verification
+    /// ([`sts_core::StsStructure::verify_schedule`]: every thread count of
+    /// the sweep × both sweep directions, plus the factor schedules) on the
+    /// smoke structure. Advisory trend line — deliberately *not* in
+    /// `GATED_FIELDS`: the verifier runs once per structure build (and in CI
+    /// debug builds), so its cost tracks analysis, never the solve hot path.
+    verify_schedule_wall_ns: f64,
+    /// Task-granularity happens-before edges across the verified schedules
+    /// — the size of the synchronisation relation the proof covers.
+    /// Advisory: a step change means the schedule shape changed.
+    hb_edges_total: f64,
 }
 
 fn main() {
@@ -493,6 +508,14 @@ fn main() {
         "the warm service path must undercut the cold path (warm {serve_warm_s:.3e}s vs cold {serve_cold_s:.3e}s)"
     );
 
+    // The static schedule verifier on the smoke structure (see the field
+    // docs; advisory, not gated).
+    let verify_start = Instant::now();
+    let proof = s
+        .verify_schedule()
+        .expect("the smoke schedule verifies race- and deadlock-free");
+    let verify_schedule_wall_ns = verify_start.elapsed().as_secs_f64() * 1e9;
+
     let smoke = Smoke {
         matrix: "grid2d_laplacian_200x200".to_string(),
         n: s.n(),
@@ -548,6 +571,8 @@ fn main() {
         spd_validate_wall_ns: validate_s * 1e9,
         serve_cold_solve_wall_ns: serve_cold_s * 1e9,
         serve_warm_solve_wall_ns: serve_warm_s * 1e9,
+        verify_schedule_wall_ns,
+        hb_edges_total: proof.hb_edges as f64,
     };
     let line = serde_json::to_string(&smoke).expect("smoke record serialises");
     println!("{line}");

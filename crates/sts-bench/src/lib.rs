@@ -18,6 +18,7 @@
 //!   the threaded solver on the host instead (meaningful only on a multicore
 //!   host).
 
+pub mod audit;
 pub mod faultinject;
 pub mod gate;
 pub mod harness;

@@ -47,6 +47,18 @@ pub struct StsStructure {
     /// use ([`StsStructure::transpose_split`]) — only the forward/backward
     /// sweep pairs of preconditioner applications pay for it.
     tsplit: OnceLock<TransposeLayout>,
+    /// Debug-only guard: set once the forward layout's schedule has been
+    /// statically verified ([`StsStructure::split`] runs the check on first
+    /// build under `debug_assertions`). A plain flag, not a lazily computed
+    /// value, because the verifier itself calls [`StsStructure::split`]
+    /// reentrantly. Ignored by `PartialEq` like the layout caches, and
+    /// never read in release builds (where the hook compiles out).
+    #[cfg_attr(not(debug_assertions), allow(dead_code))]
+    split_verified: OnceLock<()>,
+    /// Debug-only guard for the transpose layout's schedule (see
+    /// `split_verified`).
+    #[cfg_attr(not(debug_assertions), allow(dead_code))]
+    tsplit_verified: OnceLock<()>,
 }
 
 /// Equality ignores the lazy split cache: the layout is a pure function of
@@ -110,6 +122,8 @@ impl StsStructure {
             perm,
             split: OnceLock::new(),
             tsplit: OnceLock::new(),
+            split_verified: OnceLock::new(),
+            tsplit_verified: OnceLock::new(),
         };
         s.validate()?;
         if s.n() > 0 && s.n() - 1 > u32::MAX as usize {
@@ -253,9 +267,28 @@ impl StsStructure {
     /// layout. Callers who want the build cost out of their timed region can
     /// force it up front with this same method.
     pub fn split(&self) -> &SplitLayout {
-        self.split.get_or_init(|| {
+        let layout = self.split.get_or_init(|| {
             SplitLayout::build(&self.l, &self.pack_start_rows(), &self.index3, &self.index2)
-        })
+        });
+        // Debug builds statically verify the schedule the first time the
+        // layout is built. The guard must be a non-blocking `set` (first
+        // caller wins, losers skip): the verifier extracts its footprints by
+        // calling `split()` again, and a `get_or_init` here would deadlock on
+        // that reentrancy.
+        #[cfg(debug_assertions)]
+        if self.split_verified.set(()).is_ok() {
+            if let Err(v) =
+                self.verify_schedule_at(usize::MAX, crate::options::SweepDirection::Forward)
+            {
+                panic!("forward schedule fails static verification: {v}");
+            }
+            for &threads in &crate::verify::VERIFY_THREAD_SWEEP {
+                if let Err(v) = self.verify_factor_schedule(threads) {
+                    panic!("factor schedule fails static verification: {v}");
+                }
+            }
+        }
+        layout
     }
 
     /// Whether the dependency-split layout has been built yet (diagnostic;
@@ -269,8 +302,20 @@ impl StsStructure {
     /// [`StsStructure::split`]. See [`TransposeLayout`] for the
     /// reverse-pack-order correctness argument the backward kernels rely on.
     pub fn transpose_split(&self) -> &TransposeLayout {
-        self.tsplit
-            .get_or_init(|| TransposeLayout::build(&self.l, &self.index3, &self.index2))
+        let layout = self
+            .tsplit
+            .get_or_init(|| TransposeLayout::build(&self.l, &self.index3, &self.index2));
+        // Same first-build verification (and same reentrancy-safe guard) as
+        // `split()`, for the backward-sweep schedule.
+        #[cfg(debug_assertions)]
+        if self.tsplit_verified.set(()).is_ok() {
+            if let Err(v) =
+                self.verify_schedule_at(usize::MAX, crate::options::SweepDirection::Transpose)
+            {
+                panic!("transpose schedule fails static verification: {v}");
+            }
+        }
+        layout
     }
 
     /// Whether the transpose split layout has been built yet (diagnostic).

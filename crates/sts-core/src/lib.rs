@@ -39,7 +39,13 @@
 //!   figure harnesses, including the bytes-per-row bandwidth model that
 //!   predicts the mixed-precision traffic reduction;
 //! * [`analysis`] — the parallelism and work-distribution statistics behind
-//!   Figures 7 and 8.
+//!   Figures 7 and 8;
+//! * [`verify`] — static schedule verification: extracts every task's exact
+//!   read/write footprint and happens-before edges from the split layouts
+//!   and checks race-freedom, deadlock-freedom and write completeness via
+//!   the dependency-free `sts-verify` checker
+//!   ([`StsStructure::verify_schedule`]); re-run automatically on first
+//!   layout build under `debug_assertions`.
 //!
 //! # Semantics of the reordering
 //!
@@ -65,6 +71,7 @@ pub mod reorder;
 pub mod solver;
 pub mod split;
 pub mod transpose;
+pub mod verify;
 
 pub use builder::{Method, Ordering, StsBuilder, SuperRowSizing};
 pub use csrk::StsStructure;
@@ -75,3 +82,4 @@ pub use options::{PrecisionPolicy, SlabValue, SolveEngine, SolveOptions, SweepDi
 pub use solver::parallel::{ChaosHook, ParallelSolver, PipelinePlan};
 pub use split::SplitLayout;
 pub use transpose::TransposeLayout;
+pub use verify::{factor_spec, solve_spec};

@@ -60,6 +60,7 @@ use sts_matrix::factor::{ic0_factor_row, lower_pattern_copy};
 use sts_matrix::{CsrMatrix, LowerTriangularCsr, MatrixError};
 use sts_numa::{EpochGate, GateWait, Schedule};
 use sts_trace::Phase;
+use sts_verify::TaskKind;
 
 use crate::csrk::{Result, StsStructure};
 use crate::solver::parallel::{
@@ -115,6 +116,14 @@ impl ParallelSolver {
                         if d <= 0.0 || !d.is_finite() {
                             return Err(MatrixError::FactorizationBreakdown { row: i, pivot: d });
                         }
+                        // Row-granularity reads: every slot ic0_factor_row
+                        // touched belongs to a row named by i's strictly-lower
+                        // columns (or to row i itself, which is the write).
+                        self.shadow_record(
+                            TaskKind::Gather,
+                            i,
+                            col_idx[row_ptr[i]..row_ptr[i + 1] - 1].iter().copied(),
+                        );
                     }
                     if let Some(r) = rec {
                         r.record(0, p as u32, Phase::Factor, t0.unwrap_or(0), r.now_ns());
@@ -230,6 +239,8 @@ impl ParallelSolver {
                                 let d = ic0_factor_row(
                                     row_ptr,
                                     col_idx,
+                                    // SAFETY: same argument as the slice
+                                    // above — k names a finalized slot.
                                     |k| unsafe { shared.read(k) },
                                     row,
                                     i,
@@ -238,6 +249,13 @@ impl ParallelSolver {
                                     local_row = i;
                                     local_pivot = d;
                                 }
+                                // Same row-granularity read set as the
+                                // single-worker path above.
+                                self.shadow_record(
+                                    TaskKind::Gather,
+                                    i,
+                                    col_idx[lo..row_ptr[i + 1] - 1].iter().copied(),
+                                );
                             }
                             if let Some(r) = rec {
                                 r.record(

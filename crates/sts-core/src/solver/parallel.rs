@@ -145,6 +145,7 @@ use std::time::{Duration, Instant};
 use sts_matrix::{CsrMatrix, MatrixError};
 use sts_numa::{EpochGate, GateWait, PoolError, Schedule, WorkerPool};
 use sts_trace::{Phase, SpanRecorder};
+use sts_verify::TaskKind;
 
 use crate::csrk::{Result, StsStructure};
 use crate::options::{PrecisionPolicy, SlabValue, SolveEngine, SolveOptions, SweepDirection};
@@ -244,6 +245,9 @@ pub(crate) struct SharedVec {
     len: usize,
 }
 
+// SAFETY: the wrapper only forwards raw-pointer accesses; every dereference
+// goes through the unsafe methods below, whose contracts require the caller
+// to provide the per-slot single-writer discipline argued in the module docs.
 unsafe impl Sync for SharedVec {}
 
 impl SharedVec {
@@ -298,6 +302,10 @@ pub struct ParallelSolver {
     chaos: Option<ChaosHook>,
     /// Optional span recorder; see [`ParallelSolver::set_trace_recorder`].
     trace: Option<Arc<SpanRecorder>>,
+    /// Optional race-shadow access log; see
+    /// [`ParallelSolver::set_shadow_log`].
+    #[cfg(feature = "race-shadow")]
+    shadow: Option<Arc<sts_verify::AccessLog>>,
 }
 
 impl ParallelSolver {
@@ -310,6 +318,8 @@ impl ParallelSolver {
             watchdog_ms: DEFAULT_WATCHDOG_MS,
             chaos: None,
             trace: None,
+            #[cfg(feature = "race-shadow")]
+            shadow: None,
         }
     }
 
@@ -325,6 +335,8 @@ impl ParallelSolver {
             watchdog_ms: DEFAULT_WATCHDOG_MS,
             chaos: None,
             trace: None,
+            #[cfg(feature = "race-shadow")]
+            shadow: None,
         }
     }
 
@@ -375,6 +387,43 @@ impl ParallelSolver {
     /// The installed span recorder, if any.
     pub fn trace_recorder(&self) -> Option<&Arc<SpanRecorder>> {
         self.trace.as_ref()
+    }
+
+    /// Installs (or clears) a race-shadow access log: the split, pipelined
+    /// and factor kernels record one [`sts_verify::RowTrace`] per produced
+    /// row (the exact shared slots the inner loop read), so
+    /// [`sts_verify::check_replay`] can cross-check the static schedule
+    /// model against what the kernels really touch. Test support: recording
+    /// serialises on the log's mutex.
+    #[cfg(feature = "race-shadow")]
+    pub fn set_shadow_log(&mut self, log: Option<Arc<sts_verify::AccessLog>>) {
+        self.shadow = log;
+    }
+
+    /// Records one produced row into the race-shadow log, if installed.
+    #[cfg(feature = "race-shadow")]
+    #[inline]
+    pub(crate) fn shadow_record(
+        &self,
+        kind: sts_verify::TaskKind,
+        row: usize,
+        reads: impl IntoIterator<Item = usize>,
+    ) {
+        if let Some(log) = self.shadow.as_deref() {
+            log.record(kind, row, reads);
+        }
+    }
+
+    /// No-op twin of the `race-shadow` recorder: the lazy `reads` iterator is
+    /// never consumed, so release kernels pay nothing.
+    #[cfg(not(feature = "race-shadow"))]
+    #[inline(always)]
+    pub(crate) fn shadow_record(
+        &self,
+        _kind: sts_verify::TaskKind,
+        _row: usize,
+        _reads: impl IntoIterator<Item = usize>,
+    ) {
     }
 
     /// The recorder to feed during one kernel dispatch: installed *and*
@@ -714,6 +763,11 @@ impl ParallelSolver {
                             // SAFETY: row i1 is written by exactly one phase-1
                             // chunk.
                             unsafe { shared.write(i1, (b[i1] - acc) * inv_diag[i1]) };
+                            self.shadow_record(
+                                TaskKind::Gather,
+                                i1,
+                                ecols[erp[i1]..erp[i1 + 1]].iter().map(|&j| j as usize),
+                            );
                         }
                         if let Some(r) = rec {
                             r.record(
@@ -752,6 +806,15 @@ impl ParallelSolver {
                             // its phase-1 value was published by the barrier.
                             let partial = unsafe { shared.read(i1) };
                             unsafe { shared.write(i1, partial - acc * inv_diag[i1]) };
+                            // The recorded reads: the internal columns plus
+                            // the re-read of the row's own phase-1 partial.
+                            self.shadow_record(
+                                TaskKind::Chain,
+                                i1,
+                                (irp[i1]..irp[i1 + 1])
+                                    .map(|k| icols[k] as usize)
+                                    .chain(std::iter::once(i1)),
+                            );
                         }
                         if let Some(r) = rec {
                             // The pool does not expose which slot claimed a
@@ -1105,6 +1168,11 @@ impl ParallelSolver {
                 // SAFETY: row i1 is written by exactly one statically
                 // owned chunk.
                 unsafe { shared.write(i1, (b[i1] - acc) * inv_diag[i1]) };
+                self.shadow_record(
+                    TaskKind::Gather,
+                    i1,
+                    ecols[erp[i1]..erp[i1 + 1]].iter().map(|&j| j as usize),
+                );
             }
         };
         let chain = |p: usize, t: usize| {
@@ -1123,6 +1191,13 @@ impl ParallelSolver {
                 // phase-1 value was published by the drained flag.
                 let partial = unsafe { shared.read(i1) };
                 unsafe { shared.write(i1, partial - acc * inv_diag[i1]) };
+                self.shadow_record(
+                    TaskKind::Chain,
+                    i1,
+                    (irp[i1]..irp[i1 + 1])
+                        .map(|k| icols[k] as usize)
+                        .chain(std::iter::once(i1)),
+                );
             }
         };
         self.run_pipelined(plan, &gather, &chain)?;
@@ -1366,6 +1441,11 @@ impl ParallelSolver {
                             // SAFETY: row i1 is written by exactly one phase-1
                             // chunk.
                             unsafe { shared.write(i1, (b[i1] - acc) * inv_diag[i1]) };
+                            self.shadow_record(
+                                TaskKind::Gather,
+                                i1,
+                                ecols[erp[i1]..erp[i1 + 1]].iter().map(|&j| j as usize),
+                            );
                         }
                     })
                     .map_err(pool_error_to_matrix)?;
@@ -1390,6 +1470,13 @@ impl ParallelSolver {
                             // SAFETY: row i1 belongs to exactly one chain task.
                             let partial = unsafe { shared.read(i1) };
                             unsafe { shared.write(i1, partial - acc * inv_diag[i1]) };
+                            self.shadow_record(
+                                TaskKind::Chain,
+                                i1,
+                                (irp[i1]..irp[i1 + 1])
+                                    .map(|k| icols[k] as usize)
+                                    .chain(std::iter::once(i1)),
+                            );
                         }
                     })
                     .map_err(pool_error_to_matrix)?;
@@ -1487,6 +1574,11 @@ impl ParallelSolver {
                 // SAFETY: row i1 is written by exactly one statically owned
                 // chunk.
                 unsafe { shared.write(i1, (b[i1] - acc) * inv_diag[i1]) };
+                self.shadow_record(
+                    TaskKind::Gather,
+                    i1,
+                    ecols[erp[i1]..erp[i1 + 1]].iter().map(|&j| j as usize),
+                );
             }
         };
         let chain = |st: usize, t: usize| {
@@ -1506,6 +1598,13 @@ impl ParallelSolver {
                 // phase-1 value was published by the drained flag.
                 let partial = unsafe { shared.read(i1) };
                 unsafe { shared.write(i1, partial - acc * inv_diag[i1]) };
+                self.shadow_record(
+                    TaskKind::Chain,
+                    i1,
+                    (irp[i1]..irp[i1 + 1])
+                        .map(|k| icols[k] as usize)
+                        .chain(std::iter::once(i1)),
+                );
             }
         };
         self.run_pipelined(plan, &gather, &chain)?;

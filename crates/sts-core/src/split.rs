@@ -22,11 +22,14 @@
 //! diagonal is precomputed so the substitution multiplies instead of divides.
 //!
 //! For the pack-pipelined kernel the layout additionally records **readiness
-//! metadata**: for every row, the latest earlier pack its external entries
-//! read ([`SplitLayout::ext_dep`], encoded as `pack + 1`, `0` for none). A
-//! phase-1 gather chunk is ready as soon as the packs `0..max(ext_dep)` of
-//! its rows are *done* — typically much earlier than "the previous pack is
-//! done", which is the slack barrier fusion converts into overlap.
+//! metadata**: for every row, the number of leading packs that must be done
+//! before its external reads are final ([`SplitLayout::ext_dep`] — `1 +` the
+//! latest earlier pack the row's external entries reference, `0` when it has
+//! none; a row whose latest dependency is pack 0 therefore stores `1`, not
+//! `0`). A phase-1 gather chunk is ready as soon as the packs
+//! `0..max(ext_dep)` of its rows are *done* — typically much earlier than
+//! "the previous pack is done", which is the slack barrier fusion converts
+//! into overlap.
 //!
 //! The layout duplicates the operand's off-diagonal storage (ext + int slabs
 //! hold every strictly-lower entry exactly once, next to the original CSR
@@ -483,6 +486,38 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn ext_dep_distinguishes_a_pack_zero_dependency_from_none() {
+        // Level-set packs: pack 0 is the dependency-free level, and every
+        // pack-1 row reads pack-0 rows only. The encoding must keep those two
+        // cases apart: "no external reads" stores 0, "latest dependency is
+        // pack 0" stores 1.
+        let l = generators::paper_figure1_l();
+        let s = Method::CsrLs.build(&l, 2).unwrap();
+        assert!(s.num_packs() > 1);
+        let split = s.split();
+        for i in s.pack_rows(0) {
+            assert_eq!(split.ext_dep()[i], 0, "pack-0 row {i} has no dependency");
+        }
+        let pack0 = s.pack_rows(0);
+        let mut saw_boundary_row = false;
+        for i in s.pack_rows(1) {
+            let (cols, _) = split.ext_row(i);
+            if cols.is_empty() {
+                assert_eq!(split.ext_dep()[i], 0);
+                continue;
+            }
+            assert!(cols.iter().all(|&j| pack0.contains(&(j as usize))));
+            assert_eq!(
+                split.ext_dep()[i],
+                1,
+                "row {i}'s latest dependency is pack 0, so it must store 1, not 0"
+            );
+            saw_boundary_row = true;
+        }
+        assert!(saw_boundary_row, "some pack-1 row depends on pack 0");
     }
 
     #[test]

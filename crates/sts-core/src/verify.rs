@@ -1,0 +1,306 @@
+//! Extraction of [`ScheduleSpec`]s from a structure's split layouts, and
+//! the [`StsStructure::verify_schedule`] front door.
+//!
+//! The pack-parallel kernels are race-free only if the statically
+//! precomputed readiness metadata ([`SplitLayout::ext_dep`] and the
+//! transpose layout's reverse-stage equivalent) covers everything the tasks
+//! actually read. This module makes that checkable: it rebuilds every
+//! task's **exact** read/write footprint — phase-1 gather chunks (reads:
+//! external slab columns, i.e. the `x` slots of other packs; writes: the
+//! chunk's own partial rows), phase-2 chain tickets (reads: internal slab
+//! columns plus the row's own partial; writes: the chain rows) and
+//! `parallel_ic0` factor chunks (reads: the rows named by each row's
+//! strictly-lower columns; writes: the row) — together with the
+//! happens-before edges the kernels rely on (`EpochGate` readiness from
+//! [`SplitLayout::range_ext_dep`], drain-gated ticket claims, program
+//! order), and hands the model to the dependency-free checker in
+//! [`sts_verify`].
+//!
+//! Chunk boundaries replicate the kernels' formulas verbatim: solve chunks
+//! split a pack's rows as `rows.start + c·m/nchunks` with
+//! `nchunks = workers.min(m)` (`ParallelSolver::build_plan`), factor chunks
+//! split a pack's super-rows the same way (`ParallelSolver::parallel_ic0`).
+//! Passing `threads = usize::MAX` therefore yields row- (super-row-)
+//! granularity chunks — the sharpest check, since coarser chunks take the
+//! `max` of their rows' readiness and can only over-synchronise.
+//!
+//! The verified model is the **pipelined** schedule — the weakest
+//! synchronisation any engine uses. The split engine runs the same tasks
+//! with full barriers between phases and packs (strictly more ordering), so
+//! a pipelined proof covers it; the dynamic `race-shadow` cross-check (see
+//! [`sts_verify::replay`]) validates the footprints against both engines.
+//!
+//! Under `debug_assertions`, the first build of each lazy layout re-runs
+//! the corresponding checks ([`StsStructure::split`] /
+//! [`StsStructure::transpose_split`]), so every structure any debug test
+//! solves with is verified race- and deadlock-free at row granularity.
+
+use sts_verify::{
+    ChainSpec, ChunkSpec, RowFootprint, ScheduleProof, ScheduleSpec, ScheduleViolation, StageSpec,
+};
+
+use crate::csrk::StsStructure;
+use crate::options::SweepDirection;
+#[allow(unused_imports)] // doc links
+use crate::split::SplitLayout;
+
+/// Thread counts [`StsStructure::verify_schedule`] sweeps: the chunk
+/// granularities CI exercises, plus `usize::MAX` for the row-granularity
+/// bound.
+pub const VERIFY_THREAD_SWEEP: [usize; 5] = [1, 2, 4, 8, usize::MAX];
+
+/// Builds the static schedule model of one pipelined solve sweep at the
+/// given worker count and direction. `threads = usize::MAX` gives
+/// row-granularity chunks (the sharpest readiness check).
+pub fn solve_spec(s: &StsStructure, threads: usize, direction: SweepDirection) -> ScheduleSpec {
+    let workers = threads.max(1);
+    let num_packs = s.num_packs();
+    let mut stages = Vec::with_capacity(num_packs);
+    for st in 0..num_packs {
+        let stage = match direction {
+            SweepDirection::Forward => {
+                let split = s.split();
+                build_stage(
+                    st,
+                    s.pack_rows(st),
+                    workers,
+                    split.ext_row_ptr(),
+                    split.ext_cols(),
+                    split.int_row_ptr(),
+                    split.int_cols(),
+                    |rows| split.range_ext_dep(rows) as usize,
+                    split.chain_super_rows(st).len(),
+                    |t| split.chain_rows_of(st, t),
+                )
+            }
+            SweepDirection::Transpose => {
+                let ts = s.transpose_split();
+                let p = num_packs - 1 - st;
+                build_stage(
+                    p,
+                    s.pack_rows(p),
+                    workers,
+                    ts.ext_row_ptr(),
+                    ts.ext_cols(),
+                    ts.int_row_ptr(),
+                    ts.int_cols(),
+                    |rows| ts.range_ext_dep(rows) as usize,
+                    ts.chain_super_rows(p).len(),
+                    |t| ts.chain_rows_of(p, t),
+                )
+            }
+        };
+        stages.push(stage);
+    }
+    ScheduleSpec {
+        locations: s.n(),
+        stages,
+    }
+}
+
+/// One stage of a solve spec: the pack's phase-1 chunks (kernel chunking
+/// formula) and phase-2 chain tickets, with footprints read off the slabs.
+#[allow(clippy::too_many_arguments)]
+fn build_stage<'a>(
+    pack: usize,
+    rows: std::ops::Range<usize>,
+    workers: usize,
+    erp: &[usize],
+    ecols: &[u32],
+    irp: &[usize],
+    icols: &[u32],
+    range_dep: impl Fn(std::ops::Range<usize>) -> usize,
+    nchains: usize,
+    chain_rows: impl Fn(usize) -> &'a [u32],
+) -> StageSpec {
+    let m = rows.len();
+    let nchunks = workers.min(m);
+    let mut chunks = Vec::with_capacity(nchunks);
+    for c in 0..nchunks {
+        let chunk = rows.start + c * m / nchunks..rows.start + (c + 1) * m / nchunks;
+        let dep = range_dep(chunk.clone());
+        let rows_fp = chunk
+            .map(|i| RowFootprint {
+                row: i,
+                reads: ecols[erp[i]..erp[i + 1]]
+                    .iter()
+                    .map(|&j| j as usize)
+                    .collect(),
+            })
+            .collect();
+        chunks.push(ChunkSpec {
+            dep,
+            rows: rows_fp,
+            publishes: true,
+        });
+    }
+    let chains = (0..nchains)
+        .map(|t| ChainSpec {
+            claims_after_drain: true,
+            rows: chain_rows(t)
+                .iter()
+                .map(|&i| {
+                    let i = i as usize;
+                    RowFootprint {
+                        row: i,
+                        reads: icols[irp[i]..irp[i + 1]]
+                            .iter()
+                            .map(|&j| j as usize)
+                            .collect(),
+                    }
+                })
+                .collect(),
+        })
+        .collect();
+    StageSpec {
+        pack,
+        chunks,
+        chains,
+    }
+}
+
+/// Builds the static schedule model of one `parallel_ic0` sweep: per pack,
+/// super-row-aligned chunks (the factor kernel's formula) whose rows read
+/// the rows named by their strictly-lower columns; no phase 2.
+pub fn factor_spec(s: &StsStructure, threads: usize) -> ScheduleSpec {
+    let workers = threads.max(1);
+    let split = s.split();
+    let index2 = s.index2();
+    let l = s.lower();
+    let num_packs = s.num_packs();
+    let mut stages = Vec::with_capacity(num_packs);
+    for p in 0..num_packs {
+        let srs = s.pack_super_rows(p);
+        let nsr = srs.len();
+        let nchunks = workers.min(nsr);
+        let mut chunks = Vec::with_capacity(nchunks);
+        for c in 0..nchunks {
+            let sr_lo = srs.start + c * nsr / nchunks;
+            let sr_hi = srs.start + (c + 1) * nsr / nchunks;
+            let rows = index2[sr_lo]..index2[sr_hi];
+            let dep = split.range_ext_dep(rows.clone()) as usize;
+            let rows_fp = rows
+                .map(|i| RowFootprint {
+                    row: i,
+                    reads: l.row_off_diag_cols(i).to_vec(),
+                })
+                .collect();
+            chunks.push(ChunkSpec {
+                dep,
+                rows: rows_fp,
+                publishes: true,
+            });
+        }
+        stages.push(StageSpec {
+            pack: p,
+            chunks,
+            chains: Vec::new(),
+        });
+    }
+    ScheduleSpec {
+        locations: s.n(),
+        stages,
+    }
+}
+
+impl StsStructure {
+    /// Statically verifies the full pack schedule: both sweep directions and
+    /// the factor sweep, across the worker counts of
+    /// [`VERIFY_THREAD_SWEEP`]. Returns the merged [`ScheduleProof`] or the
+    /// first [`ScheduleViolation`] with `(pack, phase, row, missing edge)`
+    /// detail.
+    ///
+    /// Forces both lazy split layouts (they *are* the schedule being
+    /// verified).
+    pub fn verify_schedule(&self) -> Result<ScheduleProof, ScheduleViolation> {
+        let mut proof = ScheduleProof::default();
+        for &threads in &VERIFY_THREAD_SWEEP {
+            for direction in [SweepDirection::Forward, SweepDirection::Transpose] {
+                proof.merge(&self.verify_schedule_at(threads, direction)?);
+            }
+            proof.merge(&self.verify_factor_schedule(threads)?);
+        }
+        Ok(proof)
+    }
+
+    /// Verifies one solve schedule at a specific worker count and direction
+    /// (`threads = usize::MAX` checks at row granularity).
+    pub fn verify_schedule_at(
+        &self,
+        threads: usize,
+        direction: SweepDirection,
+    ) -> Result<ScheduleProof, ScheduleViolation> {
+        sts_verify::verify(&solve_spec(self, threads, direction))
+    }
+
+    /// Verifies the `parallel_ic0` factor schedule at a specific worker
+    /// count.
+    pub fn verify_factor_schedule(
+        &self,
+        threads: usize,
+    ) -> Result<ScheduleProof, ScheduleViolation> {
+        sts_verify::verify(&factor_spec(self, threads))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::Method;
+    use sts_matrix::generators;
+
+    fn structure() -> StsStructure {
+        let l = generators::random_lower_triangular(80, 3.0, 7).unwrap();
+        Method::Sts3.build(&l, 8).unwrap()
+    }
+
+    #[test]
+    fn every_method_schedule_verifies() {
+        let l = generators::random_lower_triangular(60, 2.5, 11).unwrap();
+        for method in Method::all() {
+            let s = method.build(&l, 8).unwrap();
+            let proof = s.verify_schedule().unwrap();
+            assert!(proof.chunks > 0);
+            assert_eq!(proof.locations, s.n() * proof.specs);
+        }
+    }
+
+    #[test]
+    fn dropping_a_dependency_is_flagged_with_its_exact_row() {
+        let s = structure();
+        let mut spec = solve_spec(&s, usize::MAX, SweepDirection::Forward);
+        // Find the first chunk with a real dependency; at row granularity
+        // its dep is the row's own ext_dep, achieved by an actual read.
+        let (st, c) = spec
+            .stages
+            .iter()
+            .enumerate()
+            .find_map(|(st, stage)| stage.chunks.iter().position(|c| c.dep > 0).map(|c| (st, c)))
+            .expect("some chunk depends on an earlier pack");
+        let row = spec.stages[st].chunks[c].rows[0].row;
+        let pack = spec.stages[st].pack;
+        assert!(sts_verify::mutate::drop_dependency(&mut spec, st, c));
+        match sts_verify::verify(&spec) {
+            Err(ScheduleViolation::ReadRace {
+                pack: p, row: r, ..
+            }) => {
+                assert_eq!((p, r), (pack, row));
+            }
+            other => panic!("expected a ReadRace at (pack {pack}, row {row}), got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn factor_spec_verifies_and_counts_every_row() {
+        let s = structure();
+        let spec = factor_spec(&s, 4);
+        let rows: usize = spec
+            .stages
+            .iter()
+            .flat_map(|st| &st.chunks)
+            .map(|c| c.rows.len())
+            .sum();
+        assert_eq!(rows, s.n());
+        sts_verify::verify(&spec).unwrap();
+    }
+}

@@ -83,7 +83,7 @@ mod tests {
         let threads = 4;
         let barrier = Arc::new(SpinBarrier::new(threads));
         let counter = Arc::new(AtomicUsize::new(0));
-        let phases = 50;
+        let phases = if cfg!(miri) { 8 } else { 50 };
         let handles: Vec<_> = (0..threads)
             .map(|_| {
                 let barrier = Arc::clone(&barrier);

@@ -370,8 +370,12 @@ mod tests {
     #[test]
     fn flags_publish_writes_under_contention() {
         let workers = 4;
-        let stages = 24;
-        for round in 0..60 {
+        // Miri runs every interleaving decision through its scheduler, so
+        // the full-size stress loop would take minutes; a few short rounds
+        // still cover the publish/claim protocol.
+        let stages = if cfg!(miri) { 6 } else { 24 };
+        let rounds = if cfg!(miri) { 3 } else { 60 };
+        for round in 0..rounds {
             let counts: Vec<(usize, usize)> =
                 (0..stages).map(|s| (workers, (s + round) % 3)).collect();
             let gate = Arc::new(EpochGate::new(&counts));
@@ -466,8 +470,9 @@ mod tests {
     #[test]
     fn reset_gate_is_reusable_under_contention() {
         let workers = 4;
-        let stages = 16;
-        let rounds = 40;
+        // Shortened under Miri (see flags_publish_writes_under_contention).
+        let stages = if cfg!(miri) { 4 } else { 16 };
+        let rounds = if cfg!(miri) { 4 } else { 40 };
         let counts: Vec<(usize, usize)> = (0..stages).map(|s| (workers, s % 3)).collect();
         let mut gate = EpochGate::new(&counts);
         // slots[s][w] holds `generation * stages + s + 1`, written before
@@ -536,6 +541,10 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(
+        miri,
+        ignore = "spins against the wall clock until a real deadline passes"
+    )]
     fn bounded_wait_times_out_on_a_missing_arrival() {
         let gate = EpochGate::new(&[(1, 0)]);
         let deadline = Instant::now() + std::time::Duration::from_millis(20);

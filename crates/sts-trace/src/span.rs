@@ -333,11 +333,14 @@ mod tests {
     fn concurrent_recording_loses_nothing_under_capacity() {
         let rec = Arc::new(SpanRecorder::new(4096));
         rec.enable();
+        // Fewer records per thread under Miri; the slot-claim protocol is
+        // identical at any volume.
+        let per_thread = if cfg!(miri) { 100u64 } else { 1000u64 };
         let handles: Vec<_> = (0..4u32)
             .map(|w| {
                 let rec = Arc::clone(&rec);
                 std::thread::spawn(move || {
-                    for i in 0..1000u64 {
+                    for i in 0..per_thread {
                         rec.record(w, (i % 7) as u32, Phase::Chain, i, i + 1);
                     }
                 })
@@ -346,7 +349,7 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
-        assert_eq!(rec.snapshot().len(), 4000);
+        assert_eq!(rec.snapshot().len(), 4 * per_thread as usize);
         assert_eq!(rec.dropped(), 0);
     }
 

@@ -1,0 +1,818 @@
+//! The schedule checker: race freedom, deadlock freedom and completeness.
+
+use std::fmt;
+
+use crate::spec::ScheduleSpec;
+
+/// Aggregate statistics of a successful verification — the "proof object"
+/// returned when every check passes. Proofs from several specs (thread
+/// counts, directions, solve + factor) merge additively.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ScheduleProof {
+    /// Specs folded into this proof.
+    pub specs: usize,
+    /// Stages across all folded specs.
+    pub stages: usize,
+    /// Phase-1 chunks across all folded specs.
+    pub chunks: usize,
+    /// Phase-2 chain tickets across all folded specs.
+    pub chains: usize,
+    /// Shared locations covered (summed over specs).
+    pub locations: usize,
+    /// Individual read accesses checked against the happens-before relation.
+    pub reads_checked: u64,
+    /// Task-granularity happens-before edges in the verified schedules (see
+    /// [`ScheduleSpec::hb_edges`]).
+    pub hb_edges: u64,
+}
+
+impl ScheduleProof {
+    /// Folds another proof into this one (additive on every counter).
+    pub fn merge(&mut self, other: &ScheduleProof) {
+        self.specs += other.specs;
+        self.stages += other.stages;
+        self.chunks += other.chunks;
+        self.chains += other.chains;
+        self.locations += other.locations;
+        self.reads_checked += other.reads_checked;
+        self.hb_edges += other.hb_edges;
+    }
+}
+
+/// A schedule defect, reported with the exact `(pack, phase, row)` it was
+/// detected at and the synchronisation edge that is missing. The checker
+/// reports the *first* violation in deterministic (stage, task, row, read)
+/// scan order, so negative tests can pin exact locations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ScheduleViolation {
+    /// A cross-task read is not covered by the reader's readiness wait: the
+    /// location's writer arrives at stage `needed_stages − 1`, but the
+    /// reader only waits for stages `0..covered_stages`.
+    ReadRace {
+        /// Pack of the reading task.
+        pack: usize,
+        /// Phase of the reading task (1 = gather/factor chunk, 2 = chain).
+        phase: u8,
+        /// Row the reader was producing.
+        row: usize,
+        /// The location read without an ordering edge.
+        location: usize,
+        /// Pack of the conflicting writer.
+        writer_pack: usize,
+        /// Phase of the conflicting writer.
+        writer_phase: u8,
+        /// Stages the reader's wait actually covers (`0..covered_stages`).
+        covered_stages: usize,
+        /// Stages the read needs covered (`0..needed_stages`).
+        needed_stages: usize,
+    },
+    /// A task reads a row that the same task writes only later in its own
+    /// program order.
+    IntraTaskOrder {
+        /// Pack of the task.
+        pack: usize,
+        /// Phase of the task.
+        phase: u8,
+        /// Row being produced when the premature read happened.
+        row: usize,
+        /// The location read before its in-task write.
+        location: usize,
+    },
+    /// A read observes a chunk whose gate arrival is *not* ordered after its
+    /// writes (a reordered publish): the happens-before edge exists but
+    /// publishes garbage.
+    EarlyPublish {
+        /// Pack of the reading task.
+        pack: usize,
+        /// Phase of the reading task.
+        phase: u8,
+        /// Row the reader was producing.
+        row: usize,
+        /// The location whose value is unpublished.
+        location: usize,
+        /// Pack of the early-publishing chunk.
+        writer_pack: usize,
+    },
+    /// A chain ticket claimed without waiting for its stage's phase-1 drain
+    /// flag: the chain reads (and overwrites) phase-1 partials with no
+    /// ordering edge.
+    ForgedClaim {
+        /// Pack of the chain task.
+        pack: usize,
+        /// First chain row whose access is unordered.
+        row: usize,
+        /// The location read/overwritten without the drain edge.
+        location: usize,
+    },
+    /// A chain row reads a row owned by a *different* chain task; no edge
+    /// orders two tickets of the same stage.
+    CrossChainRace {
+        /// Pack of the reading chain task.
+        pack: usize,
+        /// Row being produced.
+        row: usize,
+        /// The location owned by the other ticket.
+        location: usize,
+        /// Pack of the other ticket.
+        writer_pack: usize,
+    },
+    /// A chain read that no synchronisation edge orders (its phase-1 writer
+    /// belongs to a different stage than the chain's drain flag covers).
+    ChainReadUnordered {
+        /// Pack of the chain task.
+        pack: usize,
+        /// Row being produced.
+        row: usize,
+        /// The cross-stage location.
+        location: usize,
+        /// Pack that phase-1-writes the location.
+        writer_pack: usize,
+    },
+    /// A chain row whose phase-1 writer is not in the chain's own stage, so
+    /// the drain flag cannot order the correction after the partial.
+    ChainWriteUnordered {
+        /// Pack of the chain task.
+        pack: usize,
+        /// The mis-staged chain row.
+        row: usize,
+    },
+    /// Two phase-1 tasks write the same location.
+    DoubleWrite {
+        /// The location written twice.
+        location: usize,
+        /// Pack of the first writer.
+        first_pack: usize,
+        /// Pack of the second writer.
+        second_pack: usize,
+    },
+    /// Two chain tickets own the same row.
+    DoubleChainWrite {
+        /// The row owned twice.
+        location: usize,
+        /// Pack of the first ticket.
+        first_pack: usize,
+        /// Pack of the second ticket.
+        second_pack: usize,
+    },
+    /// A location no phase-1 task writes.
+    UnwrittenRow {
+        /// The never-written location.
+        location: usize,
+    },
+    /// A chunk waits on its own or a later stage: the wait graph has a
+    /// cycle (the stage can never open its own precondition).
+    WaitCycle {
+        /// Pack of the waiting chunk.
+        pack: usize,
+        /// Stage index of the waiting chunk.
+        stage: usize,
+        /// Chunk index within the stage.
+        chunk: usize,
+        /// The readiness it waits for (`0..dep` must complete first).
+        dep: usize,
+    },
+    /// A footprint references a location outside `0..locations`.
+    LocationOutOfRange {
+        /// Pack of the offending task.
+        pack: usize,
+        /// The out-of-range location.
+        location: usize,
+    },
+}
+
+impl fmt::Display for ScheduleViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleViolation::ReadRace {
+                pack,
+                phase,
+                row,
+                location,
+                writer_pack,
+                writer_phase,
+                covered_stages,
+                needed_stages,
+            } => write!(
+                f,
+                "race: pack {pack} phase {phase} row {row} reads location {location} written by \
+                 pack {writer_pack} phase {writer_phase}, but its readiness wait covers only \
+                 stages 0..{covered_stages} (missing edge: the read needs stages \
+                 0..{needed_stages} complete)"
+            ),
+            ScheduleViolation::IntraTaskOrder {
+                pack,
+                phase,
+                row,
+                location,
+            } => write!(
+                f,
+                "program-order race: pack {pack} phase {phase} row {row} reads location \
+                 {location}, which the same task writes only later"
+            ),
+            ScheduleViolation::EarlyPublish {
+                pack,
+                phase,
+                row,
+                location,
+                writer_pack,
+            } => write!(
+                f,
+                "reordered publish: pack {pack} phase {phase} row {row} reads location \
+                 {location}, but pack {writer_pack}'s chunk arrives at the gate before writing it"
+            ),
+            ScheduleViolation::ForgedClaim {
+                pack,
+                row,
+                location,
+            } => write!(
+                f,
+                "forged ticket: pack {pack} phase 2 row {row} accesses location {location} \
+                 without waiting for the phase-1 drain flag"
+            ),
+            ScheduleViolation::CrossChainRace {
+                pack,
+                row,
+                location,
+                writer_pack,
+            } => write!(
+                f,
+                "race: pack {pack} phase 2 row {row} reads location {location} owned by another \
+                 chain ticket of pack {writer_pack}; no edge orders two tickets"
+            ),
+            ScheduleViolation::ChainReadUnordered {
+                pack,
+                row,
+                location,
+                writer_pack,
+            } => write!(
+                f,
+                "race: pack {pack} phase 2 row {row} reads location {location} whose phase-1 \
+                 writer is pack {writer_pack}; the drain flag only covers the chain's own stage"
+            ),
+            ScheduleViolation::ChainWriteUnordered { pack, row } => write!(
+                f,
+                "race: pack {pack} phase 2 row {row} is corrected by a chain whose stage never \
+                 phase-1-writes it; the drain flag cannot order partial and correction"
+            ),
+            ScheduleViolation::DoubleWrite {
+                location,
+                first_pack,
+                second_pack,
+            } => write!(
+                f,
+                "write-write race: location {location} has phase-1 writers in pack {first_pack} \
+                 and pack {second_pack}"
+            ),
+            ScheduleViolation::DoubleChainWrite {
+                location,
+                first_pack,
+                second_pack,
+            } => write!(
+                f,
+                "write-write race: row {location} is owned by chain tickets of pack {first_pack} \
+                 and pack {second_pack}"
+            ),
+            ScheduleViolation::UnwrittenRow { location } => {
+                write!(
+                    f,
+                    "incomplete schedule: location {location} is never written"
+                )
+            }
+            ScheduleViolation::WaitCycle {
+                pack,
+                stage,
+                chunk,
+                dep,
+            } => write!(
+                f,
+                "deadlock: pack {pack} chunk {chunk} (stage {stage}) waits for stages 0..{dep}, \
+                 which include its own — the wait graph has a cycle"
+            ),
+            ScheduleViolation::LocationOutOfRange { pack, location } => write!(
+                f,
+                "malformed spec: pack {pack} references location {location} outside the shared \
+                 vector"
+            ),
+        }
+    }
+}
+
+const NONE: u32 = u32::MAX;
+
+/// A location's writer in one phase: `(stage, task, position)` packed as
+/// parallel arrays, `NONE` stage marking "no writer".
+struct WriterTable {
+    stage: Vec<u32>,
+    task: Vec<u32>,
+    pos: Vec<u32>,
+}
+
+impl WriterTable {
+    fn new(n: usize) -> Self {
+        WriterTable {
+            stage: vec![NONE; n],
+            task: vec![NONE; n],
+            pos: vec![NONE; n],
+        }
+    }
+
+    fn set(&mut self, loc: usize, stage: usize, task: usize, pos: usize) {
+        self.stage[loc] = stage as u32;
+        self.task[loc] = task as u32;
+        self.pos[loc] = pos as u32;
+    }
+}
+
+/// Checks a [`ScheduleSpec`] for data races, deadlocks and completeness,
+/// returning aggregate statistics on success or the **first** violation in
+/// deterministic (stage, task, row, read) scan order.
+///
+/// The happens-before relation used:
+///
+/// * a chunk with readiness `dep` happens-after every task of stages
+///   `0..dep` (the epoch edge), provided those chunks publish after writing;
+/// * a chain ticket with `claims_after_drain` happens-after every phase-1
+///   chunk of its own stage (the drain edge);
+/// * rows inside one task are ordered by program order;
+/// * nothing else is ordered.
+pub fn verify(spec: &ScheduleSpec) -> Result<ScheduleProof, ScheduleViolation> {
+    let n = spec.locations;
+    let mut chunk_w = WriterTable::new(n);
+    let mut chain_w = WriterTable::new(n);
+
+    // Pass A: populate writer tables; flag double writes and out-of-range
+    // footprints.
+    for (s, stage) in spec.stages.iter().enumerate() {
+        for (c, chunk) in stage.chunks.iter().enumerate() {
+            for (pos, rf) in chunk.rows.iter().enumerate() {
+                if rf.row >= n {
+                    return Err(ScheduleViolation::LocationOutOfRange {
+                        pack: stage.pack,
+                        location: rf.row,
+                    });
+                }
+                if chunk_w.stage[rf.row] != NONE {
+                    return Err(ScheduleViolation::DoubleWrite {
+                        location: rf.row,
+                        first_pack: spec.stages[chunk_w.stage[rf.row] as usize].pack,
+                        second_pack: stage.pack,
+                    });
+                }
+                chunk_w.set(rf.row, s, c, pos);
+            }
+        }
+        for (t, chain) in stage.chains.iter().enumerate() {
+            for (pos, rf) in chain.rows.iter().enumerate() {
+                if rf.row >= n {
+                    return Err(ScheduleViolation::LocationOutOfRange {
+                        pack: stage.pack,
+                        location: rf.row,
+                    });
+                }
+                if chain_w.stage[rf.row] != NONE {
+                    return Err(ScheduleViolation::DoubleChainWrite {
+                        location: rf.row,
+                        first_pack: spec.stages[chain_w.stage[rf.row] as usize].pack,
+                        second_pack: stage.pack,
+                    });
+                }
+                chain_w.set(rf.row, s, t, pos);
+            }
+        }
+    }
+
+    // Completeness: phase 1 writes every location exactly once ("exactly"
+    // is the double-write check above plus this existence check).
+    for loc in 0..n {
+        if chunk_w.stage[loc] == NONE {
+            return Err(ScheduleViolation::UnwrittenRow { location: loc });
+        }
+    }
+
+    // Pass B: deadlock freedom. The only blocking edges are the epoch wait
+    // (all tasks of stages < dep → chunk) and the intra-stage drain (phase 1
+    // of s → chains of s). A topological order — stages ascending, phase 1
+    // before phase 2 — therefore exists iff no chunk waits on its own or a
+    // later stage; a `dep > stage` chunk closes a cycle through its own
+    // stage's completion.
+    for (s, stage) in spec.stages.iter().enumerate() {
+        for (c, chunk) in stage.chunks.iter().enumerate() {
+            if chunk.dep > s {
+                return Err(ScheduleViolation::WaitCycle {
+                    pack: stage.pack,
+                    stage: s,
+                    chunk: c,
+                    dep: chunk.dep,
+                });
+            }
+        }
+    }
+
+    // Pass C: every read must be covered by an edge of the HB relation.
+    let mut reads_checked: u64 = 0;
+    for (s, stage) in spec.stages.iter().enumerate() {
+        for (c, chunk) in stage.chunks.iter().enumerate() {
+            let d = chunk.dep;
+            for (pos, rf) in chunk.rows.iter().enumerate() {
+                for &j in &rf.reads {
+                    reads_checked += 1;
+                    if j >= n {
+                        return Err(ScheduleViolation::LocationOutOfRange {
+                            pack: stage.pack,
+                            location: j,
+                        });
+                    }
+                    if j == rf.row {
+                        continue; // read-modify-write of the task's own slot
+                    }
+                    let ws = chunk_w.stage[j] as usize;
+                    if ws == s && chunk_w.task[j] as usize == c {
+                        // Same task: program order must have written it.
+                        if chunk_w.pos[j] as usize >= pos {
+                            return Err(ScheduleViolation::IntraTaskOrder {
+                                pack: stage.pack,
+                                phase: 1,
+                                row: rf.row,
+                                location: j,
+                            });
+                        }
+                    } else {
+                        if d < ws + 1 {
+                            return Err(ScheduleViolation::ReadRace {
+                                pack: stage.pack,
+                                phase: 1,
+                                row: rf.row,
+                                location: j,
+                                writer_pack: spec.stages[ws].pack,
+                                writer_phase: 1,
+                                covered_stages: d,
+                                needed_stages: ws + 1,
+                            });
+                        }
+                        if !spec.stages[ws].chunks[chunk_w.task[j] as usize].publishes {
+                            return Err(ScheduleViolation::EarlyPublish {
+                                pack: stage.pack,
+                                phase: 1,
+                                row: rf.row,
+                                location: j,
+                                writer_pack: spec.stages[ws].pack,
+                            });
+                        }
+                    }
+                    // If a chain also corrects j, the epoch must cover its
+                    // phase-2 arrival too — otherwise this read can observe
+                    // the uncorrected partial mid-flight.
+                    if chain_w.stage[j] != NONE {
+                        let cs = chain_w.stage[j] as usize;
+                        if d < cs + 1 {
+                            return Err(ScheduleViolation::ReadRace {
+                                pack: stage.pack,
+                                phase: 1,
+                                row: rf.row,
+                                location: j,
+                                writer_pack: spec.stages[cs].pack,
+                                writer_phase: 2,
+                                covered_stages: d,
+                                needed_stages: cs + 1,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        for (t, chain) in stage.chains.iter().enumerate() {
+            let drained = chain.claims_after_drain;
+            for (pos, rf) in chain.rows.iter().enumerate() {
+                let i = rf.row;
+                // The implicit self-access: the chain reads row i's phase-1
+                // partial and overwrites it. The only edge that can order
+                // both is this stage's drain flag over a same-stage,
+                // write-then-publish phase-1 chunk.
+                reads_checked += 1;
+                if chunk_w.stage[i] as usize != s {
+                    return Err(ScheduleViolation::ChainWriteUnordered {
+                        pack: stage.pack,
+                        row: i,
+                    });
+                }
+                if !drained {
+                    return Err(ScheduleViolation::ForgedClaim {
+                        pack: stage.pack,
+                        row: i,
+                        location: i,
+                    });
+                }
+                if !stage.chunks[chunk_w.task[i] as usize].publishes {
+                    return Err(ScheduleViolation::EarlyPublish {
+                        pack: stage.pack,
+                        phase: 2,
+                        row: i,
+                        location: i,
+                        writer_pack: stage.pack,
+                    });
+                }
+                for &j in &rf.reads {
+                    reads_checked += 1;
+                    if j >= n {
+                        return Err(ScheduleViolation::LocationOutOfRange {
+                            pack: stage.pack,
+                            location: j,
+                        });
+                    }
+                    if j == i {
+                        continue;
+                    }
+                    if chain_w.stage[j] != NONE {
+                        // Ordered only if the same ticket wrote it earlier.
+                        let cs = chain_w.stage[j] as usize;
+                        if cs == s && chain_w.task[j] as usize == t {
+                            if chain_w.pos[j] as usize >= pos {
+                                return Err(ScheduleViolation::IntraTaskOrder {
+                                    pack: stage.pack,
+                                    phase: 2,
+                                    row: i,
+                                    location: j,
+                                });
+                            }
+                            continue;
+                        }
+                        return Err(ScheduleViolation::CrossChainRace {
+                            pack: stage.pack,
+                            row: i,
+                            location: j,
+                            writer_pack: spec.stages[cs].pack,
+                        });
+                    }
+                    let ws = chunk_w.stage[j] as usize;
+                    if ws != s {
+                        return Err(ScheduleViolation::ChainReadUnordered {
+                            pack: stage.pack,
+                            row: i,
+                            location: j,
+                            writer_pack: spec.stages[ws].pack,
+                        });
+                    }
+                    if !drained {
+                        return Err(ScheduleViolation::ForgedClaim {
+                            pack: stage.pack,
+                            row: i,
+                            location: j,
+                        });
+                    }
+                    if !stage.chunks[chunk_w.task[j] as usize].publishes {
+                        return Err(ScheduleViolation::EarlyPublish {
+                            pack: stage.pack,
+                            phase: 2,
+                            row: i,
+                            location: j,
+                            writer_pack: stage.pack,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    Ok(ScheduleProof {
+        specs: 1,
+        stages: spec.stages.len(),
+        chunks: spec.num_chunks(),
+        chains: spec.num_chains(),
+        locations: n,
+        reads_checked,
+        hb_edges: spec.hb_edges(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{ChainSpec, ChunkSpec, RowFootprint, StageSpec};
+
+    /// Two stages, two rows each; stage 1's chunk reads stage 0's rows
+    /// behind dep 1 and corrects row 3 through a chain.
+    fn good_spec() -> ScheduleSpec {
+        ScheduleSpec {
+            locations: 4,
+            stages: vec![
+                StageSpec {
+                    pack: 0,
+                    chunks: vec![ChunkSpec {
+                        dep: 0,
+                        rows: vec![
+                            RowFootprint {
+                                row: 0,
+                                reads: vec![],
+                            },
+                            RowFootprint {
+                                row: 1,
+                                reads: vec![0],
+                            },
+                        ],
+                        publishes: true,
+                    }],
+                    chains: vec![],
+                },
+                StageSpec {
+                    pack: 1,
+                    chunks: vec![ChunkSpec {
+                        dep: 1,
+                        rows: vec![
+                            RowFootprint {
+                                row: 2,
+                                reads: vec![0],
+                            },
+                            RowFootprint {
+                                row: 3,
+                                reads: vec![1],
+                            },
+                        ],
+                        publishes: true,
+                    }],
+                    chains: vec![ChainSpec {
+                        claims_after_drain: true,
+                        rows: vec![RowFootprint {
+                            row: 3,
+                            reads: vec![2],
+                        }],
+                    }],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn a_consistent_spec_verifies() {
+        let proof = verify(&good_spec()).unwrap();
+        assert_eq!(proof.stages, 2);
+        assert_eq!(proof.chunks, 2);
+        assert_eq!(proof.chains, 1);
+        // chunk(dep 1) ← 1 task of stage 0; chain ← 1 chunk of its stage.
+        assert_eq!(proof.hb_edges, 2);
+        assert!(proof.reads_checked >= 4);
+    }
+
+    #[test]
+    fn a_dropped_dependency_is_a_read_race() {
+        let mut spec = good_spec();
+        spec.stages[1].chunks[0].dep = 0;
+        match verify(&spec) {
+            Err(ScheduleViolation::ReadRace {
+                pack: 1,
+                phase: 1,
+                row: 2,
+                location: 0,
+                writer_pack: 0,
+                covered_stages: 0,
+                needed_stages: 1,
+                ..
+            }) => {}
+            other => panic!("expected a ReadRace at (pack 1, row 2), got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn a_forged_ticket_is_flagged_at_the_first_chain_row() {
+        let mut spec = good_spec();
+        spec.stages[1].chains[0].claims_after_drain = false;
+        match verify(&spec) {
+            Err(ScheduleViolation::ForgedClaim {
+                pack: 1,
+                row: 3,
+                location: 3,
+            }) => {}
+            other => panic!("expected a ForgedClaim at (pack 1, row 3), got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn an_early_publish_is_flagged_at_its_first_reader() {
+        let mut spec = good_spec();
+        spec.stages[0].chunks[0].publishes = false;
+        match verify(&spec) {
+            Err(ScheduleViolation::EarlyPublish {
+                pack: 1,
+                phase: 1,
+                row: 2,
+                location: 0,
+                writer_pack: 0,
+            }) => {}
+            other => panic!("expected an EarlyPublish at (pack 1, row 2), got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn a_dep_past_the_own_stage_is_a_wait_cycle() {
+        let mut spec = good_spec();
+        spec.stages[0].chunks[0].dep = 1;
+        match verify(&spec) {
+            Err(ScheduleViolation::WaitCycle {
+                pack: 0,
+                stage: 0,
+                chunk: 0,
+                dep: 1,
+            }) => {}
+            other => panic!("expected a WaitCycle, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn completeness_catches_unwritten_and_doubly_written_rows() {
+        let mut spec = good_spec();
+        spec.locations = 5;
+        assert_eq!(
+            verify(&spec),
+            Err(ScheduleViolation::UnwrittenRow { location: 4 })
+        );
+        let mut spec = good_spec();
+        spec.stages[1].chunks[0].rows[0].row = 0;
+        assert_eq!(
+            verify(&spec),
+            Err(ScheduleViolation::DoubleWrite {
+                location: 0,
+                first_pack: 0,
+                second_pack: 1
+            })
+        );
+    }
+
+    #[test]
+    fn chain_order_violations_are_caught() {
+        // A ticket may read rows it corrected earlier in its own order...
+        let mut spec = good_spec();
+        spec.stages[1].chains[0].rows = vec![
+            RowFootprint {
+                row: 2,
+                reads: vec![],
+            },
+            RowFootprint {
+                row: 3,
+                reads: vec![2],
+            },
+        ];
+        assert!(verify(&spec).is_ok());
+        // ...but reading a row the same ticket corrects only later observes
+        // the uncorrected partial: a program-order race.
+        spec.stages[1].chains[0].rows = vec![
+            RowFootprint {
+                row: 3,
+                reads: vec![2],
+            },
+            RowFootprint {
+                row: 2,
+                reads: vec![],
+            },
+        ];
+        assert_eq!(
+            verify(&spec),
+            Err(ScheduleViolation::IntraTaskOrder {
+                pack: 1,
+                phase: 2,
+                row: 3,
+                location: 2
+            })
+        );
+    }
+
+    #[test]
+    fn cross_ticket_reads_are_races() {
+        // Give row 2 to a second ticket: ticket 0's row 3 reads location 2,
+        // now owned by ticket 1 — no edge orders two tickets.
+        let mut spec = good_spec();
+        spec.stages[1].chains.push(ChainSpec {
+            claims_after_drain: true,
+            rows: vec![RowFootprint {
+                row: 2,
+                reads: vec![],
+            }],
+        });
+        assert_eq!(
+            verify(&spec),
+            Err(ScheduleViolation::CrossChainRace {
+                pack: 1,
+                row: 3,
+                location: 2,
+                writer_pack: 1
+            })
+        );
+    }
+
+    #[test]
+    fn violations_render_with_pack_phase_row_detail() {
+        let v = ScheduleViolation::ReadRace {
+            pack: 3,
+            phase: 1,
+            row: 41,
+            location: 17,
+            writer_pack: 2,
+            writer_phase: 1,
+            covered_stages: 2,
+            needed_stages: 3,
+        };
+        let rendered = v.to_string();
+        assert!(rendered.contains("pack 3"), "{rendered}");
+        assert!(rendered.contains("row 41"), "{rendered}");
+        assert!(rendered.contains("missing edge"), "{rendered}");
+    }
+}

@@ -17,7 +17,11 @@
 //! * [`trace`] — the zero-dependency observability layer: lock-free span
 //!   recording over the solve phases, counters and log-scale latency
 //!   histograms with a Prometheus-style exposition, and a Chrome
-//!   trace-event exporter (viewable in Perfetto / `chrome://tracing`).
+//!   trace-event exporter (viewable in Perfetto / `chrome://tracing`);
+//! * [`verify`] — the static schedule checker behind
+//!   [`core::csrk::StsStructure::verify_schedule`]: proves every pack
+//!   schedule race- and deadlock-free from its read/write footprints and
+//!   happens-before edges, with a `race-shadow` dynamic cross-check.
 //!
 //! # Quickstart
 //!
@@ -340,3 +344,4 @@ pub use sts_numa as numa;
 pub use sts_sched as sched;
 pub use sts_serve as serve;
 pub use sts_trace as trace;
+pub use sts_verify as verify;

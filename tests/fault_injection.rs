@@ -74,7 +74,7 @@ fn pool_panic_is_a_structured_error_and_the_pool_survives() {
             // Poisoning is per-dispatch: the same pool runs the next job.
             let hits = AtomicUsize::new(0);
             pool.parallel_for(32, Schedule::Static, &|_| {
-                hits.fetch_add(1, AtomicOrdering::Relaxed);
+                hits.fetch_add(1, AtomicOrdering::SeqCst);
             })
             .expect("the pool must survive a panicked dispatch");
             assert_eq!(hits.into_inner(), 32);

@@ -1,0 +1,84 @@
+//! Dynamic cross-check of the static schedule model (`race-shadow` feature).
+//!
+//! Every solve/factor kernel records one `RowTrace` per produced row — the
+//! exact shared slots its inner loop read — and `check_replay` compares the
+//! log against the footprints `sts_core::verify` extracts from the split
+//! layouts. A divergence in either direction (kernel touches something the
+//! model missed, or the model claims reads the kernel never performs) fails
+//! here, so the verifier's happens-before proofs are grounded in what the
+//! kernels really do. Run with:
+//!
+//! ```text
+//! cargo test --features race-shadow --test race_shadow
+//! ```
+#![cfg(feature = "race-shadow")]
+
+use std::sync::Arc;
+
+use sts_k::core::{
+    factor_spec, solve_spec, Method, Ordering, ParallelSolver, StsBuilder, SuperRowSizing,
+    SweepDirection,
+};
+use sts_k::matrix::generators;
+use sts_k::numa::Schedule;
+use sts_k::verify::{check_replay, AccessLog, ScheduleSpec};
+
+const THREAD_SWEEP: [usize; 4] = [1, 2, 4, 8];
+
+fn replay(log: &AccessLog, spec: &ScheduleSpec, what: &str) {
+    let traces = log.take();
+    assert!(!traces.is_empty(), "{what}: nothing was recorded");
+    if let Err(m) = check_replay(spec, &traces) {
+        panic!("{what}: {m}");
+    }
+}
+
+#[test]
+fn every_solve_engine_touches_exactly_the_modelled_footprints() {
+    let l = generators::random_lower_triangular(120, 3.0, 42).unwrap();
+    for ordering in [Ordering::LevelSet, Ordering::Coloring] {
+        for k in [2usize, 3] {
+            let s = StsBuilder::new(k)
+                .ordering(ordering)
+                .super_row_sizing(SuperRowSizing::Rows(8))
+                .build(&l)
+                .unwrap();
+            // The model is chunk-granularity-independent after replay
+            // flattening, so one row-granularity spec per direction covers
+            // every engine and thread count.
+            let fwd = solve_spec(&s, usize::MAX, SweepDirection::Forward);
+            let bwd = solve_spec(&s, usize::MAX, SweepDirection::Transpose);
+            let b = vec![1.0; s.n()];
+            for threads in THREAD_SWEEP {
+                let tag = format!("{ordering:?} k={k} threads={threads}");
+                let mut solver = ParallelSolver::new(threads, Schedule::Guided { min_chunk: 1 });
+                let log = Arc::new(AccessLog::new());
+                solver.set_shadow_log(Some(log.clone()));
+                solver.solve_split(&s, &b).unwrap();
+                replay(&log, &fwd, &format!("solve_split {tag}"));
+                solver.solve_pipelined(&s, &b).unwrap();
+                replay(&log, &fwd, &format!("solve_pipelined {tag}"));
+                solver.solve_transpose_split(&s, &b).unwrap();
+                replay(&log, &bwd, &format!("solve_transpose_split {tag}"));
+                solver.solve_transpose_pipelined(&s, &b).unwrap();
+                replay(&log, &bwd, &format!("solve_transpose_pipelined {tag}"));
+            }
+        }
+    }
+}
+
+#[test]
+fn the_factor_kernel_touches_exactly_the_modelled_footprints() {
+    let a = generators::grid2d_laplacian(16, 14).unwrap();
+    let l = generators::lower_operand(&a).unwrap();
+    let s = Method::Sts3.build(&l, 8).unwrap();
+    let a_perm = a.permute_symmetric(s.permutation().new_to_old()).unwrap();
+    let spec = factor_spec(&s, usize::MAX);
+    for threads in THREAD_SWEEP {
+        let mut solver = ParallelSolver::new(threads, Schedule::Static);
+        let log = Arc::new(AccessLog::new());
+        solver.set_shadow_log(Some(log.clone()));
+        solver.parallel_ic0(&s, &a_perm).unwrap();
+        replay(&log, &spec, &format!("parallel_ic0 threads={threads}"));
+    }
+}
